@@ -1,0 +1,125 @@
+//! Criterion benchmarks backing the paper's evaluation.
+//!
+//! One benchmark group per table/figure; each group exercises the code path
+//! that regenerates that result (at reduced scale, so `cargo bench` stays
+//! tractable).  The full-scale numbers are produced by the `experiments`
+//! binary and recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avm_bench::experiments;
+use avm_bench::hostmodel::HostCostModel;
+use avm_bench::scenario::GameScenario;
+use avm_compress::{compress, CompressionLevel};
+use avm_core::config::ExecConfig;
+use avm_crypto::keys::{SignatureScheme, SigningKey};
+use avm_log::{EntryKind, TamperEvidentLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Figure 5 substrate: the per-packet signature generation / verification
+/// that dominates the avmm-rsa768 ping time.
+fn bench_fig5_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(768));
+    let verifier = key.verifying_key();
+    let payload = [0u8; 60];
+    let sig = key.sign(&payload);
+    let mut group = c.benchmark_group("fig5_ping_rtt");
+    group.sample_size(10);
+    group.bench_function("rsa768_sign_packet", |b| b.iter(|| key.sign(&payload)));
+    group.bench_function("rsa768_verify_packet", |b| {
+        b.iter(|| verifier.verify(&payload, &sig).unwrap())
+    });
+    group.finish();
+}
+
+/// Figures 3/4 substrate: tamper-evident log append and compression.
+fn bench_fig3_fig4_logging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4_log_growth");
+    group.sample_size(10);
+    group.bench_function("append_1000_entries", |b| {
+        b.iter(|| {
+            let mut log = TamperEvidentLog::new();
+            for i in 0..1000u64 {
+                log.append(EntryKind::NdEvent, i.to_le_bytes().to_vec());
+            }
+            log.len()
+        })
+    });
+    let mut log = TamperEvidentLog::new();
+    for i in 0..5000u64 {
+        log.append(EntryKind::NdEvent, (i * 37).to_le_bytes().to_vec());
+    }
+    let bytes = log.to_bytes();
+    group.bench_function("compress_log", |b| {
+        b.iter(|| compress(&bytes, CompressionLevel::Fast).len())
+    });
+    group.finish();
+}
+
+/// Table 1 / §6.3 substrate: record a short cheating session and audit it.
+fn bench_table1_cheat_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cheat_detection");
+    group.sample_size(10);
+    group.bench_function("record_and_audit_cheater", |b| {
+        b.iter(|| {
+            let r = experiments::exp_table1(true);
+            assert_eq!(r.undetected, 0);
+        })
+    });
+    group.finish();
+}
+
+/// Figure 7 substrate: a short game session in the fastest and the slowest
+/// configuration.
+fn bench_fig7_framerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_framerate");
+    group.sample_size(10);
+    for config in [ExecConfig::BareHw, ExecConfig::AvmmRsa768] {
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                let mut s = GameScenario::standard(config, 200_000);
+                s.rsa_bits = 512;
+                s.steps_per_tick = 8_000;
+                let result = s.run();
+                result.frames_rendered(&result.players[1].clone())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9 substrate: spot-checking the database workload.
+fn bench_fig9_spotcheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_spotcheck");
+    group.sample_size(10);
+    group.bench_function("spotcheck_db_workload", |b| {
+        b.iter(|| experiments::exp_spotcheck(true).len())
+    });
+    group.finish();
+}
+
+/// Figures 5/6/8 cost model: derived from measured crypto and the host model.
+fn bench_fig568_host_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6_fig8_host_model");
+    group.sample_size(10);
+    group.bench_function("calibrate_and_tabulate", |b| {
+        b.iter(|| {
+            let model = HostCostModel::calibrated();
+            experiments::exp_ping_rtt(&model).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_signatures,
+    bench_fig3_fig4_logging,
+    bench_table1_cheat_detection,
+    bench_fig7_framerate,
+    bench_fig9_spotcheck,
+    bench_fig568_host_model
+);
+criterion_main!(benches);

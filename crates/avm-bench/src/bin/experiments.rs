@@ -1,0 +1,69 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p avm-bench --bin experiments -- all
+//! cargo run --release -p avm-bench --bin experiments -- table1 fig7 fig9
+//! cargo run --release -p avm-bench --bin experiments -- --quick all
+//! ```
+
+use avm_bench::experiments;
+use avm_bench::hostmodel::HostCostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let selected = if selected.is_empty() { vec!["all"] } else { selected };
+
+    let model = HostCostModel::calibrated();
+    for name in selected {
+        match name {
+            "all" => experiments::run_all(quick),
+            "table1" => {
+                experiments::exp_table1(quick);
+            }
+            "functionality" | "sec6.3" => {
+                experiments::exp_functionality(quick);
+            }
+            "fig3" | "fig4" | "loggrowth" => {
+                experiments::exp_log_growth(quick);
+            }
+            "sec6.5" | "clockopt" => {
+                experiments::exp_clock_optimization(quick);
+            }
+            "sec6.6" | "auditcost" => {
+                experiments::exp_audit_cost(quick);
+            }
+            "sec6.7" | "traffic" => {
+                experiments::exp_traffic(quick);
+            }
+            "fig5" | "rtt" => {
+                experiments::exp_ping_rtt(&model);
+            }
+            "fig6" | "cpu" => {
+                experiments::exp_cpu_utilization(quick, &model);
+            }
+            "fig7" | "framerate" => {
+                experiments::exp_frame_rate(quick, &model);
+            }
+            "fig8" | "online" => {
+                experiments::exp_online_audit_frame_rate(quick, &model);
+            }
+            "fig9" | "sec6.12" | "spotcheck" => {
+                experiments::exp_spotcheck(quick);
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig7 fig8 fig9");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,244 @@
+//! Host CPU cost model.
+//!
+//! Figures 5–8 of the paper report host-side performance (ping RTT, CPU
+//! utilisation, frame rate) of a physical testbed.  Our guests run inside a
+//! simulator, so host cost is *modelled*: guest work is converted to host
+//! nanoseconds with a per-step cost and per-configuration overhead factors,
+//! while the cryptographic costs — the part that differs most between the
+//! `avmm-nosig` and `avmm-rsa768` configurations — are **measured** on the
+//! machine running the harness (real RSA-768 signing/verification from
+//! `avm-crypto`).
+
+use std::time::Instant;
+
+use avm_core::recorder::AvmmStats;
+use avm_core::ExecConfig;
+use avm_crypto::keys::{SignatureScheme, SigningKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cost model converting guest-side counters into host CPU time.
+#[derive(Debug, Clone)]
+pub struct HostCostModel {
+    /// Nanoseconds of host CPU per guest step on bare hardware.
+    pub ns_per_step_bare: f64,
+    /// Multiplicative overhead of running under a VMM (no recording).
+    pub virt_factor: f64,
+    /// Additional multiplicative overhead of recording nondeterministic
+    /// events (the paper's dominant cost, ~11% frame-rate drop).
+    pub record_factor: f64,
+    /// Host nanoseconds per logged byte (the logging daemon).
+    pub ns_per_log_byte: f64,
+    /// Host nanoseconds per signature generated (measured).
+    pub ns_per_signature: f64,
+    /// Host nanoseconds per signature verified (measured).
+    pub ns_per_verification: f64,
+    /// Host nanoseconds per replayed guest step (auditing cost, slightly
+    /// above the recording cost because replay re-validates outputs).
+    pub ns_per_replay_step: f64,
+}
+
+impl HostCostModel {
+    /// A model with documented default constants and *measured* RSA-768
+    /// signing/verification costs.
+    pub fn calibrated() -> HostCostModel {
+        let (sign_ns, verify_ns) = measure_rsa768();
+        HostCostModel {
+            ns_per_step_bare: 15_000.0,
+            virt_factor: 1.02,
+            record_factor: 1.115,
+            ns_per_log_byte: 120.0,
+            ns_per_signature: sign_ns,
+            ns_per_verification: verify_ns,
+            ns_per_replay_step: 18_000.0,
+        }
+    }
+
+    /// A fast, deterministic model for unit tests (no key generation).
+    pub fn test_defaults() -> HostCostModel {
+        HostCostModel {
+            ns_per_step_bare: 15_000.0,
+            virt_factor: 1.02,
+            record_factor: 1.115,
+            ns_per_log_byte: 120.0,
+            ns_per_signature: 1_500_000.0,
+            ns_per_verification: 80_000.0,
+            ns_per_replay_step: 18_000.0,
+        }
+    }
+
+    /// Host CPU seconds consumed by the guest-side work described by the
+    /// arguments, under a given measurement configuration.
+    pub fn host_seconds(
+        &self,
+        config: ExecConfig,
+        guest_steps: u64,
+        log_bytes: u64,
+        stats: &AvmmStats,
+    ) -> f64 {
+        let mut per_step = self.ns_per_step_bare;
+        if config.virtualized() {
+            per_step *= self.virt_factor;
+        }
+        if config.records_replay_log() {
+            per_step *= self.record_factor;
+        }
+        let mut ns = guest_steps as f64 * per_step;
+        if config.records_replay_log() {
+            ns += log_bytes as f64 * self.ns_per_log_byte;
+        }
+        if config.tamper_evident() {
+            // Hash-chaining, acknowledgment handling and daemon handoff.
+            ns += log_bytes as f64 * self.ns_per_log_byte * 0.5;
+        }
+        if config.tamper_evident() && config.signature_scheme() != SignatureScheme::Null {
+            ns += stats.signatures_made as f64 * self.ns_per_signature;
+            ns += stats.signatures_verified as f64 * self.ns_per_verification;
+        }
+        ns / 1e9
+    }
+
+    /// Host CPU seconds needed to replay `steps` guest steps during an audit.
+    pub fn replay_seconds(&self, steps: u64) -> f64 {
+        steps as f64 * self.ns_per_replay_step / 1e9
+    }
+
+    /// One-way packet processing latency added by the AVMM, in microseconds,
+    /// for a given configuration (used by the Figure 5 RTT model).
+    pub fn packet_processing_us(&self, config: ExecConfig) -> f64 {
+        // Base forwarding cost through the host network stack.
+        let mut us = 30.0;
+        if config.virtualized() {
+            us += 130.0; // VMM device emulation
+        }
+        if config.records_replay_log() {
+            us += 50.0; // copy into the replay log
+        }
+        if config.tamper_evident() {
+            us += 700.0; // daemon handoff + hash-chain update
+        }
+        if config.signature_scheme() != SignatureScheme::Null {
+            // One signature generated and one verified per direction
+            // (message + acknowledgment), per the paper's §6.8 analysis.
+            us += (self.ns_per_signature + self.ns_per_verification) / 1000.0;
+        }
+        us
+    }
+}
+
+/// Measures real RSA-768 sign and verify times (nanoseconds per operation).
+fn measure_rsa768() -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(768));
+    let verifier = key.verifying_key();
+    let payload = [0xA5u8; 256];
+
+    let iters = 8;
+    let start = Instant::now();
+    let mut sig = Vec::new();
+    for _ in 0..iters {
+        sig = key.sign(&payload);
+    }
+    let sign_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        verifier.verify(&payload, &sig).expect("signature verifies");
+    }
+    let verify_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (sign_ns.max(1.0), verify_ns.max(1.0))
+}
+
+/// Models the 8-hyperthread CPU of the paper's testbed (Figure 6): the
+/// logging daemon is pinned to HT 0, its hypertwin HT 4 stays almost idle,
+/// and the single-threaded game migrates across the remaining hyperthreads.
+pub fn hyperthread_utilization(
+    config: ExecConfig,
+    game_busy_fraction: f64,
+    daemon_fraction: f64,
+) -> [f64; 8] {
+    let mut ht = [0.0f64; 8];
+    let daemon = if config.tamper_evident() { daemon_fraction } else { 0.0 };
+    ht[0] = daemon.min(1.0);
+    // Kernel-level IRQ handling keeps the hypertwin slightly busy.
+    ht[4] = 0.01;
+    // The single-threaded renderer is spread by the scheduler across the six
+    // remaining hyperthreads.
+    let spread = game_busy_fraction.min(1.0) / 6.0;
+    for slot in [1usize, 2, 3, 5, 6, 7] {
+        ht[slot] = spread;
+    }
+    ht
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(signatures: u64) -> AvmmStats {
+        AvmmStats {
+            signatures_made: signatures,
+            signatures_verified: signatures,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cost_increases_across_configurations() {
+        let model = HostCostModel::test_defaults();
+        let steps = 10_000_000;
+        let log_bytes = 500_000;
+        let s = stats(200);
+        let mut prev = 0.0;
+        for config in ExecConfig::ALL {
+            let cost = model.host_seconds(config, steps, log_bytes, &s);
+            assert!(cost > prev, "{config} should cost more than the previous config");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn signature_cost_only_applies_to_rsa_config() {
+        let model = HostCostModel::test_defaults();
+        let s = stats(1_000);
+        // A workload small enough that per-packet signatures dominate.
+        let nosig = model.host_seconds(ExecConfig::AvmmNoSig, 10_000, 10_000, &s);
+        let rsa = model.host_seconds(ExecConfig::AvmmRsa768, 10_000, 10_000, &s);
+        assert!(rsa > nosig * 1.5);
+    }
+
+    #[test]
+    fn packet_processing_latency_ordering_matches_figure5() {
+        let model = HostCostModel::test_defaults();
+        let values: Vec<f64> = ExecConfig::ALL
+            .iter()
+            .map(|c| model.packet_processing_us(*c))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // RSA processing dominates the full configuration.
+        assert!(values[4] > 2.0 * values[3]);
+    }
+
+    #[test]
+    fn hyperthread_model_matches_figure6_shape() {
+        let ht = hyperthread_utilization(ExecConfig::AvmmRsa768, 1.0, 0.08);
+        // Daemon below 8% on HT0, game ≈ 1/6 ≈ 16.7% on the six worker HTs,
+        // average across the package ≈ 12.5%.
+        assert!(ht[0] <= 0.08 + 1e-9);
+        assert!(ht[4] < 0.05);
+        let avg: f64 = ht.iter().sum::<f64>() / 8.0;
+        assert!(avg > 0.10 && avg < 0.16, "average {avg}");
+        // Without tamper evidence the daemon HT is idle.
+        let ht_bare = hyperthread_utilization(ExecConfig::VmmRecord, 1.0, 0.08);
+        assert_eq!(ht_bare[0], 0.0);
+    }
+
+    #[test]
+    fn replay_is_slightly_slower_than_recording() {
+        let model = HostCostModel::test_defaults();
+        assert!(model.replay_seconds(1_000_000) > 1_000_000.0 * model.ns_per_step_bare / 1e9);
+        assert!(model.ns_per_replay_step < 2.0 * model.ns_per_step_bare);
+    }
+}

@@ -1,0 +1,341 @@
+//! LZ77 compressor with a hash-chain match finder.
+//!
+//! Token stream format (after the header):
+//!
+//! * `varint literal_len`, followed by `literal_len` raw bytes,
+//! * `varint match_len` (0 terminates the stream; otherwise `match_len >= MIN_MATCH`),
+//! * `varint distance` (1-based backwards distance).
+//!
+//! Tokens alternate literal-run / match; either may be empty.  The header is
+//! `MAGIC (4) || varint original_len || crc32(original)`.
+
+use avm_wire::checksum::crc32;
+use avm_wire::varint::{read_varint, write_varint};
+
+/// Magic bytes identifying the compressed format ("AVLZ").
+pub const MAGIC: [u8; 4] = *b"AVLZ";
+
+/// Minimum length of a back-reference match.
+const MIN_MATCH: usize = 4;
+/// Maximum length of a back-reference match.
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding window size.
+const WINDOW: usize = 1 << 16;
+/// Number of hash buckets in the match finder.
+const HASH_BITS: u32 = 15;
+
+/// Compression effort levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionLevel {
+    /// Greedy matching, shallow chain search. Fast; used for online compression.
+    Fast,
+    /// Deeper chain search. The default used by the audit tool.
+    Default,
+    /// Exhaustive chain search within the window.
+    Best,
+}
+
+impl CompressionLevel {
+    fn max_chain(&self) -> usize {
+        match self {
+            CompressionLevel::Fast => 8,
+            CompressionLevel::Default => 64,
+            CompressionLevel::Best => 512,
+        }
+    }
+}
+
+/// Errors from decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Input does not start with the expected magic bytes.
+    BadMagic,
+    /// Input ended unexpectedly.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// The offending distance.
+        distance: usize,
+        /// Output length at the time.
+        produced: usize,
+    },
+    /// The declared original length did not match the decoded output.
+    LengthMismatch {
+        /// Length from the header.
+        declared: u64,
+        /// Actual decoded length.
+        actual: u64,
+    },
+    /// The CRC of the decoded output did not match the header.
+    ChecksumMismatch,
+}
+
+impl core::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompressError::BadMagic => write!(f, "bad magic bytes"),
+            CompressError::Truncated => write!(f, "compressed stream truncated"),
+            CompressError::BadDistance { distance, produced } => {
+                write!(f, "invalid back-reference distance {distance} at offset {produced}")
+            }
+            CompressError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: header says {declared}, decoded {actual}")
+            }
+            CompressError::ChecksumMismatch => write!(f, "checksum mismatch after decompression"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+fn hash4(data: &[u8]) -> usize {
+    // Multiplicative hash of the next four bytes.
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data`.
+pub fn compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.extend_from_slice(&MAGIC);
+    write_varint(&mut out, data.len() as u64);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+
+    let max_chain = level.max_chain();
+    // head[h] = most recent position with hash h (+1, 0 = none); prev[i % WINDOW] = previous position with same hash.
+    let mut head = vec![0usize; 1 << HASH_BITS];
+    let mut prev = vec![0usize; WINDOW];
+
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash4(&data[pos..]);
+            let mut candidate = head[h];
+            let mut chain = 0usize;
+            while candidate > 0 && chain < max_chain {
+                let cand_pos = candidate - 1;
+                if pos - cand_pos > WINDOW {
+                    break;
+                }
+                // Compare.
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand_pos + l] == data[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = pos - cand_pos;
+                    if l >= limit {
+                        break;
+                    }
+                }
+                candidate = prev[cand_pos % WINDOW];
+                chain += 1;
+            }
+            // Insert current position into the hash chain.
+            prev[pos % WINDOW] = head[h];
+            head[h] = pos + 1;
+        }
+
+        if best_len >= MIN_MATCH {
+            // Emit pending literals, then the match.
+            let literals = &data[literal_start..pos];
+            write_varint(&mut out, literals.len() as u64);
+            out.extend_from_slice(literals);
+            write_varint(&mut out, best_len as u64);
+            write_varint(&mut out, best_dist as u64);
+            // Insert skipped positions into the chain (cheaply, every position).
+            let end = pos + best_len;
+            let mut p = pos + 1;
+            while p < end && p + MIN_MATCH <= data.len() {
+                let h = hash4(&data[p..]);
+                prev[p % WINDOW] = head[h];
+                head[h] = p + 1;
+                p += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    // Trailing literals and stream terminator (match_len = 0).
+    let literals = &data[literal_start..];
+    write_varint(&mut out, literals.len() as u64);
+    out.extend_from_slice(literals);
+    write_varint(&mut out, 0);
+    out
+}
+
+/// Decompresses data produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if input.len() < 4 || input[..4] != MAGIC {
+        return Err(CompressError::BadMagic);
+    }
+    let mut pos = 4usize;
+    let (orig_len, n) = read_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+    pos += n;
+    if input.len() < pos + 4 {
+        return Err(CompressError::Truncated);
+    }
+    let stored_crc = u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]]);
+    pos += 4;
+
+    let mut out: Vec<u8> = Vec::with_capacity(orig_len as usize);
+    loop {
+        // Literal run.
+        let (lit_len, n) = read_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+        pos += n;
+        let lit_len = lit_len as usize;
+        if input.len() < pos + lit_len {
+            return Err(CompressError::Truncated);
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        // Match (or terminator).
+        let (match_len, n) = read_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+        pos += n;
+        if match_len == 0 {
+            break;
+        }
+        let (dist, n) = read_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+        pos += n;
+        let dist = dist as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(CompressError::BadDistance {
+                distance: dist,
+                produced: out.len(),
+            });
+        }
+        let start = out.len() - dist;
+        for i in 0..match_len as usize {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    if out.len() as u64 != orig_len {
+        return Err(CompressError::LengthMismatch {
+            declared: orig_len,
+            actual: out.len() as u64,
+        });
+    }
+    if crc32(&out) != stored_crc {
+        return Err(CompressError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8], level: CompressionLevel) {
+        let c = compress(data, level);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+            roundtrip(b"", level);
+            roundtrip(b"a", level);
+            roundtrip(b"abc", level);
+            roundtrip(b"abcd", level);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"TIMETRACKER entry: step=12345 branch=678 "
+            .iter()
+            .cycle()
+            .take(100_000)
+            .copied()
+            .collect();
+        let c = compress(&data, CompressionLevel::Default);
+        assert!(c.len() < data.len() / 10, "compressed {} of {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        for level in [CompressionLevel::Fast, CompressionLevel::Default] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn structured_loglike_data() {
+        // Synthetic log: repeated headers with increasing sequence numbers.
+        let mut data = Vec::new();
+        for i in 0u64..5000 {
+            data.extend_from_slice(b"ENTRY type=clockread seq=");
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(b" value=");
+            data.extend_from_slice(&(i * 7919).to_le_bytes());
+        }
+        let c = compress(&data, CompressionLevel::Default);
+        assert!(c.len() < data.len() / 3);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let data: Vec<u8> = b"hello world hello world hello world".repeat(100);
+        let mut c = compress(&data, CompressionLevel::Default);
+        // Flip a literal byte deep in the stream; the CRC must catch it even
+        // if the token structure remains decodable.
+        let idx = c.len() / 2;
+        c[idx] ^= 0x01;
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decompress(b"NOPE"), Err(CompressError::BadMagic));
+        assert_eq!(decompress(b""), Err(CompressError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = b"some compressible data some compressible data".to_vec();
+        let c = compress(&data, CompressionLevel::Default);
+        for cut in [5, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // Runs like "aaaaa..." force matches whose source overlaps the output
+        // being produced (distance < length).
+        let data = vec![b'a'; 10_000];
+        roundtrip(&data, CompressionLevel::Default);
+        let mut mixed = Vec::new();
+        for i in 0..1000u32 {
+            mixed.extend_from_slice(&[b'x'; 17]);
+            mixed.extend_from_slice(&i.to_le_bytes());
+        }
+        roundtrip(&mixed, CompressionLevel::Best);
+    }
+
+    #[test]
+    fn levels_trade_ratio() {
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| ((i / 3) % 251) as u8)
+            .collect();
+        let fast = compress(&data, CompressionLevel::Fast).len();
+        let best = compress(&data, CompressionLevel::Best).len();
+        assert!(best <= fast, "best={best} fast={fast}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Compression accounting used by the log-growth experiments (Figure 4).
+
+use crate::lz::{compress, CompressionLevel};
+
+/// Raw-vs-compressed accounting for a body of log data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionStats {
+    /// Uncompressed size in bytes.
+    pub raw_bytes: u64,
+    /// Compressed size in bytes.
+    pub compressed_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Compresses `data` at the given level and records both sizes.
+    pub fn measure(data: &[u8], level: CompressionLevel) -> CompressionStats {
+        CompressionStats {
+            raw_bytes: data.len() as u64,
+            compressed_bytes: compress(data, level).len() as u64,
+        }
+    }
+
+    /// Compression ratio (raw / compressed); 1.0 for empty input.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Fraction of the original size that remains after compression.
+    pub fn compressed_fraction(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+
+    /// Accumulates another measurement.
+    pub fn accumulate(&mut self, other: &CompressionStats) {
+        self.raw_bytes += other.raw_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_accumulates() {
+        let data = b"abcabcabcabcabcabcabcabc".repeat(50);
+        let s = CompressionStats::measure(&data, CompressionLevel::Default);
+        assert_eq!(s.raw_bytes, data.len() as u64);
+        assert!(s.compressed_bytes < s.raw_bytes);
+        assert!(s.ratio() > 1.0);
+        assert!(s.compressed_fraction() < 1.0);
+
+        let mut total = CompressionStats::default();
+        total.accumulate(&s);
+        total.accumulate(&s);
+        assert_eq!(total.raw_bytes, 2 * s.raw_bytes);
+    }
+
+    #[test]
+    fn empty_input_has_unit_ratio() {
+        let s = CompressionStats {
+            raw_bytes: 0,
+            compressed_bytes: 0,
+        };
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.compressed_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Errors and fault classifications for the AVMM.
+
+use avm_log::LogVerifyError;
+use avm_vm::VmError;
+
+/// Why an audit concluded that a machine is faulty.
+///
+/// A `FaultReason` is the auditor's conclusion; it is carried inside
+/// [`crate::audit::Evidence`] so a third party can re-derive it
+/// independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultReason {
+    /// The log segment failed syntactic verification (broken hash chain,
+    /// mismatched authenticator, bad signature, missing acknowledgment).
+    SyntacticFailure(String),
+    /// The log claims the machine ran a different VM image than the reference.
+    ImageMismatch {
+        /// Digest recorded in the log's META entry (hex).
+        recorded: String,
+        /// Digest of the auditor's reference image (hex).
+        reference: String,
+    },
+    /// Replay produced an output that is not in the log, or the log contains
+    /// an output the reference execution does not produce.
+    OutputDivergence {
+        /// Log sequence number at which the divergence was detected.
+        seq: u64,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A nondeterministic event could not be re-injected consistently
+    /// (wrong step position, wrong event type requested by the guest).
+    EventDivergence {
+        /// Log sequence number at which the divergence was detected.
+        seq: u64,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A snapshot hash recorded in the log does not match the replayed state.
+    SnapshotMismatch {
+        /// Log sequence number of the snapshot entry.
+        seq: u64,
+    },
+    /// An injected packet does not cross-reference a logged RECV message
+    /// (the machine forged or altered an incoming message, §4.4).
+    CrossReferenceFailure {
+        /// Log sequence number at which the check failed.
+        seq: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The log is malformed (undecodable entry content).
+    MalformedLog {
+        /// Log sequence number of the malformed entry.
+        seq: u64,
+    },
+    /// The machine failed to produce a log segment it committed to
+    /// (it is unresponsive or returned a corrupt segment).
+    MissingLog,
+    /// The replayed guest faulted (illegal instruction, memory error) where
+    /// the log claims a successful execution.
+    GuestFault {
+        /// Log sequence number being replayed when the guest faulted.
+        seq: u64,
+        /// The guest fault.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultReason::SyntacticFailure(d) => write!(f, "syntactic check failed: {d}"),
+            FaultReason::ImageMismatch { recorded, reference } => {
+                write!(f, "image mismatch: log records {recorded}, reference is {reference}")
+            }
+            FaultReason::OutputDivergence { seq, detail } => {
+                write!(f, "output divergence at seq {seq}: {detail}")
+            }
+            FaultReason::EventDivergence { seq, detail } => {
+                write!(f, "event divergence at seq {seq}: {detail}")
+            }
+            FaultReason::SnapshotMismatch { seq } => {
+                write!(f, "snapshot hash mismatch at seq {seq}")
+            }
+            FaultReason::CrossReferenceFailure { seq, detail } => {
+                write!(f, "message cross-reference failure at seq {seq}: {detail}")
+            }
+            FaultReason::MalformedLog { seq } => write!(f, "malformed log entry at seq {seq}"),
+            FaultReason::MissingLog => write!(f, "machine did not produce a committed log segment"),
+            FaultReason::GuestFault { seq, detail } => {
+                write!(f, "guest fault during replay at seq {seq}: {detail}")
+            }
+        }
+    }
+}
+
+/// Errors from AVMM operations (distinct from *faults*, which are verdicts
+/// about the audited machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying virtual machine error.
+    Vm(VmError),
+    /// An incoming message failed signature verification and was rejected.
+    BadMessageSignature,
+    /// An acknowledgment did not match any outstanding message.
+    UnknownAck,
+    /// The log segment failed verification.
+    LogVerify(LogVerifyError),
+    /// A snapshot could not be materialized or restored.
+    Snapshot(String),
+    /// The recorder was asked to do something inconsistent with its
+    /// configuration (e.g. snapshots while recording is disabled).
+    InvalidConfiguration(String),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Vm(e) => write!(f, "vm error: {e}"),
+            CoreError::BadMessageSignature => write!(f, "incoming message signature invalid"),
+            CoreError::UnknownAck => write!(f, "acknowledgment does not match an outstanding message"),
+            CoreError::LogVerify(e) => write!(f, "log verification failed: {e}"),
+            CoreError::Snapshot(d) => write!(f, "snapshot error: {d}"),
+            CoreError::InvalidConfiguration(d) => write!(f, "invalid configuration: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<VmError> for CoreError {
+    fn from(e: VmError) -> Self {
+        CoreError::Vm(e)
+    }
+}
+
+impl From<LogVerifyError> for CoreError {
+    fn from(e: LogVerifyError) -> Self {
+        CoreError::LogVerify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let f = FaultReason::OutputDivergence {
+            seq: 12,
+            detail: "payload mismatch".into(),
+        };
+        assert!(f.to_string().contains("seq 12"));
+        assert!(FaultReason::MissingLog.to_string().contains("log"));
+        let e = CoreError::Vm(VmError::Halted);
+        assert!(e.to_string().contains("halted"));
+        let e2: CoreError = LogVerifyError::EmptySegment.into();
+        assert!(matches!(e2, CoreError::LogVerify(_)));
+    }
+}

@@ -1,0 +1,62 @@
+//! The accountable virtual machine monitor (AVMM).
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Haeberlen, Aditya, Rodrigues, Druschel: *Accountable Virtual Machines*,
+//! OSDI 2010): a virtual machine monitor that
+//!
+//! 1. executes a guest inside a deterministic virtual machine (`avm-vm`),
+//! 2. records every nondeterministic input, stamped with its position in the
+//!    instruction stream, in a tamper-evident log (`avm-log`),
+//! 3. signs every outgoing network message and attaches an authenticator — a
+//!    signed commitment to the log prefix — so the log cannot later be
+//!    rewritten, and
+//! 4. lets any auditor with a reference copy of the VM image verify the log
+//!    *syntactically* (hash chain + authenticators + acknowledgments) and
+//!    *semantically* (deterministic replay), producing transferable evidence
+//!    when the two disagree.
+//!
+//! Module map:
+//!
+//! * [`config`] — the five measurement configurations of the paper's
+//!   evaluation (bare-hw … avmm-rsa768) and the AVMM options.
+//! * [`events`] — the content formats of log entries (clock reads, packet
+//!   injections, send/receive records, snapshot records).
+//! * [`envelope`] — the signed, authenticated wire format exchanged between
+//!   machines.
+//! * [`recorder`] — the recording AVMM ([`recorder::Avmm`]).
+//! * [`snapshot`] — incremental snapshots with Merkle roots.
+//! * [`replay`] — the deterministic replayer (semantic check).
+//! * [`audit`] — the audit tool combining the syntactic and semantic checks,
+//!   and the evidence objects third parties can verify.
+//! * [`spotcheck`] — partial audits of `k`-chunks between snapshots (§3.5,
+//!   §6.12).
+//! * [`online`] — online (concurrent-with-execution) auditing (§6.11).
+//! * [`multiparty`] — authenticator collection, the challenge protocol and
+//!   evidence distribution for multi-party scenarios (§4.6).
+//! * [`runtime`] — a host runtime tying AVMM nodes to the simulated network,
+//!   with acknowledgment handling and retransmission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod config;
+pub mod envelope;
+pub mod error;
+pub mod events;
+pub mod multiparty;
+pub mod online;
+pub mod recorder;
+pub mod replay;
+pub mod runtime;
+pub mod snapshot;
+pub mod spotcheck;
+
+pub use audit::{audit_log, AuditOutcome, AuditReport, Evidence};
+pub use config::{AvmmOptions, ExecConfig};
+pub use envelope::{Envelope, EnvelopeKind};
+pub use error::{CoreError, FaultReason};
+pub use events::{NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
+pub use recorder::{Avmm, HostClock, OutboundMessage};
+pub use replay::{Replayer, ReplayOutcome};
+pub use snapshot::{Snapshot, SnapshotStore};

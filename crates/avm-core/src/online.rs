@@ -1,0 +1,294 @@
+//! Online auditing: replaying another machine's log while the execution is
+//! still in progress (paper §6.11).
+//!
+//! An [`OnlineAuditor`] holds a replayer and consumes log entries
+//! incrementally as they stream in.  Because replay is slightly slower than
+//! the original execution, the auditor can fall behind; the lag (in log
+//! entries and machine steps) is exposed so the runtime can, as the paper
+//! suggests, throttle the original execution a few percent to let auditors
+//! keep up.
+
+use avm_log::LogEntry;
+use avm_vm::{GuestRegistry, VmImage};
+
+use crate::error::{CoreError, FaultReason};
+use crate::replay::Replayer;
+
+/// State of an online audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineStatus {
+    /// All entries received so far replayed consistently.
+    Consistent,
+    /// A fault has been detected; the audit is over.
+    Faulty(FaultReason),
+}
+
+/// An incremental auditor for one remote machine.
+pub struct OnlineAuditor {
+    machine_name: String,
+    replayer: Replayer,
+    status: OnlineStatus,
+    entries_received: u64,
+    entries_replayed: u64,
+    steps_replayed_total: u64,
+    budget_backlog: Vec<LogEntry>,
+}
+
+impl OnlineAuditor {
+    /// Creates an online auditor for `machine_name`, replaying against the
+    /// given reference image.
+    pub fn new(
+        machine_name: &str,
+        reference: &VmImage,
+        registry: &GuestRegistry,
+    ) -> Result<OnlineAuditor, CoreError> {
+        Ok(OnlineAuditor {
+            machine_name: machine_name.to_string(),
+            replayer: Replayer::from_image(reference, registry)?,
+            status: OnlineStatus::Consistent,
+            entries_received: 0,
+            entries_replayed: 0,
+            steps_replayed_total: 0,
+            budget_backlog: Vec::new(),
+        })
+    }
+
+    /// Name of the audited machine.
+    pub fn machine_name(&self) -> &str {
+        &self.machine_name
+    }
+
+    /// Current status.
+    pub fn status(&self) -> &OnlineStatus {
+        &self.status
+    }
+
+    /// True once a fault has been found.
+    pub fn is_faulty(&self) -> bool {
+        matches!(self.status, OnlineStatus::Faulty(_))
+    }
+
+    /// Entries received but not yet replayed (the auditor's lag).
+    pub fn lag_entries(&self) -> u64 {
+        self.entries_received - self.entries_replayed
+    }
+
+    /// Total entries received so far.
+    pub fn entries_received(&self) -> u64 {
+        self.entries_received
+    }
+
+    /// Total entries replayed so far.
+    pub fn entries_replayed(&self) -> u64 {
+        self.entries_replayed
+    }
+
+    /// Total machine steps replayed so far (proxy for auditing CPU cost).
+    pub fn steps_replayed(&self) -> u64 {
+        self.steps_replayed_total
+    }
+
+    /// Feeds newly produced log entries into the auditor's backlog.
+    pub fn feed(&mut self, entries: &[LogEntry]) {
+        if self.is_faulty() {
+            return;
+        }
+        self.entries_received += entries.len() as u64;
+        self.budget_backlog.extend_from_slice(entries);
+    }
+
+    /// Replays up to `max_entries` entries from the backlog, returning how
+    /// many were processed.  A fault stops the audit immediately.
+    pub fn process(&mut self, max_entries: u64) -> u64 {
+        if self.is_faulty() {
+            return 0;
+        }
+        let n = (max_entries as usize).min(self.budget_backlog.len());
+        let before_steps = self.replayer.machine().step_count();
+        for entry in self.budget_backlog.drain(..n).collect::<Vec<_>>() {
+            self.entries_replayed += 1;
+            if let Err(fault) = self.replayer.replay_entry(&entry) {
+                self.status = OnlineStatus::Faulty(fault);
+                break;
+            }
+        }
+        self.steps_replayed_total += self.replayer.machine().step_count() - before_steps;
+        n as u64
+    }
+
+    /// Drains the entire backlog (used at the end of a session).
+    pub fn finish(&mut self) -> &OnlineStatus {
+        while !self.budget_backlog.is_empty() && !self.is_faulty() {
+            self.process(u64::MAX);
+        }
+        &self.status
+    }
+}
+
+impl core::fmt::Debug for OnlineAuditor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OnlineAuditor")
+            .field("machine", &self.machine_name)
+            .field("received", &self.entries_received)
+            .field("replayed", &self.entries_replayed)
+            .field("faulty", &self.is_faulty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AvmmOptions;
+    use crate::envelope::{Envelope, EnvelopeKind};
+    use crate::recorder::{Avmm, HostClock};
+    use avm_crypto::keys::{SignatureScheme, SigningKey};
+    use avm_log::EntryKind;
+    use avm_vm::bytecode::assemble;
+    use avm_vm::packet::encode_guest_packet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SigningKey::generate(&mut rng, SignatureScheme::Rsa(512))
+    }
+
+    fn echo_image() -> VmImage {
+        let src = r"
+                movi r1, 0x8000
+                movi r2, 512
+            loop:
+                clock r4
+                recv r0, r1, r2
+                cmp r0, r6
+                jne got
+                idle
+                jmp loop
+            got:
+                send r1, r0
+                jmp loop
+            ";
+        VmImage::bytecode("echo", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
+    }
+
+    #[test]
+    fn online_audit_keeps_up_with_honest_execution() {
+        let image = echo_image();
+        let alice_key = key(2);
+        let mut bob = Avmm::new(
+            "bob",
+            &image,
+            &GuestRegistry::new(),
+            key(1),
+            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+        )
+        .unwrap();
+        bob.add_peer("alice", alice_key.verifying_key());
+        let mut auditor = OnlineAuditor::new("bob", &image, &GuestRegistry::new()).unwrap();
+
+        let mut clock = HostClock::at(5);
+        let mut fed = 0usize;
+        for round in 0..5u64 {
+            clock.advance_to(clock.now() + 700);
+            let payload = encode_guest_packet("alice", format!("r{round}").as_bytes());
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "alice",
+                "bob",
+                round + 1,
+                payload,
+                &alice_key,
+                None,
+            );
+            bob.deliver(&env).unwrap();
+            bob.run_slice(&clock, 50_000).unwrap();
+            // Stream the newly produced entries to the auditor.
+            let entries = bob.log().entries();
+            auditor.feed(&entries[fed..]);
+            fed = entries.len();
+            auditor.process(3); // limited budget per round: lag accumulates
+        }
+        assert!(!auditor.is_faulty());
+        assert!(auditor.lag_entries() > 0, "expected the auditor to lag behind");
+        auditor.finish();
+        assert_eq!(auditor.lag_entries(), 0);
+        assert_eq!(*auditor.status(), OnlineStatus::Consistent);
+        assert_eq!(auditor.entries_received(), bob.log().len() as u64);
+        assert_eq!(auditor.entries_replayed(), bob.log().len() as u64);
+        assert!(auditor.steps_replayed() > 0);
+    }
+
+    #[test]
+    fn online_audit_detects_cheat_mid_session() {
+        let image = echo_image();
+        let alice_key = key(2);
+        let mut bob = Avmm::new(
+            "bob",
+            &image,
+            &GuestRegistry::new(),
+            key(1),
+            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+        )
+        .unwrap();
+        bob.add_peer("alice", alice_key.verifying_key());
+        let mut auditor = OnlineAuditor::new("bob", &image, &GuestRegistry::new()).unwrap();
+
+        let clock = HostClock::at(5);
+        bob.run_slice(&clock, 10_000).unwrap();
+        let payload = encode_guest_packet("alice", b"legit");
+        let env = Envelope::create(EnvelopeKind::Data, "alice", "bob", 1, payload, &alice_key, None);
+        bob.deliver(&env).unwrap();
+        bob.run_slice(&clock, 50_000).unwrap();
+
+        // Mid-game, Bob tampers with his guest's code (an in-memory cheat in
+        // the spirit of unlimited ammunition): the patched `send` instruction
+        // now transmits r2 (= 512) bytes instead of the received length.
+        bob.machine_mut().memory_mut().write_u8(50, 2).unwrap();
+        let payload2 = encode_guest_packet("alice", b"after-cheat");
+        let env2 = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            2,
+            payload2,
+            &alice_key,
+            None,
+        );
+        bob.deliver(&env2).unwrap();
+        bob.run_slice(&clock, 50_000).unwrap();
+
+        // Stream everything; the auditor must flag a fault.
+        let entries: Vec<_> = bob.log().entries().to_vec();
+        auditor.feed(&entries);
+        auditor.finish();
+        assert!(auditor.is_faulty());
+        // Feeding and processing after a fault is a no-op.
+        let before = auditor.entries_received();
+        auditor.feed(&entries);
+        assert_eq!(auditor.entries_received(), before);
+        assert_eq!(auditor.process(10), 0);
+    }
+
+    #[test]
+    fn lag_accounting() {
+        let image = echo_image();
+        let mut auditor = OnlineAuditor::new("bob", &image, &GuestRegistry::new()).unwrap();
+        // Fabricate a small honest log to feed gradually.
+        let bob = Avmm::new(
+            "bob",
+            &image,
+            &GuestRegistry::new(),
+            key(1),
+            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+        )
+        .unwrap();
+        let meta_entry = bob.log().entries()[0].clone();
+        assert_eq!(meta_entry.kind, EntryKind::Meta);
+        auditor.feed(&[meta_entry]);
+        assert_eq!(auditor.lag_entries(), 1);
+        assert_eq!(auditor.process(10), 1);
+        assert_eq!(auditor.lag_entries(), 0);
+        assert_eq!(format!("{auditor:?}").contains("bob"), true);
+    }
+}

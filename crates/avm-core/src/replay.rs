@@ -1,0 +1,738 @@
+//! Deterministic replay — the semantic half of an audit.
+//!
+//! The replayer "locally instantiates a virtual machine that implements
+//! `M_R`, initializes the machine with the snapshot, if any, or `S`," then
+//! "reads `L_ij` from beginning to end, replaying the inputs, checking the
+//! outputs against the outputs in `L_ij`, and verifying any snapshot hashes"
+//! (paper §4.5).  Any discrepancy whatsoever — an output that is not in the
+//! log, an input requested in a different order or at a different position,
+//! a snapshot hash that does not match — terminates replay and is reported
+//! as a fault.
+
+use std::collections::HashMap;
+
+use avm_crypto::sha256::Digest;
+use avm_log::{EntryKind, LogEntry};
+use avm_vm::{GuestRegistry, Machine, StopCondition, VmExit, VmImage};
+use avm_wire::Decode;
+
+use crate::error::{CoreError, FaultReason};
+use crate::events::{MetaRecord, NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
+use crate::snapshot::{compute_state_root, SnapshotStore};
+
+/// Result of replaying a log segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The log is consistent with a correct execution of the reference image.
+    Consistent(ReplaySummary),
+    /// The log is *not* consistent: the machine is faulty.
+    Fault(FaultReason),
+}
+
+impl ReplayOutcome {
+    /// True if replay succeeded.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ReplayOutcome::Consistent(_))
+    }
+
+    /// The fault, if any.
+    pub fn fault(&self) -> Option<&FaultReason> {
+        match self {
+            ReplayOutcome::Fault(f) => Some(f),
+            ReplayOutcome::Consistent(_) => None,
+        }
+    }
+}
+
+/// Statistics about a successful replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplaySummary {
+    /// Number of log entries processed.
+    pub entries_replayed: u64,
+    /// Machine steps executed during replay.
+    pub steps_executed: u64,
+    /// Outgoing messages re-produced and matched against the log.
+    pub outputs_matched: u64,
+    /// Nondeterministic inputs re-injected.
+    pub inputs_reinjected: u64,
+    /// Snapshot roots verified.
+    pub snapshots_verified: u64,
+    /// Digest of the final machine state.
+    pub final_state: Option<Digest>,
+}
+
+/// The deterministic replayer.
+pub struct Replayer {
+    machine: Machine,
+    reference_digest: Digest,
+    /// RECV entries seen so far, keyed by sequence number, for
+    /// cross-referencing packet injections (paper §4.4).
+    pending_recvs: HashMap<u64, RecvRecord>,
+    summary: ReplaySummary,
+    start_step: u64,
+    /// True when a clock value has been provided but the guest has not yet
+    /// been resumed to consume it (the recorder always resumes immediately;
+    /// replay mirrors that lazily, see `drain_pending_clock`).
+    pending_clock_response: bool,
+}
+
+impl Replayer {
+    /// Creates a replayer starting from the reference image's initial state.
+    pub fn from_image(image: &VmImage, registry: &GuestRegistry) -> Result<Replayer, CoreError> {
+        let machine = Machine::from_image(image, registry)?;
+        Ok(Self::with_machine(machine, image.digest()))
+    }
+
+    /// Creates a replayer starting from a materialized snapshot (spot checks).
+    pub fn from_snapshot(
+        image: &VmImage,
+        registry: &GuestRegistry,
+        snapshots: &SnapshotStore,
+        snapshot_id: u64,
+    ) -> Result<Replayer, CoreError> {
+        let machine = snapshots.materialize(snapshot_id, image, registry)?;
+        Ok(Self::with_machine(machine, image.digest()))
+    }
+
+    fn with_machine(machine: Machine, reference_digest: Digest) -> Replayer {
+        let start_step = machine.step_count();
+        Replayer {
+            machine,
+            reference_digest,
+            pending_recvs: HashMap::new(),
+            summary: ReplaySummary::default(),
+            start_step,
+            pending_clock_response: false,
+        }
+    }
+
+    /// The machine being replayed (for inspection after replay).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Replays a complete segment of log entries.
+    pub fn replay(&mut self, entries: &[LogEntry]) -> ReplayOutcome {
+        for entry in entries {
+            match self.replay_entry(entry) {
+                Ok(()) => {}
+                Err(fault) => return ReplayOutcome::Fault(fault),
+            }
+        }
+        self.summary.steps_executed = self.machine.step_count() - self.start_step;
+        self.summary.final_state = Some(self.machine.state_digest());
+        ReplayOutcome::Consistent(self.summary.clone())
+    }
+
+    /// Replays a single log entry (exposed for online/incremental auditing).
+    pub fn replay_entry(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        self.summary.entries_replayed += 1;
+        match entry.kind {
+            EntryKind::Meta => self.replay_meta(entry),
+            EntryKind::Recv => self.replay_recv(entry),
+            EntryKind::Ack => Ok(()), // checked by the syntactic phase
+            EntryKind::Send => self.replay_send(entry),
+            EntryKind::NdEvent => self.replay_nd(entry),
+            EntryKind::Snapshot => self.replay_snapshot(entry),
+        }
+    }
+
+    fn replay_meta(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        let meta = MetaRecord::decode_exact(&entry.content)
+            .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
+        if meta.image_digest != self.reference_digest {
+            return Err(FaultReason::ImageMismatch {
+                recorded: meta.image_digest.short_hex(),
+                reference: self.reference_digest.short_hex(),
+            });
+        }
+        Ok(())
+    }
+
+    fn replay_recv(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        let rec = RecvRecord::decode_exact(&entry.content)
+            .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
+        self.pending_recvs.insert(entry.seq, rec);
+        Ok(())
+    }
+
+    fn replay_send(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        let rec = SendRecord::decode_exact(&entry.content)
+            .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
+        // The reference execution must produce the same packet at the same
+        // instruction-stream position.  The recorded step bounds the search
+        // (plus one, so the emitting instruction itself can execute), so
+        // replay terminates even if the reference execution idles forever.
+        let exit = self.run_until_interesting(entry.seq, Some(rec.step + 1))?;
+        match exit {
+            VmExit::NetTx(payload) => {
+                if self.machine.step_count() != rec.step {
+                    return Err(FaultReason::OutputDivergence {
+                        seq: entry.seq,
+                        detail: format!(
+                            "output produced at step {} but log records step {}",
+                            self.machine.step_count(),
+                            rec.step
+                        ),
+                    });
+                }
+                if payload != rec.payload {
+                    return Err(FaultReason::OutputDivergence {
+                        seq: entry.seq,
+                        detail: format!(
+                            "payload mismatch: replay produced {} bytes, log records {} bytes",
+                            payload.len(),
+                            rec.payload.len()
+                        ),
+                    });
+                }
+                self.summary.outputs_matched += 1;
+                Ok(())
+            }
+            other => Err(FaultReason::OutputDivergence {
+                seq: entry.seq,
+                detail: format!(
+                    "log records an outgoing message but the reference execution produced '{}'",
+                    other.label()
+                ),
+            }),
+        }
+    }
+
+    fn replay_nd(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        let rec = NdEventRecord::decode_exact(&entry.content)
+            .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
+        match rec.detail {
+            NdDetail::ClockRead { value } => {
+                // The clock-read pause does not consume a step, so allow the
+                // bound to pass the recorded position by one instruction.
+                let exit = self.run_until_interesting(entry.seq, Some(rec.step + 1))?;
+                if exit != VmExit::ClockRead {
+                    return Err(FaultReason::EventDivergence {
+                        seq: entry.seq,
+                        detail: format!(
+                            "log records a clock read but the reference execution produced '{}'",
+                            exit.label()
+                        ),
+                    });
+                }
+                if self.machine.step_count() != rec.step {
+                    return Err(FaultReason::EventDivergence {
+                        seq: entry.seq,
+                        detail: format!(
+                            "clock read at step {} but log records step {}",
+                            self.machine.step_count(),
+                            rec.step
+                        ),
+                    });
+                }
+                self.machine
+                    .provide_clock(value)
+                    .map_err(|e| FaultReason::GuestFault {
+                        seq: entry.seq,
+                        detail: e.to_string(),
+                    })?;
+                self.pending_clock_response = true;
+                self.summary.inputs_reinjected += 1;
+                Ok(())
+            }
+            NdDetail::PacketInjected {
+                recv_seq,
+                payload_hash,
+            } => {
+                let rec_recv = self.pending_recvs.get(&recv_seq).cloned().ok_or(
+                    FaultReason::CrossReferenceFailure {
+                        seq: entry.seq,
+                        detail: format!("injection references unknown RECV entry {recv_seq}"),
+                    },
+                )?;
+                if rec_recv.payload_hash() != payload_hash {
+                    return Err(FaultReason::CrossReferenceFailure {
+                        seq: entry.seq,
+                        detail: "injected payload does not match the logged RECV message".into(),
+                    });
+                }
+                self.run_to_step(entry.seq, rec.step)?;
+                self.machine.inject_packet(rec_recv.payload.clone());
+                self.summary.inputs_reinjected += 1;
+                Ok(())
+            }
+            NdDetail::InputInjected { event } => {
+                self.run_to_step(entry.seq, rec.step)?;
+                self.machine.inject_input(event);
+                self.summary.inputs_reinjected += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn replay_snapshot(&mut self, entry: &LogEntry) -> Result<(), FaultReason> {
+        let rec = SnapshotRecord::decode_exact(&entry.content)
+            .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
+        self.run_to_step(entry.seq, rec.step)?;
+        let root = compute_state_root(&self.machine);
+        if root != rec.state_root {
+            return Err(FaultReason::SnapshotMismatch { seq: entry.seq });
+        }
+        // The recorder clears dirty tracking when it snapshots; mirror that
+        // so later incremental captures stay comparable.
+        self.machine.memory_mut().clear_dirty();
+        self.machine.devices_mut().disk.clear_dirty();
+        self.summary.snapshots_verified += 1;
+        Ok(())
+    }
+
+    /// Runs the machine until it produces an "interesting" exit: an output,
+    /// a clock request, a halt or the step bound.  Idle exits are transparent
+    /// (the recorder resumed idle guests too); console output is not part of
+    /// the fault model and is skipped.  A guest that idles without making any
+    /// step progress is reported as divergent rather than spinning forever.
+    fn run_until_interesting(
+        &mut self,
+        seq: u64,
+        step_bound: Option<u64>,
+    ) -> Result<VmExit, FaultReason> {
+        // A guest already paused on a clock read (e.g. left there by
+        // `drain_pending_clock`) is itself the interesting event.
+        if self.machine.is_waiting_clock() {
+            return Ok(VmExit::ClockRead);
+        }
+        // Running the machine lets the guest consume any provided clock value.
+        self.pending_clock_response = false;
+        let mut last_idle_step: Option<u64> = None;
+        loop {
+            let stop = match step_bound {
+                Some(s) => StopCondition::AtStep(s),
+                None => StopCondition::Unbounded,
+            };
+            let exit = self
+                .machine
+                .run(stop)
+                .map_err(|e| FaultReason::GuestFault {
+                    seq,
+                    detail: e.to_string(),
+                })?;
+            match exit {
+                VmExit::Idle => {
+                    let step = self.machine.step_count();
+                    if last_idle_step == Some(step) {
+                        return Err(FaultReason::EventDivergence {
+                            seq,
+                            detail: format!(
+                                "reference execution is idle at step {step} waiting for input the log does not provide"
+                            ),
+                        });
+                    }
+                    last_idle_step = Some(step);
+                    continue;
+                }
+                VmExit::ConsoleOut(_) => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Resumes the guest after a provided-but-unconsumed clock value, exactly
+    /// as the recorder did: the recorder's run loop always continues after
+    /// answering a clock read, so by the time it injects the next input the
+    /// guest has consumed the value and gone idle.  Any output produced here
+    /// would have appeared in the log before the current entry, so producing
+    /// one now is a divergence.
+    fn drain_pending_clock(&mut self, seq: u64, upto_step: u64) -> Result<(), FaultReason> {
+        if !self.pending_clock_response {
+            return Ok(());
+        }
+        self.pending_clock_response = false;
+        let _ = upto_step;
+        loop {
+            // Unbounded: the guest must be resumed at least once so it can
+            // consume the value, exactly as the recorder's run loop did.  It
+            // stops at its next pause (idle or a further clock read).
+            let exit = self
+                .machine
+                .run(StopCondition::Unbounded)
+                .map_err(|e| FaultReason::GuestFault {
+                    seq,
+                    detail: e.to_string(),
+                })?;
+            match exit {
+                VmExit::Idle | VmExit::StepLimit | VmExit::Halted | VmExit::ClockRead => {
+                    return Ok(())
+                }
+                VmExit::ConsoleOut(_) => continue,
+                other => {
+                    return Err(FaultReason::EventDivergence {
+                        seq,
+                        detail: format!(
+                            "unexpected '{}' while resuming the guest after a clock read",
+                            other.label()
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Runs the machine until its step counter reaches exactly `step`.
+    ///
+    /// Encountering an output or a clock request on the way means the
+    /// reference execution diverges from the log (those events would have
+    /// been logged before this point).
+    fn run_to_step(&mut self, seq: u64, step: u64) -> Result<(), FaultReason> {
+        self.drain_pending_clock(seq, step)?;
+        if self.machine.step_count() > step {
+            return Err(FaultReason::EventDivergence {
+                seq,
+                detail: format!(
+                    "log positions an event at step {step} but replay is already at step {}",
+                    self.machine.step_count()
+                ),
+            });
+        }
+        if self.machine.step_count() == step {
+            return Ok(());
+        }
+        let exit = self.run_until_interesting(seq, Some(step))?;
+        match exit {
+            VmExit::StepLimit if self.machine.step_count() == step => Ok(()),
+            VmExit::Halted => Err(FaultReason::EventDivergence {
+                seq,
+                detail: format!(
+                    "reference execution halted at step {} before reaching step {step}",
+                    self.machine.step_count()
+                ),
+            }),
+            other => Err(FaultReason::EventDivergence {
+                seq,
+                detail: format!(
+                    "unexpected '{}' at step {} while positioning an event at step {step}",
+                    other.label(),
+                    self.machine.step_count()
+                ),
+            }),
+        }
+    }
+}
+
+impl core::fmt::Debug for Replayer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Replayer")
+            .field("step_count", &self.machine.step_count())
+            .field("entries_replayed", &self.summary.entries_replayed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avm_wire::Encode;
+    use crate::config::AvmmOptions;
+    use crate::envelope::{Envelope, EnvelopeKind};
+    use crate::recorder::{Avmm, HostClock};
+    use avm_crypto::keys::{SignatureScheme, SigningKey};
+    use avm_vm::bytecode::assemble;
+    use avm_vm::packet::encode_guest_packet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SigningKey::generate(&mut rng, SignatureScheme::Rsa(512))
+    }
+
+    fn opts() -> AvmmOptions {
+        AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512))
+    }
+
+    /// Guest: every received packet is echoed back; reads the clock each loop.
+    fn echo_image() -> VmImage {
+        let src = r"
+                movi r1, 0x8000
+                movi r2, 512
+            loop:
+                clock r4
+                recv r0, r1, r2
+                cmp r0, r6
+                jne got
+                idle
+                jmp loop
+            got:
+                send r1, r0
+                jmp loop
+            ";
+        let code = assemble(src, 0).unwrap();
+        VmImage::bytecode("echo", 128 * 1024, code, 0, 0)
+    }
+
+    /// Records a short interaction and returns the AVMM.
+    fn record_session(image: &VmImage) -> (Avmm, SigningKey) {
+        let alice_key = key(2);
+        let mut bob = Avmm::new("bob", image, &GuestRegistry::new(), key(1), opts()).unwrap();
+        bob.add_peer("alice", alice_key.verifying_key());
+        let mut clock = HostClock::at(100);
+        bob.run_slice(&clock, 10_000).unwrap();
+        for i in 0..3u8 {
+            clock.advance_to(clock.now() + 1_000);
+            let payload = encode_guest_packet("alice", &[b'm', i]);
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "alice",
+                "bob",
+                i as u64 + 1,
+                payload,
+                &alice_key,
+                None,
+            );
+            bob.deliver(&env).unwrap();
+            bob.run_slice(&clock, 50_000).unwrap();
+        }
+        bob.take_snapshot();
+        clock.advance_to(clock.now() + 1_000);
+        bob.run_slice(&clock, 10_000).unwrap();
+        (bob, alice_key)
+    }
+
+    #[test]
+    fn honest_execution_replays_consistently() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(bob.log().entries());
+        let ReplayOutcome::Consistent(summary) = outcome else {
+            panic!("expected consistent replay, got {outcome:?}");
+        };
+        assert_eq!(summary.entries_replayed, bob.log().len() as u64);
+        assert_eq!(summary.outputs_matched, 3);
+        assert!(summary.inputs_reinjected >= 6); // 3 packets + clock reads
+        assert_eq!(summary.snapshots_verified, 1);
+        // The snapshot check above already ties the replayed state to the
+        // recorded state; the recorder's machine has since run slightly past
+        // the last logged event, so the final digests need not be equal.
+        assert!(summary.final_state.is_some());
+    }
+
+    #[test]
+    fn wrong_reference_image_detected() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        // The auditor's reference differs (e.g. a different game version).
+        let other_src = "halt";
+        let other = VmImage::bytecode(
+            "other",
+            128 * 1024,
+            assemble(other_src, 0).unwrap(),
+            0,
+            0,
+        );
+        let mut replayer = Replayer::from_image(&other, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(bob.log().entries());
+        assert!(matches!(
+            outcome.fault(),
+            Some(FaultReason::ImageMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cheating_guest_image_detected_by_divergence() {
+        // Bob *claims* to run the echo image (his log says so), but actually
+        // runs a modified guest that appends a byte to every echoed packet —
+        // the moral equivalent of an installed cheat.
+        let honest_image = echo_image();
+        let cheat_src = r"
+                movi r1, 0x8000
+                movi r2, 512
+            loop:
+                clock r4
+                recv r0, r1, r2
+                cmp r0, r6
+                jne got
+                idle
+                jmp loop
+            got:
+                addi r0, 1        ; lie about the packet length
+                send r1, r0
+                jmp loop
+            ";
+        let cheat_image = VmImage::bytecode(
+            "echo", // same name, same memory size — only the code differs
+            128 * 1024,
+            assemble(cheat_src, 0).unwrap(),
+            0,
+            0,
+        );
+        let alice_key = key(2);
+        let mut bob = Avmm::new("bob", &cheat_image, &GuestRegistry::new(), key(1), opts()).unwrap();
+        bob.add_peer("alice", alice_key.verifying_key());
+        let clock = HostClock::at(50);
+        bob.run_slice(&clock, 10_000).unwrap();
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            1,
+            encode_guest_packet("alice", b"shoot"),
+            &alice_key,
+            None,
+        );
+        bob.deliver(&env).unwrap();
+        bob.run_slice(&clock, 50_000).unwrap();
+
+        // Forge the META entry aside: the honest auditor replays with the
+        // *agreed-upon* image.  The cheat image has a different digest, so we
+        // rebuild a log that claims the honest image (what a cheater would
+        // do) by replaying all non-meta entries against the honest reference.
+        let entries: Vec<LogEntry> = bob
+            .log()
+            .entries()
+            .iter()
+            .filter(|e| e.kind != EntryKind::Meta)
+            .cloned()
+            .collect();
+        let mut replayer = Replayer::from_image(&honest_image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(&entries);
+        assert!(
+            matches!(
+                outcome.fault(),
+                Some(FaultReason::OutputDivergence { .. }) | Some(FaultReason::EventDivergence { .. })
+            ),
+            "expected divergence, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_send_payload_detected() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let entries = bob.log().entries().to_vec();
+        // Bob rewrites an outgoing packet in his log (say, to hide what he
+        // actually sent).  Rebuild the chain so the syntactic check would
+        // pass; replay must still catch it.
+        let idx = entries.iter().position(|e| e.kind == EntryKind::Send).unwrap();
+        let mut rec = SendRecord::decode_exact(&entries[idx].content).unwrap();
+        rec.payload[2] ^= 0xff;
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for (i, e) in entries.iter().enumerate() {
+            let content = if i == idx {
+                rec.encode_to_vec()
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(rebuilt.entries());
+        assert!(matches!(
+            outcome.fault(),
+            Some(FaultReason::OutputDivergence { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_injection_detected_by_cross_reference() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let entries = bob.log().entries().to_vec();
+        // Change an injection event so it references the right RECV entry but
+        // a different payload hash (i.e. the AVMM injected something other
+        // than what was received).
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for e in &entries {
+            let content = if e.kind == EntryKind::NdEvent {
+                let mut rec = NdEventRecord::decode_exact(&e.content).unwrap();
+                if let NdDetail::PacketInjected { recv_seq, .. } = rec.detail {
+                    rec.detail = NdDetail::PacketInjected {
+                        recv_seq,
+                        payload_hash: avm_crypto::sha256(b"forged"),
+                    };
+                }
+                rec.encode_to_vec()
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(rebuilt.entries());
+        assert!(matches!(
+            outcome.fault(),
+            Some(FaultReason::CrossReferenceFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_mismatch_detected() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for e in bob.log().entries() {
+            let content = if e.kind == EntryKind::Snapshot {
+                let mut rec = SnapshotRecord::decode_exact(&e.content).unwrap();
+                rec.state_root = avm_crypto::sha256(b"wrong state");
+                rec.encode_to_vec()
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(rebuilt.entries());
+        assert!(matches!(
+            outcome.fault(),
+            Some(FaultReason::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_message_detected() {
+        // Bob receives a message but omits the RECV/injection from his log:
+        // the echo output he later sent has no explanation and replay fails.
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let filtered: Vec<LogEntry> = bob
+            .log()
+            .entries()
+            .iter()
+            .filter(|e| {
+                if e.kind == EntryKind::Recv && e.seq > 3 {
+                    return false;
+                }
+                if e.kind == EntryKind::NdEvent {
+                    if let Ok(rec) = NdEventRecord::decode_exact(&e.content) {
+                        if matches!(rec.detail, NdDetail::PacketInjected { recv_seq, .. } if recv_seq > 3)
+                        {
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+            .cloned()
+            .collect();
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for e in &filtered {
+            rebuilt.append(e.kind, e.content.clone());
+        }
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(rebuilt.entries());
+        assert!(outcome.fault().is_some(), "expected a fault, got {outcome:?}");
+    }
+
+    #[test]
+    fn replay_from_snapshot_spot_checks_a_suffix() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        // Find the snapshot entry and replay only what follows it.
+        let snap_entry_idx = bob
+            .log()
+            .entries()
+            .iter()
+            .position(|e| e.kind == EntryKind::Snapshot)
+            .unwrap();
+        let suffix: Vec<LogEntry> = bob.log().entries()[snap_entry_idx + 1..].to_vec();
+        let mut replayer =
+            Replayer::from_snapshot(&image, &GuestRegistry::new(), bob.snapshots(), 0).unwrap();
+        let outcome = replayer.replay(&suffix);
+        assert!(outcome.is_consistent(), "{outcome:?}");
+    }
+}

@@ -1,0 +1,763 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! This is the numeric substrate for the RSA signatures used by the
+//! tamper-evident log.  The representation is a little-endian vector of
+//! 32-bit limbs with no leading zero limbs (the canonical form of zero is an
+//! empty limb vector).  All operations are implemented from scratch; the
+//! division routine uses simple shift-and-subtract long division, which is
+//! more than fast enough for the 768–2048-bit moduli the AVM experiments use.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+/// Arbitrary-precision unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    /// Little-endian 32-bit limbs with no trailing (most-significant) zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs a value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Constructs a value from big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut chunk_iter = bytes.rchunks(4);
+        for chunk in &mut chunk_iter {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to big-endian bytes with no leading zero bytes.
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![0];
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the most significant limb.
+                let mut started = false;
+                for b in bytes {
+                    if b != 0 || started {
+                        out.push(b);
+                        started = true;
+                    }
+                }
+                if !started {
+                    // Normalised values never have a zero top limb, but be safe.
+                    out.push(0);
+                }
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// Returns `None` if the value does not fit.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_be_bytes();
+        let raw = if raw == [0] { Vec::new() } else { raw };
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// Returns the value as a `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Comparison.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut limbs = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            limbs.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction; panics if `other > self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result would be negative.  Callers in this workspace
+    /// always check magnitudes first; use [`BigUint::checked_sub`] otherwise.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint::sub would underflow")
+    }
+
+    /// Subtraction returning `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_big(other) == Ordering::Less {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(diff as u32);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let idx = i + j;
+                let cur = limbs[idx] as u64 + (a as u64) * (b as u64) + carry;
+                limbs[idx] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry != 0 {
+                let cur = limbs[idx] as u64 + carry;
+                limbs[idx] = cur as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = (l >> (32 - bit_shift)) as u32;
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let mut limbs = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_big(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        // Fast path: single-limb divisor.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut rem = 0u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut quo = BigUint { limbs: q };
+            quo.normalize();
+            return (quo, BigUint::from_u64(rem));
+        }
+        // General case: bitwise long division.
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut remainder = self.clone();
+        let mut quotient = BigUint::zero();
+        let mut shifted = divisor.shl(shift);
+        for i in (0..=shift).rev() {
+            if remainder.cmp_big(&shifted) != Ordering::Less {
+                remainder = remainder.sub(&shifted);
+                quotient = quotient.set_bit(i);
+            }
+            shifted = shifted.shr(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Returns a copy with bit `i` set.
+    fn set_bit(mut self, i: usize) -> BigUint {
+        let limb = i / 32;
+        let off = i % 32;
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+        self
+    }
+
+    /// Modular reduction.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication.
+    pub fn mulmod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exponent.bit_len() {
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular multiplicative inverse, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm with a signed bookkeeping pair.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        // Extended Euclid over signed values represented as (sign, magnitude).
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        let mut t0 = SignedBig::zero();
+        let mut t1 = SignedBig::positive(BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            let t2 = t0.sub(&t1.mul_uint(&q));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        Some(t0.to_mod(modulus))
+    }
+
+    /// Generates a uniformly random value less than `bound` (which must be nonzero).
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "random_below with zero bound");
+        let bits = bound.bit_len();
+        loop {
+            let candidate = BigUint::random_bits(rng, bits);
+            if candidate.cmp_big(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Generates a random value with at most `bits` bits.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        let n_limbs = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..n_limbs).map(|_| rng.gen()).collect();
+        let extra = n_limbs * 32 - bits;
+        if extra > 0 && !limbs.is_empty() {
+            let last = limbs.len() - 1;
+            limbs[last] >>= extra;
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Generates a random value with exactly `bits` bits (top bit set) and odd.
+    pub fn random_odd_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        assert!(bits >= 2, "need at least two bits");
+        let mut n = BigUint::random_bits(rng, bits);
+        n = n.set_bit(bits - 1);
+        n = n.set_bit(0);
+        n
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        let two = BigUint::from_u64(2);
+        if self.cmp_big(&two) == Ordering::Equal {
+            return true;
+        }
+        if self.is_even() {
+            return false;
+        }
+        // Trial division by small primes quickly rejects most composites.
+        for &p in SMALL_PRIMES {
+            let pb = BigUint::from_u64(p);
+            if self.cmp_big(&pb) == Ordering::Equal {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        // Write self - 1 = d * 2^s with d odd.
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+        'witness: for _ in 0..rounds {
+            let a = {
+                // Pick a in [2, n-2].
+                let upper = self.sub(&BigUint::from_u64(3));
+                BigUint::random_below(rng, &upper).add(&two)
+            };
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x.cmp_big(&n_minus_1) == Ordering::Equal {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mulmod(&x, self);
+                if x.cmp_big(&n_minus_1) == Ordering::Equal {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize, mr_rounds: usize) -> BigUint {
+        loop {
+            let candidate = BigUint::random_odd_with_bits(rng, bits);
+            if candidate.is_probable_prime(rng, mr_rounds) {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_big(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_big(other)
+    }
+}
+
+impl core::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Hexadecimal display keeps the implementation dependency-free.
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:08x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimal signed big integer used only by the extended Euclidean algorithm.
+#[derive(Debug, Clone)]
+struct SignedBig {
+    negative: bool,
+    magnitude: BigUint,
+}
+
+impl SignedBig {
+    fn zero() -> Self {
+        SignedBig {
+            negative: false,
+            magnitude: BigUint::zero(),
+        }
+    }
+
+    fn positive(magnitude: BigUint) -> Self {
+        SignedBig {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    fn sub(&self, other: &SignedBig) -> SignedBig {
+        match (self.negative, other.negative) {
+            (false, true) => SignedBig {
+                negative: false,
+                magnitude: self.magnitude.add(&other.magnitude),
+            },
+            (true, false) => SignedBig {
+                negative: true,
+                magnitude: self.magnitude.add(&other.magnitude),
+            },
+            (sn, _) => {
+                // Same sign: subtract magnitudes.
+                if self.magnitude.cmp_big(&other.magnitude) == Ordering::Less {
+                    SignedBig {
+                        negative: !sn,
+                        magnitude: other.magnitude.sub(&self.magnitude),
+                    }
+                } else {
+                    SignedBig {
+                        negative: sn,
+                        magnitude: self.magnitude.sub(&other.magnitude),
+                    }
+                }
+            }
+        }
+    }
+
+    fn mul_uint(&self, v: &BigUint) -> SignedBig {
+        SignedBig {
+            negative: self.negative && !v.is_zero(),
+            magnitude: self.magnitude.mul(v),
+        }
+    }
+
+    /// Reduces the signed value into `[0, modulus)`.
+    fn to_mod(&self, modulus: &BigUint) -> BigUint {
+        let m = self.magnitude.rem(modulus);
+        if self.negative && !m.is_zero() {
+            modulus.sub(&m)
+        } else {
+            m
+        }
+    }
+}
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn construction_and_bytes() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(big(0x1234_5678_9abc_def0).to_u64(), Some(0x1234_5678_9abc_def0));
+        let n = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(n.to_u64(), Some(0x0102030405));
+        assert_eq!(n.to_be_bytes(), vec![0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(
+            n.to_be_bytes_padded(8).unwrap(),
+            vec![0, 0, 0, 0x01, 0x02, 0x03, 0x04, 0x05]
+        );
+        assert!(n.to_be_bytes_padded(2).is_none());
+        assert_eq!(BigUint::zero().to_be_bytes(), vec![0]);
+    }
+
+    #[test]
+    fn leading_zero_bytes_ignored() {
+        let a = BigUint::from_be_bytes(&[0, 0, 0, 42]);
+        assert_eq!(a, big(42));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = big(u64::MAX).mul(&big(12345));
+        let b = big(987654321);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&b).sub(&a), b);
+        assert!(b.checked_sub(&a).is_none());
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(big(0).mul(&big(55)), big(0));
+        assert_eq!(big(7).mul(&big(6)), big(42));
+        let a = big(u32::MAX as u64);
+        assert_eq!(a.mul(&a).to_u64(), Some((u32::MAX as u64) * (u32::MAX as u64)));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big(0b1011);
+        assert_eq!(a.shl(3), big(0b1011000));
+        assert_eq!(a.shl(3).shr(3), a);
+        assert_eq!(a.shr(10), BigUint::zero());
+        assert_eq!(a.shl(100).shr(100), a);
+        assert_eq!(big(1).shl(64).bit_len(), 65);
+    }
+
+    #[test]
+    fn div_rem_small_and_large() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!((q, r), (big(14), big(2)));
+
+        let a = big(u64::MAX).mul(&big(u64::MAX)).add(&big(12345));
+        let d = big(u64::MAX);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r.cmp_big(&d) == Ordering::Less);
+
+        // Divisor larger than dividend.
+        let (q, r) = big(5).div_rem(&big(100));
+        assert_eq!((q, r), (BigUint::zero(), big(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_known_values() {
+        // 4^13 mod 497 = 445 (classic textbook example).
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        // Fermat: a^(p-1) mod p == 1 for prime p not dividing a.
+        assert_eq!(big(17).modpow(&big(1008), &big(1009)), big(1));
+        // Modulus one.
+        assert_eq!(big(5).modpow(&big(5), &big(1)), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        assert_eq!(big(54).gcd(&big(24)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        let inv = big(3).modinv(&big(11)).unwrap();
+        assert_eq!(inv, big(4)); // 3*4 = 12 ≡ 1 mod 11
+        assert!(big(6).modinv(&big(9)).is_none()); // gcd != 1
+        let e = big(65537);
+        let phi = big(3120); // not coprime-free example: gcd(65537,3120)=1
+        let d = e.modinv(&phi).unwrap();
+        assert_eq!(e.mulmod(&d, &phi), BigUint::one());
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for p in [2u64, 3, 5, 7, 97, 101, 257, 65537, 1009, 104729] {
+            assert!(big(p).is_probable_prime(&mut rng, 16), "{p} should be prime");
+        }
+        for c in [1u64, 4, 100, 561, 6601, 65536, 104730] {
+            assert!(!big(c).is_probable_prime(&mut rng, 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn generate_small_prime() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = BigUint::generate_prime(&mut rng, 64, 12);
+        assert_eq!(p.bit_len(), 64);
+        assert!(p.is_probable_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = big(1000);
+        for _ in 0..200 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v.cmp_big(&bound) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+        assert_eq!(big(255).to_string(), "0xff");
+        assert_eq!(big(0x1_0000_0001).to_string(), "0x100000001");
+    }
+
+    #[test]
+    fn ordering_traits() {
+        let mut v = vec![big(5), big(1), big(300), BigUint::zero()];
+        v.sort();
+        assert_eq!(v, vec![BigUint::zero(), big(1), big(5), big(300)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! HMAC-SHA-256 message authentication.
+//!
+//! The paper notes (§6.8) that a faster authentication primitive would
+//! reduce the per-packet latency added by the AVMM.  HMAC is the cheap end
+//! of that trade-off: it is orders of magnitude faster than RSA but is only
+//! verifiable by holders of the shared key, so it cannot serve as
+//! third-party-checkable evidence.  The benchmark harness uses it to bound
+//! the achievable latency of the signing step.
+
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Verifies an HMAC tag in constant time.
+pub fn hmac_verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+    let expected = hmac_sha256(key, message);
+    let mut acc = 0u8;
+    for (a, b) in expected.as_bytes().iter().zip(tag.as_bytes().iter()) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+/// Incremental HMAC-SHA-256 computation.
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = {
+                let mut h = Sha256::new();
+                h.update(key);
+                h.finalize()
+            };
+            key_block[..DIGEST_LEN].copy_from_slice(digest.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Feeds message bytes into the MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the authentication tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: key longer than one block.
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(hmac_verify(b"key", b"message", &tag));
+        assert!(!hmac_verify(b"key", b"other message", &tag));
+        assert!(!hmac_verify(b"other key", b"message", &tag));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"part one ");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha256(b"k", b"part one part two"));
+    }
+}

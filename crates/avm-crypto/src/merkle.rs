@@ -1,0 +1,275 @@
+//! Merkle hash trees over snapshot state.
+//!
+//! The AVMM "maintains a hash tree over the state; after each snapshot, it
+//! updates the tree and then records the top-level value in the log"
+//! (paper §4.4).  Auditors later download only the parts of the state that
+//! replay actually touches and authenticate them against the recorded root
+//! using inclusion proofs.
+
+use crate::sha256::{sha256_concat, Digest};
+
+/// Domain-separation prefixes so leaves can never be confused with nodes.
+const LEAF_PREFIX: &[u8] = &[0x00];
+const NODE_PREFIX: &[u8] = &[0x01];
+
+/// Hashes a leaf value.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_concat(&[LEAF_PREFIX, data])
+}
+
+/// Hashes two child digests into their parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// A Merkle tree over a fixed number of leaves, supporting leaf updates.
+///
+/// The tree is stored as a flat vector of levels; level 0 holds the leaf
+/// hashes.  When the leaf count is not a power of two, odd nodes are promoted
+/// unchanged (the usual "duplicate-free" construction).
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from raw leaf data.
+    pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
+        let hashes: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_hashes(hashes)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    pub fn from_leaf_hashes(hashes: Vec<Digest>) -> MerkleTree {
+        let mut levels = vec![hashes];
+        loop {
+            let prev = levels.last().expect("at least one level");
+            if prev.len() <= 1 {
+                break;
+            }
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(node_hash(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.first().map_or(0, |l| l.len())
+    }
+
+    /// Root digest; for an empty tree this is the hash of the empty string leaf.
+    pub fn root(&self) -> Digest {
+        match self.levels.last().and_then(|l| l.first()) {
+            Some(d) => *d,
+            None => leaf_hash(&[]),
+        }
+    }
+
+    /// Returns the hash of leaf `index`.
+    pub fn leaf(&self, index: usize) -> Option<Digest> {
+        self.levels.first().and_then(|l| l.get(index)).copied()
+    }
+
+    /// Replaces leaf `index` with new data and updates the path to the root.
+    ///
+    /// Returns `false` if the index is out of range.
+    pub fn update_leaf(&mut self, index: usize, data: &[u8]) -> bool {
+        self.update_leaf_hash(index, leaf_hash(data))
+    }
+
+    /// Replaces leaf `index` with an already-computed hash.
+    pub fn update_leaf_hash(&mut self, index: usize, hash: Digest) -> bool {
+        if self.levels.is_empty() || index >= self.levels[0].len() {
+            return false;
+        }
+        self.levels[0][index] = hash;
+        let mut idx = index;
+        for level in 0..self.levels.len() - 1 {
+            idx /= 2;
+            let lower = &self.levels[level];
+            let left = lower[idx * 2];
+            let parent = if idx * 2 + 1 < lower.len() {
+                node_hash(&left, &lower[idx * 2 + 1])
+            } else {
+                left
+            };
+            self.levels[level + 1][idx] = parent;
+        }
+        true
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if self.levels.is_empty() || index >= self.levels[0].len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in 0..self.levels.len() - 1 {
+            let nodes = &self.levels[level];
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < nodes.len() {
+                siblings.push(ProofStep {
+                    hash: nodes[sibling_idx],
+                    sibling_on_left: sibling_idx < idx,
+                });
+            }
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            siblings,
+        })
+    }
+}
+
+/// One step of an inclusion proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Sibling hash to combine with.
+    pub hash: Digest,
+    /// Whether the sibling is the left child.
+    pub sibling_on_left: bool,
+}
+
+/// Inclusion proof: the path of sibling hashes from a leaf up to the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling hashes, bottom-up.
+    pub siblings: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf_data` at this proof's index yields `root`.
+    pub fn verify(&self, leaf_data: &[u8], root: &Digest) -> bool {
+        self.verify_hash(leaf_hash(leaf_data), root)
+    }
+
+    /// Verifies starting from an already-hashed leaf.
+    pub fn verify_hash(&self, leaf: Digest, root: &Digest) -> bool {
+        let mut acc = leaf;
+        for step in &self.siblings {
+            acc = if step.sibling_on_left {
+                node_hash(&step.hash, &acc)
+            } else {
+                node_hash(&acc, &step.hash)
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("page-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_leaves(&[b"only".to_vec()]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_defined_root() {
+        let tree = MerkleTree::from_leaves::<Vec<u8>>(&[]);
+        assert_eq!(tree.root(), leaf_hash(&[]));
+        assert_eq!(tree.leaf_count(), 0);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn two_leaves_match_manual_computation() {
+        let tree = MerkleTree::from_leaves(&[b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(tree.root(), node_hash(&leaf_hash(b"a"), &leaf_hash(b"b")));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaves(&data);
+            let root = tree.root();
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(leaf, &root), "n={n} leaf={i}");
+                // A proof for the wrong data must fail.
+                assert!(!proof.verify(b"wrong", &root), "n={n} leaf={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_against_wrong_root_fails() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaves(&data);
+        let other = MerkleTree::from_leaves(&leaves(9));
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&data[3], &other.root()));
+    }
+
+    #[test]
+    fn update_leaf_changes_root_consistently() {
+        let data = leaves(10);
+        let mut tree = MerkleTree::from_leaves(&data);
+        let before = tree.root();
+        assert!(tree.update_leaf(4, b"new content"));
+        let after = tree.root();
+        assert_ne!(before, after);
+
+        // Rebuilding from scratch with the same change yields the same root.
+        let mut rebuilt_data = data.clone();
+        rebuilt_data[4] = b"new content".to_vec();
+        let rebuilt = MerkleTree::from_leaves(&rebuilt_data);
+        assert_eq!(after, rebuilt.root());
+
+        // Proofs issued after the update verify against the new root.
+        let proof = tree.prove(4).unwrap();
+        assert!(proof.verify(b"new content", &after));
+    }
+
+    #[test]
+    fn update_out_of_range_rejected() {
+        let mut tree = MerkleTree::from_leaves(&leaves(3));
+        assert!(!tree.update_leaf(3, b"nope"));
+    }
+
+    #[test]
+    fn odd_shapes_update_consistency() {
+        for n in [3usize, 5, 6, 7, 9, 11, 13] {
+            let data = leaves(n);
+            let mut tree = MerkleTree::from_leaves(&data);
+            for i in 0..n {
+                tree.update_leaf(i, format!("updated-{i}").as_bytes());
+            }
+            let rebuilt: Vec<Vec<u8>> = (0..n).map(|i| format!("updated-{i}").into_bytes()).collect();
+            assert_eq!(tree.root(), MerkleTree::from_leaves(&rebuilt).root(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A node hash over (a,b) must differ from a leaf hash of the concatenation.
+        let a = leaf_hash(b"a");
+        let b = leaf_hash(b"b");
+        let node = node_hash(&a, &b);
+        let mut concat = Vec::new();
+        concat.extend_from_slice(a.as_bytes());
+        concat.extend_from_slice(b.as_bytes());
+        assert_ne!(node, leaf_hash(&concat));
+    }
+}

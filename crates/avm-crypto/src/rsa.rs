@@ -1,0 +1,396 @@
+//! RSA signatures (PKCS#1 v1.5-style, SHA-256 message digests).
+//!
+//! The paper's prototype signs every outgoing packet and acknowledgment with
+//! a 768-bit RSA key (§6.2); the evaluation also discusses the effect of the
+//! signature scheme on latency (§6.8).  This module provides key generation
+//! for arbitrary modulus sizes, signing (with the CRT optimisation) and
+//! verification, built solely on [`crate::bignum::BigUint`].
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::sha256::{sha256, Digest};
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The requested modulus size is too small to hold the padded digest.
+    ModulusTooSmall(usize),
+    /// A signature failed to verify.
+    BadSignature,
+    /// The signature bytes are malformed (e.g. numerically ≥ the modulus).
+    MalformedSignature,
+}
+
+impl core::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RsaError::ModulusTooSmall(bits) => {
+                write!(f, "RSA modulus of {bits} bits is too small")
+            }
+            RsaError::BadSignature => write!(f, "signature verification failed"),
+            RsaError::MalformedSignature => write!(f, "malformed signature"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// Minimum modulus size able to hold the PKCS#1-style padded SHA-256 digest.
+pub const MIN_MODULUS_BITS: usize = 384;
+
+/// RSA public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus `n = p * q`.
+    pub n: BigUint,
+    /// Public exponent (65537 in this workspace).
+    pub e: BigUint,
+}
+
+/// RSA private key with CRT parameters.
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    /// The corresponding public key.
+    pub public: RsaPublicKey,
+    /// Private exponent.
+    d: BigUint,
+    /// First prime factor.
+    p: BigUint,
+    /// Second prime factor.
+    q: BigUint,
+    /// `d mod (p-1)`.
+    dp: BigUint,
+    /// `d mod (q-1)`.
+    dq: BigUint,
+    /// `q^-1 mod p`.
+    qinv: BigUint,
+}
+
+/// An RSA keypair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// Private half (includes the public key).
+    pub private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Generates a keypair with a modulus of exactly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < MIN_MODULUS_BITS` — use [`RsaKeyPair::try_generate`]
+    /// for a fallible variant.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaKeyPair {
+        Self::try_generate(rng, bits).expect("modulus too small")
+    }
+
+    /// Fallible key generation.
+    pub fn try_generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<RsaKeyPair, RsaError> {
+        if bits < MIN_MODULUS_BITS {
+            return Err(RsaError::ModulusTooSmall(bits));
+        }
+        let e = BigUint::from_u64(65537);
+        let half = bits / 2;
+        let mr_rounds = 16;
+        loop {
+            let p = BigUint::generate_prime(rng, half, mr_rounds);
+            let q = BigUint::generate_prime(rng, bits - half, mr_rounds);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = p.sub(&one);
+            let q1 = q.sub(&one);
+            let phi = p1.mul(&q1);
+            if !e.gcd(&phi).is_one() {
+                continue;
+            }
+            let d = match e.modinv(&phi) {
+                Some(d) => d,
+                None => continue,
+            };
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let qinv = match q.modinv(&p) {
+                Some(v) => v,
+                None => continue,
+            };
+            let public = RsaPublicKey { n, e: e.clone() };
+            return Ok(RsaKeyPair {
+                private: RsaPrivateKey {
+                    public,
+                    d,
+                    p,
+                    q,
+                    dp,
+                    dq,
+                    qinv,
+                },
+            });
+        }
+    }
+
+    /// Builds a keypair from known prime factors (used by deterministic tests).
+    pub fn from_primes(p: BigUint, q: BigUint) -> Result<RsaKeyPair, RsaError> {
+        let e = BigUint::from_u64(65537);
+        let n = p.mul(&q);
+        if n.bit_len() < MIN_MODULUS_BITS {
+            return Err(RsaError::ModulusTooSmall(n.bit_len()));
+        }
+        let one = BigUint::one();
+        let p1 = p.sub(&one);
+        let q1 = q.sub(&one);
+        let phi = p1.mul(&q1);
+        let d = e.modinv(&phi).ok_or(RsaError::BadSignature)?;
+        let dp = d.rem(&p1);
+        let dq = d.rem(&q1);
+        let qinv = q.modinv(&p).ok_or(RsaError::BadSignature)?;
+        Ok(RsaKeyPair {
+            private: RsaPrivateKey {
+                public: RsaPublicKey { n, e },
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            },
+        })
+    }
+
+    /// Returns the public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.private.public
+    }
+
+    /// Signs `message` (hashing it with SHA-256 first).
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        self.private.sign_digest(&sha256(message))
+    }
+
+    /// Signs a precomputed digest.
+    pub fn sign_digest(&self, digest: &Digest) -> Vec<u8> {
+        self.private.sign_digest(digest)
+    }
+}
+
+impl RsaPrivateKey {
+    /// Size of the modulus in whole bytes (rounded up).
+    fn modulus_len(&self) -> usize {
+        self.public.n.bit_len().div_ceil(8)
+    }
+
+    /// Signs a SHA-256 digest and returns the signature bytes
+    /// (big-endian, padded to the modulus length).
+    pub fn sign_digest(&self, digest: &Digest) -> Vec<u8> {
+        let em = encode_digest(digest, self.modulus_len());
+        let m = BigUint::from_be_bytes(&em);
+        let s = self.modpow_crt(&m);
+        s.to_be_bytes_padded(self.modulus_len())
+            .expect("signature fits modulus length")
+    }
+
+    /// RSA private-key operation using the Chinese Remainder Theorem.
+    fn modpow_crt(&self, m: &BigUint) -> BigUint {
+        let m1 = m.modpow(&self.dp, &self.p);
+        let m2 = m.modpow(&self.dq, &self.q);
+        // h = qinv * (m1 - m2) mod p  (add p first to avoid underflow).
+        let m2_mod_p = m2.rem(&self.p);
+        let diff = if m1 >= m2_mod_p {
+            m1.sub(&m2_mod_p)
+        } else {
+            m1.add(&self.p).sub(&m2_mod_p)
+        };
+        let h = self.qinv.mulmod(&diff, &self.p);
+        m2.add(&h.mul(&self.q))
+    }
+
+    /// Non-CRT signing; retained for cross-checking the CRT path in tests.
+    #[doc(hidden)]
+    pub fn sign_digest_slow(&self, digest: &Digest) -> Vec<u8> {
+        let em = encode_digest(digest, self.modulus_len());
+        let m = BigUint::from_be_bytes(&em);
+        let s = m.modpow(&self.d, &self.public.n);
+        s.to_be_bytes_padded(self.modulus_len())
+            .expect("signature fits modulus length")
+    }
+}
+
+impl RsaPublicKey {
+    /// Size of the modulus in whole bytes (rounded up).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        self.verify_digest(&sha256(message), signature)
+    }
+
+    /// Verifies a signature over a precomputed digest.
+    pub fn verify_digest(&self, digest: &Digest, signature: &[u8]) -> Result<(), RsaError> {
+        if signature.len() != self.modulus_len() {
+            return Err(RsaError::MalformedSignature);
+        }
+        let s = BigUint::from_be_bytes(signature);
+        if s >= self.n {
+            return Err(RsaError::MalformedSignature);
+        }
+        let m = s.modpow(&self.e, &self.n);
+        let em = m
+            .to_be_bytes_padded(self.modulus_len())
+            .ok_or(RsaError::MalformedSignature)?;
+        let expected = encode_digest(digest, self.modulus_len());
+        if constant_time_eq(&em, &expected) {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+
+    /// Stable fingerprint of the public key (hash of `n || e`).
+    pub fn fingerprint(&self) -> Digest {
+        let mut data = self.n.to_be_bytes();
+        data.extend_from_slice(&self.e.to_be_bytes());
+        sha256(&data)
+    }
+}
+
+/// EMSA-PKCS1-v1_5-style encoding: `0x00 0x01 0xFF.. 0x00 || digest`.
+fn encode_digest(digest: &Digest, em_len: usize) -> Vec<u8> {
+    let d = digest.as_bytes();
+    // Require at least 8 bytes of 0xFF padding as PKCS#1 does.
+    assert!(em_len >= d.len() + 11, "modulus too small for digest encoding");
+    let mut em = Vec::with_capacity(em_len);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(em_len - d.len() - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(d);
+    em
+}
+
+/// Constant-time byte-slice comparison.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_keypair(bits: usize) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        RsaKeyPair::generate(&mut rng, bits)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = test_keypair(512);
+        let msg = b"the AVMM attaches an authenticator to each outgoing message";
+        let sig = kp.sign(msg);
+        assert_eq!(sig.len(), kp.public().modulus_len());
+        kp.public().verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = test_keypair(512);
+        let sig = kp.sign(b"original message");
+        assert_eq!(
+            kp.public().verify(b"tampered message", &sig),
+            Err(RsaError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = test_keypair(512);
+        let mut sig = kp.sign(b"message");
+        sig[10] ^= 0x55;
+        assert!(kp.public().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = test_keypair(512);
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        let kp2 = RsaKeyPair::generate(&mut rng, 512);
+        let sig = kp1.sign(b"message");
+        assert!(kp2.public().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn malformed_signature_lengths() {
+        let kp = test_keypair(512);
+        assert_eq!(
+            kp.public().verify(b"m", &[0u8; 3]),
+            Err(RsaError::MalformedSignature)
+        );
+        // A signature numerically >= n is malformed.
+        let huge = vec![0xffu8; kp.public().modulus_len()];
+        assert_eq!(
+            kp.public().verify(b"m", &huge),
+            Err(RsaError::MalformedSignature)
+        );
+    }
+
+    #[test]
+    fn crt_matches_slow_path() {
+        let kp = test_keypair(512);
+        let digest = sha256(b"cross-check CRT");
+        assert_eq!(kp.private.sign_digest(&digest), kp.private.sign_digest_slow(&digest));
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        for bits in [384usize, 512] {
+            let mut rng = StdRng::seed_from_u64(bits as u64);
+            let kp = RsaKeyPair::generate(&mut rng, bits);
+            assert_eq!(kp.public().n.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn too_small_modulus_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            RsaKeyPair::try_generate(&mut rng, 128).unwrap_err(),
+            RsaError::ModulusTooSmall(128)
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        let kp1 = test_keypair(512);
+        let mut rng = StdRng::seed_from_u64(99);
+        let kp2 = RsaKeyPair::generate(&mut rng, 512);
+        assert_eq!(kp1.public().fingerprint(), kp1.public().fingerprint());
+        assert_ne!(kp1.public().fingerprint(), kp2.public().fingerprint());
+    }
+
+    #[test]
+    fn deterministic_from_primes() {
+        // 256-bit primes known to be prime (generated once, embedded for determinism).
+        let mut rng = StdRng::seed_from_u64(1234);
+        let p = BigUint::generate_prime(&mut rng, 256, 16);
+        let q = BigUint::generate_prime(&mut rng, 256, 16);
+        let kp = RsaKeyPair::from_primes(p, q).unwrap();
+        let sig = kp.sign(b"deterministic");
+        kp.public().verify(b"deterministic", &sig).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Request/response protocol of the database guest.
+
+use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
+
+/// A request to the database server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbRequest {
+    /// Insert or overwrite a record.
+    Put {
+        /// Record key.
+        key: String,
+        /// Record value.
+        value: Vec<u8>,
+    },
+    /// Read a record.
+    Get {
+        /// Record key.
+        key: String,
+    },
+    /// Delete a record.
+    Delete {
+        /// Record key.
+        key: String,
+    },
+    /// Count records whose key starts with a prefix (a tiny "select where").
+    Count {
+        /// Key prefix.
+        prefix: String,
+    },
+}
+
+impl Encode for DbRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DbRequest::Put { key, value } => {
+                w.put_u8(1);
+                w.put_str(key);
+                w.put_bytes(value);
+            }
+            DbRequest::Get { key } => {
+                w.put_u8(2);
+                w.put_str(key);
+            }
+            DbRequest::Delete { key } => {
+                w.put_u8(3);
+                w.put_str(key);
+            }
+            DbRequest::Count { prefix } => {
+                w.put_u8(4);
+                w.put_str(prefix);
+            }
+        }
+    }
+}
+
+impl Decode for DbRequest {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(match r.get_u8()? {
+            1 => DbRequest::Put {
+                key: r.get_string()?,
+                value: r.get_bytes()?.to_vec(),
+            },
+            2 => DbRequest::Get { key: r.get_string()? },
+            3 => DbRequest::Delete { key: r.get_string()? },
+            4 => DbRequest::Count { prefix: r.get_string()? },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    what: "DbRequest",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+/// A response from the database server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbResponse {
+    /// The operation succeeded (Put/Delete).
+    Ok,
+    /// A Get found the record.
+    Value(Vec<u8>),
+    /// A Get or Delete did not find the record.
+    NotFound,
+    /// A Count result.
+    Count(u64),
+}
+
+impl Encode for DbResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DbResponse::Ok => w.put_u8(1),
+            DbResponse::Value(v) => {
+                w.put_u8(2);
+                w.put_bytes(v);
+            }
+            DbResponse::NotFound => w.put_u8(3),
+            DbResponse::Count(n) => {
+                w.put_u8(4);
+                w.put_varint(*n);
+            }
+        }
+    }
+}
+
+impl Decode for DbResponse {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(match r.get_u8()? {
+            1 => DbResponse::Ok,
+            2 => DbResponse::Value(r.get_bytes()?.to_vec()),
+            3 => DbResponse::NotFound,
+            4 => DbResponse::Count(r.get_varint()?),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    what: "DbResponse",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            DbRequest::Put {
+                key: "users:1".into(),
+                value: b"alice,100".to_vec(),
+            },
+            DbRequest::Get { key: "users:1".into() },
+            DbRequest::Delete { key: "users:1".into() },
+            DbRequest::Count { prefix: "users:".into() },
+        ] {
+            assert_eq!(DbRequest::decode_exact(&req.encode_to_vec()).unwrap(), req);
+        }
+        assert!(DbRequest::decode_exact(&[0]).is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            DbResponse::Ok,
+            DbResponse::Value(vec![1, 2, 3]),
+            DbResponse::NotFound,
+            DbResponse::Count(42),
+        ] {
+            assert_eq!(DbResponse::decode_exact(&resp.encode_to_vec()).unwrap(), resp);
+        }
+        assert!(DbResponse::decode_exact(&[9]).is_err());
+    }
+}

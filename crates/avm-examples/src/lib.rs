@@ -1,0 +1,1 @@
+//! Examples live in the workspace-level `examples/` directory (see Cargo.toml).

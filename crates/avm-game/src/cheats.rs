@@ -1,0 +1,207 @@
+//! The cheat catalogue (paper Table 1).
+//!
+//! The paper examined 26 real Counterstrike cheats from public forums and
+//! found that every one had to be installed inside the game image (and is
+//! therefore detected by replay in its current implementation), and that at
+//! least 4 of them additionally make the player's network-visible behaviour
+//! inconsistent with *any* correct execution — those are detectable no
+//! matter how they are implemented.
+//!
+//! This module reproduces that catalogue: 26 named cheats, each mapped to a
+//! behavioural [`CheatEffect`] the cheating client applies, and classified
+//! into the paper's two classes.
+
+/// Which game resource a cheat pins to a constant value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceField {
+    /// Ammunition (the paper's "unlimited ammunition" example).
+    Ammo,
+    /// Health ("unlimited health").
+    Health,
+}
+
+/// The behavioural effect a cheat has on the client.
+///
+/// Every effect performs *at least* some extra work each tick (`extra work`
+/// models the cheat code that executes inside the image), so even cheats
+/// with no gameplay-visible effect shift the instruction stream and diverge
+/// under replay — the mechanism by which class-1 cheats are caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheatEffect {
+    /// Aim snaps onto the nearest opponent (forged-input style assistance).
+    AimAssist {
+        /// Extra steps of work per tick.
+        extra_work: u64,
+    },
+    /// Reveals information the renderer would normally hide (wallhack, ESP).
+    InfoReveal {
+        /// Extra steps of work per tick.
+        extra_work: u64,
+    },
+    /// Pins a resource to a fixed value after game logic has run.
+    ResourcePin {
+        /// Which resource is pinned.
+        field: ResourceField,
+        /// The pinned value.
+        value: u32,
+    },
+    /// Fires every tick, ignoring the weapon cooldown.
+    RapidFire,
+    /// Moves `factor` times farther per tick than the game allows.
+    SpeedMultiplier {
+        /// Movement multiplier.
+        factor: i64,
+    },
+    /// Jumps to a fixed location every `period` ticks.
+    Teleport {
+        /// Teleport period in ticks.
+        period: u64,
+    },
+    /// Purely cosmetic or informational change; still executes extra code.
+    Cosmetic {
+        /// Extra steps of work per tick.
+        extra_work: u64,
+    },
+    /// Delays or batches outgoing updates (lag-switch style).
+    TimingManipulation {
+        /// Number of ticks by which updates are delayed.
+        delay_ticks: u64,
+    },
+}
+
+/// The paper's two detection classes (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheatClass {
+    /// Must be installed inside the AVM: detected in its current
+    /// implementation because replay of the modified image diverges, but a
+    /// re-engineered variant running outside the AVM could evade detection.
+    InstallDetectable,
+    /// Makes network-visible behaviour inconsistent with any correct
+    /// execution: detected no matter how the cheat is implemented.
+    DetectableAnyImplementation,
+}
+
+/// One catalogue entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cheat {
+    /// Catalogue index (0-based; stable, used in image configurations).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Behavioural effect on the client.
+    pub effect: CheatEffect,
+    /// Detection class.
+    pub class: CheatClass,
+}
+
+/// Returns the full catalogue of 26 cheats.
+pub fn cheat_catalog() -> Vec<Cheat> {
+    use CheatClass::*;
+    use CheatEffect::*;
+    let entries: [(&'static str, CheatEffect, CheatClass); 26] = [
+        ("aimbot", AimAssist { extra_work: 900 }, InstallDetectable),
+        ("triggerbot", AimAssist { extra_work: 400 }, InstallDetectable),
+        ("silent-aim", AimAssist { extra_work: 700 }, InstallDetectable),
+        ("spinbot", AimAssist { extra_work: 500 }, InstallDetectable),
+        ("anti-aim", AimAssist { extra_work: 300 }, InstallDetectable),
+        ("wallhack", InfoReveal { extra_work: 1200 }, InstallDetectable),
+        ("esp-overlay", InfoReveal { extra_work: 800 }, InstallDetectable),
+        ("radar-hack", InfoReveal { extra_work: 350 }, InstallDetectable),
+        ("sound-esp", InfoReveal { extra_work: 250 }, InstallDetectable),
+        ("flash-block", InfoReveal { extra_work: 150 }, InstallDetectable),
+        ("smoke-block", InfoReveal { extra_work: 150 }, InstallDetectable),
+        (
+            "unlimited-ammo",
+            ResourcePin { field: ResourceField::Ammo, value: 100 },
+            DetectableAnyImplementation,
+        ),
+        (
+            "unlimited-health",
+            ResourcePin { field: ResourceField::Health, value: 100 },
+            DetectableAnyImplementation,
+        ),
+        ("rapid-fire", RapidFire, DetectableAnyImplementation),
+        ("teleport", Teleport { period: 4 }, DetectableAnyImplementation),
+        ("speedhack", SpeedMultiplier { factor: 5 }, InstallDetectable),
+        ("bunnyhop-script", SpeedMultiplier { factor: 2 }, InstallDetectable),
+        ("no-recoil", Cosmetic { extra_work: 200 }, InstallDetectable),
+        ("no-spread", Cosmetic { extra_work: 200 }, InstallDetectable),
+        ("auto-reload", Cosmetic { extra_work: 100 }, InstallDetectable),
+        ("auto-duck", Cosmetic { extra_work: 100 }, InstallDetectable),
+        ("skin-changer", Cosmetic { extra_work: 300 }, InstallDetectable),
+        ("fov-changer", Cosmetic { extra_work: 120 }, InstallDetectable),
+        ("crosshair-mod", Cosmetic { extra_work: 80 }, InstallDetectable),
+        ("lag-switch-module", TimingManipulation { delay_ticks: 3 }, InstallDetectable),
+        ("interp-exploit", TimingManipulation { delay_ticks: 1 }, InstallDetectable),
+    ];
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(id, (name, effect, class))| Cheat {
+            id: id as u32,
+            name,
+            effect,
+            class,
+        })
+        .collect()
+}
+
+/// Looks up a cheat by its catalogue id.
+pub fn cheat_by_id(id: u32) -> Option<Cheat> {
+    cheat_catalog().into_iter().find(|c| c.id == id)
+}
+
+/// Looks up a cheat by name.
+pub fn cheat_by_name(name: &str) -> Option<Cheat> {
+    cheat_catalog().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table_1_counts() {
+        let all = cheat_catalog();
+        assert_eq!(all.len(), 26, "paper examined 26 cheats");
+        let any_impl = all
+            .iter()
+            .filter(|c| c.class == CheatClass::DetectableAnyImplementation)
+            .count();
+        assert_eq!(any_impl, 4, "paper: at least 4 detectable in any implementation");
+        let install_only = all
+            .iter()
+            .filter(|c| c.class == CheatClass::InstallDetectable)
+            .count();
+        assert_eq!(install_only, 22);
+    }
+
+    #[test]
+    fn ids_are_dense_and_names_unique() {
+        let all = cheat_catalog();
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.id, i as u32);
+        }
+        let mut names: Vec<&str> = all.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        assert_eq!(cheat_by_name("aimbot").unwrap().id, 0);
+        assert_eq!(cheat_by_id(11).unwrap().name, "unlimited-ammo");
+        assert!(cheat_by_id(99).is_none());
+        assert!(cheat_by_name("legit-play").is_none());
+    }
+
+    #[test]
+    fn the_three_example_cheats_from_the_paper_are_present() {
+        // §5.3 describes an aimbot, a wallhack and unlimited ammunition.
+        assert!(cheat_by_name("aimbot").is_some());
+        assert!(cheat_by_name("wallhack").is_some());
+        let ammo = cheat_by_name("unlimited-ammo").unwrap();
+        assert_eq!(ammo.class, CheatClass::DetectableAnyImplementation);
+    }
+}

@@ -1,0 +1,527 @@
+//! The game client guest kernel.
+//!
+//! The client renders frames as fast as it can (the paper removes the frame
+//! cap so the achieved frame rate can serve as a performance metric, §6.2),
+//! reads the virtual clock once per frame, applies local input events
+//! (keyboard/mouse), exchanges updates with the server at ~26 ticks/s, and —
+//! if a cheat is installed in its image — applies the cheat's behavioural
+//! effect each tick.
+
+use std::collections::VecDeque;
+
+use avm_vm::packet::{encode_guest_packet, parse_guest_packet};
+use avm_vm::{GuestCtx, GuestKernel, GuestStep, VmError};
+use avm_wire::{Decode, Encode, Reader, WireResult, Writer};
+
+use crate::cheats::{cheat_by_id, CheatEffect, ResourceField};
+use crate::config::{ClientConfig, FRAME_RENDER_COST, STARTING_AMMO, STARTING_HEALTH};
+use crate::protocol::{ClientUpdate, GameMessage, ServerState};
+
+/// Movement speed (world units per tick) the game rules allow.
+pub const LEGAL_SPEED: i64 = 10;
+/// Weapon cooldown in ticks between shots the game rules allow.
+pub const FIRE_COOLDOWN_TICKS: u64 = 3;
+/// Input code: horizontal movement direction.
+pub const INPUT_MOVE_X: u32 = 0;
+/// Input code: vertical movement direction.
+pub const INPUT_MOVE_Y: u32 = 1;
+/// Input code: aim delta (millidegrees).
+pub const INPUT_AIM: u32 = 2;
+/// Input code: fire trigger.
+pub const INPUT_FIRE: u32 = 3;
+
+/// The client guest kernel.
+#[derive(Debug, Clone)]
+pub struct GameClient {
+    cfg: ClientConfig,
+    cheat: Option<CheatEffect>,
+    // Time.
+    now_us: u64,
+    last_tick_us: u64,
+    next_frame_us: u64,
+    // Player state.
+    tick: u64,
+    x: i64,
+    y: i64,
+    aim: i64,
+    ammo: u32,
+    health: u32,
+    move_dx: i64,
+    move_dy: i64,
+    want_fire: bool,
+    fire_cooldown: u64,
+    // Statistics.
+    frames_rendered: u64,
+    shots_fired: u64,
+    updates_sent: u64,
+    // Last known world state.
+    world: ServerState,
+    // Updates held back by a timing-manipulation cheat.
+    delayed: VecDeque<Vec<u8>>,
+}
+
+impl GameClient {
+    /// Creates a client from its image configuration.
+    pub fn new(cfg: ClientConfig) -> GameClient {
+        let cheat = cfg.cheat.and_then(cheat_by_id).map(|c| c.effect);
+        GameClient {
+            cheat,
+            now_us: 0,
+            last_tick_us: 0,
+            next_frame_us: 0,
+            tick: 0,
+            x: 0,
+            y: 0,
+            aim: 0,
+            ammo: STARTING_AMMO,
+            health: STARTING_HEALTH,
+            move_dx: 0,
+            move_dy: 0,
+            want_fire: false,
+            fire_cooldown: 0,
+            frames_rendered: 0,
+            shots_fired: 0,
+            updates_sent: 0,
+            world: ServerState {
+                tick: 0,
+                players: Vec::new(),
+            },
+            delayed: VecDeque::new(),
+            cfg,
+        }
+    }
+
+    /// Frames rendered so far (the §6.10 performance metric).
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Shots fired so far.
+    pub fn shots_fired(&self) -> u64 {
+        self.shots_fired
+    }
+
+    /// Updates sent to the server so far.
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    fn drain_inputs(&mut self, ctx: &mut GuestCtx<'_>) {
+        while let Some(ev) = ctx.poll_input() {
+            match ev.code {
+                INPUT_MOVE_X => self.move_dx = ev.value.signum(),
+                INPUT_MOVE_Y => self.move_dy = ev.value.signum(),
+                INPUT_AIM => self.aim = (self.aim + ev.value).rem_euclid(360_000),
+                INPUT_FIRE => self.want_fire = ev.value != 0,
+                _ => {}
+            }
+        }
+    }
+
+    fn drain_packets(&mut self, ctx: &mut GuestCtx<'_>) {
+        while let Some(pkt) = ctx.recv_packet() {
+            let Some((_dest, body)) = parse_guest_packet(&pkt) else {
+                continue;
+            };
+            if let Ok(GameMessage::State(state)) = GameMessage::decode_exact(body) {
+                if let Some(me) = state.players.iter().find(|p| p.player == self.cfg.player) {
+                    // The server is authoritative for health.
+                    self.health = me.health;
+                }
+                self.world = state;
+            }
+        }
+    }
+
+    /// One game tick: movement, firing, cheat effects, and the update packet.
+    fn game_tick(&mut self, ctx: &mut GuestCtx<'_>) -> u64 {
+        self.tick += 1;
+        let mut extra_cost = 0u64;
+
+        // Movement.
+        let mut speed = LEGAL_SPEED;
+        if let Some(CheatEffect::SpeedMultiplier { factor }) = self.cheat {
+            speed *= factor;
+            extra_cost += 50;
+        }
+        self.x += self.move_dx * speed;
+        self.y += self.move_dy * speed;
+        if let Some(CheatEffect::Teleport { period }) = self.cheat {
+            if period > 0 && self.tick % period == 0 {
+                self.x = 0;
+                self.y = 0;
+            }
+            extra_cost += 50;
+        }
+
+        // Aiming.
+        match self.cheat {
+            Some(CheatEffect::AimAssist { extra_work }) => {
+                // Snap to the first opponent in the last world snapshot.
+                if let Some(target) = self
+                    .world
+                    .players
+                    .iter()
+                    .find(|p| p.player != self.cfg.player)
+                {
+                    let dx = target.x - self.x;
+                    let dy = target.y - self.y;
+                    self.aim = (dx * 7 + dy * 13).rem_euclid(360_000);
+                }
+                extra_cost += extra_work;
+            }
+            Some(CheatEffect::InfoReveal { extra_work })
+            | Some(CheatEffect::Cosmetic { extra_work }) => {
+                extra_cost += extra_work;
+            }
+            _ => {}
+        }
+
+        // Firing.
+        if self.fire_cooldown > 0 {
+            self.fire_cooldown -= 1;
+        }
+        let rapid = matches!(self.cheat, Some(CheatEffect::RapidFire));
+        let may_fire = self.want_fire && self.ammo > 0 && (self.fire_cooldown == 0 || rapid);
+        let mut fired = false;
+        if may_fire {
+            fired = true;
+            self.shots_fired += 1;
+            self.ammo -= 1;
+            if !rapid {
+                self.fire_cooldown = FIRE_COOLDOWN_TICKS;
+            } else {
+                extra_cost += 30;
+            }
+        }
+
+        // Resource-pinning cheats overwrite the result of the game logic —
+        // the in-memory modification the paper's unlimited-ammunition cheat
+        // performs.
+        if let Some(CheatEffect::ResourcePin { field, value }) = self.cheat {
+            match field {
+                ResourceField::Ammo => self.ammo = value,
+                ResourceField::Health => self.health = value,
+            }
+            extra_cost += 40;
+        }
+
+        // Build and send (or delay) the update packet.
+        let update = ClientUpdate {
+            player: self.cfg.player.clone(),
+            tick: self.tick,
+            x: self.x,
+            y: self.y,
+            aim: self.aim,
+            fired,
+            ammo: self.ammo,
+            health: self.health,
+        };
+        let body = GameMessage::Update(update).encode_to_vec();
+        let packet = encode_guest_packet(&self.cfg.server, &body);
+        if let Some(CheatEffect::TimingManipulation { delay_ticks }) = self.cheat {
+            self.delayed.push_back(packet);
+            extra_cost += 20;
+            if self.delayed.len() as u64 > delay_ticks {
+                if let Some(old) = self.delayed.pop_front() {
+                    ctx.send_packet(old);
+                    self.updates_sent += 1;
+                }
+            }
+        } else {
+            ctx.send_packet(packet);
+            self.updates_sent += 1;
+        }
+        extra_cost
+    }
+}
+
+impl GuestKernel for GameClient {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> GuestStep {
+        // Every frame starts by reading the clock (the nondeterministic input
+        // whose volume dominates the log, §6.4/§6.5).
+        let Some(now) = ctx.read_clock() else {
+            return GuestStep::WaitingClock;
+        };
+        self.now_us = now;
+        self.drain_inputs(ctx);
+        self.drain_packets(ctx);
+
+        // Frame-rate cap: busy-wait until the next frame is due, reading the
+        // clock again on every iteration (each read is another log entry).
+        if let Some(fps) = self.cfg.frame_cap_fps {
+            if now < self.next_frame_us {
+                return GuestStep::Ran { cost: 3 };
+            }
+            self.next_frame_us = now + 1_000_000 / fps.max(1) as u64;
+        }
+
+        // Render one frame.
+        self.frames_rendered += 1;
+        let mut cost = FRAME_RENDER_COST;
+
+        // Run a game tick when the tick interval has elapsed.
+        if now.saturating_sub(self.last_tick_us) >= self.cfg.tick_interval_us {
+            self.last_tick_us = now;
+            cost += self.game_tick(ctx);
+        }
+        GuestStep::Ran { cost }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.cfg.encode(&mut w);
+        w.put_u64(self.now_us);
+        w.put_u64(self.last_tick_us);
+        w.put_u64(self.next_frame_us);
+        w.put_u64(self.tick);
+        w.put_i64(self.x);
+        w.put_i64(self.y);
+        w.put_i64(self.aim);
+        w.put_u32(self.ammo);
+        w.put_u32(self.health);
+        w.put_i64(self.move_dx);
+        w.put_i64(self.move_dy);
+        w.put_bool(self.want_fire);
+        w.put_u64(self.fire_cooldown);
+        w.put_u64(self.frames_rendered);
+        w.put_u64(self.shots_fired);
+        w.put_u64(self.updates_sent);
+        self.world.encode(&mut w);
+        w.put_varint(self.delayed.len() as u64);
+        for d in &self.delayed {
+            w.put_bytes(d);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), VmError> {
+        fn inner(r: &mut Reader<'_>) -> WireResult<GameClient> {
+            let cfg = ClientConfig::decode(r)?;
+            let mut c = GameClient::new(cfg);
+            c.now_us = r.get_u64()?;
+            c.last_tick_us = r.get_u64()?;
+            c.next_frame_us = r.get_u64()?;
+            c.tick = r.get_u64()?;
+            c.x = r.get_i64()?;
+            c.y = r.get_i64()?;
+            c.aim = r.get_i64()?;
+            c.ammo = r.get_u32()?;
+            c.health = r.get_u32()?;
+            c.move_dx = r.get_i64()?;
+            c.move_dy = r.get_i64()?;
+            c.want_fire = r.get_bool()?;
+            c.fire_cooldown = r.get_u64()?;
+            c.frames_rendered = r.get_u64()?;
+            c.shots_fired = r.get_u64()?;
+            c.updates_sent = r.get_u64()?;
+            c.world = ServerState::decode(r)?;
+            let n = r.get_varint()?;
+            for _ in 0..n {
+                c.delayed.push_back(r.get_bytes()?.to_vec());
+            }
+            Ok(c)
+        }
+        let mut r = Reader::new(bytes);
+        let restored =
+            inner(&mut r).map_err(|_| VmError::CorruptState("game client state"))?;
+        if !r.is_empty() {
+            return Err(VmError::CorruptState("trailing bytes in game client state"));
+        }
+        *self = restored;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "game-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avm_vm::devices::{DeviceState, InputEvent};
+    use avm_vm::mem::GuestMemory;
+
+    fn drive(client: &mut GameClient, dev: &mut DeviceState, mem: &mut GuestMemory, time: u64) -> Vec<Vec<u8>> {
+        // Run one kernel step with the clock pre-armed to `time`.
+        let mut outputs = Vec::new();
+        loop {
+            let mut ctx = GuestCtx::new(mem, dev);
+            match client.step(&mut ctx) {
+                GuestStep::WaitingClock => {
+                    outputs.extend(collect_packets(ctx.into_outputs()));
+                    dev.clock.provide(time).unwrap();
+                }
+                _ => {
+                    outputs.extend(collect_packets(ctx.into_outputs()));
+                    break;
+                }
+            }
+        }
+        outputs
+    }
+
+    fn collect_packets(exits: Vec<avm_vm::VmExit>) -> Vec<Vec<u8>> {
+        exits
+            .into_iter()
+            .filter_map(|e| match e {
+                avm_vm::VmExit::NetTx(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn new_env() -> (DeviceState, GuestMemory) {
+        (DeviceState::new(b""), GuestMemory::new(4096))
+    }
+
+    #[test]
+    fn honest_client_sends_updates_at_tick_rate() {
+        let (mut dev, mut mem) = new_env();
+        let mut client = GameClient::new(ClientConfig::new("alice", "server"));
+        let mut packets = Vec::new();
+        for i in 1..=10u64 {
+            packets.extend(drive(&mut client, &mut dev, &mut mem, i * 40_000));
+        }
+        // One update per 40 ms step (interval is 38 ms).
+        assert_eq!(packets.len(), 10);
+        assert_eq!(client.updates_sent(), 10);
+        assert_eq!(client.frames_rendered(), 10);
+        let (dest, body) = parse_guest_packet(&packets[0]).unwrap();
+        assert_eq!(dest, "server");
+        let GameMessage::Update(u) = GameMessage::decode_exact(body).unwrap() else {
+            panic!()
+        };
+        assert_eq!(u.player, "alice");
+        assert_eq!(u.ammo, STARTING_AMMO);
+    }
+
+    #[test]
+    fn input_events_steer_the_player_and_fire() {
+        let (mut dev, mut mem) = new_env();
+        let mut client = GameClient::new(ClientConfig::new("alice", "server"));
+        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_X, value: 1 });
+        dev.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        let mut fired_count = 0;
+        for i in 1..=8u64 {
+            let pkts = drive(&mut client, &mut dev, &mut mem, i * 40_000);
+            for p in pkts {
+                let (_, body) = parse_guest_packet(&p).unwrap();
+                if let Ok(GameMessage::Update(u)) = GameMessage::decode_exact(body) {
+                    if u.fired {
+                        fired_count += 1;
+                    }
+                    assert_eq!(u.x, i as i64 * LEGAL_SPEED);
+                }
+            }
+        }
+        // Cooldown limits the fire rate: 8 ticks with cooldown 3 → 2-3 shots.
+        assert!(fired_count >= 2 && fired_count <= 3, "fired {fired_count}");
+        assert_eq!(client.shots_fired() as u32, STARTING_AMMO - clientammo(&client));
+        fn clientammo(c: &GameClient) -> u32 {
+            c.ammo
+        }
+    }
+
+    #[test]
+    fn unlimited_ammo_cheat_reports_impossible_ammo() {
+        let (mut dev, mut mem) = new_env();
+        let cheat_id = crate::cheats::cheat_by_name("unlimited-ammo").unwrap().id;
+        let mut client =
+            GameClient::new(ClientConfig::new("cheater", "server").with_cheat(cheat_id));
+        dev.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        let mut last_ammo = None;
+        let mut fired_any = false;
+        for i in 1..=20u64 {
+            for p in drive(&mut client, &mut dev, &mut mem, i * 40_000) {
+                let (_, body) = parse_guest_packet(&p).unwrap();
+                if let Ok(GameMessage::Update(u)) = GameMessage::decode_exact(body) {
+                    fired_any |= u.fired;
+                    last_ammo = Some(u.ammo);
+                }
+            }
+        }
+        assert!(fired_any);
+        // Despite firing, the reported ammunition never drops.
+        assert_eq!(last_ammo, Some(STARTING_AMMO));
+        assert!(client.shots_fired() > 0);
+    }
+
+    #[test]
+    fn speed_and_rapid_fire_cheats_change_behaviour() {
+        let (mut dev, mut mem) = new_env();
+        let speed_id = crate::cheats::cheat_by_name("speedhack").unwrap().id;
+        let mut cheater = GameClient::new(ClientConfig::new("c", "server").with_cheat(speed_id));
+        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_X, value: 1 });
+        drive(&mut cheater, &mut dev, &mut mem, 40_000);
+        assert_eq!(cheater.x, 5 * LEGAL_SPEED);
+
+        let (mut dev2, mut mem2) = new_env();
+        let rapid_id = crate::cheats::cheat_by_name("rapid-fire").unwrap().id;
+        let mut rapid = GameClient::new(ClientConfig::new("r", "server").with_cheat(rapid_id));
+        dev2.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        for i in 1..=6u64 {
+            drive(&mut rapid, &mut dev2, &mut mem2, i * 40_000);
+        }
+        // Rapid fire ignores the cooldown: one shot per tick.
+        assert_eq!(rapid.shots_fired(), 6);
+    }
+
+    #[test]
+    fn frame_cap_busy_waits_between_frames() {
+        let (mut dev, mut mem) = new_env();
+        let mut client = GameClient::new(ClientConfig::new("alice", "server").with_frame_cap(72));
+        // First step renders a frame and schedules the next one ~13.9 ms later.
+        drive(&mut client, &mut dev, &mut mem, 1_000);
+        assert_eq!(client.frames_rendered(), 1);
+        // Time barely advances: the client busy-waits instead of rendering.
+        for _ in 0..5 {
+            drive(&mut client, &mut dev, &mut mem, 1_002);
+        }
+        assert_eq!(client.frames_rendered(), 1);
+        assert!(dev.clock.reads_served >= 6, "busy-wait must keep reading the clock");
+        // Once the frame deadline passes, rendering resumes.
+        drive(&mut client, &mut dev, &mut mem, 20_000);
+        assert_eq!(client.frames_rendered(), 2);
+    }
+
+    #[test]
+    fn server_state_updates_health_and_world() {
+        let (mut dev, mut mem) = new_env();
+        let mut client = GameClient::new(ClientConfig::new("alice", "server"));
+        let state = ServerState {
+            tick: 5,
+            players: vec![crate::protocol::PlayerState {
+                player: "alice".into(),
+                x: 0,
+                y: 0,
+                health: 37,
+                score: 2,
+            }],
+        };
+        let body = GameMessage::State(state).encode_to_vec();
+        dev.nic.inject(encode_guest_packet("alice", &body));
+        drive(&mut client, &mut dev, &mut mem, 40_000);
+        assert_eq!(client.health, 37);
+        assert_eq!(client.world.tick, 5);
+    }
+
+    #[test]
+    fn state_save_restore_roundtrip() {
+        let (mut dev, mut mem) = new_env();
+        let mut client = GameClient::new(ClientConfig::new("alice", "server"));
+        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_Y, value: -1 });
+        for i in 1..=5u64 {
+            drive(&mut client, &mut dev, &mut mem, i * 40_000);
+        }
+        let state = client.save_state();
+        let mut restored = GameClient::new(ClientConfig::new("x", "y"));
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.save_state(), state);
+        assert_eq!(restored.y, client.y);
+        assert!(restored.restore_state(&state[..state.len() - 1]).is_err());
+        assert!(restored.restore_state(&[]).is_err());
+        assert_eq!(restored.name(), "game-client");
+    }
+}

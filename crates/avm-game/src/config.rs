@@ -1,0 +1,162 @@
+//! Game configuration carried inside the VM image.
+
+use avm_wire::{Decode, Encode, Reader, WireResult, Writer};
+
+/// Default client tick interval (µs): ~26 updates per second, matching the
+/// Counterstrike client packet rate reported in §6.7.
+pub const DEFAULT_TICK_INTERVAL_US: u64 = 38_000;
+/// Starting ammunition.
+pub const STARTING_AMMO: u32 = 100;
+/// Starting health.
+pub const STARTING_HEALTH: u32 = 100;
+/// Abstract machine steps one rendered frame costs.
+pub const FRAME_RENDER_COST: u64 = 400;
+
+/// Configuration of a game client guest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// This player's name.
+    pub player: String,
+    /// Name of the server node.
+    pub server: String,
+    /// Microseconds between client update ticks.
+    pub tick_interval_us: u64,
+    /// Frame-rate cap in frames per second (`None` = uncapped, as in the
+    /// paper's measurements; `Some(72)` reproduces the §6.5 busy-wait).
+    pub frame_cap_fps: Option<u32>,
+    /// Cheat installed in this image, if any — an index into
+    /// [`crate::cheats::cheat_catalog`].  The *official* image has `None`.
+    pub cheat: Option<u32>,
+}
+
+impl ClientConfig {
+    /// Creates the official (cheat-free, uncapped) configuration.
+    pub fn new(player: &str, server: &str) -> ClientConfig {
+        ClientConfig {
+            player: player.to_string(),
+            server: server.to_string(),
+            tick_interval_us: DEFAULT_TICK_INTERVAL_US,
+            frame_cap_fps: None,
+            cheat: None,
+        }
+    }
+
+    /// Returns the configuration with a cheat installed.
+    pub fn with_cheat(mut self, cheat_id: u32) -> ClientConfig {
+        self.cheat = Some(cheat_id);
+        self
+    }
+
+    /// Returns the configuration with a frame-rate cap.
+    pub fn with_frame_cap(mut self, fps: u32) -> ClientConfig {
+        self.frame_cap_fps = Some(fps);
+        self
+    }
+}
+
+impl Encode for ClientConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.player);
+        w.put_str(&self.server);
+        w.put_varint(self.tick_interval_us);
+        match self.frame_cap_fps {
+            None => w.put_u8(0),
+            Some(fps) => {
+                w.put_u8(1);
+                w.put_u32(fps);
+            }
+        }
+        match self.cheat {
+            None => w.put_u8(0),
+            Some(id) => {
+                w.put_u8(1);
+                w.put_u32(id);
+            }
+        }
+    }
+}
+
+impl Decode for ClientConfig {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(ClientConfig {
+            player: r.get_string()?,
+            server: r.get_string()?,
+            tick_interval_us: r.get_varint()?,
+            frame_cap_fps: if r.get_u8()? == 1 { Some(r.get_u32()?) } else { None },
+            cheat: if r.get_u8()? == 1 { Some(r.get_u32()?) } else { None },
+        })
+    }
+}
+
+/// Configuration of the game server guest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// The server's node name.
+    pub name: String,
+    /// Names of the expected players.
+    pub players: Vec<String>,
+    /// Microseconds between server broadcast ticks.
+    pub broadcast_interval_us: u64,
+}
+
+impl ServerConfig {
+    /// Creates a server configuration for the given players.
+    pub fn new(name: &str, players: &[String]) -> ServerConfig {
+        ServerConfig {
+            name: name.to_string(),
+            players: players.to_vec(),
+            broadcast_interval_us: DEFAULT_TICK_INTERVAL_US,
+        }
+    }
+}
+
+impl Encode for ServerConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_varint(self.players.len() as u64);
+        for p in &self.players {
+            w.put_str(p);
+        }
+        w.put_varint(self.broadcast_interval_us);
+    }
+}
+
+impl Decode for ServerConfig {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let name = r.get_string()?;
+        let n = r.get_varint()?;
+        let mut players = Vec::with_capacity((n as usize).min(64));
+        for _ in 0..n {
+            players.push(r.get_string()?);
+        }
+        Ok(ServerConfig {
+            name,
+            players,
+            broadcast_interval_us: r.get_varint()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_config_roundtrip() {
+        let cfg = ClientConfig::new("alice", "server");
+        assert_eq!(ClientConfig::decode_exact(&cfg.encode_to_vec()).unwrap(), cfg);
+        let capped = ClientConfig::new("bob", "server").with_frame_cap(72).with_cheat(5);
+        assert_eq!(
+            ClientConfig::decode_exact(&capped.encode_to_vec()).unwrap(),
+            capped
+        );
+        assert_eq!(capped.frame_cap_fps, Some(72));
+        assert_eq!(capped.cheat, Some(5));
+    }
+
+    #[test]
+    fn server_config_roundtrip() {
+        let cfg = ServerConfig::new("server", &["a".to_string(), "b".to_string()]);
+        assert_eq!(ServerConfig::decode_exact(&cfg.encode_to_vec()).unwrap(), cfg);
+    }
+}

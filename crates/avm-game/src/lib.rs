@@ -1,0 +1,100 @@
+//! A deterministic multiplayer arena-shooter guest — the Counterstrike
+//! stand-in used by the paper's evaluation (§5, §6).
+//!
+//! The paper runs Counterstrike 1.6 inside the AVM and detects real cheats
+//! by auditing players.  This crate provides the reproduction's equivalent
+//! workload: a client/server game whose clients render frames, read the
+//! clock, exchange small state-update packets with the server (Counterstrike
+//! clients send 50–60-byte packets at ~26 packets/s, §6.7), and can be
+//! "patched" with any of a catalogue of 26 cheats mirroring the paper's
+//! survey (Table 1).
+//!
+//! Both the client and the server are [`avm_vm::GuestKernel`]s: fully
+//! deterministic given their device inputs, so they record and replay under
+//! the AVMM exactly like any other guest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheats;
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod server;
+
+pub use cheats::{cheat_catalog, Cheat, CheatClass, CheatEffect, ResourceField};
+pub use client::GameClient;
+pub use config::{ClientConfig, ServerConfig};
+pub use protocol::{ClientUpdate, ServerState};
+pub use server::GameServer;
+
+use avm_vm::{GuestRegistry, VmImage, VmError};
+use avm_wire::{Decode, Encode};
+
+/// Registry name of the game client guest program.
+pub const CLIENT_PROGRAM: &str = "avm-game-client";
+/// Registry name of the game server guest program.
+pub const SERVER_PROGRAM: &str = "avm-game-server";
+/// Guest RAM size used by game images.
+pub const GAME_MEM_SIZE: u64 = 256 * 1024;
+
+/// Returns a guest registry with the game client and server registered.
+///
+/// Every participant (players recording their execution, and auditors
+/// replaying other players' logs) must use the same registry — it is part of
+/// "the software everyone agrees on".
+pub fn game_registry() -> GuestRegistry {
+    let mut reg = GuestRegistry::new();
+    reg.register(CLIENT_PROGRAM, |config| {
+        let cfg = ClientConfig::decode_exact(config)
+            .map_err(|_| VmError::InvalidImage("bad game client config".to_string()))?;
+        Ok(Box::new(GameClient::new(cfg)))
+    });
+    reg.register(SERVER_PROGRAM, |config| {
+        let cfg = ServerConfig::decode_exact(config)
+            .map_err(|_| VmError::InvalidImage("bad game server config".to_string()))?;
+        Ok(Box::new(GameServer::new(cfg)))
+    });
+    reg
+}
+
+/// Builds the agreed-upon ("official") client image for a player.
+pub fn client_image(cfg: &ClientConfig) -> VmImage {
+    VmImage::native(
+        &format!("game-client-{}", cfg.player),
+        GAME_MEM_SIZE,
+        CLIENT_PROGRAM,
+        cfg.encode_to_vec(),
+    )
+}
+
+/// Builds the server image.
+pub fn server_image(cfg: &ServerConfig) -> VmImage {
+    VmImage::native("game-server", GAME_MEM_SIZE, SERVER_PROGRAM, cfg.encode_to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_instantiates_both_programs() {
+        let reg = game_registry();
+        let client_cfg = ClientConfig::new("alice", "server");
+        let server_cfg = ServerConfig::new("server", &["alice".to_string()]);
+        assert!(reg.instantiate(CLIENT_PROGRAM, &client_cfg.encode_to_vec()).is_ok());
+        assert!(reg.instantiate(SERVER_PROGRAM, &server_cfg.encode_to_vec()).is_ok());
+        assert!(reg.instantiate(CLIENT_PROGRAM, b"garbage").is_err());
+    }
+
+    #[test]
+    fn image_digests_depend_on_configuration() {
+        let honest = client_image(&ClientConfig::new("alice", "server"));
+        let same = client_image(&ClientConfig::new("alice", "server"));
+        let mut cheat_cfg = ClientConfig::new("alice", "server");
+        cheat_cfg.cheat = Some(0);
+        let cheated = client_image(&cheat_cfg);
+        assert_eq!(honest.digest(), same.digest());
+        assert_ne!(honest.digest(), cheated.digest());
+    }
+}

@@ -1,0 +1,236 @@
+//! The game's network protocol.
+//!
+//! Clients send small, frequent state updates to the server; the server
+//! broadcasts an authoritative world snapshot back.  Payload sizes are kept
+//! in the 50–60 byte range reported for Counterstrike clients (§6.7).
+
+use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
+
+/// One client-to-server update packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientUpdate {
+    /// Player name.
+    pub player: String,
+    /// Client tick number.
+    pub tick: u64,
+    /// Position.
+    pub x: i64,
+    /// Position.
+    pub y: i64,
+    /// Aim angle in millidegrees.
+    pub aim: i64,
+    /// Whether the player fired during this tick.
+    pub fired: bool,
+    /// Ammunition remaining after this tick.
+    pub ammo: u32,
+    /// Health the client believes it has.
+    pub health: u32,
+}
+
+impl Encode for ClientUpdate {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.player);
+        w.put_varint(self.tick);
+        w.put_i64(self.x);
+        w.put_i64(self.y);
+        w.put_i64(self.aim);
+        w.put_bool(self.fired);
+        w.put_u32(self.ammo);
+        w.put_u32(self.health);
+    }
+}
+
+impl Decode for ClientUpdate {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(ClientUpdate {
+            player: r.get_string()?,
+            tick: r.get_varint()?,
+            x: r.get_i64()?,
+            y: r.get_i64()?,
+            aim: r.get_i64()?,
+            fired: r.get_bool()?,
+            ammo: r.get_u32()?,
+            health: r.get_u32()?,
+        })
+    }
+}
+
+/// Per-player state as known by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlayerState {
+    /// Player name.
+    pub player: String,
+    /// Position.
+    pub x: i64,
+    /// Position.
+    pub y: i64,
+    /// Health.
+    pub health: u32,
+    /// Score (hits landed).
+    pub score: u32,
+}
+
+impl Encode for PlayerState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.player);
+        w.put_i64(self.x);
+        w.put_i64(self.y);
+        w.put_u32(self.health);
+        w.put_u32(self.score);
+    }
+}
+
+impl Decode for PlayerState {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(PlayerState {
+            player: r.get_string()?,
+            x: r.get_i64()?,
+            y: r.get_i64()?,
+            health: r.get_u32()?,
+            score: r.get_u32()?,
+        })
+    }
+}
+
+/// Server-to-client world snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    /// Server tick number.
+    pub tick: u64,
+    /// All player states.
+    pub players: Vec<PlayerState>,
+}
+
+impl Encode for ServerState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.tick);
+        w.put_varint(self.players.len() as u64);
+        for p in &self.players {
+            p.encode(w);
+        }
+    }
+}
+
+impl Decode for ServerState {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let tick = r.get_varint()?;
+        let n = r.get_varint()?;
+        if n > 1024 {
+            return Err(WireError::LengthOverflow { declared: n, max: 1024 });
+        }
+        let mut players = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            players.push(PlayerState::decode(r)?);
+        }
+        Ok(ServerState { tick, players })
+    }
+}
+
+/// Game message wrapper: distinguishes updates from snapshots on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GameMessage {
+    /// A client update.
+    Update(ClientUpdate),
+    /// A server snapshot.
+    State(ServerState),
+}
+
+impl Encode for GameMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GameMessage::Update(u) => {
+                w.put_u8(1);
+                u.encode(w);
+            }
+            GameMessage::State(s) => {
+                w.put_u8(2);
+                s.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for GameMessage {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            1 => Ok(GameMessage::Update(ClientUpdate::decode(r)?)),
+            2 => Ok(GameMessage::State(ServerState::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                what: "GameMessage",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update() -> ClientUpdate {
+        ClientUpdate {
+            player: "alice".into(),
+            tick: 42,
+            x: -100,
+            y: 250,
+            aim: 90_000,
+            fired: true,
+            ammo: 97,
+            health: 100,
+        }
+    }
+
+    #[test]
+    fn client_update_roundtrip_and_size() {
+        let u = sample_update();
+        let bytes = u.encode_to_vec();
+        assert_eq!(ClientUpdate::decode_exact(&bytes).unwrap(), u);
+        // Counterstrike-like packet size: 50-60 bytes once wrapped in the
+        // guest addressing header; the raw update itself stays small.
+        assert!(bytes.len() < 64, "update too large: {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn server_state_roundtrip() {
+        let s = ServerState {
+            tick: 7,
+            players: vec![
+                PlayerState {
+                    player: "alice".into(),
+                    x: 1,
+                    y: 2,
+                    health: 100,
+                    score: 3,
+                },
+                PlayerState {
+                    player: "bob".into(),
+                    x: -5,
+                    y: 0,
+                    health: 40,
+                    score: 9,
+                },
+            ],
+        };
+        assert_eq!(ServerState::decode_exact(&s.encode_to_vec()).unwrap(), s);
+    }
+
+    #[test]
+    fn game_message_roundtrip_and_bad_tag() {
+        let m = GameMessage::Update(sample_update());
+        assert_eq!(GameMessage::decode_exact(&m.encode_to_vec()).unwrap(), m);
+        let m2 = GameMessage::State(ServerState {
+            tick: 1,
+            players: vec![],
+        });
+        assert_eq!(GameMessage::decode_exact(&m2.encode_to_vec()).unwrap(), m2);
+        assert!(GameMessage::decode_exact(&[9]).is_err());
+    }
+
+    #[test]
+    fn absurd_player_count_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(1); // tick
+        w.put_varint(1_000_000); // player count
+        assert!(ServerState::decode_exact(w.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! The game server guest kernel.
+//!
+//! The server collects client updates, maintains the authoritative world
+//! state (positions, health, scores), and broadcasts a snapshot to every
+//! player once per broadcast interval.  Like the client, it is a
+//! deterministic [`GuestKernel`] and runs inside an AVM; one of the paper's
+//! machines "runs the Counterstrike server in addition to serving a player"
+//! (§6.9).
+
+use std::collections::BTreeMap;
+
+use avm_vm::packet::{encode_guest_packet, parse_guest_packet};
+use avm_vm::{GuestCtx, GuestKernel, GuestStep, VmError};
+use avm_wire::{Decode, Encode, Reader, WireResult, Writer};
+
+use crate::config::{ServerConfig, STARTING_HEALTH};
+use crate::protocol::{ClientUpdate, GameMessage, PlayerState, ServerState};
+
+/// Health lost when another player lands a shot.
+pub const HIT_DAMAGE: u32 = 5;
+/// Abstract step cost of processing one server tick.
+const SERVER_TICK_COST: u64 = 200;
+
+/// The server guest kernel.
+#[derive(Debug, Clone)]
+pub struct GameServer {
+    cfg: ServerConfig,
+    now_us: u64,
+    last_broadcast_us: u64,
+    tick: u64,
+    players: BTreeMap<String, PlayerState>,
+    updates_processed: u64,
+    broadcasts_sent: u64,
+}
+
+impl GameServer {
+    /// Creates a server from its image configuration.
+    pub fn new(cfg: ServerConfig) -> GameServer {
+        let players = cfg
+            .players
+            .iter()
+            .map(|p| {
+                (
+                    p.clone(),
+                    PlayerState {
+                        player: p.clone(),
+                        x: 0,
+                        y: 0,
+                        health: STARTING_HEALTH,
+                        score: 0,
+                    },
+                )
+            })
+            .collect();
+        GameServer {
+            now_us: 0,
+            last_broadcast_us: 0,
+            tick: 0,
+            players,
+            updates_processed: 0,
+            broadcasts_sent: 0,
+            cfg,
+        }
+    }
+
+    /// Number of client updates processed.
+    pub fn updates_processed(&self) -> u64 {
+        self.updates_processed
+    }
+
+    /// Number of snapshots broadcast.
+    pub fn broadcasts_sent(&self) -> u64 {
+        self.broadcasts_sent
+    }
+
+    /// Current authoritative state of a player.
+    pub fn player(&self, name: &str) -> Option<&PlayerState> {
+        self.players.get(name)
+    }
+
+    fn apply_update(&mut self, update: ClientUpdate) {
+        self.updates_processed += 1;
+        let fired = update.fired;
+        let shooter = update.player.clone();
+        if let Some(p) = self.players.get_mut(&update.player) {
+            p.x = update.x;
+            p.y = update.y;
+        }
+        // A fired shot hits the nearest other player (simplified hit model).
+        if fired {
+            let target = self
+                .players
+                .values()
+                .filter(|p| p.player != shooter)
+                .min_by_key(|p| p.x.abs() + p.y.abs())
+                .map(|p| p.player.clone());
+            if let Some(t) = target {
+                if let Some(victim) = self.players.get_mut(&t) {
+                    victim.health = victim.health.saturating_sub(HIT_DAMAGE);
+                }
+                if let Some(s) = self.players.get_mut(&shooter) {
+                    s.score += 1;
+                }
+            }
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut GuestCtx<'_>) {
+        self.tick += 1;
+        let state = ServerState {
+            tick: self.tick,
+            players: self.players.values().cloned().collect(),
+        };
+        let body = GameMessage::State(state).encode_to_vec();
+        for player in self.cfg.players.clone() {
+            // The server does not message itself if it also hosts a player
+            // named like the server node.
+            if player == self.cfg.name {
+                continue;
+            }
+            ctx.send_packet(encode_guest_packet(&player, &body));
+            self.broadcasts_sent += 1;
+        }
+    }
+}
+
+impl GuestKernel for GameServer {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> GuestStep {
+        let Some(now) = ctx.read_clock() else {
+            return GuestStep::WaitingClock;
+        };
+        self.now_us = now;
+
+        let mut did_work = false;
+        while let Some(pkt) = ctx.recv_packet() {
+            did_work = true;
+            let Some((_dest, body)) = parse_guest_packet(&pkt) else {
+                continue;
+            };
+            if let Ok(GameMessage::Update(update)) = GameMessage::decode_exact(body) {
+                self.apply_update(update);
+            }
+        }
+
+        if now.saturating_sub(self.last_broadcast_us) >= self.cfg.broadcast_interval_us {
+            self.last_broadcast_us = now;
+            self.broadcast(ctx);
+            did_work = true;
+        }
+
+        if did_work {
+            GuestStep::Ran {
+                cost: SERVER_TICK_COST,
+            }
+        } else {
+            // Nothing to do until more packets arrive or time advances.
+            GuestStep::Idle
+        }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.cfg.encode(&mut w);
+        w.put_u64(self.now_us);
+        w.put_u64(self.last_broadcast_us);
+        w.put_u64(self.tick);
+        w.put_varint(self.players.len() as u64);
+        for p in self.players.values() {
+            p.encode(&mut w);
+        }
+        w.put_u64(self.updates_processed);
+        w.put_u64(self.broadcasts_sent);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), VmError> {
+        fn inner(r: &mut Reader<'_>) -> WireResult<GameServer> {
+            let cfg = ServerConfig::decode(r)?;
+            let mut s = GameServer::new(cfg);
+            s.now_us = r.get_u64()?;
+            s.last_broadcast_us = r.get_u64()?;
+            s.tick = r.get_u64()?;
+            let n = r.get_varint()?;
+            s.players.clear();
+            for _ in 0..n {
+                let p = PlayerState::decode(r)?;
+                s.players.insert(p.player.clone(), p);
+            }
+            s.updates_processed = r.get_u64()?;
+            s.broadcasts_sent = r.get_u64()?;
+            Ok(s)
+        }
+        let mut r = Reader::new(bytes);
+        let restored = inner(&mut r).map_err(|_| VmError::CorruptState("game server state"))?;
+        if !r.is_empty() {
+            return Err(VmError::CorruptState("trailing bytes in game server state"));
+        }
+        *self = restored;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "game-server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avm_vm::devices::DeviceState;
+    use avm_vm::mem::GuestMemory;
+    use avm_vm::VmExit;
+
+    fn step_with_time(
+        server: &mut GameServer,
+        dev: &mut DeviceState,
+        mem: &mut GuestMemory,
+        time: u64,
+    ) -> Vec<Vec<u8>> {
+        let mut packets = Vec::new();
+        loop {
+            let mut ctx = GuestCtx::new(mem, dev);
+            let step = server.step(&mut ctx);
+            for e in ctx.into_outputs() {
+                if let VmExit::NetTx(p) = e {
+                    packets.push(p);
+                }
+            }
+            match step {
+                GuestStep::WaitingClock => dev.clock.provide(time).unwrap(),
+                _ => break,
+            }
+        }
+        packets
+    }
+
+    fn update(player: &str, tick: u64, fired: bool) -> Vec<u8> {
+        let u = ClientUpdate {
+            player: player.to_string(),
+            tick,
+            x: 10,
+            y: 10,
+            aim: 0,
+            fired,
+            ammo: 99,
+            health: 100,
+        };
+        encode_guest_packet("server", &GameMessage::Update(u).encode_to_vec())
+    }
+
+    fn server_with_players() -> GameServer {
+        GameServer::new(ServerConfig::new(
+            "server",
+            &["alice".to_string(), "bob".to_string()],
+        ))
+    }
+
+    #[test]
+    fn broadcasts_go_to_every_player() {
+        let mut server = server_with_players();
+        let mut dev = DeviceState::new(b"");
+        let mut mem = GuestMemory::new(4096);
+        let packets = step_with_time(&mut server, &mut dev, &mut mem, 40_000);
+        assert_eq!(packets.len(), 2);
+        let (dest0, _) = parse_guest_packet(&packets[0]).unwrap();
+        let (dest1, _) = parse_guest_packet(&packets[1]).unwrap();
+        let mut dests = vec![dest0, dest1];
+        dests.sort();
+        assert_eq!(dests, vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(server.broadcasts_sent(), 2);
+    }
+
+    #[test]
+    fn updates_move_players_and_shots_damage_opponents() {
+        let mut server = server_with_players();
+        let mut dev = DeviceState::new(b"");
+        let mut mem = GuestMemory::new(4096);
+        dev.nic.inject(update("alice", 1, true));
+        step_with_time(&mut server, &mut dev, &mut mem, 40_000);
+        assert_eq!(server.updates_processed(), 1);
+        assert_eq!(server.player("alice").unwrap().x, 10);
+        assert_eq!(server.player("alice").unwrap().score, 1);
+        assert_eq!(
+            server.player("bob").unwrap().health,
+            STARTING_HEALTH - HIT_DAMAGE
+        );
+    }
+
+    #[test]
+    fn idle_when_nothing_to_do() {
+        let mut server = server_with_players();
+        let mut dev = DeviceState::new(b"");
+        let mut mem = GuestMemory::new(4096);
+        // First call broadcasts (interval elapsed from 0) ...
+        step_with_time(&mut server, &mut dev, &mut mem, 40_000);
+        // ... second call at the same time has nothing to do.
+        dev.clock.guest_read();
+        dev.clock.provide(40_001).unwrap();
+        let mut ctx = GuestCtx::new(&mut mem, &mut dev);
+        assert_eq!(server.step(&mut ctx), GuestStep::Idle);
+    }
+
+    #[test]
+    fn state_save_restore_roundtrip() {
+        let mut server = server_with_players();
+        let mut dev = DeviceState::new(b"");
+        let mut mem = GuestMemory::new(4096);
+        dev.nic.inject(update("bob", 1, false));
+        step_with_time(&mut server, &mut dev, &mut mem, 40_000);
+        let state = server.save_state();
+        let mut restored = GameServer::new(ServerConfig::new("x", &[]));
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.save_state(), state);
+        assert_eq!(restored.player("bob").unwrap().x, 10);
+        assert!(restored.restore_state(&state[..3]).is_err());
+        assert_eq!(restored.name(), "game-server");
+    }
+}

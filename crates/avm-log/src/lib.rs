@@ -1,0 +1,29 @@
+//! Tamper-evident logging in the style of PeerReview, as used by the AVMM.
+//!
+//! The paper (§4.3) structures the log as a hash chain: each entry is
+//! `e_i = (s_i, t_i, c_i, h_i)` with `h_i = H(h_{i-1} || s_i || t_i || H(c_i))`
+//! and `h_0 := 0`.  Outgoing messages carry an *authenticator*
+//! `a_i = (s_i, h_i, σ(s_i || h_i))` — a signed commitment to the log prefix —
+//! plus `h_{i-1}` so the recipient can verify that entry `e_i` really is
+//! `SEND(m)`.  Because the hash function is second-pre-image resistant, a
+//! machine that later reorders, modifies, forges or forks its log can no
+//! longer produce a chain consistent with the authenticators it has already
+//! handed out.
+//!
+//! This crate provides the log data structure, authenticators,
+//! acknowledgment payloads and the verification routines an auditor runs
+//! during the *syntactic* phase of an audit.  The *semantic* phase
+//! (deterministic replay) lives in `avm-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod entry;
+pub mod log;
+pub mod verify;
+
+pub use auth::{Acknowledgment, Authenticator};
+pub use entry::{EntryKind, LogEntry};
+pub use log::TamperEvidentLog;
+pub use verify::{verify_segment, LogVerifyError, SegmentSummary};

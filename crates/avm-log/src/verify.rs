@@ -1,0 +1,284 @@
+//! Syntactic verification of log segments against authenticators.
+//!
+//! This is the first half of an audit (paper §4.5): before replaying
+//! anything, the auditor checks that the log segment it downloaded is
+//! *genuine* — the hash chain is intact, the sequence numbers are dense, and
+//! every authenticator the auditor has previously collected matches the
+//! corresponding entry.  A machine that has tampered with, reordered, or
+//! forked its log cannot pass this check.
+
+use avm_crypto::keys::VerifyingKey;
+use avm_crypto::sha256::Digest;
+
+use crate::auth::Authenticator;
+use crate::entry::LogEntry;
+
+/// Reasons a log segment fails syntactic verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogVerifyError {
+    /// The segment is empty.
+    EmptySegment,
+    /// Sequence numbers are not dense and increasing.
+    BadSequence {
+        /// Sequence number that was expected.
+        expected: u64,
+        /// Sequence number that was found.
+        found: u64,
+    },
+    /// An entry's hash does not extend the chain correctly (tampering).
+    BrokenChain {
+        /// Sequence number of the offending entry.
+        seq: u64,
+    },
+    /// An authenticator's signature is invalid.
+    BadAuthenticatorSignature {
+        /// Sequence number the authenticator claims to commit to.
+        seq: u64,
+    },
+    /// An authenticator refers to a sequence number outside the segment.
+    AuthenticatorOutOfRange {
+        /// Sequence number the authenticator refers to.
+        seq: u64,
+        /// First sequence number in the segment.
+        first: u64,
+        /// Last sequence number in the segment.
+        last: u64,
+    },
+    /// An authenticator does not match the entry with the same sequence
+    /// number — the machine forked or rewrote its log.
+    AuthenticatorMismatch {
+        /// Sequence number at which the mismatch was detected.
+        seq: u64,
+    },
+}
+
+impl core::fmt::Display for LogVerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LogVerifyError::EmptySegment => write!(f, "empty log segment"),
+            LogVerifyError::BadSequence { expected, found } => {
+                write!(f, "bad sequence number: expected {expected}, found {found}")
+            }
+            LogVerifyError::BrokenChain { seq } => {
+                write!(f, "hash chain broken at sequence {seq}")
+            }
+            LogVerifyError::BadAuthenticatorSignature { seq } => {
+                write!(f, "invalid authenticator signature for sequence {seq}")
+            }
+            LogVerifyError::AuthenticatorOutOfRange { seq, first, last } => {
+                write!(f, "authenticator for sequence {seq} outside segment [{first}, {last}]")
+            }
+            LogVerifyError::AuthenticatorMismatch { seq } => {
+                write!(f, "authenticator does not match log entry at sequence {seq}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogVerifyError {}
+
+/// Summary of a successfully verified segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// First sequence number in the segment.
+    pub first_seq: u64,
+    /// Last sequence number in the segment.
+    pub last_seq: u64,
+    /// Hash of the final entry (the new chain head).
+    pub final_hash: Digest,
+    /// Number of authenticators that were checked against the segment.
+    pub authenticators_checked: usize,
+}
+
+/// Verifies a log segment.
+///
+/// * `prev_hash` — hash of the entry immediately before the segment
+///   (`h_0 = 0` when the segment starts the log).
+/// * `segment` — the entries, in order.
+/// * `authenticators` — authenticators previously collected from the audited
+///   machine; each must carry a valid signature under `machine_key` and must
+///   match the entry with the same sequence number.
+pub fn verify_segment(
+    prev_hash: &Digest,
+    segment: &[LogEntry],
+    authenticators: &[Authenticator],
+    machine_key: &VerifyingKey,
+) -> Result<SegmentSummary, LogVerifyError> {
+    let first = segment.first().ok_or(LogVerifyError::EmptySegment)?;
+    let last = segment.last().expect("non-empty");
+
+    // 1. Dense sequence numbers and intact hash chain.
+    let mut prev = *prev_hash;
+    let mut expected_seq = first.seq;
+    for entry in segment {
+        if entry.seq != expected_seq {
+            return Err(LogVerifyError::BadSequence {
+                expected: expected_seq,
+                found: entry.seq,
+            });
+        }
+        if !entry.verify_against(&prev) {
+            return Err(LogVerifyError::BrokenChain { seq: entry.seq });
+        }
+        prev = entry.hash;
+        expected_seq += 1;
+    }
+
+    // 2. Every collected authenticator matches the corresponding entry.
+    for auth in authenticators {
+        auth.verify_signature(machine_key)
+            .map_err(|_| LogVerifyError::BadAuthenticatorSignature { seq: auth.seq })?;
+        if auth.seq < first.seq || auth.seq > last.seq {
+            return Err(LogVerifyError::AuthenticatorOutOfRange {
+                seq: auth.seq,
+                first: first.seq,
+                last: last.seq,
+            });
+        }
+        let idx = (auth.seq - first.seq) as usize;
+        let entry = &segment[idx];
+        let entry_prev = if idx == 0 {
+            *prev_hash
+        } else {
+            segment[idx - 1].hash
+        };
+        if entry.hash != auth.hash || entry_prev != auth.prev_hash {
+            return Err(LogVerifyError::AuthenticatorMismatch { seq: auth.seq });
+        }
+    }
+
+    Ok(SegmentSummary {
+        first_seq: first.seq,
+        last_seq: last.seq,
+        final_hash: last.hash,
+        authenticators_checked: authenticators.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+    use crate::log::TamperEvidentLog;
+    use avm_crypto::keys::{SignatureScheme, SigningKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(11);
+        SigningKey::generate(&mut rng, SignatureScheme::Rsa(512))
+    }
+
+    fn build(n: u64, k: &SigningKey) -> (TamperEvidentLog, Vec<Authenticator>) {
+        let mut log = TamperEvidentLog::new();
+        let mut auths = Vec::new();
+        for i in 0..n {
+            let (_, auth) =
+                log.append_authenticated(EntryKind::Send, format!("m{i}").into_bytes(), k);
+            auths.push(auth);
+        }
+        (log, auths)
+    }
+
+    #[test]
+    fn honest_log_verifies() {
+        let k = key();
+        let (log, auths) = build(12, &k);
+        let (prev, seg) = log.segment(1, 12).unwrap();
+        let summary = verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap();
+        assert_eq!(summary.first_seq, 1);
+        assert_eq!(summary.last_seq, 12);
+        assert_eq!(summary.final_hash, log.last_hash());
+        assert_eq!(summary.authenticators_checked, 12);
+    }
+
+    #[test]
+    fn partial_segment_verifies_with_matching_authenticators() {
+        let k = key();
+        let (log, auths) = build(20, &k);
+        let (prev, seg) = log.segment(5, 15).unwrap();
+        let subset: Vec<_> = auths
+            .iter()
+            .filter(|a| a.seq >= 5 && a.seq <= 15)
+            .cloned()
+            .collect();
+        verify_segment(&prev, &seg, &subset, &k.verifying_key()).unwrap();
+    }
+
+    #[test]
+    fn empty_segment_rejected() {
+        let k = key();
+        assert_eq!(
+            verify_segment(&Digest::ZERO, &[], &[], &k.verifying_key()).unwrap_err(),
+            LogVerifyError::EmptySegment
+        );
+    }
+
+    #[test]
+    fn tampered_content_detected() {
+        let k = key();
+        let (log, auths) = build(8, &k);
+        let (prev, mut seg) = log.segment(1, 8).unwrap();
+        seg[3].content = b"forged".to_vec();
+        assert_eq!(
+            verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap_err(),
+            LogVerifyError::BrokenChain { seq: 4 }
+        );
+    }
+
+    #[test]
+    fn dropped_entry_detected() {
+        let k = key();
+        let (log, _) = build(8, &k);
+        let (prev, mut seg) = log.segment(1, 8).unwrap();
+        seg.remove(3);
+        let err = verify_segment(&prev, &seg, &[], &k.verifying_key()).unwrap_err();
+        assert_eq!(err, LogVerifyError::BadSequence { expected: 4, found: 5 });
+    }
+
+    #[test]
+    fn forked_log_detected_by_authenticator_mismatch() {
+        let k = key();
+        // The machine hands out authenticators for one history ...
+        let (_, auths) = build(6, &k);
+        // ... but later presents a different log with the same seq numbers.
+        let mut other = TamperEvidentLog::new();
+        for i in 0..6u64 {
+            other.append(EntryKind::Send, format!("rewritten-{i}").into_bytes());
+        }
+        let (prev, seg) = other.segment(1, 6).unwrap();
+        let err = verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap_err();
+        assert!(matches!(err, LogVerifyError::AuthenticatorMismatch { .. }));
+    }
+
+    #[test]
+    fn authenticator_with_bad_signature_detected() {
+        let k = key();
+        let (log, mut auths) = build(4, &k);
+        auths[2].signature[5] ^= 0xff;
+        let (prev, seg) = log.segment(1, 4).unwrap();
+        assert_eq!(
+            verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap_err(),
+            LogVerifyError::BadAuthenticatorSignature { seq: 3 }
+        );
+    }
+
+    #[test]
+    fn authenticator_outside_segment_detected() {
+        let k = key();
+        let (log, auths) = build(10, &k);
+        let (prev, seg) = log.segment(1, 5).unwrap();
+        let err = verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap_err();
+        assert!(matches!(err, LogVerifyError::AuthenticatorOutOfRange { .. }));
+    }
+
+    #[test]
+    fn wrong_machine_key_detected() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(999);
+        let other = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+        let (log, auths) = build(4, &k);
+        let (prev, seg) = log.segment(1, 4).unwrap();
+        assert!(verify_segment(&prev, &seg, &auths, &other.verifying_key()).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! Discrete-event simulated network for the AVM reproduction.
+//!
+//! The paper's evaluation runs three workstations on a 1 Gbps switch and
+//! measures ping round-trip times, per-packet overhead and aggregate traffic
+//! (§6.7, §6.8).  This crate provides the controllable stand-in: a
+//! discrete-event network with per-link latency, optional deterministic
+//! loss, in-order delivery per link, and byte/packet accounting per node.
+//!
+//! Simulated time is in **microseconds**.  The network never advances time
+//! by itself; the driver (the AVMM runtime in `avm-core`, or a test) calls
+//! [`SimNet::advance_to`] and collects the deliveries that became due.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod stats;
+
+pub use net::{Delivery, LinkConfig, NodeId, SimNet};
+pub use stats::{NodeStats, TrafficReport};

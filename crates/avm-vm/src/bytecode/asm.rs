@@ -1,0 +1,456 @@
+//! A small two-pass assembler for the bytecode ISA.
+//!
+//! The assembler exists so that tests, examples and the cheat catalogue can
+//! express guest programs readably.  Syntax, one statement per line:
+//!
+//! ```text
+//! ; comment
+//! label:
+//!     movi r0, 42          ; immediates may be decimal, 0x hex, or a label
+//!     addi r0, 1
+//!     cmp  r0, r1
+//!     jlt  label
+//!     send r2, r3
+//!     halt
+//! buffer:
+//!     .space 64            ; reserve 64 zero bytes
+//!     .word 0xdeadbeef     ; a little-endian u64
+//!     .ascii "hello"       ; raw bytes
+//! ```
+//!
+//! All label references are absolute addresses (`origin` + offset).
+
+use std::collections::HashMap;
+
+use super::isa::{Instruction, Reg};
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Intermediate item produced by the first pass.
+enum Item {
+    Ins {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Bytes(Vec<u8>),
+}
+
+/// Assembles `source` into bytecode loaded at absolute address `origin`.
+pub fn assemble(source: &str, origin: u64) -> Result<Vec<u8>, AsmError> {
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut offset: u64 = 0;
+
+    // First pass: tokenize, compute sizes, record label addresses.
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line.as_str();
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let candidate = head.trim();
+            if candidate.is_empty() || !is_identifier(candidate) {
+                break;
+            }
+            if labels.insert(candidate.to_string(), origin + offset).is_some() {
+                return Err(err(line_no, format!("duplicate label '{candidate}'")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            let bytes = assemble_directive(directive, line_no)?;
+            offset += bytes.len() as u64;
+            items.push(Item::Bytes(bytes));
+            continue;
+        }
+        let (mnemonic, operands) = split_instruction(rest);
+        let size = instruction_size(&mnemonic, line_no)?;
+        offset += size;
+        items.push(Item::Ins {
+            line: line_no,
+            mnemonic,
+            operands,
+        });
+    }
+
+    // Second pass: encode.
+    let mut code = Vec::with_capacity(offset as usize);
+    for item in items {
+        match item {
+            Item::Bytes(b) => code.extend_from_slice(&b),
+            Item::Ins {
+                line,
+                mnemonic,
+                operands,
+            } => {
+                let ins = encode_instruction(&mnemonic, &operands, &labels, line)?;
+                ins.encode(&mut code);
+            }
+        }
+    }
+    Ok(code)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_instruction(s: &str) -> (String, Vec<String>) {
+    let mut parts = s.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("").to_ascii_lowercase();
+    let operands = parts
+        .next()
+        .map(|ops| {
+            ops.split(',')
+                .map(|o| o.trim().to_string())
+                .filter(|o| !o.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    (mnemonic, operands)
+}
+
+fn assemble_directive(directive: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let (name, arg) = match directive.find(char::is_whitespace) {
+        Some(i) => (&directive[..i], directive[i..].trim()),
+        None => (directive, ""),
+    };
+    match name {
+        "space" => {
+            let n: usize = arg
+                .parse()
+                .map_err(|_| err(line, format!("invalid .space size '{arg}'")))?;
+            Ok(vec![0u8; n])
+        }
+        "word" => {
+            let v = parse_number(arg).ok_or_else(|| err(line, format!("invalid .word '{arg}'")))?;
+            Ok(v.to_le_bytes().to_vec())
+        }
+        "byte" => {
+            let v = parse_number(arg).ok_or_else(|| err(line, format!("invalid .byte '{arg}'")))?;
+            if v > 255 {
+                return Err(err(line, format!(".byte value {v} does not fit in one byte")));
+            }
+            Ok(vec![v as u8])
+        }
+        "ascii" => {
+            let trimmed = arg.trim();
+            if trimmed.len() < 2 || !trimmed.starts_with('"') || !trimmed.ends_with('"') {
+                return Err(err(line, ".ascii requires a double-quoted string"));
+            }
+            Ok(trimmed[1..trimmed.len() - 1].as_bytes().to_vec())
+        }
+        other => Err(err(line, format!("unknown directive '.{other}'"))),
+    }
+}
+
+fn parse_number(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Encoded length, in bytes, of each mnemonic.
+fn instruction_size(mnemonic: &str, line: usize) -> Result<u64, AsmError> {
+    let size = match mnemonic {
+        "halt" | "ret" | "idle" => 1,
+        "push" | "pop" | "clock" => 2,
+        "mov" | "add" | "sub" | "mul" | "div" | "mod" | "and" | "or" | "xor" | "shl" | "shr"
+        | "cmp" | "send" | "input" | "out" => 3,
+        "recv" | "diskrd" | "diskwr" => 4,
+        "jmp" | "jeq" | "jne" | "jlt" | "jge" | "call" => 9,
+        "movi" | "addi" => 10,
+        "load" | "store" | "loadb" | "storeb" => 11,
+        other => return Err(err(line, format!("unknown instruction '{other}'"))),
+    };
+    Ok(size)
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let lower = s.to_ascii_lowercase();
+    let idx = lower
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::checked);
+    idx.ok_or_else(|| err(line, format!("invalid register '{s}'")))
+}
+
+fn parse_imm(s: &str, labels: &HashMap<String, u64>, line: usize) -> Result<u64, AsmError> {
+    if let Some(v) = parse_number(s) {
+        return Ok(v);
+    }
+    labels
+        .get(s)
+        .copied()
+        .ok_or_else(|| err(line, format!("unknown label or immediate '{s}'")))
+}
+
+fn expect_operands(operands: &[String], n: usize, mnemonic: &str, line: usize) -> Result<(), AsmError> {
+    if operands.len() != n {
+        return Err(err(
+            line,
+            format!("'{mnemonic}' expects {n} operands, found {}", operands.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn encode_instruction(
+    mnemonic: &str,
+    operands: &[String],
+    labels: &HashMap<String, u64>,
+    line: usize,
+) -> Result<Instruction, AsmError> {
+    let reg = |i: usize| parse_reg(&operands[i], line);
+    let imm = |i: usize| parse_imm(&operands[i], labels, line);
+    let rr = |f: fn(Reg, Reg) -> Instruction| -> Result<Instruction, AsmError> {
+        expect_operands(operands, 2, mnemonic, line)?;
+        Ok(f(reg(0)?, reg(1)?))
+    };
+    let rrr = |f: fn(Reg, Reg, Reg) -> Instruction| -> Result<Instruction, AsmError> {
+        expect_operands(operands, 3, mnemonic, line)?;
+        Ok(f(reg(0)?, reg(1)?, reg(2)?))
+    };
+    let jump = |f: fn(u64) -> Instruction| -> Result<Instruction, AsmError> {
+        expect_operands(operands, 1, mnemonic, line)?;
+        Ok(f(imm(0)?))
+    };
+    let memop = |f: fn(Reg, Reg, u64) -> Instruction| -> Result<Instruction, AsmError> {
+        if operands.len() == 2 {
+            Ok(f(reg(0)?, reg(1)?, 0))
+        } else {
+            expect_operands(operands, 3, mnemonic, line)?;
+            Ok(f(reg(0)?, reg(1)?, imm(2)?))
+        }
+    };
+    match mnemonic {
+        "halt" => Ok(Instruction::Halt),
+        "ret" => Ok(Instruction::Ret),
+        "idle" => Ok(Instruction::Idle),
+        "movi" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            Ok(Instruction::MovImm(reg(0)?, imm(1)?))
+        }
+        "addi" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            Ok(Instruction::AddImm(reg(0)?, imm(1)?))
+        }
+        "mov" => rr(Instruction::Mov),
+        "add" => rr(Instruction::Add),
+        "sub" => rr(Instruction::Sub),
+        "mul" => rr(Instruction::Mul),
+        "div" => rr(Instruction::Div),
+        "mod" => rr(Instruction::Mod),
+        "and" => rr(Instruction::And),
+        "or" => rr(Instruction::Or),
+        "xor" => rr(Instruction::Xor),
+        "shl" => rr(Instruction::Shl),
+        "shr" => rr(Instruction::Shr),
+        "cmp" => rr(Instruction::Cmp),
+        "send" => rr(Instruction::Send),
+        "input" => rr(Instruction::Input),
+        "out" => rr(Instruction::Out),
+        "recv" => rrr(Instruction::Recv),
+        "diskrd" => rrr(Instruction::DiskRead),
+        "diskwr" => rrr(Instruction::DiskWrite),
+        "jmp" => jump(Instruction::Jmp),
+        "jeq" => jump(Instruction::Jeq),
+        "jne" => jump(Instruction::Jne),
+        "jlt" => jump(Instruction::Jlt),
+        "jge" => jump(Instruction::Jge),
+        "call" => jump(Instruction::Call),
+        "load" => memop(Instruction::Load),
+        "store" => memop(Instruction::Store),
+        "loadb" => memop(Instruction::LoadB),
+        "storeb" => memop(Instruction::StoreB),
+        "push" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            Ok(Instruction::Push(reg(0)?))
+        }
+        "pop" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            Ok(Instruction::Pop(reg(0)?))
+        }
+        "clock" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            Ok(Instruction::Clock(reg(0)?))
+        }
+        other => Err(err(line, format!("unknown instruction '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::isa::Instruction;
+
+    #[test]
+    fn simple_program_assembles() {
+        let src = r"
+            ; add two numbers and halt
+            start:
+                movi r0, 40
+                movi r1, 2
+                add r0, r1
+                halt
+        ";
+        let code = assemble(src, 0).unwrap();
+        let (ins, len) = Instruction::decode(&code, 0).unwrap();
+        assert_eq!(ins, Instruction::MovImm(Reg(0), 40));
+        let (ins, _) = Instruction::decode(&code, len + 10 + 3).unwrap();
+        assert_eq!(ins, Instruction::Halt);
+    }
+
+    #[test]
+    fn labels_resolve_with_origin() {
+        let src = r"
+            loop:
+                addi r0, 1
+                jmp loop
+        ";
+        let code = assemble(src, 0x1000).unwrap();
+        // The jmp target must be the origin.
+        let (ins, _) = Instruction::decode(&code, 10).unwrap();
+        assert_eq!(ins, Instruction::Jmp(0x1000));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = r"
+                jmp end
+                halt
+            end:
+                halt
+        ";
+        let code = assemble(src, 0).unwrap();
+        let (ins, _) = Instruction::decode(&code, 0).unwrap();
+        assert_eq!(ins, Instruction::Jmp(10)); // 9 (jmp) + 1 (halt)
+    }
+
+    #[test]
+    fn directives_emit_bytes() {
+        let src = r#"
+            data:
+                .ascii "hi"
+                .word 0x0102
+                .space 3
+                .byte 0xfe
+        "#;
+        let code = assemble(src, 0).unwrap();
+        assert_eq!(&code[..2], b"hi");
+        assert_eq!(code[2], 0x02);
+        assert_eq!(code[3], 0x01);
+        assert_eq!(code.len(), 2 + 8 + 3 + 1);
+        assert_eq!(*code.last().unwrap(), 0xfe);
+        assert!(assemble(".byte 300", 0).is_err());
+        assert!(assemble(".byte x", 0).is_err());
+    }
+
+    #[test]
+    fn label_as_immediate() {
+        let src = r#"
+                movi r1, message
+                movi r2, 5
+                out r1, r2
+                halt
+            message:
+                .ascii "hello"
+        "#;
+        let code = assemble(src, 0x2000).unwrap();
+        let (ins, _) = Instruction::decode(&code, 0).unwrap();
+        // message follows movi(10)+movi(10)+out(3)+halt(1) = 24 bytes after origin.
+        assert_eq!(ins, Instruction::MovImm(Reg(1), 0x2000 + 24));
+    }
+
+    #[test]
+    fn hex_and_decimal_immediates() {
+        let code = assemble("movi r0, 0xff\nmovi r1, 255\nhalt", 0).unwrap();
+        let (a, _) = Instruction::decode(&code, 0).unwrap();
+        let (b, _) = Instruction::decode(&code, 10).unwrap();
+        assert_eq!(a, Instruction::MovImm(Reg(0), 255));
+        assert_eq!(b, Instruction::MovImm(Reg(1), 255));
+    }
+
+    #[test]
+    fn errors_report_line_numbers() {
+        let e = assemble("movi r0, 1\nbogus r1, r2\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nhalt\na:\nhalt", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("jmp nowhere", 0).unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn invalid_register_rejected() {
+        assert!(assemble("movi r16, 1", 0).is_err());
+        assert!(assemble("mov rx, r1", 0).is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble("add r1", 0).is_err());
+        assert!(assemble("halt r1, r2", 0).is_ok() || assemble("halt", 0).is_ok());
+        assert!(assemble("recv r1, r2", 0).is_err());
+    }
+
+    #[test]
+    fn load_store_with_and_without_offset() {
+        let code = assemble("load r1, r2\nload r1, r2, 16\nstore r1, r2, 8\nhalt", 0).unwrap();
+        let (a, _) = Instruction::decode(&code, 0).unwrap();
+        let (b, _) = Instruction::decode(&code, 11).unwrap();
+        assert_eq!(a, Instruction::Load(Reg(1), Reg(2), 0));
+        assert_eq!(b, Instruction::Load(Reg(1), Reg(2), 16));
+    }
+}

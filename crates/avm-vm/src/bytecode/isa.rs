@@ -1,0 +1,414 @@
+//! Instruction set definition, encoding and decoding.
+//!
+//! Instructions are byte-aligned and variable length: a one-byte opcode
+//! followed by fixed-width operands (register indices are one byte,
+//! immediates and addresses are little-endian `u64`).
+
+use crate::error::{VmError, VmResult};
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// A register index (0..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates the register index.
+    pub fn checked(idx: u8) -> Option<Reg> {
+        if (idx as usize) < NUM_REGS {
+            Some(Reg(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Index as usize.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Stop execution permanently.
+    Halt,
+    /// `rd := imm`.
+    MovImm(Reg, u64),
+    /// `rd := rs`.
+    Mov(Reg, Reg),
+    /// `rd := rd + rs` (wrapping).
+    Add(Reg, Reg),
+    /// `rd := rd - rs` (wrapping).
+    Sub(Reg, Reg),
+    /// `rd := rd * rs` (wrapping).
+    Mul(Reg, Reg),
+    /// `rd := rd / rs`; faults on zero divisor.
+    Div(Reg, Reg),
+    /// `rd := rd % rs`; faults on zero divisor.
+    Mod(Reg, Reg),
+    /// `rd := rd & rs`.
+    And(Reg, Reg),
+    /// `rd := rd | rs`.
+    Or(Reg, Reg),
+    /// `rd := rd ^ rs`.
+    Xor(Reg, Reg),
+    /// `rd := rd << (rs & 63)`.
+    Shl(Reg, Reg),
+    /// `rd := rd >> (rs & 63)`.
+    Shr(Reg, Reg),
+    /// `rd := rd + imm` (wrapping).
+    AddImm(Reg, u64),
+    /// Compare two registers; sets the condition flag.
+    Cmp(Reg, Reg),
+    /// Unconditional jump to an absolute address.
+    Jmp(u64),
+    /// Jump if the last comparison was equal.
+    Jeq(u64),
+    /// Jump if the last comparison was not equal.
+    Jne(u64),
+    /// Jump if the last comparison was less-than.
+    Jlt(u64),
+    /// Jump if the last comparison was greater-or-equal.
+    Jge(u64),
+    /// `rd := mem64[rs + off]`.
+    Load(Reg, Reg, u64),
+    /// `mem64[ra + off] := rv`.
+    Store(Reg, Reg, u64),
+    /// `rd := mem8[rs + off]` (zero-extended).
+    LoadB(Reg, Reg, u64),
+    /// `mem8[ra + off] := low byte of rv`.
+    StoreB(Reg, Reg, u64),
+    /// Push a register onto the stack (r15 is the stack pointer).
+    Push(Reg),
+    /// Pop the top of stack into a register.
+    Pop(Reg),
+    /// Call a subroutine at an absolute address (pushes the return pc).
+    Call(u64),
+    /// Return from a subroutine.
+    Ret,
+    /// Read the virtual clock into `rd` (nondeterministic input; may exit).
+    Clock(Reg),
+    /// Transmit `mem[rp .. rp+rl]` as a network packet.
+    Send(Reg, Reg),
+    /// Poll the NIC: receive into `mem[rp .. rp+rmax]`, length into `rd` (0 = none).
+    Recv(Reg, Reg, Reg),
+    /// Poll local input: code into `rc`, value into `rv`; `rc = u64::MAX` when empty.
+    Input(Reg, Reg),
+    /// Write `mem[rp .. rp+rl]` to the console.
+    Out(Reg, Reg),
+    /// Read `rl` bytes at disk offset `ro` into memory at `rp`.
+    DiskRead(Reg, Reg, Reg),
+    /// Write `rl` bytes from memory at `rp` to disk offset `ro`.
+    DiskWrite(Reg, Reg, Reg),
+    /// Yield to the hypervisor: the guest has nothing to do right now.
+    Idle,
+}
+
+mod opcodes {
+    pub const HALT: u8 = 0x00;
+    pub const MOVI: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const ADD: u8 = 0x03;
+    pub const SUB: u8 = 0x04;
+    pub const MUL: u8 = 0x05;
+    pub const DIV: u8 = 0x06;
+    pub const MOD: u8 = 0x07;
+    pub const AND: u8 = 0x08;
+    pub const OR: u8 = 0x09;
+    pub const XOR: u8 = 0x0a;
+    pub const SHL: u8 = 0x0b;
+    pub const SHR: u8 = 0x0c;
+    pub const ADDI: u8 = 0x0d;
+    pub const CMP: u8 = 0x0e;
+    pub const JMP: u8 = 0x0f;
+    pub const JEQ: u8 = 0x10;
+    pub const JNE: u8 = 0x11;
+    pub const JLT: u8 = 0x12;
+    pub const JGE: u8 = 0x13;
+    pub const LOAD: u8 = 0x14;
+    pub const STORE: u8 = 0x15;
+    pub const LOADB: u8 = 0x16;
+    pub const STOREB: u8 = 0x17;
+    pub const PUSH: u8 = 0x18;
+    pub const POP: u8 = 0x19;
+    pub const CALL: u8 = 0x1a;
+    pub const RET: u8 = 0x1b;
+    pub const CLOCK: u8 = 0x1c;
+    pub const SEND: u8 = 0x1d;
+    pub const RECV: u8 = 0x1e;
+    pub const INPUT: u8 = 0x1f;
+    pub const OUT: u8 = 0x20;
+    pub const DISKRD: u8 = 0x21;
+    pub const DISKWR: u8 = 0x22;
+    pub const IDLE: u8 = 0x23;
+}
+
+impl Instruction {
+    /// Appends the encoding of this instruction to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use opcodes::*;
+        match self {
+            Instruction::Halt => out.push(HALT),
+            Instruction::MovImm(rd, imm) => {
+                out.push(MOVI);
+                out.push(rd.0);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instruction::Mov(rd, rs) => encode_rr(out, MOV, rd, rs),
+            Instruction::Add(rd, rs) => encode_rr(out, ADD, rd, rs),
+            Instruction::Sub(rd, rs) => encode_rr(out, SUB, rd, rs),
+            Instruction::Mul(rd, rs) => encode_rr(out, MUL, rd, rs),
+            Instruction::Div(rd, rs) => encode_rr(out, DIV, rd, rs),
+            Instruction::Mod(rd, rs) => encode_rr(out, MOD, rd, rs),
+            Instruction::And(rd, rs) => encode_rr(out, AND, rd, rs),
+            Instruction::Or(rd, rs) => encode_rr(out, OR, rd, rs),
+            Instruction::Xor(rd, rs) => encode_rr(out, XOR, rd, rs),
+            Instruction::Shl(rd, rs) => encode_rr(out, SHL, rd, rs),
+            Instruction::Shr(rd, rs) => encode_rr(out, SHR, rd, rs),
+            Instruction::AddImm(rd, imm) => {
+                out.push(ADDI);
+                out.push(rd.0);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instruction::Cmp(r1, r2) => encode_rr(out, CMP, r1, r2),
+            Instruction::Jmp(a) => encode_addr(out, JMP, *a),
+            Instruction::Jeq(a) => encode_addr(out, JEQ, *a),
+            Instruction::Jne(a) => encode_addr(out, JNE, *a),
+            Instruction::Jlt(a) => encode_addr(out, JLT, *a),
+            Instruction::Jge(a) => encode_addr(out, JGE, *a),
+            Instruction::Load(rd, rs, off) => encode_mem(out, LOAD, rd, rs, *off),
+            Instruction::Store(rv, ra, off) => encode_mem(out, STORE, rv, ra, *off),
+            Instruction::LoadB(rd, rs, off) => encode_mem(out, LOADB, rd, rs, *off),
+            Instruction::StoreB(rv, ra, off) => encode_mem(out, STOREB, rv, ra, *off),
+            Instruction::Push(r) => {
+                out.push(PUSH);
+                out.push(r.0);
+            }
+            Instruction::Pop(r) => {
+                out.push(POP);
+                out.push(r.0);
+            }
+            Instruction::Call(a) => encode_addr(out, CALL, *a),
+            Instruction::Ret => out.push(RET),
+            Instruction::Clock(r) => {
+                out.push(CLOCK);
+                out.push(r.0);
+            }
+            Instruction::Send(rp, rl) => encode_rr(out, SEND, rp, rl),
+            Instruction::Recv(rd, rp, rm) => encode_rrr(out, RECV, rd, rp, rm),
+            Instruction::Input(rc, rv) => encode_rr(out, INPUT, rc, rv),
+            Instruction::Out(rp, rl) => encode_rr(out, OUT, rp, rl),
+            Instruction::DiskRead(ro, rp, rl) => encode_rrr(out, DISKRD, ro, rp, rl),
+            Instruction::DiskWrite(ro, rp, rl) => encode_rrr(out, DISKWR, ro, rp, rl),
+            Instruction::Idle => out.push(IDLE),
+        }
+    }
+
+    /// Encodes to a fresh vector.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes the instruction at `code[pc..]`.
+    ///
+    /// Returns the instruction and its encoded length.
+    pub fn decode(code: &[u8], pc: u64) -> VmResult<(Instruction, u64)> {
+        use opcodes::*;
+        let at = pc as usize;
+        let opcode = *code.get(at).ok_or(VmError::IllegalInstruction {
+            pc,
+            opcode: 0xff,
+        })?;
+        let reg = |offset: usize| -> VmResult<Reg> {
+            let idx = *code.get(at + offset).ok_or(VmError::IllegalInstruction { pc, opcode })?;
+            Reg::checked(idx).ok_or(VmError::IllegalInstruction { pc, opcode })
+        };
+        let imm = |offset: usize| -> VmResult<u64> {
+            let end = at + offset + 8;
+            if end > code.len() {
+                return Err(VmError::IllegalInstruction { pc, opcode });
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&code[at + offset..end]);
+            Ok(u64::from_le_bytes(b))
+        };
+        let ins = match opcode {
+            HALT => (Instruction::Halt, 1),
+            MOVI => (Instruction::MovImm(reg(1)?, imm(2)?), 10),
+            MOV => (Instruction::Mov(reg(1)?, reg(2)?), 3),
+            ADD => (Instruction::Add(reg(1)?, reg(2)?), 3),
+            SUB => (Instruction::Sub(reg(1)?, reg(2)?), 3),
+            MUL => (Instruction::Mul(reg(1)?, reg(2)?), 3),
+            DIV => (Instruction::Div(reg(1)?, reg(2)?), 3),
+            MOD => (Instruction::Mod(reg(1)?, reg(2)?), 3),
+            AND => (Instruction::And(reg(1)?, reg(2)?), 3),
+            OR => (Instruction::Or(reg(1)?, reg(2)?), 3),
+            XOR => (Instruction::Xor(reg(1)?, reg(2)?), 3),
+            SHL => (Instruction::Shl(reg(1)?, reg(2)?), 3),
+            SHR => (Instruction::Shr(reg(1)?, reg(2)?), 3),
+            ADDI => (Instruction::AddImm(reg(1)?, imm(2)?), 10),
+            CMP => (Instruction::Cmp(reg(1)?, reg(2)?), 3),
+            JMP => (Instruction::Jmp(imm(1)?), 9),
+            JEQ => (Instruction::Jeq(imm(1)?), 9),
+            JNE => (Instruction::Jne(imm(1)?), 9),
+            JLT => (Instruction::Jlt(imm(1)?), 9),
+            JGE => (Instruction::Jge(imm(1)?), 9),
+            LOAD => (Instruction::Load(reg(1)?, reg(2)?, imm(3)?), 11),
+            STORE => (Instruction::Store(reg(1)?, reg(2)?, imm(3)?), 11),
+            LOADB => (Instruction::LoadB(reg(1)?, reg(2)?, imm(3)?), 11),
+            STOREB => (Instruction::StoreB(reg(1)?, reg(2)?, imm(3)?), 11),
+            PUSH => (Instruction::Push(reg(1)?), 2),
+            POP => (Instruction::Pop(reg(1)?), 2),
+            CALL => (Instruction::Call(imm(1)?), 9),
+            RET => (Instruction::Ret, 1),
+            CLOCK => (Instruction::Clock(reg(1)?), 2),
+            SEND => (Instruction::Send(reg(1)?, reg(2)?), 3),
+            RECV => (Instruction::Recv(reg(1)?, reg(2)?, reg(3)?), 4),
+            INPUT => (Instruction::Input(reg(1)?, reg(2)?), 3),
+            OUT => (Instruction::Out(reg(1)?, reg(2)?), 3),
+            DISKRD => (Instruction::DiskRead(reg(1)?, reg(2)?, reg(3)?), 4),
+            DISKWR => (Instruction::DiskWrite(reg(1)?, reg(2)?, reg(3)?), 4),
+            IDLE => (Instruction::Idle, 1),
+            other => return Err(VmError::IllegalInstruction { pc, opcode: other }),
+        };
+        Ok(ins)
+    }
+}
+
+fn encode_rr(out: &mut Vec<u8>, op: u8, a: &Reg, b: &Reg) {
+    out.push(op);
+    out.push(a.0);
+    out.push(b.0);
+}
+
+fn encode_rrr(out: &mut Vec<u8>, op: u8, a: &Reg, b: &Reg, c: &Reg) {
+    out.push(op);
+    out.push(a.0);
+    out.push(b.0);
+    out.push(c.0);
+}
+
+fn encode_addr(out: &mut Vec<u8>, op: u8, addr: u64) {
+    out.push(op);
+    out.extend_from_slice(&addr.to_le_bytes());
+}
+
+fn encode_mem(out: &mut Vec<u8>, op: u8, a: &Reg, b: &Reg, off: u64) {
+    out.push(op);
+    out.push(a.0);
+    out.push(b.0);
+    out.extend_from_slice(&off.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instructions() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            Halt,
+            MovImm(Reg(1), 0xdead_beef),
+            Mov(Reg(2), Reg(3)),
+            Add(Reg(0), Reg(1)),
+            Sub(Reg(4), Reg(5)),
+            Mul(Reg(6), Reg(7)),
+            Div(Reg(8), Reg(9)),
+            Mod(Reg(10), Reg(11)),
+            And(Reg(12), Reg(13)),
+            Or(Reg(14), Reg(15)),
+            Xor(Reg(1), Reg(1)),
+            Shl(Reg(2), Reg(3)),
+            Shr(Reg(2), Reg(3)),
+            AddImm(Reg(5), u64::MAX),
+            Cmp(Reg(1), Reg(2)),
+            Jmp(0x1000),
+            Jeq(0x1001),
+            Jne(0x1002),
+            Jlt(0x1003),
+            Jge(0x1004),
+            Load(Reg(1), Reg(2), 64),
+            Store(Reg(3), Reg(4), 128),
+            LoadB(Reg(5), Reg(6), 1),
+            StoreB(Reg(7), Reg(8), 2),
+            Push(Reg(9)),
+            Pop(Reg(10)),
+            Call(0x2000),
+            Ret,
+            Clock(Reg(3)),
+            Send(Reg(1), Reg(2)),
+            Recv(Reg(1), Reg(2), Reg(3)),
+            Input(Reg(4), Reg(5)),
+            Out(Reg(6), Reg(7)),
+            DiskRead(Reg(1), Reg(2), Reg(3)),
+            DiskWrite(Reg(4), Reg(5), Reg(6)),
+            Idle,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for ins in all_instructions() {
+            let bytes = ins.encode_to_vec();
+            let (decoded, len) = Instruction::decode(&bytes, 0).unwrap();
+            assert_eq!(decoded, ins);
+            assert_eq!(len as usize, bytes.len(), "{ins:?}");
+        }
+    }
+
+    #[test]
+    fn program_of_many_instructions_decodes_sequentially() {
+        let program = all_instructions();
+        let mut code = Vec::new();
+        for ins in &program {
+            ins.encode(&mut code);
+        }
+        let mut pc = 0u64;
+        let mut decoded = Vec::new();
+        while (pc as usize) < code.len() {
+            let (ins, len) = Instruction::decode(&code, pc).unwrap();
+            decoded.push(ins);
+            pc += len;
+        }
+        assert_eq!(decoded, program);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let err = Instruction::decode(&[0x7f], 0).unwrap_err();
+        assert_eq!(err, VmError::IllegalInstruction { pc: 0, opcode: 0x7f });
+    }
+
+    #[test]
+    fn truncated_instruction_rejected() {
+        // MOVI needs 10 bytes.
+        let bytes = vec![0x01, 0x02, 0x03];
+        assert!(Instruction::decode(&bytes, 0).is_err());
+        // Decode past the end.
+        assert!(Instruction::decode(&bytes, 100).is_err());
+    }
+
+    #[test]
+    fn invalid_register_rejected() {
+        // MOV with register index 16.
+        let bytes = vec![0x02, 16, 0];
+        assert!(Instruction::decode(&bytes, 0).is_err());
+        assert!(Reg::checked(15).is_some());
+        assert!(Reg::checked(16).is_none());
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,16 @@
+//! The bytecode guest architecture: a small RISC-like ISA, an assembler and
+//! an interpreting CPU.
+//!
+//! Bytecode guests are the closest analogue in this reproduction to the
+//! paper's "unmodified binary images": the auditor only needs the program
+//! bytes (as part of the VM image), not its source, and the CPU's step
+//! counter provides the instruction-precise positions at which asynchronous
+//! inputs are re-injected during replay.
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+
+pub use asm::{assemble, AsmError};
+pub use cpu::BytecodeCpu;
+pub use isa::{Instruction, Reg, NUM_REGS};

@@ -1,0 +1,519 @@
+//! Virtual devices: clock, NIC, block disk, local input and console.
+//!
+//! The devices are the only channel through which nondeterminism can enter a
+//! guest.  The AVMM hooks exactly these points:
+//!
+//! * **Clock** reads are host-provided values; each read is a
+//!   nondeterministic input (the paper's `TimeTracker` entries).
+//! * **NIC** receive queues are filled by injection (each injected packet is
+//!   logged with its step stamp); transmissions are externally visible
+//!   output.
+//! * **Local input** events (keyboard/mouse) are injected and logged.
+//! * The **disk** is deterministic: its initial content comes from the VM
+//!   image and all subsequent changes are made by the (deterministic) guest,
+//!   so reads need not be logged (paper §4.4).
+//! * The **console** is an output-only diagnostic channel.
+
+use std::collections::VecDeque;
+
+use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
+
+use crate::error::{VmError, VmResult};
+
+/// Size of one disk block for dirty tracking and incremental snapshots.
+pub const DISK_BLOCK_SIZE: usize = 4096;
+
+/// A local input event (keyboard, mouse, controller).
+///
+/// The encoding is deliberately generic: `device` selects the input device,
+/// `code` is a key/axis code and `value` the state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputEvent {
+    /// Input device identifier (0 = keyboard, 1 = mouse, ...).
+    pub device: u8,
+    /// Key or axis code.
+    pub code: u32,
+    /// New value (1 = press, 0 = release, or an axis delta).
+    pub value: i64,
+}
+
+impl Encode for InputEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.device);
+        w.put_u32(self.code);
+        w.put_i64(self.value);
+    }
+}
+
+impl Decode for InputEvent {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(InputEvent {
+            device: r.get_u8()?,
+            code: r.get_u32()?,
+            value: r.get_i64()?,
+        })
+    }
+}
+
+/// The virtual clock port.
+///
+/// Guests request the time; the hypervisor supplies it.  Each read is a
+/// nondeterministic input that the AVMM records.
+#[derive(Debug, Clone, Default)]
+pub struct ClockPort {
+    /// Set when the guest has requested a value and none has been provided.
+    pub pending_request: bool,
+    /// Host-provided value awaiting consumption by the guest.
+    pub response: Option<u64>,
+    /// Number of clock reads completed by the guest.
+    pub reads_served: u64,
+}
+
+impl ClockPort {
+    /// Guest-side read attempt.  Returns the value if one is available,
+    /// otherwise records a pending request (the machine will exit to the
+    /// hypervisor).
+    pub fn guest_read(&mut self) -> Option<u64> {
+        if let Some(v) = self.response.take() {
+            self.pending_request = false;
+            self.reads_served += 1;
+            Some(v)
+        } else {
+            self.pending_request = true;
+            None
+        }
+    }
+
+    /// Hypervisor-side delivery of a clock value.
+    pub fn provide(&mut self, value: u64) -> VmResult<()> {
+        if !self.pending_request {
+            return Err(VmError::UnexpectedHostResponse);
+        }
+        self.response = Some(value);
+        Ok(())
+    }
+}
+
+/// Virtual network interface.
+#[derive(Debug, Clone, Default)]
+pub struct Nic {
+    /// Packets injected by the hypervisor, not yet read by the guest.
+    pub rx_queue: VecDeque<Vec<u8>>,
+    /// Total packets received (injected).
+    pub rx_packets: u64,
+    /// Total packets transmitted by the guest.
+    pub tx_packets: u64,
+    /// Total payload bytes received.
+    pub rx_bytes: u64,
+    /// Total payload bytes transmitted.
+    pub tx_bytes: u64,
+}
+
+impl Nic {
+    /// Hypervisor-side packet injection.
+    pub fn inject(&mut self, data: Vec<u8>) {
+        self.rx_packets += 1;
+        self.rx_bytes += data.len() as u64;
+        self.rx_queue.push_back(data);
+    }
+
+    /// Guest-side receive poll.
+    pub fn guest_recv(&mut self) -> Option<Vec<u8>> {
+        self.rx_queue.pop_front()
+    }
+
+    /// Guest-side transmit accounting (the payload itself is surfaced as a
+    /// [`crate::exit::VmExit::NetTx`]).
+    pub fn note_tx(&mut self, len: usize) {
+        self.tx_packets += 1;
+        self.tx_bytes += len as u64;
+    }
+
+    /// True if a packet is waiting for the guest.
+    pub fn has_rx(&self) -> bool {
+        !self.rx_queue.is_empty()
+    }
+}
+
+/// Local input device queue.
+#[derive(Debug, Clone, Default)]
+pub struct InputQueue {
+    /// Events injected by the hypervisor, not yet read by the guest.
+    pub queue: VecDeque<InputEvent>,
+    /// Total events injected.
+    pub injected: u64,
+}
+
+impl InputQueue {
+    /// Hypervisor-side injection.
+    pub fn inject(&mut self, ev: InputEvent) {
+        self.injected += 1;
+        self.queue.push_back(ev);
+    }
+
+    /// Guest-side poll.
+    pub fn guest_poll(&mut self) -> Option<InputEvent> {
+        self.queue.pop_front()
+    }
+}
+
+/// Virtual block disk with dirty-block tracking.
+///
+/// Initial contents come from the VM image; because the guest is
+/// deterministic, the disk never needs to be logged — only snapshotted.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    data: Vec<u8>,
+    dirty: Vec<bool>,
+    /// Sectors read by the guest (statistics only).
+    pub reads: u64,
+    /// Sectors written by the guest (statistics only).
+    pub writes: u64,
+}
+
+impl Disk {
+    /// Creates a disk of `size` bytes (rounded up to whole blocks), zero-filled.
+    pub fn new(size: u64) -> Disk {
+        let blocks = (size as usize).div_ceil(DISK_BLOCK_SIZE).max(1);
+        Disk {
+            data: vec![0u8; blocks * DISK_BLOCK_SIZE],
+            dirty: vec![false; blocks],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Creates a disk initialized with `content` (padded to whole blocks).
+    pub fn from_content(content: &[u8]) -> Disk {
+        let mut disk = Disk::new(content.len().max(1) as u64);
+        disk.data[..content.len()].copy_from_slice(content);
+        disk
+    }
+
+    /// Disk size in bytes.
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Number of dirty-trackable blocks.
+    pub fn block_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    fn check(&self, offset: u64, len: usize) -> VmResult<()> {
+        let end = offset.checked_add(len as u64).ok_or(VmError::DiskOutOfRange {
+            sector: offset / DISK_BLOCK_SIZE as u64,
+            sectors: self.block_count() as u64,
+        })?;
+        if end > self.size() {
+            return Err(VmError::DiskOutOfRange {
+                sector: offset / DISK_BLOCK_SIZE as u64,
+                sectors: self.block_count() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at byte `offset`.
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> VmResult<()> {
+        self.check(offset, buf.len())?;
+        buf.copy_from_slice(&self.data[offset as usize..offset as usize + buf.len()]);
+        self.reads += 1;
+        Ok(())
+    }
+
+    /// Writes `data` at byte `offset`, marking touched blocks dirty.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> VmResult<()> {
+        self.check(offset, data.len())?;
+        self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        let first = offset as usize / DISK_BLOCK_SIZE;
+        let last = (offset as usize + data.len().max(1) - 1) / DISK_BLOCK_SIZE;
+        for b in first..=last.min(self.dirty.len() - 1) {
+            self.dirty[b] = true;
+        }
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Returns block `idx` contents.
+    pub fn block(&self, idx: usize) -> Option<&[u8]> {
+        if idx >= self.block_count() {
+            return None;
+        }
+        Some(&self.data[idx * DISK_BLOCK_SIZE..(idx + 1) * DISK_BLOCK_SIZE])
+    }
+
+    /// Overwrites block `idx` (snapshot restore).
+    pub fn set_block(&mut self, idx: usize, content: &[u8]) -> VmResult<()> {
+        if idx >= self.block_count() || content.len() != DISK_BLOCK_SIZE {
+            return Err(VmError::CorruptState("disk block restore out of range"));
+        }
+        self.data[idx * DISK_BLOCK_SIZE..(idx + 1) * DISK_BLOCK_SIZE].copy_from_slice(content);
+        self.dirty[idx] = true;
+        Ok(())
+    }
+
+    /// Indices of blocks written since the last [`Disk::clear_dirty`].
+    pub fn dirty_blocks(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| if d { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Clears all dirty bits.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+}
+
+/// Console output sink (diagnostics; accumulated, drained by the hypervisor).
+#[derive(Debug, Clone, Default)]
+pub struct Console {
+    /// Bytes written by the guest and not yet drained.
+    pub buffer: Vec<u8>,
+    /// Total bytes ever written.
+    pub total_bytes: u64,
+}
+
+impl Console {
+    /// Guest-side write.
+    pub fn write(&mut self, data: &[u8]) {
+        self.total_bytes += data.len() as u64;
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Hypervisor-side drain.
+    pub fn drain(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buffer)
+    }
+}
+
+/// All device state of a machine.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    /// The virtual clock port.
+    pub clock: ClockPort,
+    /// The virtual NIC.
+    pub nic: Nic,
+    /// The local input queue.
+    pub input: InputQueue,
+    /// The virtual disk.
+    pub disk: Disk,
+    /// The console.
+    pub console: Console,
+}
+
+impl DeviceState {
+    /// Creates device state with a disk initialized from `disk_content`.
+    pub fn new(disk_content: &[u8]) -> DeviceState {
+        DeviceState {
+            clock: ClockPort::default(),
+            nic: Nic::default(),
+            input: InputQueue::default(),
+            disk: Disk::from_content(disk_content),
+            console: Console::default(),
+        }
+    }
+
+    /// Serializes the *volatile* device state (everything except disk
+    /// contents, which are snapshotted block-wise like memory pages).
+    pub fn save_volatile(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        // Clock.
+        w.put_bool(self.clock.pending_request);
+        match self.clock.response {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                w.put_u64(v);
+            }
+        }
+        w.put_u64(self.clock.reads_served);
+        // NIC.
+        w.put_varint(self.nic.rx_queue.len() as u64);
+        for p in &self.nic.rx_queue {
+            w.put_bytes(p);
+        }
+        w.put_u64(self.nic.rx_packets);
+        w.put_u64(self.nic.tx_packets);
+        w.put_u64(self.nic.rx_bytes);
+        w.put_u64(self.nic.tx_bytes);
+        // Input queue.
+        w.put_varint(self.input.queue.len() as u64);
+        for ev in &self.input.queue {
+            ev.encode(&mut w);
+        }
+        w.put_u64(self.input.injected);
+        // Disk statistics (content handled separately).
+        w.put_u64(self.disk.reads);
+        w.put_u64(self.disk.writes);
+        // Console.
+        w.put_bytes(&self.console.buffer);
+        w.put_u64(self.console.total_bytes);
+        w.into_bytes()
+    }
+
+    /// Restores volatile device state saved by [`DeviceState::save_volatile`].
+    pub fn restore_volatile(&mut self, bytes: &[u8]) -> VmResult<()> {
+        let mut r = Reader::new(bytes);
+        self.restore_volatile_inner(&mut r)
+            .map_err(|_| VmError::CorruptState("device state blob"))?;
+        if !r.is_empty() {
+            return Err(VmError::CorruptState("trailing bytes in device state"));
+        }
+        Ok(())
+    }
+
+    fn restore_volatile_inner(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clock.pending_request = r.get_bool()?;
+        self.clock.response = match r.get_u8()? {
+            0 => None,
+            _ => Some(r.get_u64()?),
+        };
+        self.clock.reads_served = r.get_u64()?;
+        let n = r.get_varint()?;
+        self.nic.rx_queue.clear();
+        for _ in 0..n {
+            self.nic.rx_queue.push_back(r.get_bytes()?.to_vec());
+        }
+        self.nic.rx_packets = r.get_u64()?;
+        self.nic.tx_packets = r.get_u64()?;
+        self.nic.rx_bytes = r.get_u64()?;
+        self.nic.tx_bytes = r.get_u64()?;
+        let n = r.get_varint()?;
+        self.input.queue.clear();
+        for _ in 0..n {
+            self.input.queue.push_back(InputEvent::decode(r)?);
+        }
+        self.input.injected = r.get_u64()?;
+        self.disk.reads = r.get_u64()?;
+        self.disk.writes = r.get_u64()?;
+        self.console.buffer = r.get_bytes()?.to_vec();
+        self.console.total_bytes = r.get_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_request_response_cycle() {
+        let mut clock = ClockPort::default();
+        assert_eq!(clock.guest_read(), None);
+        assert!(clock.pending_request);
+        // Providing without a request is an error only when no request pending.
+        clock.provide(123).unwrap();
+        assert_eq!(clock.guest_read(), Some(123));
+        assert_eq!(clock.reads_served, 1);
+        assert!(!clock.pending_request);
+        assert_eq!(clock.provide(1), Err(VmError::UnexpectedHostResponse));
+    }
+
+    #[test]
+    fn nic_inject_and_recv_in_order() {
+        let mut nic = Nic::default();
+        assert!(!nic.has_rx());
+        nic.inject(vec![1, 2, 3]);
+        nic.inject(vec![4]);
+        assert!(nic.has_rx());
+        assert_eq!(nic.guest_recv(), Some(vec![1, 2, 3]));
+        assert_eq!(nic.guest_recv(), Some(vec![4]));
+        assert_eq!(nic.guest_recv(), None);
+        assert_eq!(nic.rx_packets, 2);
+        assert_eq!(nic.rx_bytes, 4);
+        nic.note_tx(100);
+        assert_eq!((nic.tx_packets, nic.tx_bytes), (1, 100));
+    }
+
+    #[test]
+    fn input_queue_order() {
+        let mut q = InputQueue::default();
+        let e1 = InputEvent { device: 0, code: 30, value: 1 };
+        let e2 = InputEvent { device: 1, code: 2, value: -5 };
+        q.inject(e1);
+        q.inject(e2);
+        assert_eq!(q.guest_poll(), Some(e1));
+        assert_eq!(q.guest_poll(), Some(e2));
+        assert_eq!(q.guest_poll(), None);
+        assert_eq!(q.injected, 2);
+    }
+
+    #[test]
+    fn input_event_wire_roundtrip() {
+        let ev = InputEvent { device: 2, code: 0xABCD, value: i64::MIN };
+        let bytes = ev.encode_to_vec();
+        assert_eq!(InputEvent::decode_exact(&bytes).unwrap(), ev);
+    }
+
+    #[test]
+    fn disk_read_write_and_dirty_blocks() {
+        let mut disk = Disk::new(3 * DISK_BLOCK_SIZE as u64);
+        assert_eq!(disk.block_count(), 3);
+        disk.write(DISK_BLOCK_SIZE as u64 - 2, &[9; 4]).unwrap();
+        let mut buf = [0u8; 4];
+        disk.read(DISK_BLOCK_SIZE as u64 - 2, &mut buf).unwrap();
+        assert_eq!(buf, [9; 4]);
+        assert_eq!(disk.dirty_blocks(), vec![0, 1]);
+        disk.clear_dirty();
+        assert!(disk.dirty_blocks().is_empty());
+        assert!(disk.read(3 * DISK_BLOCK_SIZE as u64, &mut buf).is_err());
+        assert!(disk.write(u64::MAX, &[1]).is_err());
+    }
+
+    #[test]
+    fn disk_from_content_and_blocks() {
+        let content = vec![7u8; DISK_BLOCK_SIZE + 10];
+        let mut disk = Disk::from_content(&content);
+        assert_eq!(disk.block_count(), 2);
+        assert_eq!(disk.block(0).unwrap()[0], 7);
+        assert_eq!(disk.block(1).unwrap()[10], 0);
+        assert!(disk.block(2).is_none());
+        let new_block = vec![1u8; DISK_BLOCK_SIZE];
+        disk.set_block(1, &new_block).unwrap();
+        assert_eq!(disk.block(1).unwrap()[0], 1);
+        assert!(disk.set_block(5, &new_block).is_err());
+        assert!(disk.set_block(0, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn console_accumulates_and_drains() {
+        let mut c = Console::default();
+        c.write(b"hello ");
+        c.write(b"world");
+        assert_eq!(c.total_bytes, 11);
+        assert_eq!(c.drain(), b"hello world");
+        assert!(c.drain().is_empty());
+        assert_eq!(c.total_bytes, 11);
+    }
+
+    #[test]
+    fn device_state_volatile_roundtrip() {
+        let mut dev = DeviceState::new(b"disk image");
+        dev.clock.guest_read();
+        dev.clock.provide(42).unwrap();
+        dev.nic.inject(vec![1, 2, 3]);
+        dev.nic.note_tx(7);
+        dev.input.inject(InputEvent { device: 0, code: 1, value: 1 });
+        dev.console.write(b"boot ok");
+        dev.disk.write(0, b"xyz").unwrap();
+
+        let blob = dev.save_volatile();
+        let mut restored = DeviceState::new(b"disk image");
+        // Disk content is restored separately; emulate it here.
+        restored.disk = dev.disk.clone();
+        restored.restore_volatile(&blob).unwrap();
+
+        assert_eq!(restored.clock.response, Some(42));
+        assert_eq!(restored.nic.rx_queue, dev.nic.rx_queue);
+        assert_eq!(restored.nic.tx_bytes, 7);
+        assert_eq!(restored.input.queue, dev.input.queue);
+        assert_eq!(restored.console.buffer, b"boot ok");
+
+        // Corrupt blob is rejected.
+        assert!(restored.restore_volatile(&blob[..blob.len() - 1]).is_err());
+    }
+}

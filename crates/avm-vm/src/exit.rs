@@ -1,0 +1,91 @@
+//! VM exits: the hypervisor-visible events a running machine can produce.
+
+/// Reason a call to [`crate::machine::Machine::run`] returned.
+///
+/// This mirrors the exit-driven interface of hardware virtualization: the
+/// machine runs until either the guest needs something from the hypervisor,
+/// produces externally visible output, or the requested stop condition is
+/// reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmExit {
+    /// The guest requested the current time.  The hypervisor must call
+    /// [`crate::machine::Machine::provide_clock`] before running again.
+    /// Each completed read is one nondeterministic input.
+    ClockRead,
+    /// The guest transmitted a network packet (externally visible output).
+    NetTx(Vec<u8>),
+    /// The guest wrote diagnostic output to the console.
+    ConsoleOut(Vec<u8>),
+    /// The guest is idle: it polled for input (network or local) and none
+    /// was available.  No forward progress will occur until an injection.
+    Idle,
+    /// The requested stop condition (step limit) was reached.
+    StepLimit,
+    /// The guest executed a halt instruction; the machine will not run again.
+    Halted,
+}
+
+impl VmExit {
+    /// True if this exit represents externally visible output.
+    pub fn is_output(&self) -> bool {
+        matches!(self, VmExit::NetTx(_) | VmExit::ConsoleOut(_))
+    }
+
+    /// Short label used in logs and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VmExit::ClockRead => "clock-read",
+            VmExit::NetTx(_) => "net-tx",
+            VmExit::ConsoleOut(_) => "console-out",
+            VmExit::Idle => "idle",
+            VmExit::StepLimit => "step-limit",
+            VmExit::Halted => "halted",
+        }
+    }
+}
+
+/// How long a [`crate::machine::Machine::run`] call may execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run until the machine produces an exit on its own.
+    Unbounded,
+    /// Run until the step counter reaches exactly this value (used by the
+    /// replayer to position asynchronous injections precisely).
+    AtStep(u64),
+}
+
+impl StopCondition {
+    /// Returns the step bound, if any.
+    pub fn step_bound(&self) -> Option<u64> {
+        match self {
+            StopCondition::Unbounded => None,
+            StopCondition::AtStep(s) => Some(*s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_classification() {
+        assert!(VmExit::NetTx(vec![1]).is_output());
+        assert!(VmExit::ConsoleOut(vec![]).is_output());
+        assert!(!VmExit::ClockRead.is_output());
+        assert!(!VmExit::Idle.is_output());
+        assert!(!VmExit::Halted.is_output());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(VmExit::ClockRead.label(), "clock-read");
+        assert_eq!(VmExit::StepLimit.label(), "step-limit");
+    }
+
+    #[test]
+    fn stop_condition_bounds() {
+        assert_eq!(StopCondition::Unbounded.step_bound(), None);
+        assert_eq!(StopCondition::AtStep(7).step_bound(), Some(7));
+    }
+}

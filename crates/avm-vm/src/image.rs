@@ -1,0 +1,284 @@
+//! VM images and the native guest registry.
+//!
+//! A [`VmImage`] is the auditable identity of the software a machine runs:
+//! the paper's assumption 4 (§4.1) is that an auditor "has access to a
+//! reference copy of the VM image that the machine is expected to use".
+//! Replay instantiates a fresh machine from that reference image; if the
+//! audited machine actually ran something else (a cheat module, a patched
+//! binary), replay diverges.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use avm_crypto::sha256::{Digest, Sha256};
+
+use crate::error::{VmError, VmResult};
+use crate::native::GuestKernel;
+
+/// What kind of guest the image contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageKind {
+    /// A bytecode program (the "unmodified binary" case).
+    Bytecode {
+        /// The program bytes.
+        code: Vec<u8>,
+        /// Guest-physical address the code is loaded at.
+        load_addr: u64,
+        /// Initial program counter.
+        entry: u64,
+    },
+    /// A native guest kernel, identified by registry name plus an opaque
+    /// configuration blob (its initial state / settings).
+    Native {
+        /// Registry name of the guest program.
+        program: String,
+        /// Configuration passed to the factory.
+        config: Vec<u8>,
+    },
+}
+
+/// A complete, content-addressed VM image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmImage {
+    /// Human-readable image name (e.g. "game-client-v1").
+    pub name: String,
+    /// Guest RAM size in bytes.
+    pub mem_size: u64,
+    /// Initial disk contents.
+    pub disk: Vec<u8>,
+    /// The guest program.
+    pub kind: ImageKind,
+}
+
+impl VmImage {
+    /// Creates a bytecode image.
+    pub fn bytecode(name: &str, mem_size: u64, code: Vec<u8>, load_addr: u64, entry: u64) -> VmImage {
+        VmImage {
+            name: name.to_string(),
+            mem_size,
+            disk: Vec::new(),
+            kind: ImageKind::Bytecode {
+                code,
+                load_addr,
+                entry,
+            },
+        }
+    }
+
+    /// Creates a native-guest image.
+    pub fn native(name: &str, mem_size: u64, program: &str, config: Vec<u8>) -> VmImage {
+        VmImage {
+            name: name.to_string(),
+            mem_size,
+            disk: Vec::new(),
+            kind: ImageKind::Native {
+                program: program.to_string(),
+                config,
+            },
+        }
+    }
+
+    /// Attaches initial disk contents.
+    pub fn with_disk(mut self, disk: Vec<u8>) -> VmImage {
+        self.disk = disk;
+        self
+    }
+
+    /// Content digest of the image: two parties agree on an image by
+    /// comparing this value (e.g. the "official VM snapshot" distributed
+    /// before a game, §5.2).
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"avm-image-v1");
+        h.update(&(self.name.len() as u64).to_le_bytes());
+        h.update(self.name.as_bytes());
+        h.update(&self.mem_size.to_le_bytes());
+        h.update(&(self.disk.len() as u64).to_le_bytes());
+        h.update(&self.disk);
+        match &self.kind {
+            ImageKind::Bytecode {
+                code,
+                load_addr,
+                entry,
+            } => {
+                h.update(&[0u8]);
+                h.update(&(code.len() as u64).to_le_bytes());
+                h.update(code);
+                h.update(&load_addr.to_le_bytes());
+                h.update(&entry.to_le_bytes());
+            }
+            ImageKind::Native { program, config } => {
+                h.update(&[1u8]);
+                h.update(&(program.len() as u64).to_le_bytes());
+                h.update(program.as_bytes());
+                h.update(&(config.len() as u64).to_le_bytes());
+                h.update(config);
+            }
+        }
+        h.finalize()
+    }
+}
+
+/// Factory type for native guest kernels.
+pub type GuestFactory = Arc<dyn Fn(&[u8]) -> VmResult<Box<dyn GuestKernel>> + Send + Sync>;
+
+/// Registry resolving native guest program names to factories.
+///
+/// The registry plays the role of "the software everyone agrees on": both the
+/// recording AVMM and every auditor construct guests through the same
+/// registry, so a given image always yields the same initial machine.
+#[derive(Clone, Default)]
+pub struct GuestRegistry {
+    factories: HashMap<String, GuestFactory>,
+}
+
+impl GuestRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> GuestRegistry {
+        GuestRegistry::default()
+    }
+
+    /// Registers a guest program factory under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn(&[u8]) -> VmResult<Box<dyn GuestKernel>> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Arc::new(factory));
+    }
+
+    /// Instantiates the guest program `name` with `config`.
+    pub fn instantiate(&self, name: &str, config: &[u8]) -> VmResult<Box<dyn GuestKernel>> {
+        match self.factories.get(name) {
+            Some(f) => f(config),
+            None => Err(VmError::UnknownGuest(name.to_string())),
+        }
+    }
+
+    /// Names of all registered programs (sorted, for stable diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl core::fmt::Debug for GuestRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GuestRegistry")
+            .field("programs", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::native::{GuestCtx, GuestStep};
+    use crate::StopCondition;
+
+    struct CountKernel {
+        n: u64,
+        limit: u64,
+    }
+
+    impl GuestKernel for CountKernel {
+        fn step(&mut self, _ctx: &mut GuestCtx<'_>) -> GuestStep {
+            self.n += 1;
+            if self.n >= self.limit {
+                GuestStep::Halted
+            } else {
+                GuestStep::Ran { cost: 1 }
+            }
+        }
+
+        fn save_state(&self) -> Vec<u8> {
+            let mut out = self.n.to_le_bytes().to_vec();
+            out.extend_from_slice(&self.limit.to_le_bytes());
+            out
+        }
+
+        fn restore_state(&mut self, bytes: &[u8]) -> VmResult<()> {
+            if bytes.len() != 16 {
+                return Err(VmError::CorruptState("count kernel"));
+            }
+            self.n = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.limit = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+            Ok(())
+        }
+
+        fn name(&self) -> &str {
+            "count"
+        }
+    }
+
+    fn registry() -> GuestRegistry {
+        let mut reg = GuestRegistry::new();
+        reg.register("count", |config| {
+            let limit = if config.len() == 8 {
+                u64::from_le_bytes(config.try_into().unwrap())
+            } else {
+                10
+            };
+            Ok(Box::new(CountKernel { n: 0, limit }))
+        });
+        reg
+    }
+
+    #[test]
+    fn image_digest_is_content_addressed() {
+        let a = VmImage::bytecode("img", 4096, vec![1, 2, 3], 0, 0);
+        let b = VmImage::bytecode("img", 4096, vec![1, 2, 3], 0, 0);
+        let c = VmImage::bytecode("img", 4096, vec![1, 2, 4], 0, 0);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        let d = a.clone().with_disk(vec![9]);
+        assert_ne!(a.digest(), d.digest());
+        let n1 = VmImage::native("img", 4096, "count", vec![]);
+        let n2 = VmImage::native("img", 4096, "count", vec![1]);
+        assert_ne!(n1.digest(), n2.digest());
+        assert_ne!(a.digest(), n1.digest());
+    }
+
+    #[test]
+    fn native_image_instantiates_through_registry() {
+        let image = VmImage::native("counter", 4096, "count", 3u64.to_le_bytes().to_vec());
+        let mut m = Machine::from_image(&image, &registry()).unwrap();
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), crate::VmExit::Halted);
+        assert_eq!(m.step_count(), 2); // two Ran steps before the halt pause
+    }
+
+    #[test]
+    fn unknown_guest_is_rejected() {
+        let image = VmImage::native("x", 4096, "missing", vec![]);
+        assert_eq!(
+            Machine::from_image(&image, &GuestRegistry::new()).unwrap_err(),
+            VmError::UnknownGuest("missing".to_string())
+        );
+    }
+
+    #[test]
+    fn bytecode_image_loads_and_runs() {
+        let code = crate::bytecode::assemble("movi r0, 7\nhalt", 0x100).unwrap();
+        let image = VmImage::bytecode("tiny", 64 * 1024, code, 0x100, 0x100);
+        let mut m = Machine::from_image(&image, &GuestRegistry::new()).unwrap();
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), crate::VmExit::Halted);
+    }
+
+    #[test]
+    fn bytecode_image_with_bad_entry_rejected() {
+        let code = crate::bytecode::assemble("halt", 0).unwrap();
+        let image = VmImage::bytecode("bad", 4096, code, 0x100, 0x500);
+        assert!(matches!(
+            Machine::from_image(&image, &GuestRegistry::new()).unwrap_err(),
+            VmError::InvalidImage(_)
+        ));
+    }
+
+    #[test]
+    fn registry_lists_programs() {
+        let reg = registry();
+        assert_eq!(reg.names(), vec!["count".to_string()]);
+        assert!(format!("{reg:?}").contains("count"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The virtual machine: memory + devices + CPU behind a hypervisor interface.
+
+use std::collections::VecDeque;
+
+use avm_crypto::sha256::{Digest, Sha256};
+
+use crate::devices::{DeviceState, InputEvent};
+use crate::error::{VmError, VmResult};
+use crate::exit::{StopCondition, VmExit};
+use crate::image::{GuestRegistry, ImageKind, VmImage};
+use crate::mem::GuestMemory;
+
+/// Result of a single CPU step, produced by a [`CpuCore`] implementation.
+#[derive(Debug)]
+pub enum CpuAction {
+    /// The CPU made progress.
+    Ran {
+        /// Number of machine steps consumed (≥ 1).
+        cost: u64,
+        /// Exits to surface to the hypervisor, in order (outputs, idle hints).
+        outputs: Vec<VmExit>,
+    },
+    /// The CPU cannot make progress until the hypervisor acts; no steps are
+    /// consumed and the same logical operation resumes on the next step.
+    Pause {
+        /// The exit describing why the CPU paused.
+        exit: VmExit,
+        /// Outputs produced before pausing.
+        outputs: Vec<VmExit>,
+    },
+}
+
+/// A CPU implementation (the interpreting bytecode CPU or a native guest
+/// kernel adapter).
+pub trait CpuCore: Send {
+    /// Executes one step against guest memory and devices.
+    fn step(&mut self, mem: &mut GuestMemory, dev: &mut DeviceState) -> VmResult<CpuAction>;
+
+    /// Serializes the complete CPU state.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state produced by [`CpuCore::save_state`].
+    fn restore_state(&mut self, bytes: &[u8]) -> VmResult<()>;
+}
+
+/// Static configuration of a machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Guest RAM size in bytes.
+    pub mem_size: u64,
+    /// Initial disk contents.
+    pub disk_content: Vec<u8>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_size: 256 * 1024,
+            disk_content: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic virtual machine.
+///
+/// The hypervisor (the AVMM in `avm-core`, or a test) drives the machine by
+/// calling [`Machine::run`] and responding to the returned [`VmExit`]s.
+/// Asynchronous inputs are delivered through [`Machine::inject_packet`] and
+/// [`Machine::inject_input`]; the step counter at the moment of injection is
+/// the timestamp the AVMM records so that replay can re-inject at exactly the
+/// same point.
+pub struct Machine {
+    mem: GuestMemory,
+    dev: DeviceState,
+    cpu: Box<dyn CpuCore>,
+    step_count: u64,
+    halted: bool,
+    waiting_clock: bool,
+    pending: VecDeque<VmExit>,
+}
+
+impl Machine {
+    /// Creates a machine from parts.
+    pub fn new(config: MachineConfig, cpu: Box<dyn CpuCore>) -> Machine {
+        Machine {
+            mem: GuestMemory::new(config.mem_size),
+            dev: DeviceState::new(&config.disk_content),
+            cpu,
+            step_count: 0,
+            halted: false,
+            waiting_clock: false,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Instantiates a machine from a VM image, using `registry` to resolve
+    /// native guest programs.
+    pub fn from_image(image: &VmImage, registry: &GuestRegistry) -> VmResult<Machine> {
+        let config = MachineConfig {
+            mem_size: image.mem_size,
+            disk_content: image.disk.clone(),
+        };
+        let cpu: Box<dyn CpuCore> = match &image.kind {
+            ImageKind::Bytecode {
+                code,
+                load_addr,
+                entry,
+            } => {
+                let machine_cpu = crate::bytecode::BytecodeCpu::new(*entry);
+                machine_cpu.validate_entry(*entry, *load_addr, code.len() as u64)?;
+                let mut m = Machine::new(config, Box::new(machine_cpu));
+                m.mem.write(*load_addr, code)?;
+                m.mem.clear_dirty();
+                return Ok(m);
+            }
+            ImageKind::Native { program, config: guest_config } => {
+                let kernel = registry.instantiate(program, guest_config)?;
+                Box::new(crate::native::NativeCpu::new(kernel))
+            }
+        };
+        Ok(Machine::new(config, cpu))
+    }
+
+    /// Current step counter (total machine steps executed so far).
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// True once the guest has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// True while the machine waits for a clock value from the hypervisor.
+    pub fn is_waiting_clock(&self) -> bool {
+        self.waiting_clock
+    }
+
+    /// Immutable access to guest memory.
+    pub fn memory(&self) -> &GuestMemory {
+        &self.mem
+    }
+
+    /// Mutable access to guest memory (snapshot restore, test setup — and
+    /// the attack surface a cheating operator would use).
+    pub fn memory_mut(&mut self) -> &mut GuestMemory {
+        &mut self.mem
+    }
+
+    /// Immutable access to device state.
+    pub fn devices(&self) -> &DeviceState {
+        &self.dev
+    }
+
+    /// Mutable access to device state.
+    pub fn devices_mut(&mut self) -> &mut DeviceState {
+        &mut self.dev
+    }
+
+    /// Runs the machine until an exit or until `stop` is reached.
+    pub fn run(&mut self, stop: StopCondition) -> VmResult<VmExit> {
+        if let Some(e) = self.pending.pop_front() {
+            return Ok(e);
+        }
+        if self.halted {
+            return Ok(VmExit::Halted);
+        }
+        if self.waiting_clock {
+            return Err(VmError::PendingHostResponse);
+        }
+        loop {
+            if let Some(bound) = stop.step_bound() {
+                if self.step_count >= bound {
+                    return Ok(VmExit::StepLimit);
+                }
+            }
+            match self.cpu.step(&mut self.mem, &mut self.dev)? {
+                CpuAction::Ran { cost, outputs } => {
+                    self.step_count += cost.max(1);
+                    self.pending.extend(outputs);
+                    if let Some(e) = self.pending.pop_front() {
+                        return Ok(e);
+                    }
+                }
+                CpuAction::Pause { exit, outputs } => {
+                    self.pending.extend(outputs);
+                    match &exit {
+                        VmExit::ClockRead => self.waiting_clock = true,
+                        VmExit::Halted => self.halted = true,
+                        _ => {}
+                    }
+                    self.pending.push_back(exit);
+                    return Ok(self.pending.pop_front().expect("just pushed"));
+                }
+            }
+        }
+    }
+
+    /// Delivers a clock value in response to a [`VmExit::ClockRead`].
+    pub fn provide_clock(&mut self, value: u64) -> VmResult<()> {
+        if !self.waiting_clock {
+            return Err(VmError::UnexpectedHostResponse);
+        }
+        self.dev.clock.provide(value)?;
+        self.waiting_clock = false;
+        Ok(())
+    }
+
+    /// Injects a network packet into the guest's NIC receive queue.
+    ///
+    /// Returns the step count at which the injection happened — the stamp the
+    /// AVMM records so replay can re-inject at the same point.
+    pub fn inject_packet(&mut self, data: Vec<u8>) -> u64 {
+        self.dev.nic.inject(data);
+        self.step_count
+    }
+
+    /// Injects a local input event (keyboard/mouse).
+    pub fn inject_input(&mut self, ev: InputEvent) -> u64 {
+        self.dev.input.inject(ev);
+        self.step_count
+    }
+
+    /// Serializes the CPU state.
+    pub fn save_cpu_state(&self) -> Vec<u8> {
+        self.cpu.save_state()
+    }
+
+    /// Restores CPU state.
+    pub fn restore_cpu_state(&mut self, bytes: &[u8]) -> VmResult<()> {
+        self.cpu.restore_state(bytes)
+    }
+
+    /// Restores the execution-control flags saved alongside snapshots.
+    pub fn set_control_state(&mut self, step_count: u64, halted: bool, waiting_clock: bool) {
+        self.step_count = step_count;
+        self.halted = halted;
+        self.waiting_clock = waiting_clock;
+        self.pending.clear();
+    }
+
+    /// Computes a digest of the complete machine state: CPU, volatile device
+    /// state, every memory page and every disk block.
+    ///
+    /// This is the value the AVMM folds into snapshot records; two machines
+    /// with equal digests are (up to hash collisions) in identical states.
+    pub fn state_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"avm-machine-state-v1");
+        let cpu = self.cpu.save_state();
+        h.update(&(cpu.len() as u64).to_le_bytes());
+        h.update(&cpu);
+        let dev = self.dev.save_volatile();
+        h.update(&(dev.len() as u64).to_le_bytes());
+        h.update(&dev);
+        h.update(&self.step_count.to_le_bytes());
+        h.update(&[u8::from(self.halted), u8::from(self.waiting_clock)]);
+        for i in 0..self.mem.page_count() {
+            h.update(self.mem.page(i).expect("page in range"));
+        }
+        for i in 0..self.dev.disk.block_count() {
+            h.update(self.dev.disk.block(i).expect("block in range"));
+        }
+        h.finalize()
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("step_count", &self.step_count)
+            .field("halted", &self.halted)
+            .field("waiting_clock", &self.waiting_clock)
+            .field("mem_pages", &self.mem.page_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{assemble, BytecodeCpu};
+
+    fn machine_with_program(src: &str) -> Machine {
+        let code = assemble(src, 0).unwrap();
+        let mut m = Machine::new(
+            MachineConfig {
+                mem_size: 64 * 1024,
+                disk_content: vec![0u8; 8192],
+            },
+            Box::new(BytecodeCpu::new(0)),
+        );
+        m.memory_mut().write(0, &code).unwrap();
+        m.memory_mut().clear_dirty();
+        m
+    }
+
+    #[test]
+    fn halt_program_halts() {
+        let mut m = machine_with_program("halt");
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Halted);
+        assert!(m.is_halted());
+        // Running again keeps reporting Halted.
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Halted);
+    }
+
+    #[test]
+    fn step_limit_is_exact_for_bytecode() {
+        let mut m = machine_with_program(
+            r"
+            loop:
+                addi r0, 1
+                jmp loop
+            ",
+        );
+        assert_eq!(m.run(StopCondition::AtStep(10)).unwrap(), VmExit::StepLimit);
+        assert_eq!(m.step_count(), 10);
+        assert_eq!(m.run(StopCondition::AtStep(25)).unwrap(), VmExit::StepLimit);
+        assert_eq!(m.step_count(), 25);
+    }
+
+    #[test]
+    fn clock_read_protocol() {
+        let mut m = machine_with_program("clock r1\nhalt");
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::ClockRead);
+        assert!(m.is_waiting_clock());
+        // Running while waiting is an error.
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap_err(),
+            VmError::PendingHostResponse
+        );
+        m.provide_clock(777).unwrap();
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Halted);
+        // Unsolicited clock value is rejected.
+        assert_eq!(m.provide_clock(1).unwrap_err(), VmError::UnexpectedHostResponse);
+    }
+
+    #[test]
+    fn send_packet_surfaces_as_net_tx() {
+        let mut m = machine_with_program(
+            r#"
+                movi r1, payload
+                movi r2, 4
+                send r1, r2
+                halt
+            payload:
+                .ascii "ping"
+            "#,
+        );
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap(),
+            VmExit::NetTx(b"ping".to_vec())
+        );
+        assert_eq!(m.devices().nic.tx_packets, 1);
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Halted);
+    }
+
+    #[test]
+    fn packet_injection_and_echo() {
+        let mut m = machine_with_program(
+            r"
+                movi r1, 0x8000      ; buffer
+                movi r2, 256         ; max len
+            wait:
+                recv r0, r1, r2
+                cmp r0, r3           ; r3 == 0
+                jne got
+                idle
+                jmp wait
+            got:
+                send r1, r0
+                halt
+            ",
+        );
+        // The guest idles until a packet arrives.
+        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Idle);
+        let stamp = m.inject_packet(b"hello avm".to_vec());
+        assert_eq!(stamp, m.step_count());
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap(),
+            VmExit::NetTx(b"hello avm".to_vec())
+        );
+    }
+
+    #[test]
+    fn deterministic_replay_of_identical_inputs() {
+        let src = r"
+                movi r1, 0x8000
+                movi r2, 256
+            loop:
+                recv r0, r1, r2
+                cmp r0, r3
+                jne got
+                clock r4
+                jmp loop
+            got:
+                send r1, r0
+                halt
+            ";
+        let run_once = |clock_values: &[u64], inject_at: u64, payload: &[u8]| -> (Vec<VmExit>, u64, Digest) {
+            let mut m = machine_with_program(src);
+            let mut exits = Vec::new();
+            let mut clocks = clock_values.iter().copied();
+            let mut injected = false;
+            loop {
+                let e = m.run(StopCondition::Unbounded).unwrap();
+                exits.push(e.clone());
+                match e {
+                    VmExit::ClockRead => {
+                        if !injected && m.step_count() >= inject_at {
+                            m.inject_packet(payload.to_vec());
+                            injected = true;
+                        }
+                        m.provide_clock(clocks.next().unwrap_or(0)).unwrap();
+                    }
+                    VmExit::Halted => break,
+                    _ => {}
+                }
+            }
+            (exits, m.step_count(), m.state_digest())
+        };
+        let a = run_once(&[5, 10, 15, 20, 25, 30], 12, b"data");
+        let b = run_once(&[5, 10, 15, 20, 25, 30], 12, b"data");
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        // Different inputs produce a different execution.
+        let c = run_once(&[5, 10, 15, 20, 25, 30, 35, 40], 30, b"data");
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn state_digest_changes_with_memory() {
+        let mut m = machine_with_program("halt");
+        let before = m.state_digest();
+        m.memory_mut().write_u8(0x9000, 1).unwrap();
+        assert_ne!(before, m.state_digest());
+    }
+
+    #[test]
+    fn cpu_state_save_restore() {
+        let mut m = machine_with_program("addi r0, 5\naddi r0, 7\nhalt");
+        m.run(StopCondition::AtStep(1)).unwrap();
+        let cpu = m.save_cpu_state();
+        let digest_mid = m.state_digest();
+        m.run(StopCondition::Unbounded).unwrap();
+        // Restore and confirm the digest matches the mid-execution state.
+        m.restore_cpu_state(&cpu).unwrap();
+        m.set_control_state(1, false, false);
+        assert_eq!(m.state_digest(), digest_mid);
+    }
+
+    #[test]
+    fn console_output_exit() {
+        let mut m = machine_with_program(
+            r#"
+                movi r1, msg
+                movi r2, 2
+                out r1, r2
+                halt
+            msg:
+                .ascii "ok"
+            "#,
+        );
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap(),
+            VmExit::ConsoleOut(b"ok".to_vec())
+        );
+    }
+}

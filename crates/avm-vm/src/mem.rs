@@ -1,0 +1,250 @@
+//! Paged guest memory with dirty-page tracking.
+//!
+//! Incremental snapshots (paper §4.4) "only contain the state that has
+//! changed since the last snapshot"; the AVMM therefore needs to know which
+//! pages a guest has written.  `GuestMemory` tracks a dirty bit per page that
+//! the snapshot machinery reads and clears.
+
+use avm_crypto::sha256::{sha256, Digest};
+
+use crate::error::{VmError, VmResult};
+
+/// Guest page size in bytes (4 KiB, matching a commodity PC).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Byte-addressable guest RAM divided into [`PAGE_SIZE`] pages.
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    dirty: Vec<bool>,
+}
+
+impl GuestMemory {
+    /// Allocates zeroed guest memory of `size` bytes (rounded up to whole pages).
+    pub fn new(size: u64) -> GuestMemory {
+        let n_pages = (size as usize).div_ceil(PAGE_SIZE).max(1);
+        GuestMemory {
+            pages: (0..n_pages).map(|_| Box::new([0u8; PAGE_SIZE])).collect(),
+            dirty: vec![false; n_pages],
+        }
+    }
+
+    /// Total memory size in bytes.
+    pub fn size(&self) -> u64 {
+        (self.pages.len() * PAGE_SIZE) as u64
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, addr: u64, len: usize) -> VmResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len as u64).ok_or(VmError::MemoryOutOfRange {
+            addr,
+            len,
+            mem_size: self.size(),
+        })?;
+        if end > self.size() {
+            return Err(VmError::MemoryOutOfRange {
+                addr,
+                len,
+                mem_size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> VmResult<()> {
+        self.check(addr, buf.len())?;
+        let mut offset = addr as usize;
+        let mut copied = 0usize;
+        while copied < buf.len() {
+            let page = offset / PAGE_SIZE;
+            let in_page = offset % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - copied);
+            buf[copied..copied + n].copy_from_slice(&self.pages[page][in_page..in_page + n]);
+            copied += n;
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`, marking touched pages dirty.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> VmResult<()> {
+        self.check(addr, data.len())?;
+        let mut offset = addr as usize;
+        let mut copied = 0usize;
+        while copied < data.len() {
+            let page = offset / PAGE_SIZE;
+            let in_page = offset % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(data.len() - copied);
+            self.pages[page][in_page..in_page + n].copy_from_slice(&data[copied..copied + n]);
+            self.dirty[page] = true;
+            copied += n;
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a vector of `len` bytes at `addr`.
+    pub fn read_vec(&self, addr: u64, len: usize) -> VmResult<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> VmResult<u8> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> VmResult<()> {
+        self.write(addr, &[v])
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> VmResult<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> VmResult<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Returns the raw contents of page `idx`.
+    pub fn page(&self, idx: usize) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(idx).map(|p| p.as_ref())
+    }
+
+    /// Overwrites page `idx` wholesale (used when restoring snapshots).
+    pub fn set_page(&mut self, idx: usize, data: &[u8; PAGE_SIZE]) -> VmResult<()> {
+        let page = self
+            .pages
+            .get_mut(idx)
+            .ok_or(VmError::CorruptState("snapshot page index out of range"))?;
+        page.copy_from_slice(data);
+        self.dirty[idx] = true;
+        Ok(())
+    }
+
+    /// SHA-256 of page `idx` contents.
+    pub fn page_hash(&self, idx: usize) -> Option<Digest> {
+        self.page(idx).map(|p| sha256(p))
+    }
+
+    /// Indices of pages written since the last [`GuestMemory::clear_dirty`].
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| if d { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Clears all dirty bits.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Marks every page dirty (used after a wholesale restore).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_creation() {
+        let mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        assert_eq!(mem.size(), 2 * PAGE_SIZE as u64);
+        assert_eq!(mem.page_count(), 2);
+        assert_eq!(mem.read_u64(0).unwrap(), 0);
+        assert!(mem.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn size_rounds_up_to_pages() {
+        let mem = GuestMemory::new(PAGE_SIZE as u64 + 1);
+        assert_eq!(mem.page_count(), 2);
+        let tiny = GuestMemory::new(0);
+        assert_eq!(tiny.page_count(), 1);
+    }
+
+    #[test]
+    fn read_write_roundtrip_across_page_boundary() {
+        let mut mem = GuestMemory::new(3 * PAGE_SIZE as u64);
+        let addr = PAGE_SIZE as u64 - 5;
+        let data: Vec<u8> = (0..64u8).collect();
+        mem.write(addr, &data).unwrap();
+        assert_eq!(mem.read_vec(addr, 64).unwrap(), data);
+        // Both touched pages are dirty; the third is not.
+        assert_eq!(mem.dirty_pages(), vec![0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_access_rejected() {
+        let mut mem = GuestMemory::new(PAGE_SIZE as u64);
+        assert!(matches!(
+            mem.read_vec(PAGE_SIZE as u64 - 2, 4).unwrap_err(),
+            VmError::MemoryOutOfRange { .. }
+        ));
+        assert!(mem.write(u64::MAX - 1, &[1, 2, 3]).is_err());
+        // Zero-length access at the end is fine.
+        mem.write(PAGE_SIZE as u64, &[]).unwrap();
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let mut mem = GuestMemory::new(PAGE_SIZE as u64);
+        mem.write_u64(16, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(mem.read_u64(16).unwrap(), 0xdead_beef_cafe_f00d);
+        mem.write_u8(3, 0x7f).unwrap();
+        assert_eq!(mem.read_u8(3).unwrap(), 0x7f);
+    }
+
+    #[test]
+    fn dirty_tracking_and_clearing() {
+        let mut mem = GuestMemory::new(4 * PAGE_SIZE as u64);
+        mem.write_u8(2 * PAGE_SIZE as u64, 1).unwrap();
+        assert_eq!(mem.dirty_pages(), vec![2]);
+        mem.clear_dirty();
+        assert!(mem.dirty_pages().is_empty());
+        mem.mark_all_dirty();
+        assert_eq!(mem.dirty_pages().len(), 4);
+    }
+
+    #[test]
+    fn page_hash_changes_with_content() {
+        let mut mem = GuestMemory::new(PAGE_SIZE as u64);
+        let before = mem.page_hash(0).unwrap();
+        mem.write_u8(100, 42).unwrap();
+        assert_ne!(before, mem.page_hash(0).unwrap());
+        assert!(mem.page_hash(5).is_none());
+    }
+
+    #[test]
+    fn set_page_restores_content() {
+        let mut mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xaa;
+        page[PAGE_SIZE - 1] = 0xbb;
+        mem.set_page(1, &page).unwrap();
+        assert_eq!(mem.read_u8(PAGE_SIZE as u64).unwrap(), 0xaa);
+        assert_eq!(mem.read_u8(2 * PAGE_SIZE as u64 - 1).unwrap(), 0xbb);
+        assert!(mem.set_page(9, &page).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Guest packet addressing header.
+//!
+//! Guests address their network packets with a minimal header — the
+//! equivalent of the IP/UDP headers a real guest would emit — consisting of
+//! a destination name length byte, the destination name, and the payload.
+//! The AVMM parses only this header (to route the packet and fill in the
+//! envelope's destination); the complete packet, header included, is what
+//! gets logged, transmitted and injected into the receiving guest.
+
+/// Maximum destination-name length.
+pub const MAX_DEST_LEN: usize = 255;
+
+/// Builds a guest packet addressed to `dest` carrying `body`.
+pub fn encode_guest_packet(dest: &str, body: &[u8]) -> Vec<u8> {
+    assert!(dest.len() <= MAX_DEST_LEN, "destination name too long");
+    let mut out = Vec::with_capacity(1 + dest.len() + body.len());
+    out.push(dest.len() as u8);
+    out.extend_from_slice(dest.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parses the addressing header of a guest packet.
+///
+/// Returns the destination name and the body, or `None` if the header is
+/// malformed.
+pub fn parse_guest_packet(packet: &[u8]) -> Option<(String, &[u8])> {
+    let (&len, rest) = packet.split_first()?;
+    let len = len as usize;
+    if rest.len() < len {
+        return None;
+    }
+    let dest = core::str::from_utf8(&rest[..len]).ok()?.to_string();
+    Some((dest, &rest[len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pkt = encode_guest_packet("server", b"move north");
+        let (dest, body) = parse_guest_packet(&pkt).unwrap();
+        assert_eq!(dest, "server");
+        assert_eq!(body, b"move north");
+    }
+
+    #[test]
+    fn empty_body_and_empty_dest() {
+        let pkt = encode_guest_packet("", b"");
+        let (dest, body) = parse_guest_packet(&pkt).unwrap();
+        assert_eq!(dest, "");
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        assert!(parse_guest_packet(&[]).is_none());
+        assert!(parse_guest_packet(&[10, b'a', b'b']).is_none());
+        assert!(parse_guest_packet(&[2, 0xff, 0xfe]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "destination name too long")]
+    fn overlong_destination_panics() {
+        let long = "x".repeat(300);
+        encode_guest_packet(&long, b"");
+    }
+}

@@ -1,0 +1,97 @@
+//! CRC-32 (IEEE 802.3 polynomial) checksum.
+//!
+//! Used by the framing layer and by the compressor to detect accidental
+//! corruption; it is *not* a cryptographic integrity mechanism (the
+//! tamper-evident log's hash chain serves that purpose).
+
+/// Computes the CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(data);
+    hasher.finish()
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Lookup table for byte-at-a-time CRC computation.
+static CRC_TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            let idx = ((crc ^ byte as u32) & 0xff) as usize;
+            crc = (crc >> 8) ^ CRC_TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the finished checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"accountable virtual machines";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+        assert_ne!(crc32(b"abc"), crc32(b"abcd"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Checksummed framing for records stored on disk or shipped over the
+//! simulated network.
+//!
+//! A frame is `MAGIC (1) || varint length || payload || crc32 (4)`, where the
+//! checksum covers the payload only.  Frames let a reader resynchronise and
+//! detect truncation when scanning a byte stream of concatenated records,
+//! e.g. a persisted execution log.
+
+use crate::checksum::crc32;
+use crate::varint::{read_varint, varint_len, write_varint};
+
+/// Magic byte prefixing every frame.
+pub const FRAME_MAGIC: u8 = 0xA7;
+
+/// Errors surfaced when reading a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// The first byte was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// The payload checksum did not match.
+    BadChecksum {
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// The length prefix was malformed.
+    BadLength,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic(b) => write!(f, "bad frame magic byte {b:#04x}"),
+            FrameError::BadChecksum { stored, computed } => {
+                write!(f, "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            FrameError::BadLength => write!(f, "malformed frame length"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends a frame containing `payload` to `out`.
+///
+/// Returns the total number of bytes appended.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) -> usize {
+    out.push(FRAME_MAGIC);
+    write_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    1 + varint_len(payload.len() as u64) + payload.len() + 4
+}
+
+/// Reads one frame from the front of `input`.
+///
+/// Returns the payload and the total number of bytes the frame occupied.
+pub fn read_frame(input: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if input.is_empty() {
+        return Err(FrameError::Truncated);
+    }
+    if input[0] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(input[0]));
+    }
+    let (len, len_bytes) = read_varint(&input[1..]).map_err(|_| FrameError::BadLength)?;
+    let len = usize::try_from(len).map_err(|_| FrameError::BadLength)?;
+    let header = 1 + len_bytes;
+    let total = header + len + 4;
+    if input.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &input[header..header + len];
+    let stored = u32::from_le_bytes([
+        input[header + len],
+        input[header + len + 1],
+        input[header + len + 2],
+        input[header + len + 3],
+    ]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(FrameError::BadChecksum { stored, computed });
+    }
+    Ok((payload, total))
+}
+
+/// Iterates over all frames in a byte stream.
+pub fn iter_frames(mut input: &[u8]) -> impl Iterator<Item = Result<&[u8], FrameError>> {
+    std::iter::from_fn(move || {
+        if input.is_empty() {
+            return None;
+        }
+        match read_frame(input) {
+            Ok((payload, consumed)) => {
+                input = &input[consumed..];
+                Some(Ok(payload))
+            }
+            Err(e) => {
+                input = &[];
+                Some(Err(e))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut out = Vec::new();
+        let n = write_frame(&mut out, b"payload");
+        assert_eq!(n, out.len());
+        let (payload, consumed) = read_frame(&out).unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(consumed, out.len());
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"");
+        let (payload, consumed) = read_frame(&out).unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(consumed, out.len());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"some payload bytes");
+        let mid = out.len() / 2;
+        out[mid] ^= 0xff;
+        assert!(matches!(
+            read_frame(&out).unwrap_err(),
+            FrameError::BadChecksum { .. } | FrameError::BadLength | FrameError::Truncated
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"x");
+        out[0] = 0x00;
+        assert_eq!(read_frame(&out).unwrap_err(), FrameError::BadMagic(0));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"truncate me please");
+        let cut = &out[..out.len() - 3];
+        assert_eq!(read_frame(cut).unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn iterate_many_frames() {
+        let mut out = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut out, &[i; 5]);
+        }
+        let frames: Result<Vec<_>, _> = iter_frames(&out).collect();
+        let frames = frames.unwrap();
+        assert_eq!(frames.len(), 10);
+        assert_eq!(frames[3], &[3u8; 5]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Quickstart: record an accountable execution and audit it.
+//!
+//! Bob runs a small guest program inside an AVM; Alice exchanges a few
+//! messages with it, then audits Bob's log against the reference image.
+//!
+//! ```text
+//! cargo run -p avm-examples --example quickstart
+//! ```
+
+use avm_core::audit::audit_log;
+use avm_core::config::AvmmOptions;
+use avm_core::envelope::{Envelope, EnvelopeKind};
+use avm_core::recorder::{Avmm, HostClock};
+use avm_crypto::keys::{Identity, SignatureScheme};
+use avm_vm::bytecode::assemble;
+use avm_vm::packet::encode_guest_packet;
+use avm_vm::{GuestRegistry, VmImage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Everyone agrees on the software: a tiny guest that echoes every
+    //    packet it receives back to Alice.
+    let source = r"
+            movi r1, 0x8000
+            movi r2, 512
+        loop:
+            clock r4
+            recv r0, r1, r2
+            cmp r0, r6
+            jne got
+            idle
+            jmp loop
+        got:
+            send r1, r0
+            jmp loop
+        ";
+    let image = VmImage::bytecode("echo-service", 128 * 1024, assemble(source, 0).unwrap(), 0, 0);
+    let registry = GuestRegistry::new();
+
+    // 2. Identities: Bob operates the machine, Alice uses and audits it.
+    let mut rng = StdRng::seed_from_u64(42);
+    let bob = Identity::generate(&mut rng, "bob", SignatureScheme::Rsa(768));
+    let alice = Identity::generate(&mut rng, "alice", SignatureScheme::Rsa(768));
+
+    // 3. Bob starts an AVMM around the agreed-upon image.
+    let mut avmm = Avmm::new(
+        "bob",
+        &image,
+        &registry,
+        bob.signing_key.clone(),
+        AvmmOptions::default(),
+    )
+    .expect("start AVMM");
+    avmm.add_peer("alice", alice.verifying_key());
+
+    // 4. Alice sends three requests; Bob's AVMM logs, acknowledges, and the
+    //    guest echoes them back.
+    let mut clock = HostClock::at(1_000);
+    avmm.run_slice(&clock, 20_000).expect("run guest");
+    for i in 0..3u64 {
+        clock.advance_to(clock.now() + 10_000);
+        let payload = encode_guest_packet("alice", format!("request-{i}").as_bytes());
+        let envelope = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            i + 1,
+            payload,
+            &alice.signing_key,
+            None,
+        );
+        let ack = avmm.deliver(&envelope).expect("deliver").expect("ack");
+        println!("alice -> bob: request-{i}   (ack for msg {})", ack.msg_id);
+        for out in avmm.run_slice(&clock, 100_000).expect("run guest") {
+            println!("bob -> {}: {} bytes (authenticator seq {:?})",
+                out.envelope.to,
+                out.envelope.payload.len(),
+                out.envelope.authenticator.as_ref().map(|a| a.seq));
+        }
+    }
+    println!("\nBob's log now has {} entries ({} bytes).", avmm.log().len(), avmm.log_bytes());
+
+    // 5. Alice audits Bob: syntactic check + deterministic replay against the
+    //    reference image.
+    let (prev, segment) = avmm.log().segment(1, avmm.log().len() as u64).unwrap();
+    let report = audit_log(
+        "bob",
+        &prev,
+        &segment,
+        &[],
+        &bob.verifying_key(),
+        &image,
+        &registry,
+    );
+    match report.fault() {
+        None => println!("Audit verdict: PASS — Bob's execution is consistent with the reference image."),
+        Some(fault) => println!("Audit verdict: FAULT — {fault}"),
+    }
+    assert!(report.passed());
+}
