@@ -100,6 +100,66 @@ fn bench_fig9_spotcheck(c: &mut Criterion) {
     group.finish();
 }
 
+/// Figure 6 substrate: the incremental state-root pipeline versus a full
+/// Merkle rebuild, plus the Montgomery RSA hot path versus the naive
+/// baseline.  The acceptance bar: >=5x at 256+ pages with one dirty page,
+/// and Montgomery sign/verify clearly ahead of `sign_digest_slow`.
+fn bench_fig6_snapshot_incremental(c: &mut Criterion) {
+    use avm_bench::experiments::snapshot_machine;
+    use avm_core::snapshot::{build_state_tree_uncached, StateTreeCache};
+    use avm_crypto::rsa::RsaKeyPair;
+    use avm_crypto::sha256::sha256;
+    use avm_vm::PAGE_SIZE;
+
+    let mut group = c.benchmark_group("fig6_snapshot_incremental");
+    group.sample_size(10);
+    for &pages in &[256usize, 1024] {
+        let mut machine = snapshot_machine(pages, 16);
+        group.bench_function(format!("full_rebuild_{pages}p"), |b| {
+            b.iter(|| build_state_tree_uncached(&machine).root())
+        });
+        let mut cache = StateTreeCache::new();
+        cache.refresh(&machine);
+        machine.memory_mut().clear_dirty();
+        machine.devices_mut().disk.clear_dirty();
+        let mut next = 0usize;
+        group.bench_function(format!("incremental_1dirty_{pages}p"), |b| {
+            b.iter(|| {
+                let page = next % pages;
+                next += 1;
+                machine
+                    .memory_mut()
+                    .write_u8((page * PAGE_SIZE) as u64, next as u8)
+                    .unwrap();
+                let root = cache.refresh(&machine);
+                machine.memory_mut().clear_dirty();
+                machine.devices_mut().disk.clear_dirty();
+                root
+            })
+        });
+    }
+    // RSA-768: CRT + Montgomery fixed-window versus the naive baseline.
+    let mut rng = StdRng::seed_from_u64(768);
+    let kp = RsaKeyPair::generate(&mut rng, 768);
+    let digest = sha256(b"per-packet authenticator");
+    assert_eq!(
+        kp.private.sign_digest(&digest),
+        kp.private.sign_digest_slow(&digest),
+        "optimised signature must be bit-identical to the naive baseline"
+    );
+    group.bench_function("rsa768_sign_montgomery_crt", |b| {
+        b.iter(|| kp.private.sign_digest(&digest))
+    });
+    group.bench_function("rsa768_sign_slow_baseline", |b| {
+        b.iter(|| kp.private.sign_digest_slow(&digest))
+    });
+    let sig = kp.private.sign_digest(&digest);
+    group.bench_function("rsa768_verify", |b| {
+        b.iter(|| kp.public().verify_digest(&digest, &sig).unwrap())
+    });
+    group.finish();
+}
+
 /// Figures 5/6/8 cost model: derived from measured crypto and the host model.
 fn bench_fig568_host_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_fig6_fig8_host_model");
@@ -119,6 +179,7 @@ criterion_group!(
     bench_fig3_fig4_logging,
     bench_table1_cheat_detection,
     bench_fig7_framerate,
+    bench_fig6_snapshot_incremental,
     bench_fig9_spotcheck,
     bench_fig568_host_model
 );

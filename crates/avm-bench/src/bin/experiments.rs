@@ -58,9 +58,12 @@ fn main() {
             "fig9" | "sec6.12" | "spotcheck" => {
                 experiments::exp_spotcheck(quick);
             }
+            "fig6inc" | "snapshotinc" | "incremental" => {
+                experiments::exp_snapshot_incremental(quick);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

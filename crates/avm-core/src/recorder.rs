@@ -21,7 +21,7 @@ use crate::config::AvmmOptions;
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::error::CoreError;
 use crate::events::{AckRecord, MetaRecord, NdDetail, NdEventRecord, RecvRecord, SendRecord};
-use crate::snapshot::{capture, compute_state_root, Snapshot, SnapshotStore};
+use crate::snapshot::{capture_with_cache, compute_state_root, Snapshot, SnapshotStore, StateTreeCache};
 
 /// The host's clock, in microseconds of simulated real time.
 ///
@@ -96,6 +96,9 @@ pub struct Avmm {
     peer_keys: HashMap<String, VerifyingKey>,
     log: TamperEvidentLog,
     snapshots: SnapshotStore,
+    /// Long-lived Merkle tree over machine state; each snapshot refreshes
+    /// only the dirty leaves (O(dirty + log n)) instead of rebuilding.
+    state_tree: StateTreeCache,
     outstanding_sends: HashMap<u64, u64>,
     msg_counter: u64,
     entries_at_last_snapshot: u64,
@@ -130,6 +133,7 @@ impl Avmm {
             peer_keys: HashMap::new(),
             log: TamperEvidentLog::new(),
             snapshots: SnapshotStore::new(),
+            state_tree: StateTreeCache::new(),
             outstanding_sends: HashMap::new(),
             msg_counter: 0,
             entries_at_last_snapshot: 0,
@@ -441,7 +445,7 @@ impl Avmm {
     /// Takes a snapshot now, logging its state root.
     pub fn take_snapshot(&mut self) -> &Snapshot {
         let id = self.snapshots.len() as u64;
-        let snap = capture(&mut self.machine, id, true);
+        let snap = capture_with_cache(&mut self.machine, &mut self.state_tree, id, true);
         let rec = crate::events::SnapshotRecord {
             step: snap.step,
             snapshot_id: id,

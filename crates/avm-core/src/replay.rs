@@ -18,7 +18,7 @@ use avm_wire::Decode;
 
 use crate::error::{CoreError, FaultReason};
 use crate::events::{MetaRecord, NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
-use crate::snapshot::{compute_state_root, SnapshotStore};
+use crate::snapshot::{SnapshotStore, StateTreeCache};
 
 /// Result of replaying a log segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +65,10 @@ pub struct ReplaySummary {
 pub struct Replayer {
     machine: Machine,
     reference_digest: Digest,
+    /// Long-lived state tree mirroring the recorder's: each snapshot entry
+    /// re-derives only the leaves dirtied since the previous one, so
+    /// replay-side root checks cost O(dirty + log n) like recording does.
+    state_tree: StateTreeCache,
     /// RECV entries seen so far, keyed by sequence number, for
     /// cross-referencing packet injections (paper §4.4).
     pending_recvs: HashMap<u64, RecvRecord>,
@@ -99,6 +103,7 @@ impl Replayer {
         Replayer {
             machine,
             reference_digest,
+            state_tree: StateTreeCache::new(),
             pending_recvs: HashMap::new(),
             summary: ReplaySummary::default(),
             start_step,
@@ -270,7 +275,7 @@ impl Replayer {
         let rec = SnapshotRecord::decode_exact(&entry.content)
             .map_err(|_| FaultReason::MalformedLog { seq: entry.seq })?;
         self.run_to_step(entry.seq, rec.step)?;
-        let root = compute_state_root(&self.machine);
+        let root = self.state_tree.refresh(&self.machine);
         if root != rec.state_root {
             return Err(FaultReason::SnapshotMismatch { seq: entry.seq });
         }
@@ -510,6 +515,47 @@ mod tests {
         // recorded state; the recorder's machine has since run slightly past
         // the last logged event, so the final digests need not be equal.
         assert!(summary.final_state.is_some());
+    }
+
+    #[test]
+    fn replay_side_roots_match_recorder_side_roots() {
+        // The recorder derives roots from its long-lived StateTreeCache; the
+        // replayer maintains its own. Every snapshot in an honest session
+        // must verify — i.e. the two incremental pipelines agree root by
+        // root — and the recorded roots must equal a from-scratch rebuild.
+        let image = echo_image();
+        let alice_key = key(2);
+        let mut bob = Avmm::new("bob", &image, &GuestRegistry::new(), key(1), opts()).unwrap();
+        bob.add_peer("alice", alice_key.verifying_key());
+        let mut clock = HostClock::at(100);
+        bob.run_slice(&clock, 10_000).unwrap();
+        for i in 0..4u8 {
+            clock.advance_to(clock.now() + 1_000);
+            let payload = encode_guest_packet("alice", &[b'm', i]);
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "alice",
+                "bob",
+                i as u64 + 1,
+                payload,
+                &alice_key,
+                None,
+            );
+            bob.deliver(&env).unwrap();
+            bob.run_slice(&clock, 50_000).unwrap();
+            let recorded_root = bob.take_snapshot().state_root;
+            assert_eq!(
+                recorded_root,
+                crate::snapshot::build_state_tree_uncached(bob.machine()).root(),
+                "recorder root {i} diverged from uncached rebuild"
+            );
+        }
+        let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
+        let outcome = replayer.replay(bob.log().entries());
+        let ReplayOutcome::Consistent(summary) = outcome else {
+            panic!("expected consistent replay, got {outcome:?}");
+        };
+        assert_eq!(summary.snapshots_verified, 4);
     }
 
     #[test]

@@ -12,6 +12,33 @@
 //! a *full* dump of guest memory pages plus *incremental* (dirty-only) disk
 //! blocks; [`Snapshot::incremental_memory`] captures dirty-only memory as
 //! well for harnesses that want the optimised variant.
+//!
+//! # The incremental state-root pipeline
+//!
+//! The state root covers a fixed leaf order — CPU state, device state,
+//! control word, every memory page, every disk block — so recorder and
+//! auditor always derive comparable roots.  Naively that is O(total state)
+//! of hashing per snapshot; the paper's own AVMM "maintains" the tree
+//! instead of rebuilding it, and so does this module:
+//!
+//! 1. `avm-vm` memoises each page/block SHA-256, invalidating a slot the
+//!    moment that page/block is written ([`avm_vm::GuestMemory::page_hash`],
+//!    [`avm_vm::devices::Disk::block_hash`]).
+//! 2. [`StateTreeCache`] keeps the Merkle tree alive across snapshots and,
+//!    on [`StateTreeCache::refresh`], re-derives only the three header
+//!    leaves plus the leaves flagged by the VM's dirty bits, updating the
+//!    tree in one O(dirty + log n) batch
+//!    ([`MerkleTree::update_leaf_hashes`]).
+//!
+//! **Invalidation contract:** `refresh` trusts the dirty bits to name every
+//! page/block whose contents changed since the cache was last in sync.
+//! That holds as long as dirty bits are only cleared at capture points
+//! (which is when the cache is refreshed); callers that clear dirty
+//! tracking elsewhere must call [`StateTreeCache::invalidate`] first.
+//! Refreshing a leaf whose content did not change is always safe — updates
+//! are idempotent — so it does not matter if dirty bits over-approximate.
+//! [`build_state_tree_uncached`] remains as the reference implementation;
+//! tests and benches cross-check the cached root against it.
 
 use avm_crypto::merkle::MerkleTree;
 use avm_crypto::sha256::{sha256, Digest};
@@ -19,6 +46,10 @@ use avm_vm::devices::DISK_BLOCK_SIZE;
 use avm_vm::{GuestRegistry, Machine, VmImage, PAGE_SIZE};
 
 use crate::error::CoreError;
+
+/// Fixed framing bytes per snapshot: `id` (8) + `step` (8) + the
+/// `full_memory`/`halted` flags (2) + the state root (32).
+pub const SNAPSHOT_HEADER_BYTES: u64 = 50;
 
 /// A point-in-time capture of AVM state.
 #[derive(Debug, Clone)]
@@ -45,27 +76,66 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Bytes of captured memory state.
+    /// Bytes of captured memory page payloads.
     pub fn memory_bytes(&self) -> u64 {
         self.mem_pages.iter().map(|(_, p)| p.len() as u64).sum()
     }
 
-    /// Bytes of captured disk state.
+    /// Bytes of captured disk block payloads.
     pub fn disk_bytes(&self) -> u64 {
         self.disk_blocks.iter().map(|(_, b)| b.len() as u64).sum()
     }
 
-    /// Total size of the snapshot (memory + disk + CPU + devices).
-    pub fn total_bytes(&self) -> u64 {
-        self.memory_bytes() + self.disk_bytes() + self.cpu_state.len() as u64 + self.dev_state.len() as u64
+    /// Number of memory pages this snapshot carries (all pages for a full
+    /// capture, dirty pages only for an incremental one).
+    pub fn page_count(&self) -> usize {
+        self.mem_pages.len()
     }
+
+    /// Framing bytes beyond the raw payloads: the per-entry `u32` indices
+    /// (which dominate relative overhead for small dirty-only captures) plus
+    /// the fixed header ([`SNAPSHOT_HEADER_BYTES`]).
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.mem_pages.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
+    }
+
+    /// Total size of the snapshot as stored or transferred: payloads
+    /// (memory + disk + CPU + devices) plus [`Snapshot::metadata_bytes`].
+    ///
+    /// Counting the framing keeps full and dirty-only captures comparable —
+    /// a dirty-only capture pays per-entry index overhead that a "payload
+    /// only" total would hide.
+    pub fn total_bytes(&self) -> u64 {
+        self.memory_bytes()
+            + self.disk_bytes()
+            + self.cpu_state.len() as u64
+            + self.dev_state.len() as u64
+            + self.metadata_bytes()
+    }
+}
+
+/// Hashes the three header leaves (CPU, devices, control word) that precede
+/// the per-page and per-block leaves in the fixed leaf order.
+fn header_leaves(machine: &Machine) -> [Digest; 3] {
+    let mut control = Vec::with_capacity(10);
+    control.extend_from_slice(&machine.step_count().to_le_bytes());
+    control.push(u8::from(machine.is_halted()));
+    control.push(u8::from(machine.is_waiting_clock()));
+    [
+        sha256(&machine.save_cpu_state()),
+        sha256(&machine.devices().save_volatile()),
+        sha256(&control),
+    ]
 }
 
 /// Computes the Merkle root over the complete state of `machine`.
 ///
 /// The leaf order is fixed (CPU state, device state, control word, every
 /// memory page, every disk block), so the recording AVMM and a replaying
-/// auditor always derive comparable roots.
+/// auditor always derive comparable roots.  Page and block leaves come from
+/// the VM's memoised hash caches; hot paths that take repeated roots should
+/// hold a [`StateTreeCache`] instead, which also reuses the tree's interior
+/// nodes.
 pub fn compute_state_root(machine: &Machine) -> Digest {
     build_state_tree(machine).root()
 }
@@ -73,46 +143,152 @@ pub fn compute_state_root(machine: &Machine) -> Digest {
 /// Builds the full Merkle tree over machine state (exposed so auditors can
 /// produce inclusion proofs for individual pages).
 pub fn build_state_tree(machine: &Machine) -> MerkleTree {
-    let mut leaves: Vec<Digest> = Vec::with_capacity(
-        3 + machine.memory().page_count() + machine.devices().disk.block_count(),
-    );
-    leaves.push(sha256(&machine.save_cpu_state()));
-    leaves.push(sha256(&machine.devices().save_volatile()));
-    let mut control = Vec::with_capacity(10);
-    control.extend_from_slice(&machine.step_count().to_le_bytes());
-    control.push(u8::from(machine.is_halted()));
-    control.push(u8::from(machine.is_waiting_clock()));
-    leaves.push(sha256(&control));
-    for i in 0..machine.memory().page_count() {
-        leaves.push(machine.memory().page_hash(i).expect("page in range"));
+    let mem = machine.memory();
+    let disk = &machine.devices().disk;
+    let mut leaves: Vec<Digest> =
+        Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    leaves.extend_from_slice(&header_leaves(machine));
+    for i in 0..mem.page_count() {
+        leaves.push(mem.page_hash(i).expect("page in range"));
     }
-    for i in 0..machine.devices().disk.block_count() {
-        leaves.push(sha256(machine.devices().disk.block(i).expect("block in range")));
+    for i in 0..disk.block_count() {
+        leaves.push(disk.block_hash(i).expect("block in range"));
     }
     MerkleTree::from_leaf_hashes(leaves)
+}
+
+/// Reference tree construction that rehashes every page and block from raw
+/// contents, bypassing the VM hash caches and any [`StateTreeCache`].
+///
+/// This is the seed implementation's cost model, kept as the baseline the
+/// property tests cross-check against and the `fig6_snapshot_incremental`
+/// bench compares with.
+pub fn build_state_tree_uncached(machine: &Machine) -> MerkleTree {
+    let mem = machine.memory();
+    let disk = &machine.devices().disk;
+    let mut leaves: Vec<Digest> =
+        Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    leaves.extend_from_slice(&header_leaves(machine));
+    for i in 0..mem.page_count() {
+        leaves.push(sha256(mem.page(i).expect("page in range")));
+    }
+    for i in 0..disk.block_count() {
+        leaves.push(sha256(disk.block(i).expect("block in range")));
+    }
+    MerkleTree::from_leaf_hashes(leaves)
+}
+
+/// A Merkle state tree kept alive between snapshots so each refresh costs
+/// O(dirty leaves + log n) instead of O(total state).
+///
+/// See the module docs for the invalidation contract.  A fresh (or
+/// [`StateTreeCache::invalidate`]d) cache rebuilds the tree in full on its
+/// next refresh, so holding one is never less correct than calling
+/// [`compute_state_root`] — only faster.
+#[derive(Debug, Clone, Default)]
+pub struct StateTreeCache {
+    tree: Option<MerkleTree>,
+}
+
+impl StateTreeCache {
+    /// Creates an empty cache (the first refresh builds the full tree).
+    pub fn new() -> StateTreeCache {
+        StateTreeCache::default()
+    }
+
+    /// Drops the cached tree, forcing the next refresh to rebuild it.
+    ///
+    /// Required before reusing the cache on a *different* machine, or after
+    /// clearing dirty bits without refreshing.
+    pub fn invalidate(&mut self) {
+        self.tree = None;
+    }
+
+    /// The cached tree, if one has been built (for inclusion proofs).
+    pub fn tree(&self) -> Option<&MerkleTree> {
+        self.tree.as_ref()
+    }
+
+    /// Synchronises the cached tree with `machine` and returns the root.
+    ///
+    /// The three header leaves are always re-derived (they are tiny); page
+    /// and block leaves are re-derived only where the machine's dirty bits
+    /// say the contents may have changed since the last refresh.
+    pub fn refresh(&mut self, machine: &Machine) -> Digest {
+        let mem = machine.memory();
+        let disk = &machine.devices().disk;
+        let leaf_count = 3 + mem.page_count() + disk.block_count();
+        match &mut self.tree {
+            Some(tree) if tree.leaf_count() == leaf_count => {
+                let header = header_leaves(machine);
+                let dirty_pages = mem.dirty_pages();
+                let dirty_blocks = disk.dirty_blocks();
+                let mut updates: Vec<(usize, Digest)> =
+                    Vec::with_capacity(3 + dirty_pages.len() + dirty_blocks.len());
+                updates.push((0, header[0]));
+                updates.push((1, header[1]));
+                updates.push((2, header[2]));
+                for i in dirty_pages {
+                    updates.push((3 + i, mem.page_hash(i).expect("dirty page in range")));
+                }
+                let block_base = 3 + mem.page_count();
+                for b in dirty_blocks {
+                    updates.push((block_base + b, disk.block_hash(b).expect("dirty block in range")));
+                }
+                let ok = tree.update_leaf_hashes(&updates);
+                debug_assert!(ok, "state tree leaf indices in range");
+                tree.root()
+            }
+            _ => {
+                let tree = build_state_tree(machine);
+                let root = tree.root();
+                self.tree = Some(tree);
+                root
+            }
+        }
+    }
 }
 
 /// Captures a snapshot of `machine` and clears its dirty tracking.
 ///
 /// `full_memory` selects between the paper-prototype behaviour (full memory
-/// dump, §6.12) and dirty-page-only memory.
+/// dump, §6.12) and dirty-page-only memory.  This convenience form rebuilds
+/// the state tree from the (memoised) leaf hashes; hot paths taking repeated
+/// snapshots should use [`capture_with_cache`].
 pub fn capture(machine: &mut Machine, id: u64, full_memory: bool) -> Snapshot {
-    let state_root = compute_state_root(machine);
-    let mem_indices: Vec<usize> = if full_memory {
-        (0..machine.memory().page_count()).collect()
+    let mut cache = StateTreeCache::new();
+    capture_with_cache(machine, &mut cache, id, full_memory)
+}
+
+/// Captures a snapshot of `machine`, maintaining `cache` incrementally, and
+/// clears the machine's dirty tracking.
+///
+/// The dirty bits consumed here serve double duty: they select which leaves
+/// of `cache` to refresh *and* which pages/blocks the snapshot carries, so
+/// the snapshot and the root it records are always mutually consistent.
+pub fn capture_with_cache(
+    machine: &mut Machine,
+    cache: &mut StateTreeCache,
+    id: u64,
+    full_memory: bool,
+) -> Snapshot {
+    let state_root = cache.refresh(machine);
+    let mem = machine.memory();
+    let mem_pages: Vec<(u32, Vec<u8>)> = if full_memory {
+        (0..mem.page_count())
+            .map(|i| (i as u32, mem.page(i).expect("page").to_vec()))
+            .collect()
     } else {
-        machine.memory().dirty_pages()
+        mem.dirty_pages()
+            .into_iter()
+            .map(|i| (i as u32, mem.page(i).expect("page").to_vec()))
+            .collect()
     };
-    let mem_pages = mem_indices
-        .into_iter()
-        .map(|i| (i as u32, machine.memory().page(i).expect("page").to_vec()))
-        .collect();
-    let disk_blocks = machine
-        .devices()
-        .disk
+    let disk = &machine.devices().disk;
+    let disk_blocks = disk
         .dirty_blocks()
         .into_iter()
-        .map(|i| (i as u32, machine.devices().disk.block(i).expect("block").to_vec()))
+        .map(|i| (i as u32, disk.block(i).expect("block").to_vec()))
         .collect();
     let snapshot = Snapshot {
         id,
@@ -169,17 +345,20 @@ impl SnapshotStore {
     }
 
     /// Number of bytes an auditor must download to reconstruct the state at
-    /// snapshot `upto_id` (the chain of incremental disk blocks plus the
-    /// memory section of each snapshot needed).
+    /// snapshot `upto_id`: the chain of incremental disk blocks plus the
+    /// memory section of each snapshot needed, including per-entry index
+    /// framing and the fixed per-snapshot header (so dirty-only chains are
+    /// accounted consistently with [`Snapshot::total_bytes`]).
     pub fn transfer_bytes_upto(&self, upto_id: u64) -> u64 {
         let mut total = 0u64;
         for s in self.snapshots.iter().take(upto_id as usize + 1) {
             // Full-memory snapshots supersede earlier memory sections; only
             // the last one needs to be transferred.
             if !(s.full_memory && s.id < upto_id) {
-                total += s.memory_bytes();
+                total += s.memory_bytes() + s.mem_pages.len() as u64 * 4;
             }
-            total += s.disk_bytes();
+            total += s.disk_bytes() + s.disk_blocks.len() as u64 * 4;
+            total += SNAPSHOT_HEADER_BYTES;
         }
         let Some(last) = self.get(upto_id) else {
             return total;
@@ -210,14 +389,12 @@ impl SnapshotStore {
                     .any(|later| later.full_memory);
             if apply_memory {
                 for (idx, page) in &s.mem_pages {
-                    let mut arr = [0u8; PAGE_SIZE];
                     if page.len() != PAGE_SIZE {
                         return Err(CoreError::Snapshot("bad page size".to_string()));
                     }
-                    arr.copy_from_slice(page);
                     machine
                         .memory_mut()
-                        .set_page(*idx as usize, &arr)
+                        .set_page_from_slice(*idx as usize, page)
                         .map_err(CoreError::Vm)?;
                 }
             }
@@ -404,6 +581,74 @@ mod tests {
         let t2 = store.transfer_bytes_upto(2);
         assert!(t2 >= t0);
         assert!(t2 > 0);
+    }
+
+    #[test]
+    fn cached_roots_match_uncached_rebuild_across_snapshots() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut cache = StateTreeCache::new();
+        run_until_idle(&mut m);
+        for i in 0..6u64 {
+            m.inject_packet(vec![i as u8]);
+            run_until_idle(&mut m);
+            // Refresh twice between captures: updates must be idempotent.
+            let mid_root = cache.refresh(&m);
+            assert_eq!(mid_root, build_state_tree_uncached(&m).root(), "mid {i}");
+            let snap = capture_with_cache(&mut m, &mut cache, i, i % 2 == 0);
+            assert_eq!(
+                snap.state_root,
+                build_state_tree_uncached(&m).root(),
+                "snapshot {i}"
+            );
+            assert_eq!(snap.state_root, compute_state_root(&m), "stateless {i}");
+        }
+        // After invalidation the rebuilt tree agrees with the incremental one.
+        let before = cache.refresh(&m);
+        cache.invalidate();
+        assert_eq!(cache.refresh(&m), before);
+        assert!(cache.tree().is_some());
+    }
+
+    #[test]
+    fn cache_survives_direct_tampering_via_dirty_bits() {
+        // Writes through memory_mut()/disk (how a cheating operator would
+        // tamper mid-run) set dirty bits, so the cached tree must pick them
+        // up on the next refresh.
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut cache = StateTreeCache::new();
+        run_until_idle(&mut m);
+        capture_with_cache(&mut m, &mut cache, 0, true);
+        m.memory_mut().write_u64(0x9000, 0xDEAD).unwrap();
+        m.devices_mut().disk.write(0, &[0xAB; 16]).unwrap();
+        assert_eq!(cache.refresh(&m), build_state_tree_uncached(&m).root());
+    }
+
+    #[test]
+    fn snapshot_accounting_includes_framing() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        run_until_idle(&mut m);
+        m.inject_packet(vec![1]);
+        run_until_idle(&mut m);
+        let snap = capture(&mut m, 0, true);
+        assert_eq!(snap.page_count(), m.memory().page_count());
+        assert_eq!(
+            snap.metadata_bytes(),
+            (snap.mem_pages.len() + snap.disk_blocks.len()) as u64 * 4 + 50
+        );
+        assert_eq!(
+            snap.total_bytes(),
+            snap.memory_bytes()
+                + snap.disk_bytes()
+                + snap.cpu_state.len() as u64
+                + snap.dev_state.len() as u64
+                + snap.metadata_bytes()
+        );
     }
 
     #[test]

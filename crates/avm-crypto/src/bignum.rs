@@ -351,8 +351,31 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// Modular exponentiation by square-and-multiply.
+    /// Modular exponentiation.
+    ///
+    /// For odd moduli (every RSA modulus and prime factor) this dispatches to
+    /// Montgomery-form fixed-window exponentiation ([`MontgomeryCtx`]), which
+    /// replaces the per-multiply `div_rem` reduction with word-level
+    /// Montgomery reduction.  Even moduli fall back to the classic
+    /// square-and-multiply path ([`BigUint::modpow_slow`]).  Both paths
+    /// return bit-identical results.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        match MontgomeryCtx::new(modulus) {
+            Some(ctx) => ctx.modpow(self, exponent),
+            None => self.modpow_slow(exponent, modulus),
+        }
+    }
+
+    /// Modular exponentiation by square-and-multiply with full `div_rem`
+    /// reduction after every multiply.
+    ///
+    /// Retained as the naive baseline: benches compare [`BigUint::modpow`]
+    /// against it and tests assert the two produce identical results.
+    pub fn modpow_slow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -540,6 +563,235 @@ impl core::fmt::Display for BigUint {
     }
 }
 
+/// Montgomery-form modular arithmetic for an odd modulus.
+///
+/// The per-packet RSA cost in the AVMM is dominated by modular
+/// exponentiation; reducing with [`BigUint::div_rem`] after every multiply is
+/// O(bits) shift-and-subtract steps per reduction.  A Montgomery context
+/// replaces that with word-level CIOS reduction (Koç et al.): one pass of
+/// multiply-accumulate per limb, no trial subtraction loop.  Building the
+/// context costs one `div_rem` (for `R² mod n`), amortised over the hundreds
+/// of multiplies inside an exponentiation.
+///
+/// All arithmetic is on fixed-width little-endian `u32` limb vectors of the
+/// modulus' width, with a conditional final subtraction keeping every
+/// intermediate value `< n`, so results are bit-identical to the naive path.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    /// Modulus limbs, exactly `k` of them (top limb nonzero).
+    n: Vec<u32>,
+    /// The modulus as a `BigUint` (for reductions at the boundary).
+    n_big: BigUint,
+    /// `-n⁻¹ mod 2³²`.
+    n0_inv: u32,
+    /// `R² mod n` where `R = 2^(32k)`, in padded limb form.
+    r2: Vec<u32>,
+    /// Limb count of the modulus.
+    k: usize,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `modulus`.
+    ///
+    /// Returns `None` when the modulus is even, zero or one (Montgomery
+    /// reduction requires an odd modulus; callers fall back to
+    /// [`BigUint::modpow_slow`]).
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryCtx> {
+        if modulus.is_zero() || modulus.is_one() || modulus.is_even() {
+            return None;
+        }
+        let k = modulus.limbs.len();
+        let n = modulus.limbs.clone();
+        // Newton iteration for n0⁻¹ mod 2³² (doubles correct bits each step).
+        let n0 = n[0];
+        let mut inv = 1u32;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R² mod n, R = 2^(32k): the only full division in the context.
+        let r2_big = BigUint::one().shl(64 * k).rem(modulus);
+        let r2 = Self::pad(&r2_big, k);
+        Some(MontgomeryCtx {
+            n,
+            n_big: modulus.clone(),
+            n0_inv,
+            r2,
+            k,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n_big
+    }
+
+    fn pad(x: &BigUint, k: usize) -> Vec<u32> {
+        let mut v = x.limbs.clone();
+        v.resize(k, 0);
+        v
+    }
+
+    fn unpad(mut limbs: Vec<u32>) -> BigUint {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod n`.
+    ///
+    /// Inputs must be `k` limbs and `< n`; the output is `k` limbs and `< n`.
+    fn montmul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let k = self.k;
+        let mut t = vec![0u32; k + 2];
+        for i in 0..k {
+            let ai = a[i] as u64;
+            // t += a[i] * b
+            let mut carry = 0u64;
+            for j in 0..k {
+                let cur = t[j] as u64 + ai * b[j] as u64 + carry;
+                t[j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let cur = t[k] as u64 + carry;
+            t[k] = cur as u32;
+            t[k + 1] = (cur >> 32) as u32;
+            // t += m * n; t >>= 32  (m chosen so the low limb cancels)
+            let m = (t[0].wrapping_mul(self.n0_inv)) as u64;
+            let cur = t[0] as u64 + m * self.n[0] as u64;
+            let mut carry = cur >> 32;
+            for j in 1..k {
+                let cur = t[j] as u64 + m * self.n[j] as u64 + carry;
+                t[j - 1] = cur as u32;
+                carry = cur >> 32;
+            }
+            let cur = t[k] as u64 + carry;
+            t[k - 1] = cur as u32;
+            t[k] = t[k + 1].wrapping_add((cur >> 32) as u32);
+        }
+        // Conditional subtraction: t < 2n, so at most one subtract of n
+        // (whose borrow, if any, cancels the overflow limb t[k]).
+        if t[k] != 0 || !limbs_less(&t[..k], &self.n) {
+            let borrow = limbs_sub_assign(&mut t[..k], &self.n);
+            debug_assert_eq!(t[k], borrow, "CIOS result was not < 2n");
+            t[k] = 0;
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts into Montgomery form: `x·R mod n`.
+    fn to_mont(&self, x: &BigUint) -> Vec<u32> {
+        let reduced = x.rem(&self.n_big);
+        self.montmul(&Self::pad(&reduced, self.k), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, x: &[u32]) -> BigUint {
+        let mut one = vec![0u32; self.k];
+        one[0] = 1;
+        Self::unpad(self.montmul(x, &one))
+    }
+
+    /// Modular multiplication through the context: `a·b mod n`.
+    pub fn mulmod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.montmul(&am, &bm))
+    }
+
+    /// Fixed-window modular exponentiation: `base^exponent mod n`.
+    ///
+    /// Uses a 2^w-entry table of small powers; the window width scales with
+    /// the exponent size (binary scan for short exponents like `e = 65537`,
+    /// where a table would cost more than it saves).
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        let bits = exponent.bit_len();
+        let one_mont = self.montmul(&{
+            let mut one = vec![0u32; self.k];
+            one[0] = 1;
+            one
+        }, &self.r2);
+        if bits == 0 {
+            return self.from_mont(&one_mont);
+        }
+        let base_mont = self.to_mont(base);
+        // Window width: chosen so table build cost (2^w - 1 multiplies) is
+        // amortised by saved per-window multiplies.
+        let w: usize = if bits >= 1024 {
+            5
+        } else if bits >= 64 {
+            4
+        } else {
+            1
+        };
+        if w == 1 {
+            // Left-to-right binary scan.
+            let mut acc = one_mont;
+            for i in (0..bits).rev() {
+                acc = self.montmul(&acc, &acc);
+                if exponent.bit(i) {
+                    acc = self.montmul(&acc, &base_mont);
+                }
+            }
+            return self.from_mont(&acc);
+        }
+        // Table of base^0 .. base^(2^w - 1) in Montgomery form.
+        let mut table = Vec::with_capacity(1 << w);
+        table.push(one_mont.clone());
+        for i in 1..(1usize << w) {
+            table.push(self.montmul(&table[i - 1], &base_mont));
+        }
+        let windows = bits.div_ceil(w);
+        let mut acc = one_mont;
+        for widx in (0..windows).rev() {
+            for _ in 0..w {
+                acc = self.montmul(&acc, &acc);
+            }
+            let mut val = 0usize;
+            for b in (0..w).rev() {
+                val = (val << 1) | exponent.bit(widx * w + b) as usize;
+            }
+            if val != 0 {
+                acc = self.montmul(&acc, &table[val]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// `a < b` over equal-length little-endian limb slices.
+fn limbs_less(a: &[u32], b: &[u32]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// `a -= b` over equal-length little-endian limb slices; returns the final
+/// borrow (1 when `b > a`, i.e. the subtraction wrapped mod `2^(32·len)`).
+fn limbs_sub_assign(a: &mut [u32], b: &[u32]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let mut diff = a[i] as i64 - b[i] as i64 - borrow;
+        if diff < 0 {
+            diff += 1 << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        a[i] = diff as u32;
+    }
+    borrow as u32
+}
+
 /// Minimal signed big integer used only by the extended Euclidean algorithm.
 #[derive(Debug, Clone)]
 struct SignedBig {
@@ -703,6 +955,55 @@ mod tests {
         assert_eq!(big(17).modpow(&big(1008), &big(1009)), big(1));
         // Modulus one.
         assert_eq!(big(5).modpow(&big(5), &big(1)), BigUint::zero());
+    }
+
+    #[test]
+    fn montgomery_matches_slow_modpow() {
+        let mut rng = StdRng::seed_from_u64(0x4d30_4d30);
+        for bits in [33usize, 64, 96, 160, 256, 384] {
+            let modulus = BigUint::random_odd_with_bits(&mut rng, bits);
+            for _ in 0..4 {
+                let base = BigUint::random_bits(&mut rng, bits + 17);
+                let exp = BigUint::random_bits(&mut rng, bits);
+                assert_eq!(
+                    base.modpow(&exp, &modulus),
+                    base.modpow_slow(&exp, &modulus),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_edge_cases() {
+        let modulus = big(1009); // odd prime
+        // exponent zero -> 1; base zero -> 0; base == modulus -> 0.
+        assert_eq!(big(7).modpow(&BigUint::zero(), &modulus), big(1));
+        assert_eq!(BigUint::zero().modpow(&big(5), &modulus), BigUint::zero());
+        assert_eq!(big(1009).modpow(&big(3), &modulus), BigUint::zero());
+        // 0^0 == 1 by convention (both paths agree).
+        assert_eq!(
+            BigUint::zero().modpow(&BigUint::zero(), &modulus),
+            BigUint::zero().modpow_slow(&BigUint::zero(), &modulus)
+        );
+        // Even modulus falls back to the slow path transparently.
+        assert_eq!(big(7).modpow(&big(30), &big(1024)), big(7).modpow_slow(&big(30), &big(1024)));
+        assert!(MontgomeryCtx::new(&big(1024)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+    }
+
+    #[test]
+    fn montgomery_ctx_mulmod_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let modulus = BigUint::random_odd_with_bits(&mut rng, 192);
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        assert_eq!(ctx.modulus(), &modulus);
+        for _ in 0..8 {
+            let a = BigUint::random_bits(&mut rng, 200);
+            let b = BigUint::random_bits(&mut rng, 150);
+            assert_eq!(ctx.mulmod(&a, &b), a.mulmod(&b, &modulus));
+        }
     }
 
     #[test]

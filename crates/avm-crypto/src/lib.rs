@@ -40,7 +40,7 @@ pub mod merkle;
 pub mod rsa;
 pub mod sha256;
 
-pub use bignum::BigUint;
+pub use bignum::{BigUint, MontgomeryCtx};
 pub use hmac::{hmac_sha256, hmac_verify};
 pub use keys::{Certificate, Identity, KeyError, SignatureScheme, SigningKey, VerifyingKey};
 pub use merkle::{MerkleProof, MerkleTree};

@@ -5,6 +5,22 @@
 //! (paper §4.4).  Auditors later download only the parts of the state that
 //! replay actually touches and authenticate them against the recorded root
 //! using inclusion proofs.
+//!
+//! # Incremental updates and the invalidation contract
+//!
+//! [`MerkleTree`] is *persistent*: it keeps every interior level in memory so
+//! a leaf replacement only recomputes the O(log n) path to the root
+//! ([`MerkleTree::update_leaf_hash`]), and a batch of `d` dirty leaves only
+//! recomputes the union of their paths ([`MerkleTree::update_leaf_hashes`] —
+//! shared parents are hashed once per level, so a snapshot with `d` dirty
+//! pages costs O(d + log n) node hashes rather than O(n)).
+//!
+//! The contract with callers that cache a tree between snapshots (see
+//! `avm-core`'s `StateTreeCache`): every leaf whose underlying data may have
+//! changed since the tree was last synchronised **must** be passed to an
+//! update call.  The tree itself has no way to detect stale leaves; the
+//! VM layer's dirty bits are the source of truth for which leaves to refresh,
+//! and updating a leaf with an unchanged hash is always safe (idempotent).
 
 use crate::sha256::{sha256_concat, Digest};
 
@@ -102,6 +118,60 @@ impl MerkleTree {
                 left
             };
             self.levels[level + 1][idx] = parent;
+        }
+        true
+    }
+
+    /// Replaces a batch of leaves and recomputes each affected interior node
+    /// exactly once per level.
+    ///
+    /// For `d` updated leaves this costs O(d + log n) node hashes (the union
+    /// of the d root paths), versus O(d · log n) for repeated
+    /// [`MerkleTree::update_leaf_hash`] calls when the dirty leaves cluster.
+    /// Duplicate indices are allowed; the last hash for an index wins.
+    ///
+    /// Returns `false` (and applies nothing) if any index is out of range.
+    pub fn update_leaf_hashes(&mut self, updates: &[(usize, Digest)]) -> bool {
+        if updates.is_empty() {
+            return true;
+        }
+        let Some(leaf_level) = self.levels.first() else {
+            return false;
+        };
+        let leaf_count = leaf_level.len();
+        if updates.iter().any(|(i, _)| *i >= leaf_count) {
+            return false;
+        }
+        let mut touched: Vec<usize> = Vec::with_capacity(updates.len());
+        for &(i, hash) in updates {
+            self.levels[0][i] = hash;
+            touched.push(i);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for level in 0..self.levels.len() - 1 {
+            // Map touched node indices to their parents, deduplicating as we
+            // go (the list stays sorted, so consecutive duplicates suffice).
+            let mut parents: Vec<usize> = Vec::with_capacity(touched.len());
+            for &idx in &touched {
+                let parent = idx / 2;
+                if parents.last() != Some(&parent) {
+                    parents.push(parent);
+                }
+            }
+            let (lower, upper) = {
+                let (a, b) = self.levels.split_at_mut(level + 1);
+                (&a[level], &mut b[0])
+            };
+            for &p in &parents {
+                let left = lower[p * 2];
+                upper[p] = if p * 2 + 1 < lower.len() {
+                    node_hash(&left, &lower[p * 2 + 1])
+                } else {
+                    left
+                };
+            }
+            touched = parents;
         }
         true
     }
@@ -259,6 +329,48 @@ mod tests {
             let rebuilt: Vec<Vec<u8>> = (0..n).map(|i| format!("updated-{i}").into_bytes()).collect();
             assert_eq!(tree.root(), MerkleTree::from_leaves(&rebuilt).root(), "n={n}");
         }
+    }
+
+    #[test]
+    fn batch_update_matches_rebuild_and_single_updates() {
+        for n in [1usize, 2, 3, 5, 8, 11, 16, 17, 31] {
+            let data = leaves(n);
+            let mut batch_tree = MerkleTree::from_leaves(&data);
+            let mut single_tree = batch_tree.clone();
+            // Update a spread of leaves: first, last, and every third.
+            let updates: Vec<(usize, Digest)> = (0..n)
+                .filter(|i| *i == 0 || *i == n - 1 || i % 3 == 0)
+                .map(|i| (i, leaf_hash(format!("upd-{i}").as_bytes())))
+                .collect();
+            assert!(batch_tree.update_leaf_hashes(&updates));
+            for &(i, h) in &updates {
+                assert!(single_tree.update_leaf_hash(i, h));
+            }
+            let mut rebuilt = data.clone();
+            for &(i, _) in &updates {
+                rebuilt[i] = format!("upd-{i}").into_bytes();
+            }
+            let rebuilt = MerkleTree::from_leaves(&rebuilt);
+            assert_eq!(batch_tree.root(), rebuilt.root(), "n={n}");
+            assert_eq!(single_tree.root(), rebuilt.root(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_update_rejects_out_of_range_atomically() {
+        let mut tree = MerkleTree::from_leaves(&leaves(4));
+        let before = tree.root();
+        let updates = [(1, leaf_hash(b"x")), (4, leaf_hash(b"oob"))];
+        assert!(!tree.update_leaf_hashes(&updates));
+        assert_eq!(tree.root(), before, "failed batch must not change the tree");
+        // Empty batch is a no-op success.
+        assert!(tree.update_leaf_hashes(&[]));
+        // Duplicate indices: last hash wins.
+        let mut dup = tree.clone();
+        assert!(dup.update_leaf_hashes(&[(2, leaf_hash(b"a")), (2, leaf_hash(b"b"))]));
+        let mut direct = tree.clone();
+        direct.update_leaf_hash(2, leaf_hash(b"b"));
+        assert_eq!(dup.root(), direct.root());
     }
 
     #[test]

@@ -210,12 +210,16 @@ impl RsaPrivateKey {
         m2.add(&h.mul(&self.q))
     }
 
-    /// Non-CRT signing; retained for cross-checking the CRT path in tests.
+    /// Naive non-CRT, non-Montgomery signing baseline.
+    ///
+    /// Retained so tests can assert the optimised path ([`Self::sign_digest`]:
+    /// CRT + Montgomery fixed-window exponentiation) is bit-identical, and so
+    /// benches can measure the speedup against it.
     #[doc(hidden)]
     pub fn sign_digest_slow(&self, digest: &Digest) -> Vec<u8> {
         let em = encode_digest(digest, self.modulus_len());
         let m = BigUint::from_be_bytes(&em);
-        let s = m.modpow(&self.d, &self.public.n);
+        let s = m.modpow_slow(&self.d, &self.public.n);
         s.to_be_bytes_padded(self.modulus_len())
             .expect("signature fits modulus length")
     }

@@ -14,8 +14,10 @@
 //!   so reads need not be logged (paper §4.4).
 //! * The **console** is an output-only diagnostic channel.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
+use avm_crypto::sha256::{sha256, Digest};
 use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
 
 use crate::error::{VmError, VmResult};
@@ -165,6 +167,10 @@ impl InputQueue {
 pub struct Disk {
     data: Vec<u8>,
     dirty: Vec<bool>,
+    /// Lazily filled SHA-256 per block, invalidated by the write path (the
+    /// same contract as `GuestMemory`'s page-hash cache: validity tracks
+    /// content changes, never snapshot boundaries).
+    hash_cache: RefCell<Vec<Option<Digest>>>,
     /// Sectors read by the guest (statistics only).
     pub reads: u64,
     /// Sectors written by the guest (statistics only).
@@ -178,6 +184,7 @@ impl Disk {
         Disk {
             data: vec![0u8; blocks * DISK_BLOCK_SIZE],
             dirty: vec![false; blocks],
+            hash_cache: RefCell::new(vec![None; blocks]),
             reads: 0,
             writes: 0,
         }
@@ -228,8 +235,10 @@ impl Disk {
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         let first = offset as usize / DISK_BLOCK_SIZE;
         let last = (offset as usize + data.len().max(1) - 1) / DISK_BLOCK_SIZE;
+        let cache = self.hash_cache.get_mut();
         for b in first..=last.min(self.dirty.len() - 1) {
             self.dirty[b] = true;
+            cache[b] = None;
         }
         self.writes += 1;
         Ok(())
@@ -250,7 +259,20 @@ impl Disk {
         }
         self.data[idx * DISK_BLOCK_SIZE..(idx + 1) * DISK_BLOCK_SIZE].copy_from_slice(content);
         self.dirty[idx] = true;
+        self.hash_cache.get_mut()[idx] = None;
         Ok(())
+    }
+
+    /// SHA-256 of block `idx` contents, memoised until the block is written.
+    pub fn block_hash(&self, idx: usize) -> Option<Digest> {
+        let block = self.block(idx)?;
+        let mut cache = self.hash_cache.borrow_mut();
+        if let Some(h) = cache[idx] {
+            return Some(h);
+        }
+        let h = sha256(block);
+        cache[idx] = Some(h);
+        Some(h)
     }
 
     /// Indices of blocks written since the last [`Disk::clear_dirty`].
@@ -477,6 +499,26 @@ mod tests {
         assert_eq!(disk.block(1).unwrap()[0], 1);
         assert!(disk.set_block(5, &new_block).is_err());
         assert!(disk.set_block(0, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn disk_block_hash_cache_invalidated_by_writes() {
+        let mut disk = Disk::new(2 * DISK_BLOCK_SIZE as u64);
+        let h0 = disk.block_hash(0).unwrap();
+        assert_eq!(disk.block_hash(0).unwrap(), h0);
+        disk.write(10, &[1, 2, 3]).unwrap();
+        let h1 = disk.block_hash(0).unwrap();
+        assert_ne!(h0, h1);
+        // Dirty clearing leaves the cache intact; the hash stays correct.
+        disk.clear_dirty();
+        assert_eq!(disk.block_hash(0).unwrap(), h1);
+        let block = vec![9u8; DISK_BLOCK_SIZE];
+        disk.set_block(1, &block).unwrap();
+        assert_eq!(disk.block_hash(1).unwrap(), sha256(&block));
+        assert!(disk.block_hash(2).is_none());
+        for i in 0..disk.block_count() {
+            assert_eq!(disk.block_hash(i).unwrap(), sha256(disk.block(i).unwrap()));
+        }
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! Paged guest memory with dirty-page tracking.
+//! Paged guest memory with dirty-page tracking and cached page hashes.
 //!
 //! Incremental snapshots (paper §4.4) "only contain the state that has
 //! changed since the last snapshot"; the AVMM therefore needs to know which
 //! pages a guest has written.  `GuestMemory` tracks a dirty bit per page that
 //! the snapshot machinery reads and clears.
+//!
+//! Independently of the dirty bits, every page's SHA-256 is memoised: a
+//! cache slot is invalidated by the write path the moment a page's contents
+//! change and repopulated lazily by [`GuestMemory::page_hash`].  Unlike the
+//! dirty bits the cache is *never* cleared wholesale — its validity tracks
+//! content changes, not snapshot boundaries — so state-root computations
+//! only rehash pages written since the previous root, no matter how often
+//! dirty tracking is reset around them.
+
+use std::cell::RefCell;
 
 use avm_crypto::sha256::{sha256, Digest};
 
@@ -17,6 +27,9 @@ pub const PAGE_SIZE: usize = 4096;
 pub struct GuestMemory {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
     dirty: Vec<bool>,
+    /// Lazily filled SHA-256 per page; a slot is reset to `None` whenever the
+    /// page is written (interior mutability so reads can fill it).
+    hash_cache: RefCell<Vec<Option<Digest>>>,
 }
 
 impl GuestMemory {
@@ -26,6 +39,7 @@ impl GuestMemory {
         GuestMemory {
             pages: (0..n_pages).map(|_| Box::new([0u8; PAGE_SIZE])).collect(),
             dirty: vec![false; n_pages],
+            hash_cache: RefCell::new(vec![None; n_pages]),
         }
     }
 
@@ -85,6 +99,7 @@ impl GuestMemory {
             let n = (PAGE_SIZE - in_page).min(data.len() - copied);
             self.pages[page][in_page..in_page + n].copy_from_slice(&data[copied..copied + n]);
             self.dirty[page] = true;
+            self.hash_cache.get_mut()[page] = None;
             copied += n;
             offset += n;
         }
@@ -129,18 +144,38 @@ impl GuestMemory {
 
     /// Overwrites page `idx` wholesale (used when restoring snapshots).
     pub fn set_page(&mut self, idx: usize, data: &[u8; PAGE_SIZE]) -> VmResult<()> {
+        self.set_page_from_slice(idx, data)
+    }
+
+    /// Overwrites page `idx` from a slice that must be exactly one page long.
+    ///
+    /// Same as [`GuestMemory::set_page`] but avoids forcing callers holding a
+    /// `Vec<u8>` (e.g. snapshot restore) through an intermediate fixed-size
+    /// array copy.
+    pub fn set_page_from_slice(&mut self, idx: usize, data: &[u8]) -> VmResult<()> {
+        if data.len() != PAGE_SIZE {
+            return Err(VmError::CorruptState("snapshot page has wrong size"));
+        }
         let page = self
             .pages
             .get_mut(idx)
             .ok_or(VmError::CorruptState("snapshot page index out of range"))?;
         page.copy_from_slice(data);
         self.dirty[idx] = true;
+        self.hash_cache.get_mut()[idx] = None;
         Ok(())
     }
 
-    /// SHA-256 of page `idx` contents.
+    /// SHA-256 of page `idx` contents, memoised until the page is written.
     pub fn page_hash(&self, idx: usize) -> Option<Digest> {
-        self.page(idx).map(|p| sha256(p))
+        let page = self.page(idx)?;
+        let mut cache = self.hash_cache.borrow_mut();
+        if let Some(h) = cache[idx] {
+            return Some(h);
+        }
+        let h = sha256(page);
+        cache[idx] = Some(h);
+        Some(h)
     }
 
     /// Indices of pages written since the last [`GuestMemory::clear_dirty`].
@@ -234,6 +269,31 @@ mod tests {
         mem.write_u8(100, 42).unwrap();
         assert_ne!(before, mem.page_hash(0).unwrap());
         assert!(mem.page_hash(5).is_none());
+    }
+
+    #[test]
+    fn page_hash_cache_tracks_writes_not_dirty_bits() {
+        let mut mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        let h0 = mem.page_hash(0).unwrap();
+        // Repeated reads return the memoised value.
+        assert_eq!(mem.page_hash(0).unwrap(), h0);
+        // Clearing dirty bits must NOT invalidate the hash cache...
+        mem.write_u8(5, 1).unwrap();
+        let h1 = mem.page_hash(0).unwrap();
+        assert_ne!(h0, h1);
+        mem.clear_dirty();
+        assert_eq!(mem.page_hash(0).unwrap(), h1);
+        // ...but any write path must.
+        mem.write_u8(5, 2).unwrap();
+        assert_ne!(mem.page_hash(0).unwrap(), h1);
+        let page = vec![7u8; PAGE_SIZE];
+        mem.set_page_from_slice(1, &page).unwrap();
+        assert_eq!(mem.page_hash(1).unwrap(), sha256(&page));
+        assert!(mem.set_page_from_slice(1, &page[1..]).is_err());
+        // The cached hash always equals a fresh hash of the contents.
+        for i in 0..mem.page_count() {
+            assert_eq!(mem.page_hash(i).unwrap(), sha256(mem.page(i).unwrap()));
+        }
     }
 
     #[test]

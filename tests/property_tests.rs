@@ -1,6 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use avm_compress::{compress, decompress, CompressionLevel};
+use avm_core::snapshot::{build_state_tree_uncached, capture_with_cache, StateTreeCache};
 use avm_crypto::merkle::MerkleTree;
 use avm_crypto::sha256::{sha256, Digest};
 use avm_log::{verify_segment, EntryKind, LogEntry, TamperEvidentLog};
@@ -122,6 +123,54 @@ proptest! {
         let (decoded, len) = Instruction::decode(&bytes, 0).unwrap();
         prop_assert_eq!(decoded, ins);
         prop_assert_eq!(len as usize, bytes.len());
+    }
+
+    /// The incremental state-root pipeline agrees with a from-scratch
+    /// rebuild after arbitrary interleavings of memory writes, disk block
+    /// writes and snapshots.
+    ///
+    /// Each op is `(kind, location, value)`: kind 0-3 writes memory, 4-6
+    /// writes the disk, 7 takes a snapshot (which refreshes the long-lived
+    /// cache and clears dirty tracking, exactly like the recorder does).
+    #[test]
+    fn incremental_state_root_matches_full_recompute(
+        ops in proptest::collection::vec((0u8..8, any::<u16>(), any::<u8>()), 1..48)
+    ) {
+        let pages = 16usize;
+        let image = VmImage::bytecode(
+            "root-prop",
+            (pages * avm_vm::PAGE_SIZE) as u64,
+            assemble("halt", 0).unwrap(),
+            0,
+            0,
+        )
+        .with_disk(vec![0u8; 8 * avm_vm::devices::DISK_BLOCK_SIZE]);
+        let mut m = Machine::from_image(&image, &GuestRegistry::new()).unwrap();
+        let mut cache = StateTreeCache::new();
+        let mut snapshots = 0u64;
+        for (kind, loc, val) in ops {
+            match kind {
+                0..=3 => {
+                    let addr = loc as u64 % m.memory().size();
+                    m.memory_mut().write_u8(addr, val).unwrap();
+                }
+                4..=6 => {
+                    let off = loc as u64 % m.devices().disk.size();
+                    m.devices_mut().disk.write(off, &[val]).unwrap();
+                }
+                _ => {
+                    let snap = capture_with_cache(&mut m, &mut cache, snapshots, val % 2 == 0);
+                    snapshots += 1;
+                    prop_assert_eq!(
+                        snap.state_root,
+                        build_state_tree_uncached(&m).root(),
+                        "snapshot root diverged"
+                    );
+                }
+            }
+        }
+        // Final root must agree regardless of where the op stream stopped.
+        prop_assert_eq!(cache.refresh(&m), build_state_tree_uncached(&m).root());
     }
 
     /// The machine is deterministic: the same guest program with the same

@@ -1,0 +1,319 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — on top of a simple
+//! wall-clock harness.
+//!
+//! Measurement model: each benchmark is warmed up, then its iteration count
+//! is calibrated so one *sample* takes roughly [`TARGET_SAMPLE`], and
+//! `sample_size` samples are collected.  The harness prints min / median /
+//! mean per iteration.  `--test` (as passed by `cargo bench -- --test`) runs
+//! every benchmark exactly once as a smoke test; positional arguments filter
+//! benchmarks by substring, like criterion's CLI.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work (forwards to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark (`BenchmarkId::new("f", n)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.0
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            test_mode: false,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process CLI arguments (`cargo bench` passes
+    /// `--bench`; `-- --test` requests smoke-test mode; positional args are
+    /// substring filters).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                a if a.starts_with("--") => {} // --bench, --nocapture, ...
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(&name.into_name(), sample_size, f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, sample_size: usize, mut f: F) {
+        if !self.matches_filter(full_name) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{full_name:<55} ok (smoke)");
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes about TARGET_SAMPLE.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{full_name:<55} min {:>12} median {:>12} mean {:>12}  ({} iters x {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            iters,
+            sample_size
+        );
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let full_name = format!("{}/{}", self.group_name, name.into_name());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full_name, sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).bench_function("f", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["match-me".into()],
+            ..Criterion::default()
+        };
+        let mut matched = false;
+        let mut skipped = false;
+        c.bench_function("group/match-me", |b| b.iter(|| matched = true));
+        c.bench_function("group/other", |b| b.iter(|| skipped = true));
+        assert!(matched);
+        assert!(!skipped);
+    }
+
+    #[test]
+    fn measurement_mode_reports() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            ..Criterion::default()
+        };
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
