@@ -90,6 +90,52 @@ fn bench_fig7_framerate(c: &mut Criterion) {
     group.finish();
 }
 
+/// §6.12 substrate: content-addressed snapshot storage.  `push_dedup_hit`
+/// interns a full capture whose pages are already pooled (the steady-state
+/// cost of a snapshot on an idle guest); `transfer_compress` measures the
+/// compression-aware transfer model end to end.
+fn bench_snapshot_dedup(c: &mut Criterion) {
+    use avm_bench::experiments::{snapshot_image, snapshot_machine};
+    use avm_core::snapshot::{capture_with_cache, SnapshotStore, StateTreeCache};
+
+    let pages = 256usize;
+    let mut group = c.benchmark_group("snapshot_dedup");
+    group.sample_size(10);
+
+    let mut machine = snapshot_machine(pages, 16);
+    let mut cache = StateTreeCache::new();
+    let mut store = SnapshotStore::new();
+    let mut id = 0u64;
+    store.push(capture_with_cache(&mut machine, &mut cache, id, true));
+    group.bench_function(format!("push_dedup_hit_{pages}p"), |b| {
+        b.iter(|| {
+            id += 1;
+            let snap = capture_with_cache(&mut machine, &mut cache, id, true);
+            store.push(snap);
+            store.stored_payload_bytes()
+        })
+    });
+
+    let image = snapshot_image(pages, 16);
+    let registry = avm_vm::GuestRegistry::new();
+    group.bench_function(format!("materialize_pooled_{pages}p"), |b| {
+        b.iter(|| {
+            store
+                .materialize(0, &image, &registry)
+                .unwrap()
+                .step_count()
+        })
+    });
+    group.bench_function(format!("transfer_compress_{pages}p"), |b| {
+        b.iter(|| {
+            store
+                .transfer_cost_upto(0, CompressionLevel::Fast)
+                .compressed_bytes
+        })
+    });
+    group.finish();
+}
+
 /// Figure 9 substrate: spot-checking the database workload.
 fn bench_fig9_spotcheck(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_spotcheck");
@@ -180,6 +226,7 @@ criterion_group!(
     bench_table1_cheat_detection,
     bench_fig7_framerate,
     bench_fig6_snapshot_incremental,
+    bench_snapshot_dedup,
     bench_fig9_spotcheck,
     bench_fig568_host_model
 );

@@ -19,7 +19,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let selected = if selected.is_empty() { vec!["all"] } else { selected };
+    let selected = if selected.is_empty() {
+        vec!["all"]
+    } else {
+        selected
+    };
 
     let model = HostCostModel::calibrated();
     for name in selected {
@@ -61,9 +65,12 @@ fn main() {
             "fig6inc" | "snapshotinc" | "incremental" => {
                 experiments::exp_snapshot_incremental(quick);
             }
+            "dedup" | "cas" | "snapshotdedup" => {
+                experiments::exp_snapshot_dedup(quick);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

@@ -107,7 +107,12 @@ pub fn exp_table1(quick: bool) -> Table1Result {
             .filter(|c| {
                 matches!(
                     c.name,
-                    "aimbot" | "wallhack" | "unlimited-ammo" | "unlimited-health" | "teleport" | "speedhack"
+                    "aimbot"
+                        | "wallhack"
+                        | "unlimited-ammo"
+                        | "unlimited-health"
+                        | "teleport"
+                        | "speedhack"
                 )
             })
             .cloned()
@@ -153,7 +158,11 @@ pub fn exp_table1(quick: bool) -> Table1Result {
                 CheatClass::InstallDetectable => "install-detectable",
                 CheatClass::DetectableAnyImplementation => "any-implementation",
             },
-            if caught { "fault detected" } else { "NOT DETECTED" }
+            if caught {
+                "fault detected"
+            } else {
+                "NOT DETECTED"
+            }
         );
     }
     let any_implementation = catalog
@@ -177,8 +186,11 @@ pub fn exp_table1(quick: bool) -> Table1Result {
 /// §6.3 functionality check: honest players pass, the cheater is caught.
 pub fn exp_functionality(quick: bool) -> (usize, usize) {
     let mut scenario = small_scenario(ExecConfig::AvmmRsa768, quick);
-    scenario.cheat_on_first_player =
-        Some(avm_game::cheats::cheat_by_name("unlimited-ammo").unwrap().id);
+    scenario.cheat_on_first_player = Some(
+        avm_game::cheats::cheat_by_name("unlimited-ammo")
+            .unwrap()
+            .id,
+    );
     let result = scenario.run();
     let mut honest_pass = 0usize;
     let mut cheaters_caught = 0usize;
@@ -272,7 +284,11 @@ pub fn exp_log_growth(quick: bool) -> LogGrowthResult {
 
     println!("# Figure 3 / Figure 4: log growth and composition ({player})");
     println!("sim time: {sim_seconds:.1} s");
-    println!("AVMM log: {} bytes ({:.1} KB/min)", serialized.len(), serialized.len() as f64 / 1024.0 / (sim_seconds / 60.0));
+    println!(
+        "AVMM log: {} bytes ({:.1} KB/min)",
+        serialized.len(),
+        serialized.len() as f64 / 1024.0 / (sim_seconds / 60.0)
+    );
     println!("equivalent replay-only log: {replay_only_bytes} bytes");
     println!("compressed: {compressed_bytes} bytes");
     println!("| class | bytes | share |");
@@ -379,17 +395,26 @@ pub fn exp_audit_cost(quick: bool) -> AuditCostResult {
 
     let (prev, segment) = avmm.log().segment(1, avmm.log().len() as u64).unwrap();
     let t = Instant::now();
-    avm_log::verify_segment(&prev, &segment, &[], &result.server_identity.verifying_key()).unwrap();
+    avm_log::verify_segment(
+        &prev,
+        &segment,
+        &[],
+        &result.server_identity.verifying_key(),
+    )
+    .unwrap();
     let syntactic_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let mut replayer = Replayer::from_image(&result.reference_server_image, &game_registry()).unwrap();
+    let mut replayer =
+        Replayer::from_image(&result.reference_server_image, &game_registry()).unwrap();
     let outcome = replayer.replay(&segment);
     assert!(outcome.is_consistent(), "server replay failed: {outcome:?}");
     let semantic_s = t.elapsed().as_secs_f64();
 
     println!("# §6.6 audit cost (server log)");
-    println!("record: {record_s:.3} s  compress: {compress_s:.3} s  decompress: {decompress_s:.3} s");
+    println!(
+        "record: {record_s:.3} s  compress: {compress_s:.3} s  decompress: {decompress_s:.3} s"
+    );
     println!("syntactic check: {syntactic_s:.3} s  semantic check (replay): {semantic_s:.3} s");
     AuditCostResult {
         compress_s,
@@ -432,7 +457,10 @@ pub fn exp_traffic(quick: bool) -> (f64, f64) {
     let bare_kbps = payload_bytes as f64 * 8.0 / secs / 1000.0;
     let avmm_kbps = net_stats.tx_bytes as f64 * 8.0 / secs / 1000.0;
     println!("# §6.7 network traffic ({player})");
-    println!("bare-hw: {bare_kbps:.1} kbps   avmm-rsa768: {avmm_kbps:.1} kbps   packets sent: {}", stats.packets_out);
+    println!(
+        "bare-hw: {bare_kbps:.1} kbps   avmm-rsa768: {avmm_kbps:.1} kbps   packets sent: {}",
+        stats.packets_out
+    );
     (bare_kbps, avmm_kbps)
 }
 
@@ -581,8 +609,14 @@ pub struct SpotCheckRow {
     pub k: u64,
     /// Replay cost relative to a full audit (entries replayed).
     pub relative_replay: f64,
-    /// Data transferred relative to a full audit.
+    /// Data transferred relative to a full audit (raw bytes over the raw
+    /// full-audit log download).
     pub relative_transfer: f64,
+    /// Compressed data transferred relative to a *compressed* full audit —
+    /// both sides of the ratio use the §6.12 transfer model (the prototype
+    /// ships compressed snapshots and the audit tool compresses the log), so
+    /// this is directly comparable to `relative_transfer`.
+    pub relative_transfer_compressed: f64,
 }
 
 /// Figure 9 and §6.12: spot-check cost versus chunk size on the database
@@ -644,6 +678,14 @@ pub fn exp_spotcheck(quick: bool) -> Vec<SpotCheckRow> {
     // Full-audit baseline.
     let total_entries = avmm.log().len() as u64;
     let total_log_bytes = avmm.log().total_wire_size();
+    // Compressed full-audit baseline: a full audit downloads the whole log
+    // (no snapshot state — replay starts from the reference image), shipped
+    // through the same compression model as the spot-check transfers.
+    let total_log_compressed_bytes = avm_compress::CompressionStats::measure_stream(
+        avmm.log().entries().iter().map(|e| e.encode_to_vec()),
+        avm_core::spotcheck::TRANSFER_COMPRESSION,
+    )
+    .compressed_bytes;
     let n_snapshots = avmm.snapshots().len() as u64;
 
     println!("# §6.12 snapshots");
@@ -653,10 +695,20 @@ pub fn exp_spotcheck(quick: bool) -> Vec<SpotCheckRow> {
         avmm.snapshots().get(0).map(|s| s.memory_bytes()).unwrap_or(0),
         avmm.snapshots().all().iter().map(|s| s.disk_bytes()).collect::<Vec<_>>(),
     );
+    println!(
+        "content-addressed store: {} logical payload bytes held as {} unique bytes ({} blobs, {:.1}x dedup)",
+        avmm.snapshots().logical_payload_bytes(),
+        avmm.snapshots().stored_payload_bytes(),
+        avmm.snapshots().unique_payloads(),
+        avmm.snapshots().logical_payload_bytes() as f64
+            / avmm.snapshots().stored_payload_bytes().max(1) as f64,
+    );
 
     println!("# Figure 9: spot-check cost vs chunk size");
-    println!("| k | replay (relative) | data transferred (relative) |");
-    println!("|---|---|---|");
+    println!(
+        "| k | replay (relative) | transferred (relative) | transferred compressed (relative) |"
+    );
+    println!("|---|---|---|---|");
     let mut out = Vec::new();
     for k in [1u64, 2, 3] {
         if k >= n_snapshots {
@@ -666,20 +718,39 @@ pub fn exp_spotcheck(quick: bool) -> Vec<SpotCheckRow> {
         // start at the very beginning, as the paper does).
         let mut replays = Vec::new();
         let mut transfers = Vec::new();
+        let mut transfers_compressed = Vec::new();
         for start in 1..n_snapshots.saturating_sub(k) {
-            let report = spot_check(avmm.log(), avmm.snapshots(), start, k, &image, &registry).unwrap();
+            let report =
+                spot_check(avmm.log(), avmm.snapshots(), start, k, &image, &registry).unwrap();
             if !report.consistent {
                 if let Some(avm_core::error::FaultReason::EventDivergence { seq, .. })
-                | Some(avm_core::error::FaultReason::OutputDivergence { seq, .. }) = &report.fault
+                | Some(avm_core::error::FaultReason::OutputDivergence { seq, .. }) =
+                    &report.fault
                 {
-                    for e in avmm.log().entries().iter().filter(|e| e.seq + 6 > *seq && e.seq < seq + 3) {
-                        eprintln!("DBG seq={} kind={:?} len={}", e.seq, e.kind, e.content.len());
+                    for e in avmm
+                        .log()
+                        .entries()
+                        .iter()
+                        .filter(|e| e.seq + 6 > *seq && e.seq < seq + 3)
+                    {
+                        eprintln!(
+                            "DBG seq={} kind={:?} len={}",
+                            e.seq,
+                            e.kind,
+                            e.content.len()
+                        );
                     }
                 }
-                panic!("honest chunk failed (start={start}, k={k}): {:?}", report.fault);
+                panic!(
+                    "honest chunk failed (start={start}, k={k}): {:?}",
+                    report.fault
+                );
             }
             replays.push(report.entries_replayed as f64 / total_entries as f64);
             transfers.push(report.total_transfer_bytes() as f64 / total_log_bytes as f64);
+            transfers_compressed.push(
+                report.total_transfer_compressed_bytes() as f64 / total_log_compressed_bytes as f64,
+            );
         }
         if replays.is_empty() {
             continue;
@@ -688,10 +759,12 @@ pub fn exp_spotcheck(quick: bool) -> Vec<SpotCheckRow> {
             k,
             relative_replay: replays.iter().sum::<f64>() / replays.len() as f64,
             relative_transfer: transfers.iter().sum::<f64>() / transfers.len() as f64,
+            relative_transfer_compressed: transfers_compressed.iter().sum::<f64>()
+                / transfers_compressed.len() as f64,
         };
         println!(
-            "| {} | {:.2} | {:.2} |",
-            row.k, row.relative_replay, row.relative_transfer
+            "| {} | {:.2} | {:.2} | {:.2} |",
+            row.k, row.relative_replay, row.relative_transfer, row.relative_transfer_compressed
         );
         out.push(row);
     }
@@ -717,22 +790,23 @@ pub struct SnapshotIncRow {
     pub speedup: f64,
 }
 
-/// Builds an idle machine with `pages` of guest memory and a small disk,
-/// used by this experiment and the `fig6_snapshot_incremental` bench group.
-pub fn snapshot_machine(pages: usize, disk_blocks: usize) -> avm_vm::Machine {
+/// The reference image behind [`snapshot_machine`]: an idle guest with
+/// `pages` of memory and a small disk.
+pub fn snapshot_image(pages: usize, disk_blocks: usize) -> avm_vm::VmImage {
     use avm_vm::bytecode::assemble;
     use avm_vm::devices::DISK_BLOCK_SIZE;
-    use avm_vm::{GuestRegistry, Machine, VmImage, PAGE_SIZE};
+    use avm_vm::{VmImage, PAGE_SIZE};
     let code = assemble("halt", 0).unwrap();
-    let image = VmImage::bytecode(
-        "fig6-snapshot",
-        (pages * PAGE_SIZE) as u64,
-        code,
-        0,
-        0,
-    )
-    .with_disk(vec![0u8; disk_blocks * DISK_BLOCK_SIZE]);
-    Machine::from_image(&image, &GuestRegistry::new()).unwrap()
+    VmImage::bytecode("fig6-snapshot", (pages * PAGE_SIZE) as u64, code, 0, 0)
+        .with_disk(vec![0u8; disk_blocks * DISK_BLOCK_SIZE])
+}
+
+/// Builds an idle machine with `pages` of guest memory and a small disk,
+/// used by the snapshot experiments and the `fig6_snapshot_incremental` and
+/// `snapshot_dedup` bench groups.
+pub fn snapshot_machine(pages: usize, disk_blocks: usize) -> avm_vm::Machine {
+    use avm_vm::{GuestRegistry, Machine};
+    Machine::from_image(&snapshot_image(pages, disk_blocks), &GuestRegistry::new()).unwrap()
 }
 
 /// Incremental versus full state-root cost as memory grows and the dirty
@@ -802,6 +876,126 @@ pub fn exp_snapshot_incremental(quick: bool) -> Vec<SnapshotIncRow> {
 }
 
 // ---------------------------------------------------------------------------
+// §6.12 substrate: content-addressed snapshot storage + compressed transfer
+// ---------------------------------------------------------------------------
+
+/// Result of the snapshot dedup/compression experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotDedupResult {
+    /// Full-memory captures pushed into the store.
+    pub captures: usize,
+    /// Logical payload bytes across all captures (what a naive store holds).
+    pub logical_bytes: u64,
+    /// Unique payload bytes the content-addressed pool actually holds.
+    pub stored_bytes: u64,
+    /// Stored bytes at the end of the busy phase — the baseline the idle
+    /// captures must not grow.
+    pub stored_before_idle: u64,
+    /// Raw transfer bytes to materialize the final snapshot.
+    pub transfer_raw: u64,
+    /// Compressed transfer bytes to materialize the final snapshot.
+    pub transfer_compressed: u64,
+}
+
+/// §6.12 substrate: content-addressed snapshot storage and compression-aware
+/// transfer modelling.
+///
+/// A guest with a small dirty working set takes repeated *full* memory
+/// captures: the content-addressed pool stores O(unique pages), so idle
+/// captures add ~0 bytes, and the modelled auditor download is reported both
+/// raw and compressed (the paper ships compressed incremental snapshots).
+/// Every materialization is authenticated against its recorded root, so the
+/// experiment doubles as a round-trip check of the pooled storage.
+pub fn exp_snapshot_dedup(quick: bool) -> SnapshotDedupResult {
+    use avm_compress::CompressionLevel;
+    use avm_core::snapshot::{capture_with_cache, SnapshotStore, StateTreeCache};
+    use avm_vm::{GuestRegistry, PAGE_SIZE};
+
+    let pages = if quick { 128 } else { 1024 };
+    let idle_captures = if quick { 4 } else { 16 };
+    let busy_captures = if quick { 3 } else { 8 };
+
+    let mut m = snapshot_machine(pages, 16);
+    let image = snapshot_image(pages, 16);
+    let registry = GuestRegistry::new();
+    let mut cache = StateTreeCache::new();
+    let mut store = SnapshotStore::new();
+    let mut id = 0u64;
+
+    println!("# §6.12 substrate: content-addressed snapshots");
+    println!("| capture | kind | logical bytes | stored bytes (cumulative) |");
+    println!("|---|---|---|---|");
+    let push = |store: &mut SnapshotStore,
+                m: &mut avm_vm::Machine,
+                cache: &mut StateTreeCache,
+                id: &mut u64,
+                kind: &str| {
+        let snap = capture_with_cache(m, cache, *id, true);
+        let logical = snap.total_bytes();
+        store.push(snap);
+        println!(
+            "| {} | {} | {} | {} |",
+            id,
+            kind,
+            logical,
+            store.stored_payload_bytes()
+        );
+        *id += 1;
+    };
+
+    // Busy phase: dirty one page between full captures.
+    for i in 0..busy_captures {
+        m.memory_mut()
+            .write_u8(((i % pages) * PAGE_SIZE) as u64, i as u8 + 1)
+            .unwrap();
+        push(&mut store, &mut m, &mut cache, &mut id, "busy");
+    }
+    let stored_before_idle = store.stored_payload_bytes();
+    // Idle phase: repeated full captures with no guest activity.
+    for _ in 0..idle_captures {
+        push(&mut store, &mut m, &mut cache, &mut id, "idle");
+    }
+    assert_eq!(
+        store.stored_payload_bytes(),
+        stored_before_idle,
+        "idle full captures must not grow the pool"
+    );
+
+    // Round trip every snapshot (materialize authenticates the state root)
+    // and pin the accounting to the bytes materialization consumes.
+    for sid in 0..id {
+        let (_, consumed) = store
+            .materialize_with_cost(sid, &image, &registry)
+            .expect("pooled snapshot must round-trip");
+        assert_eq!(consumed, store.transfer_bytes_upto(sid));
+    }
+
+    let cost = store.transfer_cost_upto(id - 1, CompressionLevel::Default);
+    let result = SnapshotDedupResult {
+        captures: id as usize,
+        logical_bytes: store.logical_payload_bytes(),
+        stored_bytes: store.stored_payload_bytes(),
+        stored_before_idle,
+        transfer_raw: cost.raw_bytes,
+        transfer_compressed: cost.compressed_bytes,
+    };
+    println!(
+        "logical: {} bytes  stored: {} bytes ({:.1}x dedup, {} unique blobs)",
+        result.logical_bytes,
+        result.stored_bytes,
+        result.logical_bytes as f64 / result.stored_bytes.max(1) as f64,
+        store.unique_payloads(),
+    );
+    println!(
+        "auditor transfer to the final snapshot: raw {} bytes, compressed {} bytes ({:.1}x)",
+        result.transfer_raw,
+        result.transfer_compressed,
+        cost.ratio(),
+    );
+    result
+}
+
+// ---------------------------------------------------------------------------
 
 /// Runs every experiment (used by the `experiments` binary with `all`).
 pub fn run_all(quick: bool) {
@@ -818,6 +1012,7 @@ pub fn run_all(quick: bool) {
     exp_online_audit_frame_rate(quick, &model);
     exp_spotcheck(quick);
     exp_snapshot_incremental(quick);
+    exp_snapshot_dedup(quick);
 }
 
 #[cfg(test)]
@@ -862,7 +1057,10 @@ mod tests {
         let bare = rows[0].1;
         let avmm = rows[4].1;
         for w in rows.windows(2) {
-            assert!(w[1].1 <= w[0].1 * 1.0001, "fps must not increase across configs");
+            assert!(
+                w[1].1 <= w[0].1 * 1.0001,
+                "fps must not increase across configs"
+            );
         }
         let drop = 1.0 - avmm / bare;
         assert!(drop > 0.05 && drop < 0.40, "relative drop {drop}");
@@ -898,5 +1096,26 @@ mod tests {
             assert!(w[1].relative_replay >= w[0].relative_replay);
             assert!(w[1].relative_transfer >= w[0].relative_transfer);
         }
+        for row in &rows {
+            assert!(
+                row.relative_transfer_compressed > 0.0
+                    && row.relative_transfer_compressed < row.relative_transfer,
+                "compressed transfer should undercut raw: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_store_is_o_unique_pages() {
+        let r = exp_snapshot_dedup(true);
+        // Idle full captures added exactly zero stored payload (asserted
+        // inside the experiment too) while the logical volume kept growing.
+        assert_eq!(r.stored_bytes, r.stored_before_idle);
+        assert!(r.logical_bytes > 4 * r.stored_bytes, "{r:?}");
+        // The modelled auditor download reports both raw and compressed, and
+        // the idle guest compresses heavily.
+        assert!(r.transfer_raw > 0);
+        assert!(r.transfer_compressed > 0);
+        assert!(r.transfer_compressed < r.transfer_raw / 4, "{r:?}");
     }
 }

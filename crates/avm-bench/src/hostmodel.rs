@@ -158,7 +158,11 @@ pub fn hyperthread_utilization(
     daemon_fraction: f64,
 ) -> [f64; 8] {
     let mut ht = [0.0f64; 8];
-    let daemon = if config.tamper_evident() { daemon_fraction } else { 0.0 };
+    let daemon = if config.tamper_evident() {
+        daemon_fraction
+    } else {
+        0.0
+    };
     ht[0] = daemon.min(1.0);
     // Kernel-level IRQ handling keeps the hypertwin slightly busy.
     ht[4] = 0.01;
@@ -192,7 +196,10 @@ mod tests {
         let mut prev = 0.0;
         for config in ExecConfig::ALL {
             let cost = model.host_seconds(config, steps, log_bytes, &s);
-            assert!(cost > prev, "{config} should cost more than the previous config");
+            assert!(
+                cost > prev,
+                "{config} should cost more than the previous config"
+            );
             prev = cost;
         }
     }

@@ -269,8 +269,11 @@ mod tests {
     #[test]
     fn cheating_player_fails_audit_after_scenario() {
         let mut scenario = tiny(ExecConfig::AvmmRsa768);
-        scenario.cheat_on_first_player =
-            Some(avm_game::cheats::cheat_by_name("unlimited-ammo").unwrap().id);
+        scenario.cheat_on_first_player = Some(
+            avm_game::cheats::cheat_by_name("unlimited-ammo")
+                .unwrap()
+                .id,
+        );
         let result = scenario.run();
         let cheater = &result.players[0];
         let avmm = result.avmm(cheater);

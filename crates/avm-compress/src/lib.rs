@@ -19,7 +19,7 @@ pub mod lz;
 pub mod stats;
 
 pub use lz::{compress, decompress, CompressError, CompressionLevel};
-pub use stats::CompressionStats;
+pub use stats::{CompressionStats, StreamMeasurer};
 
 #[cfg(test)]
 mod tests {

@@ -76,10 +76,16 @@ impl core::fmt::Display for CompressError {
             CompressError::BadMagic => write!(f, "bad magic bytes"),
             CompressError::Truncated => write!(f, "compressed stream truncated"),
             CompressError::BadDistance { distance, produced } => {
-                write!(f, "invalid back-reference distance {distance} at offset {produced}")
+                write!(
+                    f,
+                    "invalid back-reference distance {distance} at offset {produced}"
+                )
             }
             CompressError::LengthMismatch { declared, actual } => {
-                write!(f, "length mismatch: header says {declared}, decoded {actual}")
+                write!(
+                    f,
+                    "length mismatch: header says {declared}, decoded {actual}"
+                )
             }
             CompressError::ChecksumMismatch => write!(f, "checksum mismatch after decompression"),
         }
@@ -183,7 +189,8 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
     if input.len() < pos + 4 {
         return Err(CompressError::Truncated);
     }
-    let stored_crc = u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]]);
+    let stored_crc =
+        u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]]);
     pos += 4;
 
     let mut out: Vec<u8> = Vec::with_capacity(orig_len as usize);
@@ -244,7 +251,11 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs() {
-        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+        for level in [
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ] {
             roundtrip(b"", level);
             roundtrip(b"a", level);
             roundtrip(b"abc", level);
@@ -261,7 +272,12 @@ mod tests {
             .copied()
             .collect();
         let c = compress(&data, CompressionLevel::Default);
-        assert!(c.len() < data.len() / 10, "compressed {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 10,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -331,9 +347,7 @@ mod tests {
 
     #[test]
     fn levels_trade_ratio() {
-        let data: Vec<u8> = (0..40_000u32)
-            .map(|i| ((i / 3) % 251) as u8)
-            .collect();
+        let data: Vec<u8> = (0..40_000u32).map(|i| ((i / 3) % 251) as u8).collect();
         let fast = compress(&data, CompressionLevel::Fast).len();
         let best = compress(&data, CompressionLevel::Best).len();
         assert!(best <= fast, "best={best} fast={fast}");

@@ -43,6 +43,56 @@ impl CompressionStats {
         self.raw_bytes += other.raw_bytes;
         self.compressed_bytes += other.compressed_bytes;
     }
+
+    /// Measures a transfer assembled from multiple chunks (log entries,
+    /// snapshot sections) as *one* compressed stream, so back-references can
+    /// span chunk boundaries — how an auditor's single download behaves.
+    ///
+    /// Equivalent to pushing every chunk through a [`StreamMeasurer`].
+    pub fn measure_stream<I, T>(chunks: I, level: CompressionLevel) -> CompressionStats
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let mut measurer = StreamMeasurer::new();
+        for chunk in chunks {
+            measurer.push(chunk.as_ref());
+        }
+        measurer.finish(level)
+    }
+}
+
+/// Incrementally assembles a transfer stream chunk by chunk and measures its
+/// compressed size on [`StreamMeasurer::finish`].
+///
+/// The chunks are compressed as a single stream (matches may cross chunk
+/// boundaries), which models a downloaded log segment or snapshot chain more
+/// faithfully than compressing each chunk in isolation would.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMeasurer {
+    buf: Vec<u8>,
+}
+
+impl StreamMeasurer {
+    /// Creates an empty measurer.
+    pub fn new() -> StreamMeasurer {
+        StreamMeasurer::default()
+    }
+
+    /// Appends one chunk to the stream.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Raw bytes accumulated so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Compresses the accumulated stream at `level` and returns both sizes.
+    pub fn finish(self, level: CompressionLevel) -> CompressionStats {
+        CompressionStats::measure(&self.buf, level)
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +112,23 @@ mod tests {
         total.accumulate(&s);
         total.accumulate(&s);
         assert_eq!(total.raw_bytes, 2 * s.raw_bytes);
+    }
+
+    #[test]
+    fn stream_measurement_matches_concatenated_one_shot() {
+        let chunks: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i % 4; 64]).collect();
+        let concatenated: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let via_stream = CompressionStats::measure_stream(chunks.iter(), CompressionLevel::Default);
+        let one_shot = CompressionStats::measure(&concatenated, CompressionLevel::Default);
+        assert_eq!(via_stream, one_shot);
+        assert_eq!(via_stream.raw_bytes, concatenated.len() as u64);
+
+        let mut measurer = StreamMeasurer::new();
+        for c in &chunks {
+            measurer.push(c);
+        }
+        assert_eq!(measurer.raw_bytes(), concatenated.len() as u64);
+        assert_eq!(measurer.finish(CompressionLevel::Default), one_shot);
     }
 
     #[test]

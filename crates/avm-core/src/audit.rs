@@ -162,9 +162,12 @@ pub fn audit_log(
     let mut replayer = match Replayer::from_image(reference, registry) {
         Ok(r) => r,
         Err(e) => {
-            return fail(true, FaultReason::SyntacticFailure(format!(
-                "could not instantiate reference machine: {e}"
-            )))
+            return fail(
+                true,
+                FaultReason::SyntacticFailure(format!(
+                    "could not instantiate reference machine: {e}"
+                )),
+            )
         }
     };
     match replayer.replay(segment) {
@@ -243,13 +246,13 @@ fn syntactic_content_checks(segment: &[LogEntry]) -> Result<(), FaultReason> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avm_wire::Encode;
     use crate::config::AvmmOptions;
     use crate::envelope::{Envelope, EnvelopeKind};
     use crate::recorder::{Avmm, HostClock};
     use avm_crypto::keys::{SignatureScheme, SigningKey};
     use avm_vm::bytecode::assemble;
     use avm_vm::packet::encode_guest_packet;
+    use avm_wire::Encode;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -348,7 +351,10 @@ mod tests {
         let (bob, auths, _) = record(bob_key, &image);
         let (prev, mut segment) = bob.log().segment(1, bob.log().len() as u64).unwrap();
         // Bob tampers with a logged entry after the fact.
-        let idx = segment.iter().position(|e| e.kind == EntryKind::Send).unwrap();
+        let idx = segment
+            .iter()
+            .position(|e| e.kind == EntryKind::Send)
+            .unwrap();
         segment[idx].content[3] ^= 0x01;
         let report = audit_log(
             "bob",

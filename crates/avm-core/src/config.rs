@@ -170,7 +170,10 @@ mod tests {
         assert!(ExecConfig::VmmRecord.records_replay_log());
         assert!(!ExecConfig::VmmRecord.tamper_evident());
         assert!(ExecConfig::AvmmNoSig.tamper_evident());
-        assert_eq!(ExecConfig::AvmmNoSig.signature_scheme(), SignatureScheme::Null);
+        assert_eq!(
+            ExecConfig::AvmmNoSig.signature_scheme(),
+            SignatureScheme::Null
+        );
         assert_eq!(
             ExecConfig::AvmmRsa768.signature_scheme(),
             SignatureScheme::Rsa(768)

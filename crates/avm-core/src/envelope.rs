@@ -69,7 +69,13 @@ pub struct Envelope {
 
 impl Envelope {
     /// Bytes covered by the envelope signature.
-    fn signed_payload(kind: EnvelopeKind, from: &str, to: &str, msg_id: u64, payload: &[u8]) -> Vec<u8> {
+    fn signed_payload(
+        kind: EnvelopeKind,
+        from: &str,
+        to: &str,
+        msg_id: u64,
+        payload: &[u8],
+    ) -> Vec<u8> {
         let mut w = Writer::with_capacity(payload.len() + 64);
         w.put_raw(b"avm-envelope-v1");
         w.put_u8(kind.tag());
@@ -103,8 +109,22 @@ impl Envelope {
     }
 
     /// Creates a Data envelope carrying an acknowledgment payload.
-    pub fn ack(from: &str, to: &str, msg_id: u64, ack: &Acknowledgment, key: &SigningKey) -> Envelope {
-        Envelope::create(EnvelopeKind::Ack, from, to, msg_id, ack.encode_to_vec(), key, None)
+    pub fn ack(
+        from: &str,
+        to: &str,
+        msg_id: u64,
+        ack: &Acknowledgment,
+        key: &SigningKey,
+    ) -> Envelope {
+        Envelope::create(
+            EnvelopeKind::Ack,
+            from,
+            to,
+            msg_id,
+            ack.encode_to_vec(),
+            key,
+            None,
+        )
     }
 
     /// Verifies the envelope signature under the sender's key.

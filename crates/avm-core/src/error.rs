@@ -71,8 +71,14 @@ impl core::fmt::Display for FaultReason {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             FaultReason::SyntacticFailure(d) => write!(f, "syntactic check failed: {d}"),
-            FaultReason::ImageMismatch { recorded, reference } => {
-                write!(f, "image mismatch: log records {recorded}, reference is {reference}")
+            FaultReason::ImageMismatch {
+                recorded,
+                reference,
+            } => {
+                write!(
+                    f,
+                    "image mismatch: log records {recorded}, reference is {reference}"
+                )
             }
             FaultReason::OutputDivergence { seq, detail } => {
                 write!(f, "output divergence at seq {seq}: {detail}")
@@ -119,7 +125,9 @@ impl core::fmt::Display for CoreError {
         match self {
             CoreError::Vm(e) => write!(f, "vm error: {e}"),
             CoreError::BadMessageSignature => write!(f, "incoming message signature invalid"),
-            CoreError::UnknownAck => write!(f, "acknowledgment does not match an outstanding message"),
+            CoreError::UnknownAck => {
+                write!(f, "acknowledgment does not match an outstanding message")
+            }
             CoreError::LogVerify(e) => write!(f, "log verification failed: {e}"),
             CoreError::Snapshot(d) => write!(f, "snapshot error: {d}"),
             CoreError::InvalidConfiguration(d) => write!(f, "invalid configuration: {d}"),

@@ -414,9 +414,15 @@ mod tests {
         );
         assert_eq!(classify_entry(EntryKind::Send, &[]), EntryClass::MacLayer);
         assert_eq!(classify_entry(EntryKind::Recv, &[]), EntryClass::MacLayer);
-        assert_eq!(classify_entry(EntryKind::Ack, &[]), EntryClass::TamperEvident);
+        assert_eq!(
+            classify_entry(EntryKind::Ack, &[]),
+            EntryClass::TamperEvident
+        );
         assert_eq!(classify_entry(EntryKind::Meta, &[]), EntryClass::Other);
-        assert_eq!(classify_entry(EntryKind::NdEvent, &[255]), EntryClass::Other);
+        assert_eq!(
+            classify_entry(EntryKind::NdEvent, &[255]),
+            EntryClass::Other
+        );
         assert_eq!(EntryClass::TimeTracker.label(), "timetracker");
     }
 }

@@ -58,5 +58,5 @@ pub use envelope::{Envelope, EnvelopeKind};
 pub use error::{CoreError, FaultReason};
 pub use events::{NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
 pub use recorder::{Avmm, HostClock, OutboundMessage};
-pub use replay::{Replayer, ReplayOutcome};
-pub use snapshot::{Snapshot, SnapshotStore};
+pub use replay::{ReplayOutcome, Replayer};
+pub use snapshot::{Snapshot, SnapshotStore, StoredSnapshot, TransferCost};

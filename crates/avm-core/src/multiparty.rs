@@ -183,7 +183,10 @@ impl EvidencePool {
 
     /// Verified evidence against `machine`.
     pub fn evidence_against(&self, machine: &str) -> &[Evidence] {
-        self.verified.get(machine).map(|v| v.as_slice()).unwrap_or(&[])
+        self.verified
+            .get(machine)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of submissions that failed independent verification.

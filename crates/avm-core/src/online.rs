@@ -210,7 +210,10 @@ mod tests {
             auditor.process(3); // limited budget per round: lag accumulates
         }
         assert!(!auditor.is_faulty());
-        assert!(auditor.lag_entries() > 0, "expected the auditor to lag behind");
+        assert!(
+            auditor.lag_entries() > 0,
+            "expected the auditor to lag behind"
+        );
         auditor.finish();
         assert_eq!(auditor.lag_entries(), 0);
         assert_eq!(*auditor.status(), OnlineStatus::Consistent);
@@ -237,7 +240,15 @@ mod tests {
         let clock = HostClock::at(5);
         bob.run_slice(&clock, 10_000).unwrap();
         let payload = encode_guest_packet("alice", b"legit");
-        let env = Envelope::create(EnvelopeKind::Data, "alice", "bob", 1, payload, &alice_key, None);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            1,
+            payload,
+            &alice_key,
+            None,
+        );
         bob.deliver(&env).unwrap();
         bob.run_slice(&clock, 50_000).unwrap();
 

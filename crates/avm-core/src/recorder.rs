@@ -21,7 +21,9 @@ use crate::config::AvmmOptions;
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::error::CoreError;
 use crate::events::{AckRecord, MetaRecord, NdDetail, NdEventRecord, RecvRecord, SendRecord};
-use crate::snapshot::{capture_with_cache, compute_state_root, Snapshot, SnapshotStore, StateTreeCache};
+use crate::snapshot::{
+    capture_with_cache, compute_state_root, SnapshotStore, StateTreeCache, StoredSnapshot,
+};
 
 /// The host's clock, in microseconds of simulated real time.
 ///
@@ -218,7 +220,9 @@ impl Avmm {
         let mut value = host_now.max(self.last_clock_value);
         if self.options.clock_read_optimization {
             let consecutive = match self.last_clock_host {
-                Some(prev) if host_now.saturating_sub(prev) < self.options.clock_opt_window_us => true,
+                Some(prev) if host_now.saturating_sub(prev) < self.options.clock_opt_window_us => {
+                    true
+                }
                 _ => false,
             };
             if consecutive {
@@ -298,9 +302,11 @@ impl Avmm {
             payload: payload.clone(),
         };
         let (entry, auth) = if self.options.tamper_evident {
-            let (entry, auth) =
-                self.log
-                    .append_authenticated(EntryKind::Send, rec.encode_to_vec(), &self.signing_key);
+            let (entry, auth) = self.log.append_authenticated(
+                EntryKind::Send,
+                rec.encode_to_vec(),
+                &self.signing_key,
+            );
             self.stats.signatures_made += 1;
             (entry.seq, Some(auth))
         } else {
@@ -339,9 +345,11 @@ impl Avmm {
                 self.deliver_ack(envelope)?;
                 Ok(None)
             }
-            EnvelopeKind::Challenge | EnvelopeKind::ChallengeResponse => Err(
-                CoreError::InvalidConfiguration("challenge traffic must go through the runtime".into()),
-            ),
+            EnvelopeKind::Challenge | EnvelopeKind::ChallengeResponse => {
+                Err(CoreError::InvalidConfiguration(
+                    "challenge traffic must go through the runtime".into(),
+                ))
+            }
         }
     }
 
@@ -366,9 +374,11 @@ impl Avmm {
         let recv_entry_seq;
         let recv_auth;
         if self.options.tamper_evident {
-            let (entry, auth) =
-                self.log
-                    .append_authenticated(EntryKind::Recv, rec.encode_to_vec(), &self.signing_key);
+            let (entry, auth) = self.log.append_authenticated(
+                EntryKind::Recv,
+                rec.encode_to_vec(),
+                &self.signing_key,
+            );
             self.stats.signatures_made += 1;
             recv_entry_seq = entry.seq;
             recv_auth = Some(auth);
@@ -398,7 +408,13 @@ impl Avmm {
         let auth = recv_auth.expect("tamper evident implies authenticator");
         let ack = Acknowledgment::avmm_ack(&self.signing_key, &envelope.payload, auth);
         self.stats.signatures_made += 1;
-        let ack_env = Envelope::ack(&self.name, &envelope.from, envelope.msg_id, &ack, &self.signing_key);
+        let ack_env = Envelope::ack(
+            &self.name,
+            &envelope.from,
+            envelope.msg_id,
+            &ack,
+            &self.signing_key,
+        );
         self.stats.signatures_made += 1;
         Ok(Some(ack_env))
     }
@@ -443,7 +459,7 @@ impl Avmm {
     }
 
     /// Takes a snapshot now, logging its state root.
-    pub fn take_snapshot(&mut self) -> &Snapshot {
+    pub fn take_snapshot(&mut self) -> &StoredSnapshot {
         let id = self.snapshots.len() as u64;
         let snap = capture_with_cache(&mut self.machine, &mut self.state_tree, id, true);
         let rec = crate::events::SnapshotRecord {
@@ -496,9 +512,9 @@ impl core::fmt::Debug for Avmm {
 mod tests {
     use super::*;
     use avm_crypto::keys::SignatureScheme;
-    use avm_wire::Decode;
     use avm_vm::bytecode::assemble;
     use avm_vm::packet::encode_guest_packet;
+    use avm_wire::Decode;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -547,7 +563,8 @@ mod tests {
 
     #[test]
     fn clock_reads_are_logged_with_steps() {
-        let mut avmm = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut avmm =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         let clock = HostClock::at(1_000);
         avmm.run_slice(&clock, 10_000).unwrap();
         assert!(avmm.stats().clock_reads >= 1);
@@ -566,7 +583,8 @@ mod tests {
     #[test]
     fn deliver_and_echo_produces_send_entry_and_ack() {
         let alice_key = key(2);
-        let mut bob = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         bob.add_peer("alice", alice_key.verifying_key());
 
         let clock = HostClock::at(500);
@@ -574,7 +592,15 @@ mod tests {
 
         // Alice sends a message addressed back to her.
         let payload = encode_guest_packet("alice", b"hello bob");
-        let env = Envelope::create(EnvelopeKind::Data, "alice", "bob", 1, payload.clone(), &alice_key, None);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            1,
+            payload.clone(),
+            &alice_key,
+            None,
+        );
         let ack = bob.deliver(&env).unwrap().expect("ack expected");
         assert_eq!(ack.kind, EnvelopeKind::Ack);
         assert_eq!(ack.to, "alice");
@@ -590,7 +616,11 @@ mod tests {
             .envelope
             .verify_signature(&bob.verifying_key())
             .unwrap();
-        let auth = out[0].envelope.authenticator.as_ref().expect("authenticator");
+        let auth = out[0]
+            .envelope
+            .authenticator
+            .as_ref()
+            .expect("authenticator");
         auth.verify_signature(&bob.verifying_key()).unwrap();
 
         // Log now contains META, NDEVENT(s), RECV, NDEVENT(inject), SEND ...
@@ -605,7 +635,8 @@ mod tests {
     fn bad_sender_signature_rejected() {
         let alice_key = key(2);
         let mallory_key = key(3);
-        let mut bob = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         bob.add_peer("alice", alice_key.verifying_key());
         // Mallory forges a message claiming to be from alice.
         let env = Envelope::create(
@@ -617,7 +648,10 @@ mod tests {
             &mallory_key,
             None,
         );
-        assert_eq!(bob.deliver(&env).unwrap_err(), CoreError::BadMessageSignature);
+        assert_eq!(
+            bob.deliver(&env).unwrap_err(),
+            CoreError::BadMessageSignature
+        );
         // Unknown senders are rejected too.
         let env2 = Envelope::create(
             EnvelopeKind::Data,
@@ -628,18 +662,30 @@ mod tests {
             &mallory_key,
             None,
         );
-        assert_eq!(bob.deliver(&env2).unwrap_err(), CoreError::BadMessageSignature);
+        assert_eq!(
+            bob.deliver(&env2).unwrap_err(),
+            CoreError::BadMessageSignature
+        );
     }
 
     #[test]
     fn ack_handling_clears_outstanding_sends() {
         let alice_key = key(2);
-        let mut bob = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         bob.add_peer("alice", alice_key.verifying_key());
         let clock = HostClock::new();
         bob.run_slice(&clock, 10_000).unwrap();
         let payload = encode_guest_packet("alice", b"x");
-        let env = Envelope::create(EnvelopeKind::Data, "alice", "bob", 1, payload, &alice_key, None);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            1,
+            payload,
+            &alice_key,
+            None,
+        );
         bob.deliver(&env).unwrap();
         let out = bob.run_slice(&clock, 50_000).unwrap();
         assert_eq!(out.len(), 1);
@@ -658,7 +704,8 @@ mod tests {
 
     #[test]
     fn input_injection_logged() {
-        let mut bob = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         bob.inject_input(InputEvent {
             device: 0,
             code: 17,
@@ -677,7 +724,8 @@ mod tests {
 
     #[test]
     fn snapshots_record_state_root() {
-        let mut bob = Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &echo_image(), &GuestRegistry::new(), key(1), opts()).unwrap();
         let clock = HostClock::new();
         bob.run_slice(&clock, 5_000).unwrap();
         let root_before = bob.current_state_root();
@@ -703,7 +751,8 @@ mod tests {
         // Each slice logs at least one clock read; after enough entries a
         // snapshot should appear automatically.
         for t in 0..12 {
-            bob.run_slice(&HostClock::at(clock.now() + t * 100), 5_000).unwrap();
+            bob.run_slice(&HostClock::at(clock.now() + t * 100), 5_000)
+                .unwrap();
         }
         assert!(bob.stats().snapshots_taken >= 1);
     }
@@ -745,6 +794,9 @@ mod tests {
         };
         let unoptimized = run(false);
         let optimized = run(true);
-        assert!(optimized < unoptimized / 5, "optimized={optimized} unoptimized={unoptimized}");
+        assert!(
+            optimized < unoptimized / 5,
+            "optimized={optimized} unoptimized={unoptimized}"
+        );
     }
 }

@@ -116,15 +116,37 @@ impl Replayer {
         &self.machine
     }
 
+    /// Machine steps executed since this replayer was created — valid at any
+    /// point, including after a fault terminated replay.
+    pub fn steps_executed(&self) -> u64 {
+        self.machine.step_count() - self.start_step
+    }
+
+    /// Progress counters so far, with `steps_executed` brought up to date.
+    ///
+    /// Unlike the summary carried by [`ReplayOutcome::Consistent`], this is
+    /// also meaningful after a fault: `entries_replayed` counts entries
+    /// processed up to and including the faulting one, and `steps_executed`
+    /// reflects how far the machine actually ran — the truthful replay cost
+    /// a spot check must report (Fig. 9).
+    pub fn summary(&self) -> ReplaySummary {
+        let mut summary = self.summary.clone();
+        summary.steps_executed = self.steps_executed();
+        summary
+    }
+
     /// Replays a complete segment of log entries.
     pub fn replay(&mut self, entries: &[LogEntry]) -> ReplayOutcome {
         for entry in entries {
             match self.replay_entry(entry) {
                 Ok(()) => {}
-                Err(fault) => return ReplayOutcome::Fault(fault),
+                Err(fault) => {
+                    self.summary.steps_executed = self.steps_executed();
+                    return ReplayOutcome::Fault(fault);
+                }
             }
         }
-        self.summary.steps_executed = self.machine.step_count() - self.start_step;
+        self.summary.steps_executed = self.steps_executed();
         self.summary.final_state = Some(self.machine.state_digest());
         ReplayOutcome::Consistent(self.summary.clone())
     }
@@ -353,13 +375,12 @@ impl Replayer {
             // Unbounded: the guest must be resumed at least once so it can
             // consume the value, exactly as the recorder's run loop did.  It
             // stops at its next pause (idle or a further clock read).
-            let exit = self
-                .machine
-                .run(StopCondition::Unbounded)
-                .map_err(|e| FaultReason::GuestFault {
+            let exit = self.machine.run(StopCondition::Unbounded).map_err(|e| {
+                FaultReason::GuestFault {
                     seq,
                     detail: e.to_string(),
-                })?;
+                }
+            })?;
             match exit {
                 VmExit::Idle | VmExit::StepLimit | VmExit::Halted | VmExit::ClockRead => {
                     return Ok(())
@@ -431,13 +452,13 @@ impl core::fmt::Debug for Replayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avm_wire::Encode;
     use crate::config::AvmmOptions;
     use crate::envelope::{Envelope, EnvelopeKind};
     use crate::recorder::{Avmm, HostClock};
     use avm_crypto::keys::{SignatureScheme, SigningKey};
     use avm_vm::bytecode::assemble;
     use avm_vm::packet::encode_guest_packet;
+    use avm_wire::Encode;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -564,13 +585,7 @@ mod tests {
         let (bob, _) = record_session(&image);
         // The auditor's reference differs (e.g. a different game version).
         let other_src = "halt";
-        let other = VmImage::bytecode(
-            "other",
-            128 * 1024,
-            assemble(other_src, 0).unwrap(),
-            0,
-            0,
-        );
+        let other = VmImage::bytecode("other", 128 * 1024, assemble(other_src, 0).unwrap(), 0, 0);
         let mut replayer = Replayer::from_image(&other, &GuestRegistry::new()).unwrap();
         let outcome = replayer.replay(bob.log().entries());
         assert!(matches!(
@@ -608,7 +623,8 @@ mod tests {
             0,
         );
         let alice_key = key(2);
-        let mut bob = Avmm::new("bob", &cheat_image, &GuestRegistry::new(), key(1), opts()).unwrap();
+        let mut bob =
+            Avmm::new("bob", &cheat_image, &GuestRegistry::new(), key(1), opts()).unwrap();
         bob.add_peer("alice", alice_key.verifying_key());
         let clock = HostClock::at(50);
         bob.run_slice(&clock, 10_000).unwrap();
@@ -640,7 +656,8 @@ mod tests {
         assert!(
             matches!(
                 outcome.fault(),
-                Some(FaultReason::OutputDivergence { .. }) | Some(FaultReason::EventDivergence { .. })
+                Some(FaultReason::OutputDivergence { .. })
+                    | Some(FaultReason::EventDivergence { .. })
             ),
             "expected divergence, got {outcome:?}"
         );
@@ -654,7 +671,10 @@ mod tests {
         // Bob rewrites an outgoing packet in his log (say, to hide what he
         // actually sent).  Rebuild the chain so the syntactic check would
         // pass; replay must still catch it.
-        let idx = entries.iter().position(|e| e.kind == EntryKind::Send).unwrap();
+        let idx = entries
+            .iter()
+            .position(|e| e.kind == EntryKind::Send)
+            .unwrap();
         let mut rec = SendRecord::decode_exact(&entries[idx].content).unwrap();
         rec.payload[2] ^= 0xff;
         let mut rebuilt = avm_log::TamperEvidentLog::new();
@@ -761,7 +781,10 @@ mod tests {
         }
         let mut replayer = Replayer::from_image(&image, &GuestRegistry::new()).unwrap();
         let outcome = replayer.replay(rebuilt.entries());
-        assert!(outcome.fault().is_some(), "expected a fault, got {outcome:?}");
+        assert!(
+            outcome.fault().is_some(),
+            "expected a fault, got {outcome:?}"
+        );
     }
 
     #[test]

@@ -220,12 +220,16 @@ impl Runtime {
         let bytes = envelope.encode_to_vec();
         self.net.send(from_id, dest_id, bytes);
         if envelope.kind == EnvelopeKind::Data {
-            self.hosts.get_mut(from).expect("host").pending.push(PendingSend {
-                envelope,
-                dest: dest_id,
-                last_sent_us: now,
-                attempts: 1,
-            });
+            self.hosts
+                .get_mut(from)
+                .expect("host")
+                .pending
+                .push(PendingSend {
+                    envelope,
+                    dest: dest_id,
+                    last_sent_us: now,
+                    attempts: 1,
+                });
         }
     }
 
@@ -390,7 +394,10 @@ mod tests {
         rt.set_steps_per_slice(50_000);
         rt.add_host(alice);
         rt.add_host(bob);
-        assert_eq!(rt.host_names(), vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(
+            rt.host_names(),
+            vec!["alice".to_string(), "bob".to_string()]
+        );
 
         rt.run_for(20_000, 1_000).unwrap();
 

@@ -1,4 +1,5 @@
-//! Incremental snapshots with authenticated (Merkle) state roots.
+//! Incremental snapshots with authenticated (Merkle) state roots, stored in
+//! a content-addressed pool.
 //!
 //! The AVMM "periodically takes a snapshot of the AVM's state … snapshots are
 //! incremental, that is, they only contain the state that has changed since
@@ -10,8 +11,40 @@
 //!
 //! Mirroring the prototype's behaviour reported in §6.12, a snapshot carries
 //! a *full* dump of guest memory pages plus *incremental* (dirty-only) disk
-//! blocks; [`Snapshot::incremental_memory`] captures dirty-only memory as
-//! well for harnesses that want the optimised variant.
+//! blocks; passing `full_memory = false` to [`capture`] captures dirty-only
+//! memory as well for harnesses that want the optimised variant.
+//!
+//! # Content-addressed storage
+//!
+//! [`capture`] produces a [`Snapshot`] holding raw page/block payloads — the
+//! unit a recorder hands over the wire.  [`SnapshotStore::push`] does *not*
+//! keep those payloads per snapshot: every payload is interned into a
+//! content-addressed [pool](SnapshotStore::stored_payload_bytes) keyed by its
+//! SHA-256 (the same digests the Merkle leaves are built from), and the
+//! stored [`StoredSnapshot`] records only `(index, hash)` references.  A
+//! full-memory capture therefore costs O(unique pages) of storage instead of
+//! O(pages): identical pages across snapshots — and identical pages *within*
+//! one snapshot, e.g. zero pages — share a single blob, so repeated captures
+//! of a mostly-idle guest add almost nothing to the pool.
+//! [`SnapshotStore::materialize`] resolves references back through the pool
+//! and still authenticates the reconstructed state against the recorded
+//! Merkle root, so a corrupted or substituted blob can never go unnoticed.
+//!
+//! # Transfer accounting: raw and compressed
+//!
+//! Spot-check evaluation (§3.5, §6.12, Fig. 9) needs the bytes an auditor
+//! must *download*, which is a different quantity from the bytes the store
+//! keeps: the modelled transfer protocol ships snapshot *sections* (headers,
+//! indexed pages, indexed disk blocks), exactly the sections
+//! [`SnapshotStore::materialize`] applies.  One shared base index decides
+//! which memory sections a later full dump supersedes, so
+//! [`SnapshotStore::transfer_bytes_upto`] is always equal to the bytes
+//! materialization consumes ([`SnapshotStore::materialize_with_cost`] counts
+//! them at the apply sites; tests pin the equality).  Because the paper's
+//! prototype ships snapshots *compressed* (§6.12 reports compressed
+//! numbers), [`SnapshotStore::transfer_stream_upto`] serialises the exact
+//! transfer byte stream and [`SnapshotStore::transfer_cost_upto`] routes it
+//! through `avm-compress`, yielding raw and compressed sizes side by side.
 //!
 //! # The incremental state-root pipeline
 //!
@@ -40,6 +73,10 @@
 //! [`build_state_tree_uncached`] remains as the reference implementation;
 //! tests and benches cross-check the cached root against it.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::merkle::MerkleTree;
 use avm_crypto::sha256::{sha256, Digest};
 use avm_vm::devices::DISK_BLOCK_SIZE;
@@ -61,10 +98,13 @@ pub struct Snapshot {
     /// Whether the memory section contains every page (`true`) or only pages
     /// dirtied since the previous snapshot (`false`).
     pub full_memory: bool,
-    /// Captured memory pages as `(page index, contents)`.
-    pub mem_pages: Vec<(u32, Vec<u8>)>,
-    /// Captured disk blocks as `(block index, contents)` — always incremental.
-    pub disk_blocks: Vec<(u32, Vec<u8>)>,
+    /// Captured memory pages as `(page index, content hash, contents)`.  The
+    /// hash is the VM's memoised Merkle leaf hash, carried along so the
+    /// content-addressed [`SnapshotStore`] never rehashes payloads on push.
+    pub mem_pages: Vec<(u32, Digest, Vec<u8>)>,
+    /// Captured disk blocks as `(block index, content hash, contents)` —
+    /// always incremental.
+    pub disk_blocks: Vec<(u32, Digest, Vec<u8>)>,
     /// Serialized CPU state.
     pub cpu_state: Vec<u8>,
     /// Serialized volatile device state.
@@ -78,12 +118,15 @@ pub struct Snapshot {
 impl Snapshot {
     /// Bytes of captured memory page payloads.
     pub fn memory_bytes(&self) -> u64 {
-        self.mem_pages.iter().map(|(_, p)| p.len() as u64).sum()
+        self.mem_pages.iter().map(|(_, _, p)| p.len() as u64).sum()
     }
 
     /// Bytes of captured disk block payloads.
     pub fn disk_bytes(&self) -> u64 {
-        self.disk_blocks.iter().map(|(_, b)| b.len() as u64).sum()
+        self.disk_blocks
+            .iter()
+            .map(|(_, _, b)| b.len() as u64)
+            .sum()
     }
 
     /// Number of memory pages this snapshot carries (all pages for a full
@@ -145,8 +188,7 @@ pub fn compute_state_root(machine: &Machine) -> Digest {
 pub fn build_state_tree(machine: &Machine) -> MerkleTree {
     let mem = machine.memory();
     let disk = &machine.devices().disk;
-    let mut leaves: Vec<Digest> =
-        Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.page_count() + disk.block_count());
     leaves.extend_from_slice(&header_leaves(machine));
     for i in 0..mem.page_count() {
         leaves.push(mem.page_hash(i).expect("page in range"));
@@ -166,8 +208,7 @@ pub fn build_state_tree(machine: &Machine) -> MerkleTree {
 pub fn build_state_tree_uncached(machine: &Machine) -> MerkleTree {
     let mem = machine.memory();
     let disk = &machine.devices().disk;
-    let mut leaves: Vec<Digest> =
-        Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.page_count() + disk.block_count());
     leaves.extend_from_slice(&header_leaves(machine));
     for i in 0..mem.page_count() {
         leaves.push(sha256(mem.page(i).expect("page in range")));
@@ -233,7 +274,10 @@ impl StateTreeCache {
                 }
                 let block_base = 3 + mem.page_count();
                 for b in dirty_blocks {
-                    updates.push((block_base + b, disk.block_hash(b).expect("dirty block in range")));
+                    updates.push((
+                        block_base + b,
+                        disk.block_hash(b).expect("dirty block in range"),
+                    ));
                 }
                 let ok = tree.update_leaf_hashes(&updates);
                 debug_assert!(ok, "state tree leaf indices in range");
@@ -274,21 +318,32 @@ pub fn capture_with_cache(
 ) -> Snapshot {
     let state_root = cache.refresh(machine);
     let mem = machine.memory();
-    let mem_pages: Vec<(u32, Vec<u8>)> = if full_memory {
-        (0..mem.page_count())
-            .map(|i| (i as u32, mem.page(i).expect("page").to_vec()))
-            .collect()
+    // The leaf hashes are memoised by the VM (and fresh after the refresh
+    // above); carrying them with the payloads lets the content-addressed
+    // store intern without rehashing.
+    let capture_page = |i: usize| {
+        (
+            i as u32,
+            mem.page_hash(i).expect("page hash"),
+            mem.page(i).expect("page").to_vec(),
+        )
+    };
+    let mem_pages: Vec<(u32, Digest, Vec<u8>)> = if full_memory {
+        (0..mem.page_count()).map(capture_page).collect()
     } else {
-        mem.dirty_pages()
-            .into_iter()
-            .map(|i| (i as u32, mem.page(i).expect("page").to_vec()))
-            .collect()
+        mem.dirty_pages().into_iter().map(capture_page).collect()
     };
     let disk = &machine.devices().disk;
     let disk_blocks = disk
         .dirty_blocks()
         .into_iter()
-        .map(|i| (i as u32, disk.block(i).expect("block").to_vec()))
+        .map(|i| {
+            (
+                i as u32,
+                disk.block_hash(i).expect("block hash"),
+                disk.block(i).expect("block").to_vec(),
+            )
+        })
         .collect();
     let snapshot = Snapshot {
         id,
@@ -306,10 +361,124 @@ pub fn capture_with_cache(
     snapshot
 }
 
-/// An ordered collection of snapshots from one execution.
+/// A snapshot as kept by the [`SnapshotStore`]: payloads are replaced by
+/// content-addressed references into the store's shared blob pool.
+///
+/// Byte-accounting methods ([`StoredSnapshot::memory_bytes`],
+/// [`StoredSnapshot::total_bytes`], …) report the *logical* (wire-equivalent)
+/// sizes, identical to what the originating [`Snapshot`] reported — the
+/// dedup savings are a property of the store, visible through
+/// [`SnapshotStore::stored_payload_bytes`].
+#[derive(Debug, Clone)]
+pub struct StoredSnapshot {
+    /// Dense snapshot identifier (0, 1, 2, …).
+    pub id: u64,
+    /// Machine step count at capture time.
+    pub step: u64,
+    /// Whether the memory section covers every page (`true`) or only pages
+    /// dirtied since the previous snapshot (`false`).
+    pub full_memory: bool,
+    /// Whether the guest had halted.
+    pub halted: bool,
+    /// Merkle root over the complete machine state at capture time.
+    pub state_root: Digest,
+    /// Serialized CPU state.
+    pub cpu_state: Vec<u8>,
+    /// Serialized volatile device state.
+    pub dev_state: Vec<u8>,
+    mem_pages: Vec<(u32, Digest)>,
+    disk_blocks: Vec<(u32, Digest)>,
+    mem_payload_bytes: u64,
+    disk_payload_bytes: u64,
+}
+
+impl StoredSnapshot {
+    /// Logical bytes of the captured memory page payloads.
+    pub fn memory_bytes(&self) -> u64 {
+        self.mem_payload_bytes
+    }
+
+    /// Logical bytes of the captured disk block payloads.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_payload_bytes
+    }
+
+    /// Number of memory pages this snapshot references.
+    pub fn page_count(&self) -> usize {
+        self.mem_pages.len()
+    }
+
+    /// Content references for the memory section, as `(page index, hash)`.
+    pub fn mem_page_refs(&self) -> &[(u32, Digest)] {
+        &self.mem_pages
+    }
+
+    /// Content references for the disk section, as `(block index, hash)`.
+    pub fn disk_block_refs(&self) -> &[(u32, Digest)] {
+        &self.disk_blocks
+    }
+
+    /// Framing bytes beyond the raw payloads, mirroring
+    /// [`Snapshot::metadata_bytes`].
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.mem_pages.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
+    }
+
+    /// Logical total size as transferred, mirroring [`Snapshot::total_bytes`].
+    pub fn total_bytes(&self) -> u64 {
+        self.memory_bytes()
+            + self.disk_bytes()
+            + self.cpu_state.len() as u64
+            + self.dev_state.len() as u64
+            + self.metadata_bytes()
+    }
+}
+
+/// Content-addressed blob pool shared by all snapshots in a store.
+#[derive(Debug, Clone, Default)]
+struct PayloadPool {
+    blobs: HashMap<Digest, Vec<u8>>,
+    stored_bytes: u64,
+    deduped_bytes: u64,
+}
+
+impl PayloadPool {
+    /// Interns `data` under the caller-supplied content `hash` (the VM's
+    /// memoised Merkle leaf hash, so pushing never rehashes payloads).  Only
+    /// the first occurrence of any content costs storage; later occurrences
+    /// are accounted as deduplicated.
+    ///
+    /// The digest is trusted here: a snapshot pushed with a digest that does
+    /// not match its payload mis-keys the blob, and materialization of any
+    /// snapshot referencing it fails the state-root authentication — the
+    /// same verdict tampered content gets.
+    fn intern(&mut self, hash: Digest, data: Vec<u8>) {
+        match self.blobs.entry(hash) {
+            Entry::Occupied(_) => self.deduped_bytes += data.len() as u64,
+            Entry::Vacant(slot) => {
+                self.stored_bytes += data.len() as u64;
+                slot.insert(data);
+            }
+        }
+    }
+
+    fn get(&self, hash: &Digest) -> Option<&[u8]> {
+        self.blobs.get(hash).map(|b| b.as_slice())
+    }
+}
+
+/// Raw and compressed size of a modelled transfer.
+///
+/// Re-exported alias of `avm-compress`'s accounting type so callers get
+/// `ratio()` / `compressed_fraction()` for free.
+pub type TransferCost = CompressionStats;
+
+/// An ordered collection of snapshots from one execution, backed by a
+/// content-addressed payload pool (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotStore {
-    snapshots: Vec<Snapshot>,
+    snapshots: Vec<StoredSnapshot>,
+    pool: PayloadPool,
 }
 
 impl SnapshotStore {
@@ -318,10 +487,41 @@ impl SnapshotStore {
         SnapshotStore::default()
     }
 
-    /// Adds a snapshot (ids must be dense and increasing).
+    /// Adds a snapshot (ids must be dense and increasing), interning its
+    /// payloads into the content-addressed pool.
     pub fn push(&mut self, snapshot: Snapshot) {
         debug_assert_eq!(snapshot.id as usize, self.snapshots.len());
-        self.snapshots.push(snapshot);
+        let mem_payload_bytes = snapshot.memory_bytes();
+        let disk_payload_bytes = snapshot.disk_bytes();
+        let mem_pages = snapshot
+            .mem_pages
+            .into_iter()
+            .map(|(idx, hash, page)| {
+                self.pool.intern(hash, page);
+                (idx, hash)
+            })
+            .collect();
+        let disk_blocks = snapshot
+            .disk_blocks
+            .into_iter()
+            .map(|(idx, hash, block)| {
+                self.pool.intern(hash, block);
+                (idx, hash)
+            })
+            .collect();
+        self.snapshots.push(StoredSnapshot {
+            id: snapshot.id,
+            step: snapshot.step,
+            full_memory: snapshot.full_memory,
+            halted: snapshot.halted,
+            state_root: snapshot.state_root,
+            cpu_state: snapshot.cpu_state,
+            dev_state: snapshot.dev_state,
+            mem_pages,
+            disk_blocks,
+            mem_payload_bytes,
+            disk_payload_bytes,
+        });
     }
 
     /// Number of snapshots.
@@ -335,26 +535,79 @@ impl SnapshotStore {
     }
 
     /// Returns snapshot `id`.
-    pub fn get(&self, id: u64) -> Option<&Snapshot> {
+    pub fn get(&self, id: u64) -> Option<&StoredSnapshot> {
         self.snapshots.get(id as usize)
     }
 
     /// All snapshots.
-    pub fn all(&self) -> &[Snapshot] {
+    pub fn all(&self) -> &[StoredSnapshot] {
         &self.snapshots
     }
 
+    /// Resolves a content hash to its payload, if the pool holds it.
+    pub fn payload(&self, hash: &Digest) -> Option<&[u8]> {
+        self.pool.get(hash)
+    }
+
+    /// Unique payload bytes the pool actually holds.  This is the O(unique
+    /// pages) storage cost of the store.
+    pub fn stored_payload_bytes(&self) -> u64 {
+        self.pool.stored_bytes
+    }
+
+    /// Payload bytes that were pushed but *not* stored because identical
+    /// content was already pooled.
+    pub fn deduped_payload_bytes(&self) -> u64 {
+        self.pool.deduped_bytes
+    }
+
+    /// Logical payload bytes pushed across all snapshots
+    /// (`stored + deduped`); what a non-deduplicating store would hold.
+    pub fn logical_payload_bytes(&self) -> u64 {
+        self.pool.stored_bytes + self.pool.deduped_bytes
+    }
+
+    /// Number of unique payload blobs in the pool.
+    pub fn unique_payloads(&self) -> usize {
+        self.pool.blobs.len()
+    }
+
+    /// Index of the first snapshot whose memory section is part of the state
+    /// at `upto_id`: the last full-memory snapshot in the chain (its dump
+    /// overwrites every page, superseding every earlier memory section), or
+    /// 0 when the chain holds no full dump.  Computed once per traversal, so
+    /// the accounting and materialization walks stay O(chain).
+    ///
+    /// This single base index drives both [`SnapshotStore::materialize`] and
+    /// the transfer accounting, so the two can never disagree about which
+    /// sections an auditor must download.  `upto_id` may exceed the store
+    /// (an untrusted log can reference snapshot ids the store never saw);
+    /// the range is clamped so the accounting entry points stay total.
+    fn memory_base(&self, upto_id: u64) -> usize {
+        let end = (upto_id as usize)
+            .saturating_add(1)
+            .min(self.snapshots.len());
+        self.snapshots[..end]
+            .iter()
+            .rposition(|s| s.full_memory)
+            .unwrap_or(0)
+    }
+
     /// Number of bytes an auditor must download to reconstruct the state at
-    /// snapshot `upto_id`: the chain of incremental disk blocks plus the
-    /// memory section of each snapshot needed, including per-entry index
-    /// framing and the fixed per-snapshot header (so dirty-only chains are
-    /// accounted consistently with [`Snapshot::total_bytes`]).
+    /// snapshot `upto_id`: every snapshot header in the chain, the chain of
+    /// incremental disk blocks, the memory sections not superseded by a later
+    /// full dump (including the base full dump itself), per-entry index
+    /// framing, and the target's CPU/device state — exactly the bytes
+    /// [`SnapshotStore::materialize`] consumes.
     pub fn transfer_bytes_upto(&self, upto_id: u64) -> u64 {
         let mut total = 0u64;
-        for s in self.snapshots.iter().take(upto_id as usize + 1) {
-            // Full-memory snapshots supersede earlier memory sections; only
-            // the last one needs to be transferred.
-            if !(s.full_memory && s.id < upto_id) {
+        let base = self.memory_base(upto_id);
+        for s in self
+            .snapshots
+            .iter()
+            .take((upto_id as usize).saturating_add(1))
+        {
+            if s.id as usize >= base {
                 total += s.memory_bytes() + s.mem_pages.len() as u64 * 4;
             }
             total += s.disk_bytes() + s.disk_blocks.len() as u64 * 4;
@@ -364,6 +617,54 @@ impl SnapshotStore {
             return total;
         };
         total + last.cpu_state.len() as u64 + last.dev_state.len() as u64
+    }
+
+    /// Serialises the exact byte stream the modelled transfer protocol ships
+    /// for a download up to snapshot `upto_id`: per snapshot a fixed header
+    /// (id, step, flags, state root), the needed memory sections and the
+    /// incremental disk sections as `u32 index || payload`, and finally the
+    /// target's CPU and device state.
+    ///
+    /// The stream's length always equals
+    /// [`SnapshotStore::transfer_bytes_upto`]; it exists so compression of
+    /// the transferred state can be measured on the real payload rather than
+    /// guessed at.
+    pub fn transfer_stream_upto(&self, upto_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.transfer_bytes_upto(upto_id) as usize);
+        let base = self.memory_base(upto_id);
+        for s in self
+            .snapshots
+            .iter()
+            .take((upto_id as usize).saturating_add(1))
+        {
+            out.extend_from_slice(&s.id.to_le_bytes());
+            out.extend_from_slice(&s.step.to_le_bytes());
+            out.push(u8::from(s.full_memory));
+            out.push(u8::from(s.halted));
+            out.extend_from_slice(s.state_root.as_bytes());
+            if s.id as usize >= base {
+                for (idx, hash) in &s.mem_pages {
+                    out.extend_from_slice(&idx.to_le_bytes());
+                    out.extend_from_slice(self.pool.get(hash).expect("pooled page"));
+                }
+            }
+            for (idx, hash) in &s.disk_blocks {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(self.pool.get(hash).expect("pooled block"));
+            }
+        }
+        if let Some(last) = self.get(upto_id) {
+            out.extend_from_slice(&last.cpu_state);
+            out.extend_from_slice(&last.dev_state);
+        }
+        out
+    }
+
+    /// Raw and compressed bytes of the transfer up to snapshot `upto_id`,
+    /// compressing the actual [`SnapshotStore::transfer_stream_upto`] stream
+    /// at `level` — the §6.12 numbers, which report *compressed* snapshots.
+    pub fn transfer_cost_upto(&self, upto_id: u64, level: CompressionLevel) -> TransferCost {
+        CompressionStats::measure(&self.transfer_stream_upto(upto_id), level)
     }
 
     /// Reconstructs a machine in the state captured by snapshot `upto_id`,
@@ -377,18 +678,36 @@ impl SnapshotStore {
         image: &VmImage,
         registry: &GuestRegistry,
     ) -> Result<Machine, CoreError> {
+        self.materialize_with_cost(upto_id, image, registry)
+            .map(|(machine, _)| machine)
+    }
+
+    /// [`SnapshotStore::materialize`], additionally returning the transfer
+    /// bytes consumed — counted at the apply sites, so tests can pin the
+    /// accounting in [`SnapshotStore::transfer_bytes_upto`] to what
+    /// materialization actually uses.
+    pub fn materialize_with_cost(
+        &self,
+        upto_id: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+    ) -> Result<(Machine, u64), CoreError> {
         let target = self
             .get(upto_id)
             .ok_or_else(|| CoreError::Snapshot(format!("snapshot {upto_id} not found")))?;
         let mut machine = Machine::from_image(image, registry).map_err(CoreError::Vm)?;
+        let mut consumed = 0u64;
+        let base = self.memory_base(upto_id);
         for s in self.snapshots.iter().take(upto_id as usize + 1) {
-            // Skip memory sections that a later full-memory snapshot overwrites.
-            let apply_memory = !(s.full_memory && s.id < upto_id)
-                || !self.snapshots[(s.id as usize + 1)..=(upto_id as usize)]
-                    .iter()
-                    .any(|later| later.full_memory);
-            if apply_memory {
-                for (idx, page) in &s.mem_pages {
+            consumed += SNAPSHOT_HEADER_BYTES;
+            if s.id as usize >= base {
+                for (idx, hash) in &s.mem_pages {
+                    let page = self.pool.get(hash).ok_or_else(|| {
+                        CoreError::Snapshot(format!(
+                            "page {idx} of snapshot {} missing from pool",
+                            s.id
+                        ))
+                    })?;
                     if page.len() != PAGE_SIZE {
                         return Err(CoreError::Snapshot("bad page size".to_string()));
                     }
@@ -396,9 +715,16 @@ impl SnapshotStore {
                         .memory_mut()
                         .set_page_from_slice(*idx as usize, page)
                         .map_err(CoreError::Vm)?;
+                    consumed += 4 + page.len() as u64;
                 }
             }
-            for (idx, block) in &s.disk_blocks {
+            for (idx, hash) in &s.disk_blocks {
+                let block = self.pool.get(hash).ok_or_else(|| {
+                    CoreError::Snapshot(format!(
+                        "disk block {idx} of snapshot {} missing from pool",
+                        s.id
+                    ))
+                })?;
                 if block.len() != DISK_BLOCK_SIZE {
                     return Err(CoreError::Snapshot("bad disk block size".to_string()));
                 }
@@ -407,6 +733,7 @@ impl SnapshotStore {
                     .disk
                     .set_block(*idx as usize, block)
                     .map_err(CoreError::Vm)?;
+                consumed += 4 + block.len() as u64;
             }
         }
         machine
@@ -419,6 +746,7 @@ impl SnapshotStore {
         machine.set_control_state(target.step, target.halted, false);
         machine.memory_mut().clear_dirty();
         machine.devices_mut().disk.clear_dirty();
+        consumed += target.cpu_state.len() as u64 + target.dev_state.len() as u64;
 
         let root = compute_state_root(&machine);
         if root != target.state_root {
@@ -428,7 +756,7 @@ impl SnapshotStore {
                 target.state_root.short_hex()
             )));
         }
-        Ok(machine)
+        Ok((machine, consumed))
     }
 }
 
@@ -515,7 +843,11 @@ mod tests {
         assert_eq!(store.len(), 4);
         for i in 0..4u64 {
             let restored = store.materialize(i, &img, &reg).unwrap();
-            assert_eq!(restored.state_digest(), reference_digests[i as usize], "snapshot {i}");
+            assert_eq!(
+                restored.state_digest(),
+                reference_digests[i as usize],
+                "snapshot {i}"
+            );
         }
     }
 
@@ -544,9 +876,11 @@ mod tests {
         m.inject_packet(vec![1]);
         run_until_idle(&mut m);
         let mut snap = capture(&mut m, 0, true);
-        // Tamper with a captured page (e.g. pretend the counter was higher).
-        if let Some((_, page)) = snap.mem_pages.iter_mut().find(|(idx, _)| *idx == 9) {
+        // Tamper with a captured page (e.g. pretend the counter was higher),
+        // re-hashing it like a forger rewriting their own capture would.
+        if let Some((_, hash, page)) = snap.mem_pages.iter_mut().find(|(idx, _, _)| *idx == 9) {
             page[0] ^= 0xff;
+            *hash = sha256(page);
         }
         let mut store = SnapshotStore::new();
         store.push(snap);
@@ -556,6 +890,35 @@ mod tests {
         ));
     }
 
+    /// Tampering with a payload while keeping its original digest mis-keys
+    /// the blob.  If the pool already holds the true content under that key
+    /// (dedup), materialization silently self-heals; if not, the state-root
+    /// authentication rejects the forged bytes.  Either way the forgery
+    /// cannot produce a wrong-but-accepted state.
+    #[test]
+    fn stale_digest_tampering_cannot_forge_state() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        run_until_idle(&mut m);
+        m.inject_packet(vec![1]);
+        run_until_idle(&mut m);
+        let reference = m.state_digest();
+        let mut snap = capture(&mut m, 0, true);
+        if let Some((_, _, page)) = snap.mem_pages.iter_mut().find(|(idx, _, _)| *idx == 9) {
+            page[0] ^= 0xff; // content changed, digest left stale
+        }
+        let mut store = SnapshotStore::new();
+        store.push(snap);
+        match store.materialize(0, &img, &reg) {
+            // Dedup resolved the stale key to the true content: the forged
+            // bytes never made it into the reconstructed state.
+            Ok(restored) => assert_eq!(restored.state_digest(), reference),
+            // Or the forged bytes were applied and authentication caught it.
+            Err(e) => assert!(matches!(e, CoreError::Snapshot(_))),
+        }
+    }
+
     #[test]
     fn missing_snapshot_is_an_error() {
         let store = SnapshotStore::new();
@@ -563,6 +926,32 @@ mod tests {
         assert!(store
             .materialize(0, &image(), &GuestRegistry::new())
             .is_err());
+    }
+
+    /// An untrusted log can reference snapshot ids the store never saw; the
+    /// accounting entry points must stay total (no slice panic) and
+    /// materialization must report the missing snapshot as an error.
+    #[test]
+    fn out_of_range_ids_do_not_panic() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut store = SnapshotStore::new();
+        run_until_idle(&mut m);
+        for i in 0..3u64 {
+            m.inject_packet(vec![i as u8]);
+            run_until_idle(&mut m);
+            store.push(capture(&mut m, i, i == 0));
+        }
+        for wild_id in [3u64, 9, u64::MAX] {
+            let bytes = store.transfer_bytes_upto(wild_id);
+            assert!(bytes > 0);
+            assert_eq!(store.transfer_stream_upto(wild_id).len() as u64, bytes);
+            assert!(matches!(
+                store.materialize(wild_id, &img, &reg).unwrap_err(),
+                CoreError::Snapshot(_)
+            ));
+        }
     }
 
     #[test]
@@ -581,6 +970,140 @@ mod tests {
         let t2 = store.transfer_bytes_upto(2);
         assert!(t2 >= t0);
         assert!(t2 > 0);
+    }
+
+    /// Regression: for a chain `[full(0), inc(1), inc(2)]` the base full dump
+    /// is state the auditor must download — the old accounting skipped the
+    /// memory section of *every* non-target full snapshot, undercounting by
+    /// the entire base dump.
+    #[test]
+    fn transfer_accounting_counts_base_full_dump() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut store = SnapshotStore::new();
+        run_until_idle(&mut m);
+        m.inject_packet(vec![1]);
+        run_until_idle(&mut m);
+        let full = capture(&mut m, 0, true);
+        let base_dump_bytes = full.memory_bytes();
+        store.push(full);
+        for i in 1..3u64 {
+            m.inject_packet(vec![i as u8]);
+            run_until_idle(&mut m);
+            store.push(capture(&mut m, i, false));
+        }
+        let t2 = store.transfer_bytes_upto(2);
+        assert!(
+            t2 > base_dump_bytes,
+            "transfer accounting must include the base full dump ({base_dump_bytes} bytes), got {t2}"
+        );
+        // The accounting equals the bytes materialization consumes, and the
+        // serialised transfer stream is exactly that long.
+        for id in 0..3u64 {
+            let (_, consumed) = store.materialize_with_cost(id, &img, &reg).unwrap();
+            assert_eq!(consumed, store.transfer_bytes_upto(id), "snapshot {id}");
+            assert_eq!(
+                store.transfer_stream_upto(id).len() as u64,
+                store.transfer_bytes_upto(id),
+                "snapshot {id}"
+            );
+        }
+    }
+
+    /// Memory sections that a later full dump overwrites are not part of the
+    /// transfer (or of materialization): `[full(0), inc(1), full(2), inc(3)]`
+    /// costs the same up to id 3 as the chain without snapshot 0's and 1's
+    /// memory sections.
+    #[test]
+    fn superseded_memory_sections_are_skipped() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut store = SnapshotStore::new();
+        run_until_idle(&mut m);
+        for (i, full) in [(0u64, true), (1, false), (2, true), (3, false)] {
+            m.inject_packet(vec![i as u8 + 1]);
+            run_until_idle(&mut m);
+            store.push(capture(&mut m, i, full));
+        }
+        let (restored, consumed) = store.materialize_with_cost(3, &img, &reg).unwrap();
+        assert_eq!(consumed, store.transfer_bytes_upto(3));
+        assert_eq!(restored.state_digest(), m.state_digest());
+        // Superseded sections excluded: the total is less than the sum of all
+        // snapshots' memory payloads would imply.
+        let superseded: u64 = store.get(0).unwrap().memory_bytes();
+        let all_payloads: u64 = store.all().iter().map(|s| s.total_bytes()).sum();
+        assert!(store.transfer_bytes_upto(3) < all_payloads);
+        assert!(superseded > 0);
+        // But everything from the last full dump onward is included.
+        assert!(
+            store.transfer_bytes_upto(3)
+                >= store.get(2).unwrap().memory_bytes() + store.get(3).unwrap().memory_bytes()
+        );
+    }
+
+    /// The content-addressed pool makes repeated full captures of an idle
+    /// guest free: the second capture's pages are all dedup hits, so the
+    /// stored payload does not grow, while the logical accounting does.
+    #[test]
+    fn idle_full_captures_store_no_new_payload() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        run_until_idle(&mut m);
+        m.inject_packet(vec![1]);
+        run_until_idle(&mut m);
+        let mut store = SnapshotStore::new();
+        store.push(capture(&mut m, 0, true));
+        let stored_after_first = store.stored_payload_bytes();
+        assert!(stored_after_first > 0);
+        // A mostly-zero guest dedups heavily even within one capture.
+        assert!(
+            stored_after_first < store.logical_payload_bytes(),
+            "identical pages within one full dump should share a blob"
+        );
+        store.push(capture(&mut m, 1, true)); // no writes since snapshot 0
+        assert_eq!(
+            store.stored_payload_bytes(),
+            stored_after_first,
+            "an idle full capture must add zero stored payload bytes"
+        );
+        assert_eq!(
+            store.logical_payload_bytes(),
+            stored_after_first + store.deduped_payload_bytes()
+        );
+        // Both snapshots still materialize bit-identically (roots verified
+        // inside materialize).
+        let m0 = store.materialize(0, &img, &reg).unwrap();
+        let m1 = store.materialize(1, &img, &reg).unwrap();
+        assert_eq!(m0.state_digest(), m1.state_digest());
+        assert_eq!(m1.state_digest(), m.state_digest());
+    }
+
+    /// The compression-aware transfer model measures the real stream: raw
+    /// equals the byte accounting, and the mostly-zero guest state compresses
+    /// far below raw.
+    #[test]
+    fn transfer_cost_reports_raw_and_compressed() {
+        use avm_compress::CompressionLevel;
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        run_until_idle(&mut m);
+        m.inject_packet(vec![7]);
+        run_until_idle(&mut m);
+        let mut store = SnapshotStore::new();
+        store.push(capture(&mut m, 0, true));
+        let cost = store.transfer_cost_upto(0, CompressionLevel::Default);
+        assert_eq!(cost.raw_bytes, store.transfer_bytes_upto(0));
+        assert!(cost.compressed_bytes > 0);
+        assert!(
+            cost.compressed_bytes < cost.raw_bytes / 4,
+            "idle guest memory should compress well: {} vs {}",
+            cost.compressed_bytes,
+            cost.raw_bytes
+        );
     }
 
     #[test]

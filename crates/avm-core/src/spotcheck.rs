@@ -7,15 +7,22 @@
 //! ends at a snapshot" (paper §3.5).  Figure 9 reports the replay time and
 //! the data that must be transferred as a function of the chunk size `k`.
 
+use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::sha256::Digest;
 use avm_log::{EntryKind, LogEntry, TamperEvidentLog};
 use avm_vm::{GuestRegistry, VmImage};
-use avm_wire::Decode;
+use avm_wire::{Decode, Encode};
 
 use crate::error::{CoreError, FaultReason};
 use crate::events::SnapshotRecord;
 use crate::replay::{ReplayOutcome, Replayer};
 use crate::snapshot::SnapshotStore;
+
+/// Compression level used to model transferred state and log segments; the
+/// audit tool compresses downloads at the default level.  Public so
+/// experiments comparing spot checks against a full-audit baseline compress
+/// both sides of the ratio identically.
+pub const TRANSFER_COMPRESSION: CompressionLevel = CompressionLevel::Default;
 
 /// Outcome and cost accounting of one spot check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,35 +35,52 @@ pub struct SpotCheckReport {
     pub consistent: bool,
     /// The fault, if one was found.
     pub fault: Option<FaultReason>,
-    /// Log entries replayed.
+    /// Log entries replayed.  On a fault this counts entries processed up to
+    /// and including the faulting one — the truthful partial cost.
     pub entries_replayed: u64,
-    /// Machine steps replayed.
+    /// Machine steps replayed (also truthful on a faulted chunk).
     pub steps_replayed: u64,
     /// Bytes of snapshot state that had to be transferred to start the check.
     pub snapshot_transfer_bytes: u64,
     /// Bytes of log that had to be transferred for the chunk.
     pub log_transfer_bytes: u64,
+    /// Compressed size of the transferred snapshot state (the §6.12 numbers
+    /// report compressed snapshots).
+    pub snapshot_transfer_compressed_bytes: u64,
+    /// Compressed size of the transferred log segment.
+    pub log_transfer_compressed_bytes: u64,
 }
 
 impl SpotCheckReport {
-    /// Total bytes transferred for this spot check.
+    /// Total raw bytes transferred for this spot check.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.snapshot_transfer_bytes + self.log_transfer_bytes
+    }
+
+    /// Total compressed bytes transferred for this spot check.
+    pub fn total_transfer_compressed_bytes(&self) -> u64 {
+        self.snapshot_transfer_compressed_bytes + self.log_transfer_compressed_bytes
     }
 }
 
 /// Locates the log positions of all snapshot entries.
 ///
 /// Returns `(entry index, snapshot id, state root)` for each SNAPSHOT entry.
-pub fn snapshot_positions(log: &TamperEvidentLog) -> Vec<(usize, u64, Digest)> {
+/// A SNAPSHOT entry whose payload does not decode is log corruption the
+/// recorder signed — it surfaces as [`FaultReason::MalformedLog`] rather than
+/// being silently dropped (which would later masquerade as "snapshot N not
+/// in log").
+pub fn snapshot_positions(
+    log: &TamperEvidentLog,
+) -> Result<Vec<(usize, u64, Digest)>, FaultReason> {
     log.entries()
         .iter()
         .enumerate()
         .filter(|(_, e)| e.kind == EntryKind::Snapshot)
-        .filter_map(|(i, e)| {
+        .map(|(i, e)| {
             SnapshotRecord::decode_exact(&e.content)
-                .ok()
                 .map(|rec| (i, rec.snapshot_id, rec.state_root))
+                .map_err(|_| FaultReason::MalformedLog { seq: e.seq })
         })
         .collect()
 }
@@ -77,7 +101,42 @@ pub fn spot_check(
     image: &VmImage,
     registry: &GuestRegistry,
 ) -> Result<SpotCheckReport, CoreError> {
-    let positions = snapshot_positions(log);
+    let positions = match snapshot_positions(log) {
+        Ok(positions) => positions,
+        // A corrupt SNAPSHOT record is itself the audit's verdict.  The
+        // check stops before downloading any snapshot state or replaying,
+        // but discovering the corruption still cost the auditor the log up
+        // to and including the corrupt entry — count it truthfully.
+        Err(fault) => {
+            let scanned = match fault {
+                FaultReason::MalformedLog { seq } => {
+                    let upto = log
+                        .entries()
+                        .iter()
+                        .position(|e| e.seq == seq)
+                        .map_or(log.entries().len(), |i| i + 1);
+                    &log.entries()[..upto]
+                }
+                _ => log.entries(),
+            };
+            let log_cost = CompressionStats::measure_stream(
+                scanned.iter().map(|e| e.encode_to_vec()),
+                TRANSFER_COMPRESSION,
+            );
+            return Ok(SpotCheckReport {
+                start_snapshot,
+                chunk_size: k,
+                consistent: false,
+                fault: Some(fault),
+                entries_replayed: 0,
+                steps_replayed: 0,
+                snapshot_transfer_bytes: 0,
+                log_transfer_bytes: log_cost.raw_bytes,
+                snapshot_transfer_compressed_bytes: 0,
+                log_transfer_compressed_bytes: log_cost.compressed_bytes,
+            });
+        }
+    };
     let start_pos = positions
         .iter()
         .find(|(_, id, _)| *id == start_snapshot)
@@ -92,26 +151,37 @@ pub fn spot_check(
         None => &log.entries()[start_pos + 1..],
     };
 
-    let snapshot_transfer_bytes = snapshots.transfer_bytes_upto(start_snapshot);
-    let log_transfer_bytes: u64 = entries.iter().map(|e| e.wire_size() as u64).sum();
+    let snapshot_cost = snapshots.transfer_cost_upto(start_snapshot, TRANSFER_COMPRESSION);
+    debug_assert_eq!(
+        snapshot_cost.raw_bytes,
+        snapshots.transfer_bytes_upto(start_snapshot),
+        "transfer stream and byte accounting diverged"
+    );
+    let log_cost = CompressionStats::measure_stream(
+        entries.iter().map(|e| e.encode_to_vec()),
+        TRANSFER_COMPRESSION,
+    );
 
     let mut replayer = Replayer::from_snapshot(image, registry, snapshots, start_snapshot)?;
-    let (consistent, fault, entries_replayed, steps_replayed) = match replayer.replay(entries) {
-        ReplayOutcome::Consistent(summary) => {
-            (true, None, summary.entries_replayed, summary.steps_executed)
-        }
-        ReplayOutcome::Fault(f) => (false, Some(f), entries.len() as u64, 0),
+    let (consistent, fault) = match replayer.replay(entries) {
+        ReplayOutcome::Consistent(_) => (true, None),
+        ReplayOutcome::Fault(f) => (false, Some(f)),
     };
+    // Progress counters come from the replayer itself so faulted chunks
+    // report how far replay actually got, not `entries.len()` and zero steps.
+    let progress = replayer.summary();
 
     Ok(SpotCheckReport {
         start_snapshot,
         chunk_size: k,
         consistent,
         fault,
-        entries_replayed,
-        steps_replayed,
-        snapshot_transfer_bytes,
-        log_transfer_bytes,
+        entries_replayed: progress.entries_replayed,
+        steps_replayed: progress.steps_executed,
+        snapshot_transfer_bytes: snapshot_cost.raw_bytes,
+        log_transfer_bytes: log_cost.raw_bytes,
+        snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
+        log_transfer_compressed_bytes: log_cost.compressed_bytes,
     })
 }
 
@@ -219,8 +289,24 @@ mod tests {
     #[test]
     fn larger_chunks_cost_more_replay_but_share_snapshot_cost() {
         let (bob, image) = record_with_snapshots(5);
-        let k1 = spot_check(bob.log(), bob.snapshots(), 1, 1, &image, &GuestRegistry::new()).unwrap();
-        let k3 = spot_check(bob.log(), bob.snapshots(), 1, 3, &image, &GuestRegistry::new()).unwrap();
+        let k1 = spot_check(
+            bob.log(),
+            bob.snapshots(),
+            1,
+            1,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
+        let k3 = spot_check(
+            bob.log(),
+            bob.snapshots(),
+            1,
+            3,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
         assert!(k3.entries_replayed > k1.entries_replayed);
         assert!(k3.log_transfer_bytes > k1.log_transfer_bytes);
         assert_eq!(k3.snapshot_transfer_bytes, k1.snapshot_transfer_bytes);
@@ -253,28 +339,158 @@ mod tests {
             rebuilt.append(e.kind, content);
         }
         // The fault is in the last segment: a chunk covering it fails ...
-        let report = spot_check(&rebuilt, bob.snapshots(), 1, 2, &image, &GuestRegistry::new()).unwrap();
+        let report = spot_check(
+            &rebuilt,
+            bob.snapshots(),
+            1,
+            2,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
         assert!(!report.consistent);
         assert!(report.fault.is_some());
+        // ... and reports truthful partial progress: the replayer got through
+        // part of the chunk before diverging, so the Fig. 9 cost is neither
+        // "everything" nor zero.
+        let chunk_entries = {
+            let positions = snapshot_positions(&rebuilt).unwrap();
+            let start = positions.iter().find(|(_, id, _)| *id == 1).unwrap().0;
+            rebuilt.entries().len() - (start + 1)
+        };
+        assert!(report.entries_replayed > 0);
+        assert!(
+            (report.entries_replayed as usize) < chunk_entries,
+            "fault in the last segment must stop replay early: {} vs {}",
+            report.entries_replayed,
+            chunk_entries
+        );
+        assert!(
+            report.steps_replayed > 0,
+            "replay executed real steps before faulting"
+        );
         // ... while a chunk before it still passes (spot checking only sees
         // faults that manifest in the inspected segments, §3.5).
-        let earlier = spot_check(&rebuilt, bob.snapshots(), 0, 1, &image, &GuestRegistry::new()).unwrap();
+        let earlier = spot_check(
+            &rebuilt,
+            bob.snapshots(),
+            0,
+            1,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
         assert!(earlier.consistent);
     }
 
     #[test]
     fn unknown_snapshot_is_an_error() {
         let (bob, image) = record_with_snapshots(2);
-        assert!(spot_check(bob.log(), bob.snapshots(), 9, 1, &image, &GuestRegistry::new()).is_err());
+        assert!(spot_check(
+            bob.log(),
+            bob.snapshots(),
+            9,
+            1,
+            &image,
+            &GuestRegistry::new()
+        )
+        .is_err());
     }
 
     #[test]
     fn snapshot_positions_found() {
         let (bob, _) = record_with_snapshots(3);
-        let pos = snapshot_positions(bob.log());
+        let pos = snapshot_positions(bob.log()).unwrap();
         assert_eq!(pos.len(), 3);
         assert_eq!(pos[0].1, 0);
         assert_eq!(pos[2].1, 2);
         assert!(pos[0].0 < pos[1].0 && pos[1].0 < pos[2].0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_record_is_a_fault_not_a_missing_snapshot() {
+        let (bob, image) = record_with_snapshots(3);
+        // Corrupt the payload of the second SNAPSHOT entry and rebuild the
+        // chain so the syntactic layer would not object.
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        let mut snapshot_entries_seen = 0;
+        let mut corrupted_seq = 0;
+        for e in bob.log().entries() {
+            let content = if e.kind == EntryKind::Snapshot {
+                snapshot_entries_seen += 1;
+                if snapshot_entries_seen == 2 {
+                    corrupted_seq = rebuilt.len() as u64 + 1;
+                    vec![0xff, 0x01] // does not decode as a SnapshotRecord
+                } else {
+                    e.content.clone()
+                }
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        assert!(matches!(
+            snapshot_positions(&rebuilt),
+            Err(FaultReason::MalformedLog { .. })
+        ));
+        // The spot check surfaces the corruption as a fault verdict (with the
+        // corrupt entry's seq), not as the misleading "snapshot not in log".
+        let report = spot_check(
+            &rebuilt,
+            bob.snapshots(),
+            0,
+            1,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
+        assert!(!report.consistent);
+        assert!(
+            matches!(report.fault, Some(FaultReason::MalformedLog { seq }) if seq == corrupted_seq),
+            "expected MalformedLog at seq {corrupted_seq}, got {:?}",
+            report.fault
+        );
+        assert_eq!(report.entries_replayed, 0);
+        // No snapshot state was downloaded, but discovering the corruption
+        // cost the auditor the log up to the corrupt entry.
+        assert_eq!(report.snapshot_transfer_bytes, 0);
+        let scanned_bytes: u64 = bob
+            .log()
+            .entries()
+            .iter()
+            .take(corrupted_seq as usize - 1)
+            .map(|e| e.wire_size() as u64)
+            .sum();
+        // Entries before the corrupt one are identical in the rebuilt log,
+        // and the corrupt entry itself is counted on top.
+        assert!(report.log_transfer_bytes > scanned_bytes);
+        assert!(report.log_transfer_compressed_bytes > 0);
+        assert!(report.log_transfer_compressed_bytes < report.log_transfer_bytes);
+    }
+
+    #[test]
+    fn transfer_accounting_reports_compressed_alongside_raw() {
+        let (bob, image) = record_with_snapshots(4);
+        let report = spot_check(
+            bob.log(),
+            bob.snapshots(),
+            1,
+            2,
+            &image,
+            &GuestRegistry::new(),
+        )
+        .unwrap();
+        assert!(report.consistent);
+        // Compressed sizes are measured on the real transfer streams; guest
+        // state and replay logs are highly compressible, so the modelled
+        // download must come in under the raw size.
+        assert!(report.snapshot_transfer_compressed_bytes > 0);
+        assert!(report.log_transfer_compressed_bytes > 0);
+        assert!(report.snapshot_transfer_compressed_bytes < report.snapshot_transfer_bytes);
+        assert!(report.log_transfer_compressed_bytes < report.log_transfer_bytes);
+        assert_eq!(
+            report.total_transfer_compressed_bytes(),
+            report.snapshot_transfer_compressed_bytes + report.log_transfer_compressed_bytes
+        );
     }
 }

@@ -708,11 +708,14 @@ impl MontgomeryCtx {
     /// where a table would cost more than it saves).
     pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         let bits = exponent.bit_len();
-        let one_mont = self.montmul(&{
-            let mut one = vec![0u32; self.k];
-            one[0] = 1;
-            one
-        }, &self.r2);
+        let one_mont = self.montmul(
+            &{
+                let mut one = vec![0u32; self.k];
+                one[0] = 1;
+                one
+            },
+            &self.r2,
+        );
         if bits == 0 {
             return self.from_mont(&one_mont);
         }
@@ -880,7 +883,10 @@ mod tests {
     fn construction_and_bytes() {
         assert!(BigUint::zero().is_zero());
         assert!(BigUint::one().is_one());
-        assert_eq!(big(0x1234_5678_9abc_def0).to_u64(), Some(0x1234_5678_9abc_def0));
+        assert_eq!(
+            big(0x1234_5678_9abc_def0).to_u64(),
+            Some(0x1234_5678_9abc_def0)
+        );
         let n = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05]);
         assert_eq!(n.to_u64(), Some(0x0102030405));
         assert_eq!(n.to_be_bytes(), vec![0x01, 0x02, 0x03, 0x04, 0x05]);
@@ -912,7 +918,10 @@ mod tests {
         assert_eq!(big(0).mul(&big(55)), big(0));
         assert_eq!(big(7).mul(&big(6)), big(42));
         let a = big(u32::MAX as u64);
-        assert_eq!(a.mul(&a).to_u64(), Some((u32::MAX as u64) * (u32::MAX as u64)));
+        assert_eq!(
+            a.mul(&a).to_u64(),
+            Some((u32::MAX as u64) * (u32::MAX as u64))
+        );
     }
 
     #[test]
@@ -977,7 +986,7 @@ mod tests {
     #[test]
     fn montgomery_edge_cases() {
         let modulus = big(1009); // odd prime
-        // exponent zero -> 1; base zero -> 0; base == modulus -> 0.
+                                 // exponent zero -> 1; base zero -> 0; base == modulus -> 0.
         assert_eq!(big(7).modpow(&BigUint::zero(), &modulus), big(1));
         assert_eq!(BigUint::zero().modpow(&big(5), &modulus), BigUint::zero());
         assert_eq!(big(1009).modpow(&big(3), &modulus), BigUint::zero());
@@ -987,7 +996,10 @@ mod tests {
             BigUint::zero().modpow_slow(&BigUint::zero(), &modulus)
         );
         // Even modulus falls back to the slow path transparently.
-        assert_eq!(big(7).modpow(&big(30), &big(1024)), big(7).modpow_slow(&big(30), &big(1024)));
+        assert_eq!(
+            big(7).modpow(&big(30), &big(1024)),
+            big(7).modpow_slow(&big(30), &big(1024))
+        );
         assert!(MontgomeryCtx::new(&big(1024)).is_none());
         assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
         assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
@@ -1023,10 +1035,16 @@ mod tests {
     fn primality_known_values() {
         let mut rng = StdRng::seed_from_u64(42);
         for p in [2u64, 3, 5, 7, 97, 101, 257, 65537, 1009, 104729] {
-            assert!(big(p).is_probable_prime(&mut rng, 16), "{p} should be prime");
+            assert!(
+                big(p).is_probable_prime(&mut rng, 16),
+                "{p} should be prime"
+            );
         }
         for c in [1u64, 4, 100, 561, 6601, 65536, 104730] {
-            assert!(!big(c).is_probable_prime(&mut rng, 16), "{c} should be composite");
+            assert!(
+                !big(c).is_probable_prime(&mut rng, 16),
+                "{c} should be composite"
+            );
         }
     }
 

@@ -326,8 +326,14 @@ mod tests {
             for i in 0..n {
                 tree.update_leaf(i, format!("updated-{i}").as_bytes());
             }
-            let rebuilt: Vec<Vec<u8>> = (0..n).map(|i| format!("updated-{i}").into_bytes()).collect();
-            assert_eq!(tree.root(), MerkleTree::from_leaves(&rebuilt).root(), "n={n}");
+            let rebuilt: Vec<Vec<u8>> = (0..n)
+                .map(|i| format!("updated-{i}").into_bytes())
+                .collect();
+            assert_eq!(
+                tree.root(),
+                MerkleTree::from_leaves(&rebuilt).root(),
+                "n={n}"
+            );
         }
     }
 

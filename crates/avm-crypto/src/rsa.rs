@@ -269,7 +269,10 @@ impl RsaPublicKey {
 fn encode_digest(digest: &Digest, em_len: usize) -> Vec<u8> {
     let d = digest.as_bytes();
     // Require at least 8 bytes of 0xFF padding as PKCS#1 does.
-    assert!(em_len >= d.len() + 11, "modulus too small for digest encoding");
+    assert!(
+        em_len >= d.len() + 11,
+        "modulus too small for digest encoding"
+    );
     let mut em = Vec::with_capacity(em_len);
     em.push(0x00);
     em.push(0x01);
@@ -357,7 +360,10 @@ mod tests {
     fn crt_matches_slow_path() {
         let kp = test_keypair(512);
         let digest = sha256(b"cross-check CRT");
-        assert_eq!(kp.private.sign_digest(&digest), kp.private.sign_digest_slow(&digest));
+        assert_eq!(
+            kp.private.sign_digest(&digest),
+            kp.private.sign_digest_slow(&digest)
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub use proto::{DbRequest, DbResponse};
 pub use server::DbServer;
 pub use workload::{WorkloadGen, WorkloadPhase};
 
-use avm_vm::{GuestRegistry, VmImage, VmError};
+use avm_vm::{GuestRegistry, VmError, VmImage};
 use avm_wire::Decode;
 
 /// Registry name of the database server guest.
@@ -61,6 +61,9 @@ mod tests {
         assert!(reg.instantiate(DB_PROGRAM, b"junk").is_err());
         let img = db_image(&cfg);
         assert_eq!(img.disk.len(), DB_DISK_SIZE);
-        assert_ne!(img.digest(), db_image(&server::DbConfig::new("other")).digest());
+        assert_ne!(
+            img.digest(),
+            db_image(&server::DbConfig::new("other")).digest()
+        );
     }
 }

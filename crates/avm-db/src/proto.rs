@@ -60,9 +60,15 @@ impl Decode for DbRequest {
                 key: r.get_string()?,
                 value: r.get_bytes()?.to_vec(),
             },
-            2 => DbRequest::Get { key: r.get_string()? },
-            3 => DbRequest::Delete { key: r.get_string()? },
-            4 => DbRequest::Count { prefix: r.get_string()? },
+            2 => DbRequest::Get {
+                key: r.get_string()?,
+            },
+            3 => DbRequest::Delete {
+                key: r.get_string()?,
+            },
+            4 => DbRequest::Count {
+                prefix: r.get_string()?,
+            },
             tag => {
                 return Err(WireError::InvalidTag {
                     what: "DbRequest",
@@ -131,9 +137,15 @@ mod tests {
                 key: "users:1".into(),
                 value: b"alice,100".to_vec(),
             },
-            DbRequest::Get { key: "users:1".into() },
-            DbRequest::Delete { key: "users:1".into() },
-            DbRequest::Count { prefix: "users:".into() },
+            DbRequest::Get {
+                key: "users:1".into(),
+            },
+            DbRequest::Delete {
+                key: "users:1".into(),
+            },
+            DbRequest::Count {
+                prefix: "users:".into(),
+            },
         ] {
             assert_eq!(DbRequest::decode_exact(&req.encode_to_vec()).unwrap(), req);
         }
@@ -148,7 +160,10 @@ mod tests {
             DbResponse::NotFound,
             DbResponse::Count(42),
         ] {
-            assert_eq!(DbResponse::decode_exact(&resp.encode_to_vec()).unwrap(), resp);
+            assert_eq!(
+                DbResponse::decode_exact(&resp.encode_to_vec()).unwrap(),
+                resp
+            );
         }
         assert!(DbResponse::decode_exact(&[9]).is_err());
     }

@@ -245,22 +245,42 @@ mod tests {
     #[test]
     fn put_get_delete_cycle() {
         let (mut server, mut dev, mut mem) = env();
-        let r = send_request(&mut server, &mut dev, &mut mem, DbRequest::Put {
-            key: "users:1".into(),
-            value: b"alice".to_vec(),
-        });
+        let r = send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Put {
+                key: "users:1".into(),
+                value: b"alice".to_vec(),
+            },
+        );
         assert_eq!(r, DbResponse::Ok);
-        let r = send_request(&mut server, &mut dev, &mut mem, DbRequest::Get {
-            key: "users:1".into(),
-        });
+        let r = send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Get {
+                key: "users:1".into(),
+            },
+        );
         assert_eq!(r, DbResponse::Value(b"alice".to_vec()));
-        let r = send_request(&mut server, &mut dev, &mut mem, DbRequest::Delete {
-            key: "users:1".into(),
-        });
+        let r = send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Delete {
+                key: "users:1".into(),
+            },
+        );
         assert_eq!(r, DbResponse::Ok);
-        let r = send_request(&mut server, &mut dev, &mut mem, DbRequest::Get {
-            key: "users:1".into(),
-        });
+        let r = send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Get {
+                key: "users:1".into(),
+            },
+        );
         assert_eq!(r, DbResponse::NotFound);
         assert_eq!(server.requests_served(), 4);
     }
@@ -269,18 +289,33 @@ mod tests {
     fn count_with_prefix() {
         let (mut server, mut dev, mut mem) = env();
         for i in 0..10 {
-            send_request(&mut server, &mut dev, &mut mem, DbRequest::Put {
-                key: format!("users:{i}"),
-                value: vec![i],
-            });
+            send_request(
+                &mut server,
+                &mut dev,
+                &mut mem,
+                DbRequest::Put {
+                    key: format!("users:{i}"),
+                    value: vec![i],
+                },
+            );
         }
-        send_request(&mut server, &mut dev, &mut mem, DbRequest::Put {
-            key: "orders:1".into(),
-            value: vec![9],
-        });
-        let r = send_request(&mut server, &mut dev, &mut mem, DbRequest::Count {
-            prefix: "users:".into(),
-        });
+        send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Put {
+                key: "orders:1".into(),
+                value: vec![9],
+            },
+        );
+        let r = send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Count {
+                prefix: "users:".into(),
+            },
+        );
         assert_eq!(r, DbResponse::Count(10));
         assert_eq!(server.record_count(), 11);
     }
@@ -289,10 +324,15 @@ mod tests {
     fn mutations_dirty_the_disk() {
         let (mut server, mut dev, mut mem) = env();
         assert!(dev.disk.dirty_blocks().is_empty());
-        send_request(&mut server, &mut dev, &mut mem, DbRequest::Put {
-            key: "k".into(),
-            value: vec![0u8; 128],
-        });
+        send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Put {
+                key: "k".into(),
+                value: vec![0u8; 128],
+            },
+        );
         assert!(!dev.disk.dirty_blocks().is_empty());
     }
 
@@ -308,10 +348,15 @@ mod tests {
     #[test]
     fn state_roundtrip() {
         let (mut server, mut dev, mut mem) = env();
-        send_request(&mut server, &mut dev, &mut mem, DbRequest::Put {
-            key: "a".into(),
-            value: b"1".to_vec(),
-        });
+        send_request(
+            &mut server,
+            &mut dev,
+            &mut mem,
+            DbRequest::Put {
+                key: "a".into(),
+                value: b"1".to_vec(),
+            },
+        );
         let state = server.save_state();
         let mut restored = DbServer::new(DbConfig::new("x"));
         restored.restore_state(&state).unwrap();

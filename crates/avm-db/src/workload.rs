@@ -39,7 +39,10 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// Creates a workload over `rows` logical rows.
     pub fn new(rows: u64) -> WorkloadGen {
-        WorkloadGen { rows: rows.max(1), issued: 0 }
+        WorkloadGen {
+            rows: rows.max(1),
+            issued: 0,
+        }
     }
 
     /// Total number of requests the workload will produce.

@@ -100,39 +100,113 @@ pub fn cheat_catalog() -> Vec<Cheat> {
     use CheatEffect::*;
     let entries: [(&'static str, CheatEffect, CheatClass); 26] = [
         ("aimbot", AimAssist { extra_work: 900 }, InstallDetectable),
-        ("triggerbot", AimAssist { extra_work: 400 }, InstallDetectable),
-        ("silent-aim", AimAssist { extra_work: 700 }, InstallDetectable),
+        (
+            "triggerbot",
+            AimAssist { extra_work: 400 },
+            InstallDetectable,
+        ),
+        (
+            "silent-aim",
+            AimAssist { extra_work: 700 },
+            InstallDetectable,
+        ),
         ("spinbot", AimAssist { extra_work: 500 }, InstallDetectable),
         ("anti-aim", AimAssist { extra_work: 300 }, InstallDetectable),
-        ("wallhack", InfoReveal { extra_work: 1200 }, InstallDetectable),
-        ("esp-overlay", InfoReveal { extra_work: 800 }, InstallDetectable),
-        ("radar-hack", InfoReveal { extra_work: 350 }, InstallDetectable),
-        ("sound-esp", InfoReveal { extra_work: 250 }, InstallDetectable),
-        ("flash-block", InfoReveal { extra_work: 150 }, InstallDetectable),
-        ("smoke-block", InfoReveal { extra_work: 150 }, InstallDetectable),
+        (
+            "wallhack",
+            InfoReveal { extra_work: 1200 },
+            InstallDetectable,
+        ),
+        (
+            "esp-overlay",
+            InfoReveal { extra_work: 800 },
+            InstallDetectable,
+        ),
+        (
+            "radar-hack",
+            InfoReveal { extra_work: 350 },
+            InstallDetectable,
+        ),
+        (
+            "sound-esp",
+            InfoReveal { extra_work: 250 },
+            InstallDetectable,
+        ),
+        (
+            "flash-block",
+            InfoReveal { extra_work: 150 },
+            InstallDetectable,
+        ),
+        (
+            "smoke-block",
+            InfoReveal { extra_work: 150 },
+            InstallDetectable,
+        ),
         (
             "unlimited-ammo",
-            ResourcePin { field: ResourceField::Ammo, value: 100 },
+            ResourcePin {
+                field: ResourceField::Ammo,
+                value: 100,
+            },
             DetectableAnyImplementation,
         ),
         (
             "unlimited-health",
-            ResourcePin { field: ResourceField::Health, value: 100 },
+            ResourcePin {
+                field: ResourceField::Health,
+                value: 100,
+            },
             DetectableAnyImplementation,
         ),
         ("rapid-fire", RapidFire, DetectableAnyImplementation),
-        ("teleport", Teleport { period: 4 }, DetectableAnyImplementation),
-        ("speedhack", SpeedMultiplier { factor: 5 }, InstallDetectable),
-        ("bunnyhop-script", SpeedMultiplier { factor: 2 }, InstallDetectable),
+        (
+            "teleport",
+            Teleport { period: 4 },
+            DetectableAnyImplementation,
+        ),
+        (
+            "speedhack",
+            SpeedMultiplier { factor: 5 },
+            InstallDetectable,
+        ),
+        (
+            "bunnyhop-script",
+            SpeedMultiplier { factor: 2 },
+            InstallDetectable,
+        ),
         ("no-recoil", Cosmetic { extra_work: 200 }, InstallDetectable),
         ("no-spread", Cosmetic { extra_work: 200 }, InstallDetectable),
-        ("auto-reload", Cosmetic { extra_work: 100 }, InstallDetectable),
+        (
+            "auto-reload",
+            Cosmetic { extra_work: 100 },
+            InstallDetectable,
+        ),
         ("auto-duck", Cosmetic { extra_work: 100 }, InstallDetectable),
-        ("skin-changer", Cosmetic { extra_work: 300 }, InstallDetectable),
-        ("fov-changer", Cosmetic { extra_work: 120 }, InstallDetectable),
-        ("crosshair-mod", Cosmetic { extra_work: 80 }, InstallDetectable),
-        ("lag-switch-module", TimingManipulation { delay_ticks: 3 }, InstallDetectable),
-        ("interp-exploit", TimingManipulation { delay_ticks: 1 }, InstallDetectable),
+        (
+            "skin-changer",
+            Cosmetic { extra_work: 300 },
+            InstallDetectable,
+        ),
+        (
+            "fov-changer",
+            Cosmetic { extra_work: 120 },
+            InstallDetectable,
+        ),
+        (
+            "crosshair-mod",
+            Cosmetic { extra_work: 80 },
+            InstallDetectable,
+        ),
+        (
+            "lag-switch-module",
+            TimingManipulation { delay_ticks: 3 },
+            InstallDetectable,
+        ),
+        (
+            "interp-exploit",
+            TimingManipulation { delay_ticks: 1 },
+            InstallDetectable,
+        ),
     ];
     entries
         .into_iter()
@@ -168,7 +242,10 @@ mod tests {
             .iter()
             .filter(|c| c.class == CheatClass::DetectableAnyImplementation)
             .count();
-        assert_eq!(any_impl, 4, "paper: at least 4 detectable in any implementation");
+        assert_eq!(
+            any_impl, 4,
+            "paper: at least 4 detectable in any implementation"
+        );
         let install_only = all
             .iter()
             .filter(|c| c.class == CheatClass::InstallDetectable)

@@ -323,8 +323,7 @@ impl GuestKernel for GameClient {
             Ok(c)
         }
         let mut r = Reader::new(bytes);
-        let restored =
-            inner(&mut r).map_err(|_| VmError::CorruptState("game client state"))?;
+        let restored = inner(&mut r).map_err(|_| VmError::CorruptState("game client state"))?;
         if !r.is_empty() {
             return Err(VmError::CorruptState("trailing bytes in game client state"));
         }
@@ -343,7 +342,12 @@ mod tests {
     use avm_vm::devices::{DeviceState, InputEvent};
     use avm_vm::mem::GuestMemory;
 
-    fn drive(client: &mut GameClient, dev: &mut DeviceState, mem: &mut GuestMemory, time: u64) -> Vec<Vec<u8>> {
+    fn drive(
+        client: &mut GameClient,
+        dev: &mut DeviceState,
+        mem: &mut GuestMemory,
+        time: u64,
+    ) -> Vec<Vec<u8>> {
         // Run one kernel step with the clock pre-armed to `time`.
         let mut outputs = Vec::new();
         loop {
@@ -401,8 +405,16 @@ mod tests {
     fn input_events_steer_the_player_and_fire() {
         let (mut dev, mut mem) = new_env();
         let mut client = GameClient::new(ClientConfig::new("alice", "server"));
-        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_X, value: 1 });
-        dev.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_MOVE_X,
+            value: 1,
+        });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_FIRE,
+            value: 1,
+        });
         let mut fired_count = 0;
         for i in 1..=8u64 {
             let pkts = drive(&mut client, &mut dev, &mut mem, i * 40_000);
@@ -418,7 +430,10 @@ mod tests {
         }
         // Cooldown limits the fire rate: 8 ticks with cooldown 3 → 2-3 shots.
         assert!(fired_count >= 2 && fired_count <= 3, "fired {fired_count}");
-        assert_eq!(client.shots_fired() as u32, STARTING_AMMO - clientammo(&client));
+        assert_eq!(
+            client.shots_fired() as u32,
+            STARTING_AMMO - clientammo(&client)
+        );
         fn clientammo(c: &GameClient) -> u32 {
             c.ammo
         }
@@ -430,7 +445,11 @@ mod tests {
         let cheat_id = crate::cheats::cheat_by_name("unlimited-ammo").unwrap().id;
         let mut client =
             GameClient::new(ClientConfig::new("cheater", "server").with_cheat(cheat_id));
-        dev.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_FIRE,
+            value: 1,
+        });
         let mut last_ammo = None;
         let mut fired_any = false;
         for i in 1..=20u64 {
@@ -453,14 +472,22 @@ mod tests {
         let (mut dev, mut mem) = new_env();
         let speed_id = crate::cheats::cheat_by_name("speedhack").unwrap().id;
         let mut cheater = GameClient::new(ClientConfig::new("c", "server").with_cheat(speed_id));
-        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_X, value: 1 });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_MOVE_X,
+            value: 1,
+        });
         drive(&mut cheater, &mut dev, &mut mem, 40_000);
         assert_eq!(cheater.x, 5 * LEGAL_SPEED);
 
         let (mut dev2, mut mem2) = new_env();
         let rapid_id = crate::cheats::cheat_by_name("rapid-fire").unwrap().id;
         let mut rapid = GameClient::new(ClientConfig::new("r", "server").with_cheat(rapid_id));
-        dev2.input.inject(InputEvent { device: 0, code: INPUT_FIRE, value: 1 });
+        dev2.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_FIRE,
+            value: 1,
+        });
         for i in 1..=6u64 {
             drive(&mut rapid, &mut dev2, &mut mem2, i * 40_000);
         }
@@ -480,7 +507,10 @@ mod tests {
             drive(&mut client, &mut dev, &mut mem, 1_002);
         }
         assert_eq!(client.frames_rendered(), 1);
-        assert!(dev.clock.reads_served >= 6, "busy-wait must keep reading the clock");
+        assert!(
+            dev.clock.reads_served >= 6,
+            "busy-wait must keep reading the clock"
+        );
         // Once the frame deadline passes, rendering resumes.
         drive(&mut client, &mut dev, &mut mem, 20_000);
         assert_eq!(client.frames_rendered(), 2);
@@ -511,7 +541,11 @@ mod tests {
     fn state_save_restore_roundtrip() {
         let (mut dev, mut mem) = new_env();
         let mut client = GameClient::new(ClientConfig::new("alice", "server"));
-        dev.input.inject(InputEvent { device: 0, code: INPUT_MOVE_Y, value: -1 });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: INPUT_MOVE_Y,
+            value: -1,
+        });
         for i in 1..=5u64 {
             drive(&mut client, &mut dev, &mut mem, i * 40_000);
         }

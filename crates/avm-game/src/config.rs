@@ -82,8 +82,16 @@ impl Decode for ClientConfig {
             player: r.get_string()?,
             server: r.get_string()?,
             tick_interval_us: r.get_varint()?,
-            frame_cap_fps: if r.get_u8()? == 1 { Some(r.get_u32()?) } else { None },
-            cheat: if r.get_u8()? == 1 { Some(r.get_u32()?) } else { None },
+            frame_cap_fps: if r.get_u8()? == 1 {
+                Some(r.get_u32()?)
+            } else {
+                None
+            },
+            cheat: if r.get_u8()? == 1 {
+                Some(r.get_u32()?)
+            } else {
+                None
+            },
         })
     }
 }
@@ -144,8 +152,13 @@ mod tests {
     #[test]
     fn client_config_roundtrip() {
         let cfg = ClientConfig::new("alice", "server");
-        assert_eq!(ClientConfig::decode_exact(&cfg.encode_to_vec()).unwrap(), cfg);
-        let capped = ClientConfig::new("bob", "server").with_frame_cap(72).with_cheat(5);
+        assert_eq!(
+            ClientConfig::decode_exact(&cfg.encode_to_vec()).unwrap(),
+            cfg
+        );
+        let capped = ClientConfig::new("bob", "server")
+            .with_frame_cap(72)
+            .with_cheat(5);
         assert_eq!(
             ClientConfig::decode_exact(&capped.encode_to_vec()).unwrap(),
             capped
@@ -157,6 +170,9 @@ mod tests {
     #[test]
     fn server_config_roundtrip() {
         let cfg = ServerConfig::new("server", &["a".to_string(), "b".to_string()]);
-        assert_eq!(ServerConfig::decode_exact(&cfg.encode_to_vec()).unwrap(), cfg);
+        assert_eq!(
+            ServerConfig::decode_exact(&cfg.encode_to_vec()).unwrap(),
+            cfg
+        );
     }
 }

@@ -28,7 +28,7 @@ pub use config::{ClientConfig, ServerConfig};
 pub use protocol::{ClientUpdate, ServerState};
 pub use server::GameServer;
 
-use avm_vm::{GuestRegistry, VmImage, VmError};
+use avm_vm::{GuestRegistry, VmError, VmImage};
 use avm_wire::{Decode, Encode};
 
 /// Registry name of the game client guest program.
@@ -70,7 +70,12 @@ pub fn client_image(cfg: &ClientConfig) -> VmImage {
 
 /// Builds the server image.
 pub fn server_image(cfg: &ServerConfig) -> VmImage {
-    VmImage::native("game-server", GAME_MEM_SIZE, SERVER_PROGRAM, cfg.encode_to_vec())
+    VmImage::native(
+        "game-server",
+        GAME_MEM_SIZE,
+        SERVER_PROGRAM,
+        cfg.encode_to_vec(),
+    )
 }
 
 #[cfg(test)]
@@ -82,8 +87,12 @@ mod tests {
         let reg = game_registry();
         let client_cfg = ClientConfig::new("alice", "server");
         let server_cfg = ServerConfig::new("server", &["alice".to_string()]);
-        assert!(reg.instantiate(CLIENT_PROGRAM, &client_cfg.encode_to_vec()).is_ok());
-        assert!(reg.instantiate(SERVER_PROGRAM, &server_cfg.encode_to_vec()).is_ok());
+        assert!(reg
+            .instantiate(CLIENT_PROGRAM, &client_cfg.encode_to_vec())
+            .is_ok());
+        assert!(reg
+            .instantiate(SERVER_PROGRAM, &server_cfg.encode_to_vec())
+            .is_ok());
         assert!(reg.instantiate(CLIENT_PROGRAM, b"garbage").is_err());
     }
 

@@ -116,7 +116,10 @@ impl Decode for ServerState {
         let tick = r.get_varint()?;
         let n = r.get_varint()?;
         if n > 1024 {
-            return Err(WireError::LengthOverflow { declared: n, max: 1024 });
+            return Err(WireError::LengthOverflow {
+                declared: n,
+                max: 1024,
+            });
         }
         let mut players = Vec::with_capacity(n as usize);
         for _ in 0..n {

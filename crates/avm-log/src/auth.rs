@@ -175,7 +175,8 @@ impl Encode for Acknowledgment {
 
 impl Decode for Acknowledgment {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
-        let message_hash = Digest::from_slice(r.get_raw(32)?).ok_or(WireError::Corrupt("digest"))?;
+        let message_hash =
+            Digest::from_slice(r.get_raw(32)?).ok_or(WireError::Corrupt("digest"))?;
         let authenticator = Option::<Authenticator>::decode(r)?;
         let signature = r.get_bytes()?.to_vec();
         Ok(Acknowledgment {

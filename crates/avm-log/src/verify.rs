@@ -66,10 +66,16 @@ impl core::fmt::Display for LogVerifyError {
                 write!(f, "invalid authenticator signature for sequence {seq}")
             }
             LogVerifyError::AuthenticatorOutOfRange { seq, first, last } => {
-                write!(f, "authenticator for sequence {seq} outside segment [{first}, {last}]")
+                write!(
+                    f,
+                    "authenticator for sequence {seq} outside segment [{first}, {last}]"
+                )
             }
             LogVerifyError::AuthenticatorMismatch { seq } => {
-                write!(f, "authenticator does not match log entry at sequence {seq}")
+                write!(
+                    f,
+                    "authenticator does not match log entry at sequence {seq}"
+                )
             }
         }
     }
@@ -233,7 +239,13 @@ mod tests {
         let (prev, mut seg) = log.segment(1, 8).unwrap();
         seg.remove(3);
         let err = verify_segment(&prev, &seg, &[], &k.verifying_key()).unwrap_err();
-        assert_eq!(err, LogVerifyError::BadSequence { expected: 4, found: 5 });
+        assert_eq!(
+            err,
+            LogVerifyError::BadSequence {
+                expected: 4,
+                found: 5
+            }
+        );
     }
 
     #[test]
@@ -269,7 +281,10 @@ mod tests {
         let (log, auths) = build(10, &k);
         let (prev, seg) = log.segment(1, 5).unwrap();
         let err = verify_segment(&prev, &seg, &auths, &k.verifying_key()).unwrap_err();
-        assert!(matches!(err, LogVerifyError::AuthenticatorOutOfRange { .. }));
+        assert!(matches!(
+            err,
+            LogVerifyError::AuthenticatorOutOfRange { .. }
+        ));
     }
 
     #[test]

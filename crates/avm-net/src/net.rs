@@ -235,7 +235,14 @@ mod tests {
     #[test]
     fn per_link_latency_override() {
         let mut net = SimNet::lan();
-        net.set_link(A, C, LinkConfig { latency_us: 5000, drop_every: 0 });
+        net.set_link(
+            A,
+            C,
+            LinkConfig {
+                latency_us: 5000,
+                drop_every: 0,
+            },
+        );
         let t_ab = net.send(A, B, vec![0]).unwrap();
         let t_ac = net.send(A, C, vec![0]).unwrap();
         assert_eq!(t_ab, 96);

@@ -79,7 +79,10 @@ pub fn assemble(source: &str, origin: u64) -> Result<Vec<u8>, AsmError> {
             if candidate.is_empty() || !is_identifier(candidate) {
                 break;
             }
-            if labels.insert(candidate.to_string(), origin + offset).is_some() {
+            if labels
+                .insert(candidate.to_string(), origin + offset)
+                .is_some()
+            {
                 return Err(err(line_no, format!("duplicate label '{candidate}'")));
             }
             rest = tail[1..].trim();
@@ -130,7 +133,10 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -168,7 +174,10 @@ fn assemble_directive(directive: &str, line: usize) -> Result<Vec<u8>, AsmError>
         "byte" => {
             let v = parse_number(arg).ok_or_else(|| err(line, format!("invalid .byte '{arg}'")))?;
             if v > 255 {
-                return Err(err(line, format!(".byte value {v} does not fit in one byte")));
+                return Err(err(
+                    line,
+                    format!(".byte value {v} does not fit in one byte"),
+                ));
             }
             Ok(vec![v as u8])
         }
@@ -226,11 +235,19 @@ fn parse_imm(s: &str, labels: &HashMap<String, u64>, line: usize) -> Result<u64,
         .ok_or_else(|| err(line, format!("unknown label or immediate '{s}'")))
 }
 
-fn expect_operands(operands: &[String], n: usize, mnemonic: &str, line: usize) -> Result<(), AsmError> {
+fn expect_operands(
+    operands: &[String],
+    n: usize,
+    mnemonic: &str,
+    line: usize,
+) -> Result<(), AsmError> {
     if operands.len() != n {
         return Err(err(
             line,
-            format!("'{mnemonic}' expects {n} operands, found {}", operands.len()),
+            format!(
+                "'{mnemonic}' expects {n} operands, found {}",
+                operands.len()
+            ),
         ));
     }
     Ok(())

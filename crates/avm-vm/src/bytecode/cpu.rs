@@ -183,7 +183,8 @@ impl CpuCore for BytecodeCpu {
             }
             Instruction::Call(a) => {
                 let sp = self.regs[STACK_POINTER].wrapping_sub(8);
-                mem.write_u64(sp, next).map_err(|_| VmError::StackFault { pc })?;
+                mem.write_u64(sp, next)
+                    .map_err(|_| VmError::StackFault { pc })?;
                 self.regs[STACK_POINTER] = sp;
                 self.pc = a;
                 return Ok(CpuAction::Ran { cost: 1, outputs });
@@ -308,10 +309,16 @@ mod tests {
         let mut cpu = BytecodeCpu::new(0);
         for _ in 0..100_000 {
             match cpu.step(&mut mem, &mut dev).unwrap() {
-                CpuAction::Pause { exit: VmExit::Halted, .. } => {
+                CpuAction::Pause {
+                    exit: VmExit::Halted,
+                    ..
+                } => {
                     return (cpu, mem, dev);
                 }
-                CpuAction::Pause { exit: VmExit::ClockRead, .. } => {
+                CpuAction::Pause {
+                    exit: VmExit::ClockRead,
+                    ..
+                } => {
                     dev.clock.provide(42).unwrap();
                 }
                 _ => {}

@@ -225,12 +225,13 @@ impl Instruction {
     pub fn decode(code: &[u8], pc: u64) -> VmResult<(Instruction, u64)> {
         use opcodes::*;
         let at = pc as usize;
-        let opcode = *code.get(at).ok_or(VmError::IllegalInstruction {
-            pc,
-            opcode: 0xff,
-        })?;
+        let opcode = *code
+            .get(at)
+            .ok_or(VmError::IllegalInstruction { pc, opcode: 0xff })?;
         let reg = |offset: usize| -> VmResult<Reg> {
-            let idx = *code.get(at + offset).ok_or(VmError::IllegalInstruction { pc, opcode })?;
+            let idx = *code
+                .get(at + offset)
+                .ok_or(VmError::IllegalInstruction { pc, opcode })?;
             Reg::checked(idx).ok_or(VmError::IllegalInstruction { pc, opcode })
         };
         let imm = |offset: usize| -> VmResult<u64> {
@@ -386,7 +387,13 @@ mod tests {
     #[test]
     fn invalid_opcode_rejected() {
         let err = Instruction::decode(&[0x7f], 0).unwrap_err();
-        assert_eq!(err, VmError::IllegalInstruction { pc: 0, opcode: 0x7f });
+        assert_eq!(
+            err,
+            VmError::IllegalInstruction {
+                pc: 0,
+                opcode: 0x7f
+            }
+        );
     }
 
     #[test]

@@ -208,10 +208,12 @@ impl Disk {
     }
 
     fn check(&self, offset: u64, len: usize) -> VmResult<()> {
-        let end = offset.checked_add(len as u64).ok_or(VmError::DiskOutOfRange {
-            sector: offset / DISK_BLOCK_SIZE as u64,
-            sectors: self.block_count() as u64,
-        })?;
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(VmError::DiskOutOfRange {
+                sector: offset / DISK_BLOCK_SIZE as u64,
+                sectors: self.block_count() as u64,
+            })?;
         if end > self.size() {
             return Err(VmError::DiskOutOfRange {
                 sector: offset / DISK_BLOCK_SIZE as u64,
@@ -454,8 +456,16 @@ mod tests {
     #[test]
     fn input_queue_order() {
         let mut q = InputQueue::default();
-        let e1 = InputEvent { device: 0, code: 30, value: 1 };
-        let e2 = InputEvent { device: 1, code: 2, value: -5 };
+        let e1 = InputEvent {
+            device: 0,
+            code: 30,
+            value: 1,
+        };
+        let e2 = InputEvent {
+            device: 1,
+            code: 2,
+            value: -5,
+        };
         q.inject(e1);
         q.inject(e2);
         assert_eq!(q.guest_poll(), Some(e1));
@@ -466,7 +476,11 @@ mod tests {
 
     #[test]
     fn input_event_wire_roundtrip() {
-        let ev = InputEvent { device: 2, code: 0xABCD, value: i64::MIN };
+        let ev = InputEvent {
+            device: 2,
+            code: 0xABCD,
+            value: i64::MIN,
+        };
         let bytes = ev.encode_to_vec();
         assert_eq!(InputEvent::decode_exact(&bytes).unwrap(), ev);
     }
@@ -539,7 +553,11 @@ mod tests {
         dev.clock.provide(42).unwrap();
         dev.nic.inject(vec![1, 2, 3]);
         dev.nic.note_tx(7);
-        dev.input.inject(InputEvent { device: 0, code: 1, value: 1 });
+        dev.input.inject(InputEvent {
+            device: 0,
+            code: 1,
+            value: 1,
+        });
         dev.console.write(b"boot ok");
         dev.disk.write(0, b"xyz").unwrap();
 

@@ -54,7 +54,11 @@ pub enum VmError {
 impl core::fmt::Display for VmError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            VmError::MemoryOutOfRange { addr, len, mem_size } => write!(
+            VmError::MemoryOutOfRange {
+                addr,
+                len,
+                mem_size,
+            } => write!(
                 f,
                 "guest memory access out of range: addr={addr:#x} len={len} mem_size={mem_size:#x}"
             ),

@@ -52,7 +52,13 @@ pub struct VmImage {
 
 impl VmImage {
     /// Creates a bytecode image.
-    pub fn bytecode(name: &str, mem_size: u64, code: Vec<u8>, load_addr: u64, entry: u64) -> VmImage {
+    pub fn bytecode(
+        name: &str,
+        mem_size: u64,
+        code: Vec<u8>,
+        load_addr: u64,
+        entry: u64,
+    ) -> VmImage {
         VmImage {
             name: name.to_string(),
             mem_size,
@@ -244,7 +250,10 @@ mod tests {
     fn native_image_instantiates_through_registry() {
         let image = VmImage::native("counter", 4096, "count", 3u64.to_le_bytes().to_vec());
         let mut m = Machine::from_image(&image, &registry()).unwrap();
-        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), crate::VmExit::Halted);
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap(),
+            crate::VmExit::Halted
+        );
         assert_eq!(m.step_count(), 2); // two Ran steps before the halt pause
     }
 
@@ -262,7 +271,10 @@ mod tests {
         let code = crate::bytecode::assemble("movi r0, 7\nhalt", 0x100).unwrap();
         let image = VmImage::bytecode("tiny", 64 * 1024, code, 0x100, 0x100);
         let mut m = Machine::from_image(&image, &GuestRegistry::new()).unwrap();
-        assert_eq!(m.run(StopCondition::Unbounded).unwrap(), crate::VmExit::Halted);
+        assert_eq!(
+            m.run(StopCondition::Unbounded).unwrap(),
+            crate::VmExit::Halted
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl Machine {
                 m.mem.clear_dirty();
                 return Ok(m);
             }
-            ImageKind::Native { program, config: guest_config } => {
+            ImageKind::Native {
+                program,
+                config: guest_config,
+            } => {
                 let kernel = registry.instantiate(program, guest_config)?;
                 Box::new(crate::native::NativeCpu::new(kernel))
             }
@@ -332,7 +335,10 @@ mod tests {
         m.provide_clock(777).unwrap();
         assert_eq!(m.run(StopCondition::Unbounded).unwrap(), VmExit::Halted);
         // Unsolicited clock value is rejected.
-        assert_eq!(m.provide_clock(1).unwrap_err(), VmError::UnexpectedHostResponse);
+        assert_eq!(
+            m.provide_clock(1).unwrap_err(),
+            VmError::UnexpectedHostResponse
+        );
     }
 
     #[test]
@@ -397,28 +403,29 @@ mod tests {
                 send r1, r0
                 halt
             ";
-        let run_once = |clock_values: &[u64], inject_at: u64, payload: &[u8]| -> (Vec<VmExit>, u64, Digest) {
-            let mut m = machine_with_program(src);
-            let mut exits = Vec::new();
-            let mut clocks = clock_values.iter().copied();
-            let mut injected = false;
-            loop {
-                let e = m.run(StopCondition::Unbounded).unwrap();
-                exits.push(e.clone());
-                match e {
-                    VmExit::ClockRead => {
-                        if !injected && m.step_count() >= inject_at {
-                            m.inject_packet(payload.to_vec());
-                            injected = true;
+        let run_once =
+            |clock_values: &[u64], inject_at: u64, payload: &[u8]| -> (Vec<VmExit>, u64, Digest) {
+                let mut m = machine_with_program(src);
+                let mut exits = Vec::new();
+                let mut clocks = clock_values.iter().copied();
+                let mut injected = false;
+                loop {
+                    let e = m.run(StopCondition::Unbounded).unwrap();
+                    exits.push(e.clone());
+                    match e {
+                        VmExit::ClockRead => {
+                            if !injected && m.step_count() >= inject_at {
+                                m.inject_packet(payload.to_vec());
+                                injected = true;
+                            }
+                            m.provide_clock(clocks.next().unwrap_or(0)).unwrap();
                         }
-                        m.provide_clock(clocks.next().unwrap_or(0)).unwrap();
+                        VmExit::Halted => break,
+                        _ => {}
                     }
-                    VmExit::Halted => break,
-                    _ => {}
                 }
-            }
-            (exits, m.step_count(), m.state_digest())
-        };
+                (exits, m.step_count(), m.state_digest())
+            };
         let a = run_once(&[5, 10, 15, 20, 25, 30], 12, b"data");
         let b = run_once(&[5, 10, 15, 20, 25, 30], 12, b"data");
         assert_eq!(a.0, b.0);

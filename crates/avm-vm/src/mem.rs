@@ -57,11 +57,13 @@ impl GuestMemory {
         if len == 0 {
             return Ok(());
         }
-        let end = addr.checked_add(len as u64).ok_or(VmError::MemoryOutOfRange {
-            addr,
-            len,
-            mem_size: self.size(),
-        })?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(VmError::MemoryOutOfRange {
+                addr,
+                len,
+                mem_size: self.size(),
+            })?;
         if end > self.size() {
             return Err(VmError::MemoryOutOfRange {
                 addr,

@@ -161,7 +161,11 @@ impl NativeCpu {
 }
 
 impl crate::machine::CpuCore for NativeCpu {
-    fn step(&mut self, mem: &mut GuestMemory, dev: &mut DeviceState) -> VmResult<crate::machine::CpuAction> {
+    fn step(
+        &mut self,
+        mem: &mut GuestMemory,
+        dev: &mut DeviceState,
+    ) -> VmResult<crate::machine::CpuAction> {
         use crate::machine::CpuAction;
         if self.halted {
             return Err(VmError::Halted);

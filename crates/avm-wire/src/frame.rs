@@ -36,7 +36,10 @@ impl core::fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::BadMagic(b) => write!(f, "bad frame magic byte {b:#04x}"),
             FrameError::BadChecksum { stored, computed } => {
-                write!(f, "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             FrameError::BadLength => write!(f, "malformed frame length"),
         }

@@ -77,7 +77,17 @@ mod tests {
 
     #[test]
     fn roundtrip_edge_values() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             let written = write_varint(&mut buf, v);
             assert_eq!(written, buf.len());

@@ -50,13 +50,30 @@ fn main() {
         } else {
             official[i].clone()
         };
-        let mut avmm = Avmm::new(p, &image, &registry, ids[i].signing_key.clone(), options.clone()).unwrap();
+        let mut avmm = Avmm::new(
+            p,
+            &image,
+            &registry,
+            ids[i].signing_key.clone(),
+            options.clone(),
+        )
+        .unwrap();
         avmm.add_peer("server", server_id.verifying_key());
         rt.add_host(avmm);
     }
-    let server_cfg = ServerConfig::new("server", &players.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let server_cfg = ServerConfig::new(
+        "server",
+        &players.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let server_img = server_image(&server_cfg);
-    let mut server = Avmm::new("server", &server_img, &registry, server_id.signing_key.clone(), options).unwrap();
+    let mut server = Avmm::new(
+        "server",
+        &server_img,
+        &registry,
+        server_id.signing_key.clone(),
+        options,
+    )
+    .unwrap();
     for (i, p) in players.iter().enumerate() {
         server.add_peer(p, ids[i].verifying_key());
     }
@@ -65,8 +82,16 @@ fn main() {
     // Play for a third of a simulated second; everyone holds the fire button.
     for p in &players {
         let host = rt.host_mut(p).unwrap();
-        host.inject_input(InputEvent { device: 0, code: avm_game::client::INPUT_MOVE_X, value: 1 });
-        host.inject_input(InputEvent { device: 0, code: avm_game::client::INPUT_FIRE, value: 1 });
+        host.inject_input(InputEvent {
+            device: 0,
+            code: avm_game::client::INPUT_MOVE_X,
+            value: 1,
+        });
+        host.inject_input(InputEvent {
+            device: 0,
+            code: avm_game::client::INPUT_FIRE,
+            value: 1,
+        });
     }
     rt.run_for(300_000, 10_000).expect("game session");
 
@@ -92,7 +117,15 @@ fn main() {
             log.append(e.kind, content);
         }
         let (prev, segment) = log.segment(1, log.len() as u64).unwrap();
-        let report = audit_log(p, &prev, &segment, &[], &ids[i].verifying_key(), &official[i], &registry);
+        let report = audit_log(
+            p,
+            &prev,
+            &segment,
+            &[],
+            &ids[i].verifying_key(),
+            &official[i],
+            &registry,
+        );
         match &report.outcome {
             AuditOutcome::Pass(summary) => println!(
                 "| {p} | pass ({} outputs matched, {} inputs re-injected) |",
@@ -101,7 +134,8 @@ fn main() {
             AuditOutcome::Fail(evidence) => {
                 println!("| {p} | FAULT: {} |", evidence.fault);
                 // The evidence is independently verifiable by any third party.
-                let third_party_agrees = evidence.verify(&ids[i].verifying_key(), &official[i], &registry);
+                let third_party_agrees =
+                    evidence.verify(&ids[i].verifying_key(), &official[i], &registry);
                 println!("|   | third-party verification of the evidence: {third_party_agrees} |");
             }
         }

@@ -35,7 +35,13 @@ fn main() {
             send r1, r0
             jmp loop
         ";
-    let image = VmImage::bytecode("echo-service", 128 * 1024, assemble(source, 0).unwrap(), 0, 0);
+    let image = VmImage::bytecode(
+        "echo-service",
+        128 * 1024,
+        assemble(source, 0).unwrap(),
+        0,
+        0,
+    );
     let registry = GuestRegistry::new();
 
     // 2. Identities: Bob operates the machine, Alice uses and audits it.
@@ -73,13 +79,19 @@ fn main() {
         let ack = avmm.deliver(&envelope).expect("deliver").expect("ack");
         println!("alice -> bob: request-{i}   (ack for msg {})", ack.msg_id);
         for out in avmm.run_slice(&clock, 100_000).expect("run guest") {
-            println!("bob -> {}: {} bytes (authenticator seq {:?})",
+            println!(
+                "bob -> {}: {} bytes (authenticator seq {:?})",
                 out.envelope.to,
                 out.envelope.payload.len(),
-                out.envelope.authenticator.as_ref().map(|a| a.seq));
+                out.envelope.authenticator.as_ref().map(|a| a.seq)
+            );
         }
     }
-    println!("\nBob's log now has {} entries ({} bytes).", avmm.log().len(), avmm.log_bytes());
+    println!(
+        "\nBob's log now has {} entries ({} bytes).",
+        avmm.log().len(),
+        avmm.log_bytes()
+    );
 
     // 5. Alice audits Bob: syntactic check + deterministic replay against the
     //    reference image.
@@ -94,7 +106,9 @@ fn main() {
         &registry,
     );
     match report.fault() {
-        None => println!("Audit verdict: PASS — Bob's execution is consistent with the reference image."),
+        None => println!(
+            "Audit verdict: PASS — Bob's execution is consistent with the reference image."
+        ),
         Some(fault) => println!("Audit verdict: FAULT — {fault}"),
     }
     assert!(report.passed());

@@ -79,7 +79,12 @@ fn honest_game_client_passes_end_to_end_audit() {
 fn every_class2_cheat_is_caught_even_with_forged_meta() {
     // The four network-visible cheats of Table 1: caught regardless of how
     // the cheater frames his log.
-    for name in ["unlimited-ammo", "unlimited-health", "rapid-fire", "teleport"] {
+    for name in [
+        "unlimited-ammo",
+        "unlimited-health",
+        "rapid-fire",
+        "teleport",
+    ] {
         let cheat = cheats::cheat_by_name(name).unwrap();
         let (avmm, player_id, _, reference) = record_game_session(Some(cheat.id));
         // The cheater claims the official image.
@@ -154,7 +159,10 @@ fn multiparty_authenticator_collection_and_challenge_flow() {
     // honest machine.
     let last_seq = collected.last().unwrap().seq;
     let (prev, segment) = avmm.log().segment(1, avmm.log().len() as u64).unwrap();
-    let in_range: Vec<_> = collected.into_iter().filter(|a| a.seq <= last_seq).collect();
+    let in_range: Vec<_> = collected
+        .into_iter()
+        .filter(|a| a.seq <= last_seq)
+        .collect();
     let report = audit_log(
         "player",
         &prev,
