@@ -68,9 +68,12 @@ fn main() {
             "dedup" | "cas" | "snapshotdedup" => {
                 experiments::exp_snapshot_dedup(quick);
             }
+            "ondemand" | "sec3.5" | "partialstate" => {
+                experiments::exp_ondemand(quick);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

@@ -24,17 +24,88 @@
 //! * [`envelope`] — the signed, authenticated wire format exchanged between
 //!   machines.
 //! * [`recorder`] — the recording AVMM ([`recorder::Avmm`]).
-//! * [`snapshot`] — incremental snapshots with Merkle roots.
+//! * [`snapshot`] — incremental snapshots with Merkle roots, stored
+//!   content-addressed ([`snapshot::SnapshotStore`]).
 //! * [`replay`] — the deterministic replayer (semantic check).
 //! * [`audit`] — the audit tool combining the syntactic and semantic checks,
 //!   and the evidence objects third parties can verify.
 //! * [`spotcheck`] — partial audits of `k`-chunks between snapshots (§3.5,
 //!   §6.12).
+//! * [`ondemand`] — the digest-addressed snapshot transfer protocol and
+//!   on-demand partial-state replay ("request the parts of the state that
+//!   are accessed", §3.5).
 //! * [`online`] — online (concurrent-with-execution) auditing (§6.11).
 //! * [`multiparty`] — authenticator collection, the challenge protocol and
 //!   evidence distribution for multi-party scenarios (§4.6).
 //! * [`runtime`] — a host runtime tying AVMM nodes to the simulated network,
 //!   with acknowledgment handling and retransmission.
+//!
+//! # Quickstart: record an accountable execution and audit it
+//!
+//! Bob runs a guest everyone has agreed on; Alice exchanges a message with
+//! it and then audits Bob's log against the reference image (a compact
+//! version of `examples/quickstart.rs`):
+//!
+//! ```
+//! use avm_core::audit::audit_log;
+//! use avm_core::config::AvmmOptions;
+//! use avm_core::envelope::{Envelope, EnvelopeKind};
+//! use avm_core::recorder::{Avmm, HostClock};
+//! use avm_crypto::keys::{Identity, SignatureScheme};
+//! use avm_vm::bytecode::assemble;
+//! use avm_vm::packet::encode_guest_packet;
+//! use avm_vm::{GuestRegistry, VmImage};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // 1. The agreed-upon software: a tiny guest that echoes every packet.
+//! let source = r"
+//!         movi r1, 0x8000
+//!         movi r2, 512
+//!     loop:
+//!         clock r4
+//!         recv r0, r1, r2
+//!         cmp r0, r6
+//!         jne got
+//!         idle
+//!         jmp loop
+//!     got:
+//!         send r1, r0
+//!         jmp loop
+//!     ";
+//! let image = VmImage::bytecode("echo", 128 * 1024, assemble(source, 0).unwrap(), 0, 0);
+//! let registry = GuestRegistry::new();
+//!
+//! // 2. Identities: Bob operates the machine, Alice uses and audits it.
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let bob = Identity::generate(&mut rng, "bob", SignatureScheme::Rsa(512));
+//! let alice = Identity::generate(&mut rng, "alice", SignatureScheme::Rsa(512));
+//!
+//! // 3. Bob starts an AVMM around the image; it logs every
+//! //    nondeterministic input and signs every outgoing message.
+//! let opts = AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512));
+//! let mut avmm = Avmm::new("bob", &image, &registry, bob.signing_key.clone(), opts).unwrap();
+//! avmm.add_peer("alice", alice.verifying_key());
+//!
+//! // 4. Alice sends a request; Bob's AVMM logs, acknowledges and the guest
+//! //    echoes it back inside a signed envelope.
+//! let mut clock = HostClock::at(1_000);
+//! avmm.run_slice(&clock, 20_000).unwrap();
+//! let payload = encode_guest_packet("alice", b"request");
+//! let env = Envelope::create(EnvelopeKind::Data, "alice", "bob", 1, payload,
+//!                            &alice.signing_key, None);
+//! let ack = avmm.deliver(&env).unwrap().expect("ack");
+//! assert_eq!(ack.kind, EnvelopeKind::Ack);
+//! let echoed = avmm.run_slice(&clock, 100_000).unwrap();
+//! assert_eq!(echoed.len(), 1);
+//!
+//! // 5. Alice audits Bob: syntactic check (hash chain + signatures) plus
+//! //    deterministic replay against the reference image.
+//! let (prev, segment) = avmm.log().segment(1, avmm.log().len() as u64).unwrap();
+//! let report = audit_log("bob", &prev, &segment, &[], &bob.verifying_key(),
+//!                        &image, &registry);
+//! assert!(report.passed());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +116,7 @@ pub mod envelope;
 pub mod error;
 pub mod events;
 pub mod multiparty;
+pub mod ondemand;
 pub mod online;
 pub mod recorder;
 pub mod replay;
@@ -57,6 +129,10 @@ pub use config::{AvmmOptions, ExecConfig};
 pub use envelope::{Envelope, EnvelopeKind};
 pub use error::{CoreError, FaultReason};
 pub use events::{NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
+pub use ondemand::{
+    dedup_transfer_upto, fetch_blobs, materialize_on_demand, AuditorBlobCache, ChainManifest,
+    DedupTransfer, OnDemandCost, OnDemandSession,
+};
 pub use recorder::{Avmm, HostClock, OutboundMessage};
 pub use replay::{ReplayOutcome, Replayer};
 pub use snapshot::{Snapshot, SnapshotStore, StoredSnapshot, TransferCost};

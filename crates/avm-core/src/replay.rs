@@ -8,6 +8,14 @@
 //! log, an input requested in a different order or at a different position,
 //! a snapshot hash that does not match — terminates replay and is reported
 //! as a fault.
+//!
+//! Spot checks can start the replayer two ways (paper §3.5): from a fully
+//! downloaded snapshot ([`Replayer::from_snapshot`]) or from snapshot
+//! *metadata only* ([`Replayer::from_snapshot_on_demand`]), where divergent
+//! pages and disk blocks fault in lazily as the replayed workload touches
+//! them and the auditor pays transfer only for what was accessed (see
+//! [`crate::ondemand`]).  Both modes verify the same roots and reach the
+//! same verdicts; they differ only in what is downloaded.
 
 use std::collections::HashMap;
 
@@ -18,6 +26,7 @@ use avm_wire::Decode;
 
 use crate::error::{CoreError, FaultReason};
 use crate::events::{MetaRecord, NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
+use crate::ondemand::{materialize_on_demand, AuditorBlobCache, OnDemandSession};
 use crate::snapshot::{SnapshotStore, StateTreeCache};
 
 /// Result of replaying a log segment.
@@ -57,11 +66,22 @@ pub struct ReplaySummary {
     pub inputs_reinjected: u64,
     /// Snapshot roots verified.
     pub snapshots_verified: u64,
-    /// Digest of the final machine state.
+    /// Merkle state root of the final machine state (the same commitment
+    /// snapshot records carry).  Derived from the authenticated per-leaf
+    /// hashes, so it is identical between full-download and on-demand
+    /// replay of the same log.
     pub final_state: Option<Digest>,
 }
 
-/// The deterministic replayer.
+/// The deterministic replayer — the paper's semantic audit check (§4.5).
+///
+/// Construct it from the reference image ([`Replayer::from_image`], full
+/// audits), from a downloaded snapshot ([`Replayer::from_snapshot`], spot
+/// checks) or from snapshot metadata with lazy state fault-in
+/// ([`Replayer::from_snapshot_on_demand`], §3.5 on-demand spot checks), then
+/// feed it the log: it re-injects every recorded nondeterministic input at
+/// its recorded step, re-derives every output and snapshot root, and reports
+/// the first discrepancy as a [`FaultReason`].
 pub struct Replayer {
     machine: Machine,
     reference_digest: Digest,
@@ -98,6 +118,25 @@ impl Replayer {
         Ok(Self::with_machine(machine, image.digest()))
     }
 
+    /// Creates a replayer starting from snapshot *metadata only* (§3.5
+    /// on-demand spot checks): state that diverges from the reference image
+    /// is staged and faults in lazily as replay touches it.
+    ///
+    /// The returned [`OnDemandSession`] settles the accounting after replay:
+    /// call [`OnDemandSession::finish`] with [`Replayer::machine`] to obtain
+    /// the blobs actually transferred (blobs already in `cache` are free).
+    pub fn from_snapshot_on_demand(
+        image: &VmImage,
+        registry: &GuestRegistry,
+        snapshots: &SnapshotStore,
+        snapshot_id: u64,
+        cache: &AuditorBlobCache,
+    ) -> Result<(Replayer, OnDemandSession), CoreError> {
+        let (machine, session) =
+            materialize_on_demand(snapshots, snapshot_id, image, registry, cache)?;
+        Ok((Self::with_machine(machine, image.digest()), session))
+    }
+
     fn with_machine(machine: Machine, reference_digest: Digest) -> Replayer {
         let start_step = machine.step_count();
         Replayer {
@@ -120,6 +159,17 @@ impl Replayer {
     /// point, including after a fault terminated replay.
     pub fn steps_executed(&self) -> u64 {
         self.machine.step_count() - self.start_step
+    }
+
+    /// Merkle root over the machine's current state, derived through the
+    /// replayer's incremental state tree.
+    ///
+    /// Valid in both replay modes: on a partially-resident on-demand machine
+    /// the root comes from the authenticated per-leaf hashes, so it equals
+    /// what a fully downloaded replay computes at the same point — the
+    /// comparison tests use to pin mode equivalence.
+    pub fn current_state_root(&mut self) -> Digest {
+        self.state_tree.refresh(&self.machine)
     }
 
     /// Progress counters so far, with `steps_executed` brought up to date.
@@ -147,7 +197,10 @@ impl Replayer {
             }
         }
         self.summary.steps_executed = self.steps_executed();
-        self.summary.final_state = Some(self.machine.state_digest());
+        // The state root, not Machine::state_digest(): the latter hashes raw
+        // contents and would be wrong on a partially-resident on-demand
+        // machine whose untouched staged pages still hold local bytes.
+        self.summary.final_state = Some(self.state_tree.refresh(&self.machine));
         ReplayOutcome::Consistent(self.summary.clone())
     }
 
@@ -303,8 +356,7 @@ impl Replayer {
         }
         // The recorder clears dirty tracking when it snapshots; mirror that
         // so later incremental captures stay comparable.
-        self.machine.memory_mut().clear_dirty();
-        self.machine.devices_mut().disk.clear_dirty();
+        self.machine.clear_dirty_tracking();
         self.summary.snapshots_verified += 1;
         Ok(())
     }
@@ -803,5 +855,62 @@ mod tests {
             Replayer::from_snapshot(&image, &GuestRegistry::new(), bob.snapshots(), 0).unwrap();
         let outcome = replayer.replay(&suffix);
         assert!(outcome.is_consistent(), "{outcome:?}");
+    }
+
+    /// On-demand replay (§3.5, metadata + lazy fault-in) must reach the same
+    /// verdict and the same final state root as replay from a fully
+    /// downloaded snapshot.
+    #[test]
+    fn on_demand_replay_matches_full_snapshot_replay() {
+        let image = echo_image();
+        let (bob, _) = record_session(&image);
+        let registry = GuestRegistry::new();
+        let snap_entry_idx = bob
+            .log()
+            .entries()
+            .iter()
+            .position(|e| e.kind == EntryKind::Snapshot)
+            .unwrap();
+        let suffix: Vec<LogEntry> = bob.log().entries()[snap_entry_idx + 1..].to_vec();
+
+        let mut full = Replayer::from_snapshot(&image, &registry, bob.snapshots(), 0).unwrap();
+        let full_outcome = full.replay(&suffix);
+        assert!(full_outcome.is_consistent(), "{full_outcome:?}");
+
+        let mut cache = crate::ondemand::AuditorBlobCache::new();
+        let (mut lazy, session) =
+            Replayer::from_snapshot_on_demand(&image, &registry, bob.snapshots(), 0, &cache)
+                .unwrap();
+        let lazy_outcome = lazy.replay(&suffix);
+        assert!(lazy_outcome.is_consistent(), "{lazy_outcome:?}");
+
+        // The summaries' final_state (a Merkle root) must agree even though
+        // the lazy machine never downloaded its untouched pages.
+        let (ReplayOutcome::Consistent(full_summary), ReplayOutcome::Consistent(lazy_summary)) =
+            (&full_outcome, &lazy_outcome)
+        else {
+            unreachable!()
+        };
+        assert_eq!(full_summary.final_state, lazy_summary.final_state);
+        assert!(full_summary.final_state.is_some());
+        assert_eq!(full.current_state_root(), lazy.current_state_root());
+        assert_eq!(
+            full.summary().entries_replayed,
+            lazy.summary().entries_replayed
+        );
+        assert_eq!(full.summary().steps_executed, lazy.summary().steps_executed);
+
+        // Settling the session yields a valid accounting and primes the
+        // cache for later checks.
+        let cost = session
+            .finish(
+                lazy.machine(),
+                bob.snapshots(),
+                &mut cache,
+                avm_compress::CompressionLevel::Default,
+            )
+            .unwrap();
+        assert!(cost.manifest_bytes > 0);
+        assert_eq!(cache.len(), cost.fetched.len());
     }
 }

@@ -229,6 +229,12 @@ pub fn build_state_tree_uncached(machine: &Machine) -> MerkleTree {
 #[derive(Debug, Clone, Default)]
 pub struct StateTreeCache {
     tree: Option<MerkleTree>,
+    /// [`Machine::state_version`] at the last refresh.  While it is
+    /// unchanged, the three header leaves (CPU, devices, control word) are
+    /// guaranteed unchanged too, so refresh skips reserialising and
+    /// rehashing them — pure-memory workloads (the `fig6inc` benchmark, a
+    /// guest idling between captures) then pay only for dirty page leaves.
+    header_version: Option<u64>,
 }
 
 impl StateTreeCache {
@@ -243,6 +249,7 @@ impl StateTreeCache {
     /// clearing dirty bits without refreshing.
     pub fn invalidate(&mut self) {
         self.tree = None;
+        self.header_version = None;
     }
 
     /// The cached tree, if one has been built (for inclusion proofs).
@@ -252,23 +259,30 @@ impl StateTreeCache {
 
     /// Synchronises the cached tree with `machine` and returns the root.
     ///
-    /// The three header leaves are always re-derived (they are tiny); page
-    /// and block leaves are re-derived only where the machine's dirty bits
-    /// say the contents may have changed since the last refresh.
+    /// Page and block leaves are re-derived only where the machine's dirty
+    /// bits say the contents may have changed since the last refresh.  The
+    /// three header leaves (CPU, devices, control word) are re-derived only
+    /// when [`Machine::state_version`] moved since the last refresh — the
+    /// version is a conservative change counter over exactly the state those
+    /// leaves cover, so an unchanged version proves the serialised headers
+    /// (and hence their hashes) are identical.
     pub fn refresh(&mut self, machine: &Machine) -> Digest {
         let mem = machine.memory();
         let disk = &machine.devices().disk;
         let leaf_count = 3 + mem.page_count() + disk.block_count();
+        let version = machine.state_version();
         match &mut self.tree {
             Some(tree) if tree.leaf_count() == leaf_count => {
-                let header = header_leaves(machine);
                 let dirty_pages = mem.dirty_pages();
                 let dirty_blocks = disk.dirty_blocks();
                 let mut updates: Vec<(usize, Digest)> =
                     Vec::with_capacity(3 + dirty_pages.len() + dirty_blocks.len());
-                updates.push((0, header[0]));
-                updates.push((1, header[1]));
-                updates.push((2, header[2]));
+                if self.header_version != Some(version) {
+                    let header = header_leaves(machine);
+                    updates.push((0, header[0]));
+                    updates.push((1, header[1]));
+                    updates.push((2, header[2]));
+                }
                 for i in dirty_pages {
                     updates.push((3 + i, mem.page_hash(i).expect("dirty page in range")));
                 }
@@ -281,12 +295,14 @@ impl StateTreeCache {
                 }
                 let ok = tree.update_leaf_hashes(&updates);
                 debug_assert!(ok, "state tree leaf indices in range");
+                self.header_version = Some(version);
                 tree.root()
             }
             _ => {
                 let tree = build_state_tree(machine);
                 let root = tree.root();
                 self.tree = Some(tree);
+                self.header_version = Some(version);
                 root
             }
         }
@@ -316,6 +332,16 @@ pub fn capture_with_cache(
     id: u64,
     full_memory: bool,
 ) -> Snapshot {
+    // A partially-resident machine (on-demand audits) pairs staged authentic
+    // *hashes* with stale raw *contents*; capturing it would intern those
+    // stale bytes under authentic digests and poison every store the
+    // snapshot is pushed into.  Recording machines never stage, so this is
+    // loud protection against misuse, not a reachable runtime state.
+    assert_eq!(
+        machine.memory().staged_page_count() + machine.devices().disk.staged_block_count(),
+        0,
+        "cannot capture a machine with staged demand-paged state"
+    );
     let state_root = cache.refresh(machine);
     let mem = machine.memory();
     // The leaf hashes are memoised by the VM (and fresh after the refresh
@@ -356,8 +382,10 @@ pub fn capture_with_cache(
         halted: machine.is_halted(),
         state_root,
     };
-    machine.memory_mut().clear_dirty();
-    machine.devices_mut().disk.clear_dirty();
+    // clear_dirty_tracking (not devices_mut + clear_dirty) so an idle
+    // machine's state version stays put and the next refresh can skip the
+    // header leaves.
+    machine.clear_dirty_tracking();
     snapshot
 }
 
@@ -475,6 +503,39 @@ pub type TransferCost = CompressionStats;
 
 /// An ordered collection of snapshots from one execution, backed by a
 /// content-addressed payload pool (see the module docs).
+///
+/// This is the reproduction of §4.4's snapshot machinery on the recorder
+/// side and §3.5's download models on the auditor side: push captures as
+/// they are taken, then either [`materialize`](SnapshotStore::materialize) a
+/// full download (authenticated against the recorded Merkle root), price it
+/// with [`transfer_cost_upto`](SnapshotStore::transfer_cost_upto), or go
+/// digest-addressed via [`chain_manifest_upto`](SnapshotStore::chain_manifest_upto)
+/// / [`serve_blobs`](SnapshotStore::serve_blobs) (see [`crate::ondemand`]).
+///
+/// ```
+/// use avm_core::snapshot::{capture, SnapshotStore};
+/// use avm_compress::CompressionLevel;
+/// use avm_vm::bytecode::assemble;
+/// use avm_vm::{GuestRegistry, Machine, VmImage};
+///
+/// let image = VmImage::bytecode("doc", 64 * 1024, assemble("halt", 0).unwrap(), 0, 0);
+/// let registry = GuestRegistry::new();
+/// let mut machine = Machine::from_image(&image, &registry).unwrap();
+/// machine.memory_mut().write_u8(0x9000, 7).unwrap();
+///
+/// // Record side: capture a full snapshot; the store interns payloads by
+/// // SHA-256, so the mostly-zero guest stores far less than it captured.
+/// let mut store = SnapshotStore::new();
+/// store.push(capture(&mut machine, 0, true));
+/// assert!(store.stored_payload_bytes() < store.logical_payload_bytes());
+///
+/// // Audit side: a full download reconstructs bit-identical state (the
+/// // recorded state root is verified internally) at a measurable cost.
+/// let restored = store.materialize(0, &image, &registry).unwrap();
+/// assert_eq!(restored.state_digest(), machine.state_digest());
+/// let cost = store.transfer_cost_upto(0, CompressionLevel::Default);
+/// assert!(cost.compressed_bytes < cost.raw_bytes);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotStore {
     snapshots: Vec<StoredSnapshot>,
@@ -578,12 +639,14 @@ impl SnapshotStore {
     /// 0 when the chain holds no full dump.  Computed once per traversal, so
     /// the accounting and materialization walks stay O(chain).
     ///
-    /// This single base index drives both [`SnapshotStore::materialize`] and
-    /// the transfer accounting, so the two can never disagree about which
-    /// sections an auditor must download.  `upto_id` may exceed the store
-    /// (an untrusted log can reference snapshot ids the store never saw);
-    /// the range is clamped so the accounting entry points stay total.
-    fn memory_base(&self, upto_id: u64) -> usize {
+    /// This single base index drives [`SnapshotStore::materialize`], the
+    /// transfer accounting and the on-demand chain manifest
+    /// ([`SnapshotStore::chain_manifest_upto`]), so they can never disagree
+    /// about which sections an auditor must download.  `upto_id` may exceed
+    /// the store (an untrusted log can reference snapshot ids the store
+    /// never saw); the range is clamped so the accounting entry points stay
+    /// total.
+    pub(crate) fn memory_base(&self, upto_id: u64) -> usize {
         let end = (upto_id as usize)
             .saturating_add(1)
             .min(self.snapshots.len());
@@ -744,8 +807,7 @@ impl SnapshotStore {
             .restore_volatile(&target.dev_state)
             .map_err(CoreError::Vm)?;
         machine.set_control_state(target.step, target.halted, false);
-        machine.memory_mut().clear_dirty();
-        machine.devices_mut().disk.clear_dirty();
+        machine.clear_dirty_tracking();
         consumed += target.cpu_state.len() as u64 + target.dev_state.len() as u64;
 
         let root = compute_state_root(&machine);
@@ -917,6 +979,21 @@ mod tests {
             // Or the forged bytes were applied and authentication caught it.
             Err(e) => assert!(matches!(e, CoreError::Snapshot(_))),
         }
+    }
+
+    /// A partially-resident (demand-paged) machine must never be captured:
+    /// it would intern stale raw contents under authentic digests and
+    /// poison the content-addressed pool.
+    #[test]
+    #[should_panic(expected = "staged demand-paged state")]
+    fn capture_of_partially_resident_machine_is_rejected() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let authentic = vec![9u8; PAGE_SIZE];
+        let hash = sha256(&authentic);
+        m.memory_mut().stage_lazy_page(3, authentic, hash).unwrap();
+        let _ = capture(&mut m, 0, true);
     }
 
     #[test]
@@ -1132,6 +1209,44 @@ mod tests {
         cache.invalidate();
         assert_eq!(cache.refresh(&m), before);
         assert!(cache.tree().is_some());
+    }
+
+    /// The header-leaf skip must never miss a header change: device-state
+    /// mutations that dirty no page (an injected packet, a console write)
+    /// still have to show up in the next refreshed root, while refreshes
+    /// with no header activity at all stay correct too.
+    #[test]
+    fn header_leaves_skip_is_sound() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut cache = StateTreeCache::new();
+        run_until_idle(&mut m);
+        capture_with_cache(&mut m, &mut cache, 0, true);
+
+        // Idle machine: repeated refreshes, version unchanged, root stable
+        // and equal to a full rebuild.
+        let v = m.state_version();
+        let r1 = cache.refresh(&m);
+        assert_eq!(m.state_version(), v);
+        assert_eq!(r1, build_state_tree_uncached(&m).root());
+        assert_eq!(cache.refresh(&m), r1);
+
+        // A packet injection changes only volatile device state (the NIC rx
+        // queue) — no page is dirtied.  The refresh must pick it up.
+        m.inject_packet(vec![0xAB, 0xCD]);
+        let r2 = cache.refresh(&m);
+        assert_ne!(r1, r2, "injected packet must change the header leaves");
+        assert_eq!(r2, build_state_tree_uncached(&m).root());
+
+        // Memory-only writes between refreshes: header version is untouched
+        // (the skip engages) and the root still matches a rebuild.
+        m.memory_mut().write_u8(0x9100, 9).unwrap();
+        let v2 = m.state_version();
+        let r3 = cache.refresh(&m);
+        assert_eq!(m.state_version(), v2);
+        assert_ne!(r2, r3);
+        assert_eq!(r3, build_state_tree_uncached(&m).root());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! This crate implements all of them from scratch so the rest of the
 //! workspace has no external cryptographic dependencies:
 //!
-//! * [`sha256`] — SHA-256 (FIPS 180-4) with incremental hashing.
+//! * [`mod@sha256`] — SHA-256 (FIPS 180-4) with incremental hashing.
 //! * [`bignum`] — arbitrary-precision unsigned integers (the numeric core).
 //! * [`rsa`] — RSA keypairs, PKCS#1 v1.5-style signing and verification,
 //!   including the 768-bit keys the paper's evaluation uses.

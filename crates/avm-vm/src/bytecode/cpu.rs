@@ -57,7 +57,7 @@ impl BytecodeCpu {
         self.regs[idx]
     }
 
-    fn fetch(&self, mem: &GuestMemory) -> VmResult<(Instruction, u64)> {
+    fn fetch(&self, mem: &mut GuestMemory) -> VmResult<(Instruction, u64)> {
         let available = (mem.size().saturating_sub(self.pc)) as usize;
         let window = available.min(MAX_INSTRUCTION_LEN);
         if window == 0 {
@@ -425,7 +425,7 @@ mod tests {
 
     #[test]
     fn memory_loads_and_stores() {
-        let (cpu, mem, _) = run_to_halt(
+        let (cpu, mut mem, _) = run_to_halt(
             r"
                 movi r1, 0x4000
                 movi r2, 0xabcd
@@ -451,7 +451,7 @@ mod tests {
 
     #[test]
     fn disk_roundtrip_through_guest() {
-        let (_, mem, dev) = run_to_halt(
+        let (_, mut mem, dev) = run_to_halt(
             r#"
                 movi r1, src
                 movi r2, 0          ; disk offset

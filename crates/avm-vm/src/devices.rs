@@ -15,7 +15,7 @@
 //! * The **console** is an output-only diagnostic channel.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use avm_crypto::sha256::{sha256, Digest};
 use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
@@ -163,6 +163,12 @@ impl InputQueue {
 ///
 /// Initial contents come from the VM image; because the guest is
 /// deterministic, the disk never needs to be logged — only snapshotted.
+///
+/// Like [`crate::GuestMemory`], the disk supports demand paging for
+/// on-demand audits (§3.5): [`Disk::stage_lazy_block`] stages authentic
+/// at-snapshot contents that are installed the moment the guest first reads
+/// or writes the block, with [`Disk::block_hash`] reporting the staged hash
+/// throughout so state roots stay correct before the transfer happens.
 #[derive(Debug, Clone)]
 pub struct Disk {
     data: Vec<u8>,
@@ -171,6 +177,10 @@ pub struct Disk {
     /// same contract as `GuestMemory`'s page-hash cache: validity tracks
     /// content changes, never snapshot boundaries).
     hash_cache: RefCell<Vec<Option<Digest>>>,
+    /// Authentic contents staged for demand paging, keyed by block index.
+    staged: HashMap<usize, Vec<u8>>,
+    /// Block indices installed from `staged`, in first-touch order.
+    faulted: Vec<usize>,
     /// Sectors read by the guest (statistics only).
     pub reads: u64,
     /// Sectors written by the guest (statistics only).
@@ -185,6 +195,8 @@ impl Disk {
             data: vec![0u8; blocks * DISK_BLOCK_SIZE],
             dirty: vec![false; blocks],
             hash_cache: RefCell::new(vec![None; blocks]),
+            staged: HashMap::new(),
+            faulted: Vec::new(),
             reads: 0,
             writes: 0,
         }
@@ -223,9 +235,29 @@ impl Disk {
         Ok(())
     }
 
+    /// Installs staged blocks overlapping `[offset, offset+len)` (demand
+    /// paging; mirrors `GuestMemory::fault_in_range`).
+    fn fault_in_range(&mut self, offset: u64, len: usize) {
+        if self.staged.is_empty() || len == 0 {
+            return;
+        }
+        let Some(end) = (offset as usize).checked_add(len - 1) else {
+            return;
+        };
+        let first = offset as usize / DISK_BLOCK_SIZE;
+        let last = (end / DISK_BLOCK_SIZE).min(self.dirty.len().saturating_sub(1));
+        for b in first..=last {
+            if let Some(content) = self.staged.remove(&b) {
+                self.data[b * DISK_BLOCK_SIZE..(b + 1) * DISK_BLOCK_SIZE].copy_from_slice(&content);
+                self.faulted.push(b);
+            }
+        }
+    }
+
     /// Reads `buf.len()` bytes at byte `offset`.
     pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> VmResult<()> {
         self.check(offset, buf.len())?;
+        self.fault_in_range(offset, buf.len());
         buf.copy_from_slice(&self.data[offset as usize..offset as usize + buf.len()]);
         self.reads += 1;
         Ok(())
@@ -234,6 +266,7 @@ impl Disk {
     /// Writes `data` at byte `offset`, marking touched blocks dirty.
     pub fn write(&mut self, offset: u64, data: &[u8]) -> VmResult<()> {
         self.check(offset, data.len())?;
+        self.fault_in_range(offset, data.len());
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         let first = offset as usize / DISK_BLOCK_SIZE;
         let last = (offset as usize + data.len().max(1) - 1) / DISK_BLOCK_SIZE;
@@ -260,6 +293,8 @@ impl Disk {
             return Err(VmError::CorruptState("disk block restore out of range"));
         }
         self.data[idx * DISK_BLOCK_SIZE..(idx + 1) * DISK_BLOCK_SIZE].copy_from_slice(content);
+        // A wholesale overwrite supersedes staged contents; no fault needed.
+        self.staged.remove(&idx);
         self.dirty[idx] = true;
         self.hash_cache.get_mut()[idx] = None;
         Ok(())
@@ -289,6 +324,36 @@ impl Disk {
     /// Clears all dirty bits.
     pub fn clear_dirty(&mut self) {
         self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    // --- Demand paging (on-demand audits, §3.5) --------------------------
+
+    /// Stages authentic contents for block `idx` to be installed on first
+    /// access, seeding the hash cache with `hash` (the SHA-256 of `content`,
+    /// verified by the audit layer before staging).  Mirrors
+    /// [`crate::GuestMemory::stage_lazy_page`].
+    pub fn stage_lazy_block(&mut self, idx: usize, content: Vec<u8>, hash: Digest) -> VmResult<()> {
+        if content.len() != DISK_BLOCK_SIZE {
+            return Err(VmError::CorruptState("staged disk block has wrong size"));
+        }
+        if idx >= self.block_count() {
+            return Err(VmError::CorruptState(
+                "staged disk block index out of range",
+            ));
+        }
+        self.hash_cache.get_mut()[idx] = Some(hash);
+        self.staged.insert(idx, content);
+        Ok(())
+    }
+
+    /// Block indices faulted in from staging so far, in first-touch order.
+    pub fn faulted_blocks(&self) -> &[usize] {
+        &self.faulted
+    }
+
+    /// Number of staged blocks not yet touched.
+    pub fn staged_block_count(&self) -> usize {
+        self.staged.len()
     }
 }
 
@@ -533,6 +598,44 @@ mod tests {
         for i in 0..disk.block_count() {
             assert_eq!(disk.block_hash(i).unwrap(), sha256(disk.block(i).unwrap()));
         }
+    }
+
+    #[test]
+    fn staged_block_faults_in_on_access() {
+        let mut disk = Disk::new(3 * DISK_BLOCK_SIZE as u64);
+        let mut authentic = vec![0u8; DISK_BLOCK_SIZE];
+        authentic[0] = 0x55;
+        let hash = sha256(&authentic);
+        disk.stage_lazy_block(1, authentic.clone(), hash).unwrap();
+        // Hash reports the staged contents; raw block is still stale.
+        assert_eq!(disk.block_hash(1).unwrap(), hash);
+        assert_eq!(disk.block(1).unwrap()[0], 0);
+        assert_eq!(disk.staged_block_count(), 1);
+        // A read faults it in without marking it dirty.
+        let mut buf = [0u8; 1];
+        disk.read(DISK_BLOCK_SIZE as u64, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x55);
+        assert_eq!(disk.faulted_blocks(), &[1]);
+        assert!(disk.dirty_blocks().is_empty());
+        assert_eq!(disk.block_hash(1).unwrap(), hash);
+        // A partial write to another staged block lands on authentic bytes.
+        let mut b2 = vec![0u8; DISK_BLOCK_SIZE];
+        b2[10] = 0x77;
+        disk.stage_lazy_block(2, b2.clone(), sha256(&b2)).unwrap();
+        disk.write(2 * DISK_BLOCK_SIZE as u64, &[0x11]).unwrap();
+        assert_eq!(disk.faulted_blocks(), &[1, 2]);
+        assert_eq!(disk.block(2).unwrap()[10], 0x77);
+        assert_eq!(disk.block(2).unwrap()[0], 0x11);
+        assert_eq!(disk.dirty_blocks(), vec![2]);
+        // set_block drops staging without recording a fault.
+        let mut disk2 = Disk::new(DISK_BLOCK_SIZE as u64);
+        disk2.stage_lazy_block(0, authentic.clone(), hash).unwrap();
+        disk2.set_block(0, &vec![1u8; DISK_BLOCK_SIZE]).unwrap();
+        assert!(disk2.faulted_blocks().is_empty());
+        assert_eq!(disk2.staged_block_count(), 0);
+        // Validation.
+        assert!(disk2.stage_lazy_block(5, authentic.clone(), hash).is_err());
+        assert!(disk2.stage_lazy_block(0, vec![1, 2], hash).is_err());
     }
 
     #[test]

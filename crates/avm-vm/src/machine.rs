@@ -77,6 +77,11 @@ pub struct Machine {
     halted: bool,
     waiting_clock: bool,
     pending: VecDeque<VmExit>,
+    /// Bumped on every operation that may change CPU state, volatile device
+    /// state or the control word — the three "header" leaves of the Merkle
+    /// state tree.  `StateTreeCache::refresh` skips reserialising and
+    /// rehashing those leaves while the version is unchanged.
+    state_version: u64,
 }
 
 impl Machine {
@@ -90,6 +95,7 @@ impl Machine {
             halted: false,
             waiting_clock: false,
             pending: VecDeque::new(),
+            state_version: 0,
         }
     }
 
@@ -129,6 +135,16 @@ impl Machine {
         self.step_count
     }
 
+    /// A conservative change counter over CPU state, volatile device state
+    /// and the control word (everything the state tree's header leaves
+    /// cover).  Guest memory writes do *not* bump it — pages have their own
+    /// dirty bits.  While two observations return the same version, the
+    /// header leaves are guaranteed unchanged; the converse need not hold
+    /// (a bump does not imply an actual change).
+    pub fn state_version(&self) -> u64 {
+        self.state_version
+    }
+
     /// True once the guest has halted.
     pub fn is_halted(&self) -> bool {
         self.halted
@@ -156,12 +172,30 @@ impl Machine {
     }
 
     /// Mutable access to device state.
+    ///
+    /// Bumps the state version: volatile device state is part of the Merkle
+    /// tree's header leaves and the caller may change it through this
+    /// handle.
     pub fn devices_mut(&mut self) -> &mut DeviceState {
+        self.state_version += 1;
         &mut self.dev
+    }
+
+    /// Clears memory and disk dirty tracking without bumping the state
+    /// version.
+    ///
+    /// Dirty bits are bookkeeping, not machine state — they appear in no
+    /// header leaf — so snapshot capture and restore paths use this instead
+    /// of reaching through [`Machine::devices_mut`] (which conservatively
+    /// assumes device state may change).
+    pub fn clear_dirty_tracking(&mut self) {
+        self.mem.clear_dirty();
+        self.dev.disk.clear_dirty();
     }
 
     /// Runs the machine until an exit or until `stop` is reached.
     pub fn run(&mut self, stop: StopCondition) -> VmResult<VmExit> {
+        self.state_version += 1;
         if let Some(e) = self.pending.pop_front() {
             return Ok(e);
         }
@@ -204,6 +238,7 @@ impl Machine {
         if !self.waiting_clock {
             return Err(VmError::UnexpectedHostResponse);
         }
+        self.state_version += 1;
         self.dev.clock.provide(value)?;
         self.waiting_clock = false;
         Ok(())
@@ -214,12 +249,14 @@ impl Machine {
     /// Returns the step count at which the injection happened — the stamp the
     /// AVMM records so replay can re-inject at the same point.
     pub fn inject_packet(&mut self, data: Vec<u8>) -> u64 {
+        self.state_version += 1;
         self.dev.nic.inject(data);
         self.step_count
     }
 
     /// Injects a local input event (keyboard/mouse).
     pub fn inject_input(&mut self, ev: InputEvent) -> u64 {
+        self.state_version += 1;
         self.dev.input.inject(ev);
         self.step_count
     }
@@ -231,11 +268,13 @@ impl Machine {
 
     /// Restores CPU state.
     pub fn restore_cpu_state(&mut self, bytes: &[u8]) -> VmResult<()> {
+        self.state_version += 1;
         self.cpu.restore_state(bytes)
     }
 
     /// Restores the execution-control flags saved alongside snapshots.
     pub fn set_control_state(&mut self, step_count: u64, halted: bool, waiting_clock: bool) {
+        self.state_version += 1;
         self.step_count = step_count;
         self.halted = halted;
         self.waiting_clock = waiting_clock;
@@ -247,6 +286,12 @@ impl Machine {
     ///
     /// This is the value the AVMM folds into snapshot records; two machines
     /// with equal digests are (up to hash collisions) in identical states.
+    ///
+    /// Hashes *raw* contents, so it must not be used on a partially-resident
+    /// machine (one with staged, not-yet-faulted pages or blocks from
+    /// [`crate::GuestMemory::stage_lazy_page`]); compare Merkle state roots
+    /// there instead — they are derived from the per-leaf hash caches, which
+    /// demand paging keeps authentic.
     pub fn state_digest(&self) -> Digest {
         let mut h = Sha256::new();
         h.update(b"avm-machine-state-v1");
@@ -434,6 +479,27 @@ mod tests {
         // Different inputs produce a different execution.
         let c = run_once(&[5, 10, 15, 20, 25, 30, 35, 40], 30, b"data");
         assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn state_version_tracks_header_state_mutations() {
+        let mut m = machine_with_program("idle\nhalt");
+        let v0 = m.state_version();
+        // Pure memory writes do not bump the version (pages have dirty bits).
+        m.memory_mut().write_u8(0x900, 1).unwrap();
+        assert_eq!(m.state_version(), v0);
+        // Clearing dirty tracking is bookkeeping, not a state change.
+        m.clear_dirty_tracking();
+        assert_eq!(m.state_version(), v0);
+        // Anything that can touch CPU/device/control state bumps it.
+        m.inject_packet(vec![1]);
+        let v1 = m.state_version();
+        assert!(v1 > v0);
+        m.run(StopCondition::Unbounded).unwrap();
+        assert!(m.state_version() > v1);
+        let v2 = m.state_version();
+        m.devices_mut();
+        assert!(m.state_version() > v2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Paged guest memory with dirty-page tracking and cached page hashes.
+//! Paged guest memory with dirty-page tracking, cached page hashes and
+//! demand paging for on-demand audits.
 //!
 //! Incremental snapshots (paper §4.4) "only contain the state that has
 //! changed since the last snapshot"; the AVMM therefore needs to know which
@@ -12,8 +13,29 @@
 //! content changes, not snapshot boundaries — so state-root computations
 //! only rehash pages written since the previous root, no matter how often
 //! dirty tracking is reset around them.
+//!
+//! # Demand paging (§3.5 on-demand audits)
+//!
+//! An auditor "can either download an entire snapshot or incrementally
+//! request the parts of the state that are accessed during replay" (paper
+//! §3.5).  [`GuestMemory::stage_lazy_page`] supports the second mode: a
+//! staged page carries its authentic at-snapshot contents *beside* the page
+//! array together with the content hash, and the contents are installed
+//! ("faulted in") the moment the guest first reads or writes any byte of the
+//! page.  Until then the page array holds whatever the local reference image
+//! produced, while [`GuestMemory::page_hash`] already reports the staged
+//! (authentic) hash — so Merkle state roots are correct at every point even
+//! though untouched contents were never transferred.
+//! [`GuestMemory::faulted_pages`] records the first-touch order; the audit
+//! layer turns it into the exact set of blobs the auditor had to download.
+//!
+//! Caveat: while pages remain staged, [`GuestMemory::page`] (raw contents)
+//! returns the stale local bytes.  Root computations must therefore go
+//! through the hash cache (as [`GuestMemory::page_hash`] and the state-tree
+//! builders do), never through re-hashing raw pages.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 use avm_crypto::sha256::{sha256, Digest};
 
@@ -30,6 +52,11 @@ pub struct GuestMemory {
     /// Lazily filled SHA-256 per page; a slot is reset to `None` whenever the
     /// page is written (interior mutability so reads can fill it).
     hash_cache: RefCell<Vec<Option<Digest>>>,
+    /// Authentic contents staged for demand paging, keyed by page index;
+    /// installed into `pages` on first access (see the module docs).
+    staged: HashMap<usize, Vec<u8>>,
+    /// Page indices installed from `staged`, in first-touch order.
+    faulted: Vec<usize>,
 }
 
 impl GuestMemory {
@@ -40,6 +67,8 @@ impl GuestMemory {
             pages: (0..n_pages).map(|_| Box::new([0u8; PAGE_SIZE])).collect(),
             dirty: vec![false; n_pages],
             hash_cache: RefCell::new(vec![None; n_pages]),
+            staged: HashMap::new(),
+            faulted: Vec::new(),
         }
     }
 
@@ -74,9 +103,40 @@ impl GuestMemory {
         Ok(())
     }
 
+    /// Installs any staged pages overlapping `[addr, addr+len)` (demand
+    /// paging, see the module docs).  Touching a staged page replaces the
+    /// stale local contents with the authentic staged bytes *before* the
+    /// access proceeds, and records the page in the fault list.  Out-of-range
+    /// addresses are ignored here; the caller's bounds check reports them.
+    fn fault_in_range(&mut self, addr: u64, len: usize) {
+        if self.staged.is_empty() || len == 0 {
+            return;
+        }
+        let Some(end) = (addr as usize).checked_add(len - 1) else {
+            return;
+        };
+        let first = addr as usize / PAGE_SIZE;
+        let last = (end / PAGE_SIZE).min(self.pages.len().saturating_sub(1));
+        for p in first..=last {
+            if let Some(content) = self.staged.remove(&p) {
+                self.pages[p].copy_from_slice(&content);
+                self.faulted.push(p);
+                // The hash cache keeps the hash seeded at staging time: the
+                // installed contents equal it by construction.  The dirty
+                // bit stays untouched — the page equals its at-snapshot
+                // contents, nothing changed since the capture point.
+            }
+        }
+    }
+
     /// Reads `buf.len()` bytes starting at `addr`.
-    pub fn read(&self, addr: u64, buf: &mut [u8]) -> VmResult<()> {
+    ///
+    /// Takes `&mut self` because a read may fault in a staged page (see
+    /// [`GuestMemory::stage_lazy_page`]); for fully resident memory it
+    /// mutates nothing.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> VmResult<()> {
         self.check(addr, buf.len())?;
+        self.fault_in_range(addr, buf.len());
         let mut offset = addr as usize;
         let mut copied = 0usize;
         while copied < buf.len() {
@@ -93,6 +153,9 @@ impl GuestMemory {
     /// Writes `data` starting at `addr`, marking touched pages dirty.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> VmResult<()> {
         self.check(addr, data.len())?;
+        // A partial-page write needs the authentic surrounding bytes, so
+        // writes fault staged pages in just like reads do.
+        self.fault_in_range(addr, data.len());
         let mut offset = addr as usize;
         let mut copied = 0usize;
         while copied < data.len() {
@@ -109,14 +172,14 @@ impl GuestMemory {
     }
 
     /// Reads a vector of `len` bytes at `addr`.
-    pub fn read_vec(&self, addr: u64, len: usize) -> VmResult<Vec<u8>> {
+    pub fn read_vec(&mut self, addr: u64, len: usize) -> VmResult<Vec<u8>> {
         let mut buf = vec![0u8; len];
         self.read(addr, &mut buf)?;
         Ok(buf)
     }
 
     /// Reads one byte.
-    pub fn read_u8(&self, addr: u64) -> VmResult<u8> {
+    pub fn read_u8(&mut self, addr: u64) -> VmResult<u8> {
         let mut b = [0u8; 1];
         self.read(addr, &mut b)?;
         Ok(b[0])
@@ -128,7 +191,7 @@ impl GuestMemory {
     }
 
     /// Reads a little-endian `u64`.
-    pub fn read_u64(&self, addr: u64) -> VmResult<u64> {
+    pub fn read_u64(&mut self, addr: u64) -> VmResult<u64> {
         let mut b = [0u8; 8];
         self.read(addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
@@ -163,6 +226,9 @@ impl GuestMemory {
             .get_mut(idx)
             .ok_or(VmError::CorruptState("snapshot page index out of range"))?;
         page.copy_from_slice(data);
+        // A wholesale overwrite supersedes any staged contents without
+        // needing them — drop the staging, record no fault.
+        self.staged.remove(&idx);
         self.dirty[idx] = true;
         self.hash_cache.get_mut()[idx] = None;
         Ok(())
@@ -198,6 +264,39 @@ impl GuestMemory {
     pub fn mark_all_dirty(&mut self) {
         self.dirty.iter_mut().for_each(|d| *d = true);
     }
+
+    // --- Demand paging (on-demand audits, §3.5) --------------------------
+
+    /// Stages authentic contents for page `idx` to be installed on first
+    /// access, and seeds the hash cache with `hash` so state roots computed
+    /// before the page is touched already reflect the staged contents.
+    ///
+    /// The caller is responsible for `hash` being the SHA-256 of `content`
+    /// (the audit layer verifies this before staging — it is the same check
+    /// a downloaded blob gets).  The dirty bit is not set: a staged page
+    /// *is* the at-snapshot state, merely not transferred yet.
+    pub fn stage_lazy_page(&mut self, idx: usize, content: Vec<u8>, hash: Digest) -> VmResult<()> {
+        if content.len() != PAGE_SIZE {
+            return Err(VmError::CorruptState("staged page has wrong size"));
+        }
+        if idx >= self.pages.len() {
+            return Err(VmError::CorruptState("staged page index out of range"));
+        }
+        self.hash_cache.get_mut()[idx] = Some(hash);
+        self.staged.insert(idx, content);
+        Ok(())
+    }
+
+    /// Page indices faulted in from staging so far, in first-touch order.
+    pub fn faulted_pages(&self) -> &[usize] {
+        &self.faulted
+    }
+
+    /// Number of staged pages not yet touched (their contents were never
+    /// needed, hence never transferred).
+    pub fn staged_page_count(&self) -> usize {
+        self.staged.len()
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +305,7 @@ mod tests {
 
     #[test]
     fn zeroed_on_creation() {
-        let mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        let mut mem = GuestMemory::new(2 * PAGE_SIZE as u64);
         assert_eq!(mem.size(), 2 * PAGE_SIZE as u64);
         assert_eq!(mem.page_count(), 2);
         assert_eq!(mem.read_u64(0).unwrap(), 0);
@@ -308,5 +407,73 @@ mod tests {
         assert_eq!(mem.read_u8(PAGE_SIZE as u64).unwrap(), 0xaa);
         assert_eq!(mem.read_u8(2 * PAGE_SIZE as u64 - 1).unwrap(), 0xbb);
         assert!(mem.set_page(9, &page).is_err());
+    }
+
+    #[test]
+    fn staged_page_reports_hash_before_contents() {
+        let mut mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        let authentic = vec![7u8; PAGE_SIZE];
+        let hash = sha256(&authentic);
+        mem.stage_lazy_page(1, authentic.clone(), hash).unwrap();
+        // The root-relevant hash is already the staged one, while the raw
+        // page still holds the local (stale) bytes.
+        assert_eq!(mem.page_hash(1).unwrap(), hash);
+        assert_eq!(mem.page(1).unwrap()[0], 0);
+        assert_eq!(mem.staged_page_count(), 1);
+        assert!(mem.faulted_pages().is_empty());
+        // First read faults the contents in.
+        assert_eq!(mem.read_u8(PAGE_SIZE as u64 + 5).unwrap(), 7);
+        assert_eq!(mem.faulted_pages(), &[1]);
+        assert_eq!(mem.staged_page_count(), 0);
+        assert_eq!(mem.page(1).unwrap()[0], 7);
+        // The page is not dirty: it equals its at-snapshot contents.
+        assert!(mem.dirty_pages().is_empty());
+        assert_eq!(mem.page_hash(1).unwrap(), hash);
+    }
+
+    #[test]
+    fn staged_page_faults_in_on_partial_write() {
+        let mut mem = GuestMemory::new(2 * PAGE_SIZE as u64);
+        let mut authentic = vec![0u8; PAGE_SIZE];
+        authentic[0] = 0xaa;
+        authentic[100] = 0xbb;
+        mem.stage_lazy_page(0, authentic.clone(), sha256(&authentic))
+            .unwrap();
+        // A partial write must land on top of the authentic bytes.
+        mem.write_u8(1, 0xcc).unwrap();
+        assert_eq!(mem.faulted_pages(), &[0]);
+        assert_eq!(mem.read_u8(0).unwrap(), 0xaa);
+        assert_eq!(mem.read_u8(1).unwrap(), 0xcc);
+        assert_eq!(mem.read_u8(100).unwrap(), 0xbb);
+        // Now the page *is* dirty (the write changed it) and the hash cache
+        // was invalidated by the write path.
+        assert_eq!(mem.dirty_pages(), vec![0]);
+        let mut expected = authentic;
+        expected[1] = 0xcc;
+        assert_eq!(mem.page_hash(0).unwrap(), sha256(&expected));
+    }
+
+    #[test]
+    fn wholesale_overwrite_drops_staging_without_fault() {
+        let mut mem = GuestMemory::new(PAGE_SIZE as u64);
+        let authentic = vec![9u8; PAGE_SIZE];
+        mem.stage_lazy_page(0, authentic.clone(), sha256(&authentic))
+            .unwrap();
+        let replacement = vec![3u8; PAGE_SIZE];
+        mem.set_page_from_slice(0, &replacement).unwrap();
+        // The staged contents were never needed: no fault recorded.
+        assert!(mem.faulted_pages().is_empty());
+        assert_eq!(mem.staged_page_count(), 0);
+        assert_eq!(mem.page_hash(0).unwrap(), sha256(&replacement));
+    }
+
+    #[test]
+    fn stage_lazy_page_validates_inputs() {
+        let mut mem = GuestMemory::new(PAGE_SIZE as u64);
+        assert!(mem
+            .stage_lazy_page(0, vec![0u8; 5], sha256(&[0u8; 5]))
+            .is_err());
+        let page = vec![0u8; PAGE_SIZE];
+        assert!(mem.stage_lazy_page(4, page.clone(), sha256(&page)).is_err());
     }
 }

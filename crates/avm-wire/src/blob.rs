@@ -1,0 +1,208 @@
+//! Digest-addressed blob transfer: the wire half of the hash-addressed
+//! snapshot download protocol (paper §3.5).
+//!
+//! An auditor reconstructing snapshot state does not need whole snapshot
+//! sections: state payloads (memory pages, disk blocks) are content-addressed
+//! by their SHA-256, so the auditor enumerates the digests a snapshot chain
+//! references and requests **only the digests it does not already hold** — a
+//! Venti-style content-addressed transfer.  This module defines the two
+//! messages of that exchange:
+//!
+//! * [`BlobRequest`] — auditor → operator: the list of 32-byte digests the
+//!   auditor is missing.
+//! * [`BlobResponse`] — operator → auditor: one payload per requested digest,
+//!   in request order (`None` where the operator does not hold the blob).
+//!
+//! The response deliberately does **not** echo the digests: the auditor must
+//! re-hash every received payload and compare against what it asked for
+//! (authentication against the digest, and transitively against the Merkle
+//! state root the digests came from), so repeating them would only inflate
+//! the transfer the experiments measure.
+//!
+//! The semantic layer — which digests to ask for, verification, caching —
+//! lives in `avm-core` (`ondemand` module); this module is only the byte
+//! format.
+
+use crate::{Decode, Encode, Reader, WireError, WireResult, Writer};
+
+/// Length of a content digest on the wire (SHA-256).
+pub const BLOB_DIGEST_LEN: usize = 32;
+
+/// A raw 32-byte content digest as carried on the wire.
+///
+/// `avm-wire` sits below `avm-crypto`, so the digest is a plain byte array
+/// here; `avm-core` converts to and from its typed `Digest`.
+pub type BlobDigest = [u8; BLOB_DIGEST_LEN];
+
+impl Encode for BlobDigest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self);
+    }
+}
+
+impl Decode for BlobDigest {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let raw = r.get_raw(BLOB_DIGEST_LEN)?;
+        let mut out = [0u8; BLOB_DIGEST_LEN];
+        out.copy_from_slice(raw);
+        Ok(out)
+    }
+}
+
+/// Auditor → operator: "send me the payloads for these digests".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlobRequest {
+    /// Digests the auditor does not hold, in the order it wants them served.
+    pub digests: Vec<BlobDigest>,
+}
+
+impl BlobRequest {
+    /// True when nothing is requested (every needed digest was cached).
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// Number of requested digests.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+}
+
+impl Encode for BlobRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.digests.len() as u64);
+        for d in &self.digests {
+            d.encode(w);
+        }
+    }
+}
+
+impl Decode for BlobRequest {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let n = r.get_varint()?;
+        // A digest is 32 bytes on the wire; a count that cannot fit in the
+        // remaining input is corrupt, and bounding it up front prevents
+        // attacker-controlled allocations.
+        let max = (r.remaining() / BLOB_DIGEST_LEN) as u64;
+        if n > max {
+            return Err(WireError::LengthOverflow { declared: n, max });
+        }
+        let mut digests = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            digests.push(BlobDigest::decode(r)?);
+        }
+        Ok(BlobRequest { digests })
+    }
+}
+
+/// Operator → auditor: the payloads for a [`BlobRequest`], in request order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlobResponse {
+    /// One entry per requested digest: the payload, or `None` when the
+    /// operator's store does not hold that digest (which an auditor treats
+    /// as the operator failing to substantiate its own snapshot).
+    pub blobs: Vec<Option<Vec<u8>>>,
+}
+
+impl BlobResponse {
+    /// Total payload bytes carried (excluding framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.blobs.iter().flatten().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl Encode for BlobResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.blobs.len() as u64);
+        for blob in &self.blobs {
+            blob.encode(w);
+        }
+    }
+}
+
+impl Decode for BlobResponse {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let n = r.get_varint()?;
+        // Every entry costs at least one tag byte.
+        let max = r.remaining() as u64;
+        if n > max {
+            return Err(WireError::LengthOverflow { declared: n, max });
+        }
+        let mut blobs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            blobs.push(Option::<Vec<u8>>::decode(r)?);
+        }
+        Ok(BlobResponse { blobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(fill: u8) -> BlobDigest {
+        [fill; BLOB_DIGEST_LEN]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = BlobRequest {
+            digests: vec![digest(1), digest(0xff), digest(0)],
+        };
+        assert_eq!(req.len(), 3);
+        assert!(!req.is_empty());
+        let bytes = req.encode_to_vec();
+        // varint count + 3 * 32 digest bytes.
+        assert_eq!(bytes.len(), 1 + 3 * BLOB_DIGEST_LEN);
+        assert_eq!(BlobRequest::decode_exact(&bytes).unwrap(), req);
+
+        let empty = BlobRequest::default();
+        assert!(empty.is_empty());
+        assert_eq!(
+            BlobRequest::decode_exact(&empty.encode_to_vec()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn response_roundtrip_and_payload_accounting() {
+        let resp = BlobResponse {
+            blobs: vec![Some(vec![9u8; 100]), None, Some(vec![])],
+        };
+        assert_eq!(resp.payload_bytes(), 100);
+        let bytes = resp.encode_to_vec();
+        assert_eq!(BlobResponse::decode_exact(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let req = BlobRequest {
+            digests: vec![digest(7), digest(8)],
+        };
+        let bytes = req.encode_to_vec();
+        assert!(BlobRequest::decode_exact(&bytes[..bytes.len() - 1]).is_err());
+        // A corrupt count larger than the remaining input is rejected
+        // before any allocation.
+        let mut corrupt = Vec::new();
+        crate::varint::write_varint(&mut corrupt, u64::MAX);
+        assert!(matches!(
+            BlobRequest::decode_exact(&corrupt).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_response_rejected() {
+        let resp = BlobResponse {
+            blobs: vec![Some(vec![1, 2, 3])],
+        };
+        let bytes = resp.encode_to_vec();
+        assert!(BlobResponse::decode_exact(&bytes[..bytes.len() - 1]).is_err());
+        let mut corrupt = Vec::new();
+        crate::varint::write_varint(&mut corrupt, u64::MAX);
+        assert!(matches!(
+            BlobResponse::decode_exact(&corrupt).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+}

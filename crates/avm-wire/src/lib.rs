@@ -15,16 +15,21 @@
 //!
 //! The [`Encode`] and [`Decode`] traits give each crate a uniform way to
 //! declare wire formats; [`Writer`] and [`Reader`] are the low-level cursors.
+//! On top of the primitives, [`blob`] defines the digest-addressed transfer
+//! messages ([`BlobRequest`]/[`BlobResponse`]) of the §3.5 snapshot download
+//! protocol; their semantics live in `avm-core`'s `ondemand` module.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blob;
 pub mod checksum;
 pub mod frame;
 pub mod reader;
 pub mod varint;
 pub mod writer;
 
+pub use blob::{BlobDigest, BlobRequest, BlobResponse, BLOB_DIGEST_LEN};
 pub use checksum::crc32;
 pub use frame::{read_frame, write_frame, FrameError, FRAME_MAGIC};
 pub use reader::Reader;

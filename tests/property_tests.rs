@@ -250,6 +250,148 @@ proptest! {
         prop_assert_eq!(store.stored_payload_bytes(), stored_before);
     }
 
+    /// On-demand (lazy, demand-paged) reconstruction is equivalent to a full
+    /// snapshot download under arbitrary interleavings of memory writes,
+    /// disk writes, packet-driven guest activity and full/incremental
+    /// captures: for every snapshot in the chain the lazily materialized
+    /// machine reaches the same state roots as the fully materialized one —
+    /// before and after replaying more work — and the auditor's persistent
+    /// blob cache never downloads the same digest twice across checks.
+    ///
+    /// Each op is `(kind, location, value)`: kind 0-2 writes guest memory
+    /// (in the guest-visible data region), kind 3-4 writes the disk, kind 5
+    /// injects a packet and runs the guest (which bumps a page selected by
+    /// the packet and mirrors it to disk), kind 6-7 takes a snapshot (full
+    /// when `value` is even).
+    #[test]
+    fn on_demand_replay_matches_full_materialization(
+        ops in proptest::collection::vec((0u8..8, any::<u16>(), any::<u8>()), 1..24)
+    ) {
+        use avm_core::ondemand::{materialize_on_demand, AuditorBlobCache};
+        use avm_core::snapshot::{compute_state_root, SnapshotStore};
+        use std::collections::HashSet;
+
+        // Guest: each packet's first byte selects one of 6 data pages; the
+        // guest bumps a counter there and mirrors 8 bytes to disk block
+        // (sel % 4).
+        let src = r"
+                movi r1, 0x7000     ; rx buffer
+                movi r2, 64
+                movi r5, 0x8000     ; data region base (page 8)
+            loop:
+                recv r0, r1, r2
+                cmp r0, r6
+                jne got
+                idle
+                jmp loop
+            got:
+                loadb r3, r1        ; page selector
+                movi r4, 4096
+                mul r3, r4
+                add r3, r5
+                load r7, r3
+                addi r7, 1
+                store r7, r3
+                movi r4, 8
+                loadb r8, r1
+                movi r9, 3
+                and r8, r9
+                movi r9, 4096
+                mul r8, r9
+                diskwr r8, r3, r4
+                jmp loop
+            ";
+        let pages = 16usize;
+        let image = VmImage::bytecode(
+            "ondemand-prop",
+            (pages * avm_vm::PAGE_SIZE) as u64,
+            assemble(src, 0).unwrap(),
+            0,
+            0,
+        )
+        .with_disk(vec![0u8; 4 * avm_vm::devices::DISK_BLOCK_SIZE]);
+        let registry = GuestRegistry::new();
+        let mut m = Machine::from_image(&image, &registry).unwrap();
+        let run_until_idle = |m: &mut Machine| loop {
+            match m.run(StopCondition::Unbounded).unwrap() {
+                VmExit::Idle | VmExit::Halted => break,
+                _ => {}
+            }
+        };
+        run_until_idle(&mut m);
+        let mut cache = StateTreeCache::new();
+        let mut store = SnapshotStore::new();
+        let mut captures = 0u64;
+        for (kind, loc, val) in ops {
+            match kind {
+                0..=2 => {
+                    // Stay inside the guest-visible data region so operator
+                    // tampering never corrupts the guest code.
+                    let addr = 0x8000 + (loc as u64 % 0x8000);
+                    m.memory_mut().write_u8(addr, val).unwrap();
+                }
+                3..=4 => {
+                    let off = loc as u64 % m.devices().disk.size();
+                    m.devices_mut().disk.write(off, &[val]).unwrap();
+                }
+                5 => {
+                    m.inject_packet(vec![val % 6]);
+                    run_until_idle(&mut m);
+                }
+                _ => {
+                    store.push(capture_with_cache(&mut m, &mut cache, captures, val % 2 == 0));
+                    captures += 1;
+                }
+            }
+        }
+        store.push(capture_with_cache(&mut m, &mut cache, captures, true));
+        captures += 1;
+
+        // One persistent auditor cache across every check; a digest fetched
+        // once must never be fetched again.
+        let mut auditor = AuditorBlobCache::new();
+        let mut ever_fetched: HashSet<avm_crypto::sha256::Digest> = HashSet::new();
+        for id in 0..captures {
+            let full = store.materialize(id, &image, &registry).unwrap();
+            let (mut lazy, session) =
+                materialize_on_demand(&store, id, &image, &registry, &auditor).unwrap();
+            prop_assert_eq!(
+                compute_state_root(&lazy),
+                compute_state_root(&full),
+                "starting root diverged at snapshot {}",
+                id
+            );
+            // Drive both machines identically past the snapshot.
+            let mut full = full;
+            for sel in [id as u8 % 6, (id as u8 + 2) % 6] {
+                lazy.inject_packet(vec![sel]);
+                full.inject_packet(vec![sel]);
+                run_until_idle(&mut lazy);
+                run_until_idle(&mut full);
+            }
+            prop_assert_eq!(
+                compute_state_root(&lazy),
+                compute_state_root(&full),
+                "post-replay root diverged at snapshot {}",
+                id
+            );
+            let cost = session
+                .finish(&lazy, &store, &mut auditor, CompressionLevel::Default)
+                .unwrap();
+            for digest in &cost.fetched {
+                prop_assert!(
+                    ever_fetched.insert(*digest),
+                    "digest {} was downloaded twice",
+                    digest.short_hex()
+                );
+            }
+            // Whatever was fetched is now cached.
+            for digest in &cost.fetched {
+                prop_assert!(auditor.contains(digest));
+            }
+        }
+    }
+
     /// The machine is deterministic: the same guest program with the same
     /// injected clock values always reaches the same state digest.
     #[test]
