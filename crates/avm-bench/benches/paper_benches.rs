@@ -206,6 +206,66 @@ fn bench_fig6_snapshot_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel chunk-hash stage: the scoped-thread worker pool versus a
+/// serial hash loop over the same dirty-chunk batch, plus the end-to-end
+/// `StateTreeCache::refresh` with a large dirty set (which routes its leaf
+/// hashing through the pool).  On a multi-core runner the pool beats the
+/// serial loop roughly by the worker count; on one core it ties.
+fn bench_parallel_chunk_hashing(c: &mut Criterion) {
+    use avm_bench::experiments::snapshot_machine;
+    use avm_core::snapshot::StateTreeCache;
+    use avm_crypto::parallel::sha256_batch;
+    use avm_crypto::sha256::sha256;
+    use avm_vm::{CHUNK_SIZE, PAGE_SIZE};
+
+    let mut group = c.benchmark_group("parallel_chunk_hashing");
+    group.sample_size(10);
+    // 4096 chunks (2 MiB) of non-trivial data, the dirty set of a busy
+    // large guest between two snapshots.
+    let chunks: Vec<Vec<u8>> = (0..4096usize)
+        .map(|i| {
+            (0..CHUNK_SIZE)
+                .map(|j| (i * 31 + j * 7) as u8)
+                .collect::<Vec<u8>>()
+        })
+        .collect();
+    let slices: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let serial: Vec<_> = slices.iter().map(|s| sha256(s)).collect();
+    assert_eq!(
+        sha256_batch(&slices),
+        serial,
+        "worker pool must be bit-identical to serial hashing"
+    );
+    group.bench_function("serial_sha256_4096x512B", |b| {
+        b.iter(|| slices.iter().map(|s| sha256(s)).collect::<Vec<_>>())
+    });
+    group.bench_function("worker_pool_sha256_4096x512B", |b| {
+        b.iter(|| sha256_batch(&slices))
+    });
+    // End to end: a refresh with 512 dirty chunks on a 1024-page guest.
+    let pages = 1024usize;
+    let mut machine = snapshot_machine(pages, 16);
+    let mut cache = StateTreeCache::new();
+    cache.refresh(&machine);
+    machine.clear_dirty_tracking();
+    let mut round = 0u8;
+    group.bench_function("refresh_512_dirty_chunks_1024p", |b| {
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            for p in 0..512usize {
+                machine
+                    .memory_mut()
+                    .write_u8((p * PAGE_SIZE) as u64, round)
+                    .unwrap();
+            }
+            let root = cache.refresh(&machine);
+            machine.clear_dirty_tracking();
+            root
+        })
+    });
+    group.finish();
+}
+
 /// Figures 5/6/8 cost model: derived from measured crypto and the host model.
 fn bench_fig568_host_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_fig6_fig8_host_model");
@@ -226,6 +286,7 @@ criterion_group!(
     bench_table1_cheat_detection,
     bench_fig7_framerate,
     bench_fig6_snapshot_incremental,
+    bench_parallel_chunk_hashing,
     bench_snapshot_dedup,
     bench_fig9_spotcheck,
     bench_fig568_host_model

@@ -71,9 +71,12 @@ fn main() {
             "ondemand" | "sec3.5" | "partialstate" => {
                 experiments::exp_ondemand(quick);
             }
+            "chunked" | "subpage" | "chunks" => {
+                experiments::exp_chunked(quick);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

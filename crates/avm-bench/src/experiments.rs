@@ -1017,8 +1017,8 @@ pub struct OnDemandResult {
     pub ondemand_raw: u64,
     /// Compressed size of the on-demand download.
     pub ondemand_compressed: u64,
-    /// Pages faulted in during the on-demand replay.
-    pub pages_faulted: u64,
+    /// Memory chunks faulted in during the on-demand replay.
+    pub chunks_faulted: u64,
     /// Staged (divergent) state the replay never touched — transfer saved.
     pub untouched_staged: u64,
     /// Blobs re-downloaded by an identical second check against the same
@@ -1211,7 +1211,7 @@ pub fn exp_ondemand(quick: bool) -> OnDemandResult {
         dedup_compressed: od_report.snapshot_transfer_dedup_compressed_bytes,
         ondemand_raw: cost.transfer_bytes(),
         ondemand_compressed: cost.transfer_compressed_bytes(),
-        pages_faulted: cost.pages_faulted,
+        chunks_faulted: cost.chunks_faulted,
         untouched_staged: cost.untouched_staged,
         warm_refetches,
         verdicts_agree: full_report.consistent == od_report.consistent
@@ -1227,12 +1227,341 @@ pub fn exp_ondemand(quick: bool) -> OnDemandResult {
         result.ondemand_compressed,
     );
     println!(
-        "on-demand faulted {} pages + {} blocks; {} staged divergent pages/blocks were never touched (transfer saved)",
-        cost.pages_faulted, cost.blocks_faulted, cost.untouched_staged,
+        "on-demand faulted {} chunks + {} blocks; {} staged divergent chunks/blocks were never touched (transfer saved)",
+        cost.chunks_faulted, cost.blocks_faulted, cost.untouched_staged,
     );
     println!(
         "warm-cache re-check fetched {} blobs; verdicts agree: {}",
         warm_refetches, result.verdicts_agree,
+    );
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-granular state pipeline: sub-page accounting end-to-end
+// ---------------------------------------------------------------------------
+
+/// Result of the chunk-granularity experiment: the same sparse-writer
+/// recording accounted at 512 B chunk granularity (what the pipeline does)
+/// and at 4 KiB page granularity (what it would have cost before the
+/// chunk refactor).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedResult {
+    /// Snapshots in the recorded chain.
+    pub snapshots: u64,
+    /// Logical bytes of the incremental snapshot chain, chunk-granular.
+    pub chunk_logical_bytes: u64,
+    /// What the same chain would have carried at page granularity (each
+    /// capture ships every page with at least one dirty chunk).
+    pub page_logical_bytes: u64,
+    /// Unique payload bytes the chunk-granular content pool holds.
+    pub chunk_stored_bytes: u64,
+    /// Unique payload bytes a page-granular pool would hold for the same
+    /// captures (shadow-interned page contents).
+    pub page_stored_bytes: u64,
+    /// On-demand replay download (manifest + faulted 512 B chunk blobs).
+    pub chunk_ondemand_bytes: u64,
+    /// Page-granular equivalent of the same replay: page-ref manifest plus
+    /// one whole page per faulted divergent page.
+    pub page_ondemand_bytes: u64,
+    /// Round trips of the spot check's batched on-demand blob exchange.
+    pub rtts_batched: u64,
+    /// Round trips a fault-at-a-time auditor would have paid.
+    pub rtts_unbatched: u64,
+    /// Modelled latency (µs) of the batched exchange under `TRANSFER_RTT`.
+    pub latency_batched_us: u64,
+    /// Modelled latency (µs) of the unbatched exchange.
+    pub latency_unbatched_us: u64,
+    /// Payload bytes freed by pruning the first half of the chain.
+    pub pruned_freed_bytes: u64,
+    /// Whether the on-demand spot check agreed with the full-download one.
+    pub verdicts_agree: bool,
+}
+
+/// A sparse writer: each packet bumps an 8-byte counter in the page selected
+/// by the payload (dirtying exactly one 512 B chunk) and mirrors it to one
+/// disk block — the workload §3.5/§6.12 predict benefits most from sub-page
+/// accountability.
+fn sparse_writer_image(pages: usize) -> avm_vm::VmImage {
+    use avm_vm::bytecode::assemble;
+    use avm_vm::devices::DISK_BLOCK_SIZE;
+    use avm_vm::{VmImage, PAGE_SIZE};
+    let src = r"
+            movi r1, 0x8000     ; rx buffer
+            movi r2, 64         ; max len
+            movi r5, 0x40000    ; touch region base (page 64)
+        loop:
+            recv r0, r1, r2
+            cmp r0, r6
+            jne got
+            idle
+            jmp loop
+        got:
+            loadb r3, r1, 5     ; page selector (body starts after the
+                                ; 5-byte 'host' addressing header)
+            movi r4, 4096
+            mul r3, r4
+            add r3, r5          ; target = base + sel * 4096
+            load r7, r3
+            addi r7, 1
+            store r7, r3        ; 8-byte bump: exactly one dirty chunk
+            movi r4, 8
+            loadb r8, r1, 6     ; disk block selector byte
+            movi r9, 4096
+            mul r8, r9
+            diskwr r8, r3, r4
+            jmp loop
+        ";
+    VmImage::bytecode(
+        "sparse-writer",
+        (pages * PAGE_SIZE) as u64,
+        assemble(src, 0).unwrap(),
+        0,
+        0,
+    )
+    .with_disk(vec![0u8; 8 * DISK_BLOCK_SIZE])
+}
+
+/// Chunk-granular state pipeline end-to-end: records a sparse writer with
+/// incremental snapshots and compares every stage — snapshot payloads, the
+/// content-addressed pool, and on-demand replay transfer — against the
+/// page-granular equivalents, plus the batched-vs-unbatched round-trip
+/// accounting of the blob exchange and a retention prune.
+///
+/// The page-granular numbers are modelled from the same recording: a page
+/// pipeline would ship/store every 4 KiB page containing at least one dirty
+/// chunk (shadow-interned by content so its pool dedups the same way), and
+/// an on-demand page auditor would fault whole pages where ours faults
+/// 512 B chunks.  The acceptance bar is strict inequality on snapshot
+/// stored bytes and on-demand transfer bytes.
+pub fn exp_chunked(quick: bool) -> ChunkedResult {
+    use avm_core::ondemand::AuditorBlobCache;
+    use avm_core::replay::{ReplayOutcome, Replayer};
+    use avm_core::snapshot::SNAPSHOT_HEADER_BYTES;
+    use avm_core::spotcheck::{
+        snapshot_positions, spot_check, spot_check_on_demand, TRANSFER_COMPRESSION, TRANSFER_RTT,
+    };
+    use avm_crypto::sha256::sha256;
+    use avm_vm::{GuestRegistry, CHUNKS_PER_PAGE, PAGE_SIZE};
+    use std::collections::{HashMap, HashSet};
+
+    let registry = GuestRegistry::new();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(23);
+    let operator = Identity::generate(&mut rng, "host", scheme);
+    let client = Identity::generate(&mut rng, "client", scheme);
+    let pages = if quick { 96 } else { 192 };
+    // Selectors cycle over a small page set so a replayed segment revisits
+    // pages that already diverged at its starting snapshot — the faults a
+    // §3.5 auditor actually pays for.
+    let touch_pages = if quick { 6 } else { 12 };
+    let n_snapshots: u64 = if quick { 8 } else { 16 };
+    let image = sparse_writer_image(pages);
+    let mut avmm = Avmm::new(
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        AvmmOptions::default()
+            .with_scheme(scheme)
+            .with_incremental_snapshots(),
+    )
+    .unwrap();
+    avmm.add_peer("client", client.verifying_key());
+
+    // Record: one packet (8 bytes into one fresh page + one disk block) per
+    // snapshot, tracking per capture what a page-granular pipeline would
+    // have shipped (logical) and pooled (stored, shadow-interned by page
+    // content so it dedups exactly like the real pool).
+    let mut clock = HostClock::at(1_000);
+    avmm.run_slice(&clock, 50_000).unwrap();
+    let mut chunk_logical = 0u64;
+    let mut page_logical = 0u64;
+    let mut page_pool: HashMap<avm_crypto::sha256::Digest, u64> = HashMap::new();
+    println!("# Chunk-granular state pipeline (sparse writer)");
+    println!("| snapshot | chunks carried | chunk bytes | page-equivalent bytes |");
+    println!("|---|---|---|---|");
+    for i in 0..n_snapshots {
+        clock.advance_to(clock.now() + 2_000);
+        let sel = (i % touch_pages as u64) as u8;
+        let payload = encode_guest_packet("host", &[sel, (i % 8) as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "client",
+            "host",
+            i + 1,
+            payload,
+            &client.signing_key,
+            None,
+        );
+        avmm.deliver(&env).unwrap();
+        avmm.run_slice(&clock, 100_000).unwrap();
+        let snap_id = avmm.take_snapshot().id;
+        let snap = avmm.snapshots().get(snap_id).unwrap();
+        let dirty_pages: HashSet<usize> = snap
+            .mem_chunk_refs()
+            .iter()
+            .map(|(idx, _)| *idx as usize / CHUNKS_PER_PAGE)
+            .collect();
+        let snap_page_logical = dirty_pages.len() as u64 * (PAGE_SIZE as u64 + 4)
+            + snap.disk_bytes()
+            + snap.disk_block_refs().len() as u64 * 4
+            + SNAPSHOT_HEADER_BYTES
+            + snap.cpu_state.len() as u64
+            + snap.dev_state.len() as u64;
+        chunk_logical += snap.total_bytes();
+        page_logical += snap_page_logical;
+        // Shadow page pool: contents are unchanged since the capture (the
+        // guest idles between packets), so reading them now is exact.
+        for p in &dirty_pages {
+            let content = avmm.machine().memory().page(*p).expect("page in range");
+            page_pool.entry(sha256(content)).or_insert(PAGE_SIZE as u64);
+        }
+        println!(
+            "| {} | {} | {} | {} |",
+            snap_id,
+            snap.chunk_count(),
+            snap.total_bytes(),
+            snap_page_logical
+        );
+    }
+    let chunk_stored = avmm.snapshots().stored_payload_bytes();
+    let page_stored: u64 = page_pool.values().sum();
+
+    // On-demand replay of one mid-chain chunk, chunk faults vs the pages a
+    // page-granular auditor would have pulled for the same accesses.  The
+    // replayed packets revisit pages that diverged before `start`, so the
+    // session fetches several remote chunk blobs.
+    let start = n_snapshots - 3;
+    let k = 2u64;
+    let positions = snapshot_positions(avmm.log()).expect("well-formed log");
+    let start_pos = positions.iter().find(|(_, id, _)| *id == start).unwrap().0;
+    let end_pos = positions
+        .iter()
+        .find(|(_, id, _)| *id == start + k)
+        .map(|(i, _, _)| *i);
+    let entries = match end_pos {
+        Some(end) => &avmm.log().entries()[start_pos + 1..=end],
+        None => &avmm.log().entries()[start_pos + 1..],
+    };
+    let fresh = AuditorBlobCache::new();
+    let (mut replayer, session) =
+        Replayer::from_snapshot_on_demand(&image, &registry, avmm.snapshots(), start, &fresh)
+            .unwrap();
+    let outcome = replayer.replay(entries);
+    assert!(
+        matches!(outcome, ReplayOutcome::Consistent(_)),
+        "honest chunk must replay: {outcome:?}"
+    );
+    let faulted_pages: HashSet<usize> = replayer
+        .machine()
+        .memory()
+        .faulted_chunks()
+        .iter()
+        .map(|c| c / CHUNKS_PER_PAGE)
+        .collect();
+    let mut settle_cache = AuditorBlobCache::new();
+    let cost = session
+        .finish(
+            replayer.machine(),
+            avmm.snapshots(),
+            &mut settle_cache,
+            TRANSFER_COMPRESSION,
+        )
+        .unwrap();
+    let chunk_ondemand = cost.transfer_bytes();
+    // Page-granular equivalent: the manifest carries one 36-byte ref per
+    // divergent page instead of per divergent chunk, and every faulted
+    // divergent page ships whole (its counter makes it non-derivable).
+    let manifest = avmm.snapshots().chain_manifest_upto(start).unwrap();
+    let manifest_pages: HashSet<usize> = manifest
+        .mem_refs
+        .iter()
+        .map(|(idx, _)| *idx as usize / CHUNKS_PER_PAGE)
+        .collect();
+    let page_manifest_bytes = cost.manifest_bytes - manifest.mem_refs.len() as u64 * 36
+        + manifest_pages.len() as u64 * 36;
+    let page_ondemand = page_manifest_bytes + faulted_pages.len() as u64 * (PAGE_SIZE as u64 + 4);
+
+    // Round-trip accounting through the spot-check surface (fresh cache so
+    // nothing is subsidised), plus the verdict cross-check.
+    let full_report =
+        spot_check(avmm.log(), avmm.snapshots(), start, k, &image, &registry).unwrap();
+    let mut od_cache = AuditorBlobCache::new();
+    let od_report = spot_check_on_demand(
+        avmm.log(),
+        avmm.snapshots(),
+        start,
+        k,
+        &image,
+        &registry,
+        &mut od_cache,
+    )
+    .unwrap();
+    let rtts_batched = od_report.on_demand_round_trips().unwrap();
+    let rtts_unbatched = od_report.on_demand_round_trips_unbatched().unwrap();
+    let latency_batched_us = od_report.on_demand_latency_micros(&TRANSFER_RTT).unwrap();
+    let latency_unbatched_us = od_report
+        .on_demand_latency_micros_unbatched(&TRANSFER_RTT)
+        .unwrap();
+
+    // Retention: prune the first half of the chain; surviving snapshots keep
+    // materializing (authenticated internally) while unreferenced chunk
+    // blobs are evicted.
+    let mut pruned = avmm.snapshots().clone();
+    let freed = pruned.prune_upto(n_snapshots / 2).unwrap();
+    for id in (n_snapshots / 2)..n_snapshots {
+        pruned
+            .materialize(id, &image, &registry)
+            .expect("surviving snapshot must materialize after prune");
+    }
+
+    let result = ChunkedResult {
+        snapshots: n_snapshots,
+        chunk_logical_bytes: chunk_logical,
+        page_logical_bytes: page_logical,
+        chunk_stored_bytes: chunk_stored,
+        page_stored_bytes: page_stored,
+        chunk_ondemand_bytes: chunk_ondemand,
+        page_ondemand_bytes: page_ondemand,
+        rtts_batched,
+        rtts_unbatched,
+        latency_batched_us,
+        latency_unbatched_us,
+        pruned_freed_bytes: freed,
+        verdicts_agree: full_report.consistent == od_report.consistent
+            && full_report.entries_replayed == od_report.entries_replayed,
+    };
+    println!(
+        "\nsnapshot chain: {} B chunk-granular vs {} B page-equivalent ({:.1}x)",
+        result.chunk_logical_bytes,
+        result.page_logical_bytes,
+        result.page_logical_bytes as f64 / result.chunk_logical_bytes.max(1) as f64,
+    );
+    println!(
+        "pool stored: {} B chunk-granular vs {} B page-equivalent ({:.1}x)",
+        result.chunk_stored_bytes,
+        result.page_stored_bytes,
+        result.page_stored_bytes as f64 / result.chunk_stored_bytes.max(1) as f64,
+    );
+    println!(
+        "on-demand chunk ({start},k={k}): {} B chunk-granular ({} chunks faulted) vs {} B page-equivalent ({} pages)",
+        result.chunk_ondemand_bytes,
+        cost.chunks_faulted,
+        result.page_ondemand_bytes,
+        faulted_pages.len(),
+    );
+    println!(
+        "blob exchange round trips: {} batched vs {} unbatched ({} µs vs {} µs modelled)",
+        result.rtts_batched,
+        result.rtts_unbatched,
+        result.latency_batched_us,
+        result.latency_unbatched_us,
+    );
+    println!(
+        "prune_upto({}) freed {} B of pooled payload; later snapshots still authenticate",
+        n_snapshots / 2,
+        result.pruned_freed_bytes,
     );
     result
 }
@@ -1256,6 +1585,7 @@ pub fn run_all(quick: bool) {
     exp_snapshot_incremental(quick);
     exp_snapshot_dedup(quick);
     exp_ondemand(quick);
+    exp_chunked(quick);
 }
 
 #[cfg(test)]
@@ -1374,12 +1704,47 @@ mod tests {
             r.dedup_raw,
             r.full_raw
         );
-        assert!(r.pages_faulted > 0);
+        assert!(r.chunks_faulted > 0);
         assert!(
             r.untouched_staged > 0,
             "a sparse-touch chunk must leave divergent state untouched"
         );
         assert_eq!(r.warm_refetches, 0);
+    }
+
+    /// Acceptance for the chunk-granular pipeline: snapshot stored bytes and
+    /// on-demand transfer bytes strictly below the page-granular
+    /// equivalents on the sparse-writer workload, batched round trips
+    /// strictly below unbatched, verdicts agreeing between modes, and the
+    /// prune actually freeing pooled payload.
+    #[test]
+    fn chunked_pipeline_beats_page_granularity() {
+        let r = exp_chunked(true);
+        assert!(r.verdicts_agree);
+        assert!(
+            r.chunk_stored_bytes < r.page_stored_bytes,
+            "chunk pool {} B must be strictly below the page-equivalent pool {} B",
+            r.chunk_stored_bytes,
+            r.page_stored_bytes
+        );
+        assert!(
+            r.chunk_ondemand_bytes < r.page_ondemand_bytes,
+            "chunk on-demand {} B must be strictly below the page equivalent {} B",
+            r.chunk_ondemand_bytes,
+            r.page_ondemand_bytes
+        );
+        assert!(
+            r.chunk_logical_bytes < r.page_logical_bytes,
+            "sparse incremental captures must ship fewer bytes at chunk granularity"
+        );
+        assert!(
+            r.rtts_batched < r.rtts_unbatched,
+            "batched exchange must save round trips: {} vs {}",
+            r.rtts_batched,
+            r.rtts_unbatched
+        );
+        assert!(r.latency_batched_us < r.latency_unbatched_us);
+        assert!(r.pruned_freed_bytes > 0);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct AvmmOptions {
     /// Take a snapshot automatically every this many log entries
     /// (`None` disables automatic snapshots; they can still be requested).
     pub snapshot_every_entries: Option<u64>,
+    /// Whether snapshots carry a full memory dump (`true`, the paper
+    /// prototype's behaviour reported in §6.12) or only the chunks dirtied
+    /// since the previous snapshot (`false`, the optimised variant — sparse
+    /// writers then log, store and ship O(dirty chunks) per capture).
+    pub full_memory_snapshots: bool,
 }
 
 impl Default for AvmmOptions {
@@ -119,6 +124,7 @@ impl Default for AvmmOptions {
             clock_opt_base_delay_us: 50,
             clock_opt_max_delay_us: 5_000,
             snapshot_every_entries: None,
+            full_memory_snapshots: true,
         }
     }
 }
@@ -153,6 +159,13 @@ impl AvmmOptions {
     /// Returns options using the given signature scheme.
     pub fn with_scheme(mut self, scheme: SignatureScheme) -> AvmmOptions {
         self.signature_scheme = scheme;
+        self
+    }
+
+    /// Returns options taking incremental (dirty-chunk-only) snapshots
+    /// instead of full memory dumps.
+    pub fn with_incremental_snapshots(mut self) -> AvmmOptions {
+        self.full_memory_snapshots = false;
         self
     }
 }

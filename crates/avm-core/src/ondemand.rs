@@ -12,19 +12,30 @@
 //!    [`avm_wire::BlobResponse`]).  Digests the auditor can already produce
 //!    (from its persistent [`AuditorBlobCache`] or by hashing state derived
 //!    from the public reference image) are never transferred, and duplicate
-//!    content (every zero page, say) is transferred at most once.
+//!    content (every zero chunk, say) is transferred at most once.
 //!    [`dedup_transfer_upto`] models a *full-state* download in this mode —
 //!    the "dedup" column of the spot-check accounting.
 //!
 //! 2. **On-demand replay.**  [`materialize_on_demand`] goes further: it
-//!    builds the starting machine from the manifest *only*.  Pages and
-//!    blocks whose manifest digest differs from what the local reference
-//!    image yields are staged for demand paging
-//!    ([`avm_vm::GuestMemory::stage_lazy_page`]) and fault in lazily as the
+//!    builds the starting machine from the manifest *only*.  Memory chunks
+//!    and disk blocks whose manifest digest differs from what the local
+//!    reference image yields are staged for demand paging
+//!    ([`avm_vm::GuestMemory::stage_lazy_chunk`]) and fault in lazily as the
 //!    replayed workload touches them, so the auditor downloads exactly the
-//!    state the execution accesses.  [`OnDemandSession::finish`] turns the
-//!    fault lists into the actual blob exchange and its raw + compressed
-//!    byte cost — the "on-demand" column.
+//!    512 B chunks the execution accesses — not the 4 KiB pages around
+//!    them.  [`OnDemandSession::finish`] turns the fault lists into the
+//!    actual blob exchange and its raw + compressed byte cost — the
+//!    "on-demand" column.
+//!
+//! # Round trips and batching
+//!
+//! Bytes are not the whole price of on-demand transfer: a naive auditor
+//! pays one network round trip per faulted blob.  The blob exchange here is
+//! therefore **batched** — up to [`avm_wire::DEFAULT_BLOB_BATCH`] digests
+//! per [`BlobRequest`] — and every accounting struct reports the exchange's
+//! round-trip counts both ways ([`BlobFetch::round_trips`],
+//! [`OnDemandCost::round_trips`] vs [`OnDemandCost::round_trips_unbatched`]),
+//! priced in modelled wall time by a configurable [`avm_wire::RttModel`].
 //!
 //! Authentication never weakens in either mode: the manifest is verified by
 //! rebuilding the Merkle state root from its leaf hashes and comparing
@@ -38,7 +49,10 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::sha256::{sha256, Digest};
 use avm_vm::{GuestRegistry, Machine, VmImage};
-use avm_wire::{BlobRequest, BlobResponse, Decode, Encode, Reader, WireResult, Writer};
+use avm_wire::{
+    BlobRequest, BlobResponse, Decode, Encode, Reader, RttModel, WireResult, Writer,
+    DEFAULT_BLOB_BATCH,
+};
 
 use crate::error::CoreError;
 use crate::snapshot::{SnapshotStore, TransferCost};
@@ -50,9 +64,10 @@ use crate::snapshot::{SnapshotStore, TransferCost};
 /// `mem_refs` and `disk_refs` are the *effective* references of the complete
 /// state — the snapshot chain already collapsed (last write per index wins,
 /// memory sections superseded by a later full dump dropped), sorted by
-/// index.  Indices absent from the lists are state the reference image
-/// already determines, which the auditor derives locally at zero transfer
-/// cost.
+/// index.  Memory references address 512 B chunks; disk references address
+/// whole blocks.  Indices absent from the lists are state the reference
+/// image already determines, which the auditor derives locally at zero
+/// transfer cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainManifest {
     /// Id of the snapshot this manifest reconstructs.
@@ -68,7 +83,7 @@ pub struct ChainManifest {
     pub cpu_state: Vec<u8>,
     /// Serialized volatile device state at the snapshot.
     pub dev_state: Vec<u8>,
-    /// Effective `(page index, content hash)` references, sorted by index.
+    /// Effective `(chunk index, content hash)` references, sorted by index.
     pub mem_refs: Vec<(u32, Digest)>,
     /// Effective `(block index, content hash)` references, sorted by index.
     pub disk_refs: Vec<(u32, Digest)>,
@@ -136,15 +151,14 @@ impl SnapshotStore {
         let target = self
             .get(upto_id)
             .ok_or_else(|| CoreError::Snapshot(format!("snapshot {upto_id} not found")))?;
-        let chain = &self.all()[..=upto_id as usize];
         // The shared supersession predicate: manifest, materialize and the
         // transfer accounting must agree on which memory sections count.
         let base = self.memory_base(upto_id);
         let mut mem: BTreeMap<u32, Digest> = BTreeMap::new();
         let mut disk: BTreeMap<u32, Digest> = BTreeMap::new();
-        for s in chain {
-            if s.id as usize >= base {
-                for (idx, hash) in s.mem_page_refs() {
+        for s in self.chain_upto(upto_id) {
+            if s.id >= base {
+                for (idx, hash) in s.mem_chunk_refs() {
                     mem.insert(*idx, *hash);
                 }
             }
@@ -244,32 +258,44 @@ impl AuditorBlobCache {
         }
     }
 
-    /// Seeds the cache with every page and block payload of `machine`
-    /// (normally a machine freshly instantiated from the public reference
-    /// image): content the auditor can derive locally never needs to cross
-    /// the wire, whatever index the operator's snapshot references it at.
+    /// Seeds the cache with every memory chunk and disk block payload of
+    /// `machine` (normally a machine freshly instantiated from the public
+    /// reference image): content the auditor can derive locally never needs
+    /// to cross the wire, whatever index the operator's snapshot references
+    /// it at.
     pub fn seed_from_machine(&mut self, machine: &Machine) {
         // A partially-resident machine pairs staged (authentic) hashes with
         // stale raw contents; seeding from one would poison the cache.
         assert_eq!(
-            machine.memory().staged_page_count() + machine.devices().disk.staged_block_count(),
+            machine.memory().staged_chunk_count() + machine.devices().disk.staged_block_count(),
             0,
             "cannot seed a blob cache from a machine with staged demand-paged state"
         );
-        // insert_trusted, not insert_verified: page_hash/block_hash *are*
-        // the SHA-256 of exactly these contents, so re-hashing every page
-        // would double the seed's cost for zero added assurance.
+        // insert_trusted, not insert_verified: chunk_hash/block_hash *are*
+        // the SHA-256 of exactly these contents, so re-hashing every chunk
+        // would double the seed's cost for zero added assurance.  The hash
+        // derivation itself runs on the worker pool.
         let mem = machine.memory();
-        for i in 0..mem.page_count() {
-            let hash = mem.page_hash(i).expect("page in range");
-            let page = mem.page(i).expect("page in range");
-            self.insert_trusted(hash, page.to_vec());
+        let all_chunks: Vec<usize> = (0..mem.chunk_count()).collect();
+        mem.prime_chunk_hashes(&all_chunks);
+        for i in all_chunks {
+            let hash = mem.chunk_hash(i).expect("chunk in range");
+            // A mostly-zero image repeats a handful of digests thousands of
+            // times; skip the payload copy for digests already held.
+            if !self.contains(&hash) {
+                let chunk = mem.chunk(i).expect("chunk in range");
+                self.insert_trusted(hash, chunk.to_vec());
+            }
         }
         let disk = &machine.devices().disk;
-        for b in 0..disk.block_count() {
+        let all_blocks: Vec<usize> = (0..disk.block_count()).collect();
+        disk.prime_block_hashes(&all_blocks);
+        for b in all_blocks {
             let hash = disk.block_hash(b).expect("block in range");
-            let block = disk.block(b).expect("block in range");
-            self.insert_trusted(hash, block.to_vec());
+            if !self.contains(&hash) {
+                let block = disk.block(b).expect("block in range");
+                self.insert_trusted(hash, block.to_vec());
+            }
         }
     }
 }
@@ -315,7 +341,10 @@ pub struct BlobFetch {
     pub fetched: Vec<Digest>,
     /// Digests satisfied from the cache instead of the wire.
     pub cache_hits: u64,
-    /// Encoded size of the upstream [`BlobRequest`].
+    /// Request/response round trips the exchange performed (0 when nothing
+    /// needed fetching).
+    pub round_trips: u64,
+    /// Encoded size of the upstream [`BlobRequest`]s, summed over batches.
     pub request_bytes: u64,
     /// Encoded [`BlobResponse`] stream (the download), raw and compressed.
     pub response: TransferCost,
@@ -328,14 +357,19 @@ pub struct BlobFetch {
 /// it jointly with other stream parts in *one* compression pass.  The
 /// returned accounting's `response` field carries the raw size only
 /// (`compressed_bytes` is zero — the caller owns the measurement).
+///
+/// The exchange is split into [`BlobRequest`]s of at most `max_per_request`
+/// digests (`0` = one request for everything); `round_trips` records how
+/// many were issued.
 fn fetch_blobs_encoded(
     cache: &mut AuditorBlobCache,
     store: &SnapshotStore,
     needed: &[Digest],
+    max_per_request: usize,
 ) -> Result<(BlobFetch, Vec<u8>), CoreError> {
     let mut seen = HashSet::new();
     let mut fetch = BlobFetch::default();
-    let mut request = BlobRequest::default();
+    let mut missing: Vec<avm_wire::BlobDigest> = Vec::new();
     for digest in needed {
         if !seen.insert(*digest) {
             continue;
@@ -343,37 +377,45 @@ fn fetch_blobs_encoded(
         if cache.contains(digest) {
             fetch.cache_hits += 1;
         } else {
-            request.digests.push(digest.0);
+            missing.push(digest.0);
         }
     }
-    let response = serve_verified(store, &request)?;
-    fetch.request_bytes = request.encoded_len() as u64;
-    fetch.payload_bytes = response.payload_bytes();
-    // Encode before consuming the response so each payload moves into the
-    // cache instead of being cloned.
-    let encoded = response.encode_to_vec();
-    for (raw, blob) in request.digests.iter().zip(response.blobs) {
-        let digest = Digest(*raw);
-        cache.insert_trusted(digest, blob.expect("payload verified"));
-        fetch.fetched.push(digest);
+    let mut encoded = Vec::new();
+    for request in BlobRequest::batches(&missing, max_per_request) {
+        let response = serve_verified(store, &request)?;
+        fetch.round_trips += 1;
+        fetch.request_bytes += request.encoded_len() as u64;
+        fetch.payload_bytes += response.payload_bytes();
+        // Encode before consuming the response so each payload moves into
+        // the cache instead of being cloned.
+        encoded.extend_from_slice(&response.encode_to_vec());
+        for (raw, blob) in request.digests.iter().zip(response.blobs) {
+            let digest = Digest(*raw);
+            cache.insert_trusted(digest, blob.expect("payload verified"));
+            fetch.fetched.push(digest);
+        }
     }
     fetch.response.raw_bytes = encoded.len() as u64;
     Ok((fetch, encoded))
 }
 
 /// Runs one digest-addressed exchange: requests every digest in `needed`
-/// that `cache` does not hold (duplicates collapsed), verifies each received
-/// blob against its digest, and inserts the verified blobs into `cache`.
+/// that `cache` does not hold (duplicates collapsed) in batches of at most
+/// `max_per_request` digests (`0` = a single request), verifies each
+/// received blob against its digest, and inserts the verified blobs into
+/// `cache`.
 ///
-/// Returns the exchange's byte accounting; fails if the store cannot serve a
-/// requested digest or serves content that does not hash to it.
+/// Returns the exchange's byte and round-trip accounting; fails if the store
+/// cannot serve a requested digest or serves content that does not hash to
+/// it.
 pub fn fetch_blobs(
     cache: &mut AuditorBlobCache,
     store: &SnapshotStore,
     needed: &[Digest],
+    max_per_request: usize,
     level: CompressionLevel,
 ) -> Result<BlobFetch, CoreError> {
-    let (mut fetch, encoded) = fetch_blobs_encoded(cache, store, needed)?;
+    let (mut fetch, encoded) = fetch_blobs_encoded(cache, store, needed, max_per_request)?;
     fetch.response = CompressionStats::measure(&encoded, level);
     Ok(fetch)
 }
@@ -421,8 +463,10 @@ pub fn dedup_transfer_upto(
     let local = Machine::from_image(image, registry).map_err(CoreError::Vm)?;
     let mut derivable: HashSet<Digest> = HashSet::new();
     let mem = local.memory();
-    for i in 0..mem.page_count() {
-        derivable.insert(mem.page_hash(i).expect("page in range"));
+    let all_chunks: Vec<usize> = (0..mem.chunk_count()).collect();
+    mem.prime_chunk_hashes(&all_chunks);
+    for i in all_chunks {
+        derivable.insert(mem.chunk_hash(i).expect("chunk in range"));
     }
     let disk = &local.devices().disk;
     for b in 0..disk.block_count() {
@@ -458,17 +502,17 @@ pub fn dedup_transfer_upto(
     })
 }
 
-/// Byte and fault accounting of a finished on-demand replay
+/// Byte, fault and round-trip accounting of a finished on-demand replay
 /// ([`OnDemandSession::finish`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OnDemandCost {
     /// Encoded manifest size.
     pub manifest_bytes: u64,
-    /// Pages faulted in during replay.
-    pub pages_faulted: u64,
+    /// Memory chunks faulted in during replay.
+    pub chunks_faulted: u64,
     /// Disk blocks faulted in during replay.
     pub blocks_faulted: u64,
-    /// Staged pages/blocks the replay never touched — divergent state whose
+    /// Staged chunks/blocks the replay never touched — divergent state whose
     /// contents were never transferred (the §3.5 saving).
     pub untouched_staged: u64,
     /// Digests actually transferred for the faults (after dedup and cache).
@@ -480,8 +524,14 @@ pub struct OnDemandCost {
     /// image (content-addressed, whatever index the content sat at) — also
     /// zero transfer cost, mirroring the dedup model's "derivable" skip.
     pub locally_derived: u64,
-    /// Encoded size of the upstream request.
+    /// Encoded size of the upstream requests, summed over batches.
     pub request_bytes: u64,
+    /// Round trips the settled exchange performed: one for the manifest plus
+    /// one per batched [`BlobRequest`].
+    pub round_trips: u64,
+    /// Round trips a naive fault-at-a-time auditor would have performed for
+    /// the same download: one for the manifest plus one per fetched blob.
+    pub round_trips_unbatched: u64,
     /// The download (manifest + blob response as one stream), raw and
     /// compressed.
     pub transfer: TransferCost,
@@ -496,6 +546,18 @@ impl OnDemandCost {
     /// Compressed size of the same download.
     pub fn transfer_compressed_bytes(&self) -> u64 {
         self.transfer.compressed_bytes
+    }
+
+    /// Modelled wall time of the batched download under `model`.
+    pub fn latency_micros(&self, model: &RttModel) -> u64 {
+        model.latency_micros(self.round_trips, self.transfer.raw_bytes)
+    }
+
+    /// Modelled wall time of the same download without request batching
+    /// (one round trip per fetched blob) — always ≥
+    /// [`OnDemandCost::latency_micros`].
+    pub fn latency_micros_unbatched(&self, model: &RttModel) -> u64 {
+        model.latency_micros(self.round_trips_unbatched, self.transfer.raw_bytes)
     }
 }
 
@@ -524,7 +586,7 @@ pub struct OnDemandSession {
     snapshot_id: u64,
     state_root: Digest,
     manifest_encoded: Vec<u8>,
-    staged_pages: HashMap<usize, Digest>,
+    staged_chunks: HashMap<usize, Digest>,
     staged_blocks: HashMap<usize, Digest>,
     /// Source classification per staged digest (a digest staged at several
     /// indices resolves identically everywhere).
@@ -553,11 +615,11 @@ impl OnDemandSession {
         self.manifest_encoded.len() as u64
     }
 
-    /// Number of pages staged for demand paging (state that diverges from
-    /// the reference image and *would* all have to be downloaded by a full
-    /// transfer).
-    pub fn staged_pages(&self) -> usize {
-        self.staged_pages.len()
+    /// Number of memory chunks staged for demand paging (state that diverges
+    /// from the reference image and *would* all have to be downloaded by a
+    /// full transfer).
+    pub fn staged_chunks(&self) -> usize {
+        self.staged_chunks.len()
     }
 
     /// Number of disk blocks staged for demand paging.
@@ -566,10 +628,10 @@ impl OnDemandSession {
     }
 
     /// Settles the session: reads the machine's fault lists, performs the
-    /// digest-addressed exchange for every touched blob the auditor could
-    /// not produce itself (cached and image-derivable content is free, like
-    /// in the dedup model), inserts the fetched blobs into `cache`, and
-    /// returns the accounting.
+    /// batched digest-addressed exchange for every touched blob the auditor
+    /// could not produce itself (cached and image-derivable content is free,
+    /// like in the dedup model), inserts the fetched blobs into `cache`, and
+    /// returns the accounting — bytes, compression and round trips.
     ///
     /// `machine` must be the machine returned by [`materialize_on_demand`]
     /// alongside this session; `store` is the operator's snapshot store the
@@ -581,23 +643,23 @@ impl OnDemandSession {
         cache: &mut AuditorBlobCache,
         level: CompressionLevel,
     ) -> Result<OnDemandCost, CoreError> {
-        let faulted_pages = machine.memory().faulted_pages();
+        let faulted_chunks = machine.memory().faulted_chunks();
         let faulted_blocks = machine.devices().disk.faulted_blocks();
         let mut needed: Vec<Digest> = Vec::new();
         let mut locally_derived = 0u64;
         let mut cache_hits = 0u64;
         let mut seen = HashSet::new();
-        let page_digests = faulted_pages.iter().map(|idx| {
-            self.staged_pages
+        let chunk_digests = faulted_chunks.iter().map(|idx| {
+            self.staged_chunks
                 .get(idx)
-                .ok_or_else(|| CoreError::Snapshot(format!("faulted page {idx} was never staged")))
+                .ok_or_else(|| CoreError::Snapshot(format!("faulted chunk {idx} was never staged")))
         });
         let block_digests = faulted_blocks.iter().map(|idx| {
             self.staged_blocks
                 .get(idx)
                 .ok_or_else(|| CoreError::Snapshot(format!("faulted block {idx} was never staged")))
         });
-        for digest in page_digests.chain(block_digests) {
+        for digest in chunk_digests.chain(block_digests) {
             let digest = *digest?;
             if !seen.insert(digest) {
                 continue;
@@ -614,7 +676,8 @@ impl OnDemandSession {
                 }
             }
         }
-        let (fetch, response_encoded) = fetch_blobs_encoded(cache, store, &needed)?;
+        let (fetch, response_encoded) =
+            fetch_blobs_encoded(cache, store, &needed, DEFAULT_BLOB_BATCH)?;
         // Manifest and blob response compress as one download.
         let transfer = CompressionStats::measure_stream(
             [
@@ -624,12 +687,14 @@ impl OnDemandSession {
             level,
         );
         let untouched =
-            machine.memory().staged_page_count() + machine.devices().disk.staged_block_count();
+            machine.memory().staged_chunk_count() + machine.devices().disk.staged_block_count();
         Ok(OnDemandCost {
             manifest_bytes: self.manifest_encoded.len() as u64,
-            pages_faulted: faulted_pages.len() as u64,
+            chunks_faulted: faulted_chunks.len() as u64,
             blocks_faulted: faulted_blocks.len() as u64,
             untouched_staged: untouched as u64,
+            round_trips: 1 + fetch.round_trips,
+            round_trips_unbatched: 1 + fetch.fetched.len() as u64,
             fetched: fetch.fetched,
             cache_hits: cache_hits + fetch.cache_hits,
             locally_derived,
@@ -674,7 +739,7 @@ impl OnDemandSession {
 }
 
 /// Reconstructs the machine state at snapshot `upto_id` *lazily*: metadata
-/// is applied eagerly, but page/block contents that differ from the local
+/// is applied eagerly, but chunk/block contents that differ from the local
 /// reference image are only staged — they fault in (and are accounted as
 /// transferred) when the workload actually touches them (paper §3.5).
 ///
@@ -695,8 +760,8 @@ impl OnDemandSession {
 /// let image = VmImage::bytecode("doc", 64 * 1024, assemble("halt", 0).unwrap(), 0, 0);
 /// let registry = GuestRegistry::new();
 /// let mut m = Machine::from_image(&image, &registry).unwrap();
-/// m.memory_mut().write_u8(0x4000, 1).unwrap(); // diverges page 4
-/// m.memory_mut().write_u8(0x9000, 2).unwrap(); // diverges page 9
+/// m.memory_mut().write_u8(0x4000, 1).unwrap(); // diverges one chunk
+/// m.memory_mut().write_u8(0x9000, 2).unwrap(); // diverges another chunk
 /// let mut store = SnapshotStore::new();
 /// store.push(capture(&mut m, 0, true));
 ///
@@ -705,14 +770,15 @@ impl OnDemandSession {
 /// let (mut lazy, session) =
 ///     materialize_on_demand(&store, 0, &image, &registry, &cache).unwrap();
 /// assert_eq!(compute_state_root(&lazy), compute_state_root(&m));
-/// assert_eq!(session.staged_pages(), 2);
+/// assert_eq!(session.staged_chunks(), 2);
 ///
-/// // Touch one of the two divergent pages: only its blob is transferred.
+/// // Touch one of the two divergent chunks: only its 512 B blob is
+/// // transferred.
 /// assert_eq!(lazy.memory_mut().read_u8(0x4000).unwrap(), 1);
 /// let cost = session
 ///     .finish(&lazy, &store, &mut cache, CompressionLevel::Default)
 ///     .unwrap();
-/// assert_eq!(cost.pages_faulted, 1);
+/// assert_eq!(cost.chunks_faulted, 1);
 /// assert_eq!(cost.untouched_staged, 1);
 /// ```
 pub fn materialize_on_demand(
@@ -737,19 +803,24 @@ pub fn materialize_on_demand(
     // Everything the auditor can derive from the reference image, keyed by
     // content: a blob whose bytes sit *anywhere* in the local machine never
     // needs to cross the wire (the same content-addressed skip the dedup
-    // model applies).  The page/block hashes are needed below for the root
-    // authentication anyway, so this map adds no extra hashing.
+    // model applies).  The chunk/block hashes are needed below for the root
+    // authentication anyway, so this map adds no extra hashing — and the
+    // hashing itself runs on the worker pool.
     let mut local_content: HashMap<Digest, Vec<u8>> = HashMap::new();
     {
         let mem = machine.memory();
-        for i in 0..mem.page_count() {
-            let hash = mem.page_hash(i).expect("page in range");
+        let all_chunks: Vec<usize> = (0..mem.chunk_count()).collect();
+        mem.prime_chunk_hashes(&all_chunks);
+        for i in all_chunks {
+            let hash = mem.chunk_hash(i).expect("chunk in range");
             local_content
                 .entry(hash)
-                .or_insert_with(|| mem.page(i).expect("page in range").to_vec());
+                .or_insert_with(|| mem.chunk(i).expect("chunk in range").to_vec());
         }
         let disk = &machine.devices().disk;
-        for b in 0..disk.block_count() {
+        let all_blocks: Vec<usize> = (0..disk.block_count()).collect();
+        disk.prime_block_hashes(&all_blocks);
+        for b in all_blocks {
             let hash = disk.block_hash(b).expect("block in range");
             local_content
                 .entry(hash)
@@ -775,15 +846,15 @@ pub fn materialize_on_demand(
         Ok((payload.to_vec(), StagedSource::Remote))
     };
 
-    let mut staged_pages = HashMap::new();
+    let mut staged_chunks = HashMap::new();
     let mut staged_blocks = HashMap::new();
     let mut sources: HashMap<Digest, StagedSource> = HashMap::new();
     let mut remote_digests: Vec<Digest> = Vec::new();
     let mut unique_manifest: HashSet<Digest> = HashSet::new();
     for (idx, digest) in &manifest.mem_refs {
         unique_manifest.insert(*digest);
-        let local = machine.memory().page_hash(*idx as usize).ok_or_else(|| {
-            CoreError::Snapshot(format!("manifest references page {idx} out of range"))
+        let local = machine.memory().chunk_hash(*idx as usize).ok_or_else(|| {
+            CoreError::Snapshot(format!("manifest references chunk {idx} out of range"))
         })?;
         if local == *digest {
             continue; // the reference image already yields this content here
@@ -791,9 +862,9 @@ pub fn materialize_on_demand(
         let (content, source) = resolve(digest)?;
         machine
             .memory_mut()
-            .stage_lazy_page(*idx as usize, content, *digest)
+            .stage_lazy_chunk(*idx as usize, content, *digest)
             .map_err(CoreError::Vm)?;
-        staged_pages.insert(*idx as usize, *digest);
+        staged_chunks.insert(*idx as usize, *digest);
         if sources.insert(*digest, source).is_none() && source == StagedSource::Remote {
             remote_digests.push(*digest);
         }
@@ -842,7 +913,7 @@ pub fn materialize_on_demand(
             snapshot_id: upto_id,
             state_root: manifest.state_root,
             manifest_encoded,
-            staged_pages,
+            staged_chunks,
             staged_blocks,
             sources,
             remote_digests,
@@ -929,8 +1000,8 @@ mod tests {
         for w in manifest.disk_refs.windows(2) {
             assert!(w[0].0 < w[1].0);
         }
-        // Snapshot 0 was a full dump: the manifest covers every page.
-        assert_eq!(manifest.mem_refs.len(), 64);
+        // Snapshot 0 was a full dump: the manifest covers every chunk.
+        assert_eq!(manifest.mem_refs.len(), 64 * avm_vm::CHUNKS_PER_PAGE);
         let bytes = manifest.encode_to_vec();
         assert_eq!(ChainManifest::decode_exact(&bytes).unwrap(), manifest);
         assert!(store.chain_manifest_upto(99).is_err());
@@ -962,8 +1033,8 @@ mod tests {
             crate::snapshot::compute_state_root(&lazy),
             crate::snapshot::compute_state_root(&reference)
         );
-        assert!(session.staged_pages() > 0);
-        assert_eq!(lazy.memory().faulted_pages().len(), 0);
+        assert!(session.staged_chunks() > 0);
+        assert_eq!(lazy.memory().faulted_chunks().len(), 0);
 
         // Drive both machines identically; roots must stay equal.
         let mut full = store.materialize(4, &img, &reg).unwrap();
@@ -982,7 +1053,7 @@ mod tests {
         let cost = session
             .finish(&lazy, &store, &mut auditor_cache, CompressionLevel::Default)
             .unwrap();
-        assert!(cost.pages_faulted > 0);
+        assert!(cost.chunks_faulted > 0);
         assert!(
             cost.untouched_staged > 0,
             "sparse touch must leave staged state untransferred"
@@ -990,6 +1061,12 @@ mod tests {
         assert!(cost.transfer_bytes() > 0);
         assert!(cost.transfer_compressed_bytes() > 0);
         assert!(cost.transfer_compressed_bytes() < cost.transfer_bytes());
+        // Round-trip accounting: batching can never do worse than a fault-
+        // at-a-time exchange, and pricing through any model preserves that.
+        assert!(cost.round_trips >= 1);
+        assert!(cost.round_trips <= cost.round_trips_unbatched);
+        let model = RttModel::default();
+        assert!(cost.latency_micros(&model) <= cost.latency_micros_unbatched(&model));
         let _ = recorder;
     }
 
@@ -1017,8 +1094,11 @@ mod tests {
             second.cache_hits,
             first.cache_hits + first.fetched.len() as u64
         );
-        // The second check still paid for the manifest, nothing else.
+        // The second check still paid for the manifest, nothing else — and
+        // exactly one round trip (the manifest's).
         assert!(second.transfer_bytes() < first.transfer_bytes());
+        assert_eq!(second.round_trips, 1);
+        assert_eq!(second.round_trips_unbatched, 1);
     }
 
     #[test]
@@ -1074,23 +1154,33 @@ mod tests {
             &mut cache,
             &store,
             &[d0, d1, d0, d1],
+            DEFAULT_BLOB_BATCH,
             CompressionLevel::Default,
         )
         .unwrap();
-        // Duplicates collapsed (d0 may equal d1 if both pages hold the same
+        // Duplicates collapsed (d0 may equal d1 if both chunks hold the same
         // content; either way nothing is fetched twice).
         let unique: HashSet<Digest> = [d0, d1].into_iter().collect();
         assert_eq!(fetch.fetched.len(), unique.len());
         assert!(cache.contains(&d0) && cache.contains(&d1));
-        // Asking again: all hits, nothing shipped.
-        let again = fetch_blobs(&mut cache, &store, &[d0, d1], CompressionLevel::Default).unwrap();
+        // Asking again: all hits, nothing shipped, zero round trips.
+        let again = fetch_blobs(
+            &mut cache,
+            &store,
+            &[d0, d1],
+            DEFAULT_BLOB_BATCH,
+            CompressionLevel::Default,
+        )
+        .unwrap();
         assert!(again.fetched.is_empty());
         assert_eq!(again.cache_hits, unique.len() as u64);
+        assert_eq!(again.round_trips, 0);
         // Unknown digest is an operator failure.
         assert!(fetch_blobs(
             &mut cache,
             &store,
             &[sha256(b"unknown")],
+            DEFAULT_BLOB_BATCH,
             CompressionLevel::Default
         )
         .is_err());
@@ -1098,5 +1188,85 @@ mod tests {
         assert!(cache
             .insert_verified(sha256(b"a"), b"not a".to_vec())
             .is_err());
+    }
+
+    /// The satellite acceptance check for batching: a batched fetch returns
+    /// exactly the same blobs as a one-digest-per-request fetch, in the same
+    /// order, with a round-trip count that can only be lower.
+    #[test]
+    fn batched_fetch_equals_unbatched_with_fewer_round_trips() {
+        let (_, store, _, _) = record_chain(3);
+        let manifest = store.chain_manifest_upto(2).unwrap();
+        let needed: Vec<Digest> = manifest
+            .mem_refs
+            .iter()
+            .chain(&manifest.disk_refs)
+            .map(|(_, d)| *d)
+            .collect();
+
+        let mut one_at_a_time = AuditorBlobCache::new();
+        let unbatched = fetch_blobs(
+            &mut one_at_a_time,
+            &store,
+            &needed,
+            1,
+            CompressionLevel::Default,
+        )
+        .unwrap();
+        let mut batched_cache = AuditorBlobCache::new();
+        let batched = fetch_blobs(
+            &mut batched_cache,
+            &store,
+            &needed,
+            DEFAULT_BLOB_BATCH,
+            CompressionLevel::Default,
+        )
+        .unwrap();
+
+        // Same blobs, same order, same payload bytes.
+        assert_eq!(batched.fetched, unbatched.fetched);
+        assert_eq!(batched.payload_bytes, unbatched.payload_bytes);
+        for d in &batched.fetched {
+            assert_eq!(batched_cache.get(d), one_at_a_time.get(d));
+        }
+        // Unbatched pays one round trip per blob; batching divides that.
+        assert_eq!(unbatched.round_trips, unbatched.fetched.len() as u64);
+        assert!(batched.round_trips <= unbatched.round_trips);
+        assert!(
+            batched.round_trips < unbatched.round_trips,
+            "this chain fetches {} blobs, so batching must save round trips",
+            unbatched.fetched.len()
+        );
+        // The RTT model orders the two accordingly.
+        let model = RttModel::default();
+        assert!(
+            model.latency_micros(batched.round_trips, batched.response.raw_bytes)
+                < model.latency_micros(unbatched.round_trips, unbatched.response.raw_bytes)
+        );
+    }
+
+    /// On-demand replay keeps working against a pruned (rebased) store: the
+    /// manifest of a surviving snapshot collapses the rebased chain, blobs
+    /// still resolve, and the session settles.
+    #[test]
+    fn on_demand_works_after_prune() {
+        let (_, mut store, img, reg) = record_chain(5);
+        store.prune_upto(2).unwrap();
+        let cache = AuditorBlobCache::new();
+        let (mut lazy, session) = materialize_on_demand(&store, 4, &img, &reg, &cache).unwrap();
+        let reference = store.materialize(4, &img, &reg).unwrap();
+        assert_eq!(
+            crate::snapshot::compute_state_root(&lazy),
+            crate::snapshot::compute_state_root(&reference)
+        );
+        lazy.inject_packet(vec![1]);
+        run_until_idle(&mut lazy);
+        let mut auditor = AuditorBlobCache::new();
+        let cost = session
+            .finish(&lazy, &store, &mut auditor, CompressionLevel::Default)
+            .unwrap();
+        assert!(cost.chunks_faulted > 0);
+        // Pruned snapshots have no manifest.
+        assert!(store.chain_manifest_upto(1).is_err());
     }
 }

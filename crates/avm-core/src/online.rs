@@ -300,6 +300,6 @@ mod tests {
         assert_eq!(auditor.lag_entries(), 1);
         assert_eq!(auditor.process(10), 1);
         assert_eq!(auditor.lag_entries(), 0);
-        assert_eq!(format!("{auditor:?}").contains("bob"), true);
+        assert!(format!("{auditor:?}").contains("bob"));
     }
 }

@@ -179,6 +179,18 @@ impl Avmm {
         &self.snapshots
     }
 
+    /// Rebases the snapshot chain onto snapshot `id`, dropping older
+    /// snapshots and every pooled blob no surviving snapshot references
+    /// (bounded retention for long recordings; see
+    /// [`SnapshotStore::prune_upto`]).  Returns the payload bytes freed.
+    ///
+    /// The log is untouched — recorded SNAPSHOT entries for pruned ids stay
+    /// tamper-evident; auditors simply can no longer *start* a spot check
+    /// before the retained base.
+    pub fn prune_snapshots_upto(&mut self, id: u64) -> Result<u64, CoreError> {
+        self.snapshots.prune_upto(id)
+    }
+
     /// The wrapped machine (read-only).
     pub fn machine(&self) -> &Machine {
         &self.machine
@@ -219,12 +231,10 @@ impl Avmm {
         let host_now = clock.now();
         let mut value = host_now.max(self.last_clock_value);
         if self.options.clock_read_optimization {
-            let consecutive = match self.last_clock_host {
-                Some(prev) if host_now.saturating_sub(prev) < self.options.clock_opt_window_us => {
-                    true
-                }
-                _ => false,
-            };
+            let consecutive = matches!(
+                self.last_clock_host,
+                Some(prev) if host_now.saturating_sub(prev) < self.options.clock_opt_window_us
+            );
             if consecutive {
                 self.consecutive_clock_reads += 1;
                 // The n-th consecutive read is delayed by 2^(n-2) * base,
@@ -460,8 +470,13 @@ impl Avmm {
 
     /// Takes a snapshot now, logging its state root.
     pub fn take_snapshot(&mut self) -> &StoredSnapshot {
-        let id = self.snapshots.len() as u64;
-        let snap = capture_with_cache(&mut self.machine, &mut self.state_tree, id, true);
+        let id = self.snapshots.next_id();
+        let snap = capture_with_cache(
+            &mut self.machine,
+            &mut self.state_tree,
+            id,
+            self.options.full_memory_snapshots,
+        );
         let rec = crate::events::SnapshotRecord {
             step: snap.step,
             snapshot_id: id,
@@ -715,8 +730,7 @@ mod tests {
             .log()
             .entries()
             .iter()
-            .filter(|e| e.kind == EntryKind::NdEvent)
-            .last()
+            .rfind(|e| e.kind == EntryKind::NdEvent)
             .unwrap();
         let rec = NdEventRecord::decode_exact(&nd.content).unwrap();
         assert!(matches!(rec.detail, NdDetail::InputInjected { .. }));

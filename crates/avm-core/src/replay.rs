@@ -12,10 +12,10 @@
 //! Spot checks can start the replayer two ways (paper §3.5): from a fully
 //! downloaded snapshot ([`Replayer::from_snapshot`]) or from snapshot
 //! *metadata only* ([`Replayer::from_snapshot_on_demand`]), where divergent
-//! pages and disk blocks fault in lazily as the replayed workload touches
-//! them and the auditor pays transfer only for what was accessed (see
-//! [`crate::ondemand`]).  Both modes verify the same roots and reach the
-//! same verdicts; they differ only in what is downloaded.
+//! memory chunks and disk blocks fault in lazily as the replayed workload
+//! touches them and the auditor pays transfer only for what was accessed
+//! (see [`crate::ondemand`]).  Both modes verify the same roots and reach
+//! the same verdicts; they differ only in what is downloaded.
 
 use std::collections::HashMap;
 

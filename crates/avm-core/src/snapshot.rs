@@ -1,5 +1,5 @@
 //! Incremental snapshots with authenticated (Merkle) state roots, stored in
-//! a content-addressed pool.
+//! a content-addressed, reference-counted pool.
 //!
 //! The AVMM "periodically takes a snapshot of the AVM's state … snapshots are
 //! incremental, that is, they only contain the state that has changed since
@@ -9,33 +9,53 @@
 //! points of spot checks (§3.5, §6.12) and authenticate downloaded state
 //! against the recorded root.
 //!
+//! # Chunk granularity
+//!
+//! The unit of accountability throughout this module is the 512 B **chunk**
+//! ([`avm_vm::CHUNK_SIZE`], eight per page): snapshot payloads, Merkle
+//! leaves, pool blobs and transfer sections are all chunk-sized, matching
+//! the VM's chunk-granular dirty tracking.  A guest that bumps an 8-byte
+//! counter therefore costs one 512 B chunk of hashing, storage and transfer
+//! instead of a 4 KiB page.  Disk blocks keep their page-sized granularity
+//! ([`avm_vm::devices::DISK_BLOCK_SIZE`]): block devices write whole
+//! sectors, so sub-block tracking would buy nothing.
+//!
 //! Mirroring the prototype's behaviour reported in §6.12, a snapshot carries
-//! a *full* dump of guest memory pages plus *incremental* (dirty-only) disk
+//! a *full* dump of guest memory chunks plus *incremental* (dirty-only) disk
 //! blocks; passing `full_memory = false` to [`capture`] captures dirty-only
 //! memory as well for harnesses that want the optimised variant.
 //!
-//! # Content-addressed storage
+//! # Content-addressed storage and pruning
 //!
-//! [`capture`] produces a [`Snapshot`] holding raw page/block payloads — the
+//! [`capture`] produces a [`Snapshot`] holding raw chunk/block payloads — the
 //! unit a recorder hands over the wire.  [`SnapshotStore::push`] does *not*
 //! keep those payloads per snapshot: every payload is interned into a
 //! content-addressed [pool](SnapshotStore::stored_payload_bytes) keyed by its
 //! SHA-256 (the same digests the Merkle leaves are built from), and the
 //! stored [`StoredSnapshot`] records only `(index, hash)` references.  A
-//! full-memory capture therefore costs O(unique pages) of storage instead of
-//! O(pages): identical pages across snapshots — and identical pages *within*
-//! one snapshot, e.g. zero pages — share a single blob, so repeated captures
-//! of a mostly-idle guest add almost nothing to the pool.
+//! full-memory capture therefore costs O(unique chunks) of storage instead of
+//! O(chunks): identical chunks across snapshots — and identical chunks
+//! *within* one snapshot, e.g. zero chunks — share a single blob, so repeated
+//! captures of a mostly-idle guest add almost nothing to the pool.
 //! [`SnapshotStore::materialize`] resolves references back through the pool
 //! and still authenticates the reconstructed state against the recorded
 //! Merkle root, so a corrupted or substituted blob can never go unnoticed.
+//!
+//! Pool entries are reference-counted by the snapshots holding them, which
+//! makes retention bounded: [`SnapshotStore::prune_upto`] rebases the chain
+//! onto a chosen snapshot — collapsing everything older into one synthetic
+//! full snapshot, exactly the state [`SnapshotStore::materialize`] would
+//! have reconstructed — and drops every blob no surviving snapshot
+//! references.  Snapshots older than the rebase point become unavailable;
+//! everything from it onward keeps materializing and authenticating as
+//! before, and new captures keep appending.
 //!
 //! # Transfer accounting: raw and compressed
 //!
 //! Spot-check evaluation (§3.5, §6.12, Fig. 9) needs the bytes an auditor
 //! must *download*, which is a different quantity from the bytes the store
 //! keeps: the modelled transfer protocol ships snapshot *sections* (headers,
-//! indexed pages, indexed disk blocks), exactly the sections
+//! indexed chunks, indexed disk blocks), exactly the sections
 //! [`SnapshotStore::materialize`] applies.  One shared base index decides
 //! which memory sections a later full dump supersedes, so
 //! [`SnapshotStore::transfer_bytes_upto`] is always equal to the bytes
@@ -49,22 +69,26 @@
 //! # The incremental state-root pipeline
 //!
 //! The state root covers a fixed leaf order — CPU state, device state,
-//! control word, every memory page, every disk block — so recorder and
+//! control word, every memory chunk, every disk block — so recorder and
 //! auditor always derive comparable roots.  Naively that is O(total state)
 //! of hashing per snapshot; the paper's own AVMM "maintains" the tree
 //! instead of rebuilding it, and so does this module:
 //!
-//! 1. `avm-vm` memoises each page/block SHA-256, invalidating a slot the
-//!    moment that page/block is written ([`avm_vm::GuestMemory::page_hash`],
+//! 1. `avm-vm` memoises each chunk/block SHA-256, invalidating a slot the
+//!    moment that chunk/block is written ([`avm_vm::GuestMemory::chunk_hash`],
 //!    [`avm_vm::devices::Disk::block_hash`]).
 //! 2. [`StateTreeCache`] keeps the Merkle tree alive across snapshots and,
 //!    on [`StateTreeCache::refresh`], re-derives only the three header
-//!    leaves plus the leaves flagged by the VM's dirty bits, updating the
-//!    tree in one O(dirty + log n) batch
-//!    ([`MerkleTree::update_leaf_hashes`]).
+//!    leaves plus the leaves flagged by the VM's dirty-chunk bitmasks,
+//!    updating the tree in one O(dirty + log n) batch
+//!    ([`MerkleTree::update_leaf_hashes`]).  The dirty-chunk hashing itself
+//!    is fanned across a small hand-rolled scoped-thread worker pool
+//!    ([`avm_vm::GuestMemory::prime_chunk_hashes`] →
+//!    [`avm_crypto::parallel::sha256_batch`]), so the remaining O(dirty)
+//!    work scales across cores for large guests.
 //!
 //! **Invalidation contract:** `refresh` trusts the dirty bits to name every
-//! page/block whose contents changed since the cache was last in sync.
+//! chunk/block whose contents changed since the cache was last in sync.
 //! That holds as long as dirty bits are only cleared at capture points
 //! (which is when the cache is refreshed); callers that clear dirty
 //! tracking elsewhere must call [`StateTreeCache::invalidate`] first.
@@ -74,13 +98,13 @@
 //! tests and benches cross-check the cached root against it.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::merkle::MerkleTree;
 use avm_crypto::sha256::{sha256, Digest};
 use avm_vm::devices::DISK_BLOCK_SIZE;
-use avm_vm::{GuestRegistry, Machine, VmImage, PAGE_SIZE};
+use avm_vm::{GuestRegistry, Machine, VmImage, CHUNK_SIZE};
 
 use crate::error::CoreError;
 
@@ -95,13 +119,13 @@ pub struct Snapshot {
     pub id: u64,
     /// Machine step count at capture time.
     pub step: u64,
-    /// Whether the memory section contains every page (`true`) or only pages
-    /// dirtied since the previous snapshot (`false`).
+    /// Whether the memory section contains every chunk (`true`) or only
+    /// chunks dirtied since the previous snapshot (`false`).
     pub full_memory: bool,
-    /// Captured memory pages as `(page index, content hash, contents)`.  The
-    /// hash is the VM's memoised Merkle leaf hash, carried along so the
+    /// Captured memory chunks as `(chunk index, content hash, contents)`.
+    /// The hash is the VM's memoised Merkle leaf hash, carried along so the
     /// content-addressed [`SnapshotStore`] never rehashes payloads on push.
-    pub mem_pages: Vec<(u32, Digest, Vec<u8>)>,
+    pub mem_chunks: Vec<(u32, Digest, Vec<u8>)>,
     /// Captured disk blocks as `(block index, content hash, contents)` —
     /// always incremental.
     pub disk_blocks: Vec<(u32, Digest, Vec<u8>)>,
@@ -116,9 +140,9 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Bytes of captured memory page payloads.
+    /// Bytes of captured memory chunk payloads.
     pub fn memory_bytes(&self) -> u64 {
-        self.mem_pages.iter().map(|(_, _, p)| p.len() as u64).sum()
+        self.mem_chunks.iter().map(|(_, _, p)| p.len() as u64).sum()
     }
 
     /// Bytes of captured disk block payloads.
@@ -129,17 +153,17 @@ impl Snapshot {
             .sum()
     }
 
-    /// Number of memory pages this snapshot carries (all pages for a full
-    /// capture, dirty pages only for an incremental one).
-    pub fn page_count(&self) -> usize {
-        self.mem_pages.len()
+    /// Number of memory chunks this snapshot carries (all chunks for a full
+    /// capture, dirty chunks only for an incremental one).
+    pub fn chunk_count(&self) -> usize {
+        self.mem_chunks.len()
     }
 
     /// Framing bytes beyond the raw payloads: the per-entry `u32` indices
     /// (which dominate relative overhead for small dirty-only captures) plus
     /// the fixed header ([`SNAPSHOT_HEADER_BYTES`]).
     pub fn metadata_bytes(&self) -> u64 {
-        (self.mem_pages.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
+        (self.mem_chunks.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
     }
 
     /// Total size of the snapshot as stored or transferred: payloads
@@ -158,7 +182,7 @@ impl Snapshot {
 }
 
 /// Hashes the three header leaves (CPU, devices, control word) that precede
-/// the per-page and per-block leaves in the fixed leaf order.
+/// the per-chunk and per-block leaves in the fixed leaf order.
 fn header_leaves(machine: &Machine) -> [Digest; 3] {
     let mut control = Vec::with_capacity(10);
     control.extend_from_slice(&machine.step_count().to_le_bytes());
@@ -174,8 +198,8 @@ fn header_leaves(machine: &Machine) -> [Digest; 3] {
 /// Computes the Merkle root over the complete state of `machine`.
 ///
 /// The leaf order is fixed (CPU state, device state, control word, every
-/// memory page, every disk block), so the recording AVMM and a replaying
-/// auditor always derive comparable roots.  Page and block leaves come from
+/// memory chunk, every disk block), so the recording AVMM and a replaying
+/// auditor always derive comparable roots.  Chunk and block leaves come from
 /// the VM's memoised hash caches; hot paths that take repeated roots should
 /// hold a [`StateTreeCache`] instead, which also reuses the tree's interior
 /// nodes.
@@ -184,14 +208,22 @@ pub fn compute_state_root(machine: &Machine) -> Digest {
 }
 
 /// Builds the full Merkle tree over machine state (exposed so auditors can
-/// produce inclusion proofs for individual pages).
+/// produce inclusion proofs for individual chunks).
+///
+/// Missing chunk/block hashes are filled in bulk across the scoped worker
+/// pool before the leaves are collected, so a cold full build parallelises
+/// the same way an incremental refresh does.
 pub fn build_state_tree(machine: &Machine) -> MerkleTree {
     let mem = machine.memory();
     let disk = &machine.devices().disk;
-    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    let all_chunks: Vec<usize> = (0..mem.chunk_count()).collect();
+    mem.prime_chunk_hashes(&all_chunks);
+    let all_blocks: Vec<usize> = (0..disk.block_count()).collect();
+    disk.prime_block_hashes(&all_blocks);
+    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.chunk_count() + disk.block_count());
     leaves.extend_from_slice(&header_leaves(machine));
-    for i in 0..mem.page_count() {
-        leaves.push(mem.page_hash(i).expect("page in range"));
+    for i in 0..mem.chunk_count() {
+        leaves.push(mem.chunk_hash(i).expect("chunk in range"));
     }
     for i in 0..disk.block_count() {
         leaves.push(disk.block_hash(i).expect("block in range"));
@@ -199,19 +231,19 @@ pub fn build_state_tree(machine: &Machine) -> MerkleTree {
     MerkleTree::from_leaf_hashes(leaves)
 }
 
-/// Reference tree construction that rehashes every page and block from raw
-/// contents, bypassing the VM hash caches and any [`StateTreeCache`].
+/// Reference tree construction that rehashes every chunk and block from raw
+/// contents, bypassing the VM hash caches, the worker pool and any
+/// [`StateTreeCache`].
 ///
 /// This is the seed implementation's cost model, kept as the baseline the
-/// property tests cross-check against and the `fig6_snapshot_incremental`
-/// bench compares with.
+/// property tests cross-check against and the benches compare with.
 pub fn build_state_tree_uncached(machine: &Machine) -> MerkleTree {
     let mem = machine.memory();
     let disk = &machine.devices().disk;
-    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.page_count() + disk.block_count());
+    let mut leaves: Vec<Digest> = Vec::with_capacity(3 + mem.chunk_count() + disk.block_count());
     leaves.extend_from_slice(&header_leaves(machine));
-    for i in 0..mem.page_count() {
-        leaves.push(sha256(mem.page(i).expect("page in range")));
+    for i in 0..mem.chunk_count() {
+        leaves.push(sha256(mem.chunk(i).expect("chunk in range")));
     }
     for i in 0..disk.block_count() {
         leaves.push(sha256(disk.block(i).expect("block in range")));
@@ -233,7 +265,7 @@ pub struct StateTreeCache {
     /// unchanged, the three header leaves (CPU, devices, control word) are
     /// guaranteed unchanged too, so refresh skips reserialising and
     /// rehashing them — pure-memory workloads (the `fig6inc` benchmark, a
-    /// guest idling between captures) then pay only for dirty page leaves.
+    /// guest idling between captures) then pay only for dirty chunk leaves.
     header_version: Option<u64>,
 }
 
@@ -259,34 +291,39 @@ impl StateTreeCache {
 
     /// Synchronises the cached tree with `machine` and returns the root.
     ///
-    /// Page and block leaves are re-derived only where the machine's dirty
-    /// bits say the contents may have changed since the last refresh.  The
-    /// three header leaves (CPU, devices, control word) are re-derived only
-    /// when [`Machine::state_version`] moved since the last refresh — the
-    /// version is a conservative change counter over exactly the state those
-    /// leaves cover, so an unchanged version proves the serialised headers
-    /// (and hence their hashes) are identical.
+    /// Chunk and block leaves are re-derived only where the machine's dirty
+    /// bits say the contents may have changed since the last refresh, with
+    /// the missing hashes computed in one parallel batch (see the module
+    /// docs).  The three header leaves (CPU, devices, control word) are
+    /// re-derived only when [`Machine::state_version`] moved since the last
+    /// refresh — the version is a conservative change counter over exactly
+    /// the state those leaves cover, so an unchanged version proves the
+    /// serialised headers (and hence their hashes) are identical.
     pub fn refresh(&mut self, machine: &Machine) -> Digest {
         let mem = machine.memory();
         let disk = &machine.devices().disk;
-        let leaf_count = 3 + mem.page_count() + disk.block_count();
+        let leaf_count = 3 + mem.chunk_count() + disk.block_count();
         let version = machine.state_version();
         match &mut self.tree {
             Some(tree) if tree.leaf_count() == leaf_count => {
-                let dirty_pages = mem.dirty_pages();
+                let dirty_chunks = mem.dirty_chunks();
                 let dirty_blocks = disk.dirty_blocks();
+                // Fan the dirty-leaf hashing across the worker pool before
+                // the serial tree update reads the memoised values.
+                mem.prime_chunk_hashes(&dirty_chunks);
+                disk.prime_block_hashes(&dirty_blocks);
                 let mut updates: Vec<(usize, Digest)> =
-                    Vec::with_capacity(3 + dirty_pages.len() + dirty_blocks.len());
+                    Vec::with_capacity(3 + dirty_chunks.len() + dirty_blocks.len());
                 if self.header_version != Some(version) {
                     let header = header_leaves(machine);
                     updates.push((0, header[0]));
                     updates.push((1, header[1]));
                     updates.push((2, header[2]));
                 }
-                for i in dirty_pages {
-                    updates.push((3 + i, mem.page_hash(i).expect("dirty page in range")));
+                for c in dirty_chunks {
+                    updates.push((3 + c, mem.chunk_hash(c).expect("dirty chunk in range")));
                 }
-                let block_base = 3 + mem.page_count();
+                let block_base = 3 + mem.chunk_count();
                 for b in dirty_blocks {
                     updates.push((
                         block_base + b,
@@ -312,7 +349,7 @@ impl StateTreeCache {
 /// Captures a snapshot of `machine` and clears its dirty tracking.
 ///
 /// `full_memory` selects between the paper-prototype behaviour (full memory
-/// dump, §6.12) and dirty-page-only memory.  This convenience form rebuilds
+/// dump, §6.12) and dirty-chunk-only memory.  This convenience form rebuilds
 /// the state tree from the (memoised) leaf hashes; hot paths taking repeated
 /// snapshots should use [`capture_with_cache`].
 pub fn capture(machine: &mut Machine, id: u64, full_memory: bool) -> Snapshot {
@@ -324,7 +361,7 @@ pub fn capture(machine: &mut Machine, id: u64, full_memory: bool) -> Snapshot {
 /// clears the machine's dirty tracking.
 ///
 /// The dirty bits consumed here serve double duty: they select which leaves
-/// of `cache` to refresh *and* which pages/blocks the snapshot carries, so
+/// of `cache` to refresh *and* which chunks/blocks the snapshot carries, so
 /// the snapshot and the root it records are always mutually consistent.
 pub fn capture_with_cache(
     machine: &mut Machine,
@@ -338,7 +375,7 @@ pub fn capture_with_cache(
     // snapshot is pushed into.  Recording machines never stage, so this is
     // loud protection against misuse, not a reachable runtime state.
     assert_eq!(
-        machine.memory().staged_page_count() + machine.devices().disk.staged_block_count(),
+        machine.memory().staged_chunk_count() + machine.devices().disk.staged_block_count(),
         0,
         "cannot capture a machine with staged demand-paged state"
     );
@@ -347,17 +384,17 @@ pub fn capture_with_cache(
     // The leaf hashes are memoised by the VM (and fresh after the refresh
     // above); carrying them with the payloads lets the content-addressed
     // store intern without rehashing.
-    let capture_page = |i: usize| {
+    let capture_chunk = |i: usize| {
         (
             i as u32,
-            mem.page_hash(i).expect("page hash"),
-            mem.page(i).expect("page").to_vec(),
+            mem.chunk_hash(i).expect("chunk hash"),
+            mem.chunk(i).expect("chunk").to_vec(),
         )
     };
-    let mem_pages: Vec<(u32, Digest, Vec<u8>)> = if full_memory {
-        (0..mem.page_count()).map(capture_page).collect()
+    let mem_chunks: Vec<(u32, Digest, Vec<u8>)> = if full_memory {
+        (0..mem.chunk_count()).map(capture_chunk).collect()
     } else {
-        mem.dirty_pages().into_iter().map(capture_page).collect()
+        mem.dirty_chunks().into_iter().map(capture_chunk).collect()
     };
     let disk = &machine.devices().disk;
     let disk_blocks = disk
@@ -375,7 +412,7 @@ pub fn capture_with_cache(
         id,
         step: machine.step_count(),
         full_memory,
-        mem_pages,
+        mem_chunks,
         disk_blocks,
         cpu_state: machine.save_cpu_state(),
         dev_state: machine.devices().save_volatile(),
@@ -403,8 +440,13 @@ pub struct StoredSnapshot {
     pub id: u64,
     /// Machine step count at capture time.
     pub step: u64,
-    /// Whether the memory section covers every page (`true`) or only pages
-    /// dirtied since the previous snapshot (`false`).
+    /// Whether this snapshot's memory section is a chain memory base: it
+    /// supersedes every earlier memory section, so reconstruction starts
+    /// from the reference image plus this section alone.  True for captures
+    /// taken with `full_memory` (which carry every chunk) and for the
+    /// synthetic snapshot [`SnapshotStore::prune_upto`] rebases onto (which
+    /// carries the *effective* chunk set — chunks never written stay
+    /// image-derived); false for dirty-only incremental captures.
     pub full_memory: bool,
     /// Whether the guest had halted.
     pub halted: bool,
@@ -414,14 +456,14 @@ pub struct StoredSnapshot {
     pub cpu_state: Vec<u8>,
     /// Serialized volatile device state.
     pub dev_state: Vec<u8>,
-    mem_pages: Vec<(u32, Digest)>,
+    mem_chunks: Vec<(u32, Digest)>,
     disk_blocks: Vec<(u32, Digest)>,
     mem_payload_bytes: u64,
     disk_payload_bytes: u64,
 }
 
 impl StoredSnapshot {
-    /// Logical bytes of the captured memory page payloads.
+    /// Logical bytes of the captured memory chunk payloads.
     pub fn memory_bytes(&self) -> u64 {
         self.mem_payload_bytes
     }
@@ -431,14 +473,14 @@ impl StoredSnapshot {
         self.disk_payload_bytes
     }
 
-    /// Number of memory pages this snapshot references.
-    pub fn page_count(&self) -> usize {
-        self.mem_pages.len()
+    /// Number of memory chunks this snapshot references.
+    pub fn chunk_count(&self) -> usize {
+        self.mem_chunks.len()
     }
 
-    /// Content references for the memory section, as `(page index, hash)`.
-    pub fn mem_page_refs(&self) -> &[(u32, Digest)] {
-        &self.mem_pages
+    /// Content references for the memory section, as `(chunk index, hash)`.
+    pub fn mem_chunk_refs(&self) -> &[(u32, Digest)] {
+        &self.mem_chunks
     }
 
     /// Content references for the disk section, as `(block index, hash)`.
@@ -449,7 +491,7 @@ impl StoredSnapshot {
     /// Framing bytes beyond the raw payloads, mirroring
     /// [`Snapshot::metadata_bytes`].
     pub fn metadata_bytes(&self) -> u64 {
-        (self.mem_pages.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
+        (self.mem_chunks.len() + self.disk_blocks.len()) as u64 * 4 + SNAPSHOT_HEADER_BYTES
     }
 
     /// Logical total size as transferred, mirroring [`Snapshot::total_bytes`].
@@ -462,36 +504,79 @@ impl StoredSnapshot {
     }
 }
 
-/// Content-addressed blob pool shared by all snapshots in a store.
+/// A reference-counted blob held by the pool.
+#[derive(Debug, Clone)]
+struct PoolEntry {
+    data: Vec<u8>,
+    /// Number of `(index, hash)` references across all retained snapshots.
+    refs: u64,
+}
+
+/// Content-addressed, reference-counted blob pool shared by all snapshots in
+/// a store.
 #[derive(Debug, Clone, Default)]
 struct PayloadPool {
-    blobs: HashMap<Digest, Vec<u8>>,
+    blobs: HashMap<Digest, PoolEntry>,
+    /// Unique bytes currently held (drops when pruning releases last refs).
     stored_bytes: u64,
+    /// Cumulative logical bytes ever interned.
+    pushed_bytes: u64,
+    /// Cumulative bytes saved by dedup at intern time.
     deduped_bytes: u64,
 }
 
 impl PayloadPool {
     /// Interns `data` under the caller-supplied content `hash` (the VM's
-    /// memoised Merkle leaf hash, so pushing never rehashes payloads).  Only
-    /// the first occurrence of any content costs storage; later occurrences
-    /// are accounted as deduplicated.
+    /// memoised Merkle leaf hash, so pushing never rehashes payloads),
+    /// acquiring one reference.  Only the first occurrence of any content
+    /// costs storage; later occurrences are accounted as deduplicated.
     ///
     /// The digest is trusted here: a snapshot pushed with a digest that does
     /// not match its payload mis-keys the blob, and materialization of any
     /// snapshot referencing it fails the state-root authentication — the
     /// same verdict tampered content gets.
     fn intern(&mut self, hash: Digest, data: Vec<u8>) {
+        self.pushed_bytes += data.len() as u64;
         match self.blobs.entry(hash) {
-            Entry::Occupied(_) => self.deduped_bytes += data.len() as u64,
+            Entry::Occupied(mut slot) => {
+                slot.get_mut().refs += 1;
+                self.deduped_bytes += data.len() as u64;
+            }
             Entry::Vacant(slot) => {
                 self.stored_bytes += data.len() as u64;
-                slot.insert(data);
+                slot.insert(PoolEntry { data, refs: 1 });
             }
         }
     }
 
+    /// Acquires one more reference to an already-pooled blob (rebasing).
+    fn retain(&mut self, hash: &Digest) {
+        self.blobs
+            .get_mut(hash)
+            .expect("retained blob must be pooled")
+            .refs += 1;
+    }
+
+    /// Releases one reference; the last release evicts the blob and returns
+    /// its size (0 while other references survive).
+    fn release(&mut self, hash: &Digest) -> u64 {
+        let Entry::Occupied(mut slot) = self.blobs.entry(*hash) else {
+            debug_assert!(false, "released blob must be pooled");
+            return 0;
+        };
+        let entry = slot.get_mut();
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            return 0;
+        }
+        let freed = entry.data.len() as u64;
+        slot.remove();
+        self.stored_bytes -= freed;
+        freed
+    }
+
     fn get(&self, hash: &Digest) -> Option<&[u8]> {
-        self.blobs.get(hash).map(|b| b.as_slice())
+        self.blobs.get(hash).map(|e| e.data.as_slice())
     }
 }
 
@@ -523,8 +608,9 @@ pub type TransferCost = CompressionStats;
 /// let mut machine = Machine::from_image(&image, &registry).unwrap();
 /// machine.memory_mut().write_u8(0x9000, 7).unwrap();
 ///
-/// // Record side: capture a full snapshot; the store interns payloads by
-/// // SHA-256, so the mostly-zero guest stores far less than it captured.
+/// // Record side: capture a full snapshot; the store interns 512 B chunk
+/// // payloads by SHA-256, so the mostly-zero guest stores far less than it
+/// // captured.
 /// let mut store = SnapshotStore::new();
 /// store.push(capture(&mut machine, 0, true));
 /// assert!(store.stored_payload_bytes() < store.logical_payload_bytes());
@@ -538,8 +624,11 @@ pub type TransferCost = CompressionStats;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotStore {
+    /// Retained snapshots; `snapshots[i].id == base_id + i`.
     snapshots: Vec<StoredSnapshot>,
     pool: PayloadPool,
+    /// Id of the first retained snapshot (> 0 after pruning).
+    base_id: u64,
 }
 
 impl SnapshotStore {
@@ -548,17 +637,18 @@ impl SnapshotStore {
         SnapshotStore::default()
     }
 
-    /// Adds a snapshot (ids must be dense and increasing), interning its
-    /// payloads into the content-addressed pool.
+    /// Adds a snapshot (ids must be dense and increasing; the next id is
+    /// [`SnapshotStore::next_id`]), interning its payloads into the
+    /// content-addressed pool.
     pub fn push(&mut self, snapshot: Snapshot) {
-        debug_assert_eq!(snapshot.id as usize, self.snapshots.len());
+        debug_assert_eq!(snapshot.id, self.next_id());
         let mem_payload_bytes = snapshot.memory_bytes();
         let disk_payload_bytes = snapshot.disk_bytes();
-        let mem_pages = snapshot
-            .mem_pages
+        let mem_chunks = snapshot
+            .mem_chunks
             .into_iter()
-            .map(|(idx, hash, page)| {
-                self.pool.intern(hash, page);
+            .map(|(idx, hash, chunk)| {
+                self.pool.intern(hash, chunk);
                 (idx, hash)
             })
             .collect();
@@ -578,31 +668,53 @@ impl SnapshotStore {
             state_root: snapshot.state_root,
             cpu_state: snapshot.cpu_state,
             dev_state: snapshot.dev_state,
-            mem_pages,
+            mem_chunks,
             disk_blocks,
             mem_payload_bytes,
             disk_payload_bytes,
         });
     }
 
-    /// Number of snapshots.
+    /// Number of retained snapshots.
     pub fn len(&self) -> usize {
         self.snapshots.len()
     }
 
-    /// True when no snapshot has been taken.
+    /// True when no snapshot is retained.
     pub fn is_empty(&self) -> bool {
         self.snapshots.is_empty()
     }
 
-    /// Returns snapshot `id`.
-    pub fn get(&self, id: u64) -> Option<&StoredSnapshot> {
-        self.snapshots.get(id as usize)
+    /// Id of the first retained snapshot (0 until pruned).
+    pub fn base_id(&self) -> u64 {
+        self.base_id
     }
 
-    /// All snapshots.
+    /// Id the next pushed snapshot must carry.
+    pub fn next_id(&self) -> u64 {
+        self.base_id + self.snapshots.len() as u64
+    }
+
+    /// Returns snapshot `id`, if retained (pruned and never-pushed ids are
+    /// both `None`).
+    pub fn get(&self, id: u64) -> Option<&StoredSnapshot> {
+        let pos = id.checked_sub(self.base_id)?;
+        self.snapshots.get(pos as usize)
+    }
+
+    /// All retained snapshots, in id order.
     pub fn all(&self) -> &[StoredSnapshot] {
         &self.snapshots
+    }
+
+    /// The retained prefix of the chain with ids `<= upto_id` (clamped, so
+    /// wild ids from an untrusted log stay total).
+    pub(crate) fn chain_upto(&self, upto_id: u64) -> &[StoredSnapshot] {
+        let end = upto_id
+            .saturating_sub(self.base_id)
+            .saturating_add(if upto_id >= self.base_id { 1 } else { 0 })
+            .min(self.snapshots.len() as u64);
+        &self.snapshots[..end as usize]
     }
 
     /// Resolves a content hash to its payload, if the pool holds it.
@@ -611,21 +723,22 @@ impl SnapshotStore {
     }
 
     /// Unique payload bytes the pool actually holds.  This is the O(unique
-    /// pages) storage cost of the store.
+    /// chunks) storage cost of the store, and it shrinks when
+    /// [`SnapshotStore::prune_upto`] drops the last reference to a blob.
     pub fn stored_payload_bytes(&self) -> u64 {
         self.pool.stored_bytes
     }
 
     /// Payload bytes that were pushed but *not* stored because identical
-    /// content was already pooled.
+    /// content was already pooled (cumulative over all pushes).
     pub fn deduped_payload_bytes(&self) -> u64 {
         self.pool.deduped_bytes
     }
 
-    /// Logical payload bytes pushed across all snapshots
-    /// (`stored + deduped`); what a non-deduplicating store would hold.
+    /// Logical payload bytes pushed across all snapshots ever (what a
+    /// non-deduplicating, non-pruning store would hold).
     pub fn logical_payload_bytes(&self) -> u64 {
-        self.pool.stored_bytes + self.pool.deduped_bytes
+        self.pool.pushed_bytes
     }
 
     /// Number of unique payload blobs in the pool.
@@ -633,45 +746,120 @@ impl SnapshotStore {
         self.pool.blobs.len()
     }
 
-    /// Index of the first snapshot whose memory section is part of the state
-    /// at `upto_id`: the last full-memory snapshot in the chain (its dump
-    /// overwrites every page, superseding every earlier memory section), or
-    /// 0 when the chain holds no full dump.  Computed once per traversal, so
-    /// the accounting and materialization walks stay O(chain).
+    /// Id of the first snapshot whose memory section is part of the state
+    /// at `upto_id`: the last full-memory snapshot in the retained chain
+    /// (its dump overwrites every chunk, superseding every earlier memory
+    /// section), or the base id when the chain holds no full dump.  Computed
+    /// once per traversal, so the accounting and materialization walks stay
+    /// O(chain).
     ///
-    /// This single base index drives [`SnapshotStore::materialize`], the
+    /// This single base id drives [`SnapshotStore::materialize`], the
     /// transfer accounting and the on-demand chain manifest
     /// ([`SnapshotStore::chain_manifest_upto`]), so they can never disagree
     /// about which sections an auditor must download.  `upto_id` may exceed
     /// the store (an untrusted log can reference snapshot ids the store
     /// never saw); the range is clamped so the accounting entry points stay
     /// total.
-    pub(crate) fn memory_base(&self, upto_id: u64) -> usize {
-        let end = (upto_id as usize)
-            .saturating_add(1)
-            .min(self.snapshots.len());
-        self.snapshots[..end]
+    pub(crate) fn memory_base(&self, upto_id: u64) -> u64 {
+        self.chain_upto(upto_id)
             .iter()
-            .rposition(|s| s.full_memory)
-            .unwrap_or(0)
+            .rev()
+            .find(|s| s.full_memory)
+            .map_or(self.base_id, |s| s.id)
+    }
+
+    /// Rebases the chain onto snapshot `new_base_id`: snapshots with smaller
+    /// ids are dropped, the chain state they contributed is collapsed into a
+    /// synthetic full snapshot at `new_base_id` (the exact state
+    /// [`SnapshotStore::materialize`] reconstructs there, so it still
+    /// authenticates against the recorded root), and every blob no surviving
+    /// snapshot references is evicted from the pool.
+    ///
+    /// Returns the payload bytes freed.  Pruning at or below the current
+    /// base is a no-op; pruning at an unretained id is an error.  Later
+    /// snapshots — and snapshots captured after the prune — keep
+    /// materializing unchanged.
+    pub fn prune_upto(&mut self, new_base_id: u64) -> Result<u64, CoreError> {
+        if new_base_id <= self.base_id {
+            return if self.get(self.base_id).is_some() || new_base_id == self.base_id {
+                Ok(0)
+            } else {
+                Err(CoreError::Snapshot(format!(
+                    "cannot prune empty store at snapshot {new_base_id}"
+                )))
+            };
+        }
+        let target = self.get(new_base_id).ok_or_else(|| {
+            CoreError::Snapshot(format!("cannot prune at unretained snapshot {new_base_id}"))
+        })?;
+        // Collapse the chain into the effective state at the new base, with
+        // the same supersession predicate every other walk uses.
+        let base = self.memory_base(new_base_id);
+        let mut mem: BTreeMap<u32, Digest> = BTreeMap::new();
+        let mut disk: BTreeMap<u32, Digest> = BTreeMap::new();
+        for s in self.chain_upto(new_base_id) {
+            if s.id >= base {
+                for (idx, hash) in s.mem_chunk_refs() {
+                    mem.insert(*idx, *hash);
+                }
+            }
+            for (idx, hash) in s.disk_block_refs() {
+                disk.insert(*idx, *hash);
+            }
+        }
+        let mem_chunks: Vec<(u32, Digest)> = mem.into_iter().collect();
+        let disk_blocks: Vec<(u32, Digest)> = disk.into_iter().collect();
+        let payload_len = |hash: &Digest| {
+            self.pool.get(hash).map(|b| b.len() as u64).expect(
+                "every reference of a retained snapshot holds a pool ref, so the blob exists",
+            )
+        };
+        let mem_payload_bytes = mem_chunks.iter().map(|(_, h)| payload_len(h)).sum();
+        let disk_payload_bytes = disk_blocks.iter().map(|(_, h)| payload_len(h)).sum();
+        let rebased = StoredSnapshot {
+            id: new_base_id,
+            step: target.step,
+            // The rebased snapshot *is* the chain's memory base now.
+            full_memory: true,
+            halted: target.halted,
+            state_root: target.state_root,
+            cpu_state: target.cpu_state.clone(),
+            dev_state: target.dev_state.clone(),
+            mem_chunks,
+            disk_blocks,
+            mem_payload_bytes,
+            disk_payload_bytes,
+        };
+        // Acquire the rebased snapshot's references before releasing the
+        // dropped snapshots', so blobs shared between them never hit zero.
+        for (_, hash) in rebased.mem_chunks.iter().chain(&rebased.disk_blocks) {
+            self.pool.retain(hash);
+        }
+        let drop_count = (new_base_id - self.base_id) as usize + 1;
+        let mut freed = 0u64;
+        for s in &self.snapshots[..drop_count] {
+            for (_, hash) in s.mem_chunks.iter().chain(&s.disk_blocks) {
+                freed += self.pool.release(hash);
+            }
+        }
+        let tail = self.snapshots.split_off(drop_count);
+        self.snapshots = std::iter::once(rebased).chain(tail).collect();
+        self.base_id = new_base_id;
+        Ok(freed)
     }
 
     /// Number of bytes an auditor must download to reconstruct the state at
-    /// snapshot `upto_id`: every snapshot header in the chain, the chain of
-    /// incremental disk blocks, the memory sections not superseded by a later
-    /// full dump (including the base full dump itself), per-entry index
-    /// framing, and the target's CPU/device state — exactly the bytes
+    /// snapshot `upto_id`: every snapshot header in the retained chain, the
+    /// chain of incremental disk blocks, the memory sections not superseded
+    /// by a later full dump (including the base full dump itself), per-entry
+    /// index framing, and the target's CPU/device state — exactly the bytes
     /// [`SnapshotStore::materialize`] consumes.
     pub fn transfer_bytes_upto(&self, upto_id: u64) -> u64 {
         let mut total = 0u64;
         let base = self.memory_base(upto_id);
-        for s in self
-            .snapshots
-            .iter()
-            .take((upto_id as usize).saturating_add(1))
-        {
-            if s.id as usize >= base {
-                total += s.memory_bytes() + s.mem_pages.len() as u64 * 4;
+        for s in self.chain_upto(upto_id) {
+            if s.id >= base {
+                total += s.memory_bytes() + s.mem_chunks.len() as u64 * 4;
             }
             total += s.disk_bytes() + s.disk_blocks.len() as u64 * 4;
             total += SNAPSHOT_HEADER_BYTES;
@@ -695,20 +883,16 @@ impl SnapshotStore {
     pub fn transfer_stream_upto(&self, upto_id: u64) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.transfer_bytes_upto(upto_id) as usize);
         let base = self.memory_base(upto_id);
-        for s in self
-            .snapshots
-            .iter()
-            .take((upto_id as usize).saturating_add(1))
-        {
+        for s in self.chain_upto(upto_id) {
             out.extend_from_slice(&s.id.to_le_bytes());
             out.extend_from_slice(&s.step.to_le_bytes());
             out.push(u8::from(s.full_memory));
             out.push(u8::from(s.halted));
             out.extend_from_slice(s.state_root.as_bytes());
-            if s.id as usize >= base {
-                for (idx, hash) in &s.mem_pages {
+            if s.id >= base {
+                for (idx, hash) in &s.mem_chunks {
                     out.extend_from_slice(&idx.to_le_bytes());
-                    out.extend_from_slice(self.pool.get(hash).expect("pooled page"));
+                    out.extend_from_slice(self.pool.get(hash).expect("pooled chunk"));
                 }
             }
             for (idx, hash) in &s.disk_blocks {
@@ -761,24 +945,24 @@ impl SnapshotStore {
         let mut machine = Machine::from_image(image, registry).map_err(CoreError::Vm)?;
         let mut consumed = 0u64;
         let base = self.memory_base(upto_id);
-        for s in self.snapshots.iter().take(upto_id as usize + 1) {
+        for s in self.chain_upto(upto_id) {
             consumed += SNAPSHOT_HEADER_BYTES;
-            if s.id as usize >= base {
-                for (idx, hash) in &s.mem_pages {
-                    let page = self.pool.get(hash).ok_or_else(|| {
+            if s.id >= base {
+                for (idx, hash) in &s.mem_chunks {
+                    let chunk = self.pool.get(hash).ok_or_else(|| {
                         CoreError::Snapshot(format!(
-                            "page {idx} of snapshot {} missing from pool",
+                            "chunk {idx} of snapshot {} missing from pool",
                             s.id
                         ))
                     })?;
-                    if page.len() != PAGE_SIZE {
-                        return Err(CoreError::Snapshot("bad page size".to_string()));
+                    if chunk.len() != CHUNK_SIZE {
+                        return Err(CoreError::Snapshot("bad chunk size".to_string()));
                     }
                     machine
                         .memory_mut()
-                        .set_page_from_slice(*idx as usize, page)
+                        .set_chunk_from_slice(*idx as usize, chunk)
                         .map_err(CoreError::Vm)?;
-                    consumed += 4 + page.len() as u64;
+                    consumed += 4 + chunk.len() as u64;
                 }
             }
             for (idx, hash) in &s.disk_blocks {
@@ -826,7 +1010,7 @@ impl SnapshotStore {
 mod tests {
     use super::*;
     use avm_vm::bytecode::assemble;
-    use avm_vm::{StopCondition, VmExit};
+    use avm_vm::{StopCondition, VmExit, CHUNKS_PER_PAGE, PAGE_SIZE};
 
     fn image() -> VmImage {
         // A guest that stores an increasing counter to memory and disk each
@@ -863,6 +1047,9 @@ mod tests {
             }
         }
     }
+
+    /// Chunk index of the guest's counter cell at 0x9000.
+    const COUNTER_CHUNK: u32 = (0x9000 / CHUNK_SIZE) as u32;
 
     #[test]
     fn capture_and_materialize_single_snapshot() {
@@ -927,6 +1114,16 @@ mod tests {
         let incr = capture(&mut m, 1, false);
         assert!(incr.memory_bytes() < full.memory_bytes());
         assert!(incr.total_bytes() < full.total_bytes());
+        // Chunk granularity: the incremental capture carries whole chunks,
+        // not whole pages — the counter bump costs one 512 B chunk.
+        assert!(incr
+            .mem_chunks
+            .iter()
+            .all(|(_, _, c)| c.len() == CHUNK_SIZE));
+        assert!(
+            incr.memory_bytes() < incr.chunk_count() as u64 * PAGE_SIZE as u64,
+            "sub-page capture must undercut page granularity"
+        );
     }
 
     #[test]
@@ -938,11 +1135,16 @@ mod tests {
         m.inject_packet(vec![1]);
         run_until_idle(&mut m);
         let mut snap = capture(&mut m, 0, true);
-        // Tamper with a captured page (e.g. pretend the counter was higher),
-        // re-hashing it like a forger rewriting their own capture would.
-        if let Some((_, hash, page)) = snap.mem_pages.iter_mut().find(|(idx, _, _)| *idx == 9) {
-            page[0] ^= 0xff;
-            *hash = sha256(page);
+        // Tamper with the captured counter chunk (e.g. pretend the counter
+        // was higher), re-hashing it like a forger rewriting their own
+        // capture would.
+        if let Some((_, hash, chunk)) = snap
+            .mem_chunks
+            .iter_mut()
+            .find(|(idx, _, _)| *idx == COUNTER_CHUNK)
+        {
+            chunk[0] ^= 0xff;
+            *hash = sha256(chunk);
         }
         let mut store = SnapshotStore::new();
         store.push(snap);
@@ -967,8 +1169,12 @@ mod tests {
         run_until_idle(&mut m);
         let reference = m.state_digest();
         let mut snap = capture(&mut m, 0, true);
-        if let Some((_, _, page)) = snap.mem_pages.iter_mut().find(|(idx, _, _)| *idx == 9) {
-            page[0] ^= 0xff; // content changed, digest left stale
+        if let Some((_, _, chunk)) = snap
+            .mem_chunks
+            .iter_mut()
+            .find(|(idx, _, _)| *idx == COUNTER_CHUNK)
+        {
+            chunk[0] ^= 0xff; // content changed, digest left stale
         }
         let mut store = SnapshotStore::new();
         store.push(snap);
@@ -990,9 +1196,9 @@ mod tests {
         let img = image();
         let reg = GuestRegistry::new();
         let mut m = Machine::from_image(&img, &reg).unwrap();
-        let authentic = vec![9u8; PAGE_SIZE];
+        let authentic = vec![9u8; CHUNK_SIZE];
         let hash = sha256(&authentic);
-        m.memory_mut().stage_lazy_page(3, authentic, hash).unwrap();
+        m.memory_mut().stage_lazy_chunk(3, authentic, hash).unwrap();
         let _ = capture(&mut m, 0, true);
     }
 
@@ -1121,7 +1327,7 @@ mod tests {
     }
 
     /// The content-addressed pool makes repeated full captures of an idle
-    /// guest free: the second capture's pages are all dedup hits, so the
+    /// guest free: the second capture's chunks are all dedup hits, so the
     /// stored payload does not grow, while the logical accounting does.
     #[test]
     fn idle_full_captures_store_no_new_payload() {
@@ -1138,7 +1344,7 @@ mod tests {
         // A mostly-zero guest dedups heavily even within one capture.
         assert!(
             stored_after_first < store.logical_payload_bytes(),
-            "identical pages within one full dump should share a blob"
+            "identical chunks within one full dump should share a blob"
         );
         store.push(capture(&mut m, 1, true)); // no writes since snapshot 0
         assert_eq!(
@@ -1156,6 +1362,90 @@ mod tests {
         let m1 = store.materialize(1, &img, &reg).unwrap();
         assert_eq!(m0.state_digest(), m1.state_digest());
         assert_eq!(m1.state_digest(), m.state_digest());
+    }
+
+    /// Pruning rebases the chain: earlier snapshots disappear, unreferenced
+    /// blobs are evicted, and everything from the new base onward — plus
+    /// snapshots captured after the prune — still materializes and
+    /// authenticates.
+    #[test]
+    fn prune_drops_blobs_and_preserves_later_snapshots() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut cache = StateTreeCache::new();
+        let mut store = SnapshotStore::new();
+        run_until_idle(&mut m);
+        let mut digests = Vec::new();
+        for i in 0..5u64 {
+            m.inject_packet(vec![i as u8 + 1]);
+            run_until_idle(&mut m);
+            store.push(capture_with_cache(&mut m, &mut cache, i, i == 0));
+            digests.push(m.state_digest());
+        }
+        let stored_before = store.stored_payload_bytes();
+
+        let freed = store.prune_upto(2).unwrap();
+        assert!(freed > 0, "the dropped counter-chunk versions must free");
+        assert_eq!(store.base_id(), 2);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.next_id(), 5);
+        assert_eq!(
+            store.stored_payload_bytes(),
+            stored_before - freed,
+            "freed bytes must reconcile with the pool accounting"
+        );
+        // Pruned ids are gone; the accounting stays total on them.
+        assert!(store.get(1).is_none());
+        assert!(store.materialize(1, &img, &reg).is_err());
+        let _ = store.transfer_bytes_upto(1);
+        // Every surviving snapshot materializes bit-identically (materialize
+        // authenticates the root internally — the rebased base included).
+        for id in 2..5u64 {
+            let restored = store.materialize(id, &img, &reg).unwrap();
+            assert_eq!(restored.state_digest(), digests[id as usize], "id {id}");
+            let (_, consumed) = store.materialize_with_cost(id, &img, &reg).unwrap();
+            assert_eq!(consumed, store.transfer_bytes_upto(id), "id {id}");
+        }
+
+        // Recapture after the prune: the chain keeps growing from next_id.
+        m.inject_packet(vec![9]);
+        run_until_idle(&mut m);
+        store.push(capture_with_cache(
+            &mut m,
+            &mut cache,
+            store.next_id(),
+            false,
+        ));
+        let restored = store.materialize(5, &img, &reg).unwrap();
+        assert_eq!(restored.state_digest(), m.state_digest());
+
+        // Pruning again at the base is a no-op; pruning at a dropped or
+        // unknown id is an error.
+        assert_eq!(store.prune_upto(2).unwrap(), 0);
+        assert!(store.prune_upto(99).is_err());
+    }
+
+    /// A prune in the middle of incremental-only history (no full dump after
+    /// the base) must fold the dropped disk and memory increments into the
+    /// rebased snapshot — state from snapshot 0 survives via the rebase.
+    #[test]
+    fn prune_folds_incremental_history_into_base() {
+        let img = image();
+        let reg = GuestRegistry::new();
+        let mut m = Machine::from_image(&img, &reg).unwrap();
+        let mut store = SnapshotStore::new();
+        run_until_idle(&mut m);
+        for i in 0..4u64 {
+            m.inject_packet(vec![i as u8 + 1]);
+            run_until_idle(&mut m);
+            store.push(capture(&mut m, i, false)); // incremental only
+        }
+        let want = store.materialize(3, &img, &reg).unwrap().state_digest();
+        store.prune_upto(2).unwrap();
+        assert!(store.get(2).unwrap().full_memory, "rebased base is full");
+        let got = store.materialize(3, &img, &reg).unwrap().state_digest();
+        assert_eq!(got, want);
     }
 
     /// The compression-aware transfer model measures the real stream: raw
@@ -1212,7 +1502,7 @@ mod tests {
     }
 
     /// The header-leaf skip must never miss a header change: device-state
-    /// mutations that dirty no page (an injected packet, a console write)
+    /// mutations that dirty no chunk (an injected packet, a console write)
     /// still have to show up in the next refreshed root, while refreshes
     /// with no header activity at all stay correct too.
     #[test]
@@ -1233,7 +1523,7 @@ mod tests {
         assert_eq!(cache.refresh(&m), r1);
 
         // A packet injection changes only volatile device state (the NIC rx
-        // queue) — no page is dirtied.  The refresh must pick it up.
+        // queue) — no chunk is dirtied.  The refresh must pick it up.
         m.inject_packet(vec![0xAB, 0xCD]);
         let r2 = cache.refresh(&m);
         assert_ne!(r1, r2, "injected packet must change the header leaves");
@@ -1274,10 +1564,13 @@ mod tests {
         m.inject_packet(vec![1]);
         run_until_idle(&mut m);
         let snap = capture(&mut m, 0, true);
-        assert_eq!(snap.page_count(), m.memory().page_count());
+        assert_eq!(
+            snap.chunk_count(),
+            m.memory().page_count() * CHUNKS_PER_PAGE
+        );
         assert_eq!(
             snap.metadata_bytes(),
-            (snap.mem_pages.len() + snap.disk_blocks.len()) as u64 * 4 + 50
+            (snap.mem_chunks.len() + snap.disk_blocks.len()) as u64 * 4 + 50
         );
         assert_eq!(
             snap.total_bytes(),

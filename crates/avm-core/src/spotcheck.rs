@@ -20,12 +20,18 @@
 //!    ([`crate::ondemand::dedup_transfer_upto`]);
 //! 3. **on-demand** — metadata up front, blobs fetched only as replay
 //!    touches them ([`spot_check_on_demand`]).
+//!
+//! The on-demand column is additionally priced in **round trips**: the blob
+//! exchange is batched (multi-digest [`avm_wire::BlobRequest`]s), and the
+//! report carries both the batched round-trip count and what a naive
+//! fault-at-a-time auditor would have paid, convertible to modelled wall
+//! time through a configurable [`RttModel`] (default: [`TRANSFER_RTT`]).
 
 use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::sha256::Digest;
 use avm_log::{EntryKind, LogEntry, TamperEvidentLog};
 use avm_vm::{GuestRegistry, VmImage};
-use avm_wire::{Decode, Encode};
+use avm_wire::{Decode, Encode, RttModel};
 
 use crate::error::{CoreError, FaultReason};
 use crate::events::SnapshotRecord;
@@ -38,6 +44,12 @@ use crate::snapshot::SnapshotStore;
 /// experiments comparing spot checks against a full-audit baseline compress
 /// both sides of the ratio identically.
 pub const TRANSFER_COMPRESSION: CompressionLevel = CompressionLevel::Default;
+
+/// Round-trip model used when spot-check reports convert round-trip counts
+/// into modelled latency.  Public so experiments price batched and unbatched
+/// variants of the same download identically; pass a different [`RttModel`]
+/// to the report accessors to re-price under other link assumptions.
+pub const TRANSFER_RTT: RttModel = RttModel::DEFAULT;
 
 /// Outcome and cost accounting of one spot check — one data point of the
 /// paper's Figure 9, with the verdict, truthful replay-progress counters,
@@ -109,6 +121,33 @@ impl SpotCheckReport {
         self.on_demand
             .as_ref()
             .map(|c| c.transfer_compressed_bytes())
+    }
+
+    /// Round trips the on-demand download performed with batched blob
+    /// requests (manifest + one per multi-digest request), when available.
+    pub fn on_demand_round_trips(&self) -> Option<u64> {
+        self.on_demand.as_ref().map(|c| c.round_trips)
+    }
+
+    /// Round trips a fault-at-a-time auditor would have paid for the same
+    /// on-demand download (manifest + one per fetched blob), when available.
+    pub fn on_demand_round_trips_unbatched(&self) -> Option<u64> {
+        self.on_demand.as_ref().map(|c| c.round_trips_unbatched)
+    }
+
+    /// Modelled wall time of the batched on-demand download under `model`
+    /// ([`TRANSFER_RTT`] for the default link), when available.
+    pub fn on_demand_latency_micros(&self, model: &RttModel) -> Option<u64> {
+        self.on_demand.as_ref().map(|c| c.latency_micros(model))
+    }
+
+    /// Modelled wall time of the unbatched (one round trip per fault)
+    /// variant of the same download — the RTT-modelled column batching is
+    /// measured against.
+    pub fn on_demand_latency_micros_unbatched(&self, model: &RttModel) -> Option<u64> {
+        self.on_demand
+            .as_ref()
+            .map(|c| c.latency_micros_unbatched(model))
     }
 }
 
@@ -461,8 +500,7 @@ mod tests {
             .log()
             .entries()
             .iter()
-            .filter(|e| e.kind == EntryKind::Send)
-            .last()
+            .rfind(|e| e.kind == EntryKind::Send)
             .unwrap()
             .seq;
         for e in bob.log().entries() {
@@ -655,6 +693,18 @@ mod tests {
             od.snapshot_transfer_on_demand_bytes(),
             Some(cost.transfer_bytes())
         );
+        // RTT-modelled column: the batched exchange never pays more round
+        // trips than fault-at-a-time, and the latency pricing follows.
+        let rtts = od.on_demand_round_trips().unwrap();
+        let rtts_unbatched = od.on_demand_round_trips_unbatched().unwrap();
+        assert!(rtts >= 1);
+        assert!(rtts <= rtts_unbatched);
+        assert!(
+            od.on_demand_latency_micros(&TRANSFER_RTT).unwrap()
+                <= od
+                    .on_demand_latency_micros_unbatched(&TRANSFER_RTT)
+                    .unwrap()
+        );
 
         // Warm cache: the same check again fetches zero blobs.
         let again = spot_check_on_demand(
@@ -685,8 +735,7 @@ mod tests {
             .log()
             .entries()
             .iter()
-            .filter(|e| e.kind == EntryKind::Send)
-            .last()
+            .rfind(|e| e.kind == EntryKind::Send)
             .unwrap()
             .seq;
         for e in bob.log().entries() {

@@ -13,6 +13,8 @@
 //! * [`hmac`] — HMAC-SHA-256, the cheap end of the authentication trade-off
 //!   discussed in §6.8.
 //! * [`merkle`] — Merkle hash trees for authenticated snapshots.
+//! * [`parallel`] — a hand-rolled scoped-thread worker pool for batch leaf
+//!   hashing (the snapshot pipeline's parallel chunk-hash stage).
 //! * [`keys`] — named identities, signature-scheme selection (including the
 //!   `nosig` measurement configuration) and simple certificates.
 //!
@@ -37,6 +39,7 @@ pub mod bignum;
 pub mod hmac;
 pub mod keys;
 pub mod merkle;
+pub mod parallel;
 pub mod rsa;
 pub mod sha256;
 
@@ -44,5 +47,6 @@ pub use bignum::{BigUint, MontgomeryCtx};
 pub use hmac::{hmac_sha256, hmac_verify};
 pub use keys::{Certificate, Identity, KeyError, SignatureScheme, SigningKey, VerifyingKey};
 pub use merkle::{MerkleProof, MerkleTree};
+pub use parallel::sha256_batch;
 pub use rsa::{RsaError, RsaKeyPair, RsaPublicKey};
 pub use sha256::{sha256, sha256_concat, Digest, Sha256, DIGEST_LEN};

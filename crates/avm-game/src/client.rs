@@ -147,7 +147,7 @@ impl GameClient {
         self.x += self.move_dx * speed;
         self.y += self.move_dy * speed;
         if let Some(CheatEffect::Teleport { period }) = self.cheat {
-            if period > 0 && self.tick % period == 0 {
+            if period > 0 && self.tick.is_multiple_of(period) {
                 self.x = 0;
                 self.y = 0;
             }
@@ -429,7 +429,7 @@ mod tests {
             }
         }
         // Cooldown limits the fire rate: 8 ticks with cooldown 3 → 2-3 shots.
-        assert!(fired_count >= 2 && fired_count <= 3, "fired {fired_count}");
+        assert!((2..=3).contains(&fired_count), "fired {fired_count}");
         assert_eq!(
             client.shots_fired() as u32,
             STARTING_AMMO - clientammo(&client)

@@ -237,7 +237,7 @@ mod tests {
         let restored = TamperEvidentLog::from_bytes(&bytes).unwrap();
         assert_eq!(restored.entries(), log.entries());
         assert!(TamperEvidentLog::from_bytes(&bytes[..bytes.len() - 2]).is_err());
-        assert_eq!(log.total_wire_size() > 0, true);
+        assert!(log.total_wire_size() > 0);
     }
 
     #[test]

@@ -115,8 +115,7 @@ pub fn verify_segment(
 
     // 1. Dense sequence numbers and intact hash chain.
     let mut prev = *prev_hash;
-    let mut expected_seq = first.seq;
-    for entry in segment {
+    for (expected_seq, entry) in (first.seq..).zip(segment.iter()) {
         if entry.seq != expected_seq {
             return Err(LogVerifyError::BadSequence {
                 expected: expected_seq,
@@ -127,7 +126,6 @@ pub fn verify_segment(
             return Err(LogVerifyError::BrokenChain { seq: entry.seq });
         }
         prev = entry.hash;
-        expected_seq += 1;
     }
 
     // 2. Every collected authenticator matches the corresponding entry.

@@ -126,7 +126,7 @@ impl SimNet {
         let tx = self.stats.entry(from).or_default();
         tx.tx_packets += 1;
         tx.tx_bytes += payload.len() as u64;
-        if link.drop_every != 0 && *sent % link.drop_every == 0 {
+        if link.drop_every != 0 && (*sent).is_multiple_of(link.drop_every) {
             self.stats.entry(from).or_default().dropped += 1;
             return None;
         }

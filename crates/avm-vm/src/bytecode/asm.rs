@@ -186,7 +186,7 @@ fn assemble_directive(directive: &str, line: usize) -> Result<Vec<u8>, AsmError>
             if trimmed.len() < 2 || !trimmed.starts_with('"') || !trimmed.ends_with('"') {
                 return Err(err(line, ".ascii requires a double-quoted string"));
             }
-            Ok(trimmed[1..trimmed.len() - 1].as_bytes().to_vec())
+            Ok(trimmed.as_bytes()[1..trimmed.len() - 1].to_vec())
         }
         other => Err(err(line, format!("unknown directive '.{other}'"))),
     }

@@ -169,6 +169,9 @@ impl InputQueue {
 /// at-snapshot contents that are installed the moment the guest first reads
 /// or writes the block, with [`Disk::block_hash`] reporting the staged hash
 /// throughout so state roots stay correct before the transfer happens.
+/// Unlike guest memory — which is tracked and transferred in 512 B chunks —
+/// the disk keeps page-sized ([`DISK_BLOCK_SIZE`]) granularity: block-device
+/// writes arrive in whole sectors, so sub-block tracking would buy nothing.
 #[derive(Debug, Clone)]
 pub struct Disk {
     data: Vec<u8>,
@@ -236,17 +239,26 @@ impl Disk {
     }
 
     /// Installs staged blocks overlapping `[offset, offset+len)` (demand
-    /// paging; mirrors `GuestMemory::fault_in_range`).
-    fn fault_in_range(&mut self, offset: u64, len: usize) {
+    /// paging; mirrors `GuestMemory::fault_in_range`).  For writes, blocks
+    /// the range fully covers are dropped from staging without a fault —
+    /// their contents are about to be overwritten wholesale.
+    fn fault_in_range(&mut self, offset: u64, len: usize, overwrite: bool) {
         if self.staged.is_empty() || len == 0 {
             return;
         }
-        let Some(end) = (offset as usize).checked_add(len - 1) else {
+        let start = offset as usize;
+        let Some(end) = start.checked_add(len - 1) else {
             return;
         };
-        let first = offset as usize / DISK_BLOCK_SIZE;
+        let first = start / DISK_BLOCK_SIZE;
         let last = (end / DISK_BLOCK_SIZE).min(self.dirty.len().saturating_sub(1));
         for b in first..=last {
+            let fully_covered =
+                start <= b * DISK_BLOCK_SIZE && (b + 1) * DISK_BLOCK_SIZE <= end + 1;
+            if overwrite && fully_covered {
+                self.staged.remove(&b);
+                continue;
+            }
             if let Some(content) = self.staged.remove(&b) {
                 self.data[b * DISK_BLOCK_SIZE..(b + 1) * DISK_BLOCK_SIZE].copy_from_slice(&content);
                 self.faulted.push(b);
@@ -257,7 +269,7 @@ impl Disk {
     /// Reads `buf.len()` bytes at byte `offset`.
     pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> VmResult<()> {
         self.check(offset, buf.len())?;
-        self.fault_in_range(offset, buf.len());
+        self.fault_in_range(offset, buf.len(), false);
         buf.copy_from_slice(&self.data[offset as usize..offset as usize + buf.len()]);
         self.reads += 1;
         Ok(())
@@ -266,14 +278,18 @@ impl Disk {
     /// Writes `data` at byte `offset`, marking touched blocks dirty.
     pub fn write(&mut self, offset: u64, data: &[u8]) -> VmResult<()> {
         self.check(offset, data.len())?;
-        self.fault_in_range(offset, data.len());
+        self.fault_in_range(offset, data.len(), true);
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         let first = offset as usize / DISK_BLOCK_SIZE;
-        let last = (offset as usize + data.len().max(1) - 1) / DISK_BLOCK_SIZE;
+        let last =
+            ((offset as usize + data.len().max(1) - 1) / DISK_BLOCK_SIZE).min(self.dirty.len() - 1);
         let cache = self.hash_cache.get_mut();
-        for b in first..=last.min(self.dirty.len() - 1) {
-            self.dirty[b] = true;
-            cache[b] = None;
+        for (dirty, slot) in self.dirty[first..=last]
+            .iter_mut()
+            .zip(&mut cache[first..=last])
+        {
+            *dirty = true;
+            *slot = None;
         }
         self.writes += 1;
         Ok(())
@@ -312,6 +328,32 @@ impl Disk {
         Some(h)
     }
 
+    /// Fills the hash-cache slots for `indices` that are currently empty,
+    /// hashing the missing blocks across the scoped worker pool (mirrors
+    /// [`crate::GuestMemory::prime_chunk_hashes`]).  Out-of-range indices
+    /// are ignored.
+    pub fn prime_block_hashes(&self, indices: &[usize]) {
+        let mut cache = self.hash_cache.borrow_mut();
+        let missing: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| i < cache.len() && cache[i].is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let inputs: Vec<&[u8]> = missing
+            .iter()
+            .map(|&i| self.block(i).expect("block in range"))
+            .collect();
+        for (i, digest) in missing
+            .iter()
+            .zip(avm_crypto::parallel::sha256_batch(&inputs))
+        {
+            cache[*i] = Some(digest);
+        }
+    }
+
     /// Indices of blocks written since the last [`Disk::clear_dirty`].
     pub fn dirty_blocks(&self) -> Vec<usize> {
         self.dirty
@@ -331,7 +373,7 @@ impl Disk {
     /// Stages authentic contents for block `idx` to be installed on first
     /// access, seeding the hash cache with `hash` (the SHA-256 of `content`,
     /// verified by the audit layer before staging).  Mirrors
-    /// [`crate::GuestMemory::stage_lazy_page`].
+    /// [`crate::GuestMemory::stage_lazy_chunk`].
     pub fn stage_lazy_block(&mut self, idx: usize, content: Vec<u8>, hash: Digest) -> VmResult<()> {
         if content.len() != DISK_BLOCK_SIZE {
             return Err(VmError::CorruptState("staged disk block has wrong size"));
@@ -633,6 +675,13 @@ mod tests {
         disk2.set_block(0, &vec![1u8; DISK_BLOCK_SIZE]).unwrap();
         assert!(disk2.faulted_blocks().is_empty());
         assert_eq!(disk2.staged_block_count(), 0);
+        // So does a write() that fully covers the staged block.
+        let mut disk3 = Disk::new(DISK_BLOCK_SIZE as u64);
+        disk3.stage_lazy_block(0, authentic.clone(), hash).unwrap();
+        disk3.write(0, &vec![2u8; DISK_BLOCK_SIZE]).unwrap();
+        assert!(disk3.faulted_blocks().is_empty());
+        assert_eq!(disk3.staged_block_count(), 0);
+        assert_eq!(disk3.block(0).unwrap()[0], 2);
         // Validation.
         assert!(disk2.stage_lazy_block(5, authentic.clone(), hash).is_err());
         assert!(disk2.stage_lazy_block(0, vec![1, 2], hash).is_err());

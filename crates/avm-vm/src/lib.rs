@@ -42,5 +42,5 @@ pub use error::VmError;
 pub use exit::{StopCondition, VmExit};
 pub use image::{GuestRegistry, ImageKind, VmImage};
 pub use machine::{Machine, MachineConfig};
-pub use mem::{GuestMemory, PAGE_SIZE};
+pub use mem::{GuestMemory, CHUNKS_PER_PAGE, CHUNK_SIZE, PAGE_SIZE};
 pub use native::{GuestCtx, GuestKernel, GuestStep};

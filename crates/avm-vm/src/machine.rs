@@ -288,8 +288,8 @@ impl Machine {
     /// with equal digests are (up to hash collisions) in identical states.
     ///
     /// Hashes *raw* contents, so it must not be used on a partially-resident
-    /// machine (one with staged, not-yet-faulted pages or blocks from
-    /// [`crate::GuestMemory::stage_lazy_page`]); compare Merkle state roots
+    /// machine (one with staged, not-yet-faulted chunks or blocks from
+    /// [`crate::GuestMemory::stage_lazy_chunk`]); compare Merkle state roots
     /// there instead — they are derived from the per-leaf hash caches, which
     /// demand paging keeps authentic.
     pub fn state_digest(&self) -> Digest {

@@ -56,6 +56,13 @@ pub struct BlobRequest {
     pub digests: Vec<BlobDigest>,
 }
 
+/// Default number of digests per batched [`BlobRequest`].
+///
+/// Each round trip then carries up to 32 × 32 B of request and up to 16 KiB
+/// of 512 B chunk payloads — enough to amortise the per-round-trip latency
+/// without turning the exchange back into one monolithic download.
+pub const DEFAULT_BLOB_BATCH: usize = 32;
+
 impl BlobRequest {
     /// True when nothing is requested (every needed digest was cached).
     pub fn is_empty(&self) -> bool {
@@ -65,6 +72,29 @@ impl BlobRequest {
     /// Number of requested digests.
     pub fn len(&self) -> usize {
         self.digests.len()
+    }
+
+    /// Splits `digests` into per-round-trip requests of at most
+    /// `max_per_request` digests each (`0` means unlimited — a single
+    /// request).  Order is preserved across the batches, so the batched
+    /// exchange serves the same blobs in the same order as a one-request
+    /// exchange (each batch still carries its own count prefix, so the
+    /// concatenated framing differs by a few varint bytes).
+    pub fn batches(digests: &[BlobDigest], max_per_request: usize) -> Vec<BlobRequest> {
+        if digests.is_empty() {
+            return Vec::new();
+        }
+        let per = if max_per_request == 0 {
+            digests.len()
+        } else {
+            max_per_request
+        };
+        digests
+            .chunks(per)
+            .map(|c| BlobRequest {
+                digests: c.to_vec(),
+            })
+            .collect()
     }
 }
 
@@ -172,6 +202,25 @@ mod tests {
         assert_eq!(resp.payload_bytes(), 100);
         let bytes = resp.encode_to_vec();
         assert_eq!(BlobResponse::decode_exact(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn batches_preserve_order_and_bound_size() {
+        let digests: Vec<BlobDigest> = (0u8..10).map(digest).collect();
+        let batches = BlobRequest::batches(&digests, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let rejoined: Vec<BlobDigest> = batches
+            .iter()
+            .flat_map(|b| b.digests.iter().copied())
+            .collect();
+        assert_eq!(rejoined, digests);
+        // 0 = unlimited: one request with everything.
+        let unlimited = BlobRequest::batches(&digests, 0);
+        assert_eq!(unlimited.len(), 1);
+        assert_eq!(unlimited[0].digests, digests);
+        assert!(BlobRequest::batches(&[], 4).is_empty());
     }
 
     #[test]

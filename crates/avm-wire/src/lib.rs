@@ -26,13 +26,15 @@ pub mod blob;
 pub mod checksum;
 pub mod frame;
 pub mod reader;
+pub mod rtt;
 pub mod varint;
 pub mod writer;
 
-pub use blob::{BlobDigest, BlobRequest, BlobResponse, BLOB_DIGEST_LEN};
+pub use blob::{BlobDigest, BlobRequest, BlobResponse, BLOB_DIGEST_LEN, DEFAULT_BLOB_BATCH};
 pub use checksum::crc32;
 pub use frame::{read_frame, write_frame, FrameError, FRAME_MAGIC};
 pub use reader::Reader;
+pub use rtt::RttModel;
 pub use writer::Writer;
 
 /// Error produced when decoding malformed wire data.

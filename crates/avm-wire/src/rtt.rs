@@ -1,0 +1,78 @@
+//! Per-round-trip latency modelling for the blob transfer protocol.
+//!
+//! Byte counts alone understate the cost of on-demand audits: an auditor
+//! that faults state in lazily pays a network round trip per fault unless
+//! requests are batched (the follow-on ROADMAP calls out exactly this).  An
+//! [`RttModel`] turns `(round trips, bytes)` into modelled wall time so the
+//! spot-check reports can price the batched and unbatched variants of the
+//! same download side by side — the same way `avm-compress` prices raw and
+//! compressed sizes of one stream.
+//!
+//! The model is the classic two-parameter link: a fixed per-round-trip
+//! latency plus a serialisation term at a fixed bandwidth.  Both parameters
+//! are public and configurable; [`RttModel::default`] is a 2010-era WAN
+//! (50 ms RTT, 10 Mbit/s), matching the evaluation setting of the paper.
+
+/// A configurable round-trip latency + bandwidth link model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttModel {
+    /// One network round trip, in microseconds.
+    pub rtt_micros: u64,
+    /// Link bandwidth, in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl RttModel {
+    /// A 2010-era consumer WAN: 50 ms RTT, 10 Mbit/s downstream.
+    pub const DEFAULT: RttModel = RttModel {
+        rtt_micros: 50_000,
+        bytes_per_sec: 1_250_000,
+    };
+
+    /// Modelled wall time, in microseconds, for a transfer of `bytes` spread
+    /// over `round_trips` request/response exchanges: every exchange pays
+    /// one RTT, and the payload pays the serialisation delay once.
+    pub fn latency_micros(&self, round_trips: u64, bytes: u64) -> u64 {
+        let serialise = bytes.saturating_mul(1_000_000) / self.bytes_per_sec.max(1);
+        round_trips.saturating_mul(self.rtt_micros) + serialise
+    }
+}
+
+impl Default for RttModel {
+    fn default() -> RttModel {
+        RttModel::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sums_rtts_and_serialisation() {
+        let model = RttModel {
+            rtt_micros: 10_000,
+            bytes_per_sec: 1_000_000, // 1 byte per µs
+        };
+        assert_eq!(model.latency_micros(0, 0), 0);
+        assert_eq!(model.latency_micros(3, 0), 30_000);
+        assert_eq!(model.latency_micros(1, 2_000), 10_000 + 2_000);
+        // Fewer round trips for the same bytes is strictly cheaper.
+        assert!(model.latency_micros(2, 5_000) < model.latency_micros(9, 5_000));
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_divide_by_zero() {
+        let degenerate = RttModel {
+            rtt_micros: 1,
+            bytes_per_sec: 0,
+        };
+        let _ = degenerate.latency_micros(1, 100);
+    }
+
+    #[test]
+    fn default_is_the_documented_wan() {
+        assert_eq!(RttModel::default(), RttModel::DEFAULT);
+        assert_eq!(RttModel::DEFAULT.rtt_micros, 50_000);
+    }
+}

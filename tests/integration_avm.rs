@@ -227,7 +227,7 @@ fn database_workload_spot_check_end_to_end() {
         );
         avmm.deliver(&env).unwrap();
         avmm.run_slice(&clock, 50_000).unwrap();
-        if n % 16 == 0 {
+        if n.is_multiple_of(16) {
             avmm.take_snapshot();
         }
     }

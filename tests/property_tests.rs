@@ -247,7 +247,27 @@ proptest! {
         prop_assert!(store.stored_payload_bytes() <= store.logical_payload_bytes());
         let stored_before = store.stored_payload_bytes();
         store.push(capture_with_cache(&mut m, &mut cache, captures, true));
+        captures += 1;
         prop_assert_eq!(store.stored_payload_bytes(), stored_before);
+
+        // Pruning at an arbitrary retained point must preserve every
+        // surviving snapshot bit-for-bit (materialize re-authenticates the
+        // root internally) and keep the accounting equality intact, while
+        // never growing the pool.
+        let prune_at = captures / 2;
+        store.prune_upto(prune_at).unwrap();
+        prop_assert!(store.stored_payload_bytes() <= stored_before);
+        for id in prune_at..captures {
+            let (_, consumed) = store.materialize_with_cost(id, &image, &registry).unwrap();
+            prop_assert_eq!(
+                consumed,
+                store.transfer_bytes_upto(id),
+                "post-prune accounting diverged at snapshot {}",
+                id
+            );
+        }
+        let last = store.materialize(captures - 1, &image, &registry).unwrap();
+        prop_assert_eq!(last.state_digest(), m.state_digest());
     }
 
     /// On-demand (lazy, demand-paged) reconstruction is equivalent to a full
@@ -390,6 +410,124 @@ proptest! {
                 prop_assert!(auditor.contains(digest));
             }
         }
+    }
+
+    /// The chunk-granular pipeline is equivalent to page granularity under
+    /// arbitrary write/snapshot/fault interleavings: sub-page writes at
+    /// arbitrary offsets and lengths produce incremental chunk-leaf state
+    /// roots equal to an uncached rebuild, chunk-granular materialization
+    /// reproduces the exact raw contents (the page-agnostic `state_digest`)
+    /// the live machine had at each capture, staged-chunk demand faulting
+    /// reaches the same roots as a full download, and the batched blob
+    /// exchange returns the same blobs as one-at-a-time for any batch size.
+    ///
+    /// Each op is `(kind, location, value)`: kind 0-3 writes 1-9 bytes at an
+    /// arbitrary (chunk-straddling) address, kind 4 writes the disk, kind
+    /// 5-7 takes a snapshot (full when `value` is even).
+    #[test]
+    fn chunk_granular_pipeline_equals_page_granular_reference(
+        ops in proptest::collection::vec((0u8..8, any::<u16>(), any::<u8>()), 1..32),
+        batch in 1usize..9,
+        fault_byte in any::<u8>()
+    ) {
+        use avm_core::ondemand::{fetch_blobs, materialize_on_demand, AuditorBlobCache};
+        use avm_core::snapshot::{compute_state_root, SnapshotStore};
+
+        let pages = 8usize;
+        let image = VmImage::bytecode(
+            "chunk-prop",
+            (pages * avm_vm::PAGE_SIZE) as u64,
+            assemble("halt", 0).unwrap(),
+            0,
+            0,
+        )
+        .with_disk(vec![0u8; 4 * avm_vm::devices::DISK_BLOCK_SIZE]);
+        let registry = GuestRegistry::new();
+        let mut m = Machine::from_image(&image, &registry).unwrap();
+        let mut cache = StateTreeCache::new();
+        let mut store = SnapshotStore::new();
+        let mut captures = 0u64;
+        let mut live_digests = Vec::new();
+        for (kind, loc, val) in ops {
+            match kind {
+                0..=3 => {
+                    // 1-9 byte writes at arbitrary addresses: most stay
+                    // inside one 512 B chunk, some straddle chunk and page
+                    // boundaries.
+                    let len = 1 + (val as usize % 9);
+                    let addr = (loc as u64) % (m.memory().size() - len as u64);
+                    m.memory_mut().write(addr, &vec![val; len]).unwrap();
+                }
+                4 => {
+                    let off = loc as u64 % m.devices().disk.size();
+                    m.devices_mut().disk.write(off, &[val]).unwrap();
+                }
+                _ => {
+                    let snap = capture_with_cache(&mut m, &mut cache, captures, val % 2 == 0);
+                    prop_assert_eq!(
+                        snap.state_root,
+                        build_state_tree_uncached(&m).root(),
+                        "incremental chunk root diverged at snapshot {}",
+                        captures
+                    );
+                    store.push(snap);
+                    captures += 1;
+                    live_digests.push(m.state_digest());
+                }
+            }
+        }
+        store.push(capture_with_cache(&mut m, &mut cache, captures, true));
+        captures += 1;
+        live_digests.push(m.state_digest());
+
+        let auditor = AuditorBlobCache::new();
+        for id in 0..captures {
+            // Materialized contents equal the page-agnostic raw contents the
+            // live machine had at capture — what a page-granular pipeline
+            // reconstructs, byte for byte.
+            let full = store.materialize(id, &image, &registry).unwrap();
+            prop_assert_eq!(
+                full.state_digest(),
+                live_digests[id as usize],
+                "materialized contents diverged at snapshot {}",
+                id
+            );
+            // Fault interleaving: stage the divergent chunks lazily, touch a
+            // pseudo-random subset, and require root equality throughout.
+            let (mut lazy, session) =
+                materialize_on_demand(&store, id, &image, &registry, &auditor).unwrap();
+            prop_assert_eq!(compute_state_root(&lazy), compute_state_root(&full));
+            let addr = (fault_byte as u64).wrapping_mul(131) % lazy.memory().size();
+            let _ = lazy.memory_mut().read_u8(addr).unwrap();
+            let mut settle = AuditorBlobCache::new();
+            let cost = session
+                .finish(&lazy, &store, &mut settle, CompressionLevel::Default)
+                .unwrap();
+            prop_assert_eq!(compute_state_root(&lazy), compute_state_root(&full));
+            prop_assert_eq!(
+                cost.chunks_faulted as usize,
+                lazy.memory().faulted_chunks().len()
+            );
+        }
+
+        // Batched blob exchange: any batch size returns the same blobs in
+        // the same order as one-at-a-time, never with more round trips per
+        // blob.
+        let manifest = store.chain_manifest_upto(captures - 1).unwrap();
+        let needed: Vec<Digest> = manifest
+            .mem_refs
+            .iter()
+            .chain(&manifest.disk_refs)
+            .map(|(_, d)| *d)
+            .collect();
+        let mut a = AuditorBlobCache::new();
+        let mut b = AuditorBlobCache::new();
+        let batched = fetch_blobs(&mut a, &store, &needed, batch, CompressionLevel::Default).unwrap();
+        let unbatched = fetch_blobs(&mut b, &store, &needed, 1, CompressionLevel::Default).unwrap();
+        prop_assert_eq!(&batched.fetched, &unbatched.fetched);
+        prop_assert_eq!(batched.payload_bytes, unbatched.payload_bytes);
+        prop_assert!(batched.round_trips <= unbatched.round_trips);
+        prop_assert_eq!(unbatched.round_trips, unbatched.fetched.len() as u64);
     }
 
     /// The machine is deterministic: the same guest program with the same
