@@ -146,6 +146,18 @@ fn bench_fig9_spotcheck(c: &mut Criterion) {
     group.finish();
 }
 
+/// Networked audit endpoints: the same spot check over the direct
+/// (RTT-modelled) transport and the simulated network, clean and lossy —
+/// the `netaudit` experiment's full comparison as one benchmark body.
+fn bench_netaudit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netaudit");
+    group.sample_size(10);
+    group.bench_function("netaudit_transport_comparison", |b| {
+        b.iter(|| experiments::exp_netaudit(true).measured_clean_us)
+    });
+    group.finish();
+}
+
 /// Figure 6 substrate: the incremental state-root pipeline versus a full
 /// Merkle rebuild, plus the Montgomery RSA hot path versus the naive
 /// baseline.  The acceptance bar: >=5x at 256+ pages with one dirty page,
@@ -289,6 +301,7 @@ criterion_group!(
     bench_parallel_chunk_hashing,
     bench_snapshot_dedup,
     bench_fig9_spotcheck,
+    bench_netaudit,
     bench_fig568_host_model
 );
 criterion_main!(benches);

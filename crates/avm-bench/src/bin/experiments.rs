@@ -74,9 +74,12 @@ fn main() {
             "chunked" | "subpage" | "chunks" => {
                 experiments::exp_chunked(quick);
             }
+            "netaudit" | "netcheck" | "endpoints" => {
+                experiments::exp_netaudit(quick);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

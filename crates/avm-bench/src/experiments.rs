@@ -1567,6 +1567,217 @@ pub fn exp_chunked(quick: bool) -> ChunkedResult {
 }
 
 // ---------------------------------------------------------------------------
+// Networked audit endpoints: one protocol, modelled vs measured latency
+// ---------------------------------------------------------------------------
+
+/// Result of the networked-audit experiment: the same spot check driven
+/// in-process, over an RTT-modelled direct transport, and over the simulated
+/// network (clean and lossy links).
+#[derive(Debug, Clone, Copy)]
+pub struct NetAuditResult {
+    /// Whether the SimNet-driven check's verdict, faults and transfer
+    /// accounting equal the in-process path's, field for field (on-demand
+    /// mode, lossless link).
+    pub semantic_match_clean: bool,
+    /// The same equality on the deterministically lossy link.
+    pub semantic_match_lossy: bool,
+    /// The same equality for the full-download mode over the clean link.
+    pub semantic_match_full: bool,
+    /// Measured simulated latency of the clean-link check (µs).
+    pub measured_clean_us: u64,
+    /// What a `DirectTransport` priced under the link's `RttModel` charges
+    /// for the same exchanges (µs) — equal to the measurement by design.
+    pub direct_modelled_us: u64,
+    /// Single-call `RttModel` prediction for the same exchanges (µs).
+    pub predicted_us: u64,
+    /// Whether measured and predicted agree within 1%.
+    pub within_one_percent: bool,
+    /// Measured simulated latency of the lossy-link check (µs).
+    pub measured_lossy_us: u64,
+    /// Requests retransmitted on the lossy link.
+    pub retransmissions_lossy: u64,
+}
+
+/// Networked audit: drives the *same* §3.5 on-demand spot check through
+/// every transport the endpoint API offers and compares them — the verdicts
+/// and transfer accounting must be identical everywhere, the clean-link
+/// simulated latency must match the `RttModel` prediction (within 1%; the
+/// per-packet-priced direct transport matches it exactly), and the lossy
+/// link must complete correctly via timeout-and-retransmit, paying for every
+/// retry in wire bytes and simulated wall time.
+pub fn exp_netaudit(quick: bool) -> NetAuditResult {
+    use avm_core::endpoint::{AuditClient, AuditServer, DirectTransport, SimNetTransport};
+    use avm_core::ondemand::AuditorBlobCache;
+    use avm_core::spotcheck::{spot_check, spot_check_on_demand};
+    use avm_net::LinkConfig;
+    use avm_vm::GuestRegistry;
+
+    let registry = GuestRegistry::new();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(13);
+    let operator = Identity::generate(&mut rng, "host", scheme);
+    let client_id = Identity::generate(&mut rng, "client", scheme);
+    // The sparse-touch guest writes into pages 64..64+touch_pages, so the
+    // image must extend past that region.
+    let pages = if quick { 96 } else { 128 };
+    let touch_pages = if quick { 16 } else { 48 };
+    let n_snapshots: u64 = if quick { 5 } else { 10 };
+    let image = sparse_touch_image(pages);
+    let mut avmm = Avmm::new(
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        AvmmOptions::default().with_scheme(scheme),
+    )
+    .unwrap();
+    avmm.add_peer("client", client_id.verifying_key());
+    let mut clock = HostClock::at(1_000);
+    avmm.run_slice(&clock, 50_000).unwrap();
+    for i in 0..n_snapshots {
+        clock.advance_to(clock.now() + 2_000);
+        let sel = (i % touch_pages as u64) as u8;
+        let payload = encode_guest_packet("host", &[sel, (i % 8) as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "client",
+            "host",
+            i + 1,
+            payload,
+            &client_id.signing_key,
+            None,
+        );
+        avmm.deliver(&env).unwrap();
+        avmm.run_slice(&clock, 100_000).unwrap();
+        avmm.take_snapshot();
+    }
+
+    let start = n_snapshots - 2;
+    let k = 1u64;
+    let link = LinkConfig::default();
+    // Few enough packets cross per direction that a sparse drop pattern
+    // would never fire; every-2nd-packet loss exercises retransmission on
+    // both the request and the response path.
+    let lossy_link = LinkConfig {
+        drop_every: 2,
+        ..link
+    };
+
+    // 1. In-process baseline (free-function wrapper over DirectTransport).
+    let mut free_cache = AuditorBlobCache::new();
+    let baseline = spot_check_on_demand(
+        avmm.log(),
+        avmm.snapshots(),
+        start,
+        k,
+        &image,
+        &registry,
+        &mut free_cache,
+    )
+    .unwrap();
+    assert!(baseline.consistent, "honest chunk must pass");
+
+    // 2. Direct transport priced under the link's RttModel.
+    let mut direct = AuditClient::new(DirectTransport::with_model(
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        link.rtt_model(),
+    ));
+    let direct_report = direct
+        .spot_check_on_demand(start, k, &image, &registry)
+        .unwrap();
+
+    // 3. The simulated network, lossless LAN.
+    let mut clean = AuditClient::new(SimNetTransport::new(
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        link,
+    ));
+    let clean_report = clean
+        .spot_check_on_demand(start, k, &image, &registry)
+        .unwrap();
+
+    // 4. The simulated network, deterministically lossy link.
+    let mut lossy = AuditClient::new(SimNetTransport::new(
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        lossy_link,
+    ));
+    let lossy_report = lossy
+        .spot_check_on_demand(start, k, &image, &registry)
+        .unwrap();
+
+    // 5. Full-download mode: in-process vs simulated network.
+    let full_baseline =
+        spot_check(avmm.log(), avmm.snapshots(), start, k, &image, &registry).unwrap();
+    let mut full_net = AuditClient::new(SimNetTransport::new(
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        link,
+    ));
+    let full_net_report = full_net.spot_check(start, k, &image, &registry).unwrap();
+
+    let semantic_match_clean = baseline.semantic() == clean_report.semantic()
+        && baseline.semantic() == direct_report.semantic();
+    let semantic_match_lossy = baseline.semantic() == lossy_report.semantic();
+    let semantic_match_full = full_baseline.semantic() == full_net_report.semantic();
+    let measured_clean_us = clean_report.measured_latency_micros();
+    let direct_modelled_us = direct_report.measured_latency_micros();
+    let predicted_us = clean_report.predicted_latency_micros(&link.rtt_model());
+    let within_one_percent = measured_clean_us.abs_diff(predicted_us) * 100 <= predicted_us;
+    let measured_lossy_us = lossy_report.measured_latency_micros();
+    let retransmissions_lossy = lossy_report.transport.retransmissions;
+
+    assert!(semantic_match_clean, "SimNet check must equal in-process");
+    assert!(semantic_match_lossy, "loss must not change the audit");
+    assert!(semantic_match_full, "full-download mode must match too");
+    assert_eq!(
+        measured_clean_us, direct_modelled_us,
+        "per-packet model pricing must equal the lossless simulation"
+    );
+    assert!(
+        within_one_percent,
+        "measured {measured_clean_us} µs vs predicted {predicted_us} µs"
+    );
+    assert_eq!(clean_report.transport.retransmissions, 0);
+    assert!(retransmissions_lossy > 0, "drop-every-2 must force retries");
+    assert!(measured_lossy_us > measured_clean_us);
+
+    println!(
+        "# Networked audit: one protocol over pluggable transports (chunk start={start}, k={k})"
+    );
+    println!("| path | round trips | wire bytes (req/resp) | retransmits | latency µs |");
+    println!("|---|---|---|---|---|");
+    for (label, report) in [
+        ("direct (RttModel-priced)", &direct_report),
+        ("simnet LAN (lossless)", &clean_report),
+        ("simnet LAN (drop every 2nd)", &lossy_report),
+        ("simnet LAN, full download", &full_net_report),
+    ] {
+        let t = report.transport;
+        println!(
+            "| {label} | {} | {} / {} | {} | {} |",
+            t.round_trips, t.request_bytes, t.response_bytes, t.retransmissions, t.elapsed_micros,
+        );
+    }
+    println!(
+        "\nclean-link measurement {measured_clean_us} µs vs single-call RttModel prediction \
+         {predicted_us} µs (within 1%: {within_one_percent}); lossy link finished correctly \
+         after {retransmissions_lossy} retransmissions in {measured_lossy_us} µs",
+    );
+    println!(
+        "verdict/accounting identical across transports: on-demand {}, lossy {}, full {}",
+        semantic_match_clean, semantic_match_lossy, semantic_match_full,
+    );
+
+    NetAuditResult {
+        semantic_match_clean,
+        semantic_match_lossy,
+        semantic_match_full,
+        measured_clean_us,
+        direct_modelled_us,
+        predicted_us,
+        within_one_percent,
+        measured_lossy_us,
+        retransmissions_lossy,
+    }
+}
 
 /// Runs every experiment (used by the `experiments` binary with `all`).
 pub fn run_all(quick: bool) {
@@ -1586,6 +1797,7 @@ pub fn run_all(quick: bool) {
     exp_snapshot_dedup(quick);
     exp_ondemand(quick);
     exp_chunked(quick);
+    exp_netaudit(quick);
 }
 
 #[cfg(test)]
@@ -1745,6 +1957,19 @@ mod tests {
         );
         assert!(r.latency_batched_us < r.latency_unbatched_us);
         assert!(r.pruned_freed_bytes > 0);
+    }
+
+    /// The netaudit acceptance bar: identical semantics on every transport,
+    /// lossless simulated latency within 1% of (and per-packet equal to)
+    /// the RttModel prediction, and a correct finish through loss.
+    #[test]
+    fn netaudit_transports_agree_and_match_the_model() {
+        let r = exp_netaudit(true);
+        assert!(r.semantic_match_clean && r.semantic_match_lossy && r.semantic_match_full);
+        assert_eq!(r.measured_clean_us, r.direct_modelled_us);
+        assert!(r.within_one_percent);
+        assert!(r.retransmissions_lossy > 0);
+        assert!(r.measured_lossy_us > r.measured_clean_us);
     }
 
     #[test]

@@ -1,0 +1,1305 @@
+//! Auditor/provider endpoints: one audit protocol over pluggable transports.
+//!
+//! The paper's audits are a *distributed* exchange — Alice downloads Bob's
+//! log, snapshots and on-demand state over a real link (§3.5; §6.8 measures
+//! the 192 µs-RTT testbed) — and this module is the seam that makes the
+//! reproduction one: every download an audit performs is an
+//! [`AuditRequest`]/[`AuditResponse`] exchange (defined in
+//! [`avm_wire::audit`]) between an [`AuditClient`] and an [`AuditServer`],
+//! carried by an [`AuditTransport`]:
+//!
+//! * [`DirectTransport`] answers each request in-process and *prices* it
+//!   under a configurable [`RttModel`] — the modelled-latency path the
+//!   spot-check wrappers in [`crate::spotcheck`] use, preserving their
+//!   historical numbers bit for bit.
+//! * [`SimNetTransport`] carries the same framed messages over an
+//!   [`avm_net::SimNet`] link, *paying* simulated wall time per round trip
+//!   (latency plus payload serialisation at the link bandwidth) and
+//!   surviving deterministic packet loss by timeout-and-retransmit, matched
+//!   by request id.
+//!
+//! Everything above the transport — digest selection, per-blob and manifest
+//! authentication, caching, the byte/round-trip accounting — is shared, so a
+//! spot check driven over the simulated network reaches the identical
+//! verdict, faults, and transfer accounting as the in-process path; the only
+//! thing that changes is the new wire-level [`TransportStats`] column
+//! ([`crate::spotcheck::SpotCheckReport::transport`]).
+//!
+//! # The accounting plane vs the data plane
+//!
+//! Two reads deliberately bypass the transport, both via
+//! [`AuditTransport::provider_store`]:
+//!
+//! 1. **Hypothetical columns.**  A spot-check report prices downloads that
+//!    did *not* happen (the full-dump and dedup columns of §3.5) next to the
+//!    one that did; pricing them must not add wire traffic.
+//! 2. **Staging.**  On-demand replay stages authentic blob contents so the
+//!    machine can fault them in inline; the *paid* exchange for exactly the
+//!    faulted blobs happens at settle time over the transport
+//!    ([`crate::ondemand::OnDemandSession::finish_with`]), which is the §3.5
+//!    model: bytes cross the wire only for state the replay touched.
+//!
+//! # Example: a direct (in-process, RTT-modelled) audit endpoint
+//!
+//! ```
+//! use avm_core::endpoint::{AuditClient, AuditServer, DirectTransport};
+//! use avm_core::snapshot::{capture, SnapshotStore};
+//! use avm_compress::CompressionLevel;
+//! use avm_vm::bytecode::assemble;
+//! use avm_vm::{GuestRegistry, Machine, VmImage};
+//!
+//! // A provider with one captured snapshot that diverges from the image.
+//! let image = VmImage::bytecode("doc", 64 * 1024, assemble("halt", 0).unwrap(), 0, 0);
+//! let registry = GuestRegistry::new();
+//! let mut m = Machine::from_image(&image, &registry).unwrap();
+//! m.memory_mut().write_u8(0x4000, 7).unwrap();
+//! let mut store = SnapshotStore::new();
+//! store.push(capture(&mut m, 0, true));
+//!
+//! // The auditor drives the protocol through a client over a transport.
+//! let server = AuditServer::for_store(&store);
+//! let mut client = AuditClient::new(DirectTransport::new(server));
+//! let manifest = client.fetch_manifest(0).unwrap();
+//! assert_eq!(manifest.snapshot_id, 0);
+//!
+//! // A digest-addressed full-state download over the same endpoint
+//! // (its own manifest fetch plus one blob exchange).
+//! let dedup = client
+//!     .dedup_transfer(0, &image, &registry, CompressionLevel::Default)
+//!     .unwrap();
+//! assert!(dedup.blobs_fetched > 0);
+//! assert_eq!(client.transport_stats().round_trips, 3);
+//! assert!(client.transport_stats().elapsed_micros > 0);
+//! ```
+
+use avm_compress::{CompressionLevel, CompressionStats};
+use avm_crypto::sha256::Digest;
+use avm_log::{LogEntry, TamperEvidentLog};
+use avm_net::{LinkConfig, NodeId, SimNet};
+use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::audit::{open_message, seal_message, AuditRequest, AuditResponse, SegmentAddress};
+use avm_wire::{BlobRequest, BlobResponse, Decode, Encode, RttModel};
+
+use crate::audit::{audit_log, AuditReport};
+use crate::error::{CoreError, FaultReason};
+use crate::ondemand::{
+    dedup_transfer_from_manifest, AuditorBlobCache, BlobProvider, ChainManifest, DedupTransfer,
+};
+use crate::replay::{ReplayOutcome, Replayer};
+use crate::snapshot::SnapshotStore;
+use crate::spotcheck::{
+    snapshot_positions, snapshot_positions_in, SpotCheckReport, TRANSFER_COMPRESSION, TRANSFER_RTT,
+};
+
+// ---------------------------------------------------------------------------
+// Provider endpoint
+// ---------------------------------------------------------------------------
+
+/// The provider endpoint of the audit protocol: answers every
+/// [`AuditRequest`] from the operator's tamper-evident log and snapshot
+/// store.
+///
+/// The server is *stateless* between requests (each request carries all its
+/// addressing), which is what makes retransmitted requests on a lossy
+/// transport harmless: a duplicate request yields a duplicate response, and
+/// the client discards the copy it does not need.
+///
+/// ```
+/// use avm_core::endpoint::AuditServer;
+/// use avm_core::snapshot::{capture, SnapshotStore};
+/// use avm_wire::audit::{AuditRequest, AuditResponse};
+/// use avm_vm::bytecode::assemble;
+/// use avm_vm::{GuestRegistry, Machine, VmImage};
+///
+/// let image = VmImage::bytecode("doc", 64 * 1024, assemble("halt", 0).unwrap(), 0, 0);
+/// let registry = GuestRegistry::new();
+/// let mut m = Machine::from_image(&image, &registry).unwrap();
+/// let mut store = SnapshotStore::new();
+/// store.push(capture(&mut m, 0, true));
+///
+/// let server = AuditServer::for_store(&store);
+/// // A manifest fetch answers with the encoded chain manifest …
+/// match server.handle(&AuditRequest::Manifest { snapshot_id: 0 }) {
+///     AuditResponse::Manifest { manifest } => assert!(!manifest.is_empty()),
+///     other => panic!("unexpected response {other:?}"),
+/// }
+/// // … and an unknown snapshot with an error the client maps back.
+/// match server.handle(&AuditRequest::Manifest { snapshot_id: 9 }) {
+///     AuditResponse::Error { message } => assert!(message.contains("not found")),
+///     other => panic!("unexpected response {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AuditServer<'a> {
+    log: Option<&'a TamperEvidentLog>,
+    store: &'a SnapshotStore,
+}
+
+impl<'a> AuditServer<'a> {
+    /// A provider endpoint serving both a log and a snapshot store — what a
+    /// full AVMM operator exposes to auditors.
+    pub fn new(log: &'a TamperEvidentLog, store: &'a SnapshotStore) -> AuditServer<'a> {
+        AuditServer {
+            log: Some(log),
+            store,
+        }
+    }
+
+    /// A provider endpoint serving only snapshot state (manifest, blob and
+    /// section fetches); log-segment requests are answered with an error.
+    pub fn for_store(store: &'a SnapshotStore) -> AuditServer<'a> {
+        AuditServer { log: None, store }
+    }
+
+    /// The snapshot store this endpoint serves from.
+    pub fn store(&self) -> &'a SnapshotStore {
+        self.store
+    }
+
+    /// Answers one request.  Failures are returned as
+    /// [`AuditResponse::Error`] with the message the in-process API would
+    /// have raised, so clients surface identical errors on every transport.
+    pub fn handle(&self, request: &AuditRequest) -> AuditResponse {
+        match request {
+            AuditRequest::Manifest { snapshot_id } => {
+                match self.store.chain_manifest_upto(*snapshot_id) {
+                    Ok(manifest) => AuditResponse::Manifest {
+                        manifest: manifest.encode_to_vec(),
+                    },
+                    Err(e) => error_response(e),
+                }
+            }
+            AuditRequest::Blobs(request) => AuditResponse::Blobs(self.store.serve_blobs(request)),
+            AuditRequest::LogSegment(addr) => self.handle_log_segment(*addr),
+            AuditRequest::Sections { upto_id } => {
+                if self.store.get(*upto_id).is_none() {
+                    return AuditResponse::Error {
+                        message: format!("snapshot {upto_id} not found"),
+                    };
+                }
+                AuditResponse::Sections {
+                    stream: self.store.transfer_stream_upto(*upto_id),
+                }
+            }
+        }
+    }
+
+    fn handle_log_segment(&self, addr: SegmentAddress) -> AuditResponse {
+        let Some(log) = self.log else {
+            return AuditResponse::Error {
+                message: "provider serves no log".to_string(),
+            };
+        };
+        match addr {
+            SegmentAddress::Seq { from_seq, to_seq } => {
+                let to = if to_seq == 0 {
+                    log.len() as u64
+                } else {
+                    to_seq
+                };
+                match log.segment(from_seq, to) {
+                    Some((prev, entries)) => log_segment_response(prev, &entries),
+                    None => AuditResponse::Error {
+                        message: format!("log segment {from_seq}..{to} out of range"),
+                    },
+                }
+            }
+            SegmentAddress::Chunk {
+                start_snapshot,
+                chunk,
+            } => self.handle_log_chunk(log, start_snapshot, chunk),
+        }
+    }
+
+    /// Resolves a §3.5 chunk: the entries between the SNAPSHOT entry for
+    /// `start_snapshot` (exclusive) and the SNAPSHOT entry `chunk` snapshots
+    /// later (inclusive), or the end of the log.
+    ///
+    /// When the provider's own SNAPSHOT records do not all decode, an honest
+    /// provider cannot resolve chunk boundaries; it returns the log *prefix*
+    /// up to and including the first undecodable record.  The auditor
+    /// re-scans what it received and reaches the malformed-log verdict
+    /// itself — paying for exactly the entries it had to download to
+    /// discover the corruption, like the in-process scan does.
+    fn handle_log_chunk(
+        &self,
+        log: &TamperEvidentLog,
+        start_snapshot: u64,
+        chunk: u64,
+    ) -> AuditResponse {
+        let positions = match snapshot_positions(log) {
+            Ok(positions) => positions,
+            Err(FaultReason::MalformedLog { seq }) => {
+                let upto = log
+                    .entries()
+                    .iter()
+                    .position(|e| e.seq == seq)
+                    .map_or(log.entries().len(), |i| i + 1);
+                // The prefix starts at the first entry, whose chain anchor
+                // is the genesis hash.
+                return log_segment_response(Digest::ZERO, &log.entries()[..upto]);
+            }
+            // snapshot_positions only produces MalformedLog; be defensive.
+            Err(other) => {
+                return AuditResponse::Error {
+                    message: other.to_string(),
+                }
+            }
+        };
+        let Some(start_pos) = positions
+            .iter()
+            .find(|(_, id, _)| *id == start_snapshot)
+            .map(|(i, _, _)| *i)
+        else {
+            return AuditResponse::Error {
+                message: format!("snapshot {start_snapshot} not in log"),
+            };
+        };
+        // checked_add: a hostile request with chunk near u64::MAX must get
+        // an open-ended chunk (no snapshot can match), not a panic.
+        let end_id = start_snapshot.checked_add(chunk);
+        let end_idx = positions
+            .iter()
+            .find(|(_, id, _)| Some(*id) == end_id)
+            .map(|(i, _, _)| *i);
+        let entries: &[LogEntry] = match end_idx {
+            Some(end) => &log.entries()[start_pos + 1..=end],
+            None => &log.entries()[start_pos + 1..],
+        };
+        log_segment_response(log.entries()[start_pos].hash, entries)
+    }
+}
+
+fn log_segment_response(prev: Digest, entries: &[LogEntry]) -> AuditResponse {
+    AuditResponse::LogSegment {
+        prev_hash: prev.0,
+        entries: entries.iter().map(|e| e.encode_to_vec()).collect(),
+    }
+}
+
+fn error_response(e: CoreError) -> AuditResponse {
+    AuditResponse::Error {
+        message: match e {
+            // The wrapper's message, not the Display form with its
+            // "snapshot error:" prefix: the client re-wraps on receipt.
+            CoreError::Snapshot(message) => message,
+            other => other.to_string(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// Wire-level accounting of the exchanges a transport performed: the
+/// *measured* column of an audit, beside the modelled one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Completed request/response exchanges.
+    pub round_trips: u64,
+    /// Framed request bytes handed to the wire, retransmissions included.
+    pub request_bytes: u64,
+    /// Framed response bytes accepted from the wire.
+    pub response_bytes: u64,
+    /// Requests retransmitted after a timeout (always 0 on a lossless
+    /// transport).
+    pub retransmissions: u64,
+    /// Wall time the exchanges took: simulated network time for
+    /// [`SimNetTransport`], [`RttModel`]-priced time for
+    /// [`DirectTransport`].
+    pub elapsed_micros: u64,
+}
+
+impl TransportStats {
+    /// The stats accumulated since `earlier` (a snapshot of the same
+    /// transport taken before some exchanges).
+    pub fn since(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            round_trips: self.round_trips - earlier.round_trips,
+            request_bytes: self.request_bytes - earlier.request_bytes,
+            response_bytes: self.response_bytes - earlier.response_bytes,
+            retransmissions: self.retransmissions - earlier.retransmissions,
+            elapsed_micros: self.elapsed_micros - earlier.elapsed_micros,
+        }
+    }
+
+    /// Total framed bytes in both directions.
+    pub fn wire_bytes(&self) -> u64 {
+        self.request_bytes + self.response_bytes
+    }
+}
+
+/// Carries [`AuditRequest`]s to a provider and returns its
+/// [`AuditResponse`]s, accounting every exchange.
+///
+/// Implementations differ only in *how* the messages travel (and therefore
+/// in what [`TransportStats::elapsed_micros`] means); the protocol, the
+/// payload bytes, and the verdict-relevant behaviour are identical across
+/// transports — pinned by the `netaudit` experiment and the property tests.
+pub trait AuditTransport {
+    /// Performs one request/response exchange.
+    fn exchange(&mut self, request: &AuditRequest) -> Result<AuditResponse, CoreError>;
+
+    /// Accumulated wire-level accounting.
+    fn stats(&self) -> TransportStats;
+
+    /// The provider's snapshot store, used as the zero-cost *accounting
+    /// plane*: staging contents for on-demand replay and pricing
+    /// hypothetical (modelled) download columns.  Paid transfers go through
+    /// [`AuditTransport::exchange`] — see the module docs.
+    fn provider_store(&self) -> &SnapshotStore;
+}
+
+/// In-process transport: requests are answered synchronously by the wrapped
+/// [`AuditServer`], and each exchange is *priced* (not simulated) under an
+/// [`RttModel`] — one round trip plus the serialisation delay of both framed
+/// payloads.
+///
+/// This is the transport behind the historical free-function audit API
+/// ([`crate::spotcheck::spot_check`] and friends); it preserves those
+/// numbers bit for bit while giving every audit the measured-latency column.
+#[derive(Debug)]
+pub struct DirectTransport<'a> {
+    server: AuditServer<'a>,
+    model: RttModel,
+    stats: TransportStats,
+    next_request_id: u64,
+}
+
+impl<'a> DirectTransport<'a> {
+    /// A direct transport priced under [`TRANSFER_RTT`] (the 2010-era WAN
+    /// all modelled spot-check columns use).
+    pub fn new(server: AuditServer<'a>) -> DirectTransport<'a> {
+        DirectTransport::with_model(server, TRANSFER_RTT)
+    }
+
+    /// A direct transport priced under `model`.  Pricing with
+    /// [`LinkConfig::rtt_model`] of some link makes this transport predict
+    /// exactly what [`SimNetTransport`] over that lossless link measures.
+    pub fn with_model(server: AuditServer<'a>, model: RttModel) -> DirectTransport<'a> {
+        DirectTransport {
+            server,
+            model,
+            stats: TransportStats::default(),
+            next_request_id: 1,
+        }
+    }
+
+    /// The pricing model.
+    pub fn model(&self) -> RttModel {
+        self.model
+    }
+}
+
+impl AuditTransport for DirectTransport<'_> {
+    fn exchange(&mut self, request: &AuditRequest) -> Result<AuditResponse, CoreError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        // Seal and reopen both directions so the direct path exercises the
+        // exact bytes a networked transport ships (and is priced on them).
+        let request_packet = seal_message(request_id, request);
+        let (_, request) = open_message::<AuditRequest>(&request_packet)
+            .map_err(|e| CoreError::Snapshot(format!("audit request corrupt: {e}")))?;
+        let response_packet = seal_message(request_id, &self.server.handle(&request));
+        let (_, response) = open_message::<AuditResponse>(&response_packet)
+            .map_err(|e| CoreError::Snapshot(format!("audit response corrupt: {e}")))?;
+        self.stats.round_trips += 1;
+        self.stats.request_bytes += request_packet.len() as u64;
+        self.stats.response_bytes += response_packet.len() as u64;
+        // Priced per packet — one RTT plus each payload's serialisation
+        // delay — mirroring what the same exchange takes on a simulated
+        // link with the matching configuration.
+        self.stats.elapsed_micros += self.model.rtt_micros
+            + self.model.latency_micros(0, request_packet.len() as u64)
+            + self.model.latency_micros(0, response_packet.len() as u64);
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn provider_store(&self) -> &SnapshotStore {
+        self.server.store()
+    }
+}
+
+/// Transport over the simulated network: every exchange is two framed
+/// packets on an [`avm_net::SimNet`] link, paying real simulated latency and
+/// serialisation delay, and surviving deterministic packet loss by
+/// timeout-and-retransmit.
+///
+/// Responses are matched to requests by the id [`seal_message`] carries, so
+/// a late or duplicated response (after a retransmission) is discarded
+/// instead of being mistaken for the answer to a newer request.  The
+/// provider is stateless, so retransmitted requests are simply answered
+/// again.
+#[derive(Debug)]
+pub struct SimNetTransport<'a> {
+    server: AuditServer<'a>,
+    net: SimNet,
+    auditor: NodeId,
+    provider: NodeId,
+    timeout_us: u64,
+    max_attempts: u32,
+    stats: TransportStats,
+    next_request_id: u64,
+}
+
+/// Node id the auditor endpoint binds by default.
+pub const AUDITOR_NODE: NodeId = NodeId(1);
+/// Node id the provider endpoint binds by default.
+pub const PROVIDER_NODE: NodeId = NodeId(2);
+
+/// Default cap on send attempts per exchange before the transport gives up.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 16;
+
+impl<'a> SimNetTransport<'a> {
+    /// A two-node network where both directions use `link`.
+    ///
+    /// The retransmission timeout is derived from the link: eight one-way
+    /// latencies plus the serialisation time of 1 MiB.  It bounds how long
+    /// the auditor waits on a *silent* wire before resending; a response
+    /// still in flight past the deadline (arbitrarily large sections
+    /// streams serialise for longer) is waited out instead of being
+    /// retransmitted into, so a lossless link never retransmits regardless
+    /// of payload size (which is what keeps the measured latency equal to
+    /// the modelled prediction).
+    pub fn new(server: AuditServer<'a>, link: LinkConfig) -> SimNetTransport<'a> {
+        let timeout_us = 8 * link.latency_us + link.serialise_micros(1 << 20);
+        let mut net = SimNet::new(link);
+        // Make both directed links explicit so callers inspecting
+        // `network().all_stats()` see the topology they configured.
+        net.set_link(AUDITOR_NODE, PROVIDER_NODE, link);
+        net.set_link(PROVIDER_NODE, AUDITOR_NODE, link);
+        SimNetTransport {
+            server,
+            net,
+            auditor: AUDITOR_NODE,
+            provider: PROVIDER_NODE,
+            timeout_us,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            stats: TransportStats::default(),
+            next_request_id: 1,
+        }
+    }
+
+    /// Overrides the retransmission timeout (µs of simulated time an
+    /// exchange waits for its response before resending the request).
+    pub fn with_timeout(mut self, timeout_us: u64) -> SimNetTransport<'a> {
+        self.timeout_us = timeout_us;
+        self
+    }
+
+    /// Overrides the per-exchange attempt cap.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> SimNetTransport<'a> {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// The simulated network (for traffic inspection: byte and packet
+    /// counters per node, current simulated time).
+    pub fn network(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The retransmission timeout in simulated microseconds.
+    pub fn timeout_us(&self) -> u64 {
+        self.timeout_us
+    }
+}
+
+impl AuditTransport for SimNetTransport<'_> {
+    fn exchange(&mut self, request: &AuditRequest) -> Result<AuditResponse, CoreError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let packet = seal_message(request_id, request);
+        let started_at = self.net.now();
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                self.stats.retransmissions += 1;
+            }
+            self.stats.request_bytes += packet.len() as u64;
+            let _ = self.net.send(self.auditor, self.provider, packet.clone());
+            let mut deadline = self.net.now() + self.timeout_us;
+            // Drive deliveries (ours and the provider's) until the response
+            // for *this* request id arrives or the timeout expires.  The
+            // timer only fires on a *silent* wire: while any packet is still
+            // in flight (a large response being serialised past the nominal
+            // timeout, or a stale duplicate draining), the link is visibly
+            // active and retransmitting into it would only duplicate
+            // traffic — so the deadline stretches to the next delivery.
+            while let Some(next_at) = self.net.next_delivery_at() {
+                if next_at > deadline {
+                    deadline = next_at;
+                }
+                for delivery in self.net.advance_to(next_at) {
+                    if delivery.to == self.provider {
+                        // The provider answers every (possibly duplicated)
+                        // request it can decode, statelessly.
+                        if let Ok((rid, req)) = open_message::<AuditRequest>(&delivery.payload) {
+                            let response = self.server.handle(&req);
+                            let _ = self.net.send(
+                                self.provider,
+                                self.auditor,
+                                seal_message(rid, &response),
+                            );
+                        }
+                    } else if delivery.to == self.auditor {
+                        let Ok((rid, response)) = open_message::<AuditResponse>(&delivery.payload)
+                        else {
+                            continue;
+                        };
+                        if rid != request_id {
+                            continue; // stale response to an older exchange
+                        }
+                        self.stats.round_trips += 1;
+                        self.stats.response_bytes += delivery.payload.len() as u64;
+                        self.stats.elapsed_micros += self.net.now() - started_at;
+                        return Ok(response);
+                    }
+                }
+            }
+            self.net.advance_to(deadline);
+        }
+        self.stats.elapsed_micros += self.net.now() - started_at;
+        Err(CoreError::Snapshot(format!(
+            "audit transport: no response after {} attempts ({} µs timeout each)",
+            self.max_attempts, self.timeout_us
+        )))
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn provider_store(&self) -> &SnapshotStore {
+        self.server.store()
+    }
+}
+
+/// Adapter: a transport is a [`BlobProvider`] — the settle-time blob
+/// exchange of on-demand replay rides the audit protocol like every other
+/// download.
+struct TransportBlobs<'t, T: AuditTransport>(&'t mut T);
+
+impl<T: AuditTransport> BlobProvider for TransportBlobs<'_, T> {
+    fn exchange_blobs(&mut self, request: &BlobRequest) -> Result<BlobResponse, CoreError> {
+        match self.0.exchange(&AuditRequest::Blobs(request.clone()))? {
+            AuditResponse::Blobs(response) => Ok(response),
+            AuditResponse::Error { message } => Err(CoreError::Snapshot(message)),
+            other => Err(protocol_violation("Blobs", &other)),
+        }
+    }
+}
+
+fn protocol_violation(expected: &str, got: &AuditResponse) -> CoreError {
+    let got = match got {
+        AuditResponse::Manifest { .. } => "Manifest",
+        AuditResponse::Blobs(_) => "Blobs",
+        AuditResponse::LogSegment { .. } => "LogSegment",
+        AuditResponse::Sections { .. } => "Sections",
+        AuditResponse::Error { .. } => "Error",
+    };
+    CoreError::Snapshot(format!(
+        "audit protocol violation: expected {expected} response, got {got}"
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Auditor endpoint
+// ---------------------------------------------------------------------------
+
+/// The auditor endpoint: owns the persistent [`AuditorBlobCache`] and drives
+/// every audit — spot checks in both §3.5 download modes, full log audits,
+/// and standalone downloads — through an [`AuditTransport`].
+///
+/// The free functions in [`crate::spotcheck`] and [`crate::ondemand`] are
+/// thin wrappers that build a client over a [`DirectTransport`]; building
+/// one over a [`SimNetTransport`] runs the *same* audit with every byte paid
+/// on the simulated network.
+pub struct AuditClient<T: AuditTransport> {
+    transport: T,
+    cache: AuditorBlobCache,
+}
+
+impl<T: AuditTransport> AuditClient<T> {
+    /// A client with an empty blob cache.
+    pub fn new(transport: T) -> AuditClient<T> {
+        AuditClient::with_cache(transport, AuditorBlobCache::new())
+    }
+
+    /// A client resuming with a persistent cache from earlier audits.
+    pub fn with_cache(transport: T, cache: AuditorBlobCache) -> AuditClient<T> {
+        AuditClient { transport, cache }
+    }
+
+    /// The client's persistent blob cache.
+    pub fn cache(&self) -> &AuditorBlobCache {
+        &self.cache
+    }
+
+    /// Consumes the client, returning the cache for the next session.
+    pub fn into_cache(self) -> AuditorBlobCache {
+        self.cache
+    }
+
+    /// The transport, for configuration or network inspection.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Accumulated wire-level accounting across every exchange this client
+    /// performed.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// One exchange, with provider-side errors surfaced as [`CoreError`].
+    fn request(&mut self, request: &AuditRequest) -> Result<AuditResponse, CoreError> {
+        match self.transport.exchange(request)? {
+            AuditResponse::Error { message } => Err(CoreError::Snapshot(message)),
+            response => Ok(response),
+        }
+    }
+
+    /// Downloads and decodes the chain manifest for `snapshot_id`.
+    pub fn fetch_manifest(&mut self, snapshot_id: u64) -> Result<ChainManifest, CoreError> {
+        match self.request(&AuditRequest::Manifest { snapshot_id })? {
+            AuditResponse::Manifest { manifest } => ChainManifest::decode_exact(&manifest)
+                .map_err(|e| CoreError::Snapshot(format!("manifest does not decode: {e}"))),
+            other => Err(protocol_violation("Manifest", &other)),
+        }
+    }
+
+    /// Downloads a log segment by sequence range (`to_seq == 0` = end of
+    /// log), returning the chain anchor and the decoded entries.
+    pub fn fetch_log_segment(
+        &mut self,
+        from_seq: u64,
+        to_seq: u64,
+    ) -> Result<(Digest, Vec<LogEntry>), CoreError> {
+        match self.request(&AuditRequest::LogSegment(SegmentAddress::Seq {
+            from_seq,
+            to_seq,
+        }))? {
+            AuditResponse::LogSegment { prev_hash, entries } => {
+                Ok((Digest(prev_hash), decode_entries(&entries)?))
+            }
+            other => Err(protocol_violation("LogSegment", &other)),
+        }
+    }
+
+    /// Downloads the §3.5 chunk of `chunk` segments starting at
+    /// `start_snapshot` (see [`AuditServer::handle`] for the malformed-log
+    /// prefix behaviour).
+    pub fn fetch_log_chunk(
+        &mut self,
+        start_snapshot: u64,
+        chunk: u64,
+    ) -> Result<Vec<LogEntry>, CoreError> {
+        match self.request(&AuditRequest::LogSegment(SegmentAddress::Chunk {
+            start_snapshot,
+            chunk,
+        }))? {
+            AuditResponse::LogSegment { entries, .. } => decode_entries(&entries),
+            other => Err(protocol_violation("LogSegment", &other)),
+        }
+    }
+
+    /// Downloads the whole-section transfer stream up to `upto_id` — the
+    /// full-download model's state transfer, paid on the wire.
+    pub fn fetch_sections(&mut self, upto_id: u64) -> Result<Vec<u8>, CoreError> {
+        match self.request(&AuditRequest::Sections { upto_id })? {
+            AuditResponse::Sections { stream } => Ok(stream),
+            other => Err(protocol_violation("Sections", &other)),
+        }
+    }
+
+    /// Full audit of the provider's log: downloads the segment
+    /// `[from_seq, to_seq]` (`0` = end of log) with its chain anchor over
+    /// the transport, then runs the complete syntactic + semantic check
+    /// ([`crate::audit::audit_log`]) against `reference`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn audit_log(
+        &mut self,
+        machine_name: &str,
+        from_seq: u64,
+        to_seq: u64,
+        authenticators: &[avm_log::Authenticator],
+        machine_key: &avm_crypto::keys::VerifyingKey,
+        reference: &VmImage,
+        registry: &GuestRegistry,
+    ) -> Result<AuditReport, CoreError> {
+        let (prev, segment) = self.fetch_log_segment(from_seq, to_seq)?;
+        Ok(audit_log(
+            machine_name,
+            &prev,
+            &segment,
+            authenticators,
+            machine_key,
+            reference,
+            registry,
+        ))
+    }
+
+    /// Digest-addressed download of the complete state at `upto_id`,
+    /// consulting (but not populating) the client's cache — the §3.5
+    /// "download an entire snapshot" mode, priced over this transport.
+    pub fn dedup_transfer(
+        &mut self,
+        upto_id: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+        level: CompressionLevel,
+    ) -> Result<DedupTransfer, CoreError> {
+        let manifest = self.fetch_manifest(upto_id)?;
+        let Self { transport, cache } = self;
+        dedup_transfer_from_manifest(
+            &manifest,
+            &mut TransportBlobs(transport),
+            image,
+            registry,
+            cache,
+            level,
+        )
+    }
+
+    /// Spot check with the snapshot state downloaded in full (sections over
+    /// the transport) — the networked form of
+    /// [`crate::spotcheck::spot_check`], field-for-field identical to it.
+    pub fn spot_check(
+        &mut self,
+        start_snapshot: u64,
+        k: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+    ) -> Result<SpotCheckReport, CoreError> {
+        self.spot_check_impl(start_snapshot, k, image, registry, false)
+    }
+
+    /// Spot check in on-demand mode (§3.5 incremental state requests),
+    /// using and populating the client's persistent cache — the networked
+    /// form of [`crate::spotcheck::spot_check_on_demand`], field-for-field
+    /// identical to it.
+    pub fn spot_check_on_demand(
+        &mut self,
+        start_snapshot: u64,
+        k: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+    ) -> Result<SpotCheckReport, CoreError> {
+        self.spot_check_impl(start_snapshot, k, image, registry, true)
+    }
+
+    fn spot_check_impl(
+        &mut self,
+        start_snapshot: u64,
+        k: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+        on_demand: bool,
+    ) -> Result<SpotCheckReport, CoreError> {
+        let stats_before = self.transport.stats();
+        // 1. The log chunk, paid on the wire.  The provider resolves the
+        //    boundaries; a provider whose SNAPSHOT records do not all decode
+        //    returns its log prefix instead (see AuditServer::handle_log_chunk).
+        let entries = self.fetch_log_chunk(start_snapshot, k)?;
+        let log_cost = CompressionStats::measure_stream(
+            entries.iter().map(|e| e.encode_to_vec()),
+            TRANSFER_COMPRESSION,
+        );
+        // 2. Scan what was *received* — the auditor never trusts the
+        //    provider's classification.  A corrupt SNAPSHOT record is itself
+        //    the verdict; the log downloaded so far is the truthful cost.
+        if let Err(fault) = snapshot_positions_in(&entries) {
+            return Ok(SpotCheckReport {
+                start_snapshot,
+                chunk_size: k,
+                consistent: false,
+                fault: Some(fault),
+                entries_replayed: 0,
+                steps_replayed: 0,
+                snapshot_transfer_bytes: 0,
+                log_transfer_bytes: log_cost.raw_bytes,
+                snapshot_transfer_compressed_bytes: 0,
+                log_transfer_compressed_bytes: log_cost.compressed_bytes,
+                snapshot_transfer_dedup_bytes: 0,
+                snapshot_transfer_dedup_compressed_bytes: 0,
+                on_demand: None,
+                transport: self.transport.stats().since(&stats_before),
+            });
+        }
+        // 3. Verdict by replay in the selected download mode, which also
+        //    decides how the full-dump column is priced: in full-download
+        //    mode it *is* the fetched stream, in on-demand mode it is
+        //    modelled from the accounting plane (no stream crosses the
+        //    wire, and the provider need not build one).
+        let (snapshot_cost, consistent, fault, progress, dedup, on_demand_cost) = if !on_demand {
+            // Full-download mode: the section stream crosses the wire and
+            // is measured as the full-dump column; the machine materializes
+            // from the oracle, which holds the same authenticated bytes the
+            // stream carries.
+            let stream = self.fetch_sections(start_snapshot)?;
+            debug_assert_eq!(
+                stream.len() as u64,
+                self.transport
+                    .provider_store()
+                    .transfer_bytes_upto(start_snapshot),
+                "section stream and full-dump accounting diverged"
+            );
+            let snapshot_cost = CompressionStats::measure(&stream, TRANSFER_COMPRESSION);
+            let mut replayer = Replayer::from_snapshot(
+                image,
+                registry,
+                self.transport.provider_store(),
+                start_snapshot,
+            )?;
+            let (consistent, fault) = match replayer.replay(&entries) {
+                ReplayOutcome::Consistent(_) => (true, None),
+                ReplayOutcome::Fault(f) => (false, Some(f)),
+            };
+            (
+                snapshot_cost,
+                consistent,
+                fault,
+                replayer.summary(),
+                None,
+                None,
+            )
+        } else {
+            // On-demand mode: manifest over the wire, divergent state staged
+            // from the oracle, blobs paid at settle time for exactly what
+            // replay faulted in.  The full-dump column is hypothetical here
+            // and priced from the accounting plane.
+            let snapshot_cost = self
+                .transport
+                .provider_store()
+                .transfer_cost_upto(start_snapshot, TRANSFER_COMPRESSION);
+            let manifest = self.fetch_manifest(start_snapshot)?;
+            let (mut replayer, session) = Replayer::from_manifest_on_demand(
+                manifest,
+                image,
+                registry,
+                self.transport.provider_store(),
+                &self.cache,
+            )?;
+            // Dedup column: priced from the session's staging classification
+            // against the cache state at session start (accounting plane —
+            // a hypothetical download adds no wire traffic).
+            let dedup = session
+                .price_full_download(self.transport.provider_store(), TRANSFER_COMPRESSION)?;
+            let (consistent, fault) = match replayer.replay(&entries) {
+                ReplayOutcome::Consistent(_) => (true, None),
+                ReplayOutcome::Fault(f) => (false, Some(f)),
+            };
+            let Self { transport, cache } = self;
+            let cost = session.finish_with(
+                replayer.machine(),
+                &mut TransportBlobs(transport),
+                cache,
+                TRANSFER_COMPRESSION,
+            )?;
+            (
+                snapshot_cost,
+                consistent,
+                fault,
+                replayer.summary(),
+                Some(dedup),
+                Some(cost),
+            )
+        };
+
+        Ok(SpotCheckReport {
+            start_snapshot,
+            chunk_size: k,
+            consistent,
+            fault,
+            entries_replayed: progress.entries_replayed,
+            steps_replayed: progress.steps_executed,
+            snapshot_transfer_bytes: snapshot_cost.raw_bytes,
+            log_transfer_bytes: log_cost.raw_bytes,
+            snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
+            log_transfer_compressed_bytes: log_cost.compressed_bytes,
+            snapshot_transfer_dedup_bytes: dedup.as_ref().map_or(0, |d| d.transfer.raw_bytes),
+            snapshot_transfer_dedup_compressed_bytes: dedup
+                .as_ref()
+                .map_or(0, |d| d.transfer.compressed_bytes),
+            on_demand: on_demand_cost,
+            transport: self.transport.stats().since(&stats_before),
+        })
+    }
+}
+
+fn decode_entries(encoded: &[Vec<u8>]) -> Result<Vec<LogEntry>, CoreError> {
+    encoded
+        .iter()
+        .map(|bytes| {
+            LogEntry::decode_exact(bytes)
+                .map_err(|e| CoreError::Snapshot(format!("log entry does not decode: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spotcheck::{spot_check, spot_check_on_demand};
+    use crate::testutil::{key, record_with_snapshots};
+    use avm_log::EntryKind;
+    use avm_vm::packet::encode_guest_packet;
+
+    /// The acceptance pin for the endpoint redesign: a spot check driven
+    /// through `SimNetTransport` yields identical verdicts, faults and
+    /// transfer/round-trip accounting to the in-process path, and its
+    /// measured simulated latency on a lossless LAN link equals what a
+    /// `DirectTransport` priced under the matching `RttModel` predicts —
+    /// exactly per packet, and within 1% of the single-call model form.
+    #[test]
+    fn simnet_spot_check_matches_direct_on_lossless_lan() {
+        let (bob, image) = record_with_snapshots(4);
+        let registry = GuestRegistry::new();
+        let link = LinkConfig::default();
+
+        // In-process baseline through the free-function wrapper.
+        let mut free_cache = AuditorBlobCache::new();
+        let baseline = spot_check_on_demand(
+            bob.log(),
+            bob.snapshots(),
+            2,
+            1,
+            &image,
+            &registry,
+            &mut free_cache,
+        )
+        .unwrap();
+
+        // The same check over a direct transport priced under the link's
+        // model, and over the simulated network itself.
+        let mut direct = AuditClient::new(DirectTransport::with_model(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            link.rtt_model(),
+        ));
+        let direct_report = direct
+            .spot_check_on_demand(2, 1, &image, &registry)
+            .unwrap();
+        let mut sim = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            link,
+        ));
+        let sim_report = sim.spot_check_on_demand(2, 1, &image, &registry).unwrap();
+
+        // Identical semantics across all three paths.
+        assert!(baseline.consistent);
+        assert_eq!(baseline.semantic(), direct_report.semantic());
+        assert_eq!(baseline.semantic(), sim_report.semantic());
+        assert_eq!(
+            baseline.on_demand.as_ref().unwrap().fetched,
+            sim_report.on_demand.as_ref().unwrap().fetched
+        );
+
+        // Identical wire accounting, and *exactly* equal measured time:
+        // the simulated exchange pays per packet what the model prices.
+        let d = direct_report.transport;
+        let s = sim_report.transport;
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(d.round_trips, s.round_trips);
+        assert_eq!(d.request_bytes, s.request_bytes);
+        assert_eq!(d.response_bytes, s.response_bytes);
+        assert_eq!(d.elapsed_micros, s.elapsed_micros);
+        assert!(s.elapsed_micros > 0);
+
+        // Within 1% of the single-call RttModel prediction (which
+        // serialises both directions in one division).
+        let predicted = sim_report.predicted_latency_micros(&link.rtt_model());
+        let measured = sim_report.measured_latency_micros();
+        assert!(
+            measured.abs_diff(predicted) * 100 <= predicted,
+            "measured {measured} µs vs predicted {predicted} µs"
+        );
+
+        // The network's own byte counters agree with the transport's.
+        let net = sim.transport().network();
+        assert_eq!(net.stats(AUDITOR_NODE).tx_bytes, s.request_bytes);
+        assert_eq!(net.stats(AUDITOR_NODE).rx_bytes, s.response_bytes);
+        assert_eq!(net.stats(PROVIDER_NODE).rx_bytes, s.request_bytes);
+        assert_eq!(net.stats(AUDITOR_NODE).dropped, 0);
+    }
+
+    /// Full-download mode over the network: same equality, and the section
+    /// stream actually crosses the wire (response bytes dominate the
+    /// modelled full-dump column).
+    #[test]
+    fn simnet_full_download_spot_check_matches_and_pays_sections() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let baseline = spot_check(bob.log(), bob.snapshots(), 1, 1, &image, &registry).unwrap();
+        let mut sim = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let sim_report = sim.spot_check(1, 1, &image, &registry).unwrap();
+        assert_eq!(baseline.semantic(), sim_report.semantic());
+        assert!(sim_report.on_demand.is_none());
+        // Log chunk + sections: two exchanges, carrying at least the
+        // full-dump stream plus the log segment.
+        assert_eq!(sim_report.transport.round_trips, 2);
+        assert!(
+            sim_report.transport.response_bytes
+                >= sim_report.snapshot_transfer_bytes + sim_report.log_transfer_bytes
+        );
+    }
+
+    /// Deterministic loss: the exchange retransmits on timeout and still
+    /// reaches the identical verdict and accounting, paying extra wire
+    /// bytes and wall time for every retry.
+    #[test]
+    fn lossy_link_retries_and_preserves_semantics() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let mut free_cache = AuditorBlobCache::new();
+        let baseline = spot_check_on_demand(
+            bob.log(),
+            bob.snapshots(),
+            1,
+            1,
+            &image,
+            &registry,
+            &mut free_cache,
+        )
+        .unwrap();
+
+        let clean_link = LinkConfig::default();
+        let lossy_link = LinkConfig {
+            drop_every: 3,
+            ..clean_link
+        };
+        let mut clean = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            clean_link,
+        ));
+        let clean_report = clean.spot_check_on_demand(1, 1, &image, &registry).unwrap();
+        let mut lossy = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            lossy_link,
+        ));
+        let lossy_report = lossy.spot_check_on_demand(1, 1, &image, &registry).unwrap();
+
+        assert_eq!(baseline.semantic(), lossy_report.semantic());
+        assert_eq!(clean_report.semantic(), lossy_report.semantic());
+        let lt = lossy_report.transport;
+        assert!(
+            lt.retransmissions > 0,
+            "a drop-every-3 link must force retransmissions"
+        );
+        assert!(lt.request_bytes > clean_report.transport.request_bytes);
+        assert!(
+            lt.elapsed_micros > clean_report.transport.elapsed_micros,
+            "every retransmission waits out a timeout"
+        );
+        let net = lossy.transport().network();
+        assert!(net.stats(AUDITOR_NODE).dropped + net.stats(PROVIDER_NODE).dropped > 0);
+    }
+
+    /// A link that drops everything: the transport gives up after its
+    /// attempt cap instead of spinning forever.
+    #[test]
+    fn fully_lossy_link_times_out() {
+        let (bob, image) = record_with_snapshots(2);
+        let registry = GuestRegistry::new();
+        let black_hole = LinkConfig {
+            drop_every: 1,
+            ..LinkConfig::default()
+        };
+        let mut client = AuditClient::new(
+            SimNetTransport::new(AuditServer::new(bob.log(), bob.snapshots()), black_hole)
+                .with_max_attempts(3)
+                .with_timeout(1_000),
+        );
+        let err = client.spot_check(0, 1, &image, &registry).unwrap_err();
+        assert!(
+            err.to_string().contains("no response after 3 attempts"),
+            "{err}"
+        );
+        assert_eq!(client.transport_stats().round_trips, 0);
+        assert_eq!(client.transport_stats().retransmissions, 2);
+        // Simulated time advanced by the timeouts the auditor waited out.
+        assert!(client.transport_stats().elapsed_micros >= 3_000);
+    }
+
+    /// A response whose serialisation outlives the nominal timeout is
+    /// waited out, not retransmitted into: the retransmission timer only
+    /// fires on a silent wire, so lossless links never retransmit no
+    /// matter how large the payload or how small the timeout.
+    #[test]
+    fn in_flight_response_is_never_timed_out() {
+        let (bob, image) = record_with_snapshots(2);
+        let registry = GuestRegistry::new();
+        // A slow link (1 byte/µs) and a timeout far below the section
+        // stream's multi-hundred-millisecond serialisation time.
+        let slow_link = LinkConfig {
+            latency_us: 50,
+            drop_every: 0,
+            bytes_per_sec: 1_000_000,
+        };
+        let mut client = AuditClient::new(
+            SimNetTransport::new(AuditServer::new(bob.log(), bob.snapshots()), slow_link)
+                .with_timeout(200),
+        );
+        let report = client.spot_check(0, 1, &image, &registry).unwrap();
+        assert!(report.consistent);
+        assert_eq!(report.transport.retransmissions, 0);
+        // The sections response alone serialises for far longer than the
+        // 200 µs timeout — the wait was genuinely exercised.
+        assert!(report.transport.response_bytes > 10_000);
+        assert!(report.transport.elapsed_micros > report.transport.response_bytes);
+    }
+
+    /// A corrupt SNAPSHOT record reaches the same malformed-log verdict and
+    /// truthful log accounting over the network: the provider returns its
+    /// log prefix, the auditor re-scans what it received.
+    #[test]
+    fn malformed_log_verdict_is_identical_over_the_network() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        let mut snapshot_entries_seen = 0;
+        for e in bob.log().entries() {
+            let content = if e.kind == EntryKind::Snapshot {
+                snapshot_entries_seen += 1;
+                if snapshot_entries_seen == 2 {
+                    vec![0xff, 0x01]
+                } else {
+                    e.content.clone()
+                }
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let baseline = spot_check(&rebuilt, bob.snapshots(), 0, 1, &image, &registry).unwrap();
+        assert!(matches!(
+            baseline.fault,
+            Some(FaultReason::MalformedLog { .. })
+        ));
+        let mut sim = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(&rebuilt, bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let sim_report = sim.spot_check(0, 1, &image, &registry).unwrap();
+        assert_eq!(baseline.semantic(), sim_report.semantic());
+        // Only the log-prefix exchange happened before the early verdict.
+        assert_eq!(sim_report.transport.round_trips, 1);
+    }
+
+    /// Provider-side errors cross the wire with the message the in-process
+    /// API raises.
+    #[test]
+    fn unknown_snapshot_error_is_identical_over_the_network() {
+        let (bob, image) = record_with_snapshots(2);
+        let registry = GuestRegistry::new();
+        let direct_err = spot_check(bob.log(), bob.snapshots(), 9, 1, &image, &registry)
+            .unwrap_err()
+            .to_string();
+        let mut sim = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let sim_err = sim
+            .spot_check(9, 1, &image, &registry)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(direct_err, sim_err);
+        assert!(sim_err.contains("snapshot 9 not in log"), "{sim_err}");
+    }
+
+    /// A full audit (syntactic + semantic) driven over the wire: the honest
+    /// log passes, a tampered one fails, from the same fetched segment.
+    #[test]
+    fn full_audit_over_the_wire() {
+        let (bob, image) = record_with_snapshots(2);
+        let registry = GuestRegistry::new();
+        let bob_pub = key(1).verifying_key();
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let report = client
+            .audit_log("bob", 1, 0, &[], &bob_pub, &image, &registry)
+            .unwrap();
+        assert!(report.passed(), "{:?}", report.fault());
+        assert_eq!(report.entries_examined, bob.log().len() as u64);
+
+        // A tampered log served by the same protocol fails the audit.
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for e in bob.log().entries() {
+            let content = if e.kind == EntryKind::Send {
+                let mut rec = crate::events::SendRecord::decode_exact(&e.content).unwrap();
+                rec.payload = encode_guest_packet("alice", b"fabricated!");
+                rec.encode_to_vec()
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(&rebuilt, bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let report = client
+            .audit_log("bob", 1, 0, &[], &bob_pub, &image, &registry)
+            .unwrap();
+        assert!(!report.passed());
+    }
+
+    /// The dedup download through a client equals the free-function model,
+    /// and a store-only server rejects log requests.
+    #[test]
+    fn dedup_transfer_over_endpoints_matches_free_function() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let cache = AuditorBlobCache::new();
+        let baseline = crate::ondemand::dedup_transfer_upto(
+            bob.snapshots(),
+            2,
+            &image,
+            &registry,
+            &cache,
+            TRANSFER_COMPRESSION,
+        )
+        .unwrap();
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::for_store(bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let over_net = client
+            .dedup_transfer(2, &image, &registry, TRANSFER_COMPRESSION)
+            .unwrap();
+        assert_eq!(baseline, over_net);
+        // Log requests against a store-only provider are a clean error.
+        let err = client.fetch_log_chunk(0, 1).unwrap_err();
+        assert!(err.to_string().contains("provider serves no log"), "{err}");
+    }
+
+    /// The warm-cache property survives the transport: a second networked
+    /// check against the same client fetches nothing.
+    #[test]
+    fn warm_cache_over_the_network_refetches_nothing() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let first = client
+            .spot_check_on_demand(1, 1, &image, &registry)
+            .unwrap();
+        assert!(!first.on_demand.as_ref().unwrap().fetched.is_empty());
+        let second = client
+            .spot_check_on_demand(1, 1, &image, &registry)
+            .unwrap();
+        assert!(second.on_demand.as_ref().unwrap().fetched.is_empty());
+        assert!(second.transport.response_bytes < first.transport.response_bytes);
+    }
+}

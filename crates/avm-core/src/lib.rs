@@ -34,6 +34,11 @@
 //! * [`ondemand`] — the digest-addressed snapshot transfer protocol and
 //!   on-demand partial-state replay ("request the parts of the state that
 //!   are accessed", §3.5).
+//! * [`endpoint`] — the auditor/provider endpoints ([`endpoint::AuditClient`]
+//!   / [`endpoint::AuditServer`]) speaking the audit protocol of
+//!   [`avm_wire::audit`] over pluggable transports: in-process and
+//!   RTT-modelled ([`endpoint::DirectTransport`]) or over the simulated
+//!   network with retransmission ([`endpoint::SimNetTransport`]).
 //! * [`online`] — online (concurrent-with-execution) auditing (§6.11).
 //! * [`multiparty`] — authenticator collection, the challenge protocol and
 //!   evidence distribution for multi-party scenarios (§4.6).
@@ -112,6 +117,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod endpoint;
 pub mod envelope;
 pub mod error;
 pub mod events;
@@ -123,15 +129,21 @@ pub mod replay;
 pub mod runtime;
 pub mod snapshot;
 pub mod spotcheck;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use audit::{audit_log, AuditOutcome, AuditReport, Evidence};
 pub use config::{AvmmOptions, ExecConfig};
+pub use endpoint::{
+    AuditClient, AuditServer, AuditTransport, DirectTransport, SimNetTransport, TransportStats,
+};
 pub use envelope::{Envelope, EnvelopeKind};
 pub use error::{CoreError, FaultReason};
 pub use events::{NdDetail, NdEventRecord, RecvRecord, SendRecord, SnapshotRecord};
 pub use ondemand::{
-    dedup_transfer_upto, fetch_blobs, materialize_on_demand, AuditorBlobCache, ChainManifest,
-    DedupTransfer, OnDemandCost, OnDemandSession,
+    dedup_transfer_upto, fetch_blobs, fetch_blobs_with, materialize_on_demand,
+    materialize_with_manifest, AuditorBlobCache, BlobProvider, ChainManifest, DedupTransfer,
+    OnDemandCost, OnDemandSession,
 };
 pub use recorder::{Avmm, HostClock, OutboundMessage};
 pub use replay::{ReplayOutcome, Replayer};

@@ -320,11 +320,42 @@ fn verify_blob(digest: &Digest, payload: &[u8]) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Serves `request` from the store and verifies every payload against the
-/// digest it was requested under — the protocol step every download model
-/// shares.
-fn serve_verified(store: &SnapshotStore, request: &BlobRequest) -> Result<BlobResponse, CoreError> {
-    let response = store.serve_blobs(request);
+/// The provider side of one blob exchange, as the auditor sees it: hand over
+/// a [`BlobRequest`], get the matching [`BlobResponse`] back.
+///
+/// This is the seam the audit transports plug into: an in-process provider
+/// is simply `&SnapshotStore` (the request is served straight from the
+/// content-addressed pool), while a networked provider
+/// ([`crate::endpoint::AuditTransport`]) carries the same messages over a
+/// (simulated) link.  Everything above the seam — digest selection, per-blob
+/// verification, caching, byte accounting — is transport-independent, which
+/// is what pins the networked exchange to the in-process numbers.
+pub trait BlobProvider {
+    /// Performs one request/response exchange.
+    fn exchange_blobs(&mut self, request: &BlobRequest) -> Result<BlobResponse, CoreError>;
+}
+
+impl BlobProvider for &SnapshotStore {
+    fn exchange_blobs(&mut self, request: &BlobRequest) -> Result<BlobResponse, CoreError> {
+        Ok(self.serve_blobs(request))
+    }
+}
+
+/// Exchanges `request` with the provider and verifies every payload against
+/// the digest it was requested under — the protocol step every download
+/// model shares.
+fn serve_verified<P: BlobProvider>(
+    provider: &mut P,
+    request: &BlobRequest,
+) -> Result<BlobResponse, CoreError> {
+    let response = provider.exchange_blobs(request)?;
+    if response.blobs.len() != request.digests.len() {
+        return Err(CoreError::Snapshot(format!(
+            "blob response carries {} payloads for {} requested digests",
+            response.blobs.len(),
+            request.digests.len()
+        )));
+    }
     for (raw, blob) in request.digests.iter().zip(&response.blobs) {
         let digest = Digest(*raw);
         let payload = blob.as_ref().ok_or_else(|| operator_missing(&digest))?;
@@ -361,9 +392,9 @@ pub struct BlobFetch {
 /// The exchange is split into [`BlobRequest`]s of at most `max_per_request`
 /// digests (`0` = one request for everything); `round_trips` records how
 /// many were issued.
-fn fetch_blobs_encoded(
+fn fetch_blobs_encoded<P: BlobProvider>(
     cache: &mut AuditorBlobCache,
-    store: &SnapshotStore,
+    provider: &mut P,
     needed: &[Digest],
     max_per_request: usize,
 ) -> Result<(BlobFetch, Vec<u8>), CoreError> {
@@ -382,7 +413,7 @@ fn fetch_blobs_encoded(
     }
     let mut encoded = Vec::new();
     for request in BlobRequest::batches(&missing, max_per_request) {
-        let response = serve_verified(store, &request)?;
+        let response = serve_verified(provider, &request)?;
         fetch.round_trips += 1;
         fetch.request_bytes += request.encoded_len() as u64;
         fetch.payload_bytes += response.payload_bytes();
@@ -415,7 +446,21 @@ pub fn fetch_blobs(
     max_per_request: usize,
     level: CompressionLevel,
 ) -> Result<BlobFetch, CoreError> {
-    let (mut fetch, encoded) = fetch_blobs_encoded(cache, store, needed, max_per_request)?;
+    let mut provider = store;
+    fetch_blobs_with(cache, &mut provider, needed, max_per_request, level)
+}
+
+/// [`fetch_blobs`] against any [`BlobProvider`] — the transport-independent
+/// form the audit endpoints use; `fetch_blobs` is the in-process special
+/// case (`provider = &store`).
+pub fn fetch_blobs_with<P: BlobProvider>(
+    cache: &mut AuditorBlobCache,
+    provider: &mut P,
+    needed: &[Digest],
+    max_per_request: usize,
+    level: CompressionLevel,
+) -> Result<BlobFetch, CoreError> {
+    let (mut fetch, encoded) = fetch_blobs_encoded(cache, provider, needed, max_per_request)?;
     fetch.response = CompressionStats::measure(&encoded, level);
     Ok(fetch)
 }
@@ -458,6 +503,21 @@ pub fn dedup_transfer_upto(
     level: CompressionLevel,
 ) -> Result<DedupTransfer, CoreError> {
     let manifest = store.chain_manifest_upto(upto_id)?;
+    let mut provider = store;
+    dedup_transfer_from_manifest(&manifest, &mut provider, image, registry, cache, level)
+}
+
+/// [`dedup_transfer_upto`] starting from an already-downloaded manifest and
+/// running the blob exchange against any [`BlobProvider`] — the form the
+/// audit endpoints use; the accounting is identical to the in-process form.
+pub(crate) fn dedup_transfer_from_manifest<P: BlobProvider>(
+    manifest: &ChainManifest,
+    provider: &mut P,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    cache: &AuditorBlobCache,
+    level: CompressionLevel,
+) -> Result<DedupTransfer, CoreError> {
     let manifest_encoded = manifest.encode_to_vec();
     // Everything the auditor can derive locally from the reference image.
     let local = Machine::from_image(image, registry).map_err(CoreError::Vm)?;
@@ -486,7 +546,7 @@ pub fn dedup_transfer_upto(
             request.digests.push(digest.0);
         }
     }
-    let response = serve_verified(store, &request)?;
+    let response = serve_verified(provider, &request)?;
     let blobs_fetched = request.digests.len() as u64;
     let response_encoded = response.encode_to_vec();
     let transfer = CompressionStats::measure_stream(
@@ -643,6 +703,21 @@ impl OnDemandSession {
         cache: &mut AuditorBlobCache,
         level: CompressionLevel,
     ) -> Result<OnDemandCost, CoreError> {
+        let mut provider = store;
+        self.finish_with(machine, &mut provider, cache, level)
+    }
+
+    /// [`OnDemandSession::finish`] against any [`BlobProvider`]: the settle-
+    /// time blob exchange crosses the provider (an audit transport pays it
+    /// on the simulated network), while the accounting stays identical to
+    /// the in-process form.
+    pub fn finish_with<P: BlobProvider>(
+        &self,
+        machine: &Machine,
+        provider: &mut P,
+        cache: &mut AuditorBlobCache,
+        level: CompressionLevel,
+    ) -> Result<OnDemandCost, CoreError> {
         let faulted_chunks = machine.memory().faulted_chunks();
         let faulted_blocks = machine.devices().disk.faulted_blocks();
         let mut needed: Vec<Digest> = Vec::new();
@@ -677,7 +752,7 @@ impl OnDemandSession {
             }
         }
         let (fetch, response_encoded) =
-            fetch_blobs_encoded(cache, store, &needed, DEFAULT_BLOB_BATCH)?;
+            fetch_blobs_encoded(cache, provider, &needed, DEFAULT_BLOB_BATCH)?;
         // Manifest and blob response compress as one download.
         let transfer = CompressionStats::measure_stream(
             [
@@ -716,10 +791,11 @@ impl OnDemandSession {
         store: &SnapshotStore,
         level: CompressionLevel,
     ) -> Result<DedupTransfer, CoreError> {
+        let mut provider = store;
         let request = BlobRequest {
             digests: self.remote_digests.iter().map(|d| d.0).collect(),
         };
-        let response = serve_verified(store, &request)?;
+        let response = serve_verified(&mut provider, &request)?;
         let response_encoded = response.encode_to_vec();
         let transfer = CompressionStats::measure_stream(
             [
@@ -789,6 +865,27 @@ pub fn materialize_on_demand(
     cache: &AuditorBlobCache,
 ) -> Result<(Machine, OnDemandSession), CoreError> {
     let manifest = store.chain_manifest_upto(upto_id)?;
+    materialize_with_manifest(manifest, store, image, registry, cache)
+}
+
+/// [`materialize_on_demand`] starting from an already-downloaded
+/// [`ChainManifest`] — the form the audit endpoints use after fetching the
+/// manifest over a transport.
+///
+/// `store` here is the *staging oracle*: the operator's pool the authentic
+/// blob contents are staged from so replay can fault them in inline.  The
+/// staged bytes are not accounted as transferred — only the settle-time
+/// exchange ([`OnDemandSession::finish_with`]) pays for the blobs replay
+/// actually touched, which is exactly the set the real protocol would have
+/// fetched at fault time.
+pub fn materialize_with_manifest(
+    manifest: ChainManifest,
+    store: &SnapshotStore,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    cache: &AuditorBlobCache,
+) -> Result<(Machine, OnDemandSession), CoreError> {
+    let upto_id = manifest.snapshot_id;
     let manifest_encoded = manifest.encode_to_vec();
     let mut machine = Machine::from_image(image, registry).map_err(CoreError::Vm)?;
     machine

@@ -137,6 +137,23 @@ impl Replayer {
         Ok((Self::with_machine(machine, image.digest()), session))
     }
 
+    /// Creates a replayer from a manifest an audit endpoint already
+    /// downloaded ([`crate::ondemand::materialize_with_manifest`]):
+    /// `snapshots` is the staging oracle, the manifest authenticates against
+    /// the recorded root before the replayer is returned.
+    pub fn from_manifest_on_demand(
+        manifest: crate::ondemand::ChainManifest,
+        image: &VmImage,
+        registry: &GuestRegistry,
+        snapshots: &SnapshotStore,
+        cache: &AuditorBlobCache,
+    ) -> Result<(Replayer, OnDemandSession), CoreError> {
+        let (machine, session) = crate::ondemand::materialize_with_manifest(
+            manifest, snapshots, image, registry, cache,
+        )?;
+        Ok((Self::with_machine(machine, image.digest()), session))
+    }
+
     fn with_machine(machine: Machine, reference_digest: Digest) -> Replayer {
         let start_step = machine.step_count();
         Replayer {

@@ -26,17 +26,25 @@
 //! report carries both the batched round-trip count and what a naive
 //! fault-at-a-time auditor would have paid, convertible to modelled wall
 //! time through a configurable [`RttModel`] (default: [`TRANSFER_RTT`]).
+//!
+//! Since the endpoint redesign, every spot check is *driven through the
+//! audit protocol* ([`crate::endpoint`]): the free functions here are thin
+//! wrappers building an [`crate::endpoint::AuditClient`] over an in-process
+//! [`crate::endpoint::DirectTransport`], and the report's
+//! [`SpotCheckReport::transport`] column records the wire-level accounting
+//! of the exchanges the check actually performed — measured simulated time
+//! when the same check runs over [`crate::endpoint::SimNetTransport`].
 
-use avm_compress::{CompressionLevel, CompressionStats};
+use avm_compress::CompressionLevel;
 use avm_crypto::sha256::Digest;
 use avm_log::{EntryKind, LogEntry, TamperEvidentLog};
 use avm_vm::{GuestRegistry, VmImage};
-use avm_wire::{Decode, Encode, RttModel};
+use avm_wire::{Decode, RttModel};
 
+use crate::endpoint::{AuditClient, AuditServer, DirectTransport, TransportStats};
 use crate::error::{CoreError, FaultReason};
 use crate::events::SnapshotRecord;
 use crate::ondemand::{AuditorBlobCache, OnDemandCost};
-use crate::replay::{ReplayOutcome, Replayer};
 use crate::snapshot::SnapshotStore;
 
 /// Compression level used to model transferred state and log segments; the
@@ -95,6 +103,12 @@ pub struct SpotCheckReport {
     /// before any snapshot state is downloaded (the dedup columns are zero
     /// there for the same reason).
     pub on_demand: Option<OnDemandCost>,
+    /// Wire-level accounting of the exchanges this check drove through its
+    /// [`crate::endpoint::AuditTransport`]: round trips, framed bytes,
+    /// retransmissions, and the **measured** latency — simulated network
+    /// time over `SimNetTransport`, [`RttModel`]-priced time over
+    /// `DirectTransport` — beside the modelled columns above.
+    pub transport: TransportStats,
 }
 
 impl SpotCheckReport {
@@ -149,6 +163,33 @@ impl SpotCheckReport {
             .as_ref()
             .map(|c| c.latency_micros_unbatched(model))
     }
+
+    /// The **measured** latency of this check's actual exchanges, in
+    /// microseconds: real simulated network time when the check ran over
+    /// [`crate::endpoint::SimNetTransport`], per-exchange [`RttModel`]
+    /// pricing over [`crate::endpoint::DirectTransport`].
+    pub fn measured_latency_micros(&self) -> u64 {
+        self.transport.elapsed_micros
+    }
+
+    /// What `model` predicts for this check's wire exchanges (`round_trips`
+    /// RTTs plus serialising every framed byte both ways) — the prediction
+    /// the measured column is validated against in the `netaudit`
+    /// experiment.
+    pub fn predicted_latency_micros(&self, model: &RttModel) -> u64 {
+        model.latency_micros(self.transport.round_trips, self.transport.wire_bytes())
+    }
+
+    /// This report with the wire-level column cleared — what the check
+    /// looks like independent of the transport that carried it.  Two
+    /// reports whose `semantic()` forms are equal reached identical
+    /// verdicts, faults, progress counters and transfer accounting.
+    pub fn semantic(&self) -> SpotCheckReport {
+        SpotCheckReport {
+            transport: TransportStats::default(),
+            ..self.clone()
+        }
+    }
 }
 
 /// Locates the log positions of all snapshot entries.
@@ -161,7 +202,16 @@ impl SpotCheckReport {
 pub fn snapshot_positions(
     log: &TamperEvidentLog,
 ) -> Result<Vec<(usize, u64, Digest)>, FaultReason> {
-    log.entries()
+    snapshot_positions_in(log.entries())
+}
+
+/// [`snapshot_positions`] over a slice of entries — the form an auditor
+/// applies to a log segment it *downloaded* (it never trusts the provider's
+/// own classification of its log).
+pub fn snapshot_positions_in(
+    entries: &[LogEntry],
+) -> Result<Vec<(usize, u64, Digest)>, FaultReason> {
+    entries
         .iter()
         .enumerate()
         .filter(|(_, e)| e.kind == EntryKind::Snapshot)
@@ -183,6 +233,11 @@ pub fn snapshot_positions(
 /// mode prices only the full-dump and log columns; use
 /// [`spot_check_on_demand`] for the incremental-request mode, which also
 /// fills the dedup and on-demand columns.
+///
+/// Thin wrapper over [`crate::endpoint::AuditClient::spot_check`] on an
+/// in-process [`DirectTransport`]; drive the same check over
+/// [`crate::endpoint::SimNetTransport`] to pay every exchange on the
+/// simulated network instead.
 pub fn spot_check(
     log: &TamperEvidentLog,
     snapshots: &SnapshotStore,
@@ -191,7 +246,9 @@ pub fn spot_check(
     image: &VmImage,
     registry: &GuestRegistry,
 ) -> Result<SpotCheckReport, CoreError> {
-    spot_check_impl(log, snapshots, start_snapshot, k, image, registry, None)
+    let server = AuditServer::new(log, snapshots);
+    let mut client = AuditClient::new(DirectTransport::new(server));
+    client.spot_check(start_snapshot, k, image, registry)
 }
 
 /// Spot-checks the `k`-chunk starting at snapshot `start_snapshot` in
@@ -204,6 +261,11 @@ pub fn spot_check(
 /// to it — consecutive checks by the same auditor get cheaper.  The verdict
 /// is produced by the on-demand replay itself and equals the full-download
 /// verdict (both modes authenticate the same roots).
+///
+/// Thin wrapper over
+/// [`crate::endpoint::AuditClient::spot_check_on_demand`]: the client
+/// temporarily adopts `cache` as its persistent blob cache and hands it
+/// back (with the fetched blobs added) when the check settles.
 pub fn spot_check_on_demand(
     log: &TamperEvidentLog,
     snapshots: &SnapshotStore,
@@ -213,234 +275,19 @@ pub fn spot_check_on_demand(
     registry: &GuestRegistry,
     cache: &mut AuditorBlobCache,
 ) -> Result<SpotCheckReport, CoreError> {
-    spot_check_impl(
-        log,
-        snapshots,
-        start_snapshot,
-        k,
-        image,
-        registry,
-        Some(cache),
-    )
-}
-
-fn spot_check_impl(
-    log: &TamperEvidentLog,
-    snapshots: &SnapshotStore,
-    start_snapshot: u64,
-    k: u64,
-    image: &VmImage,
-    registry: &GuestRegistry,
-    on_demand: Option<&mut AuditorBlobCache>,
-) -> Result<SpotCheckReport, CoreError> {
-    let positions = match snapshot_positions(log) {
-        Ok(positions) => positions,
-        // A corrupt SNAPSHOT record is itself the audit's verdict.  The
-        // check stops before downloading any snapshot state or replaying,
-        // but discovering the corruption still cost the auditor the log up
-        // to and including the corrupt entry — count it truthfully.
-        Err(fault) => {
-            let scanned = match fault {
-                FaultReason::MalformedLog { seq } => {
-                    let upto = log
-                        .entries()
-                        .iter()
-                        .position(|e| e.seq == seq)
-                        .map_or(log.entries().len(), |i| i + 1);
-                    &log.entries()[..upto]
-                }
-                _ => log.entries(),
-            };
-            let log_cost = CompressionStats::measure_stream(
-                scanned.iter().map(|e| e.encode_to_vec()),
-                TRANSFER_COMPRESSION,
-            );
-            return Ok(SpotCheckReport {
-                start_snapshot,
-                chunk_size: k,
-                consistent: false,
-                fault: Some(fault),
-                entries_replayed: 0,
-                steps_replayed: 0,
-                snapshot_transfer_bytes: 0,
-                log_transfer_bytes: log_cost.raw_bytes,
-                snapshot_transfer_compressed_bytes: 0,
-                log_transfer_compressed_bytes: log_cost.compressed_bytes,
-                snapshot_transfer_dedup_bytes: 0,
-                snapshot_transfer_dedup_compressed_bytes: 0,
-                on_demand: None,
-            });
-        }
-    };
-    let start_pos = positions
-        .iter()
-        .find(|(_, id, _)| *id == start_snapshot)
-        .map(|(i, _, _)| *i)
-        .ok_or_else(|| CoreError::Snapshot(format!("snapshot {start_snapshot} not in log")))?;
-    let end_idx = positions
-        .iter()
-        .find(|(_, id, _)| *id == start_snapshot + k)
-        .map(|(i, _, _)| *i);
-    let entries: &[LogEntry] = match end_idx {
-        Some(end) => &log.entries()[start_pos + 1..=end],
-        None => &log.entries()[start_pos + 1..],
-    };
-
-    let snapshot_cost = snapshots.transfer_cost_upto(start_snapshot, TRANSFER_COMPRESSION);
-    debug_assert_eq!(
-        snapshot_cost.raw_bytes,
-        snapshots.transfer_bytes_upto(start_snapshot),
-        "transfer stream and byte accounting diverged"
-    );
-    let log_cost = CompressionStats::measure_stream(
-        entries.iter().map(|e| e.encode_to_vec()),
-        TRANSFER_COMPRESSION,
-    );
-
-    // Verdict: replay in the selected download mode.  Progress counters come
-    // from the replayer itself so faulted chunks report how far replay
-    // actually got, not `entries.len()` and zero steps.  The dedup and
-    // on-demand columns are priced only in on-demand mode: pricing the dedup
-    // download hashes a whole reference-image machine and compresses the
-    // divergent state — a cost plain full-download callers should not pay
-    // for columns they never read.
-    let (consistent, fault, progress, dedup, on_demand_cost) = match on_demand {
-        None => {
-            let mut replayer = Replayer::from_snapshot(image, registry, snapshots, start_snapshot)?;
-            let (consistent, fault) = match replayer.replay(entries) {
-                ReplayOutcome::Consistent(_) => (true, None),
-                ReplayOutcome::Fault(f) => (false, Some(f)),
-            };
-            (consistent, fault, replayer.summary(), None, None)
-        }
-        Some(cache) => {
-            let (mut replayer, session) = Replayer::from_snapshot_on_demand(
-                image,
-                registry,
-                snapshots,
-                start_snapshot,
-                cache,
-            )?;
-            // Dedup column: a digest-addressed download of the same full
-            // state.  Priced from the session's staging classification (no
-            // second reference machine is built or hashed) and against the
-            // cache state at session start — the on-demand download below
-            // must not be subsidised by a hypothetical full one.
-            let dedup = session.price_full_download(snapshots, TRANSFER_COMPRESSION)?;
-            let (consistent, fault) = match replayer.replay(entries) {
-                ReplayOutcome::Consistent(_) => (true, None),
-                ReplayOutcome::Fault(f) => (false, Some(f)),
-            };
-            let cost =
-                session.finish(replayer.machine(), snapshots, cache, TRANSFER_COMPRESSION)?;
-            (
-                consistent,
-                fault,
-                replayer.summary(),
-                Some(dedup),
-                Some(cost),
-            )
-        }
-    };
-
-    Ok(SpotCheckReport {
-        start_snapshot,
-        chunk_size: k,
-        consistent,
-        fault,
-        entries_replayed: progress.entries_replayed,
-        steps_replayed: progress.steps_executed,
-        snapshot_transfer_bytes: snapshot_cost.raw_bytes,
-        log_transfer_bytes: log_cost.raw_bytes,
-        snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
-        log_transfer_compressed_bytes: log_cost.compressed_bytes,
-        snapshot_transfer_dedup_bytes: dedup.as_ref().map_or(0, |d| d.transfer.raw_bytes),
-        snapshot_transfer_dedup_compressed_bytes: dedup
-            .as_ref()
-            .map_or(0, |d| d.transfer.compressed_bytes),
-        on_demand: on_demand_cost,
-    })
+    let server = AuditServer::new(log, snapshots);
+    let mut client = AuditClient::with_cache(DirectTransport::new(server), std::mem::take(cache));
+    let result = client.spot_check_on_demand(start_snapshot, k, image, registry);
+    *cache = client.into_cache();
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::AvmmOptions;
-    use crate::envelope::{Envelope, EnvelopeKind};
-    use crate::recorder::{Avmm, HostClock};
-    use avm_crypto::keys::{SignatureScheme, SigningKey};
-    use avm_vm::bytecode::assemble;
+    use crate::testutil::record_with_snapshots;
     use avm_vm::packet::encode_guest_packet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn key(seed: u64) -> SigningKey {
-        let mut rng = StdRng::seed_from_u64(seed);
-        SigningKey::generate(&mut rng, SignatureScheme::Rsa(512))
-    }
-
-    /// A guest that accumulates received bytes into memory and periodically
-    /// writes a counter to disk, so snapshots have real content.
-    fn worker_image() -> VmImage {
-        let src = r"
-                movi r1, 0x8000
-                movi r2, 512
-                movi r5, 0x9000
-            loop:
-                clock r4
-                recv r0, r1, r2
-                cmp r0, r6
-                jne got
-                idle
-                jmp loop
-            got:
-                load r3, r5
-                add r3, r0
-                store r3, r5
-                movi r7, 0
-                movi r8, 8
-                diskwr r7, r5, r8
-                send r1, r0
-                jmp loop
-            ";
-        VmImage::bytecode("worker", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
-            .with_disk(vec![0u8; 8192])
-    }
-
-    /// Records a session with `n_snapshots` snapshots, one after every
-    /// delivered packet.
-    fn record_with_snapshots(n_snapshots: u64) -> (Avmm, VmImage) {
-        let image = worker_image();
-        let alice_key = key(2);
-        let mut bob = Avmm::new(
-            "bob",
-            &image,
-            &GuestRegistry::new(),
-            key(1),
-            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
-        )
-        .unwrap();
-        bob.add_peer("alice", alice_key.verifying_key());
-        let mut clock = HostClock::at(10);
-        bob.run_slice(&clock, 10_000).unwrap();
-        for i in 0..n_snapshots {
-            clock.advance_to(clock.now() + 1_000);
-            let payload = encode_guest_packet("alice", format!("work-{i}").as_bytes());
-            let env = Envelope::create(
-                EnvelopeKind::Data,
-                "alice",
-                "bob",
-                i + 1,
-                payload,
-                &alice_key,
-                None,
-            );
-            bob.deliver(&env).unwrap();
-            bob.run_slice(&clock, 100_000).unwrap();
-            bob.take_snapshot();
-        }
-        (bob, image)
-    }
+    use avm_wire::Encode;
 
     #[test]
     fn honest_chunks_pass_for_various_k() {

@@ -1,0 +1,84 @@
+//! Shared test fixtures: the worker guest + AVMM recording the spot-check
+//! and endpoint test suites both audit.  One definition keeps their
+//! "identical semantics across transports" comparisons honest — both sides
+//! always record the same workload.
+
+use crate::config::AvmmOptions;
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::recorder::{Avmm, HostClock};
+use avm_crypto::keys::{SignatureScheme, SigningKey};
+use avm_vm::bytecode::assemble;
+use avm_vm::packet::encode_guest_packet;
+use avm_vm::{GuestRegistry, VmImage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RSA-512 signing key from a fixed seed.
+pub(crate) fn key(seed: u64) -> SigningKey {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SigningKey::generate(&mut rng, SignatureScheme::Rsa(512))
+}
+
+/// A guest that accumulates received bytes into memory and periodically
+/// writes a counter to disk, so snapshots have real divergent content.
+pub(crate) fn worker_image() -> VmImage {
+    let src = r"
+            movi r1, 0x8000
+            movi r2, 512
+            movi r5, 0x9000
+        loop:
+            clock r4
+            recv r0, r1, r2
+            cmp r0, r6
+            jne got
+            idle
+            jmp loop
+        got:
+            load r3, r5
+            add r3, r0
+            store r3, r5
+            movi r7, 0
+            movi r8, 8
+            diskwr r7, r5, r8
+            send r1, r0
+            jmp loop
+        ";
+    VmImage::bytecode("worker", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
+        .with_disk(vec![0u8; 8192])
+}
+
+/// Records a session with `n_snapshots` snapshots, one after every
+/// delivered packet.  The operator signs with `key(1)`, the peer with
+/// `key(2)`.
+pub(crate) fn record_with_snapshots(n_snapshots: u64) -> (Avmm, VmImage) {
+    let image = worker_image();
+    let alice_key = key(2);
+    let mut bob = Avmm::new(
+        "bob",
+        &image,
+        &GuestRegistry::new(),
+        key(1),
+        AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+    )
+    .unwrap();
+    bob.add_peer("alice", alice_key.verifying_key());
+    let mut clock = HostClock::at(10);
+    bob.run_slice(&clock, 10_000).unwrap();
+    for i in 0..n_snapshots {
+        clock.advance_to(clock.now() + 1_000);
+        let payload = encode_guest_packet("alice", format!("work-{i}").as_bytes());
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            i + 1,
+            payload,
+            &alice_key,
+            None,
+        );
+        bob.deliver(&env).unwrap();
+        bob.run_slice(&clock, 100_000).unwrap();
+        bob.take_snapshot();
+    }
+    (bob, image)
+}

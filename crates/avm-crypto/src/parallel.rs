@@ -18,27 +18,57 @@
 use crate::sha256::{sha256, Digest};
 
 /// Minimum number of inputs each worker must receive before an extra thread
-/// is worth spawning.
+/// is worth spawning (the count-based bound, sized for 512 B chunk leaves).
 pub const MIN_PER_WORKER: usize = 64;
+
+/// Minimum payload bytes each worker must receive before an extra thread is
+/// worth spawning — the *measured-cost* bound: SHA-256 time scales with
+/// input bytes, and 32 KiB of hashing (a few hundred µs) comfortably
+/// amortises a thread spawn (tens of µs).  Equal to `MIN_PER_WORKER` 512 B
+/// chunks, so the chunk-leaf path behaves exactly as before, while batches
+/// of larger inputs (4 KiB disk blocks, whole sections) fan out at
+/// proportionally smaller counts.
+pub const MIN_BYTES_PER_WORKER: usize = MIN_PER_WORKER * 512;
 
 /// Hard cap on worker threads — the hashing stage is meant to soak up a few
 /// otherwise-idle cores, not the whole machine.
 pub const MAX_WORKERS: usize = 8;
 
 /// Number of worker threads [`sha256_batch`] would use for a batch of `n`
-/// inputs on this host (1 = serial fast path).
+/// inputs on this host, assuming chunk-sized inputs (1 = serial fast path).
+///
+/// This is the count-only estimate; [`batch_workers_for`] additionally
+/// weighs the batch's actual payload bytes.
 pub fn batch_workers(n: usize) -> usize {
     let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
     avail.min(MAX_WORKERS).min(n / MIN_PER_WORKER).max(1)
+}
+
+/// Adaptive worker count for a concrete batch: scales with the *work* in the
+/// batch — both input count and total payload bytes — instead of spawning a
+/// fixed-size pool.  Tiny dirty sets stay serial; a handful of large inputs
+/// still parallelises even though their count alone would not justify it.
+pub fn batch_workers_for(inputs: &[&[u8]]) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let total_bytes: usize = inputs.iter().map(|i| i.len()).sum();
+    let by_count = inputs.len() / MIN_PER_WORKER;
+    let by_bytes = total_bytes / MIN_BYTES_PER_WORKER;
+    avail
+        .min(MAX_WORKERS)
+        .min(by_count.max(by_bytes))
+        .min(inputs.len())
+        .max(1)
 }
 
 /// Hashes every input slice, returning digests in input order.
 ///
 /// Equivalent to `inputs.iter().map(|i| sha256(i)).collect()` — bit-identical
 /// output, checked by tests — but large batches are fanned across a scoped
-/// worker pool so dirty-leaf hashing scales with cores.
+/// worker pool so dirty-leaf hashing scales with cores.  The worker count
+/// adapts to the batch ([`batch_workers_for`]): a tiny dirty set never pays
+/// for threads it cannot feed.
 pub fn sha256_batch(inputs: &[&[u8]]) -> Vec<Digest> {
-    let workers = batch_workers(inputs.len());
+    let workers = batch_workers_for(inputs);
     if workers <= 1 {
         return inputs.iter().map(|data| sha256(data)).collect();
     }
@@ -90,5 +120,39 @@ mod tests {
         assert_eq!(batch_workers(MIN_PER_WORKER - 1), 1);
         assert!(batch_workers(MAX_WORKERS * MIN_PER_WORKER * 4) <= MAX_WORKERS);
         assert!(batch_workers(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn adaptive_worker_count_scales_with_batch_work() {
+        let slices_of =
+            |n: usize, len: usize| -> Vec<Vec<u8>> { (0..n).map(|_| vec![0u8; len]).collect() };
+        // Empty and tiny dirty sets: strictly serial.
+        assert_eq!(batch_workers_for(&[]), 1);
+        let tiny = slices_of(3, 512);
+        let tiny_refs: Vec<&[u8]> = tiny.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(batch_workers_for(&tiny_refs), 1);
+        // Chunk-sized inputs behave exactly like the count-only estimate.
+        for n in [MIN_PER_WORKER - 1, MIN_PER_WORKER, 4 * MIN_PER_WORKER] {
+            let chunks = slices_of(n, 512);
+            let refs: Vec<&[u8]> = chunks.iter().map(|v| v.as_slice()).collect();
+            assert_eq!(batch_workers_for(&refs), batch_workers(n), "n={n}");
+        }
+        // A few large inputs parallelise even though their count alone
+        // would not justify a second thread (if cores are available).
+        let blocks = slices_of(16, 64 * 1024);
+        let refs: Vec<&[u8]> = blocks.iter().map(|v| v.as_slice()).collect();
+        let workers = batch_workers_for(&refs);
+        assert!(workers <= MAX_WORKERS.min(16));
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if avail > 1 {
+            assert!(
+                workers > 1,
+                "16 × 64 KiB of hashing must fan out on a multi-core host"
+            );
+        }
+        // Never more workers than inputs.
+        let two = slices_of(2, 10 * MIN_BYTES_PER_WORKER);
+        let refs: Vec<&[u8]> = two.iter().map(|v| v.as_slice()).collect();
+        assert!(batch_workers_for(&refs) <= 2);
     }
 }

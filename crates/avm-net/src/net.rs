@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use avm_wire::RttModel;
+
 use crate::stats::NodeStats;
 
 /// Identifier of a node attached to the simulated network.
@@ -23,15 +25,72 @@ pub struct LinkConfig {
     /// Drop every n-th packet (0 = no loss).  Deterministic loss keeps the
     /// whole simulation reproducible.
     pub drop_every: u64,
+    /// Link bandwidth in bytes per second (0 = infinite bandwidth: packets
+    /// pay no serialisation delay).  Large payloads — blob batches, snapshot
+    /// section streams — therefore cost wall time proportional to their
+    /// size, with the same `bytes × 1 000 000 / bytes_per_sec` term an
+    /// [`RttModel`] charges, so a lossless request/response exchange prices
+    /// identically whether it is *simulated* here or *modelled* there (see
+    /// [`LinkConfig::rtt_model`]).
+    pub bytes_per_sec: u64,
 }
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        // A switched LAN: ~96 µs one-way, mirroring the paper's testbed where
-        // a bare-hardware ping RTT is 192 µs (§6.8).
+        // A switched LAN: ~96 µs one-way latency and 1 Gbit/s, mirroring the
+        // paper's testbed where a bare-hardware ping RTT is 192 µs (§6.8)
+        // on a 1 Gbps switch (§6.7).
         LinkConfig {
             latency_us: 96,
             drop_every: 0,
+            bytes_per_sec: LinkConfig::LAN_BYTES_PER_SEC,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// 1 Gbit/s in bytes per second — the paper's switched LAN (§6.7).
+    pub const LAN_BYTES_PER_SEC: u64 = 125_000_000;
+
+    /// Serialisation delay, in microseconds, for a packet of `bytes` bytes
+    /// on this link — the same formula [`RttModel`] uses, so the simulated
+    /// and modelled price of one packet agree exactly.
+    pub fn serialise_micros(&self, bytes: usize) -> u64 {
+        if self.bytes_per_sec == 0 {
+            return 0;
+        }
+        (bytes as u64).saturating_mul(1_000_000) / self.bytes_per_sec
+    }
+
+    /// The [`RttModel`] equivalent of this link: one round trip costs two
+    /// one-way latencies, and bytes serialise at the same bandwidth.  A
+    /// lossless request/response exchange simulated over this link takes
+    /// exactly the time the returned model predicts when the model is
+    /// applied per packet (infinite bandwidth maps to `u64::MAX`).
+    pub fn rtt_model(&self) -> RttModel {
+        RttModel {
+            rtt_micros: 2 * self.latency_us,
+            bytes_per_sec: if self.bytes_per_sec == 0 {
+                u64::MAX
+            } else {
+                self.bytes_per_sec
+            },
+        }
+    }
+
+    /// The link equivalent of an [`RttModel`]: half the round trip each way,
+    /// same bandwidth, no loss — the inverse of [`LinkConfig::rtt_model`].
+    /// `LinkConfig::from_rtt_model(&RttModel::DEFAULT)` is the 2010-era WAN
+    /// the spot-check reports price their modelled columns under.
+    pub fn from_rtt_model(model: &RttModel) -> LinkConfig {
+        LinkConfig {
+            latency_us: model.rtt_micros / 2,
+            drop_every: 0,
+            bytes_per_sec: if model.bytes_per_sec == u64::MAX {
+                0
+            } else {
+                model.bytes_per_sec
+            },
         }
     }
 }
@@ -81,6 +140,11 @@ pub struct SimNet {
     in_flight: BinaryHeap<Reverse<InFlight>>,
     send_counter: u64,
     per_link_sent: HashMap<(NodeId, NodeId), u64>,
+    /// Per directed link: simulated time at which the transmitter finishes
+    /// serialising the last packet handed to it.  A later packet on the same
+    /// link starts transmitting only after this (finite-bandwidth links
+    /// serialise packets back to back, they do not overlap).
+    link_busy_until: HashMap<(NodeId, NodeId), u64>,
     stats: HashMap<NodeId, NodeStats>,
 }
 
@@ -117,8 +181,13 @@ impl SimNet {
 
     /// Sends `payload` from `from` to `to` at the current simulated time.
     ///
+    /// The packet arrives after its serialisation delay (payload size over
+    /// the link bandwidth, queued behind packets still being transmitted on
+    /// the same directed link) plus the link's one-way latency.
+    ///
     /// Returns the delivery time if the packet was accepted, or `None` if the
-    /// link's deterministic loss model dropped it.
+    /// link's deterministic loss model dropped it.  A dropped packet still
+    /// occupies the transmitter — it is lost downstream, not never sent.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Option<u64> {
         let link = self.link(from, to);
         let sent = self.per_link_sent.entry((from, to)).or_insert(0);
@@ -126,11 +195,15 @@ impl SimNet {
         let tx = self.stats.entry(from).or_default();
         tx.tx_packets += 1;
         tx.tx_bytes += payload.len() as u64;
+        let busy = self.link_busy_until.entry((from, to)).or_insert(0);
+        let tx_start = self.now_us.max(*busy);
+        let tx_done = tx_start + link.serialise_micros(payload.len());
+        *busy = tx_done;
         if link.drop_every != 0 && (*sent).is_multiple_of(link.drop_every) {
             self.stats.entry(from).or_default().dropped += 1;
             return None;
         }
-        let deliver_at = self.now_us + link.latency_us;
+        let deliver_at = tx_done + link.latency_us;
         self.send_counter += 1;
         self.in_flight.push(Reverse(InFlight {
             deliver_at,
@@ -205,6 +278,7 @@ mod tests {
         let mut net = SimNet::new(LinkConfig {
             latency_us: 100,
             drop_every: 0,
+            ..LinkConfig::default()
         });
         let at = net.send(A, B, b"ping".to_vec()).unwrap();
         assert_eq!(at, 100);
@@ -223,6 +297,7 @@ mod tests {
         let mut net = SimNet::new(LinkConfig {
             latency_us: 10,
             drop_every: 0,
+            ..LinkConfig::default()
         });
         net.send(A, B, vec![1]).unwrap();
         net.send(A, B, vec![2]).unwrap();
@@ -241,6 +316,7 @@ mod tests {
             LinkConfig {
                 latency_us: 5000,
                 drop_every: 0,
+                ..LinkConfig::default()
             },
         );
         let t_ab = net.send(A, B, vec![0]).unwrap();
@@ -254,6 +330,7 @@ mod tests {
         let mut net = SimNet::new(LinkConfig {
             latency_us: 1,
             drop_every: 3,
+            ..LinkConfig::default()
         });
         let mut accepted = 0;
         for _ in 0..9 {
@@ -300,6 +377,7 @@ mod tests {
         let mut net = SimNet::new(LinkConfig {
             latency_us: 42,
             drop_every: 0,
+            ..LinkConfig::default()
         });
         assert_eq!(net.next_delivery_at(), None);
         net.send(A, B, vec![1]).unwrap();
@@ -309,5 +387,157 @@ mod tests {
     #[test]
     fn node_id_display() {
         assert_eq!(NodeId(4).to_string(), "node4");
+    }
+
+    #[test]
+    fn serialisation_delay_charged_at_link_bandwidth() {
+        // 1 byte per µs makes the arithmetic visible.
+        let link = LinkConfig {
+            latency_us: 100,
+            drop_every: 0,
+            bytes_per_sec: 1_000_000,
+        };
+        assert_eq!(link.serialise_micros(0), 0);
+        assert_eq!(link.serialise_micros(500), 500);
+        let mut net = SimNet::new(link);
+        let at = net.send(A, B, vec![0u8; 500]).unwrap();
+        assert_eq!(at, 600, "500 µs serialisation + 100 µs latency");
+        // Infinite bandwidth: latency only.
+        let infinite = LinkConfig {
+            bytes_per_sec: 0,
+            ..link
+        };
+        assert_eq!(infinite.serialise_micros(usize::MAX), 0);
+        let mut net = SimNet::new(infinite);
+        assert_eq!(net.send(A, B, vec![0u8; 500]).unwrap(), 100);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_the_transmitter() {
+        let link = LinkConfig {
+            latency_us: 10,
+            drop_every: 0,
+            bytes_per_sec: 1_000_000, // 1 byte/µs
+        };
+        let mut net = SimNet::new(link);
+        // Two 100-byte packets handed to the link at t=0: the second starts
+        // serialising only after the first finishes.
+        assert_eq!(net.send(A, B, vec![0u8; 100]).unwrap(), 110);
+        assert_eq!(net.send(A, B, vec![0u8; 100]).unwrap(), 210);
+        // The reverse direction has its own transmitter.
+        assert_eq!(net.send(B, A, vec![0u8; 100]).unwrap(), 110);
+        // A dropped packet still occupies the transmitter: with drop_every=1
+        // on a fresh link, a drop followed by an accepted packet queues it.
+        let mut net = SimNet::new(link);
+        net.set_link(
+            A,
+            C,
+            LinkConfig {
+                drop_every: 2,
+                ..link
+            },
+        );
+        assert_eq!(net.send(A, C, vec![0u8; 100]).unwrap(), 110);
+        assert!(net.send(A, C, vec![0u8; 100]).is_none()); // dropped, tx busy until 200
+        assert_eq!(net.send(A, C, vec![0u8; 100]).unwrap(), 310);
+    }
+
+    #[test]
+    fn link_and_rtt_model_convert_both_ways() {
+        let lan = LinkConfig::default();
+        let model = lan.rtt_model();
+        assert_eq!(model.rtt_micros, 192, "paper's bare-hw ping RTT (§6.8)");
+        assert_eq!(model.bytes_per_sec, LinkConfig::LAN_BYTES_PER_SEC);
+        assert_eq!(LinkConfig::from_rtt_model(&model), lan);
+        // The WAN the spot-check reports model: RttModel::DEFAULT.
+        let wan = LinkConfig::from_rtt_model(&RttModel::DEFAULT);
+        assert_eq!(wan.latency_us, 25_000);
+        assert_eq!(wan.bytes_per_sec, 1_250_000);
+        assert_eq!(wan.rtt_model(), RttModel::DEFAULT);
+        // Infinite bandwidth maps to the model's "effectively infinite".
+        let infinite = LinkConfig {
+            bytes_per_sec: 0,
+            ..lan
+        };
+        assert_eq!(infinite.rtt_model().bytes_per_sec, u64::MAX);
+        assert_eq!(LinkConfig::from_rtt_model(&infinite.rtt_model()), infinite);
+    }
+
+    /// A lossless request/response exchange costs exactly what the link's
+    /// [`RttModel`] predicts when the model is applied per packet — the
+    /// calibration the audit transports rely on.
+    #[test]
+    fn lossless_exchange_prices_identically_under_link_and_model() {
+        let link = LinkConfig::default();
+        let model = link.rtt_model();
+        let (req_len, resp_len) = (1_037usize, 16_411usize);
+        let mut net = SimNet::new(link);
+        let t0 = net.now();
+        let at_server = net.send(A, B, vec![0u8; req_len]).unwrap();
+        net.advance_to(at_server);
+        let at_client = net.send(B, A, vec![0u8; resp_len]).unwrap();
+        net.advance_to(at_client);
+        let simulated = net.now() - t0;
+        let modelled = model.rtt_micros
+            + model.latency_micros(0, req_len as u64)
+            + model.latency_micros(0, resp_len as u64);
+        assert_eq!(simulated, modelled);
+        // And the single-call form (serialising both payloads in one term)
+        // is within one µs per packet of the simulation.
+        let single = model.latency_micros(1, (req_len + resp_len) as u64);
+        assert!(single.abs_diff(simulated) <= 2);
+    }
+
+    /// Deterministic loss interacts with per-link counters, not global ones:
+    /// each directed link drops its own every-nth packet, reproducibly.
+    #[test]
+    fn deterministic_loss_is_per_directed_link_and_reproducible() {
+        let run = || {
+            let mut net = SimNet::new(LinkConfig {
+                latency_us: 1,
+                drop_every: 4,
+                ..LinkConfig::default()
+            });
+            let mut outcomes = Vec::new();
+            for i in 0..12 {
+                // Interleave directions; each keeps its own drop cadence.
+                if i % 2 == 0 {
+                    outcomes.push(net.send(A, B, vec![i]).is_some());
+                } else {
+                    outcomes.push(net.send(B, A, vec![i]).is_some());
+                }
+            }
+            (outcomes, net.stats(A).dropped, net.stats(B).dropped)
+        };
+        let (outcomes, dropped_a, dropped_b) = run();
+        // 6 packets per direction, every 4th dropped => exactly 1 drop each.
+        assert_eq!(dropped_a, 1);
+        assert_eq!(dropped_b, 1);
+        assert_eq!(outcomes.iter().filter(|ok| !**ok).count(), 2);
+        // Bit-identical on a second run: the loss model is deterministic.
+        assert_eq!(run(), (outcomes, dropped_a, dropped_b));
+    }
+
+    /// Byte/packet accounting: tx counts every handed-over packet (dropped
+    /// included), rx counts only delivered ones, and bytes follow suit.
+    #[test]
+    fn stats_account_drops_against_tx_only() {
+        let mut net = SimNet::new(LinkConfig {
+            latency_us: 1,
+            drop_every: 2,
+            ..LinkConfig::default()
+        });
+        for _ in 0..6 {
+            net.send(A, B, vec![0u8; 10]);
+        }
+        net.advance_to(1_000);
+        let a = net.stats(A);
+        let b = net.stats(B);
+        assert_eq!(a.tx_packets, 6);
+        assert_eq!(a.tx_bytes, 60);
+        assert_eq!(a.dropped, 3);
+        assert_eq!(b.rx_packets, 3);
+        assert_eq!(b.rx_bytes, 30);
+        assert_eq!(b.tx_packets, 0);
     }
 }

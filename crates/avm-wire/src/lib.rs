@@ -17,11 +17,15 @@
 //! declare wire formats; [`Writer`] and [`Reader`] are the low-level cursors.
 //! On top of the primitives, [`blob`] defines the digest-addressed transfer
 //! messages ([`BlobRequest`]/[`BlobResponse`]) of the §3.5 snapshot download
-//! protocol; their semantics live in `avm-core`'s `ondemand` module.
+//! protocol, and [`audit`] defines the full audit protocol
+//! ([`AuditRequest`]/[`AuditResponse`]: manifest, blob, log-segment and
+//! snapshot-section fetches) those messages ride in; their semantics live in
+//! `avm-core`'s `ondemand` and `endpoint` modules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod blob;
 pub mod checksum;
 pub mod frame;
@@ -30,6 +34,7 @@ pub mod rtt;
 pub mod varint;
 pub mod writer;
 
+pub use audit::{open_message, seal_message, AuditRequest, AuditResponse, SegmentAddress};
 pub use blob::{BlobDigest, BlobRequest, BlobResponse, BLOB_DIGEST_LEN, DEFAULT_BLOB_BATCH};
 pub use checksum::crc32;
 pub use frame::{read_frame, write_frame, FrameError, FRAME_MAGIC};

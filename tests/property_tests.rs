@@ -562,3 +562,143 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Networked audit endpoints
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // Every case records a full AVMM session (RSA keygen + signing), so the
+    // case count is kept small; the interleavings inside each case are what
+    // the property quantifies over.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A spot check driven over the simulated network reaches the identical
+    /// verdict, fault, progress counters, and transfer-byte/round-trip
+    /// accounting as the in-process path, under arbitrary write/snapshot
+    /// interleavings, chunk choices, download modes, and deterministic link
+    /// loss — and a lossless link never retransmits.
+    #[test]
+    fn networked_spot_check_equals_in_process(
+        workload in proptest::collection::vec((0u8..6, any::<bool>()), 2..6),
+        start_pick in any::<u8>(),
+        k in 1u64..3,
+        loss_pick in 0usize..4,
+        on_demand in any::<bool>(),
+    ) {
+        use avm_core::config::AvmmOptions;
+        use avm_core::endpoint::{AuditClient, AuditServer, SimNetTransport};
+        use avm_core::envelope::{Envelope, EnvelopeKind};
+        use avm_core::ondemand::AuditorBlobCache;
+        use avm_core::recorder::{Avmm, HostClock};
+        use avm_core::spotcheck::{spot_check, spot_check_on_demand};
+        use avm_crypto::keys::{SignatureScheme, SigningKey};
+        use avm_net::LinkConfig;
+        use avm_vm::packet::encode_guest_packet;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // A worker guest whose state diverges with every packet.
+        let src = r"
+                movi r1, 0x8000
+                movi r2, 512
+                movi r5, 0x9000
+            loop:
+                clock r4
+                recv r0, r1, r2
+                cmp r0, r6
+                jne got
+                idle
+                jmp loop
+            got:
+                load r3, r5
+                add r3, r0
+                store r3, r5
+                movi r7, 0
+                movi r8, 8
+                diskwr r7, r5, r8
+                send r1, r0
+                jmp loop
+            ";
+        let image = VmImage::bytecode("net-prop", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
+            .with_disk(vec![0u8; 8192]);
+        let registry = GuestRegistry::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let operator_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+        let alice_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+        let mut avmm = Avmm::new(
+            "bob",
+            &image,
+            &registry,
+            operator_key,
+            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+        )
+        .unwrap();
+        avmm.add_peer("alice", alice_key.verifying_key());
+        let mut clock = HostClock::at(5);
+        avmm.run_slice(&clock, 10_000).unwrap();
+        let mut snapshots_taken = 0u64;
+        for (i, (sel, snap)) in workload.iter().enumerate() {
+            clock.advance_to(clock.now() + 500);
+            let payload = encode_guest_packet("alice", &[b'w', *sel, i as u8]);
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "alice",
+                "bob",
+                i as u64 + 1,
+                payload,
+                &alice_key,
+                None,
+            );
+            avmm.deliver(&env).unwrap();
+            avmm.run_slice(&clock, 100_000).unwrap();
+            if *snap {
+                avmm.take_snapshot();
+                snapshots_taken += 1;
+            }
+        }
+        if snapshots_taken == 0 {
+            avmm.take_snapshot();
+            snapshots_taken = 1;
+        }
+        let start = start_pick as u64 % snapshots_taken;
+        // drop_every = 1 would drop *every* packet (a black hole, tested
+        // separately); quantify over lossless and partial-loss links.
+        let drop_every = [0u64, 2, 3, 5][loss_pick];
+        let link = LinkConfig { drop_every, ..LinkConfig::default() };
+
+        // In-process baseline and the same check over the simulated network.
+        let (baseline, net_report, fetched_equal) = if on_demand {
+            let mut free_cache = AuditorBlobCache::new();
+            let baseline = spot_check_on_demand(
+                avmm.log(), avmm.snapshots(), start, k, &image, &registry, &mut free_cache,
+            ).unwrap();
+            let mut client = AuditClient::new(SimNetTransport::new(
+                AuditServer::new(avmm.log(), avmm.snapshots()),
+                link,
+            ));
+            let net_report = client.spot_check_on_demand(start, k, &image, &registry).unwrap();
+            let fetched_equal = baseline.on_demand.as_ref().map(|c| c.fetched.clone())
+                == net_report.on_demand.as_ref().map(|c| c.fetched.clone());
+            (baseline, net_report, fetched_equal)
+        } else {
+            let baseline = spot_check(
+                avmm.log(), avmm.snapshots(), start, k, &image, &registry,
+            ).unwrap();
+            let mut client = AuditClient::new(SimNetTransport::new(
+                AuditServer::new(avmm.log(), avmm.snapshots()),
+                link,
+            ));
+            let net_report = client.spot_check(start, k, &image, &registry).unwrap();
+            (baseline, net_report, true)
+        };
+
+        prop_assert_eq!(baseline.semantic(), net_report.semantic());
+        prop_assert!(fetched_equal, "transferred digests diverged across transports");
+        if drop_every == 0 {
+            prop_assert_eq!(net_report.transport.retransmissions, 0);
+        }
+        prop_assert!(net_report.transport.round_trips >= 1);
+        prop_assert!(net_report.measured_latency_micros() > 0);
+    }
+}
