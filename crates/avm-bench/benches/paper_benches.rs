@@ -278,6 +278,39 @@ fn bench_parallel_chunk_hashing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Durable-store substrate: `Provider::recover` — scan and chain-verify the
+/// segment files, rebuild the snapshot store from persisted manifests,
+/// replay the log tail with root verification — from the storage image a
+/// short snapshot workload leaves behind.
+fn bench_persist_recovery(c: &mut Criterion) {
+    use avm_bench::experiments::persist_demo_storage;
+    use avm_core::config::AvmmOptions;
+    use avm_core::persist::Provider;
+
+    let (storage, image, key, cfg) = persist_demo_storage(4);
+    let registry = avm_vm::GuestRegistry::new();
+    let options = AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512));
+    let mut group = c.benchmark_group("persist");
+    group.sample_size(10);
+    group.bench_function("recover_4_snapshots", |b| {
+        b.iter(|| {
+            let (_, report) = Provider::recover(
+                storage.reboot(),
+                "host",
+                &image,
+                &registry,
+                key.clone(),
+                options.clone(),
+                cfg,
+            )
+            .unwrap();
+            assert!(report.snapshots_verified > 0);
+            report.entries_recovered
+        })
+    });
+    group.finish();
+}
+
 /// Figures 5/6/8 cost model: derived from measured crypto and the host model.
 fn bench_fig568_host_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_fig6_fig8_host_model");
@@ -302,6 +335,7 @@ criterion_group!(
     bench_snapshot_dedup,
     bench_fig9_spotcheck,
     bench_netaudit,
+    bench_persist_recovery,
     bench_fig568_host_model
 );
 criterion_main!(benches);

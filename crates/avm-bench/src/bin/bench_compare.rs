@@ -1,0 +1,77 @@
+//! Compares a fresh benchmark metric file against the committed pin and
+//! exits nonzero on regressions — the "benchmark trajectory as data" gate.
+//!
+//! ```text
+//! cargo run -p avm-bench --bin bench_compare -- \
+//!     BENCH_persist.json target/bench/BENCH_persist.json [--threshold 15]
+//! ```
+//!
+//! The key conventions (which keys are exact flags, which are costs under
+//! the threshold, which are host-dependent and skipped) live in
+//! [`avm_bench::trajectory`].
+
+use std::path::Path;
+use std::process::exit;
+
+use avm_bench::trajectory;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare <pinned.json> <fresh.json> [--threshold <percent>]");
+    exit(2);
+}
+
+fn load(path: &str) -> Vec<(String, u64)> {
+    match trajectory::read_metrics(Path::new(path)) {
+        Ok(metrics) if !metrics.is_empty() => metrics,
+        Ok(_) => {
+            eprintln!("bench_compare: no metrics found in {path}");
+            exit(2);
+        }
+        Err(err) => {
+            eprintln!("bench_compare: cannot read {path}: {err}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold: u64 = 15;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            threshold = match it.next().map(|v| v.parse()) {
+                Some(Ok(t)) => t,
+                _ => usage(),
+            };
+        } else if arg.starts_with("--") {
+            usage();
+        } else {
+            files.push(arg);
+        }
+    }
+    let [pinned_path, fresh_path] = files[..] else {
+        usage();
+    };
+
+    let pinned = load(pinned_path);
+    let fresh = load(fresh_path);
+    println!("comparing {fresh_path} against pinned {pinned_path} (threshold {threshold}%)");
+    for (key, pin) in &pinned {
+        match fresh.iter().find(|(k, _)| k == key) {
+            Some((_, now)) => println!("  {key}: {pin} -> {now}"),
+            None => println!("  {key}: {pin} -> (missing)"),
+        }
+    }
+
+    let regressions = trajectory::compare(&pinned, &fresh, threshold);
+    if regressions.is_empty() {
+        println!("no regressions: every pinned cost within {threshold}%, all flags intact");
+        return;
+    }
+    for regression in &regressions {
+        eprintln!("REGRESSION {regression}");
+    }
+    exit(1);
+}

@@ -10,6 +10,17 @@
 
 use avm_bench::experiments;
 use avm_bench::hostmodel::HostCostModel;
+use avm_bench::trajectory;
+
+/// Writes a fresh trajectory metric file (`BENCH_OUT` dir, or the current
+/// one) so `bench_compare` can diff it against the committed pin.
+fn write_bench(experiment: &str, file: &str, metrics: &[(String, u64)]) {
+    let path = trajectory::bench_out_path(file);
+    match trajectory::write_metrics(&path, experiment, metrics) {
+        Ok(written) => println!("wrote {}", written.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,11 +86,24 @@ fn main() {
                 experiments::exp_chunked(quick);
             }
             "netaudit" | "netcheck" | "endpoints" => {
-                experiments::exp_netaudit(quick);
+                let r = experiments::exp_netaudit(quick);
+                write_bench(
+                    "netaudit",
+                    "BENCH_netaudit.json",
+                    &experiments::netaudit_metrics(&r, quick),
+                );
+            }
+            "persist" | "durability" | "crashrecovery" => {
+                let r = experiments::exp_persist(quick);
+                write_bench(
+                    "persist",
+                    "BENCH_persist.json",
+                    &experiments::persist_metrics(&r, quick),
+                );
             }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

@@ -14,6 +14,7 @@ use avm_core::config::{AvmmOptions, ExecConfig};
 use avm_core::envelope::{Envelope, EnvelopeKind};
 use avm_core::events::{classify_entry, EntryClass};
 use avm_core::online::OnlineAuditor;
+use avm_core::persist::{PersistConfig, Provider, RecoveryReport};
 use avm_core::recorder::{Avmm, HostClock};
 use avm_core::replay::Replayer;
 use avm_core::spotcheck::spot_check;
@@ -22,6 +23,7 @@ use avm_db::{db_image, db_registry, server::DbConfig, WorkloadGen};
 use avm_game::cheats::{cheat_catalog, CheatClass};
 use avm_game::game_registry;
 use avm_log::{EntryKind, TamperEvidentLog};
+use avm_store::{ArenaConfig, FsyncModel, SegmentConfig, SimStorage, SyncPolicy};
 use avm_vm::packet::encode_guest_packet;
 use avm_wire::Encode;
 use rand::rngs::StdRng;
@@ -1779,6 +1781,400 @@ pub fn exp_netaudit(quick: bool) -> NetAuditResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable accountability: fsync policies + crash recovery (avm-store/persist)
+// ---------------------------------------------------------------------------
+
+/// One fsync-policy row of the `persist` experiment: the durable write-path
+/// counters for an identical recording workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistPolicyRow {
+    /// Table/JSON label: `per_entry`, `per_batch`, `per_seal`, or the SSD
+    /// contrast row `per_entry_ssd`.
+    pub label: &'static str,
+    /// fsyncs issued by the segment and arena writers together.
+    pub syncs: u64,
+    /// Bytes appended (framing included), segments + arenas.
+    pub appended_bytes: u64,
+    /// Accumulated modelled sync time, in microseconds.
+    pub modelled_sync_micros: u64,
+}
+
+/// Result of the `persist` experiment.
+#[derive(Debug, Clone)]
+pub struct PersistResult {
+    /// One row per sync policy under the 2010-era disk model, plus the
+    /// `per_entry_ssd` contrast row — all over the identical workload.
+    pub policies: Vec<PersistPolicyRow>,
+    /// Recovery report after a clean shutdown (preceded by a prune, so the
+    /// arena numbers reflect compaction).
+    pub clean: RecoveryReport,
+    /// Recovery report after a mid-write crash.
+    pub crash: RecoveryReport,
+    /// Wall-clock time of the clean recovery (µs).
+    pub wall_recovery_clean_us: u64,
+    /// Wall-clock time of the crash recovery (µs).
+    pub wall_recovery_crash_us: u64,
+    /// Whether the post-recovery spot check equals the pre-shutdown one,
+    /// field for field (verdict, roots, transfer accounting).
+    pub audit_identical_after_clean_recovery: bool,
+    /// Whether the crash-recovered provider still passes a spot check.
+    pub audit_consistent_after_crash_recovery: bool,
+}
+
+/// The store configuration the `persist` experiment runs under: small
+/// segments/arenas so rotation and sealing actually happen at quick scale.
+fn persist_cfg(policy: SyncPolicy, model: FsyncModel) -> PersistConfig {
+    PersistConfig {
+        segments: SegmentConfig {
+            max_segment_bytes: 16 * 1024,
+            seal_every_entries: 8,
+            sync_policy: policy,
+            fsync_model: model,
+        },
+        arenas: ArenaConfig {
+            max_arena_bytes: 64 * 1024,
+            fsync_model: model,
+        },
+    }
+}
+
+/// Drives the standard persist workload: `rounds` iterations of deliver a
+/// sparse-touch packet, run, snapshot — every event mirrored to storage.
+fn drive_persist_workload(
+    provider: &mut Provider<SimStorage>,
+    client: &Identity,
+    rounds: u64,
+    touch_pages: u64,
+) -> Result<(), avm_core::persist::PersistError> {
+    let mut clock = HostClock::at(1_000);
+    provider.run_slice(&clock, 50_000)?;
+    for i in 0..rounds {
+        clock.advance_to(clock.now() + 2_000);
+        let payload = encode_guest_packet("host", &[(i % touch_pages) as u8, (i % 8) as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "client",
+            "host",
+            i + 1,
+            payload,
+            &client.signing_key,
+            None,
+        );
+        provider.deliver(&env)?;
+        provider.run_slice(&clock, 100_000)?;
+        provider.take_snapshot()?;
+    }
+    Ok(())
+}
+
+/// Spot-checks one chunk of a durable provider through its audit endpoint —
+/// the report is served from the persisted segment image, exactly what an
+/// auditor would see after the provider restarts.
+fn spot_check_durable(
+    provider: &Provider<SimStorage>,
+    image: &avm_vm::VmImage,
+    start: u64,
+) -> avm_core::spotcheck::SpotCheckReport {
+    use avm_core::endpoint::{AuditClient, DirectTransport};
+    let mut client = AuditClient::new(DirectTransport::new(provider.audit_server()));
+    client
+        .spot_check(start, 1, image, &avm_vm::GuestRegistry::new())
+        .unwrap()
+}
+
+/// Builds the persist workload once (clean shutdown, `rounds` snapshots) and
+/// returns what is needed to recover a provider from it — the substrate of
+/// the `persist` criterion group, which times `Provider::recover` alone.
+pub fn persist_demo_storage(
+    rounds: u64,
+) -> (
+    SimStorage,
+    avm_vm::VmImage,
+    avm_crypto::keys::SigningKey,
+    PersistConfig,
+) {
+    let registry = avm_vm::GuestRegistry::new();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(29);
+    let operator = Identity::generate(&mut rng, "host", scheme);
+    let client = Identity::generate(&mut rng, "client", scheme);
+    let image = sparse_touch_image(96);
+    let cfg = persist_cfg(SyncPolicy::PerBatch, FsyncModel::DISK_2010);
+    let storage = SimStorage::new();
+    let mut provider = Provider::create(
+        storage.clone(),
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        AvmmOptions::default().with_scheme(scheme),
+        cfg,
+    )
+    .unwrap();
+    provider.add_peer("client", client.verifying_key());
+    drive_persist_workload(&mut provider, &client, rounds, 16).unwrap();
+    (storage, image, operator.signing_key, cfg)
+}
+
+/// Durable accountability (ROADMAP; paper §3 — the log *is* the evidence):
+/// the recording AVMM mirrored to append-only log segments and blob arenas.
+/// Measures the per-entry / per-batch / per-seal fsync trade-off under the
+/// modelled 2010-era disk (plus an SSD contrast row), then kills and
+/// recovers the provider twice — once after a clean shutdown, once mid-write
+/// — timing recovery and checking the recovered audits: a clean restart must
+/// produce spot checks identical to the pre-shutdown provider's, and a crash
+/// recovery must truncate the torn tail and still pass.
+pub fn exp_persist(quick: bool) -> PersistResult {
+    use avm_vm::GuestRegistry;
+
+    let registry = GuestRegistry::new();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(29);
+    let operator = Identity::generate(&mut rng, "host", scheme);
+    let client = Identity::generate(&mut rng, "client", scheme);
+    let pages = if quick { 96 } else { 128 };
+    let touch_pages: u64 = if quick { 16 } else { 48 };
+    let rounds: u64 = if quick { 5 } else { 12 };
+    let image = sparse_touch_image(pages);
+    let options = || AvmmOptions::default().with_scheme(scheme);
+    let fresh_provider = |cfg: PersistConfig, storage: SimStorage| {
+        let mut p = Provider::create(
+            storage,
+            "host",
+            &image,
+            &registry,
+            operator.signing_key.clone(),
+            options(),
+            cfg,
+        )
+        .unwrap();
+        p.add_peer("client", client.verifying_key());
+        p
+    };
+
+    // 1. The fsync-policy trade-off: the identical workload under each
+    //    policy, priced like the RttModel prices the wire.
+    let mut policies = Vec::new();
+    for (label, policy, model) in [
+        ("per_entry", SyncPolicy::PerEntry, FsyncModel::DISK_2010),
+        ("per_batch", SyncPolicy::PerBatch, FsyncModel::DISK_2010),
+        ("per_seal", SyncPolicy::PerSeal, FsyncModel::DISK_2010),
+        ("per_entry_ssd", SyncPolicy::PerEntry, FsyncModel::SSD),
+    ] {
+        let mut provider = fresh_provider(persist_cfg(policy, model), SimStorage::new());
+        drive_persist_workload(&mut provider, &client, rounds, touch_pages).unwrap();
+        let stats = provider.durability_stats();
+        policies.push(PersistPolicyRow {
+            label,
+            syncs: stats.syncs,
+            appended_bytes: stats.appended_bytes,
+            modelled_sync_micros: stats.modelled_sync_micros,
+        });
+    }
+
+    // 2. Clean shutdown → recovery.  A prune first, so the recovered arena
+    //    numbers include compaction; the pre-shutdown spot check is the
+    //    reference the recovered one must equal field for field.
+    let cfg = persist_cfg(SyncPolicy::PerBatch, FsyncModel::DISK_2010);
+    let storage = SimStorage::new();
+    let mut provider = fresh_provider(cfg, storage.clone());
+    drive_persist_workload(&mut provider, &client, rounds, touch_pages).unwrap();
+    let start = rounds - 2;
+    provider.prune_snapshots_upto(start).unwrap();
+    let before = spot_check_durable(&provider, &image, start);
+    drop(provider); // the process dies; only the bytes in `storage` survive
+    let t = Instant::now();
+    let (recovered, clean) = Provider::recover(
+        storage.reboot(),
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+        cfg,
+    )
+    .unwrap();
+    let wall_recovery_clean_us = t.elapsed().as_micros() as u64;
+    let after = spot_check_durable(&recovered, &image, start);
+    let audit_identical_after_clean_recovery = before == after;
+
+    // 3. Crash mid-write → recovery by torn-tail truncation.  Arm a byte
+    //    budget and keep recording until a write dies mid-record.
+    let storage = SimStorage::new();
+    let mut provider = fresh_provider(cfg, storage.clone());
+    drive_persist_workload(&mut provider, &client, rounds, touch_pages).unwrap();
+    storage.set_crash_point(if quick { 6_000 } else { 24_000 });
+    let mut clock = HostClock::at(1_000_000);
+    let mut i = 0u64;
+    loop {
+        clock.advance_to(clock.now() + 2_000);
+        let payload = encode_guest_packet("host", &[(i % touch_pages) as u8, 3]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "client",
+            "host",
+            rounds + i + 1,
+            payload,
+            &client.signing_key,
+            None,
+        );
+        let died = provider.deliver(&env).is_err()
+            || provider.run_slice(&clock, 100_000).is_err()
+            || provider.take_snapshot().is_err();
+        if died {
+            break;
+        }
+        i += 1;
+        assert!(i < 1_000, "crash point never hit");
+    }
+    assert!(storage.crashed());
+    let survivor = storage.reboot();
+    let t = Instant::now();
+    let (crashed_recovered, crash) = Provider::recover(
+        survivor,
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+        cfg,
+    )
+    .unwrap();
+    let wall_recovery_crash_us = t.elapsed().as_micros() as u64;
+    let crash_start = crash.snapshots_recovered.saturating_sub(2);
+    let crash_check = spot_check_durable(&crashed_recovered, &image, crash_start);
+    let audit_consistent_after_crash_recovery = crash_check.consistent;
+
+    assert!(
+        audit_identical_after_clean_recovery,
+        "clean restart must reproduce the exact pre-shutdown spot check"
+    );
+    assert!(
+        audit_consistent_after_crash_recovery,
+        "crash recovery must truncate the torn tail and still pass audits"
+    );
+    assert_eq!(
+        clean.torn_bytes_truncated, 0,
+        "clean shutdown tears nothing"
+    );
+
+    println!("# Durable accountability: fsync-policy trade-off + crash recovery");
+    println!("| sync policy | fsyncs | appended bytes | modelled sync time (ms) |");
+    println!("|---|---|---|---|");
+    for row in &policies {
+        println!(
+            "| {} | {} | {} | {:.3} |",
+            row.label,
+            row.syncs,
+            row.appended_bytes,
+            row.modelled_sync_micros as f64 / 1000.0
+        );
+    }
+    println!(
+        "\nclean restart: {} entries recovered, {} snapshots rebuilt (base {}), {} entries \
+         replayed, {} roots verified; arenas {} blobs / {} B after prune+compaction; \
+         {wall_recovery_clean_us} µs wall; audits identical: \
+         {audit_identical_after_clean_recovery}",
+        clean.entries_recovered,
+        clean.snapshots_recovered,
+        clean.base_snapshot_id,
+        clean.entries_replayed,
+        clean.snapshots_verified,
+        clean.arena_blobs,
+        clean.arena_bytes,
+    );
+    println!(
+        "crash restart: {} B torn tail truncated, {} entries survived (sealed upto {}), {} \
+         replayed, {} roots verified; {wall_recovery_crash_us} µs wall; audit consistent: \
+         {audit_consistent_after_crash_recovery}",
+        crash.torn_bytes_truncated,
+        crash.entries_recovered,
+        crash.sealed_upto,
+        crash.entries_replayed,
+        crash.snapshots_verified,
+    );
+
+    PersistResult {
+        policies,
+        clean,
+        crash,
+        wall_recovery_clean_us,
+        wall_recovery_crash_us,
+        audit_identical_after_clean_recovery,
+        audit_consistent_after_crash_recovery,
+    }
+}
+
+/// Flattens a [`PersistResult`] into the `BENCH_persist.json` trajectory
+/// metrics (see the `trajectory` module docs for the key conventions).
+pub fn persist_metrics(r: &PersistResult, quick: bool) -> Vec<(String, u64)> {
+    let mut m = vec![("ok_quick".to_string(), quick as u64)];
+    for row in &r.policies {
+        m.push((format!("{}_syncs", row.label), row.syncs));
+        m.push((format!("{}_appended_bytes", row.label), row.appended_bytes));
+        m.push((
+            format!("{}_modelled_sync_micros", row.label),
+            row.modelled_sync_micros,
+        ));
+    }
+    for (prefix, rep) in [("clean", &r.clean), ("crash", &r.crash)] {
+        m.push((format!("{prefix}_entries_recovered"), rep.entries_recovered));
+        m.push((
+            format!("{prefix}_snapshots_recovered"),
+            rep.snapshots_recovered,
+        ));
+        m.push((format!("{prefix}_entries_replayed"), rep.entries_replayed));
+        m.push((
+            format!("{prefix}_snapshots_verified"),
+            rep.snapshots_verified,
+        ));
+        m.push((format!("{prefix}_arena_blobs"), rep.arena_blobs));
+        m.push((format!("{prefix}_arena_bytes"), rep.arena_bytes));
+        m.push((
+            format!("{prefix}_torn_bytes_truncated"),
+            rep.torn_bytes_truncated,
+        ));
+    }
+    m.push((
+        "ok_audit_identical_after_clean_recovery".into(),
+        r.audit_identical_after_clean_recovery as u64,
+    ));
+    m.push((
+        "ok_audit_consistent_after_crash_recovery".into(),
+        r.audit_consistent_after_crash_recovery as u64,
+    ));
+    m.push(("wall_recovery_clean_us".into(), r.wall_recovery_clean_us));
+    m.push(("wall_recovery_crash_us".into(), r.wall_recovery_crash_us));
+    m
+}
+
+/// Flattens a [`NetAuditResult`] into the `BENCH_netaudit.json` trajectory
+/// metrics (all simulated, hence deterministic — no `wall_` keys here).
+pub fn netaudit_metrics(r: &NetAuditResult, quick: bool) -> Vec<(String, u64)> {
+    vec![
+        ("ok_quick".into(), quick as u64),
+        (
+            "ok_semantic_match_clean".into(),
+            r.semantic_match_clean as u64,
+        ),
+        (
+            "ok_semantic_match_lossy".into(),
+            r.semantic_match_lossy as u64,
+        ),
+        (
+            "ok_semantic_match_full".into(),
+            r.semantic_match_full as u64,
+        ),
+        ("ok_within_one_percent".into(), r.within_one_percent as u64),
+        ("measured_clean_us".into(), r.measured_clean_us),
+        ("direct_modelled_us".into(), r.direct_modelled_us),
+        ("predicted_us".into(), r.predicted_us),
+        ("measured_lossy_us".into(), r.measured_lossy_us),
+        ("retransmissions_lossy".into(), r.retransmissions_lossy),
+    ]
+}
+
 /// Runs every experiment (used by the `experiments` binary with `all`).
 pub fn run_all(quick: bool) {
     let model = HostCostModel::calibrated();
@@ -1798,6 +2194,7 @@ pub fn run_all(quick: bool) {
     exp_ondemand(quick);
     exp_chunked(quick);
     exp_netaudit(quick);
+    exp_persist(quick);
 }
 
 #[cfg(test)]
@@ -1970,6 +2367,62 @@ mod tests {
         assert!(r.within_one_percent);
         assert!(r.retransmissions_lossy > 0);
         assert!(r.measured_lossy_us > r.measured_clean_us);
+    }
+
+    /// Acceptance for durable accountability: the fsync-policy ladder is
+    /// ordered the way the cost model predicts (without changing what is
+    /// written), a clean restart reproduces field-identical audits, and a
+    /// mid-write crash recovers by torn-tail truncation and still passes.
+    #[test]
+    fn persist_policies_ordered_and_recovered_audits_pass() {
+        let r = exp_persist(true);
+        let by = |label: &str| {
+            r.policies
+                .iter()
+                .find(|p| p.label == label)
+                .copied()
+                .unwrap()
+        };
+        let (entry, batch, seal) = (by("per_entry"), by("per_batch"), by("per_seal"));
+        let ssd = by("per_entry_ssd");
+        assert!(
+            entry.syncs > batch.syncs && batch.syncs > seal.syncs,
+            "sync counts must fall from per-entry to per-seal: {} / {} / {}",
+            entry.syncs,
+            batch.syncs,
+            seal.syncs
+        );
+        assert_eq!(
+            entry.appended_bytes, seal.appended_bytes,
+            "the sync policy must not change what is written"
+        );
+        assert!(
+            entry.modelled_sync_micros > batch.modelled_sync_micros
+                && batch.modelled_sync_micros > seal.modelled_sync_micros
+        );
+        assert!(
+            ssd.modelled_sync_micros * 10 < entry.modelled_sync_micros,
+            "the SSD model must undercut the 2010 disk by an order of magnitude"
+        );
+        assert!(r.audit_identical_after_clean_recovery);
+        assert!(r.audit_consistent_after_crash_recovery);
+        assert_eq!(r.clean.torn_bytes_truncated, 0);
+        assert!(
+            r.crash.torn_bytes_truncated > 0,
+            "the crash budget must land mid-record"
+        );
+        assert!(r.clean.snapshots_verified > 0 && r.crash.snapshots_verified > 0);
+        // The emitted trajectory metrics carry every pinned key class.
+        let metrics = persist_metrics(&r, true);
+        assert!(metrics
+            .iter()
+            .any(|(k, _)| k == "per_seal_modelled_sync_micros"));
+        assert!(metrics
+            .iter()
+            .any(|(k, _)| k == "crash_torn_bytes_truncated"));
+        assert!(metrics
+            .iter()
+            .any(|(k, v)| k == "ok_audit_identical_after_clean_recovery" && *v == 1));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod hostmodel;
 pub mod scenario;
+pub mod trajectory;
 
 pub use hostmodel::HostCostModel;
 pub use scenario::{GameScenario, ScenarioResult};

@@ -74,7 +74,7 @@
 
 use avm_compress::{CompressionLevel, CompressionStats};
 use avm_crypto::sha256::Digest;
-use avm_log::{LogEntry, TamperEvidentLog};
+use avm_log::{LogEntry, LogSource, TamperEvidentLog};
 use avm_net::{LinkConfig, NodeId, SimNet};
 use avm_vm::{GuestRegistry, VmImage};
 use avm_wire::audit::{open_message, seal_message, AuditRequest, AuditResponse, SegmentAddress};
@@ -88,7 +88,7 @@ use crate::ondemand::{
 use crate::replay::{ReplayOutcome, Replayer};
 use crate::snapshot::SnapshotStore;
 use crate::spotcheck::{
-    snapshot_positions, snapshot_positions_in, SpotCheckReport, TRANSFER_COMPRESSION, TRANSFER_RTT,
+    snapshot_positions_in, SpotCheckReport, TRANSFER_COMPRESSION, TRANSFER_RTT,
 };
 
 // ---------------------------------------------------------------------------
@@ -131,7 +131,7 @@ use crate::spotcheck::{
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AuditServer<'a> {
-    log: Option<&'a TamperEvidentLog>,
+    log: Option<&'a dyn LogSource>,
     store: &'a SnapshotStore,
 }
 
@@ -139,6 +139,13 @@ impl<'a> AuditServer<'a> {
     /// A provider endpoint serving both a log and a snapshot store — what a
     /// full AVMM operator exposes to auditors.
     pub fn new(log: &'a TamperEvidentLog, store: &'a SnapshotStore) -> AuditServer<'a> {
+        AuditServer::with_log_source(log, store)
+    }
+
+    /// Like [`AuditServer::new`], but over any [`LogSource`] — in
+    /// particular a durable provider's disk-backed segment log, so audits
+    /// are served from exactly the bytes that survive a crash.
+    pub fn with_log_source(log: &'a dyn LogSource, store: &'a SnapshotStore) -> AuditServer<'a> {
         AuditServer {
             log: Some(log),
             store,
@@ -223,11 +230,11 @@ impl<'a> AuditServer<'a> {
     /// discover the corruption, like the in-process scan does.
     fn handle_log_chunk(
         &self,
-        log: &TamperEvidentLog,
+        log: &dyn LogSource,
         start_snapshot: u64,
         chunk: u64,
     ) -> AuditResponse {
-        let positions = match snapshot_positions(log) {
+        let positions = match snapshot_positions_in(log.entries()) {
             Ok(positions) => positions,
             Err(FaultReason::MalformedLog { seq }) => {
                 let upto = log

@@ -124,6 +124,7 @@ pub mod events;
 pub mod multiparty;
 pub mod ondemand;
 pub mod online;
+pub mod persist;
 pub mod recorder;
 pub mod replay;
 pub mod runtime;
@@ -145,6 +146,7 @@ pub use ondemand::{
     materialize_with_manifest, AuditorBlobCache, BlobProvider, ChainManifest, DedupTransfer,
     OnDemandCost, OnDemandSession,
 };
+pub use persist::{PersistConfig, PersistError, Provider, RecoveryReport, SnapshotManifest};
 pub use recorder::{Avmm, HostClock, OutboundMessage};
 pub use replay::{ReplayOutcome, Replayer};
 pub use snapshot::{Snapshot, SnapshotStore, StoredSnapshot, TransferCost};

@@ -15,7 +15,7 @@ use avm_log::{Acknowledgment, Authenticator, EntryKind, TamperEvidentLog};
 use avm_vm::devices::InputEvent;
 use avm_vm::packet::parse_guest_packet;
 use avm_vm::{GuestRegistry, Machine, StopCondition, VmExit, VmImage};
-use avm_wire::Encode;
+use avm_wire::{Decode, Encode};
 
 use crate::config::AvmmOptions;
 use crate::envelope::{Envelope, EnvelopeKind};
@@ -152,6 +152,89 @@ impl Avmm {
         };
         avmm.log.append(EntryKind::Meta, meta.encode_to_vec());
         Ok(avmm)
+    }
+
+    /// Rebuilds a live AVMM around state reconstructed by crash recovery:
+    /// a machine replayed to the log head, the verified log itself and the
+    /// snapshot store rebuilt from durable manifests.
+    ///
+    /// The private bookkeeping (`outstanding_sends`, message counter,
+    /// auto-snapshot cursor, clock monotonicity floor) is itself a pure
+    /// function of the log, so it is re-derived here by one scan.  Peer keys
+    /// are not logged; callers re-register them via [`Avmm::add_peer`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume(
+        name: &str,
+        machine: Machine,
+        state_tree: StateTreeCache,
+        image_digest: Digest,
+        signing_key: SigningKey,
+        options: AvmmOptions,
+        log: TamperEvidentLog,
+        snapshots: SnapshotStore,
+    ) -> Avmm {
+        let mut msg_counter = 0u64;
+        let mut outstanding_sends: HashMap<u64, u64> = HashMap::new();
+        let mut seq_to_msg: HashMap<u64, u64> = HashMap::new();
+        let mut entries_at_last_snapshot = 0u64;
+        let mut last_clock_value = 0u64;
+        let mut stats = AvmmStats::default();
+        for entry in log.entries() {
+            match entry.kind {
+                EntryKind::Send => {
+                    // Message ids are dense in SEND order (see record_send).
+                    msg_counter += 1;
+                    outstanding_sends.insert(msg_counter, entry.seq);
+                    seq_to_msg.insert(entry.seq, msg_counter);
+                    stats.packets_out += 1;
+                }
+                EntryKind::Recv => stats.packets_in += 1,
+                EntryKind::Ack => {
+                    if let Ok(rec) = AckRecord::decode_exact(&entry.content) {
+                        if let Some(msg_id) = seq_to_msg.get(&rec.send_seq) {
+                            outstanding_sends.remove(msg_id);
+                        }
+                    }
+                }
+                EntryKind::Snapshot => {
+                    entries_at_last_snapshot = entry.seq;
+                    stats.snapshots_taken += 1;
+                }
+                EntryKind::NdEvent => {
+                    if let Ok(rec) = NdEventRecord::decode_exact(&entry.content) {
+                        if let NdDetail::ClockRead { value } = rec.detail {
+                            last_clock_value = value;
+                            stats.clock_reads += 1;
+                        }
+                    }
+                }
+                EntryKind::Meta => {}
+            }
+        }
+        Avmm {
+            name: name.to_string(),
+            machine,
+            image_digest,
+            options,
+            signing_key,
+            peer_keys: HashMap::new(),
+            log,
+            snapshots,
+            state_tree,
+            outstanding_sends,
+            msg_counter,
+            entries_at_last_snapshot,
+            last_clock_host: None,
+            last_clock_value,
+            consecutive_clock_reads: 0,
+            stats,
+            console: Vec::new(),
+        }
+    }
+
+    /// The provider's signing key (recovery reuses it for new seals).
+    pub(crate) fn signing_key(&self) -> &SigningKey {
+        &self.signing_key
     }
 
     /// Registers a peer's verification key (used to check incoming messages).

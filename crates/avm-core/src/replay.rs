@@ -172,6 +172,13 @@ impl Replayer {
         &self.machine
     }
 
+    /// Consumes the replayer, handing its machine and warmed state tree to
+    /// a caller that keeps executing from the replayed point (crash
+    /// recovery resumes the live AVMM this way).
+    pub(crate) fn into_parts(self) -> (Machine, StateTreeCache) {
+        (self.machine, self.state_tree)
+    }
+
     /// Machine steps executed since this replayer was created — valid at any
     /// point, including after a fault terminated replay.
     pub fn steps_executed(&self) -> u64 {

@@ -637,6 +637,25 @@ impl SnapshotStore {
         SnapshotStore::default()
     }
 
+    /// Creates an empty store whose next pushed snapshot must carry
+    /// `base_id` — the shape a store has right after
+    /// [`SnapshotStore::prune_upto`] dropped everything below `base_id`.
+    /// Recovery uses this to rebuild a pruned store from persisted
+    /// manifests without replaying the pruned-away history.
+    pub fn with_base(base_id: u64) -> SnapshotStore {
+        SnapshotStore {
+            base_id,
+            ..SnapshotStore::default()
+        }
+    }
+
+    /// Digests of every payload blob the pool currently holds (unordered).
+    /// This is the live set a durable blob store must retain for this
+    /// store's snapshots to keep materializing.
+    pub fn pooled_digests(&self) -> Vec<Digest> {
+        self.pool.blobs.keys().copied().collect()
+    }
+
     /// Adds a snapshot (ids must be dense and increasing; the next id is
     /// [`SnapshotStore::next_id`]), interning its payloads into the
     /// content-addressed pool.

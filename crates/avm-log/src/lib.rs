@@ -21,9 +21,11 @@
 pub mod auth;
 pub mod entry;
 pub mod log;
+pub mod source;
 pub mod verify;
 
 pub use auth::{Acknowledgment, Authenticator};
 pub use entry::{EntryKind, LogEntry};
 pub use log::TamperEvidentLog;
+pub use source::LogSource;
 pub use verify::{verify_segment, LogVerifyError, SegmentSummary};

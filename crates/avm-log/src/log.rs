@@ -6,6 +6,7 @@ use avm_wire::{Decode, Encode, Reader, Writer};
 
 use crate::auth::Authenticator;
 use crate::entry::{EntryKind, LogEntry};
+use crate::verify::LogVerifyError;
 
 /// An append-only hash-chained log owned by one machine.
 #[derive(Debug, Clone, Default)]
@@ -79,6 +80,62 @@ impl TamperEvidentLog {
     /// All entries.
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
+    }
+
+    /// Entries whose *sequence numbers* fall in `range`, borrowed rather
+    /// than cloned (sequence numbers are 1-based; indices are not).
+    ///
+    /// Out-of-range bounds are clamped, so `log.entries_range(5..)` on a
+    /// three-entry log is simply empty.
+    ///
+    /// ```
+    /// use avm_log::{EntryKind, TamperEvidentLog};
+    /// let mut log = TamperEvidentLog::new();
+    /// for i in 0..5u8 {
+    ///     log.append(EntryKind::Meta, vec![i]);
+    /// }
+    /// let mid = log.entries_range(2..=4);
+    /// assert_eq!(mid.len(), 3);
+    /// assert_eq!(mid[0].seq, 2);
+    /// assert_eq!(log.entries_range(..), log.entries());
+    /// ```
+    pub fn entries_range<R: core::ops::RangeBounds<u64>>(&self, range: R) -> &[LogEntry] {
+        use core::ops::Bound;
+        let len = self.entries.len() as u64;
+        let start_seq = match range.start_bound() {
+            Bound::Included(&s) => s.max(1),
+            Bound::Excluded(&s) => s.saturating_add(1).max(1),
+            Bound::Unbounded => 1,
+        };
+        let end_seq_excl = match range.end_bound() {
+            Bound::Included(&e) => e.saturating_add(1),
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => u64::MAX,
+        };
+        let start = (start_seq - 1).min(len);
+        let end = end_seq_excl.saturating_sub(1).min(len).max(start);
+        &self.entries[start as usize..end as usize]
+    }
+
+    /// Rebuilds a log from entries recovered elsewhere (e.g. persisted
+    /// segment files), verifying that they form a dense 1-based chain from
+    /// the anchor `h_0 = 0`.
+    pub fn from_entries(entries: Vec<LogEntry>) -> Result<TamperEvidentLog, LogVerifyError> {
+        let mut prev = Digest::ZERO;
+        for (i, e) in entries.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if e.seq != expected {
+                return Err(LogVerifyError::BadSequence {
+                    expected,
+                    found: e.seq,
+                });
+            }
+            if !e.verify_against(&prev) {
+                return Err(LogVerifyError::BrokenChain { seq: e.seq });
+            }
+            prev = e.hash;
+        }
+        Ok(TamperEvidentLog { entries })
     }
 
     /// Returns the entry with sequence number `seq`.
@@ -244,5 +301,47 @@ mod tests {
     fn authenticate_last_on_empty_log_is_none() {
         let log = TamperEvidentLog::new();
         assert!(log.authenticate_last(&key()).is_none());
+    }
+
+    #[test]
+    fn entries_range_selects_by_sequence_number() {
+        let log = sample_log(10);
+        let mid = log.entries_range(3..=5);
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid[0].seq, 3);
+        assert_eq!(mid[2].seq, 5);
+        assert_eq!(log.entries_range(..), log.entries());
+        assert_eq!(log.entries_range(8..).len(), 3);
+        assert_eq!(log.entries_range(11..), &[]);
+        assert_eq!(log.entries_range(..1), &[]);
+        assert_eq!(log.entries_range(4..4), &[]);
+        assert_eq!(log.entries_range(0..3).len(), 2); // clamps to seq 1
+        assert!(TamperEvidentLog::new().entries_range(..).is_empty());
+    }
+
+    #[test]
+    fn from_entries_verifies_the_chain() {
+        let log = sample_log(6);
+        let rebuilt = TamperEvidentLog::from_entries(log.entries().to_vec()).unwrap();
+        assert_eq!(rebuilt.entries(), log.entries());
+        assert!(TamperEvidentLog::from_entries(Vec::new())
+            .unwrap()
+            .is_empty());
+
+        // A gap in the sequence numbers is rejected.
+        let mut gapped = log.entries().to_vec();
+        gapped.remove(2);
+        assert!(matches!(
+            TamperEvidentLog::from_entries(gapped),
+            Err(LogVerifyError::BadSequence { expected: 3, .. })
+        ));
+
+        // A rewritten entry breaks the chain.
+        let mut tampered = log.entries().to_vec();
+        tampered[3].content = b"rewritten".to_vec();
+        assert!(matches!(
+            TamperEvidentLog::from_entries(tampered),
+            Err(LogVerifyError::BrokenChain { seq: 4 })
+        ));
     }
 }

@@ -1,0 +1,111 @@
+//! Read-only log access, independent of where the entries live.
+//!
+//! The audit endpoint serves log segments to auditors (paper §3.5).  Before
+//! the storage layer existed, the only place entries could live was the
+//! in-memory [`TamperEvidentLog`]; with durable segment files the same
+//! protocol must be servable straight from recovered segments.  [`LogSource`]
+//! is the small trait both implement: a dense, 1-based, hash-chained run of
+//! entries starting at the `h_0 = 0` anchor.
+
+use avm_crypto::sha256::Digest;
+
+use crate::entry::LogEntry;
+use crate::log::TamperEvidentLog;
+
+/// A readable hash-chained log: dense 1-based sequence numbers anchored at
+/// `h_0 = 0`.
+///
+/// Implementors guarantee `entries()[i].seq == i + 1`; the provided methods
+/// rely on it.
+pub trait LogSource: core::fmt::Debug {
+    /// All entries, in sequence order.
+    fn entries(&self) -> &[LogEntry];
+
+    /// Number of entries.
+    fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// True when the log holds no entries.
+    fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// The segment with sequence numbers in `[from_seq, to_seq]`, plus the
+    /// hash of the entry preceding it (needed to verify the chain from the
+    /// segment start).  Same contract as [`TamperEvidentLog::segment`].
+    fn segment(&self, from_seq: u64, to_seq: u64) -> Option<(Digest, Vec<LogEntry>)> {
+        if from_seq == 0 || from_seq > to_seq {
+            return None;
+        }
+        let entries = self.entries();
+        let start = usize::try_from(from_seq - 1).ok()?;
+        let end = usize::try_from(to_seq).ok()?;
+        if end > entries.len() {
+            return None;
+        }
+        let prev_hash = if start == 0 {
+            Digest::ZERO
+        } else {
+            entries[start - 1].hash
+        };
+        Some((prev_hash, entries[start..end].to_vec()))
+    }
+}
+
+impl LogSource for TamperEvidentLog {
+    fn entries(&self) -> &[LogEntry] {
+        TamperEvidentLog::entries(self)
+    }
+
+    fn segment(&self, from_seq: u64, to_seq: u64) -> Option<(Digest, Vec<LogEntry>)> {
+        TamperEvidentLog::segment(self, from_seq, to_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+
+    fn sample(n: u64) -> TamperEvidentLog {
+        let mut log = TamperEvidentLog::new();
+        for i in 0..n {
+            log.append(EntryKind::Meta, vec![i as u8]);
+        }
+        log
+    }
+
+    #[test]
+    fn trait_segment_matches_inherent_segment() {
+        let log = sample(8);
+        let src: &dyn LogSource = &log;
+        assert_eq!(src.len(), 8);
+        assert!(!src.is_empty());
+        for (from, to) in [(1, 8), (1, 1), (3, 6), (8, 8)] {
+            assert_eq!(src.segment(from, to), log.segment(from, to));
+        }
+        for (from, to) in [(0, 3), (5, 4), (5, 9)] {
+            assert!(src.segment(from, to).is_none());
+            assert!(log.segment(from, to).is_none());
+        }
+    }
+
+    #[test]
+    fn default_segment_impl_is_correct() {
+        // A minimal implementor that only provides `entries`, exercising the
+        // default `segment` body rather than the inherent override.
+        #[derive(Debug)]
+        struct Plain(Vec<LogEntry>);
+        impl LogSource for Plain {
+            fn entries(&self) -> &[LogEntry] {
+                &self.0
+            }
+        }
+        let log = sample(6);
+        let plain = Plain(log.entries().to_vec());
+        for (from, to) in [(1, 6), (2, 5), (1, 1), (6, 6), (0, 2), (4, 3), (3, 7)] {
+            assert_eq!(plain.segment(from, to), log.segment(from, to));
+        }
+    }
+}

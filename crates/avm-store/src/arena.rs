@@ -1,0 +1,446 @@
+//! Append-only blob arenas for the content-addressed payload pool.
+//!
+//! # On-disk layout
+//!
+//! Blobs live in files `arena-000000`, `arena-000001`, … each a stream of
+//! CRC-framed records whose payload is `digest (32 bytes) || blob bytes`.
+//! The digest→blob index is rebuilt by scanning at recovery — Venti-style,
+//! the files *are* the database.  Files are never modified in place; arena
+//! indices increase monotonically and are never reused, so a compaction
+//! (triggered by snapshot pruning) writes the surviving blobs into fresh
+//! files, fsyncs them, and only then deletes the old ones.  A crash anywhere
+//! in that sequence leaves either the old files, both sets (duplicates are
+//! deduplicated on scan), or just the new ones — never a state that loses a
+//! live blob.
+//!
+//! Torn-tail handling mirrors the segment files: an incomplete final frame
+//! in the *last* arena file is truncated silently; a framing error anywhere
+//! else is tampering.  Blob *content* is not re-hashed here — the CRC guards
+//! against accidental corruption, and end-to-end trust comes from replay
+//! authenticating snapshot state roots against the log.
+
+use std::collections::{HashMap, HashSet};
+
+use avm_crypto::sha256::Digest;
+use avm_wire::{read_frame, write_frame, FrameError};
+
+use crate::error::{StoreError, TamperKind};
+use crate::fsync::{DurabilityMeter, DurabilityStats, FsyncModel};
+use crate::storage::Storage;
+
+/// File-name prefix for arena files.
+pub const ARENA_PREFIX: &str = "arena-";
+
+/// Configuration for the arena writer.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaConfig {
+    /// Start a new arena file once the current one reaches this size.
+    pub max_arena_bytes: u64,
+    /// How syncs are priced.
+    pub fsync_model: FsyncModel,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        ArenaConfig {
+            max_arena_bytes: 256 * 1024,
+            fsync_model: FsyncModel::DISK_2010,
+        }
+    }
+}
+
+fn arena_file_name(index: u64) -> String {
+    format!("{ARENA_PREFIX}{index:06}")
+}
+
+fn parse_arena_index(name: &str) -> Result<u64, StoreError> {
+    name.strip_prefix(ARENA_PREFIX)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| StoreError::Io(format!("unrecognised arena file name: {name}")))
+}
+
+/// Result of a read-only scan of the arena files.
+#[derive(Debug, Clone)]
+pub struct ArenaScan {
+    /// Recovered blobs in scan order, duplicates removed.
+    pub blobs: Vec<(Digest, Vec<u8>)>,
+    /// Bytes in the torn tail (0 when the tail is clean).
+    pub torn_bytes: u64,
+    /// Torn tail location: file name and the byte length to keep.
+    pub torn: Option<(String, u64)>,
+    /// Arena index the next new file should use.
+    next_index: u64,
+    /// Name and (post-truncation) length of the final file, if any.
+    resume: Option<(String, u64)>,
+}
+
+/// Scans the arena files in `storage` without modifying anything.
+pub fn scan_arenas<S: Storage>(storage: &S) -> Result<ArenaScan, StoreError> {
+    let names: Vec<String> = storage
+        .list()?
+        .into_iter()
+        .filter(|n| n.starts_with(ARENA_PREFIX))
+        .collect();
+    let mut scan = ArenaScan {
+        blobs: Vec::new(),
+        torn_bytes: 0,
+        torn: None,
+        next_index: 0,
+        resume: None,
+    };
+    let mut seen: HashSet<Digest> = HashSet::new();
+    for (fi, name) in names.iter().enumerate() {
+        let index = parse_arena_index(name)?;
+        scan.next_index = scan.next_index.max(index + 1);
+        let data = storage.read(name)?;
+        let is_last = fi + 1 == names.len();
+        let mut off = 0usize;
+        let mut keep_len = data.len();
+        while off < data.len() {
+            let (payload, consumed) = match read_frame(&data[off..]) {
+                Ok(frame) => frame,
+                Err(FrameError::Truncated) if is_last => {
+                    scan.torn = Some((name.clone(), off as u64));
+                    scan.torn_bytes = (data.len() - off) as u64;
+                    keep_len = off;
+                    break;
+                }
+                Err(e) => {
+                    return Err(StoreError::Tamper(TamperKind::BadRecord {
+                        file: name.clone(),
+                        detail: e.to_string(),
+                    }))
+                }
+            };
+            if payload.len() < 32 {
+                return Err(StoreError::Tamper(TamperKind::BadRecord {
+                    file: name.clone(),
+                    detail: "arena record shorter than a digest".into(),
+                }));
+            }
+            let digest = Digest::from_slice(&payload[..32]).expect("32 bytes");
+            // Duplicates are legal: a crash between compaction's write of the
+            // new files and removal of the old ones leaves both copies.
+            if seen.insert(digest) {
+                scan.blobs.push((digest, payload[32..].to_vec()));
+            }
+            off += consumed;
+        }
+        if is_last {
+            scan.resume = Some((name.clone(), keep_len as u64));
+        }
+    }
+    Ok(scan)
+}
+
+/// Appender over the arena files, with a rebuildable digest index.
+#[derive(Debug)]
+pub struct ArenaStore<S: Storage> {
+    storage: S,
+    cfg: ArenaConfig,
+    /// Digest → payload length, for existence checks and accounting (the
+    /// bytes themselves stay on "disk").
+    index: HashMap<Digest, u64>,
+    file: String,
+    file_len: u64,
+    next_index: u64,
+    stored_bytes: u64,
+    meter: DurabilityMeter,
+}
+
+impl<S: Storage> ArenaStore<S> {
+    /// Creates a fresh arena set; errors if arena files already exist.
+    pub fn create(storage: S, cfg: ArenaConfig) -> Result<ArenaStore<S>, StoreError> {
+        if storage.list()?.iter().any(|n| n.starts_with(ARENA_PREFIX)) {
+            return Err(StoreError::Io(
+                "arena files already exist; use recover".into(),
+            ));
+        }
+        Ok(ArenaStore {
+            storage,
+            cfg,
+            index: HashMap::new(),
+            file: arena_file_name(0),
+            file_len: 0,
+            next_index: 1,
+            stored_bytes: 0,
+            meter: DurabilityMeter::new(cfg.fsync_model),
+        })
+    }
+
+    /// Recovers from existing arena files: rebuilds the index, truncates a
+    /// torn tail, and returns the recovered blobs for the in-memory pool.
+    pub fn recover(
+        mut storage: S,
+        cfg: ArenaConfig,
+    ) -> Result<(ArenaStore<S>, ArenaScan), StoreError> {
+        let scan = scan_arenas(&storage)?;
+        if let Some((file, keep)) = &scan.torn {
+            storage.truncate(file, *keep)?;
+        }
+        let mut index = HashMap::with_capacity(scan.blobs.len());
+        let mut stored_bytes = 0u64;
+        for (digest, payload) in &scan.blobs {
+            index.insert(*digest, payload.len() as u64);
+            stored_bytes += payload.len() as u64;
+        }
+        let (file, file_len) = scan
+            .resume
+            .clone()
+            .unwrap_or_else(|| (arena_file_name(0), 0));
+        let next_index = scan.next_index.max(1);
+        Ok((
+            ArenaStore {
+                storage,
+                cfg,
+                index,
+                file,
+                file_len,
+                next_index,
+                stored_bytes,
+                meter: DurabilityMeter::new(cfg.fsync_model),
+            },
+            scan,
+        ))
+    }
+
+    /// True when a blob with `digest` is already durable.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains_key(digest)
+    }
+
+    /// Appends a blob unless it is already stored.  Returns whether bytes
+    /// were written.
+    pub fn put(&mut self, digest: Digest, payload: &[u8]) -> Result<bool, StoreError> {
+        if self.contains(&digest) {
+            return Ok(false);
+        }
+        if self.file_len >= self.cfg.max_arena_bytes {
+            self.file = arena_file_name(self.next_index);
+            self.next_index += 1;
+            self.file_len = 0;
+        }
+        let mut record = Vec::with_capacity(32 + payload.len());
+        record.extend_from_slice(digest.as_bytes());
+        record.extend_from_slice(payload);
+        let mut buf = Vec::with_capacity(record.len() + 8);
+        let n = write_frame(&mut buf, &record);
+        self.storage.append(&self.file, &buf)?;
+        self.file_len += n as u64;
+        self.meter.record_append(n as u64);
+        self.index.insert(digest, payload.len() as u64);
+        self.stored_bytes += payload.len() as u64;
+        Ok(true)
+    }
+
+    /// Fsyncs outstanding appends (priced by the fsync model).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.meter.sync(&mut self.storage)
+    }
+
+    /// Rewrites the arenas keeping only `live` blobs; returns the payload
+    /// bytes freed.  Crash-safe: new files are written and fsynced before
+    /// any old file is deleted, and recovery deduplicates.
+    pub fn compact(&mut self, live: &HashSet<Digest>) -> Result<u64, StoreError> {
+        self.flush()?;
+        let old_names: Vec<String> = self
+            .storage
+            .list()?
+            .into_iter()
+            .filter(|n| n.starts_with(ARENA_PREFIX))
+            .collect();
+        // Collect the surviving records before touching anything.
+        let mut survivors: Vec<(Digest, Vec<u8>)> = Vec::new();
+        let mut kept: HashSet<Digest> = HashSet::new();
+        for name in &old_names {
+            let data = self.storage.read(name)?;
+            let mut off = 0usize;
+            while off < data.len() {
+                let (payload, consumed) = match read_frame(&data[off..]) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        return Err(StoreError::Tamper(TamperKind::BadRecord {
+                            file: name.clone(),
+                            detail: e.to_string(),
+                        }))
+                    }
+                };
+                if payload.len() < 32 {
+                    return Err(StoreError::Tamper(TamperKind::BadRecord {
+                        file: name.clone(),
+                        detail: "arena record shorter than a digest".into(),
+                    }));
+                }
+                let digest = Digest::from_slice(&payload[..32]).expect("32 bytes");
+                if live.contains(&digest) && kept.insert(digest) {
+                    survivors.push((digest, payload[32..].to_vec()));
+                }
+                off += consumed;
+            }
+        }
+        let freed_before = self.stored_bytes;
+        // Write survivors into fresh files.
+        self.index.clear();
+        self.stored_bytes = 0;
+        self.file = arena_file_name(self.next_index);
+        self.next_index += 1;
+        self.file_len = 0;
+        for (digest, payload) in survivors {
+            self.put(digest, &payload)?;
+        }
+        // New files durable before the old ones disappear.
+        self.flush()?;
+        for name in old_names {
+            self.storage.remove(&name)?;
+        }
+        self.storage.sync()?;
+        Ok(freed_before.saturating_sub(self.stored_bytes))
+    }
+
+    /// Number of distinct blobs stored.
+    pub fn blob_count(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    /// Total payload bytes stored (excluding framing).
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Durability counters for this writer.
+    pub fn stats(&self) -> DurabilityStats {
+        self.meter.stats()
+    }
+
+    /// Bytes appended but not yet covered by a sync.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.meter.unsynced_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SimStorage;
+    use avm_crypto::sha256::sha256;
+
+    fn blob(i: u8, len: usize) -> (Digest, Vec<u8>) {
+        let payload = vec![i; len];
+        (sha256(&payload), payload)
+    }
+
+    fn small_cfg() -> ArenaConfig {
+        ArenaConfig {
+            max_arena_bytes: 200,
+            fsync_model: FsyncModel::DISK_2010,
+        }
+    }
+
+    #[test]
+    fn put_recover_roundtrip_with_rotation() {
+        let storage = SimStorage::new();
+        let mut arena = ArenaStore::create(storage.clone(), small_cfg()).unwrap();
+        let blobs: Vec<_> = (0..8).map(|i| blob(i, 60)).collect();
+        for (d, p) in &blobs {
+            assert!(arena.put(*d, p).unwrap());
+            assert!(!arena.put(*d, p).unwrap(), "dedup on re-put");
+        }
+        arena.flush().unwrap();
+        assert_eq!(arena.blob_count(), 8);
+        assert_eq!(arena.stored_bytes(), 8 * 60);
+        let files = storage.list().unwrap();
+        assert!(files.len() > 1, "expected rotation, got {files:?}");
+
+        let (recovered, scan) = ArenaStore::recover(storage.reboot(), small_cfg()).unwrap();
+        assert_eq!(recovered.blob_count(), 8);
+        assert_eq!(recovered.stored_bytes(), 8 * 60);
+        assert_eq!(scan.torn_bytes, 0);
+        let mut got: Vec<_> = scan.blobs.iter().map(|(d, _)| *d).collect();
+        let mut want: Vec<_> = blobs.iter().map(|(d, _)| *d).collect();
+        got.sort_by_key(|d| *d.as_bytes());
+        want.sort_by_key(|d| *d.as_bytes());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_corruption_is_tamper() {
+        let storage = SimStorage::new();
+        let mut arena = ArenaStore::create(storage.clone(), small_cfg()).unwrap();
+        let (d1, p1) = blob(1, 50);
+        arena.put(d1, &p1).unwrap();
+        arena.flush().unwrap();
+
+        // Crash mid-way through the second blob's frame.
+        storage.set_crash_point(10);
+        let (d2, p2) = blob(2, 50);
+        assert_eq!(arena.put(d2, &p2), Err(StoreError::Crashed));
+
+        let (recovered, scan) = ArenaStore::recover(storage.reboot(), small_cfg()).unwrap();
+        assert_eq!(recovered.blob_count(), 1);
+        assert!(recovered.contains(&d1));
+        assert!(!recovered.contains(&d2));
+        assert!(scan.torn_bytes > 0);
+
+        // Corruption *before* the tail is tampering, never torn-tail.
+        let storage2 = SimStorage::new();
+        let mut arena2 = ArenaStore::create(storage2.clone(), small_cfg()).unwrap();
+        arena2.put(d1, &p1).unwrap();
+        arena2.put(d2, &p2).unwrap();
+        arena2.flush().unwrap();
+        storage2.corrupt("arena-000000", 40);
+        assert!(scan_arenas(&storage2).unwrap_err().is_tamper());
+    }
+
+    #[test]
+    fn compaction_keeps_live_blobs_and_frees_the_rest() {
+        let storage = SimStorage::new();
+        let mut arena = ArenaStore::create(storage.clone(), small_cfg()).unwrap();
+        let blobs: Vec<_> = (0..6).map(|i| blob(i, 40)).collect();
+        for (d, p) in &blobs {
+            arena.put(*d, p).unwrap();
+        }
+        arena.flush().unwrap();
+        let live: HashSet<Digest> = blobs[3..].iter().map(|(d, _)| *d).collect();
+        let freed = arena.compact(&live).unwrap();
+        assert_eq!(freed, 3 * 40);
+        assert_eq!(arena.blob_count(), 3);
+        for (d, _) in &blobs[..3] {
+            assert!(!arena.contains(d));
+        }
+        for (d, _) in &blobs[3..] {
+            assert!(arena.contains(d));
+        }
+
+        // Recovery after compaction sees exactly the survivors; new puts
+        // land in files whose indices were never used before.
+        let (mut recovered, scan) = ArenaStore::recover(storage.reboot(), small_cfg()).unwrap();
+        assert_eq!(scan.blobs.len(), 3);
+        let (d9, p9) = blob(9, 40);
+        recovered.put(d9, &p9).unwrap();
+        recovered.flush().unwrap();
+        assert_eq!(recovered.blob_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_records_from_interrupted_compaction_dedup_on_scan() {
+        let storage = SimStorage::new();
+        let mut arena = ArenaStore::create(storage.clone(), small_cfg()).unwrap();
+        let (d, p) = blob(5, 30);
+        arena.put(d, &p).unwrap();
+        arena.flush().unwrap();
+        // Simulate a compaction that wrote the new copy but crashed before
+        // deleting the old file: write the same record into a later arena.
+        let mut record = Vec::new();
+        record.extend_from_slice(d.as_bytes());
+        record.extend_from_slice(&p);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &record);
+        let mut s = storage.clone();
+        s.append("arena-000007", &framed).unwrap();
+
+        let (recovered, scan) = ArenaStore::recover(storage.reboot(), small_cfg()).unwrap();
+        assert_eq!(scan.blobs.len(), 1);
+        assert_eq!(recovered.blob_count(), 1);
+        assert_eq!(recovered.stored_bytes(), 30);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error taxonomy for the storage layer.
+//!
+//! The split matters for accountability: a crash can tear at most the *tail*
+//! of the most recently appended file, and recovery silently truncates it.
+//! Anything else — a bad checksum in the middle of a segment, a hash-chain
+//! break, a seal that does not commit to the entries it claims to cover —
+//! can only be produced by rewriting bytes that were already durable, and is
+//! reported as [`StoreError::Tamper`] so a provider refuses to restart on
+//! evidence it can no longer stand behind.
+
+use std::fmt;
+
+/// Failures surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The simulated crash point fired mid-write.  The "process" is dead:
+    /// every further operation on the same handle also fails with this.
+    Crashed,
+    /// An I/O failure (or misuse) of the backing store.
+    Io(String),
+    /// Durable bytes fail validation in a way no crash can produce.
+    Tamper(TamperKind),
+}
+
+/// What kind of tampering was detected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperKind {
+    /// A record frame failed its CRC or framing checks somewhere other than
+    /// the torn tail of the final file.
+    BadRecord {
+        /// File containing the bad record.
+        file: String,
+        /// Decoder's description of the failure.
+        detail: String,
+    },
+    /// A log entry does not extend the hash chain (wrong hash or a sequence
+    /// discontinuity).
+    BrokenHashChain {
+        /// File containing the offending entry.
+        file: String,
+        /// Sequence number the offending entry claims.
+        seq: u64,
+    },
+    /// A seal does not match the chain it claims to commit to, or its
+    /// signature fails to verify.
+    BadSeal {
+        /// File containing the seal.
+        file: String,
+        /// Sequence number the seal commits to.
+        seq: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// A file violates the cross-file structure: wrong header anchor, a
+    /// non-final segment without a trailing seal, an unknown record tag.
+    BadSegment {
+        /// The offending file.
+        file: String,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// True for the tamper-detected class of failures (never produced by a
+    /// crash, always by modification of durable bytes).
+    pub fn is_tamper(&self) -> bool {
+        matches!(self, StoreError::Tamper(_))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Crashed => write!(f, "storage crashed mid-write (fault injection)"),
+            StoreError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StoreError::Tamper(kind) => write!(f, "tampering detected: {kind}"),
+        }
+    }
+}
+
+impl fmt::Display for TamperKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperKind::BadRecord { file, detail } => {
+                write!(f, "bad record in {file}: {detail}")
+            }
+            TamperKind::BrokenHashChain { file, seq } => {
+                write!(f, "hash chain broken at entry {seq} in {file}")
+            }
+            TamperKind::BadSeal { file, seq, detail } => {
+                write!(f, "bad seal for entry {seq} in {file}: {detail}")
+            }
+            TamperKind::BadSegment { file, detail } => {
+                write!(f, "bad segment file {file}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
