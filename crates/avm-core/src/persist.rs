@@ -336,7 +336,32 @@ impl<S: Storage + Clone> Provider<S> {
         let verifier = signing_key.verifying_key();
         let (segments, scan) =
             SegmentStore::recover(storage.clone(), cfg.segments, Some(&verifier))?;
-        let (arenas, arena_scan) = ArenaStore::recover(storage, cfg.arenas)?;
+        let (mut arenas, arena_scan) = ArenaStore::recover(storage, cfg.arenas)?;
+
+        // A crash during create can die before the initial META entry became
+        // durable.  Resuming over an empty log would record an AVMM that
+        // never writes META — every later audit would reject the log as
+        // malformed — so recovery re-runs the create path instead: a fresh
+        // recorder whose initial META entry is persisted before this returns.
+        if scan.entries.is_empty() {
+            let report = RecoveryReport {
+                torn_bytes_truncated: scan.torn_bytes + arena_scan.torn_bytes,
+                arena_blobs: arenas.blob_count(),
+                arena_bytes: arenas.stored_bytes(),
+                ..RecoveryReport::default()
+            };
+            let avmm = Avmm::new(name, image, registry, signing_key, options)?;
+            let mut provider = Provider {
+                avmm,
+                segments,
+                arenas,
+                segment_log: SegmentLog::new(),
+                manifest_digests: BTreeMap::new(),
+                persisted_entries: 0,
+            };
+            provider.flush()?;
+            return Ok((provider, report));
+        }
 
         // The scan already verified framing, chain and seals; from_entries
         // re-verifies the chain while building the in-memory log (defence
@@ -424,6 +449,18 @@ impl<S: Storage + Clone> Provider<S> {
             ReplayOutcome::Fault(reason) => return Err(PersistError::Tampered(reason)),
         };
         let (machine, state_tree) = replayer.into_parts();
+
+        // A crash between a durable PRUNE record and the end of arena
+        // compaction leaves blobs only pruned-away snapshots referenced
+        // (likewise a snapshot whose blobs landed but whose log entry never
+        // became durable).  Re-run the compaction the crash interrupted so
+        // orphans cannot leak space indefinitely; a clean shutdown has no
+        // orphans and skips the rewrite.
+        let mut live: HashSet<Digest> = store.pooled_digests().into_iter().collect();
+        live.extend(manifest_digests.values().copied());
+        if arenas.orphan_count(&live) > 0 {
+            arenas.compact(&live)?;
+        }
 
         let report = RecoveryReport {
             entries_recovered: log.len() as u64,
@@ -888,6 +925,79 @@ mod tests {
         let mut recovered = recovered;
         recovered.take_snapshot().unwrap();
         assert_eq!(recovered.avmm().log().len(), n + 1);
+    }
+
+    #[test]
+    fn crash_before_initial_meta_recovers_by_recreating() {
+        let image = worker_image();
+        let storage = SimStorage::new();
+        // Die during create, inside the very first META entry's append (the
+        // ~41-byte segment header fits; the META frame does not): nothing of
+        // the log is durable.
+        storage.set_crash_point(60);
+        assert!(Provider::create(
+            storage.clone(),
+            "bob",
+            &image,
+            &GuestRegistry::new(),
+            key(1),
+            AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+            small_cfg(),
+        )
+        .is_err());
+
+        let survivor = storage.reboot();
+        let (recovered, report) = recover_bob(survivor.clone(), &image, small_cfg());
+        assert_eq!(report.entries_recovered, 0);
+        assert!(report.torn_bytes_truncated > 0);
+        // Recovery re-ran the create path: the log starts with META again,
+        // and it is durable — a further recovery sees it.
+        assert_eq!(recovered.avmm().log().len(), 1);
+        assert_eq!(recovered.avmm().log().entries()[0].kind, EntryKind::Meta);
+        let mut recovered = recovered;
+        recovered.run_slice(&HostClock::at(10), 10_000).unwrap();
+        recovered.take_snapshot().unwrap();
+        let live_log = recovered.avmm().log().entries().to_vec();
+        drop(recovered);
+        let (again, report) = recover_bob(survivor.reboot(), &image, small_cfg());
+        assert_eq!(report.entries_recovered, live_log.len() as u64);
+        assert_eq!(again.avmm().log().entries(), &live_log[..]);
+    }
+
+    #[test]
+    fn crash_during_prune_compaction_recompacts_on_recovery() {
+        // Reference: the same workload with an uninterrupted prune.
+        let (mut clean, image) = provider_with_snapshots(SimStorage::new(), 4, small_cfg());
+        clean.prune_snapshots_upto(2).unwrap();
+        let compacted_blobs = clean.arena_blob_count();
+        drop(clean);
+
+        // Find a crash budget that lands after the PRUNE record is durable
+        // but before compaction finishes rewriting the arenas.
+        let mut exercised = false;
+        for budget in (50..6000u64).step_by(200) {
+            let storage = SimStorage::new();
+            let (mut bob, _) = provider_with_snapshots(storage.clone(), 4, small_cfg());
+            storage.set_crash_point(budget);
+            if bob.prune_snapshots_upto(2).is_ok() {
+                break; // budget outlived the whole prune; later ones will too
+            }
+            drop(bob);
+            let (recovered, report) = recover_bob(storage.reboot(), &image, small_cfg());
+            if report.base_snapshot_id != 2 {
+                continue; // died before the PRUNE record became durable
+            }
+            exercised = true;
+            // The interrupted compaction was re-run during recovery: the
+            // arenas hold exactly what a clean prune leaves, no orphans.
+            assert_eq!(report.arena_blobs, compacted_blobs);
+            assert_eq!(recovered.arena_blob_count(), compacted_blobs);
+            assert!(spot_check_via(&recovered, &image, 3, 1).consistent);
+        }
+        assert!(
+            exercised,
+            "no budget hit the PRUNE-durable, compaction-torn window"
+        );
     }
 
     #[test]

@@ -302,6 +302,13 @@ impl<S: Storage> ArenaStore<S> {
         self.index.len() as u64
     }
 
+    /// Number of stored blobs *not* in `live` — orphans left behind by a
+    /// compaction a crash interrupted (or by a snapshot whose log entry
+    /// never became durable).
+    pub fn orphan_count(&self, live: &HashSet<Digest>) -> u64 {
+        self.index.keys().filter(|d| !live.contains(d)).count() as u64
+    }
+
     /// Total payload bytes stored (excluding framing).
     pub fn stored_bytes(&self) -> u64 {
         self.stored_bytes
@@ -389,6 +396,28 @@ mod tests {
         arena2.flush().unwrap();
         storage2.corrupt("arena-000000", 40);
         assert!(scan_arenas(&storage2).unwrap_err().is_tamper());
+    }
+
+    #[test]
+    fn crash_inside_arena_frame_header_is_torn_tail() {
+        // Tear the append inside the frame header: after just the magic
+        // byte, then mid-way through the two-byte length varint.
+        for budget in [1u64, 2] {
+            let storage = SimStorage::new();
+            let mut arena = ArenaStore::create(storage.clone(), small_cfg()).unwrap();
+            let (d1, p1) = blob(1, 40);
+            arena.put(d1, &p1).unwrap();
+            arena.flush().unwrap();
+
+            storage.set_crash_point(budget);
+            let (d2, p2) = blob(2, 150); // record > 127 bytes
+            assert_eq!(arena.put(d2, &p2), Err(StoreError::Crashed));
+
+            let (recovered, scan) = ArenaStore::recover(storage.reboot(), small_cfg()).unwrap();
+            assert_eq!(scan.torn_bytes, budget);
+            assert!(recovered.contains(&d1));
+            assert!(!recovered.contains(&d2));
+        }
     }
 
     #[test]

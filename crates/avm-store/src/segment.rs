@@ -685,6 +685,38 @@ mod tests {
     }
 
     #[test]
+    fn crash_inside_frame_header_is_torn_tail_not_tamper() {
+        let signing = key();
+        // Tear the next append inside the frame header itself: after just
+        // the magic byte (budget 1) or mid-way through the multi-byte
+        // length varint (budget 2 — the payload is over 127 bytes).
+        for budget in [1u64, 2] {
+            let storage = SimStorage::new();
+            let mut store = SegmentStore::create(storage.clone(), small_cfg()).unwrap();
+            let mut log = TamperEvidentLog::new();
+            write_log(&mut store, &mut log, &signing, 6).unwrap();
+
+            storage.set_crash_point(budget);
+            let entry = log.append(EntryKind::Meta, vec![9u8; 200]).clone();
+            assert_eq!(store.append_entry(&entry), Err(StoreError::Crashed));
+
+            let (store, scan) = SegmentStore::recover(
+                storage.reboot(),
+                small_cfg(),
+                Some(&signing.verifying_key()),
+            )
+            .unwrap();
+            assert_eq!(
+                scan.entries.len(),
+                6,
+                "torn entry dropped (budget {budget})"
+            );
+            assert_eq!(scan.torn_bytes, budget);
+            assert_eq!(store.last_seq(), 6);
+        }
+    }
+
+    #[test]
     fn crash_during_first_header_recovers_to_empty() {
         let storage = SimStorage::new();
         storage.set_crash_point(2);

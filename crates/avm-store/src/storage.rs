@@ -202,15 +202,27 @@ fn io_err(e: std::io::Error) -> StoreError {
     StoreError::Io(e.to_string())
 }
 
+/// What a [`FileStorage`] still has to fsync.
+#[derive(Debug, Default)]
+struct FileDirty {
+    /// Files appended or truncated since the last sync.
+    files: BTreeSet<String>,
+    /// Directory entries changed (a file created or removed) since the last
+    /// sync: the parent directory itself must be fsynced, or a power cut can
+    /// lose a freshly created file whose *contents* were durable.
+    dir: bool,
+}
+
 /// Directory-backed storage: each name is a file directly under `root`.
 ///
-/// `sync` fsyncs every file appended or truncated since the last sync.
+/// `sync` fsyncs every file appended or truncated since the last sync, and
+/// the root directory itself whenever files were created or removed.
 /// Clones share the dirty-set so multiple writers over one directory sync
 /// coherently.
 #[derive(Debug, Clone)]
 pub struct FileStorage {
     root: PathBuf,
-    dirty: Rc<RefCell<BTreeSet<String>>>,
+    dirty: Rc<RefCell<FileDirty>>,
 }
 
 impl FileStorage {
@@ -220,7 +232,7 @@ impl FileStorage {
         fs::create_dir_all(&root).map_err(io_err)?;
         Ok(FileStorage {
             root,
-            dirty: Rc::new(RefCell::new(BTreeSet::new())),
+            dirty: Rc::new(RefCell::new(FileDirty::default())),
         })
     }
 
@@ -252,13 +264,17 @@ impl Storage for FileStorage {
     }
 
     fn append(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let path = self.path(name);
+        let created = !path.exists();
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.path(name))
+            .open(path)
             .map_err(io_err)?;
         file.write_all(data).map_err(io_err)?;
-        self.dirty.borrow_mut().insert(name.to_string());
+        let mut dirty = self.dirty.borrow_mut();
+        dirty.files.insert(name.to_string());
+        dirty.dir |= created;
         Ok(())
     }
 
@@ -268,25 +284,42 @@ impl Storage for FileStorage {
             .open(self.path(name))
             .map_err(io_err)?;
         file.set_len(len).map_err(io_err)?;
-        self.dirty.borrow_mut().insert(name.to_string());
+        self.dirty.borrow_mut().files.insert(name.to_string());
         Ok(())
     }
 
     fn remove(&mut self, name: &str) -> Result<(), StoreError> {
         fs::remove_file(self.path(name)).map_err(io_err)?;
-        self.dirty.borrow_mut().remove(name);
+        let mut dirty = self.dirty.borrow_mut();
+        dirty.files.remove(name);
+        dirty.dir = true;
         Ok(())
     }
 
     fn sync(&mut self) -> Result<(), StoreError> {
-        let dirty = std::mem::take(&mut *self.dirty.borrow_mut());
-        for name in dirty {
+        let (files, dir) = {
+            let mut dirty = self.dirty.borrow_mut();
+            (
+                std::mem::take(&mut dirty.files),
+                std::mem::replace(&mut dirty.dir, false),
+            )
+        };
+        for name in files {
             match fs::File::open(self.path(&name)) {
                 Ok(file) => file.sync_all().map_err(io_err)?,
                 // Removed since it was dirtied — nothing left to sync.
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(io_err(e)),
             }
+        }
+        if dir {
+            // File contents first, then the directory entries that point at
+            // them: a rotated segment or fresh arena file must not vanish
+            // wholesale on a power cut.
+            fs::File::open(&self.root)
+                .map_err(io_err)?
+                .sync_all()
+                .map_err(io_err)?;
         }
         Ok(())
     }

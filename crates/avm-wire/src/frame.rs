@@ -8,6 +8,7 @@
 
 use crate::checksum::crc32;
 use crate::varint::{read_varint, varint_len, write_varint};
+use crate::WireError;
 
 /// Magic byte prefixing every frame.
 pub const FRAME_MAGIC: u8 = 0xA7;
@@ -69,7 +70,13 @@ pub fn read_frame(input: &[u8]) -> Result<(&[u8], usize), FrameError> {
     if input[0] != FRAME_MAGIC {
         return Err(FrameError::BadMagic(input[0]));
     }
-    let (len, len_bytes) = read_varint(&input[1..]).map_err(|_| FrameError::BadLength)?;
+    // A stream that ends inside the length prefix is truncation, exactly
+    // like one that ends inside the payload — a torn append routinely cuts
+    // mid-varint, since payloads over 127 bytes have multi-byte lengths.
+    let (len, len_bytes) = read_varint(&input[1..]).map_err(|e| match e {
+        WireError::UnexpectedEof { .. } => FrameError::Truncated,
+        _ => FrameError::BadLength,
+    })?;
     let len = usize::try_from(len).map_err(|_| FrameError::BadLength)?;
     let header = 1 + len_bytes;
     let total = header + len + 4;
@@ -150,6 +157,25 @@ mod tests {
         write_frame(&mut out, b"x");
         out[0] = 0x00;
         assert_eq!(read_frame(&out).unwrap_err(), FrameError::BadMagic(0));
+    }
+
+    #[test]
+    fn truncation_inside_the_header_is_truncated_not_bad_length() {
+        let mut out = Vec::new();
+        // 300-byte payload: the length prefix is a two-byte varint.
+        write_frame(&mut out, &[7u8; 300]);
+        // Cut after just the magic byte, then mid-way through the varint.
+        assert_eq!(read_frame(&out[..1]).unwrap_err(), FrameError::Truncated);
+        assert_eq!(read_frame(&out[..2]).unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn overlong_length_varint_is_bad_length() {
+        // Eleven continuation bytes after the magic can never be a valid
+        // 64-bit varint: corruption, not truncation.
+        let mut bad = vec![FRAME_MAGIC];
+        bad.extend_from_slice(&[0x80u8; 11]);
+        assert_eq!(read_frame(&bad).unwrap_err(), FrameError::BadLength);
     }
 
     #[test]
