@@ -101,9 +101,17 @@ fn main() {
                     &experiments::persist_metrics(&r, quick),
                 );
             }
+            "fleet" | "sessions" | "scale" => {
+                let r = experiments::exp_fleet(quick);
+                write_bench(
+                    "fleet",
+                    "BENCH_fleet.json",
+                    &experiments::fleet_metrics(&r, quick),
+                );
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fleet fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

@@ -2175,6 +2175,280 @@ pub fn netaudit_metrics(r: &NetAuditResult, quick: bool) -> Vec<(String, u64)> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-scale auditing: N concurrent sessions against a shared provider node
+// ---------------------------------------------------------------------------
+
+/// One N-row of the `fleet` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRow {
+    /// Concurrent auditors (N).
+    pub auditors: u64,
+    /// Sessions that finished with a consistent verdict.
+    pub audits_ok: u64,
+    /// Simulated time from the first session start to quiescence, in µs.
+    pub sim_elapsed_us: u64,
+    /// Simulated µs per completed audit (inverse throughput).
+    pub us_per_audit: u64,
+    /// Completed audits per simulated second.
+    pub audits_per_sec: u64,
+    /// Median session completion latency (scheduled start → verdict), µs.
+    pub p50_us: u64,
+    /// 99th-percentile session completion latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile session completion latency, µs.
+    pub p999_us: u64,
+    /// Framed bytes across every link, both directions.
+    pub wire_bytes: u64,
+    /// Aggregate link throughput: wire bytes per simulated second.
+    pub bytes_per_sec: u64,
+    /// Provider responses served from the shared encoding cache.
+    pub cache_hits: u64,
+    /// Provider responses that had to be encoded (then cached).
+    pub cache_misses: u64,
+    /// Requests the provider scheduler served.
+    pub requests_served: u64,
+    /// Retransmissions across the whole fleet.
+    pub retransmissions: u64,
+    /// Host wall-clock time this row took to simulate, in µs.
+    pub wall_run_us: u64,
+}
+
+/// Result of the `fleet` experiment.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// One row per fleet size in the sweep.
+    pub rows: Vec<FleetRow>,
+    /// The N=1 fleet report was *field-identical* (verdict, transfer
+    /// columns, wire accounting, measured latency) to the blocking
+    /// single-client `SimNetTransport` path.
+    pub n1_identical: bool,
+    /// Shared-cache hits at the N=10 row (must be > 0: nine auditors ride
+    /// the first one's encodings).
+    pub cache_hits_at_n10: u64,
+    /// Every session in every row reached a consistent verdict.
+    pub all_consistent: bool,
+    /// Server-side hashing worker pool occupancy after the sweep.
+    pub pool: avm_crypto::parallel::PoolStats,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile_us(sorted: &[u64], numerator: u64, denominator: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * numerator).div_ceil(denominator);
+    sorted[(rank.max(1) - 1).min(sorted.len() as u64 - 1) as usize]
+}
+
+/// Fleet-scale auditing (§2's many-auditors deployment model): N concurrent
+/// spot-check sessions interleaved against one sessionful provider node on a
+/// shared simulated network, swept over fleet sizes.
+///
+/// Reports audits/sec, aggregate link throughput and p50/p99/p999 session
+/// completion latency per N, plus the provider's shared-response-cache hit
+/// rates and the hashing worker pool's occupancy.  Pins the semantics: the
+/// N=1 run is field-identical to the single-client `SimNetTransport` path.
+pub fn exp_fleet(quick: bool) -> FleetResult {
+    use avm_core::endpoint::{AuditClient, AuditServer, SimNetTransport};
+    use avm_core::fleet::{run_fleet, FleetConfig};
+    use avm_net::LinkConfig;
+    use avm_vm::GuestRegistry;
+
+    let registry = GuestRegistry::new();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(23);
+    let operator = Identity::generate(&mut rng, "host", scheme);
+    let client_id = Identity::generate(&mut rng, "client", scheme);
+    let pages = 96;
+    let touch_pages = 16u64;
+    let n_snapshots: u64 = 5;
+    let image = sparse_touch_image(pages);
+    let mut avmm = Avmm::new(
+        "host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        AvmmOptions::default().with_scheme(scheme),
+    )
+    .unwrap();
+    avmm.add_peer("client", client_id.verifying_key());
+    let mut clock = HostClock::at(1_000);
+    avmm.run_slice(&clock, 50_000).unwrap();
+    for i in 0..n_snapshots {
+        clock.advance_to(clock.now() + 2_000);
+        let sel = (i % touch_pages) as u8;
+        let payload = encode_guest_packet("host", &[sel, (i % 8) as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "client",
+            "host",
+            i + 1,
+            payload,
+            &client_id.signing_key,
+            None,
+        );
+        avmm.deliver(&env).unwrap();
+        avmm.run_slice(&clock, 100_000).unwrap();
+        avmm.take_snapshot();
+    }
+
+    let start = n_snapshots - 2;
+    let k = 1u64;
+    let link = LinkConfig::default();
+
+    // The identity pin: the blocking single-client transport's report.
+    let mut client = AuditClient::new(SimNetTransport::new(
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        link,
+    ));
+    let baseline = client
+        .spot_check_on_demand(start, k, &image, &registry)
+        .unwrap();
+    assert!(baseline.consistent, "honest chunk must pass");
+
+    let sweep: &[usize] = if quick {
+        &[1, 10, 100]
+    } else {
+        &[1, 10, 100, 1000]
+    };
+    let mut rows = Vec::with_capacity(sweep.len());
+    let mut n1_identical = false;
+    let mut cache_hits_at_n10 = 0u64;
+    let mut all_consistent = true;
+    for &n in sweep {
+        let config = FleetConfig {
+            link,
+            auditors: n,
+            start_snapshot: start,
+            chunk: k,
+            inter_arrival_us: 200,
+            ..FleetConfig::default()
+        };
+        let wall = Instant::now();
+        let outcome = run_fleet(avmm.log(), avmm.snapshots(), &image, &registry, &config);
+        let wall_run_us = wall.elapsed().as_micros() as u64;
+        assert!(outcome.event_loop.quiescent, "fleet of {n} must quiesce");
+        let audits_ok = outcome
+            .reports
+            .iter()
+            .filter(|r| r.as_ref().is_ok_and(|rep| rep.consistent))
+            .count() as u64;
+        all_consistent &= audits_ok == n as u64;
+        if n == 1 {
+            n1_identical = outcome.reports[0]
+                .as_ref()
+                .map(|rep| rep == &baseline)
+                .unwrap_or(false);
+        }
+        let provider = outcome.providers[0];
+        if n == 10 {
+            cache_hits_at_n10 = provider.cache.hits;
+        }
+        let mut latencies = outcome.latencies_us.clone();
+        latencies.sort_unstable();
+        let sim_elapsed_us = outcome.event_loop.now_us.max(1);
+        let wire_bytes: u64 = outcome.node_stats.iter().map(|(_, s)| s.tx_bytes).sum();
+        let retransmissions: u64 = outcome
+            .reports
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|rep| rep.transport.retransmissions)
+            .sum();
+        rows.push(FleetRow {
+            auditors: n as u64,
+            audits_ok,
+            sim_elapsed_us,
+            us_per_audit: sim_elapsed_us / (audits_ok.max(1)),
+            audits_per_sec: audits_ok * 1_000_000 / sim_elapsed_us,
+            p50_us: percentile_us(&latencies, 50, 100),
+            p99_us: percentile_us(&latencies, 99, 100),
+            p999_us: percentile_us(&latencies, 999, 1000),
+            wire_bytes,
+            bytes_per_sec: wire_bytes * 1_000_000 / sim_elapsed_us,
+            cache_hits: provider.cache.hits,
+            cache_misses: provider.cache.misses,
+            requests_served: provider.requests_served,
+            retransmissions,
+            wall_run_us,
+        });
+    }
+
+    let pool = avm_crypto::parallel::global_pool_stats();
+    assert!(n1_identical, "fleet N=1 must equal the blocking transport");
+    assert!(all_consistent, "every fleet session must pass");
+    assert!(
+        cache_hits_at_n10 > 0,
+        "ten auditors of one epoch must share encodings"
+    );
+
+    println!("# Fleet auditing: N concurrent sessions, one provider node (start={start}, k={k})");
+    println!(
+        "| N | audits/s (sim) | µs/audit | p50 µs | p99 µs | p999 µs | wire MB | link MB/s | cache hit/miss | retx |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for row in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {}/{} | {} |",
+            row.auditors,
+            row.audits_per_sec,
+            row.us_per_audit,
+            row.p50_us,
+            row.p99_us,
+            row.p999_us,
+            row.wire_bytes as f64 / 1e6,
+            row.bytes_per_sec as f64 / 1e6,
+            row.cache_hits,
+            row.cache_misses,
+            row.retransmissions,
+        );
+    }
+    println!(
+        "\nN=1 field-identical to SimNetTransport: {n1_identical}; worker pool: {} workers, \
+         {} jobs over {} batches, peak {} busy",
+        pool.workers, pool.jobs, pool.batches, pool.peak_busy
+    );
+
+    FleetResult {
+        rows,
+        n1_identical,
+        cache_hits_at_n10,
+        all_consistent,
+        pool,
+    }
+}
+
+/// Flattens a [`FleetResult`] into the `BENCH_fleet.json` trajectory metrics
+/// (all simulated and deterministic except the `wall_` keys, which record
+/// host wall-clock and pool occupancy and are skipped by the comparator).
+pub fn fleet_metrics(r: &FleetResult, quick: bool) -> Vec<(String, u64)> {
+    let mut m = vec![
+        ("ok_quick".to_string(), quick as u64),
+        ("ok_n1_identical".to_string(), r.n1_identical as u64),
+        (
+            "ok_cache_hits_at_n10".to_string(),
+            (r.cache_hits_at_n10 > 0) as u64,
+        ),
+        ("ok_all_consistent".to_string(), r.all_consistent as u64),
+    ];
+    for row in &r.rows {
+        let n = row.auditors;
+        m.push((format!("n{n}_us_per_audit"), row.us_per_audit));
+        m.push((format!("n{n}_p50_us"), row.p50_us));
+        m.push((format!("n{n}_p99_us"), row.p99_us));
+        m.push((format!("n{n}_p999_us"), row.p999_us));
+        m.push((format!("n{n}_wire_bytes"), row.wire_bytes));
+        m.push((format!("n{n}_cache_hits"), row.cache_hits));
+        m.push((format!("n{n}_retransmissions"), row.retransmissions));
+        m.push((format!("wall_n{n}_run_us"), row.wall_run_us));
+    }
+    m.push(("wall_pool_workers".into(), r.pool.workers as u64));
+    m.push(("wall_pool_jobs".into(), r.pool.jobs));
+    m.push(("wall_pool_batches".into(), r.pool.batches));
+    m.push(("wall_pool_peak_busy".into(), r.pool.peak_busy as u64));
+    m
+}
+
 /// Runs every experiment (used by the `experiments` binary with `all`).
 pub fn run_all(quick: bool) {
     let model = HostCostModel::calibrated();
@@ -2195,6 +2469,7 @@ pub fn run_all(quick: bool) {
     exp_chunked(quick);
     exp_netaudit(quick);
     exp_persist(quick);
+    exp_fleet(quick);
 }
 
 #[cfg(test)]

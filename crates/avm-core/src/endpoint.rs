@@ -601,7 +601,7 @@ impl<T: AuditTransport> BlobProvider for TransportBlobs<'_, T> {
     }
 }
 
-fn protocol_violation(expected: &str, got: &AuditResponse) -> CoreError {
+pub(crate) fn protocol_violation(expected: &str, got: &AuditResponse) -> CoreError {
     let got = match got {
         AuditResponse::Manifest { .. } => "Manifest",
         AuditResponse::Blobs(_) => "Blobs",
@@ -939,7 +939,7 @@ impl<T: AuditTransport> AuditClient<T> {
     }
 }
 
-fn decode_entries(encoded: &[Vec<u8>]) -> Result<Vec<LogEntry>, CoreError> {
+pub(crate) fn decode_entries(encoded: &[Vec<u8>]) -> Result<Vec<LogEntry>, CoreError> {
     encoded
         .iter()
         .map(|bytes| {

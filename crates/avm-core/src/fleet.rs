@@ -1,0 +1,1247 @@
+//! Fleet-scale auditing: one provider node, N concurrent audit sessions.
+//!
+//! The paper's deployment model (§2, §6) has *many mutually distrusting
+//! auditors* — every customer of a machine audits it independently.  The
+//! single-client [`crate::endpoint::SimNetTransport`] cannot express that:
+//! it borrows the whole simulated network for one blocking exchange at a
+//! time.  This module restructures the audit plane around long-lived
+//! endpoints on a shared [`SimNet`]:
+//!
+//! * [`ProviderNode`] — the operator's audit server as a *sessionful*
+//!   network endpoint.  Each auditor speaks inside its own session (the
+//!   session id travels in every framed packet, giving each auditor a
+//!   private request-id space), requests queue per session, and a
+//!   round-robin scheduler with a configurable per-tick service budget
+//!   drains them fairly.  Responses to the cacheable, auditor-independent
+//!   requests (manifest, sections, §3.5 log chunks) are encoded **once**
+//!   into a shared response cache — N auditors checking the same epoch pay
+//!   the serialisation and hashing cost a single time.  Idle sessions can
+//!   be expired after a configurable quiet period.
+//! * [`FleetAuditor`] — the §3.5 spot check re-expressed as a
+//!   non-blocking state machine so hundreds of copies interleave on one
+//!   network.  It performs *exactly* the exchanges, accounting and
+//!   retransmission policy of [`crate::endpoint::AuditClient`] over a
+//!   [`crate::endpoint::SimNetTransport`]; a single-session fleet run is
+//!   field-identical to that path (pinned by unit and property tests).
+//! * [`run_fleet`] — builds M providers and N auditors over one link
+//!   config, drives them with [`avm_net::run_event_loop`], and returns
+//!   every report plus per-session completion latencies, provider cache
+//!   and scheduler statistics, and per-node traffic counters.
+//!
+//! Semantics never move: the verdict, the transfer columns and the wire
+//! accounting of every session equal the single-client transport's.  Only
+//! *when* each packet is served differs — and on a fleet of one, not even
+//! that.
+
+use std::collections::{HashMap, VecDeque};
+
+use avm_compress::CompressionStats;
+use avm_crypto::sha256::Digest;
+use avm_log::{LogEntry, LogSource};
+use avm_net::{
+    run_event_loop, Delivery, Endpoint, EventLoopReport, LinkConfig, NodeId, NodeStats, SimNet,
+};
+use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::audit::{
+    open_session_message, seal_encoded_message, seal_session_message, AuditRequest, AuditResponse,
+    SegmentAddress, CLIENT_SESSION,
+};
+use avm_wire::{BlobRequest, Decode, Encode, DEFAULT_BLOB_BATCH};
+
+use crate::endpoint::{
+    decode_entries, protocol_violation, AuditServer, TransportStats, DEFAULT_MAX_ATTEMPTS,
+};
+use crate::error::CoreError;
+use crate::ondemand::{
+    operator_missing, verify_blob, AuditorBlobCache, BlobFetch, ChainManifest, DedupTransfer,
+    FaultClassification, OnDemandSession,
+};
+use crate::replay::{ReplayOutcome, ReplaySummary, Replayer};
+use crate::snapshot::{SnapshotStore, TransferCost};
+use crate::spotcheck::{snapshot_positions_in, SpotCheckReport, TRANSFER_COMPRESSION};
+
+// ---------------------------------------------------------------------------
+// Provider node
+// ---------------------------------------------------------------------------
+
+/// Scheduling and session-lifetime knobs for a [`ProviderNode`].
+///
+/// The defaults serve every queued request the moment it is due and never
+/// expire sessions — which is exactly what keeps a fleet of one on the
+/// single-client transport's timing.  Budgeted service and idle expiry are
+/// opt-in fleet behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProviderConfig {
+    /// Requests served per scheduler pass; the rest stay queued until the
+    /// next tick.  `usize::MAX` (default) = drain everything due now.
+    pub service_budget: usize,
+    /// When a pass leaves a backlog, re-tick after this many simulated µs.
+    /// `0` (default) = continue at the same instant (budget still bounds
+    /// each pass, so auditors between passes see interleaved service).
+    pub tick_interval_us: u64,
+    /// Expire a session this many µs after its last request, reclaiming its
+    /// state.  `None` (default) = sessions live for the whole run.
+    pub idle_expiry_us: Option<u64>,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> ProviderConfig {
+        ProviderConfig {
+            service_budget: usize::MAX,
+            tick_interval_us: 0,
+            idle_expiry_us: None,
+        }
+    }
+}
+
+/// Shared-response-cache accounting (see [`ProviderStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from an already-encoded response.
+    pub hits: u64,
+    /// Requests that had to be served and encoded (the encoding is then
+    /// cached).
+    pub misses: u64,
+    /// Distinct responses currently cached.
+    pub entries: u64,
+    /// Total encoded bytes held by the cache.
+    pub bytes: u64,
+}
+
+/// What one [`ProviderNode`] did over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProviderStats {
+    /// Sessions opened (first packet seen with a new (peer, session) pair).
+    pub sessions_created: u64,
+    /// Sessions reclaimed by idle expiry.
+    pub sessions_expired: u64,
+    /// Sessions still live when the stats were read.
+    pub active_sessions: u64,
+    /// Requests answered (including re-answers to retransmitted requests).
+    pub requests_served: u64,
+    /// Shared response cache accounting.
+    pub cache: CacheStats,
+}
+
+/// Key of one cacheable response: these requests are auditor-independent,
+/// so their encoded responses are shared across every session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ResponseKey {
+    Manifest(u64),
+    Sections(u64),
+    LogChunk { start_snapshot: u64, chunk: u64 },
+}
+
+impl ResponseKey {
+    fn of(request: &AuditRequest) -> Option<ResponseKey> {
+        match request {
+            AuditRequest::Manifest { snapshot_id } => Some(ResponseKey::Manifest(*snapshot_id)),
+            AuditRequest::Sections { upto_id } => Some(ResponseKey::Sections(*upto_id)),
+            AuditRequest::LogSegment(SegmentAddress::Chunk {
+                start_snapshot,
+                chunk,
+            }) => Some(ResponseKey::LogChunk {
+                start_snapshot: *start_snapshot,
+                chunk: *chunk,
+            }),
+            // Blob requests are auditor-specific (each asks for exactly what
+            // its replay faulted and its cache lacks); Seq segments are the
+            // full-log audit path, not the hot fleet path.
+            _ => None,
+        }
+    }
+}
+
+/// One auditor's server-side session state.
+#[derive(Debug)]
+struct SessionState {
+    /// Requests delivered but not yet served, in arrival order.
+    pending: VecDeque<(u64, AuditRequest)>,
+    /// Simulated time of the last packet from this session.
+    last_active_us: u64,
+}
+
+/// The operator's audit server as a long-lived, sessionful endpoint on a
+/// shared [`SimNet`] (see the module docs).
+pub struct ProviderNode<'a> {
+    node: NodeId,
+    server: AuditServer<'a>,
+    config: ProviderConfig,
+    sessions: HashMap<(NodeId, u64), SessionState>,
+    /// Session keys in creation order — the scheduler's rotation order.
+    /// (Never iterate the map: hash order would break determinism.)
+    order: Vec<(NodeId, u64)>,
+    /// Rotation position; persists across passes so budgeted service is
+    /// fair over time, not just within a pass.
+    cursor: usize,
+    cache: HashMap<ResponseKey, Vec<u8>>,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_bytes: u64,
+    sessions_created: u64,
+    sessions_expired: u64,
+    requests_served: u64,
+}
+
+impl<'a> ProviderNode<'a> {
+    /// A provider endpoint receiving on `node`, answering from `server`.
+    pub fn new(node: NodeId, server: AuditServer<'a>, config: ProviderConfig) -> ProviderNode<'a> {
+        ProviderNode {
+            node,
+            server,
+            config,
+            sessions: HashMap::new(),
+            order: Vec::new(),
+            cursor: 0,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes: 0,
+            sessions_created: 0,
+            sessions_expired: 0,
+            requests_served: 0,
+        }
+    }
+
+    /// Run accounting so far.
+    pub fn stats(&self) -> ProviderStats {
+        ProviderStats {
+            sessions_created: self.sessions_created,
+            sessions_expired: self.sessions_expired,
+            active_sessions: self.sessions.len() as u64,
+            requests_served: self.requests_served,
+            cache: CacheStats {
+                hits: self.cache_hits,
+                misses: self.cache_misses,
+                entries: self.cache.len() as u64,
+                bytes: self.cache_bytes,
+            },
+        }
+    }
+
+    /// The framed response for `(session, request_id, request)`, served from
+    /// the shared cache when the request is auditor-independent.
+    fn sealed_response(
+        &mut self,
+        session_id: u64,
+        request_id: u64,
+        request: &AuditRequest,
+    ) -> Vec<u8> {
+        match ResponseKey::of(request) {
+            Some(key) => {
+                if self.cache.contains_key(&key) {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                    let encoded = self.server.handle(request).encode_to_vec();
+                    self.cache_bytes += encoded.len() as u64;
+                    self.cache.insert(key, encoded);
+                }
+                seal_encoded_message(session_id, request_id, &self.cache[&key])
+            }
+            None => seal_encoded_message(
+                session_id,
+                request_id,
+                &self.server.handle(request).encode_to_vec(),
+            ),
+        }
+    }
+
+    /// One scheduler pass: serve up to `service_budget` queued requests,
+    /// visiting sessions round-robin from where the last pass stopped.
+    /// Returns true when a backlog remains.
+    fn serve_pass(&mut self, net: &mut SimNet) -> bool {
+        let mut budget = self.config.service_budget;
+        let mut idle_streak = 0;
+        while budget > 0 && !self.order.is_empty() && idle_streak < self.order.len() {
+            let index = self.cursor % self.order.len();
+            self.cursor = (index + 1) % self.order.len();
+            let key = self.order[index];
+            let next = self
+                .sessions
+                .get_mut(&key)
+                .and_then(|s| s.pending.pop_front());
+            match next {
+                Some((request_id, request)) => {
+                    let packet = self.sealed_response(key.1, request_id, &request);
+                    let _ = net.send(self.node, key.0, packet);
+                    self.requests_served += 1;
+                    budget -= 1;
+                    idle_streak = 0;
+                }
+                None => idle_streak += 1,
+            }
+        }
+        self.sessions.values().any(|s| !s.pending.is_empty())
+    }
+
+    /// Reclaims sessions whose queues are empty and whose last packet is at
+    /// least `idle_expiry_us` old.
+    fn expire_idle(&mut self, now: u64) {
+        let Some(expiry) = self.config.idle_expiry_us else {
+            return;
+        };
+        let sessions = &self.sessions;
+        let expired: Vec<(NodeId, u64)> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|key| {
+                sessions.get(key).is_some_and(|s| {
+                    s.pending.is_empty() && now.saturating_sub(s.last_active_us) >= expiry
+                })
+            })
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        for key in &expired {
+            self.sessions.remove(key);
+            self.sessions_expired += 1;
+        }
+        self.order.retain(|key| !expired.contains(key));
+        self.cursor = if self.order.is_empty() {
+            0
+        } else {
+            self.cursor % self.order.len()
+        };
+    }
+}
+
+impl Endpoint for ProviderNode<'_> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn on_delivery(&mut self, net: &mut SimNet, delivery: Delivery) {
+        // Undecodable packets are dropped, like the stateless transport's
+        // provider loop: the auditor's timeout owns recovery.
+        let Ok((session_id, request_id, request)) =
+            open_session_message::<AuditRequest>(&delivery.payload)
+        else {
+            return;
+        };
+        let key = (delivery.from, session_id);
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.sessions.entry(key) {
+            slot.insert(SessionState {
+                pending: VecDeque::new(),
+                last_active_us: 0,
+            });
+            self.order.push(key);
+            self.sessions_created += 1;
+        }
+        let session = self.sessions.get_mut(&key).expect("session just ensured");
+        session.last_active_us = net.now();
+        session.pending.push_back((request_id, request));
+    }
+
+    fn on_tick(&mut self, net: &mut SimNet) -> Option<u64> {
+        let now = net.now();
+        self.expire_idle(now);
+        if self.serve_pass(net) {
+            return Some(now.saturating_add(self.config.tick_interval_us));
+        }
+        // No backlog: wake only if sessions are waiting to be expired.
+        let expiry = self.config.idle_expiry_us?;
+        self.order
+            .iter()
+            .filter_map(|key| self.sessions.get(key))
+            .map(|s| s.last_active_us.saturating_add(expiry))
+            .min()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet auditor
+// ---------------------------------------------------------------------------
+
+/// What one [`FleetAuditor`] is asked to check, and when to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditTask {
+    /// Snapshot the §3.5 chunk starts at.
+    pub start_snapshot: u64,
+    /// Chunk size `k` (snapshots per chunk).
+    pub chunk: u64,
+    /// On-demand (§3.5 incremental) vs full-download state transfer.
+    pub on_demand: bool,
+    /// Simulated µs at which this auditor opens its session.
+    pub start_at_us: u64,
+}
+
+/// One in-flight request/response exchange.
+#[derive(Debug)]
+struct PendingExchange {
+    request_id: u64,
+    packet: Vec<u8>,
+    /// When the first send happened (elapsed time is measured from here,
+    /// across retransmissions — like the blocking transport).
+    started_at: u64,
+    /// Retransmit-if-silent deadline.
+    deadline: u64,
+    attempts: u32,
+}
+
+/// State carried across the on-demand blob exchange batches.
+struct BlobExchange {
+    log_cost: TransferCost,
+    snapshot_cost: TransferCost,
+    consistent: bool,
+    fault: Option<crate::error::FaultReason>,
+    progress: ReplaySummary,
+    dedup: DedupTransfer,
+    session: OnDemandSession,
+    classification: FaultClassification,
+    batches: Vec<BlobRequest>,
+    next_batch: usize,
+    fetch: BlobFetch,
+    encoded: Vec<u8>,
+}
+
+/// Where the spot-check state machine is.
+enum Phase {
+    /// Waiting for `start_at_us`.
+    Idle,
+    /// Log chunk requested.
+    Chunk,
+    /// Full-download mode: sections requested.
+    Sections {
+        entries: Vec<LogEntry>,
+        log_cost: TransferCost,
+    },
+    /// On-demand mode: manifest requested.
+    Manifest {
+        entries: Vec<LogEntry>,
+        log_cost: TransferCost,
+        snapshot_cost: TransferCost,
+    },
+    /// On-demand mode: settle-time blob batches in flight.
+    Blobs(Box<BlobExchange>),
+    /// Finished (report or error recorded).
+    Done,
+}
+
+/// A §3.5 spot check as a non-blocking endpoint: the exchanges, accounting
+/// and retransmission policy of [`crate::endpoint::AuditClient`] over
+/// [`crate::endpoint::SimNetTransport`], restructured so N copies interleave
+/// on one shared network (see the module docs).
+pub struct FleetAuditor<'a> {
+    node: NodeId,
+    provider: NodeId,
+    session_id: u64,
+    provider_store: &'a SnapshotStore,
+    image: &'a VmImage,
+    registry: &'a GuestRegistry,
+    task: AuditTask,
+    timeout_us: u64,
+    max_attempts: u32,
+    cache: AuditorBlobCache,
+    stats: TransportStats,
+    next_request_id: u64,
+    pending: Option<PendingExchange>,
+    phase: Phase,
+    outcome: Option<Result<SpotCheckReport, CoreError>>,
+    finished_at_us: Option<u64>,
+}
+
+impl<'a> FleetAuditor<'a> {
+    /// An auditor on `node` auditing `provider` inside session `session_id`.
+    ///
+    /// `provider_store` is the *accounting plane* (the same store the
+    /// provider serves from — see [`crate::endpoint::AuditTransport`]);
+    /// `timeout_us` is the retransmit-if-silent deadline, normally derived
+    /// from the link exactly like [`crate::endpoint::SimNetTransport::new`]
+    /// derives it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        provider: NodeId,
+        session_id: u64,
+        provider_store: &'a SnapshotStore,
+        image: &'a VmImage,
+        registry: &'a GuestRegistry,
+        task: AuditTask,
+        timeout_us: u64,
+    ) -> FleetAuditor<'a> {
+        FleetAuditor {
+            node,
+            provider,
+            session_id,
+            provider_store,
+            image,
+            registry,
+            task,
+            timeout_us,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            cache: AuditorBlobCache::new(),
+            stats: TransportStats::default(),
+            next_request_id: 1,
+            pending: None,
+            phase: Phase::Idle,
+            outcome: None,
+            finished_at_us: None,
+        }
+    }
+
+    /// Resumes with a persistent blob cache from earlier audits.
+    pub fn with_cache(mut self, cache: AuditorBlobCache) -> FleetAuditor<'a> {
+        self.cache = cache;
+        self
+    }
+
+    /// True once the session has a verdict (or failed).
+    pub fn finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Session completion latency: µs of simulated time from the scheduled
+    /// start to the verdict.  `None` until finished.
+    pub fn latency_us(&self) -> Option<u64> {
+        self.finished_at_us
+            .map(|at| at.saturating_sub(self.task.start_at_us))
+    }
+
+    /// Wire accounting so far (the report's `transport` field once done).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Consumes the auditor: the report (or the error that ended the
+    /// session; an unfinished session is an error) and the blob cache, for
+    /// persistence across restarts.
+    pub fn into_parts(self) -> (Result<SpotCheckReport, CoreError>, AuditorBlobCache) {
+        let outcome = self.outcome.unwrap_or_else(|| {
+            Err(CoreError::Snapshot(format!(
+                "audit session {} did not finish",
+                self.session_id
+            )))
+        });
+        (outcome, self.cache)
+    }
+
+    /// Sends `request` as the next exchange of this session.
+    fn send_request(&mut self, net: &mut SimNet, request: &AuditRequest) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let packet = seal_session_message(self.session_id, request_id, request);
+        // Accounted per attempt *before* the send, dropped packets included
+        // — identical to the blocking transport.
+        self.stats.request_bytes += packet.len() as u64;
+        let started_at = net.now();
+        let _ = net.send(self.node, self.provider, packet.clone());
+        self.pending = Some(PendingExchange {
+            request_id,
+            packet,
+            started_at,
+            deadline: started_at + self.timeout_us,
+            attempts: 1,
+        });
+    }
+
+    fn complete(&mut self, now: u64, outcome: Result<SpotCheckReport, CoreError>) {
+        self.phase = Phase::Done;
+        self.pending = None;
+        self.outcome = Some(outcome);
+        self.finished_at_us = Some(now);
+    }
+
+    /// Advances the state machine with an accepted response.  `Err` ends the
+    /// session (the caller records it).
+    fn handle_response(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponse,
+    ) -> Result<(), CoreError> {
+        // Provider-side errors surface as CoreError, like AuditClient.
+        if let AuditResponse::Error { message } = response {
+            return Err(CoreError::Snapshot(message));
+        }
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Chunk => self.on_chunk(net, response),
+            Phase::Sections { entries, log_cost } => {
+                self.on_sections(net, response, entries, log_cost)
+            }
+            Phase::Manifest {
+                entries,
+                log_cost,
+                snapshot_cost,
+            } => self.on_manifest(net, response, entries, log_cost, snapshot_cost),
+            Phase::Blobs(exchange) => self.on_blobs(net, response, exchange),
+            Phase::Idle | Phase::Done => Ok(()),
+        }
+    }
+
+    fn on_chunk(&mut self, net: &mut SimNet, response: AuditResponse) -> Result<(), CoreError> {
+        let encoded_entries = match response {
+            AuditResponse::LogSegment { entries, .. } => entries,
+            other => return Err(protocol_violation("LogSegment", &other)),
+        };
+        let entries = decode_entries(&encoded_entries)?;
+        let log_cost = CompressionStats::measure_stream(
+            entries.iter().map(|e| e.encode_to_vec()),
+            TRANSFER_COMPRESSION,
+        );
+        // The auditor never trusts the provider's classification: a corrupt
+        // SNAPSHOT record in what was *received* is itself the verdict.
+        if let Err(fault) = snapshot_positions_in(&entries) {
+            let report = SpotCheckReport {
+                start_snapshot: self.task.start_snapshot,
+                chunk_size: self.task.chunk,
+                consistent: false,
+                fault: Some(fault),
+                entries_replayed: 0,
+                steps_replayed: 0,
+                snapshot_transfer_bytes: 0,
+                log_transfer_bytes: log_cost.raw_bytes,
+                snapshot_transfer_compressed_bytes: 0,
+                log_transfer_compressed_bytes: log_cost.compressed_bytes,
+                snapshot_transfer_dedup_bytes: 0,
+                snapshot_transfer_dedup_compressed_bytes: 0,
+                on_demand: None,
+                transport: self.stats,
+            };
+            self.complete(net.now(), Ok(report));
+            return Ok(());
+        }
+        if self.task.on_demand {
+            // Accounting plane first (no wire traffic), then the manifest —
+            // the same order as the blocking client.
+            let snapshot_cost = self
+                .provider_store
+                .transfer_cost_upto(self.task.start_snapshot, TRANSFER_COMPRESSION);
+            let request = AuditRequest::Manifest {
+                snapshot_id: self.task.start_snapshot,
+            };
+            self.phase = Phase::Manifest {
+                entries,
+                log_cost,
+                snapshot_cost,
+            };
+            self.send_request(net, &request);
+        } else {
+            let request = AuditRequest::Sections {
+                upto_id: self.task.start_snapshot,
+            };
+            self.phase = Phase::Sections { entries, log_cost };
+            self.send_request(net, &request);
+        }
+        Ok(())
+    }
+
+    fn on_sections(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponse,
+        entries: Vec<LogEntry>,
+        log_cost: TransferCost,
+    ) -> Result<(), CoreError> {
+        let stream = match response {
+            AuditResponse::Sections { stream } => stream,
+            other => return Err(protocol_violation("Sections", &other)),
+        };
+        debug_assert_eq!(
+            stream.len() as u64,
+            self.provider_store
+                .transfer_bytes_upto(self.task.start_snapshot),
+            "section stream and full-dump accounting diverged"
+        );
+        let snapshot_cost = CompressionStats::measure(&stream, TRANSFER_COMPRESSION);
+        let mut replayer = Replayer::from_snapshot(
+            self.image,
+            self.registry,
+            self.provider_store,
+            self.task.start_snapshot,
+        )?;
+        let (consistent, fault) = match replayer.replay(&entries) {
+            ReplayOutcome::Consistent(_) => (true, None),
+            ReplayOutcome::Fault(f) => (false, Some(f)),
+        };
+        let progress = replayer.summary();
+        let report = SpotCheckReport {
+            start_snapshot: self.task.start_snapshot,
+            chunk_size: self.task.chunk,
+            consistent,
+            fault,
+            entries_replayed: progress.entries_replayed,
+            steps_replayed: progress.steps_executed,
+            snapshot_transfer_bytes: snapshot_cost.raw_bytes,
+            log_transfer_bytes: log_cost.raw_bytes,
+            snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
+            log_transfer_compressed_bytes: log_cost.compressed_bytes,
+            snapshot_transfer_dedup_bytes: 0,
+            snapshot_transfer_dedup_compressed_bytes: 0,
+            on_demand: None,
+            transport: self.stats,
+        };
+        self.complete(net.now(), Ok(report));
+        Ok(())
+    }
+
+    fn on_manifest(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponse,
+        entries: Vec<LogEntry>,
+        log_cost: TransferCost,
+        snapshot_cost: TransferCost,
+    ) -> Result<(), CoreError> {
+        let manifest_bytes = match response {
+            AuditResponse::Manifest { manifest } => manifest,
+            other => return Err(protocol_violation("Manifest", &other)),
+        };
+        let manifest = ChainManifest::decode_exact(&manifest_bytes)
+            .map_err(|e| CoreError::Snapshot(format!("manifest does not decode: {e}")))?;
+        let (mut replayer, session) = Replayer::from_manifest_on_demand(
+            manifest,
+            self.image,
+            self.registry,
+            self.provider_store,
+            &self.cache,
+        )?;
+        let dedup = session.price_full_download(self.provider_store, TRANSFER_COMPRESSION)?;
+        let (consistent, fault) = match replayer.replay(&entries) {
+            ReplayOutcome::Consistent(_) => (true, None),
+            ReplayOutcome::Fault(f) => (false, Some(f)),
+        };
+        let progress = replayer.summary();
+        let classification = session.classify_faults(replayer.machine())?;
+        // The front half of the blob exchange: consult the cache, batch the
+        // rest.  (`needed` is already duplicate-free.)
+        let mut fetch = BlobFetch::default();
+        let mut missing: Vec<avm_wire::BlobDigest> = Vec::new();
+        for digest in &classification.needed {
+            if self.cache.contains(digest) {
+                fetch.cache_hits += 1;
+            } else {
+                missing.push(digest.0);
+            }
+        }
+        let batches = BlobRequest::batches(&missing, DEFAULT_BLOB_BATCH);
+        let exchange = Box::new(BlobExchange {
+            log_cost,
+            snapshot_cost,
+            consistent,
+            fault,
+            progress,
+            dedup,
+            session,
+            classification,
+            batches,
+            next_batch: 0,
+            fetch,
+            encoded: Vec::new(),
+        });
+        let _ = entries; // replayed above; the chunk's job is done
+        if exchange.batches.is_empty() {
+            self.settle(net, *exchange);
+            return Ok(());
+        }
+        let request = AuditRequest::Blobs(exchange.batches[0].clone());
+        self.phase = Phase::Blobs(exchange);
+        self.send_request(net, &request);
+        Ok(())
+    }
+
+    fn on_blobs(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponse,
+        mut exchange: Box<BlobExchange>,
+    ) -> Result<(), CoreError> {
+        let blob_response = match response {
+            AuditResponse::Blobs(r) => r,
+            other => return Err(protocol_violation("Blobs", &other)),
+        };
+        let request = &exchange.batches[exchange.next_batch];
+        // Per-blob authentication, exactly the shared protocol step.
+        if blob_response.blobs.len() != request.digests.len() {
+            return Err(CoreError::Snapshot(format!(
+                "blob response carries {} payloads for {} requested digests",
+                blob_response.blobs.len(),
+                request.digests.len()
+            )));
+        }
+        for (raw, blob) in request.digests.iter().zip(&blob_response.blobs) {
+            let digest = Digest(*raw);
+            let payload = blob.as_ref().ok_or_else(|| operator_missing(&digest))?;
+            verify_blob(&digest, payload)?;
+        }
+        exchange.fetch.round_trips += 1;
+        exchange.fetch.request_bytes += request.encoded_len() as u64;
+        exchange.fetch.payload_bytes += blob_response.payload_bytes();
+        exchange
+            .encoded
+            .extend_from_slice(&blob_response.encode_to_vec());
+        for (raw, blob) in request.digests.iter().zip(blob_response.blobs) {
+            let digest = Digest(*raw);
+            self.cache
+                .insert_trusted(digest, blob.expect("payload verified"));
+            exchange.fetch.fetched.push(digest);
+        }
+        exchange.next_batch += 1;
+        if exchange.next_batch < exchange.batches.len() {
+            let request = AuditRequest::Blobs(exchange.batches[exchange.next_batch].clone());
+            self.phase = Phase::Blobs(exchange);
+            self.send_request(net, &request);
+        } else {
+            self.settle(net, *exchange);
+        }
+        Ok(())
+    }
+
+    /// Assembles the final on-demand report from a finished blob exchange.
+    fn settle(&mut self, net: &SimNet, exchange: BlobExchange) {
+        let BlobExchange {
+            log_cost,
+            snapshot_cost,
+            consistent,
+            fault,
+            progress,
+            dedup,
+            session,
+            classification,
+            mut fetch,
+            encoded,
+            ..
+        } = exchange;
+        fetch.response.raw_bytes = encoded.len() as u64;
+        let cost = session.assemble_cost(classification, fetch, &encoded, TRANSFER_COMPRESSION);
+        let report = SpotCheckReport {
+            start_snapshot: self.task.start_snapshot,
+            chunk_size: self.task.chunk,
+            consistent,
+            fault,
+            entries_replayed: progress.entries_replayed,
+            steps_replayed: progress.steps_executed,
+            snapshot_transfer_bytes: snapshot_cost.raw_bytes,
+            log_transfer_bytes: log_cost.raw_bytes,
+            snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
+            log_transfer_compressed_bytes: log_cost.compressed_bytes,
+            snapshot_transfer_dedup_bytes: dedup.transfer.raw_bytes,
+            snapshot_transfer_dedup_compressed_bytes: dedup.transfer.compressed_bytes,
+            on_demand: Some(cost),
+            transport: self.stats,
+        };
+        self.complete(net.now(), Ok(report));
+    }
+}
+
+impl Endpoint for FleetAuditor<'_> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn on_delivery(&mut self, net: &mut SimNet, delivery: Delivery) {
+        if matches!(self.phase, Phase::Done) {
+            return;
+        }
+        let Some(pending) = &self.pending else {
+            return;
+        };
+        let Ok((session_id, request_id, response)) =
+            open_session_message::<AuditResponse>(&delivery.payload)
+        else {
+            return;
+        };
+        if session_id != self.session_id || request_id != pending.request_id {
+            return; // stale response to an older exchange
+        }
+        self.stats.round_trips += 1;
+        self.stats.response_bytes += delivery.payload.len() as u64;
+        self.stats.elapsed_micros += net.now() - pending.started_at;
+        self.pending = None;
+        if let Err(error) = self.handle_response(net, response) {
+            self.complete(net.now(), Err(error));
+        }
+    }
+
+    fn on_tick(&mut self, net: &mut SimNet) -> Option<u64> {
+        if matches!(self.phase, Phase::Done) {
+            return None;
+        }
+        if matches!(self.phase, Phase::Idle) {
+            if net.now() < self.task.start_at_us {
+                return Some(self.task.start_at_us);
+            }
+            self.phase = Phase::Chunk;
+            let request = AuditRequest::LogSegment(SegmentAddress::Chunk {
+                start_snapshot: self.task.start_snapshot,
+                chunk: self.task.chunk,
+            });
+            self.send_request(net, &request);
+        }
+        let now = net.now();
+        let (deadline, attempts, started_at, packet_len) = {
+            let pending = self.pending.as_ref()?;
+            (
+                pending.deadline,
+                pending.attempts,
+                pending.started_at,
+                pending.packet.len(),
+            )
+        };
+        if now < deadline {
+            return Some(deadline);
+        }
+        // The timer only fires on a *silent* wire: any packet still in
+        // flight (a large response serialising past the nominal timeout, a
+        // stale duplicate draining) will wake the loop, and the next tick
+        // re-evaluates — the deadline stretches to the wire going quiet,
+        // exactly like the blocking transport.
+        if net.in_flight_count() > 0 {
+            return None;
+        }
+        if attempts >= self.max_attempts {
+            self.stats.elapsed_micros += now - started_at;
+            let error = CoreError::Snapshot(format!(
+                "audit transport: no response after {} attempts ({} µs timeout each)",
+                self.max_attempts, self.timeout_us
+            ));
+            self.complete(now, Err(error));
+            return None;
+        }
+        self.stats.retransmissions += 1;
+        self.stats.request_bytes += packet_len as u64;
+        let packet = self
+            .pending
+            .as_ref()
+            .expect("pending checked")
+            .packet
+            .clone();
+        let _ = net.send(self.node, self.provider, packet);
+        let pending = self.pending.as_mut().expect("pending checked");
+        pending.attempts += 1;
+        pending.deadline = now + self.timeout_us;
+        Some(pending.deadline)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet runner
+// ---------------------------------------------------------------------------
+
+/// Shape of one fleet run: topology, workload and scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Link config used for every auditor↔provider pair.
+    pub link: LinkConfig,
+    /// Number of concurrent auditors (N).
+    pub auditors: usize,
+    /// Number of provider nodes (M); auditor `i` targets provider `i % M`.
+    /// All providers serve the same machine's log and store.
+    pub providers: usize,
+    /// Gap between consecutive auditors' session starts, in simulated µs
+    /// (`0` = everyone starts at once).
+    pub inter_arrival_us: u64,
+    /// Spot-check chunk start (every auditor checks the same epoch — the
+    /// shared-cache case; vary per auditor by driving the endpoints
+    /// directly).
+    pub start_snapshot: u64,
+    /// Spot-check chunk size `k`.
+    pub chunk: u64,
+    /// §3.5 on-demand mode (vs full state download).
+    pub on_demand: bool,
+    /// Provider scheduling and session-lifetime knobs.
+    pub provider: ProviderConfig,
+    /// Event-loop safety bound.
+    pub max_steps: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            link: LinkConfig::default(),
+            auditors: 1,
+            providers: 1,
+            inter_arrival_us: 0,
+            start_snapshot: 0,
+            chunk: 1,
+            on_demand: true,
+            provider: ProviderConfig::default(),
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// Everything a fleet run produced.
+pub struct FleetOutcome {
+    /// One report (or terminal error) per auditor, in auditor order.
+    pub reports: Vec<Result<SpotCheckReport, CoreError>>,
+    /// Session completion latency (scheduled start → verdict) per
+    /// *successful* session, in auditor order.
+    pub latencies_us: Vec<u64>,
+    /// Per-provider scheduler, session and cache accounting.
+    pub providers: Vec<ProviderStats>,
+    /// Per-node traffic counters from the shared network.
+    pub node_stats: Vec<(NodeId, NodeStats)>,
+    /// How the event loop ended.
+    pub event_loop: EventLoopReport,
+}
+
+/// Runs N concurrent spot-check sessions against M provider nodes sharing
+/// one simulated network (see the module docs).
+///
+/// Providers bind nodes `1..=M`, auditors bind `M+1..`; auditor `i` opens
+/// session `CLIENT_SESSION + i` against provider `1 + (i % M)` — so a fleet
+/// of one speaks byte-identical packets to the single-client transport.
+pub fn run_fleet(
+    log: &dyn LogSource,
+    store: &SnapshotStore,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    config: &FleetConfig,
+) -> FleetOutcome {
+    let timeout_us = 8 * config.link.latency_us + config.link.serialise_micros(1 << 20);
+    let mut net = SimNet::new(config.link);
+    let provider_count = config.providers.max(1);
+    let mut providers: Vec<ProviderNode> = (0..provider_count)
+        .map(|p| {
+            ProviderNode::new(
+                NodeId(p as u32 + 1),
+                AuditServer::with_log_source(log, store),
+                config.provider,
+            )
+        })
+        .collect();
+    let mut auditors: Vec<FleetAuditor> = (0..config.auditors)
+        .map(|i| {
+            FleetAuditor::new(
+                NodeId((provider_count + 1 + i) as u32),
+                NodeId((i % provider_count) as u32 + 1),
+                CLIENT_SESSION + i as u64,
+                store,
+                image,
+                registry,
+                AuditTask {
+                    start_snapshot: config.start_snapshot,
+                    chunk: config.chunk,
+                    on_demand: config.on_demand,
+                    start_at_us: i as u64 * config.inter_arrival_us,
+                },
+                timeout_us,
+            )
+        })
+        .collect();
+    let mut endpoints: Vec<&mut dyn Endpoint> = Vec::with_capacity(provider_count + auditors.len());
+    for provider in providers.iter_mut() {
+        endpoints.push(provider);
+    }
+    for auditor in auditors.iter_mut() {
+        endpoints.push(auditor);
+    }
+    let event_loop = run_event_loop(&mut net, &mut endpoints, config.max_steps);
+    drop(endpoints);
+    let provider_stats = providers.iter().map(|p| p.stats()).collect();
+    let node_stats = net.all_stats();
+    let mut reports = Vec::with_capacity(auditors.len());
+    let mut latencies_us = Vec::new();
+    for auditor in auditors {
+        if let Some(latency) = auditor.latency_us() {
+            latencies_us.push(latency);
+        }
+        let (outcome, _cache) = auditor.into_parts();
+        reports.push(outcome);
+    }
+    FleetOutcome {
+        reports,
+        latencies_us,
+        providers: provider_stats,
+        node_stats,
+        event_loop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{AuditClient, SimNetTransport};
+    use crate::testutil::record_with_snapshots;
+
+    /// The tentpole pin: a fleet of ONE is *field-identical* — semantics,
+    /// transfer columns, wire accounting, measured simulated latency — to
+    /// the blocking single-client transport, in both download modes and
+    /// under deterministic packet loss.
+    #[test]
+    fn single_session_fleet_is_field_identical_to_simnet_transport() {
+        let (bob, image) = record_with_snapshots(4);
+        let registry = GuestRegistry::new();
+        for (on_demand, drop_every) in [(true, 0), (false, 0), (true, 3), (false, 5)] {
+            let link = LinkConfig {
+                drop_every,
+                ..LinkConfig::default()
+            };
+
+            let mut client = AuditClient::new(SimNetTransport::new(
+                AuditServer::new(bob.log(), bob.snapshots()),
+                link,
+            ));
+            let baseline = if on_demand {
+                client.spot_check_on_demand(2, 1, &image, &registry)
+            } else {
+                client.spot_check(2, 1, &image, &registry)
+            }
+            .unwrap();
+
+            let config = FleetConfig {
+                link,
+                on_demand,
+                start_snapshot: 2,
+                chunk: 1,
+                ..FleetConfig::default()
+            };
+            let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+            assert!(outcome.event_loop.quiescent);
+            let fleet_report = outcome.reports[0].as_ref().unwrap();
+            assert_eq!(
+                &baseline, fleet_report,
+                "fleet N=1 diverged (on_demand={on_demand}, drop_every={drop_every})"
+            );
+        }
+    }
+
+    /// N auditors checking the same epoch: every verdict matches the serial
+    /// baseline, the provider opened one session per auditor, and the shared
+    /// response cache served all but the first encoding of each response.
+    #[test]
+    fn concurrent_sessions_share_the_response_cache() {
+        let (bob, image) = record_with_snapshots(4);
+        let registry = GuestRegistry::new();
+
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let baseline = client
+            .spot_check_on_demand(2, 1, &image, &registry)
+            .unwrap();
+
+        let n = 8;
+        let config = FleetConfig {
+            auditors: n,
+            start_snapshot: 2,
+            chunk: 1,
+            inter_arrival_us: 500,
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+        assert!(outcome.event_loop.quiescent);
+        assert_eq!(outcome.reports.len(), n);
+        for report in &outcome.reports {
+            let report = report.as_ref().unwrap();
+            assert!(report.consistent);
+            assert_eq!(baseline.semantic(), report.semantic());
+        }
+        assert_eq!(outcome.latencies_us.len(), n);
+
+        let provider = &outcome.providers[0];
+        assert_eq!(provider.sessions_created, n as u64);
+        assert_eq!(provider.sessions_expired, 0);
+        // Each auditor sends the same chunk + manifest requests; the first
+        // pays the encoding, the rest hit the cache.  (Blob requests are
+        // per-auditor and bypass it.)
+        assert_eq!(provider.cache.entries, 2);
+        assert_eq!(provider.cache.misses, 2);
+        assert_eq!(provider.cache.hits, 2 * (n as u64 - 1));
+    }
+
+    /// Idle expiry reclaims finished sessions (and only finished ones), and
+    /// the loop still quiesces afterwards.
+    #[test]
+    fn idle_sessions_expire_after_the_quiet_period() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let config = FleetConfig {
+            auditors: 3,
+            start_snapshot: 1,
+            chunk: 1,
+            provider: ProviderConfig {
+                idle_expiry_us: Some(50_000),
+                ..ProviderConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+        assert!(outcome.event_loop.quiescent);
+        for report in &outcome.reports {
+            assert!(report.as_ref().unwrap().consistent);
+        }
+        let provider = &outcome.providers[0];
+        assert_eq!(provider.sessions_created, 3);
+        assert_eq!(provider.sessions_expired, 3);
+        assert_eq!(provider.active_sessions, 0);
+    }
+
+    /// A budget-limited scheduler serves queued sessions round-robin: with
+    /// three sessions' requests queued and a budget of 2, the first pass
+    /// serves two *different* sessions and the backlog drains next pass.
+    #[test]
+    fn budgeted_scheduler_serves_sessions_round_robin() {
+        let (bob, _image) = record_with_snapshots(3);
+        let mut provider = ProviderNode::new(
+            NodeId(1),
+            AuditServer::new(bob.log(), bob.snapshots()),
+            ProviderConfig {
+                service_budget: 2,
+                tick_interval_us: 40,
+                ..ProviderConfig::default()
+            },
+        );
+        let mut net = SimNet::new(LinkConfig::default());
+        for (peer, session) in [(10, 7), (11, 8), (12, 9)] {
+            let packet =
+                seal_session_message(session, 1, &AuditRequest::Manifest { snapshot_id: 1 });
+            provider.on_delivery(
+                &mut net,
+                Delivery {
+                    from: NodeId(peer),
+                    to: NodeId(1),
+                    payload: packet,
+                    deliver_at: 0,
+                    sent_at: 0,
+                },
+            );
+        }
+        assert_eq!(provider.stats().sessions_created, 3);
+
+        // First pass: budget 2 → two sessions served, one queued; the
+        // provider asks to be re-ticked after its interval.
+        let wake = provider.on_tick(&mut net);
+        assert_eq!(wake, Some(40));
+        assert_eq!(provider.stats().requests_served, 2);
+        assert_eq!(net.in_flight_count(), 2);
+
+        // Second pass serves the third session — round-robin, not
+        // first-session-wins — and goes quiet.
+        let wake = provider.on_tick(&mut net);
+        assert_eq!(wake, None);
+        assert_eq!(provider.stats().requests_served, 3);
+        assert_eq!(net.in_flight_count(), 3);
+        // One manifest encoding, two cache hits: the budget changes *when*
+        // each session is served, never *what* it costs.
+        assert_eq!(provider.stats().cache.misses, 1);
+        assert_eq!(provider.stats().cache.hits, 2);
+    }
+
+    /// Multiple provider nodes: auditors spread across them and each
+    /// provider serves only its own sessions.
+    #[test]
+    fn auditors_spread_across_multiple_providers() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let config = FleetConfig {
+            auditors: 4,
+            providers: 2,
+            start_snapshot: 1,
+            chunk: 1,
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+        assert!(outcome.event_loop.quiescent);
+        for report in &outcome.reports {
+            assert!(report.as_ref().unwrap().consistent);
+        }
+        assert_eq!(outcome.providers.len(), 2);
+        for provider in &outcome.providers {
+            assert_eq!(provider.sessions_created, 2);
+        }
+    }
+}

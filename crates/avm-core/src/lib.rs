@@ -39,6 +39,10 @@
 //!   [`avm_wire::audit`] over pluggable transports: in-process and
 //!   RTT-modelled ([`endpoint::DirectTransport`]) or over the simulated
 //!   network with retransmission ([`endpoint::SimNetTransport`]).
+//! * [`fleet`] — fleet-scale auditing: the sessionful [`fleet::ProviderNode`]
+//!   serving N concurrent [`fleet::FleetAuditor`] sessions over one shared
+//!   simulated network, with round-robin scheduling, a shared response cache
+//!   and idle-session expiry.
 //! * [`online`] — online (concurrent-with-execution) auditing (§6.11).
 //! * [`multiparty`] — authenticator collection, the challenge protocol and
 //!   evidence distribution for multi-party scenarios (§4.6).
@@ -121,6 +125,7 @@ pub mod endpoint;
 pub mod envelope;
 pub mod error;
 pub mod events;
+pub mod fleet;
 pub mod multiparty;
 pub mod ondemand;
 pub mod online;

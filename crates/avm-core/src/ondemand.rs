@@ -251,7 +251,7 @@ impl AuditorBlobCache {
 
     /// Inserts a blob whose hash the caller has already verified (avoids
     /// re-hashing payloads that just went through [`verify_blob`]).
-    fn insert_trusted(&mut self, digest: Digest, payload: Vec<u8>) {
+    pub(crate) fn insert_trusted(&mut self, digest: Digest, payload: Vec<u8>) {
         if let std::collections::hash_map::Entry::Vacant(slot) = self.blobs.entry(digest) {
             self.stored_bytes += payload.len() as u64;
             slot.insert(payload);
@@ -298,10 +298,54 @@ impl AuditorBlobCache {
             }
         }
     }
+
+    /// Persists every cached blob into a durable blob arena (content-
+    /// addressed, so blobs the arena already holds cost nothing), then
+    /// flushes.  Blobs are written in digest order, making the on-disk
+    /// image a deterministic function of the cache contents.
+    ///
+    /// Returns how many blobs were newly written.  A restarted auditor
+    /// recovers with [`AuditorBlobCache::from_arena_scan`] and never
+    /// refetches a digest it already paid for.
+    pub fn persist_into<S: avm_store::Storage>(
+        &self,
+        arena: &mut avm_store::ArenaStore<S>,
+    ) -> Result<u64, CoreError> {
+        let mut digests: Vec<&Digest> = self.blobs.keys().collect();
+        digests.sort();
+        let mut written = 0u64;
+        for digest in digests {
+            if arena
+                .put(*digest, &self.blobs[digest])
+                .map_err(persistence_error)?
+            {
+                written += 1;
+            }
+        }
+        arena.flush().map_err(persistence_error)?;
+        Ok(written)
+    }
+
+    /// Rebuilds a cache from an arena recovery scan, re-verifying every
+    /// payload against its digest — recovered bytes get no more trust than
+    /// received ones, so a corrupted arena surfaces here instead of
+    /// poisoning later audits.
+    pub fn from_arena_scan(scan: &avm_store::ArenaScan) -> Result<AuditorBlobCache, CoreError> {
+        let mut cache = AuditorBlobCache::new();
+        for (digest, payload) in &scan.blobs {
+            cache.insert_verified(*digest, payload.clone())?;
+        }
+        Ok(cache)
+    }
+}
+
+/// Error for a blob-arena operation during cache persistence.
+fn persistence_error(e: avm_store::StoreError) -> CoreError {
+    CoreError::Snapshot(format!("blob cache persistence: {e}"))
 }
 
 /// Error for a digest the operator's store cannot substantiate.
-fn operator_missing(digest: &Digest) -> CoreError {
+pub(crate) fn operator_missing(digest: &Digest) -> CoreError {
     CoreError::Snapshot(format!(
         "operator could not serve blob {} referenced by its own snapshot",
         digest.short_hex()
@@ -310,7 +354,7 @@ fn operator_missing(digest: &Digest) -> CoreError {
 
 /// The per-blob authentication of the transfer protocol: a received payload
 /// must hash to the digest it was requested under.
-fn verify_blob(digest: &Digest, payload: &[u8]) -> Result<(), CoreError> {
+pub(crate) fn verify_blob(digest: &Digest, payload: &[u8]) -> Result<(), CoreError> {
     if sha256(payload) != *digest {
         return Err(CoreError::Snapshot(format!(
             "received blob does not hash to its requested digest {}",
@@ -635,6 +679,27 @@ enum StagedSource {
     Remote,
 }
 
+/// What [`OnDemandSession::classify_faults`] decided about a finished
+/// replay's fault lists — the wire-facing half (`needed`) and the free
+/// half (cache hits, locally derived), plus the counters the final
+/// [`OnDemandCost`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FaultClassification {
+    /// Unique faulted digests only the operator can serve, in fault order.
+    pub needed: Vec<Digest>,
+    /// Unique faulted digests served from the auditor cache (as classified
+    /// at staging time).
+    pub cache_hits: u64,
+    /// Unique faulted digests derivable from the reference image.
+    pub locally_derived: u64,
+    /// Memory chunks faulted during replay.
+    pub chunks_faulted: u64,
+    /// Disk blocks faulted during replay.
+    pub blocks_faulted: u64,
+    /// Staged chunks/blocks the replay never touched.
+    pub untouched_staged: u64,
+}
+
 /// Tracks one on-demand reconstruction from staging to settlement.
 ///
 /// Produced by [`materialize_on_demand`]; after the replay (or any workload)
@@ -718,6 +783,24 @@ impl OnDemandSession {
         cache: &mut AuditorBlobCache,
         level: CompressionLevel,
     ) -> Result<OnDemandCost, CoreError> {
+        let classification = self.classify_faults(machine)?;
+        let (fetch, response_encoded) =
+            fetch_blobs_encoded(cache, provider, &classification.needed, DEFAULT_BLOB_BATCH)?;
+        Ok(self.assemble_cost(classification, fetch, &response_encoded, level))
+    }
+
+    /// The settle-time classification of the machine's fault lists: which
+    /// unique faulted digests must cross the wire and which are free
+    /// (cached / image-derivable), plus the fault and untouched counters.
+    ///
+    /// [`OnDemandSession::finish_with`] is `classify_faults` → blob exchange
+    /// → [`OnDemandSession::assemble_cost`]; the fleet auditor runs the same
+    /// halves around its non-blocking (event-loop-driven) blob exchange so
+    /// its accounting is the single-client accounting by construction.
+    pub(crate) fn classify_faults(
+        &self,
+        machine: &Machine,
+    ) -> Result<FaultClassification, CoreError> {
         let faulted_chunks = machine.memory().faulted_chunks();
         let faulted_blocks = machine.devices().disk.faulted_blocks();
         let mut needed: Vec<Digest> = Vec::new();
@@ -751,31 +834,45 @@ impl OnDemandSession {
                 }
             }
         }
-        let (fetch, response_encoded) =
-            fetch_blobs_encoded(cache, provider, &needed, DEFAULT_BLOB_BATCH)?;
-        // Manifest and blob response compress as one download.
-        let transfer = CompressionStats::measure_stream(
-            [
-                self.manifest_encoded.as_slice(),
-                response_encoded.as_slice(),
-            ],
-            level,
-        );
         let untouched =
             machine.memory().staged_chunk_count() + machine.devices().disk.staged_block_count();
-        Ok(OnDemandCost {
-            manifest_bytes: self.manifest_encoded.len() as u64,
+        Ok(FaultClassification {
+            needed,
+            cache_hits,
+            locally_derived,
             chunks_faulted: faulted_chunks.len() as u64,
             blocks_faulted: faulted_blocks.len() as u64,
             untouched_staged: untouched as u64,
+        })
+    }
+
+    /// Assembles the [`OnDemandCost`] from a classification and the blob
+    /// exchange it led to, measuring manifest + blob response as one
+    /// compressed download.
+    pub(crate) fn assemble_cost(
+        &self,
+        classification: FaultClassification,
+        fetch: BlobFetch,
+        response_encoded: &[u8],
+        level: CompressionLevel,
+    ) -> OnDemandCost {
+        let transfer = CompressionStats::measure_stream(
+            [self.manifest_encoded.as_slice(), response_encoded],
+            level,
+        );
+        OnDemandCost {
+            manifest_bytes: self.manifest_encoded.len() as u64,
+            chunks_faulted: classification.chunks_faulted,
+            blocks_faulted: classification.blocks_faulted,
+            untouched_staged: classification.untouched_staged,
             round_trips: 1 + fetch.round_trips,
             round_trips_unbatched: 1 + fetch.fetched.len() as u64,
             fetched: fetch.fetched,
-            cache_hits: cache_hits + fetch.cache_hits,
-            locally_derived,
+            cache_hits: classification.cache_hits + fetch.cache_hits,
+            locally_derived: classification.locally_derived,
             request_bytes: fetch.request_bytes,
             transfer,
-        })
+        }
     }
 
     /// Prices the dedup-transfer ("download the entire snapshot, but
@@ -1365,5 +1462,67 @@ mod tests {
         assert!(cost.chunks_faulted > 0);
         // Pruned snapshots have no manifest.
         assert!(store.chain_manifest_upto(1).is_err());
+    }
+
+    /// A cache persisted through a blob arena and recovered after a restart
+    /// is the same cache: the second audit's settle-time exchange fetches
+    /// nothing, because every digest it faults is already held.
+    #[test]
+    fn cache_persists_through_arena_and_skips_refetch_after_restart() {
+        use avm_store::{ArenaConfig, ArenaStore, SimStorage};
+
+        let (_, store, img, reg) = record_chain(4);
+
+        // First audit with a cold cache: pays for its faulted blobs.
+        let mut cache = AuditorBlobCache::new();
+        let (mut lazy, session) = materialize_on_demand(&store, 3, &img, &reg, &cache).unwrap();
+        lazy.inject_packet(vec![1]);
+        run_until_idle(&mut lazy);
+        let first = session
+            .finish(&lazy, &store, &mut cache, CompressionLevel::Default)
+            .unwrap();
+        assert!(!first.fetched.is_empty());
+
+        // Persist, "restart" (drop the arena handle), recover from the
+        // surviving bytes.
+        let storage = SimStorage::new();
+        let mut arena = ArenaStore::create(storage.clone(), ArenaConfig::default()).unwrap();
+        let written = cache.persist_into(&mut arena).unwrap();
+        assert_eq!(written, cache.len() as u64);
+        // Persisting again is free: the arena is content-addressed.
+        assert_eq!(cache.persist_into(&mut arena).unwrap(), 0);
+        drop(arena);
+        let (_, scan) = ArenaStore::recover(storage, ArenaConfig::default()).unwrap();
+        let recovered = AuditorBlobCache::from_arena_scan(&scan).unwrap();
+        assert_eq!(recovered.len(), cache.len());
+        assert_eq!(recovered.stored_bytes(), cache.stored_bytes());
+
+        // Second audit of the same epoch with the recovered cache: every
+        // fault is a cache hit, nothing crosses the wire.
+        let (mut lazy, session) = materialize_on_demand(&store, 3, &img, &reg, &recovered).unwrap();
+        lazy.inject_packet(vec![1]);
+        run_until_idle(&mut lazy);
+        let mut recovered = recovered;
+        let second = session
+            .finish(&lazy, &store, &mut recovered, CompressionLevel::Default)
+            .unwrap();
+        assert!(second.fetched.is_empty());
+        assert!(second.cache_hits >= first.fetched.len() as u64);
+    }
+
+    /// Recovery re-verifies payloads: a flipped byte in the arena surfaces
+    /// as a digest mismatch instead of poisoning later audits.
+    #[test]
+    fn corrupted_arena_blob_is_rejected_on_recovery() {
+        let digest = sha256(b"payload");
+        let mut scan_blob = b"payload".to_vec();
+        scan_blob[0] ^= 1;
+        let scan = avm_store::scan_arenas(&avm_store::SimStorage::new())
+            .map(|mut s| {
+                s.blobs.push((digest, scan_blob));
+                s
+            })
+            .unwrap();
+        assert!(AuditorBlobCache::from_arena_scan(&scan).is_err());
     }
 }

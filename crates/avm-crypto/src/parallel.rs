@@ -1,19 +1,33 @@
-//! A small hand-rolled scoped-thread worker pool for batch hashing.
+//! A small hand-rolled worker pool for batch hashing.
 //!
 //! Refreshing a Merkle state tree hashes every dirty leaf — embarrassingly
 //! parallel work that the workspace's no-external-deps constraint keeps us
 //! from handing to rayon.  [`sha256_batch`] provides the one primitive the
 //! snapshot pipeline needs: hash a batch of byte slices, preserving input
-//! order, fanning the work across `std::thread::scope` workers when the batch
-//! is large enough to amortise thread startup.
+//! order, fanning the work across worker threads when the batch is large
+//! enough to amortise the coordination cost.
 //!
-//! The pool is deliberately minimal: workers are spawned per call (scoped
-//! threads make the borrow of the input slices safe without `Arc`), the batch
-//! is split into contiguous ranges so each worker writes a disjoint region of
-//! the output, and small batches take a serial fast path.  Hashing a 512 B
+//! Large batches are served by a **long-lived** [`WorkerPool`]: a fixed set
+//! of parked threads fed through a mutex-protected queue, created once per
+//! process ([`global_pool`]) instead of re-spawning `std::thread::scope`
+//! workers on every call.  Under a fleet of concurrent auditors the provider
+//! hashes thousands of batches per simulated second; amortising the spawn
+//! cost (tens of microseconds per thread) across the process lifetime is
+//! what makes that affordable.  The workspace forbids `unsafe`, so a parked
+//! worker cannot borrow the caller's slices the way a scoped thread could:
+//! each dispatched part instead carries one flat owned copy of its payload
+//! (a single allocation + memcpy, far cheaper than the hashing itself),
+//! while the calling thread hashes the *first* part directly from the
+//! borrowed input and then waits for the pool to finish the rest.
+//!
+//! The batch is split into contiguous ranges so results concatenate back in
+//! input order, and small batches take a serial fast path.  Hashing a 512 B
 //! chunk costs a few microseconds, so the [`MIN_PER_WORKER`] threshold keeps
-//! per-call thread overhead (tens of microseconds) well under the work each
-//! worker receives.
+//! per-part coordination overhead well under the work each part receives.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::sha256::{sha256, Digest};
 
@@ -24,17 +38,18 @@ pub const MIN_PER_WORKER: usize = 64;
 /// Minimum payload bytes each worker must receive before an extra thread is
 /// worth spawning — the *measured-cost* bound: SHA-256 time scales with
 /// input bytes, and 32 KiB of hashing (a few hundred µs) comfortably
-/// amortises a thread spawn (tens of µs).  Equal to `MIN_PER_WORKER` 512 B
+/// amortises the dispatch overhead.  Equal to `MIN_PER_WORKER` 512 B
 /// chunks, so the chunk-leaf path behaves exactly as before, while batches
 /// of larger inputs (4 KiB disk blocks, whole sections) fan out at
 /// proportionally smaller counts.
 pub const MIN_BYTES_PER_WORKER: usize = MIN_PER_WORKER * 512;
 
-/// Hard cap on worker threads — the hashing stage is meant to soak up a few
-/// otherwise-idle cores, not the whole machine.
+/// Hard cap on concurrent hashing threads (pool workers plus the calling
+/// thread) — the hashing stage is meant to soak up a few otherwise-idle
+/// cores, not the whole machine.
 pub const MAX_WORKERS: usize = 8;
 
-/// Number of worker threads [`sha256_batch`] would use for a batch of `n`
+/// Number of hashing threads [`sha256_batch`] would use for a batch of `n`
 /// inputs on this host, assuming chunk-sized inputs (1 = serial fast path).
 ///
 /// This is the count-only estimate; [`batch_workers_for`] additionally
@@ -45,7 +60,7 @@ pub fn batch_workers(n: usize) -> usize {
 }
 
 /// Adaptive worker count for a concrete batch: scales with the *work* in the
-/// batch — both input count and total payload bytes — instead of spawning a
+/// batch — both input count and total payload bytes — instead of occupying a
 /// fixed-size pool.  Tiny dirty sets stay serial; a handful of large inputs
 /// still parallelises even though their count alone would not justify it.
 pub fn batch_workers_for(inputs: &[&[u8]]) -> usize {
@@ -60,40 +75,263 @@ pub fn batch_workers_for(inputs: &[&[u8]]) -> usize {
         .max(1)
 }
 
+/// One part of a batch, flattened into a single owned buffer so handing it
+/// to a parked worker costs one allocation + memcpy instead of one per
+/// input.  `ends[i]` is the end offset of input `i` within `payload`.
+struct FlatPart {
+    payload: Vec<u8>,
+    ends: Vec<usize>,
+}
+
+impl FlatPart {
+    fn copy_from(inputs: &[&[u8]]) -> FlatPart {
+        let total: usize = inputs.iter().map(|i| i.len()).sum();
+        let mut payload = Vec::with_capacity(total);
+        let mut ends = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            payload.extend_from_slice(input);
+            ends.push(payload.len());
+        }
+        FlatPart { payload, ends }
+    }
+
+    fn hash_all(&self) -> Vec<Digest> {
+        let mut start = 0;
+        self.ends
+            .iter()
+            .map(|&end| {
+                let digest = sha256(&self.payload[start..end]);
+                start = end;
+                digest
+            })
+            .collect()
+    }
+}
+
+/// Completion latch for one in-flight batch: dispatched parts store their
+/// digests into `parts` (indexed by part number) and the last one to finish
+/// wakes the caller.
+struct BatchState {
+    progress: Mutex<BatchProgress>,
+    finished: Condvar,
+}
+
+struct BatchProgress {
+    parts: Vec<Option<Vec<Digest>>>,
+    remaining: usize,
+}
+
+struct Job {
+    part: FlatPart,
+    batch: Arc<BatchState>,
+    slot: usize,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    stop: bool,
+}
+
+struct PoolInner {
+    queue: Mutex<PoolQueue>,
+    work_ready: Condvar,
+    busy: AtomicUsize,
+    peak_busy: AtomicUsize,
+    jobs_dispatched: AtomicU64,
+    batches_dispatched: AtomicU64,
+}
+
+/// Occupancy counters for a [`WorkerPool`], for capacity reports: how many
+/// threads the pool keeps parked, how much work has flowed through it, and
+/// the high-water mark of simultaneously busy workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Long-lived worker threads owned by the pool.
+    pub workers: usize,
+    /// Parts dispatched to pool workers over the pool's lifetime (the
+    /// calling thread's own part is not counted — it never queues).
+    pub jobs: u64,
+    /// Batches that fanned out through the pool.
+    pub batches: u64,
+    /// Most workers observed hashing at the same instant.
+    pub peak_busy: usize,
+}
+
+/// A fixed set of long-lived parked threads hashing flattened batch parts
+/// from a shared queue.
+///
+/// Created once per process by [`global_pool`]; tests may build private
+/// pools.  Dropping a pool stops and joins its threads.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool of exactly `workers` parked threads (minimum 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                stop: false,
+            }),
+            work_ready: Condvar::new(),
+            busy: AtomicUsize::new(0),
+            peak_busy: AtomicUsize::new(0),
+            jobs_dispatched: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        WorkerPool { inner, threads }
+    }
+
+    /// Number of parked worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Lifetime occupancy counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.threads.len(),
+            jobs: self.inner.jobs_dispatched.load(Ordering::Relaxed),
+            batches: self.inner.batches_dispatched.load(Ordering::Relaxed),
+            peak_busy: self.inner.peak_busy.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hashes every input, returning digests in input order — bit-identical
+    /// to `inputs.iter().map(|i| sha256(i)).collect()`.
+    ///
+    /// The batch is split into `parts` contiguous ranges (clamped to the
+    /// input count); the calling thread hashes the first range directly from
+    /// the borrowed inputs while the remaining ranges are copied, queued,
+    /// and hashed by pool workers.
+    pub fn hash_batch(&self, inputs: &[&[u8]], parts: usize) -> Vec<Digest> {
+        let parts = parts.min(inputs.len()).max(1);
+        if parts <= 1 {
+            return inputs.iter().map(|data| sha256(data)).collect();
+        }
+        // Contiguous ranges, remainder spread over the first parts, so the
+        // concatenated results preserve input order.
+        let per = inputs.len() / parts;
+        let rem = inputs.len() % parts;
+        let first = per + usize::from(rem > 0);
+        let batch = Arc::new(BatchState {
+            progress: Mutex::new(BatchProgress {
+                parts: (1..parts).map(|_| None).collect(),
+                remaining: parts - 1,
+            }),
+            finished: Condvar::new(),
+        });
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            let mut offset = first;
+            for w in 1..parts {
+                let take = per + usize::from(w < rem);
+                queue.jobs.push_back(Job {
+                    part: FlatPart::copy_from(&inputs[offset..offset + take]),
+                    batch: Arc::clone(&batch),
+                    slot: w - 1,
+                });
+                offset += take;
+            }
+            debug_assert_eq!(offset, inputs.len());
+            self.inner
+                .jobs_dispatched
+                .fetch_add(parts as u64 - 1, Ordering::Relaxed);
+            self.inner
+                .batches_dispatched
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.work_ready.notify_all();
+        }
+        let mut out = Vec::with_capacity(inputs.len());
+        out.extend(inputs[..first].iter().map(|data| sha256(data)));
+        let mut progress = batch.progress.lock().unwrap();
+        while progress.remaining > 0 {
+            progress = batch.finished.wait(progress).unwrap();
+        }
+        for slot in progress.parts.iter_mut() {
+            out.extend(slot.take().expect("finished batch part missing"));
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.inner.queue.lock().unwrap().stop = true;
+        self.inner.work_ready.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.stop {
+                    return;
+                }
+                queue = inner.work_ready.wait(queue).unwrap();
+            }
+        };
+        let busy = inner.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.peak_busy.fetch_max(busy, Ordering::Relaxed);
+        let digests = job.part.hash_all();
+        let mut progress = job.batch.progress.lock().unwrap();
+        progress.parts[job.slot] = Some(digests);
+        progress.remaining -= 1;
+        if progress.remaining == 0 {
+            job.batch.finished.notify_all();
+        }
+        drop(progress);
+        inner.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide hashing pool, created on first use.  Sized one below the
+/// [`MAX_WORKERS`]/core bound because the calling thread always contributes
+/// a part of its own.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        WorkerPool::new(avail.min(MAX_WORKERS).saturating_sub(1).max(1))
+    })
+}
+
+/// Occupancy counters of the process-wide pool ([`global_pool`]).
+pub fn global_pool_stats() -> PoolStats {
+    global_pool().stats()
+}
+
 /// Hashes every input slice, returning digests in input order.
 ///
 /// Equivalent to `inputs.iter().map(|i| sha256(i)).collect()` — bit-identical
-/// output, checked by tests — but large batches are fanned across a scoped
-/// worker pool so dirty-leaf hashing scales with cores.  The worker count
-/// adapts to the batch ([`batch_workers_for`]): a tiny dirty set never pays
-/// for threads it cannot feed.
+/// output, checked by tests — but large batches are fanned across the
+/// long-lived [`global_pool`] so dirty-leaf hashing scales with cores without
+/// paying a thread spawn per batch.  The part count adapts to the batch
+/// ([`batch_workers_for`]): a tiny dirty set never pays for coordination it
+/// cannot feed.
 pub fn sha256_batch(inputs: &[&[u8]]) -> Vec<Digest> {
     let workers = batch_workers_for(inputs);
     if workers <= 1 {
         return inputs.iter().map(|data| sha256(data)).collect();
     }
-    let mut out = vec![Digest([0u8; 32]); inputs.len()];
-    // Contiguous ranges, remainder spread over the first workers, so every
-    // output slot is written exactly once and order is preserved.
-    let per = inputs.len() / workers;
-    let rem = inputs.len() % workers;
-    std::thread::scope(|scope| {
-        let mut rest_in = inputs;
-        let mut rest_out = out.as_mut_slice();
-        for w in 0..workers {
-            let take = per + usize::from(w < rem);
-            let (work_in, tail_in) = rest_in.split_at(take);
-            let (work_out, tail_out) = rest_out.split_at_mut(take);
-            rest_in = tail_in;
-            rest_out = tail_out;
-            scope.spawn(move || {
-                for (slot, data) in work_out.iter_mut().zip(work_in) {
-                    *slot = sha256(data);
-                }
-            });
-        }
-    });
-    out
+    global_pool().hash_batch(inputs, workers)
 }
 
 #[cfg(test)]
@@ -154,5 +392,61 @@ mod tests {
         let two = slices_of(2, 10 * MIN_BYTES_PER_WORKER);
         let refs: Vec<&[u8]> = two.iter().map(|v| v.as_slice()).collect();
         assert!(batch_workers_for(&refs) <= 2);
+    }
+
+    #[test]
+    fn pool_output_matches_serial_for_every_part_count() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<Vec<u8>> = (0..97).map(|i| vec![i as u8; 1 + (i % 50)]).collect();
+        let slices: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial: Vec<Digest> = slices.iter().map(|s| sha256(s)).collect();
+        // Part counts below, at, and beyond both the pool size and the
+        // input count; all must concatenate back in input order.
+        for parts in [1usize, 2, 3, 4, 8, 97, 200] {
+            assert_eq!(pool.hash_batch(&slices, parts), serial, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn pool_reuses_threads_and_counts_occupancy() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                workers: 2,
+                ..PoolStats::default()
+            }
+        );
+        let data: Vec<Vec<u8>> = (0..256).map(|i| vec![i as u8; 512]).collect();
+        let slices: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        for _ in 0..5 {
+            pool.hash_batch(&slices, 3);
+        }
+        let stats = pool.stats();
+        // 3 parts per batch = 2 dispatched jobs (the caller hashes part 0).
+        assert_eq!(stats.batches, 5);
+        assert_eq!(stats.jobs, 10);
+        assert!(stats.peak_busy >= 1 && stats.peak_busy <= 2);
+        // Serial fast path never touches the queue.
+        pool.hash_batch(&slices[..1], 1);
+        assert_eq!(pool.stats().batches, 5);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_reports_stats() {
+        let before = global_pool_stats();
+        assert!(before.workers >= 1);
+        let data: Vec<Vec<u8>> = (0..4 * MIN_PER_WORKER)
+            .map(|i| vec![i as u8; 512])
+            .collect();
+        let slices: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let out = sha256_batch(&slices);
+        assert_eq!(out[7], sha256(&data[7]));
+        let after = global_pool_stats();
+        assert_eq!(after.workers, before.workers);
+        if batch_workers_for(&slices) > 1 {
+            assert!(after.batches > before.batches);
+        }
     }
 }

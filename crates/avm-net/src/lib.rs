@@ -13,8 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eventloop;
 pub mod net;
 pub mod stats;
 
+pub use eventloop::{run_event_loop, Endpoint, EventLoopReport};
 pub use net::{Delivery, LinkConfig, NodeId, SimNet};
 pub use stats::{NodeStats, TrafficReport};

@@ -24,15 +24,26 @@
 //! the section stream) encode themselves and travel here as bytes.  Log
 //! entries travel as one encoded `LogEntry` per element for the same reason.
 //!
-//! # Envelopes and retransmission
+//! # Envelopes, sessions, and retransmission
 //!
 //! On a lossy transport, requests are retransmitted on timeout, so a
-//! response must be matchable to the request that caused it.
-//! [`seal_message`] wraps an encoded message in `varint request-id ||
-//! message`, framed with the checksummed [`crate::frame`] format;
-//! [`open_message`] reverses it.  A receiver discards frames whose
-//! request id does not match the exchange it is waiting on (stale
-//! responses to a retransmitted request).
+//! response must be matchable to the request that caused it — and a
+//! provider serving many concurrent auditors must know *which* auditor's
+//! request-id space a frame belongs to.  [`seal_session_message`] wraps an
+//! encoded message in `varint session-id || varint request-id || message`,
+//! framed with the checksummed [`crate::frame`] format;
+//! [`open_session_message`] reverses it.  Request ids are scoped to their
+//! session: two sessions may both be on request 3 without ambiguity.  A
+//! receiver discards frames whose (session, request) pair does not match an
+//! exchange it is waiting on (stale responses to a retransmitted request).
+//!
+//! Single-session transports use the [`seal_message`] / [`open_message`]
+//! wrappers, which pin the session id to [`CLIENT_SESSION`] — a fleet
+//! session sealing with the same id is therefore *byte-identical* on the
+//! wire to the single-client path, which is what lets the fleet refactor
+//! pin its N=1 run against the legacy transport.  [`seal_encoded_message`]
+//! seals an already-encoded message body, so a provider can serve one
+//! cached response encoding to many sessions without re-encoding it.
 
 use crate::blob::{BlobRequest, BlobResponse};
 use crate::frame::{read_frame, write_frame};
@@ -257,12 +268,18 @@ impl Decode for AuditResponse {
     }
 }
 
-/// Seals `message` into one transport packet: `request_id || message`,
-/// wrapped in a checksummed frame ([`crate::frame`]).  The same sealing is
-/// used in both directions; a response carries the id of the request it
-/// answers.
-pub fn seal_message<M: Encode>(request_id: u64, message: &M) -> Vec<u8> {
+/// The session id used by single-session transports (the [`seal_message`] /
+/// [`open_message`] compatibility wrappers).  Fleet sessions count up from
+/// this value, so auditor #0 of a fleet is wire-identical to a lone client.
+pub const CLIENT_SESSION: u64 = 1;
+
+/// Seals `message` into one transport packet: `session_id || request_id ||
+/// message`, wrapped in a checksummed frame ([`crate::frame`]).  The same
+/// sealing is used in both directions; a response carries the session and
+/// request ids of the request it answers.
+pub fn seal_session_message<M: Encode>(session_id: u64, request_id: u64, message: &M) -> Vec<u8> {
     let mut w = Writer::new();
+    w.put_varint(session_id);
     w.put_varint(request_id);
     message.encode(&mut w);
     let payload = w.into_bytes();
@@ -271,19 +288,53 @@ pub fn seal_message<M: Encode>(request_id: u64, message: &M) -> Vec<u8> {
     packet
 }
 
-/// Opens a packet produced by [`seal_message`], returning the request id and
-/// the decoded message.  Fails on framing corruption, truncation, trailing
-/// bytes, or an undecodable message.
-pub fn open_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, M)> {
+/// Seals an *already-encoded* message body under a session envelope —
+/// byte-identical to [`seal_session_message`] over the message that produced
+/// `encoded`.  This is what lets a provider cache one response encoding and
+/// serve it to many sessions without re-encoding (or re-hashing) it.
+pub fn seal_encoded_message(session_id: u64, request_id: u64, encoded: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_varint(session_id);
+    w.put_varint(request_id);
+    w.put_raw(encoded);
+    let payload = w.into_bytes();
+    let mut packet = Vec::with_capacity(payload.len() + 8);
+    write_frame(&mut packet, &payload);
+    packet
+}
+
+/// Opens a packet produced by [`seal_session_message`], returning the
+/// session id, request id, and decoded message.  Fails on framing
+/// corruption, truncation, trailing bytes, or an undecodable message.
+pub fn open_session_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, u64, M)> {
     let (payload, consumed) = read_frame(packet).map_err(|_| WireError::Corrupt("audit frame"))?;
     if consumed != packet.len() {
         return Err(WireError::TrailingBytes(packet.len() - consumed));
     }
     let mut r = Reader::new(payload);
+    let session_id = r.get_varint()?;
     let request_id = r.get_varint()?;
     let message = M::decode(&mut r)?;
     if r.remaining() != 0 {
         return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok((session_id, request_id, message))
+}
+
+/// Seals `message` under the fixed [`CLIENT_SESSION`] id — the
+/// single-session transport wrapper.
+pub fn seal_message<M: Encode>(request_id: u64, message: &M) -> Vec<u8> {
+    seal_session_message(CLIENT_SESSION, request_id, message)
+}
+
+/// Opens a packet sealed under [`CLIENT_SESSION`], returning the request id
+/// and the decoded message.  A packet from any other session is rejected as
+/// corrupt-for-this-receiver: single-session transports never share a link
+/// with fleet sessions.
+pub fn open_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, M)> {
+    let (session_id, request_id, message) = open_session_message(packet)?;
+    if session_id != CLIENT_SESSION {
+        return Err(WireError::Corrupt("unexpected audit session"));
     }
     Ok((request_id, message))
 }
@@ -398,6 +449,7 @@ mod tests {
         // A sealed Manifest request with an extra byte inside the frame
         // payload decodes the message but must reject the leftovers.
         let mut w = Writer::new();
+        w.put_varint(CLIENT_SESSION);
         w.put_varint(5u64);
         AuditRequest::Manifest { snapshot_id: 1 }.encode(&mut w);
         w.put_u8(0xee);
@@ -407,5 +459,34 @@ mod tests {
             open_message::<AuditRequest>(&packet).unwrap_err(),
             WireError::TrailingBytes(1)
         ));
+    }
+
+    #[test]
+    fn session_seal_open_roundtrip() {
+        let resp = AuditResponse::Sections {
+            stream: vec![7u8; 33],
+        };
+        let packet = seal_session_message(42, 9, &resp);
+        let (session, id, opened): (u64, u64, AuditResponse) =
+            open_session_message(&packet).unwrap();
+        assert_eq!((session, id), (42, 9));
+        assert_eq!(opened, resp);
+        // The single-session opener rejects foreign sessions...
+        assert!(open_message::<AuditResponse>(&packet).is_err());
+        // ...and the single-session sealer is exactly session CLIENT_SESSION.
+        let compat = seal_message(9, &resp);
+        assert_eq!(compat, seal_session_message(CLIENT_SESSION, 9, &resp));
+    }
+
+    #[test]
+    fn sealing_encoded_bytes_matches_sealing_the_message() {
+        let resp = AuditResponse::Manifest {
+            manifest: vec![1, 2, 3, 4],
+        };
+        let encoded = resp.encode_to_vec();
+        assert_eq!(
+            seal_encoded_message(3, 11, &encoded),
+            seal_session_message(3, 11, &resp)
+        );
     }
 }

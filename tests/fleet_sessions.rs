@@ -1,0 +1,204 @@
+//! Fleet-auditing equivalence properties: N concurrent sessionful auditors
+//! interleaved on one provider node must be *observationally serial* — every
+//! session reaches the same report a lone `SimNetTransport` client would
+//! have, under arbitrary write/snapshot interleavings, chunk choices,
+//! download modes, deterministic link loss, and arbitrary session
+//! interleavings (inter-arrival gaps, provider fan-out).
+
+use avm_core::config::AvmmOptions;
+use avm_core::endpoint::{AuditClient, AuditServer, SimNetTransport};
+use avm_core::envelope::{Envelope, EnvelopeKind};
+use avm_core::fleet::{run_fleet, FleetConfig};
+use avm_core::recorder::{Avmm, HostClock};
+use avm_crypto::keys::{SignatureScheme, SigningKey};
+use avm_net::LinkConfig;
+use avm_vm::bytecode::assemble;
+use avm_vm::packet::encode_guest_packet;
+use avm_vm::{GuestRegistry, VmImage};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Records a worker AVMM whose state diverges with every packet, taking
+/// snapshots where the workload says so (at least one).  Returns the
+/// recorder and the number of snapshots taken.
+fn record_workload(
+    image: &VmImage,
+    registry: &GuestRegistry,
+    workload: &[(u8, bool)],
+) -> (Avmm, u64) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let operator_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+    let alice_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+    let mut avmm = Avmm::new(
+        "bob",
+        image,
+        registry,
+        operator_key,
+        AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+    )
+    .unwrap();
+    avmm.add_peer("alice", alice_key.verifying_key());
+    let mut clock = HostClock::at(5);
+    avmm.run_slice(&clock, 10_000).unwrap();
+    let mut snapshots_taken = 0u64;
+    for (i, (sel, snap)) in workload.iter().enumerate() {
+        clock.advance_to(clock.now() + 500);
+        let payload = encode_guest_packet("alice", &[b'w', *sel, i as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            i as u64 + 1,
+            payload,
+            &alice_key,
+            None,
+        );
+        avmm.deliver(&env).unwrap();
+        avmm.run_slice(&clock, 100_000).unwrap();
+        if *snap {
+            avmm.take_snapshot();
+            snapshots_taken += 1;
+        }
+    }
+    if snapshots_taken == 0 {
+        avmm.take_snapshot();
+        snapshots_taken = 1;
+    }
+    (avmm, snapshots_taken)
+}
+
+fn worker_image() -> VmImage {
+    let src = r"
+            movi r1, 0x8000
+            movi r2, 512
+            movi r5, 0x9000
+        loop:
+            clock r4
+            recv r0, r1, r2
+            cmp r0, r6
+            jne got
+            idle
+            jmp loop
+        got:
+            load r3, r5
+            add r3, r0
+            store r3, r5
+            movi r7, 0
+            movi r8, 8
+            diskwr r7, r5, r8
+            send r1, r0
+            jmp loop
+        ";
+    VmImage::bytecode("fleet-prop", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
+        .with_disk(vec![0u8; 8192])
+}
+
+proptest! {
+    // Every case records a full AVMM session (RSA keygen + signing) and then
+    // replays the checked chunk once per auditor, so the case count is kept
+    // small; the interleavings inside each case are what the property
+    // quantifies over.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (1) A single-session fleet run is *field-identical* (full `==`,
+    /// transport timings included) to the blocking `SimNetTransport` client.
+    /// (2) With N interleaved sessions across M providers, every session's
+    /// report is semantically identical to that serial baseline — same
+    /// verdict, fault, replay progress, transfer accounting and fetched
+    /// digests — for any inter-arrival gap and link-loss pattern.
+    /// (3) The shared response cache pays each cacheable encoding once per
+    /// provider: exactly 2 misses (log chunk + manifest-or-sections), and
+    /// every further serve of those keys is a hit.
+    #[test]
+    fn interleaved_fleet_sessions_match_serial_client(
+        workload in proptest::collection::vec((0u8..6, any::<bool>()), 2..6),
+        start_pick in any::<u8>(),
+        k in 1u64..3,
+        loss_pick in 0usize..4,
+        on_demand in any::<bool>(),
+        auditors in 2usize..6,
+        providers in 1usize..3,
+        gap_pick in 0usize..4,
+    ) {
+        let image = worker_image();
+        let registry = GuestRegistry::new();
+        let (avmm, snapshots_taken) = record_workload(&image, &registry, &workload);
+        let start = start_pick as u64 % snapshots_taken;
+        // drop_every = 1 would drop *every* packet (a black hole); quantify
+        // over lossless and partial-loss links.
+        let drop_every = [0u64, 2, 3, 5][loss_pick];
+        let link = LinkConfig { drop_every, ..LinkConfig::default() };
+        let inter_arrival_us = [0u64, 130, 500, 1_700][gap_pick];
+
+        // Serial baseline: one blocking client over its own simulated link.
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(avmm.log(), avmm.snapshots()),
+            link,
+        ));
+        let baseline = if on_demand {
+            client.spot_check_on_demand(start, k, &image, &registry).unwrap()
+        } else {
+            client.spot_check(start, k, &image, &registry).unwrap()
+        };
+
+        // (1) N=1: the sessionful event-loop path must be indistinguishable
+        // down to every retransmission count and microsecond.
+        let single = run_fleet(avmm.log(), avmm.snapshots(), &image, &registry, &FleetConfig {
+            link,
+            auditors: 1,
+            start_snapshot: start,
+            chunk: k,
+            on_demand,
+            ..FleetConfig::default()
+        });
+        prop_assert!(single.event_loop.quiescent);
+        let single_report = single.reports[0].as_ref().unwrap();
+        prop_assert_eq!(single_report, &baseline);
+
+        // (2) N interleaved sessions across M providers.
+        let config = FleetConfig {
+            link,
+            auditors,
+            providers,
+            inter_arrival_us,
+            start_snapshot: start,
+            chunk: k,
+            on_demand,
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(avmm.log(), avmm.snapshots(), &image, &registry, &config);
+        prop_assert!(outcome.event_loop.quiescent);
+        prop_assert_eq!(outcome.reports.len(), auditors);
+        prop_assert_eq!(outcome.latencies_us.len(), auditors);
+        for report in &outcome.reports {
+            let report = report.as_ref().unwrap();
+            prop_assert_eq!(baseline.semantic(), report.semantic());
+            if drop_every == 0 {
+                prop_assert_eq!(report.transport.retransmissions, 0);
+            }
+            prop_assert!(report.transport.round_trips >= 1);
+        }
+
+        // (3) Shared-cache accounting: each provider with at least one
+        // session encodes the two cacheable responses once; every further
+        // serve (other sessions, loss-induced re-requests) hits the cache.
+        let active = providers.min(auditors) as u64;
+        let mut hits = 0;
+        for stats in &outcome.providers {
+            if stats.sessions_created == 0 {
+                prop_assert_eq!(stats.cache.misses, 0);
+                continue;
+            }
+            prop_assert_eq!(stats.cache.entries, 2);
+            prop_assert_eq!(stats.cache.misses, 2);
+            hits += stats.cache.hits;
+        }
+        prop_assert!(
+            hits >= 2 * (auditors as u64 - active),
+            "expected at least {} shared-cache hits, saw {}",
+            2 * (auditors as u64 - active),
+            hits
+        );
+    }
+}
