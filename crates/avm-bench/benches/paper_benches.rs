@@ -278,6 +278,89 @@ fn bench_parallel_chunk_hashing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The raw-speed crypto floor, each optimised core against the reference it
+/// replaced: multi-buffer SHA-256 versus the scalar loop on 512 B chunk
+/// leaves, the 64-bit-limb Montgomery RSA-768 signer versus the retained
+/// 32-bit-limb dispatch, and borrowed-slice audit-response decoding versus
+/// the owned decode.  Every pair asserts bit-identity before timing.
+fn bench_crypto_floor(c: &mut Criterion) {
+    use avm_crypto::rsa::RsaKeyPair;
+    use avm_crypto::sha256::{sha256, sha256_multi};
+    use avm_vm::CHUNK_SIZE;
+    use avm_wire::audit::seal_session_message;
+    use avm_wire::{AuditResponse, AuditResponseRef, BlobResponse, Decode};
+
+    let mut group = c.benchmark_group("crypto_floor");
+    group.sample_size(10);
+
+    // Multi-buffer SHA-256 on the Merkle leaf shape (512 B chunks).
+    let chunks: Vec<Vec<u8>> = (0..4096usize)
+        .map(|i| {
+            (0..CHUNK_SIZE)
+                .map(|j| (i * 131 + j * 11) as u8)
+                .collect::<Vec<u8>>()
+        })
+        .collect();
+    let slices: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let scalar: Vec<_> = slices.iter().map(|s| sha256(s)).collect();
+    assert_eq!(
+        sha256_multi(&slices),
+        scalar,
+        "multi-buffer lanes must be bit-identical to scalar SHA-256"
+    );
+    group.bench_function("sha256_scalar_4096x512B", |b| {
+        b.iter(|| slices.iter().map(|s| sha256(s)).collect::<Vec<_>>())
+    });
+    group.bench_function("sha256_multibuffer_4096x512B", |b| {
+        b.iter(|| sha256_multi(&slices))
+    });
+
+    // RSA-768 CRT signing: 64-bit limbs versus the 32-bit reference.
+    let mut rng = StdRng::seed_from_u64(64);
+    let kp = RsaKeyPair::generate(&mut rng, 768);
+    let digest = sha256(b"crypto floor signer");
+    assert_eq!(
+        kp.private.sign_digest(&digest),
+        kp.private.sign_digest_ref32(&digest),
+        "64-bit Montgomery signature must be bit-identical to the 32-bit reference"
+    );
+    group.bench_function("rsa768_sign_montgomery64", |b| {
+        b.iter(|| kp.private.sign_digest(&digest))
+    });
+    group.bench_function("rsa768_sign_montgomery32_ref", |b| {
+        b.iter(|| kp.private.sign_digest_ref32(&digest))
+    });
+
+    // Zero-copy wire frames: peel a sealed 64-blob response with the
+    // borrowed decoder versus the owned one.
+    let response = AuditResponse::Blobs(BlobResponse {
+        blobs: chunks[..64].iter().map(|c| Some(c.clone())).collect(),
+    });
+    let packet = seal_session_message(1, 7, &response);
+    let body = &packet[..];
+    let borrowed_body = {
+        let (_, _, body) = avm_wire::open_session_frame(body).unwrap();
+        body
+    };
+    assert_eq!(
+        AuditResponseRef::decode_exact(borrowed_body)
+            .unwrap()
+            .to_owned(),
+        AuditResponse::decode_exact(borrowed_body).unwrap(),
+        "borrowed decode must agree with owned decode"
+    );
+    group.bench_function("audit_response_decode_owned_64x512B", |b| {
+        b.iter(|| AuditResponse::decode_exact(borrowed_body).unwrap())
+    });
+    group.bench_function("audit_response_decode_borrowed_64x512B", |b| {
+        b.iter(|| AuditResponseRef::decode_exact(borrowed_body).unwrap())
+    });
+    group.bench_function("seal_session_message_64x512B", |b| {
+        b.iter(|| seal_session_message(1, 7, &response))
+    });
+    group.finish();
+}
+
 /// Durable-store substrate: `Provider::recover` — scan and chain-verify the
 /// segment files, rebuild the snapshot store from persisted manifests,
 /// replay the log tail with root verification — from the storage image a
@@ -332,6 +415,7 @@ criterion_group!(
     bench_fig7_framerate,
     bench_fig6_snapshot_incremental,
     bench_parallel_chunk_hashing,
+    bench_crypto_floor,
     bench_snapshot_dedup,
     bench_fig9_spotcheck,
     bench_netaudit,

@@ -74,16 +74,36 @@ fn main() {
                 experiments::exp_spotcheck(quick);
             }
             "fig6inc" | "snapshotinc" | "incremental" => {
-                experiments::exp_snapshot_incremental(quick);
+                let r = experiments::exp_snapshot_incremental(quick);
+                write_bench(
+                    "fig6inc",
+                    "BENCH_fig6inc.json",
+                    &experiments::fig6inc_metrics(&r, quick),
+                );
             }
             "dedup" | "cas" | "snapshotdedup" => {
-                experiments::exp_snapshot_dedup(quick);
+                let r = experiments::exp_snapshot_dedup(quick);
+                write_bench(
+                    "dedup",
+                    "BENCH_dedup.json",
+                    &experiments::dedup_metrics(&r, quick),
+                );
             }
             "ondemand" | "sec3.5" | "partialstate" => {
-                experiments::exp_ondemand(quick);
+                let r = experiments::exp_ondemand(quick);
+                write_bench(
+                    "ondemand",
+                    "BENCH_ondemand.json",
+                    &experiments::ondemand_metrics(&r, quick),
+                );
             }
             "chunked" | "subpage" | "chunks" => {
-                experiments::exp_chunked(quick);
+                let r = experiments::exp_chunked(quick);
+                write_bench(
+                    "chunked",
+                    "BENCH_chunked.json",
+                    &experiments::chunked_metrics(&r, quick),
+                );
             }
             "netaudit" | "netcheck" | "endpoints" => {
                 let r = experiments::exp_netaudit(quick);

@@ -2106,6 +2106,90 @@ pub fn exp_persist(quick: bool) -> PersistResult {
     }
 }
 
+/// Flattens the [`SnapshotIncRow`]s into the `BENCH_fig6inc.json` trajectory
+/// metrics.  Per-row timings are host wall time, hence `wall_` keys; the
+/// configuration columns pin the experiment's shape exactly.
+pub fn fig6inc_metrics(rows: &[SnapshotIncRow], quick: bool) -> Vec<(String, u64)> {
+    let mut m = vec![
+        ("ok_quick".to_string(), quick as u64),
+        ("ok_rows".to_string(), rows.len() as u64),
+    ];
+    for row in rows {
+        let label = format!("p{}_d{}", row.pages, row.dirty_per_snapshot);
+        m.push((format!("wall_{label}_full_us"), row.full_us as u64));
+        m.push((
+            format!("wall_{label}_incremental_us"),
+            row.incremental_us as u64,
+        ));
+        m.push((
+            format!("wall_{label}_speedup_x10"),
+            (row.speedup * 10.0) as u64,
+        ));
+    }
+    m
+}
+
+/// Flattens a [`SnapshotDedupResult`] into the `BENCH_dedup.json` trajectory
+/// metrics.  Everything here is deterministic byte accounting: the stored and
+/// transfer sizes are the §6.12 claims themselves, so any drift is a real
+/// storage-efficiency regression.
+pub fn dedup_metrics(r: &SnapshotDedupResult, quick: bool) -> Vec<(String, u64)> {
+    vec![
+        ("ok_quick".into(), quick as u64),
+        ("ok_captures".into(), r.captures as u64),
+        (
+            "ok_idle_captures_free".into(),
+            (r.stored_bytes == r.stored_before_idle) as u64,
+        ),
+        ("logical_bytes".into(), r.logical_bytes),
+        ("stored_bytes".into(), r.stored_bytes),
+        ("transfer_raw".into(), r.transfer_raw),
+        ("transfer_compressed".into(), r.transfer_compressed),
+    ]
+}
+
+/// Flattens an [`OnDemandResult`] into the `BENCH_ondemand.json` trajectory
+/// metrics: the three download models' byte counts (all simulated, hence
+/// deterministic) plus the §3.5 correctness bits.
+pub fn ondemand_metrics(r: &OnDemandResult, quick: bool) -> Vec<(String, u64)> {
+    vec![
+        ("ok_quick".into(), quick as u64),
+        ("ok_verdicts_agree".into(), r.verdicts_agree as u64),
+        ("ok_warm_refetches".into(), r.warm_refetches),
+        ("snapshots".into(), r.snapshots),
+        ("full_raw".into(), r.full_raw),
+        ("full_compressed".into(), r.full_compressed),
+        ("dedup_raw".into(), r.dedup_raw),
+        ("dedup_compressed".into(), r.dedup_compressed),
+        ("ondemand_raw".into(), r.ondemand_raw),
+        ("ondemand_compressed".into(), r.ondemand_compressed),
+        ("chunks_faulted".into(), r.chunks_faulted),
+    ]
+}
+
+/// Flattens a [`ChunkedResult`] into the `BENCH_chunked.json` trajectory
+/// metrics: chunk- vs page-granular bytes at every pipeline stage and the
+/// batched blob-exchange round-trip accounting.  (`pruned_freed_bytes` is
+/// deliberately not pinned: freeing *more* is an improvement the cost
+/// convention would misread as a regression.)
+pub fn chunked_metrics(r: &ChunkedResult, quick: bool) -> Vec<(String, u64)> {
+    vec![
+        ("ok_quick".into(), quick as u64),
+        ("ok_verdicts_agree".into(), r.verdicts_agree as u64),
+        ("snapshots".into(), r.snapshots),
+        ("chunk_logical_bytes".into(), r.chunk_logical_bytes),
+        ("page_logical_bytes".into(), r.page_logical_bytes),
+        ("chunk_stored_bytes".into(), r.chunk_stored_bytes),
+        ("page_stored_bytes".into(), r.page_stored_bytes),
+        ("chunk_ondemand_bytes".into(), r.chunk_ondemand_bytes),
+        ("page_ondemand_bytes".into(), r.page_ondemand_bytes),
+        ("rtts_batched".into(), r.rtts_batched),
+        ("rtts_unbatched".into(), r.rtts_unbatched),
+        ("latency_batched_us".into(), r.latency_batched_us),
+        ("latency_unbatched_us".into(), r.latency_unbatched_us),
+    ]
+}
+
 /// Flattens a [`PersistResult`] into the `BENCH_persist.json` trajectory
 /// metrics (see the `trajectory` module docs for the key conventions).
 pub fn persist_metrics(r: &PersistResult, quick: bool) -> Vec<(String, u64)> {

@@ -77,7 +77,10 @@ use avm_crypto::sha256::Digest;
 use avm_log::{LogEntry, LogSource, TamperEvidentLog};
 use avm_net::{LinkConfig, NodeId, SimNet};
 use avm_vm::{GuestRegistry, VmImage};
-use avm_wire::audit::{open_message, seal_message, AuditRequest, AuditResponse, SegmentAddress};
+use avm_wire::audit::{
+    open_message, open_session_frame, seal_message, AuditRequest, AuditResponse, SegmentAddress,
+    CLIENT_SESSION,
+};
 use avm_wire::{BlobRequest, BlobResponse, Decode, Encode, RttModel};
 
 use crate::audit::{audit_log, AuditReport};
@@ -542,10 +545,20 @@ impl AuditTransport for SimNetTransport<'_> {
                     deadline = next_at;
                 }
                 for delivery in self.net.advance_to(next_at) {
+                    // Both directions peek the session envelope first
+                    // (borrowed, no copy): ids are matched before any
+                    // message body — possibly a multi-megabyte sections
+                    // stream on a stale duplicate — is decoded.
+                    let Ok((sid, rid, body)) = open_session_frame(&delivery.payload) else {
+                        continue;
+                    };
+                    if sid != CLIENT_SESSION {
+                        continue;
+                    }
                     if delivery.to == self.provider {
                         // The provider answers every (possibly duplicated)
                         // request it can decode, statelessly.
-                        if let Ok((rid, req)) = open_message::<AuditRequest>(&delivery.payload) {
+                        if let Ok(req) = AuditRequest::decode_exact(body) {
                             let response = self.server.handle(&req);
                             let _ = self.net.send(
                                 self.provider,
@@ -554,13 +567,12 @@ impl AuditTransport for SimNetTransport<'_> {
                             );
                         }
                     } else if delivery.to == self.auditor {
-                        let Ok((rid, response)) = open_message::<AuditResponse>(&delivery.payload)
-                        else {
-                            continue;
-                        };
                         if rid != request_id {
                             continue; // stale response to an older exchange
                         }
+                        let Ok(response) = AuditResponse::decode_exact(body) else {
+                            continue;
+                        };
                         self.stats.round_trips += 1;
                         self.stats.response_bytes += delivery.payload.len() as u64;
                         self.stats.elapsed_micros += self.net.now() - started_at;
@@ -596,19 +608,12 @@ impl<T: AuditTransport> BlobProvider for TransportBlobs<'_, T> {
         match self.0.exchange(&AuditRequest::Blobs(request.clone()))? {
             AuditResponse::Blobs(response) => Ok(response),
             AuditResponse::Error { message } => Err(CoreError::Snapshot(message)),
-            other => Err(protocol_violation("Blobs", &other)),
+            other => Err(protocol_violation("Blobs", other.variant_name())),
         }
     }
 }
 
-pub(crate) fn protocol_violation(expected: &str, got: &AuditResponse) -> CoreError {
-    let got = match got {
-        AuditResponse::Manifest { .. } => "Manifest",
-        AuditResponse::Blobs(_) => "Blobs",
-        AuditResponse::LogSegment { .. } => "LogSegment",
-        AuditResponse::Sections { .. } => "Sections",
-        AuditResponse::Error { .. } => "Error",
-    };
+pub(crate) fn protocol_violation(expected: &str, got: &str) -> CoreError {
     CoreError::Snapshot(format!(
         "audit protocol violation: expected {expected} response, got {got}"
     ))
@@ -676,7 +681,7 @@ impl<T: AuditTransport> AuditClient<T> {
         match self.request(&AuditRequest::Manifest { snapshot_id })? {
             AuditResponse::Manifest { manifest } => ChainManifest::decode_exact(&manifest)
                 .map_err(|e| CoreError::Snapshot(format!("manifest does not decode: {e}"))),
-            other => Err(protocol_violation("Manifest", &other)),
+            other => Err(protocol_violation("Manifest", other.variant_name())),
         }
     }
 
@@ -694,7 +699,7 @@ impl<T: AuditTransport> AuditClient<T> {
             AuditResponse::LogSegment { prev_hash, entries } => {
                 Ok((Digest(prev_hash), decode_entries(&entries)?))
             }
-            other => Err(protocol_violation("LogSegment", &other)),
+            other => Err(protocol_violation("LogSegment", other.variant_name())),
         }
     }
 
@@ -711,7 +716,7 @@ impl<T: AuditTransport> AuditClient<T> {
             chunk,
         }))? {
             AuditResponse::LogSegment { entries, .. } => decode_entries(&entries),
-            other => Err(protocol_violation("LogSegment", &other)),
+            other => Err(protocol_violation("LogSegment", other.variant_name())),
         }
     }
 
@@ -720,7 +725,7 @@ impl<T: AuditTransport> AuditClient<T> {
     pub fn fetch_sections(&mut self, upto_id: u64) -> Result<Vec<u8>, CoreError> {
         match self.request(&AuditRequest::Sections { upto_id })? {
             AuditResponse::Sections { stream } => Ok(stream),
-            other => Err(protocol_violation("Sections", &other)),
+            other => Err(protocol_violation("Sections", other.variant_name())),
         }
     }
 
@@ -939,11 +944,11 @@ impl<T: AuditTransport> AuditClient<T> {
     }
 }
 
-pub(crate) fn decode_entries(encoded: &[Vec<u8>]) -> Result<Vec<LogEntry>, CoreError> {
+pub(crate) fn decode_entries<B: AsRef<[u8]>>(encoded: &[B]) -> Result<Vec<LogEntry>, CoreError> {
     encoded
         .iter()
         .map(|bytes| {
-            LogEntry::decode_exact(bytes)
+            LogEntry::decode_exact(bytes.as_ref())
                 .map_err(|e| CoreError::Snapshot(format!("log entry does not decode: {e}")))
         })
         .collect()

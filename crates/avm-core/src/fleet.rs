@@ -43,8 +43,8 @@ use avm_net::{
 };
 use avm_vm::{GuestRegistry, VmImage};
 use avm_wire::audit::{
-    open_session_message, seal_encoded_message, seal_session_message, AuditRequest, AuditResponse,
-    SegmentAddress, CLIENT_SESSION,
+    open_session_frame, open_session_message, seal_encoded_message, seal_session_message,
+    AuditRequest, AuditResponseRef, SegmentAddress, CLIENT_SESSION,
 };
 use avm_wire::{BlobRequest, Decode, Encode, DEFAULT_BLOB_BATCH};
 
@@ -53,7 +53,7 @@ use crate::endpoint::{
 };
 use crate::error::CoreError;
 use crate::ondemand::{
-    operator_missing, verify_blob, AuditorBlobCache, BlobFetch, ChainManifest, DedupTransfer,
+    operator_missing, verify_blob_batch, AuditorBlobCache, BlobFetch, ChainManifest, DedupTransfer,
     FaultClassification, OnDemandSession,
 };
 use crate::replay::{ReplayOutcome, ReplaySummary, Replayer};
@@ -544,16 +544,17 @@ impl<'a> FleetAuditor<'a> {
         self.finished_at_us = Some(now);
     }
 
-    /// Advances the state machine with an accepted response.  `Err` ends the
-    /// session (the caller records it).
+    /// Advances the state machine with an accepted response (borrowed from
+    /// the delivered packet — bulk payloads are only copied where they are
+    /// kept).  `Err` ends the session (the caller records it).
     fn handle_response(
         &mut self,
         net: &mut SimNet,
-        response: AuditResponse,
+        response: AuditResponseRef<'_>,
     ) -> Result<(), CoreError> {
         // Provider-side errors surface as CoreError, like AuditClient.
-        if let AuditResponse::Error { message } = response {
-            return Err(CoreError::Snapshot(message));
+        if let AuditResponseRef::Error { message } = response {
+            return Err(CoreError::Snapshot(message.to_string()));
         }
         match std::mem::replace(&mut self.phase, Phase::Done) {
             Phase::Chunk => self.on_chunk(net, response),
@@ -570,10 +571,14 @@ impl<'a> FleetAuditor<'a> {
         }
     }
 
-    fn on_chunk(&mut self, net: &mut SimNet, response: AuditResponse) -> Result<(), CoreError> {
+    fn on_chunk(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponseRef<'_>,
+    ) -> Result<(), CoreError> {
         let encoded_entries = match response {
-            AuditResponse::LogSegment { entries, .. } => entries,
-            other => return Err(protocol_violation("LogSegment", &other)),
+            AuditResponseRef::LogSegment { entries, .. } => entries,
+            other => return Err(protocol_violation("LogSegment", other.variant_name())),
         };
         let entries = decode_entries(&encoded_entries)?;
         let log_cost = CompressionStats::measure_stream(
@@ -630,13 +635,15 @@ impl<'a> FleetAuditor<'a> {
     fn on_sections(
         &mut self,
         net: &mut SimNet,
-        response: AuditResponse,
+        response: AuditResponseRef<'_>,
         entries: Vec<LogEntry>,
         log_cost: TransferCost,
     ) -> Result<(), CoreError> {
+        // The stream is measured straight from the packet buffer — the
+        // full-dump column never materializes an owned copy of it.
         let stream = match response {
-            AuditResponse::Sections { stream } => stream,
-            other => return Err(protocol_violation("Sections", &other)),
+            AuditResponseRef::Sections { stream } => stream,
+            other => return Err(protocol_violation("Sections", other.variant_name())),
         };
         debug_assert_eq!(
             stream.len() as u64,
@@ -644,7 +651,7 @@ impl<'a> FleetAuditor<'a> {
                 .transfer_bytes_upto(self.task.start_snapshot),
             "section stream and full-dump accounting diverged"
         );
-        let snapshot_cost = CompressionStats::measure(&stream, TRANSFER_COMPRESSION);
+        let snapshot_cost = CompressionStats::measure(stream, TRANSFER_COMPRESSION);
         let mut replayer = Replayer::from_snapshot(
             self.image,
             self.registry,
@@ -679,16 +686,18 @@ impl<'a> FleetAuditor<'a> {
     fn on_manifest(
         &mut self,
         net: &mut SimNet,
-        response: AuditResponse,
+        response: AuditResponseRef<'_>,
         entries: Vec<LogEntry>,
         log_cost: TransferCost,
         snapshot_cost: TransferCost,
     ) -> Result<(), CoreError> {
+        // Decoded straight from the packet buffer; only the decoded
+        // manifest survives, never an owned copy of its encoding.
         let manifest_bytes = match response {
-            AuditResponse::Manifest { manifest } => manifest,
-            other => return Err(protocol_violation("Manifest", &other)),
+            AuditResponseRef::Manifest { manifest } => manifest,
+            other => return Err(protocol_violation("Manifest", other.variant_name())),
         };
-        let manifest = ChainManifest::decode_exact(&manifest_bytes)
+        let manifest = ChainManifest::decode_exact(manifest_bytes)
             .map_err(|e| CoreError::Snapshot(format!("manifest does not decode: {e}")))?;
         let (mut replayer, session) = Replayer::from_manifest_on_demand(
             manifest,
@@ -744,15 +753,18 @@ impl<'a> FleetAuditor<'a> {
     fn on_blobs(
         &mut self,
         net: &mut SimNet,
-        response: AuditResponse,
+        response: AuditResponseRef<'_>,
         mut exchange: Box<BlobExchange>,
     ) -> Result<(), CoreError> {
         let blob_response = match response {
-            AuditResponse::Blobs(r) => r,
-            other => return Err(protocol_violation("Blobs", &other)),
+            AuditResponseRef::Blobs(r) => r,
+            other => return Err(protocol_violation("Blobs", other.variant_name())),
         };
         let request = &exchange.batches[exchange.next_batch];
-        // Per-blob authentication, exactly the shared protocol step.
+        // Per-blob authentication, exactly the shared protocol step — the
+        // payloads are verified while still borrowed from the packet (one
+        // multi-buffer hash batch per response) and copied only when they
+        // enter the cache.
         if blob_response.blobs.len() != request.digests.len() {
             return Err(CoreError::Snapshot(format!(
                 "blob response carries {} payloads for {} requested digests",
@@ -760,21 +772,20 @@ impl<'a> FleetAuditor<'a> {
                 request.digests.len()
             )));
         }
-        for (raw, blob) in request.digests.iter().zip(&blob_response.blobs) {
-            let digest = Digest(*raw);
-            let payload = blob.as_ref().ok_or_else(|| operator_missing(&digest))?;
-            verify_blob(&digest, payload)?;
+        let digests: Vec<Digest> = request.digests.iter().map(|raw| Digest(*raw)).collect();
+        let mut payloads: Vec<&[u8]> = Vec::with_capacity(digests.len());
+        for (digest, blob) in digests.iter().zip(&blob_response.blobs) {
+            payloads.push(blob.ok_or_else(|| operator_missing(digest))?);
         }
+        verify_blob_batch(&digests, &payloads)?;
         exchange.fetch.round_trips += 1;
         exchange.fetch.request_bytes += request.encoded_len() as u64;
         exchange.fetch.payload_bytes += blob_response.payload_bytes();
         exchange
             .encoded
             .extend_from_slice(&blob_response.encode_to_vec());
-        for (raw, blob) in request.digests.iter().zip(blob_response.blobs) {
-            let digest = Digest(*raw);
-            self.cache
-                .insert_trusted(digest, blob.expect("payload verified"));
+        for (digest, payload) in digests.into_iter().zip(payloads) {
+            self.cache.insert_trusted(digest, payload.to_vec());
             exchange.fetch.fetched.push(digest);
         }
         exchange.next_batch += 1;
@@ -837,14 +848,18 @@ impl Endpoint for FleetAuditor<'_> {
         let Some(pending) = &self.pending else {
             return;
         };
-        let Ok((session_id, request_id, response)) =
-            open_session_message::<AuditResponse>(&delivery.payload)
-        else {
+        // Peek the session envelope without decoding the body: stale
+        // retransmissions from older exchanges are discarded before the
+        // (potentially megabyte-sized) response payload is even parsed.
+        let Ok((session_id, request_id, body)) = open_session_frame(&delivery.payload) else {
             return;
         };
         if session_id != self.session_id || request_id != pending.request_id {
             return; // stale response to an older exchange
         }
+        let Ok(response) = AuditResponseRef::decode_exact(body) else {
+            return;
+        };
         self.stats.round_trips += 1;
         self.stats.response_bytes += delivery.payload.len() as u64;
         self.stats.elapsed_micros += net.now() - pending.started_at;

@@ -47,6 +47,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use avm_compress::{CompressionLevel, CompressionStats};
+use avm_crypto::parallel::sha256_batch;
 use avm_crypto::sha256::{sha256, Digest};
 use avm_vm::{GuestRegistry, Machine, VmImage};
 use avm_wire::{
@@ -332,8 +333,15 @@ impl AuditorBlobCache {
     /// poisoning later audits.
     pub fn from_arena_scan(scan: &avm_store::ArenaScan) -> Result<AuditorBlobCache, CoreError> {
         let mut cache = AuditorBlobCache::new();
-        for (digest, payload) in &scan.blobs {
-            cache.insert_verified(*digest, payload.clone())?;
+        // One batched pass through the multi-buffer hashing pipeline instead
+        // of a scalar hash per recovered blob.
+        let payloads: Vec<&[u8]> = scan.blobs.iter().map(|(_, p)| p.as_slice()).collect();
+        let actual = sha256_batch(&payloads);
+        for ((digest, payload), hash) in scan.blobs.iter().zip(actual) {
+            if hash != *digest {
+                return Err(blob_mismatch(digest));
+            }
+            cache.insert_trusted(*digest, payload.clone());
         }
         Ok(cache)
     }
@@ -352,14 +360,34 @@ pub(crate) fn operator_missing(digest: &Digest) -> CoreError {
     ))
 }
 
+/// Error for a payload that does not hash to the digest it was requested
+/// (or recovered) under.
+fn blob_mismatch(digest: &Digest) -> CoreError {
+    CoreError::Snapshot(format!(
+        "received blob does not hash to its requested digest {}",
+        digest.short_hex()
+    ))
+}
+
 /// The per-blob authentication of the transfer protocol: a received payload
 /// must hash to the digest it was requested under.
 pub(crate) fn verify_blob(digest: &Digest, payload: &[u8]) -> Result<(), CoreError> {
     if sha256(payload) != *digest {
-        return Err(CoreError::Snapshot(format!(
-            "received blob does not hash to its requested digest {}",
-            digest.short_hex()
-        )));
+        return Err(blob_mismatch(digest));
+    }
+    Ok(())
+}
+
+/// Batched form of [`verify_blob`]: hashes every payload through the
+/// multi-buffer SHA-256 lanes ([`sha256_batch`]) and compares each against
+/// the digest it travels under.  One batch per received blob response keeps
+/// the auditor's authentication step on the vectorised hashing floor.
+pub(crate) fn verify_blob_batch(digests: &[Digest], payloads: &[&[u8]]) -> Result<(), CoreError> {
+    debug_assert_eq!(digests.len(), payloads.len());
+    for (digest, hash) in digests.iter().zip(sha256_batch(payloads)) {
+        if hash != *digest {
+            return Err(blob_mismatch(digest));
+        }
     }
     Ok(())
 }
@@ -400,10 +428,17 @@ fn serve_verified<P: BlobProvider>(
             request.digests.len()
         )));
     }
+    let mut payloads = Vec::with_capacity(response.blobs.len());
     for (raw, blob) in request.digests.iter().zip(&response.blobs) {
         let digest = Digest(*raw);
         let payload = blob.as_ref().ok_or_else(|| operator_missing(&digest))?;
-        verify_blob(&digest, payload)?;
+        payloads.push(payload.as_slice());
+    }
+    // Authenticate the whole response in one batched hashing pass.
+    for (raw, hash) in request.digests.iter().zip(sha256_batch(&payloads)) {
+        if hash != Digest(*raw) {
+            return Err(blob_mismatch(&Digest(*raw)));
+        }
     }
     Ok(response)
 }

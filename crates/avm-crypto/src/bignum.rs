@@ -354,12 +354,30 @@ impl BigUint {
     /// Modular exponentiation.
     ///
     /// For odd moduli (every RSA modulus and prime factor) this dispatches to
-    /// Montgomery-form fixed-window exponentiation ([`MontgomeryCtx`]), which
-    /// replaces the per-multiply `div_rem` reduction with word-level
-    /// Montgomery reduction.  Even moduli fall back to the classic
-    /// square-and-multiply path ([`BigUint::modpow_slow`]).  Both paths
-    /// return bit-identical results.
+    /// Montgomery-form fixed-window exponentiation over 64-bit limbs
+    /// ([`MontgomeryCtx64`]), which replaces the per-multiply `div_rem`
+    /// reduction with word-level Montgomery reduction and halves the limb
+    /// count relative to the storage representation.  Even moduli fall back
+    /// to the classic square-and-multiply path ([`BigUint::modpow_slow`]).
+    /// All paths return bit-identical results.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        match MontgomeryCtx64::new(modulus) {
+            Some(ctx) => ctx.modpow(self, exponent),
+            None => self.modpow_slow(exponent, modulus),
+        }
+    }
+
+    /// Modular exponentiation through the retained 32-bit-limb Montgomery
+    /// context ([`MontgomeryCtx`]).
+    ///
+    /// Kept as the differential reference for the 64-bit fast path: the
+    /// crypto differential battery and the Criterion before/after groups
+    /// pin [`BigUint::modpow`] bit-identical to (and faster than) this.
+    pub fn modpow_ref32(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -576,6 +594,11 @@ impl core::fmt::Display for BigUint {
 /// All arithmetic is on fixed-width little-endian `u32` limb vectors of the
 /// modulus' width, with a conditional final subtraction keeping every
 /// intermediate value `< n`, so results are bit-identical to the naive path.
+///
+/// The hot path ([`BigUint::modpow`]) now runs on the 64-bit-limb
+/// [`MontgomeryCtx64`]; this 32-bit context is retained as its differential
+/// reference (`tests/crypto_differential.rs` pins the two bit-identical) and
+/// stays reachable through [`BigUint::modpow_ref32`].
 #[derive(Debug, Clone)]
 pub struct MontgomeryCtx {
     /// Modulus limbs, exactly `k` of them (top limb nonzero).
@@ -783,6 +806,13 @@ impl MontgomeryCtx {
         self.from_mont(&self.montmul(&am, &bm))
     }
 
+    /// Modular squaring through the context's specialised squaring path:
+    /// `a·a mod n`, bit-identical to `mulmod(a, a)`.
+    pub fn sqrmod(&self, a: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        self.from_mont(&self.montsqr(&am))
+    }
+
     /// Fixed-window modular exponentiation: `base^exponent mod n`.
     ///
     /// Uses a 2^w-entry table of small powers; the window width scales with
@@ -844,6 +874,345 @@ impl MontgomeryCtx {
         }
         self.from_mont(&acc)
     }
+}
+
+/// Montgomery-form modular arithmetic over **64-bit limbs**.
+///
+/// [`BigUint`] stores 32-bit limbs; packing pairs of them into `u64` words
+/// halves the limb count on x86-64, so the CIOS inner loops run half as many
+/// iterations with `u128` double-word intermediates — the 64×64→128 multiply
+/// is a single `mul` instruction.  The structure mirrors [`MontgomeryCtx`]
+/// exactly (CIOS multiply, SOS-reduced specialised squaring, fixed-window
+/// exponentiation); the 32-bit context is retained as the differential
+/// reference that `tests/crypto_differential.rs` pins this one against.
+///
+/// The fixed-window exponentiation here additionally selects table entries
+/// with a constant-time masked scan ([`ct_select64`]) and multiplies on
+/// every window — including zero windows, by the identity — so neither the
+/// memory addresses touched nor the multiply count depend on exponent bits
+/// (side-channel hygiene for the RSA signing path, which feeds secret CRT
+/// exponents through here).
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx64 {
+    /// Modulus limbs, exactly `k` of them.
+    n: Vec<u64>,
+    /// The modulus as a `BigUint` (for reductions at the boundary).
+    n_big: BigUint,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0_inv: u64,
+    /// `R² mod n` where `R = 2^(64k)`, in padded limb form.
+    r2: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+}
+
+impl MontgomeryCtx64 {
+    /// Builds a context for `modulus`; `None` when the modulus is even, zero
+    /// or one (callers fall back to [`BigUint::modpow_slow`]).
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryCtx64> {
+        if modulus.is_zero() || modulus.is_one() || modulus.is_even() {
+            return None;
+        }
+        let k = modulus.limbs.len().div_ceil(2);
+        let n = Self::pack(modulus, k);
+        // Newton iteration for n0⁻¹ mod 2⁶⁴: correct bits double each step,
+        // so six steps reach 64 from the seed's 1 (n0 odd ⇒ n0·1 ≡ 1 mod 2).
+        let n0 = n[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R² mod n, R = 2^(64k): the only full division in the context.
+        let r2_big = BigUint::one().shl(128 * k).rem(modulus);
+        let r2 = Self::pack(&r2_big, k);
+        Some(MontgomeryCtx64 {
+            n,
+            n_big: modulus.clone(),
+            n0_inv,
+            r2,
+            k,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n_big
+    }
+
+    /// Packs the 32-bit storage limbs into `k` 64-bit words (little-endian).
+    fn pack(x: &BigUint, k: usize) -> Vec<u64> {
+        let mut v = vec![0u64; k];
+        for (i, &limb) in x.limbs.iter().enumerate() {
+            v[i / 2] |= (limb as u64) << (32 * (i % 2));
+        }
+        v
+    }
+
+    /// Unpacks 64-bit limbs back into the 32-bit storage representation.
+    fn unpack(limbs: &[u64]) -> BigUint {
+        let mut out = Vec::with_capacity(limbs.len() * 2);
+        for &limb in limbs {
+            out.push(limb as u32);
+            out.push((limb >> 32) as u32);
+        }
+        let mut big = BigUint { limbs: out };
+        big.normalize();
+        big
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod n`.
+    ///
+    /// Inputs must be `k` limbs and `< n`; the output is `k` limbs and `< n`.
+    fn montmul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            let ai = ai as u128;
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[j] as u128 + ai * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // t += m * n; t >>= 64  (m chosen so the low limb cancels)
+            let m = (t[0].wrapping_mul(self.n0_inv)) as u128;
+            let cur = t[0] as u128 + m * self.n[0] as u128;
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+        }
+        // Conditional subtraction: t < 2n, so at most one subtract of n.
+        if t[k] != 0 || !limbs64_less(&t[..k], &self.n) {
+            let borrow = limbs64_sub_assign(&mut t[..k], &self.n);
+            debug_assert_eq!(t[k], borrow, "CIOS result was not < 2n");
+            t[k] = 0;
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Squaring-specialised Montgomery multiplication: returns
+    /// `a·a·R⁻¹ mod n`, bit-identical to `montmul(a, a)`.
+    ///
+    /// Same shape as [`MontgomeryCtx::montsqr`]: off-diagonal products
+    /// computed once and doubled, diagonal squares added, then a separate
+    /// SOS reduction pass.
+    fn montsqr(&self, a: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        // --- multiplication phase: t = a², 2k limbs (+1 headroom) --------
+        let mut t = vec![0u64; 2 * k + 1];
+        for i in 0..k {
+            let ai = a[i] as u128;
+            let mut carry = 0u128;
+            for j in i + 1..k {
+                let cur = t[i + j] as u128 + ai * a[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        // Double the off-diagonal sum (2·Σ a[i]a[j] ≤ a² < 2^(128k), so the
+        // shifted-out carry lands inside the 2k limbs).
+        let mut carry = 0u64;
+        for limb in t.iter_mut().take(2 * k) {
+            let cur = ((*limb as u128) << 1) | carry as u128;
+            *limb = cur as u64;
+            carry = (cur >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0, "doubled off-diagonal sum overflowed a²");
+        // Diagonal squares.
+        let mut carry = 0u128;
+        for i in 0..k {
+            let sq = (a[i] as u128) * (a[i] as u128);
+            let lo = t[2 * i] as u128 + (sq & u64::MAX as u128) + carry;
+            t[2 * i] = lo as u64;
+            let hi = t[2 * i + 1] as u128 + (sq >> 64) + (lo >> 64);
+            t[2 * i + 1] = hi as u64;
+            carry = hi >> 64;
+        }
+        debug_assert_eq!(carry, 0, "a² overflowed 2k limbs");
+        // --- reduction phase: SOS Montgomery reduction of t ---------------
+        for i in 0..k {
+            let m = (t[i].wrapping_mul(self.n0_inv)) as u128;
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[i + j] as u128 + m * self.n[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        // Result = t >> 64k; t < a² + n·R < 2nR, so one conditional subtract.
+        let mut r = t[k..=2 * k].to_vec();
+        if r[k] != 0 || !limbs64_less(&r[..k], &self.n) {
+            let borrow = limbs64_sub_assign(&mut r[..k], &self.n);
+            debug_assert_eq!(r[k], borrow, "SOS result was not < 2n");
+            r[k] = 0;
+        }
+        r.truncate(k);
+        r
+    }
+
+    /// Converts into Montgomery form: `x·R mod n`.
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let reduced = x.rem(&self.n_big);
+        self.montmul(&Self::pack(&reduced, self.k), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, x: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        Self::unpack(&self.montmul(x, &one))
+    }
+
+    /// Modular multiplication through the context: `a·b mod n`.
+    pub fn mulmod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.montmul(&am, &bm))
+    }
+
+    /// Modular squaring through the context's specialised squaring path:
+    /// `a·a mod n`, bit-identical to `mulmod(a, a)`.
+    pub fn sqrmod(&self, a: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        self.from_mont(&self.montsqr(&am))
+    }
+
+    /// Fixed-window modular exponentiation: `base^exponent mod n`.
+    ///
+    /// Same window policy as [`MontgomeryCtx::modpow`], but the table lookup
+    /// is a constant-time masked scan ([`ct_select64`]) and every window
+    /// multiplies (zero windows multiply by the Montgomery identity, which
+    /// leaves the accumulator bit-identical), so the access pattern carries
+    /// no information about the exponent.
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        let bits = exponent.bit_len();
+        let one_mont = self.montmul(
+            &{
+                let mut one = vec![0u64; self.k];
+                one[0] = 1;
+                one
+            },
+            &self.r2,
+        );
+        if bits == 0 {
+            return self.from_mont(&one_mont);
+        }
+        let base_mont = self.to_mont(base);
+        let w: usize = if bits >= 1024 {
+            5
+        } else if bits >= 64 {
+            4
+        } else {
+            1
+        };
+        if w == 1 {
+            // Left-to-right binary scan (short public exponents only).
+            let mut acc = one_mont;
+            for i in (0..bits).rev() {
+                acc = self.montsqr(&acc);
+                if exponent.bit(i) {
+                    acc = self.montmul(&acc, &base_mont);
+                }
+            }
+            return self.from_mont(&acc);
+        }
+        // Table of base^0 .. base^(2^w - 1) in Montgomery form.
+        let mut table = Vec::with_capacity(1 << w);
+        table.push(one_mont.clone());
+        for i in 1..(1usize << w) {
+            table.push(self.montmul(&table[i - 1], &base_mont));
+        }
+        let windows = bits.div_ceil(w);
+        let mut acc = one_mont;
+        for widx in (0..windows).rev() {
+            for _ in 0..w {
+                acc = self.montsqr(&acc);
+            }
+            let mut val = 0usize;
+            for b in (0..w).rev() {
+                val = (val << 1) | exponent.bit(widx * w + b) as usize;
+            }
+            let entry = ct_select64(&table, val);
+            acc = self.montmul(&acc, &entry);
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Constant-time table selection: returns `table[index]` by scanning every
+/// entry and accumulating under a mask, so the touched addresses and the
+/// instruction stream are independent of `index`.
+///
+/// Bit-identical to naive indexing (pinned by the differential battery);
+/// used by [`MontgomeryCtx64::modpow`] so the fixed-window exponentiation
+/// never indexes its table with secret exponent bits.
+pub fn ct_select64(table: &[Vec<u64>], index: usize) -> Vec<u64> {
+    let width = table.first().map_or(0, |e| e.len());
+    let mut out = vec![0u64; width];
+    for (i, entry) in table.iter().enumerate() {
+        // All-ones when i == index, all-zeros otherwise, without a branch:
+        // x | -x has its top bit set exactly when x != 0.
+        let x = (i ^ index) as u64;
+        let mask = ((x | x.wrapping_neg()) >> 63).wrapping_sub(1);
+        for (slot, &limb) in out.iter_mut().zip(entry) {
+            *slot |= limb & mask;
+        }
+    }
+    out
+}
+
+/// `a < b` over equal-length little-endian 64-bit limb slices.
+fn limbs64_less(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// `a -= b` over equal-length little-endian 64-bit limb slices; returns the
+/// final borrow (1 when `b > a`).
+fn limbs64_sub_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 | b2) as u64;
+    }
+    borrow
 }
 
 /// `a < b` over equal-length little-endian limb slices.
@@ -1107,6 +1476,78 @@ mod tests {
                 assert_eq!(ctx.montsqr(&am), ctx.montmul(&am, &am), "bits={bits} a={a}");
             }
         }
+    }
+
+    #[test]
+    fn montgomery64_matches_32bit_reference() {
+        let mut rng = StdRng::seed_from_u64(0x6464_6464);
+        for bits in [33usize, 64, 65, 96, 128, 160, 256, 384, 768] {
+            let modulus = BigUint::random_odd_with_bits(&mut rng, bits);
+            let ctx64 = MontgomeryCtx64::new(&modulus).unwrap();
+            let ctx32 = MontgomeryCtx::new(&modulus).unwrap();
+            assert_eq!(ctx64.modulus(), &modulus);
+            for _ in 0..4 {
+                let a = BigUint::random_bits(&mut rng, bits + 9);
+                let b = BigUint::random_bits(&mut rng, bits);
+                let exp = BigUint::random_bits(&mut rng, bits);
+                assert_eq!(ctx64.mulmod(&a, &b), ctx32.mulmod(&a, &b), "bits={bits}");
+                assert_eq!(ctx64.sqrmod(&a), ctx32.sqrmod(&a), "bits={bits}");
+                assert_eq!(
+                    ctx64.modpow(&a, &exp),
+                    ctx32.modpow(&a, &exp),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery64_edge_cases() {
+        let modulus = big(1009);
+        assert_eq!(big(7).modpow(&BigUint::zero(), &modulus), big(1));
+        assert_eq!(BigUint::zero().modpow(&big(5), &modulus), BigUint::zero());
+        assert!(MontgomeryCtx64::new(&big(1024)).is_none());
+        assert!(MontgomeryCtx64::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx64::new(&BigUint::zero()).is_none());
+        // An odd number of 32-bit storage limbs exercises the half-filled
+        // top 64-bit limb.
+        let mut rng = StdRng::seed_from_u64(9);
+        let odd_limbs = BigUint::random_odd_with_bits(&mut rng, 96);
+        assert_eq!(odd_limbs.limbs.len(), 3);
+        let ctx = MontgomeryCtx64::new(&odd_limbs).unwrap();
+        let a = BigUint::random_bits(&mut rng, 96);
+        assert_eq!(ctx.mulmod(&a, &a), a.mulmod(&a, &odd_limbs));
+    }
+
+    #[test]
+    fn ct_select_matches_naive_indexing() {
+        let mut rng = StdRng::seed_from_u64(0xc7);
+        let table: Vec<Vec<u64>> = (0..32)
+            .map(|_| (0..6).map(|_| rng.gen::<u64>()).collect())
+            .collect();
+        for idx in 0..table.len() {
+            assert_eq!(ct_select64(&table, idx), table[idx], "idx={idx}");
+        }
+        // Out-of-range index selects nothing (all-zero result).
+        assert_eq!(ct_select64(&table, 99), vec![0u64; 6]);
+        assert_eq!(ct_select64(&[], 0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn modpow_ref32_matches_fast_path() {
+        let mut rng = StdRng::seed_from_u64(0x3232);
+        let modulus = BigUint::random_odd_with_bits(&mut rng, 256);
+        let base = BigUint::random_bits(&mut rng, 256);
+        let exp = BigUint::random_bits(&mut rng, 256);
+        assert_eq!(
+            base.modpow(&exp, &modulus),
+            base.modpow_ref32(&exp, &modulus)
+        );
+        // Even modulus: both dispatch to the slow path.
+        assert_eq!(
+            big(7).modpow_ref32(&big(30), &big(1024)),
+            big(7).modpow_slow(&big(30), &big(1024))
+        );
     }
 
     #[test]

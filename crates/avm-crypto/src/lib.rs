@@ -43,10 +43,12 @@ pub mod parallel;
 pub mod rsa;
 pub mod sha256;
 
-pub use bignum::{BigUint, MontgomeryCtx};
+pub use bignum::{ct_select64, BigUint, MontgomeryCtx, MontgomeryCtx64};
 pub use hmac::{hmac_sha256, hmac_verify};
 pub use keys::{Certificate, Identity, KeyError, SignatureScheme, SigningKey, VerifyingKey};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use parallel::sha256_batch;
 pub use rsa::{RsaError, RsaKeyPair, RsaPublicKey};
-pub use sha256::{sha256, sha256_concat, Digest, Sha256, DIGEST_LEN};
+pub use sha256::{
+    sha256, sha256_concat, sha256_multi, sha256_multi_prefixed, Digest, Sha256, DIGEST_LEN,
+};

@@ -22,7 +22,7 @@
 //! VM layer's dirty bits are the source of truth for which leaves to refresh,
 //! and updating a leaf with an unchanged hash is always safe (idempotent).
 
-use crate::sha256::{sha256_concat, Digest};
+use crate::sha256::{sha256_concat, sha256_multi_prefixed, Digest, DIGEST_LEN};
 
 /// Domain-separation prefixes so leaves can never be confused with nodes.
 const LEAF_PREFIX: &[u8] = &[0x00];
@@ -33,9 +33,31 @@ pub fn leaf_hash(data: &[u8]) -> Digest {
     sha256_concat(&[LEAF_PREFIX, data])
 }
 
+/// Hashes many leaf values with the multi-buffer core; bit-identical to
+/// mapping [`leaf_hash`] over the inputs.
+pub fn leaf_hashes(leaves: &[&[u8]]) -> Vec<Digest> {
+    sha256_multi_prefixed(LEAF_PREFIX, leaves)
+}
+
 /// Hashes two child digests into their parent.
 pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
     sha256_concat(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// Hashes many `(left, right)` child pairs into their parents with the
+/// multi-buffer core; bit-identical to mapping [`node_hash`].
+fn node_hashes(pairs: &[(Digest, Digest)]) -> Vec<Digest> {
+    let bodies: Vec<[u8; 2 * DIGEST_LEN]> = pairs
+        .iter()
+        .map(|(l, r)| {
+            let mut body = [0u8; 2 * DIGEST_LEN];
+            body[..DIGEST_LEN].copy_from_slice(l.as_bytes());
+            body[DIGEST_LEN..].copy_from_slice(r.as_bytes());
+            body
+        })
+        .collect();
+    let slices: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
+    sha256_multi_prefixed(NODE_PREFIX, &slices)
 }
 
 /// A Merkle tree over a fixed number of leaves, supporting leaf updates.
@@ -51,8 +73,8 @@ pub struct MerkleTree {
 impl MerkleTree {
     /// Builds a tree from raw leaf data.
     pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
-        let hashes: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
-        Self::from_leaf_hashes(hashes)
+        let slices: Vec<&[u8]> = leaves.iter().map(|l| l.as_ref()).collect();
+        Self::from_leaf_hashes(leaf_hashes(&slices))
     }
 
     /// Builds a tree from already-hashed leaves.
@@ -63,13 +85,13 @@ impl MerkleTree {
             if prev.len() <= 1 {
                 break;
             }
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                if pair.len() == 2 {
-                    next.push(node_hash(&pair[0], &pair[1]));
-                } else {
-                    next.push(pair[0]);
-                }
+            let pairs: Vec<(Digest, Digest)> = prev
+                .chunks_exact(2)
+                .map(|pair| (pair[0], pair[1]))
+                .collect();
+            let mut next = node_hashes(&pairs);
+            if prev.len() % 2 == 1 {
+                next.push(prev[prev.len() - 1]);
             }
             levels.push(next);
         }
@@ -163,13 +185,24 @@ impl MerkleTree {
                 let (a, b) = self.levels.split_at_mut(level + 1);
                 (&a[level], &mut b[0])
             };
+            // Hash every full parent pair in one multi-buffer batch; an odd
+            // trailing node is promoted unchanged as usual.
+            let full: Vec<usize> = parents
+                .iter()
+                .copied()
+                .filter(|&p| p * 2 + 1 < lower.len())
+                .collect();
+            let pairs: Vec<(Digest, Digest)> = full
+                .iter()
+                .map(|&p| (lower[p * 2], lower[p * 2 + 1]))
+                .collect();
+            for (&p, hash) in full.iter().zip(node_hashes(&pairs)) {
+                upper[p] = hash;
+            }
             for &p in &parents {
-                let left = lower[p * 2];
-                upper[p] = if p * 2 + 1 < lower.len() {
-                    node_hash(&left, &lower[p * 2 + 1])
-                } else {
-                    left
-                };
+                if p * 2 + 1 >= lower.len() {
+                    upper[p] = lower[p * 2];
+                }
             }
             touched = parents;
         }

@@ -24,12 +24,17 @@
 //! input order, and small batches take a serial fast path.  Hashing a 512 B
 //! chunk costs a few microseconds, so the [`MIN_PER_WORKER`] threshold keeps
 //! per-part coordination overhead well under the work each part receives.
+//!
+//! Within every thread — the serial fast path, the caller's own part, and
+//! each worker's flattened part — hashing runs through the multi-buffer
+//! [`sha256_multi`] core, which compresses up to 8 independent messages per
+//! pass, so thread-level and lane-level parallelism compose.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use crate::sha256::{sha256, Digest};
+use crate::sha256::{sha256_multi, Digest};
 
 /// Minimum number of inputs each worker must receive before an extra thread
 /// is worth spawning (the count-based bound, sized for 512 B chunk leaves).
@@ -97,14 +102,16 @@ impl FlatPart {
 
     fn hash_all(&self) -> Vec<Digest> {
         let mut start = 0;
-        self.ends
+        let slices: Vec<&[u8]> = self
+            .ends
             .iter()
             .map(|&end| {
-                let digest = sha256(&self.payload[start..end]);
+                let slice = &self.payload[start..end];
                 start = end;
-                digest
+                slice
             })
-            .collect()
+            .collect();
+        sha256_multi(&slices)
     }
 }
 
@@ -216,7 +223,7 @@ impl WorkerPool {
     pub fn hash_batch(&self, inputs: &[&[u8]], parts: usize) -> Vec<Digest> {
         let parts = parts.min(inputs.len()).max(1);
         if parts <= 1 {
-            return inputs.iter().map(|data| sha256(data)).collect();
+            return sha256_multi(inputs);
         }
         // Contiguous ranges, remainder spread over the first parts, so the
         // concatenated results preserve input order.
@@ -252,7 +259,7 @@ impl WorkerPool {
             self.inner.work_ready.notify_all();
         }
         let mut out = Vec::with_capacity(inputs.len());
-        out.extend(inputs[..first].iter().map(|data| sha256(data)));
+        out.extend(sha256_multi(&inputs[..first]));
         let mut progress = batch.progress.lock().unwrap();
         while progress.remaining > 0 {
             progress = batch.finished.wait(progress).unwrap();
@@ -329,7 +336,7 @@ pub fn global_pool_stats() -> PoolStats {
 pub fn sha256_batch(inputs: &[&[u8]]) -> Vec<Digest> {
     let workers = batch_workers_for(inputs);
     if workers <= 1 {
-        return inputs.iter().map(|data| sha256(data)).collect();
+        return sha256_multi(inputs);
     }
     global_pool().hash_batch(inputs, workers)
 }
@@ -337,6 +344,7 @@ pub fn sha256_batch(inputs: &[&[u8]]) -> Vec<Digest> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sha256::sha256;
 
     #[test]
     fn matches_serial_hashing_for_all_sizes() {

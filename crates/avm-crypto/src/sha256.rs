@@ -184,53 +184,241 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
+        compress_block(&mut self.state, block);
+    }
+}
+
+/// One scalar FIPS 180-4 compression round over a 64-byte block.
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+fn digest_from_state(state: &[u32; 8]) -> Digest {
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+// --- Multi-buffer (lane-parallel) hashing ---------------------------------
+//
+// The snapshot pipeline hashes thousands of small, independent messages
+// (512 B chunk leaves, 65 B Merkle nodes). A scalar SHA-256 is latency-bound:
+// every round depends on the previous one. Interleaving several independent
+// messages through one pass of the message schedule turns that dependency
+// chain into element-wise operations over `[u32; LANES]` arrays, which the
+// compiler auto-vectorises (the workspace forbids `unsafe`, so there are no
+// explicit SIMD intrinsics here) and which otherwise still fill the pipeline
+// via instruction-level parallelism.
+
+/// Number of interleaved messages in the wide path.
+const LANES_WIDE: usize = 8;
+/// Number of interleaved messages in the narrow (SSE-width) path.
+const LANES_NARROW: usize = 4;
+
+/// Total number of 64-byte blocks in the padded form of an `n`-byte message.
+fn padded_blocks(n: usize) -> usize {
+    // message + 0x80 + 8-byte length, rounded up to a whole block.
+    n / 64 + if n % 64 < 56 { 1 } else { 2 }
+}
+
+/// Materialises block `blk` of the padded stream `prefix || msg || padding`.
+fn padded_block(prefix: &[u8], msg: &[u8], blk: usize, total_blocks: usize) -> [u8; 64] {
+    let n = prefix.len() + msg.len();
+    let mut out = [0u8; 64];
+    let start = blk * 64;
+    if start < prefix.len() {
+        let pend = prefix.len().min(start + 64);
+        out[..pend - start].copy_from_slice(&prefix[start..pend]);
+    }
+    let mstart = start.max(prefix.len());
+    if mstart < n && mstart < start + 64 {
+        let mend = n.min(start + 64);
+        out[mstart - start..mend - start]
+            .copy_from_slice(&msg[mstart - prefix.len()..mend - prefix.len()]);
+    }
+    if (start..start + 64).contains(&n) {
+        out[n - start] = 0x80;
+    }
+    if blk + 1 == total_blocks {
+        let bits = (n as u64).wrapping_mul(8);
+        out[56..].copy_from_slice(&bits.to_be_bytes());
+    }
+    out
+}
+
+/// One compression pass over `L` independent blocks through a shared message
+/// schedule. `state[word][lane]` holds lane `lane`'s chaining value.
+fn compress_lanes<const L: usize>(state: &mut [[u32; L]; 8], blocks: &[[u8; 64]; L]) {
+    let mut w = [[0u32; L]; 64];
+    for t in 0..16 {
+        for l in 0..L {
+            let b = &blocks[l];
+            w[t][l] = u32::from_be_bytes([b[t * 4], b[t * 4 + 1], b[t * 4 + 2], b[t * 4 + 3]]);
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
+    }
+    for t in 16..64 {
+        let mut wt = [0u32; L];
+        for l in 0..L {
+            let w15 = w[t - 15][l];
+            let w2 = w[t - 2][l];
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            wt[l] = w[t - 16][l]
                 .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
+                .wrapping_add(w[t - 7][l])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
+        w[t] = wt;
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let mut t1 = [0u32; L];
+        let mut t2 = [0u32; L];
+        for l in 0..L {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ ((!e[l]) & g[l]);
+            t1[l] = h[l]
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+                .wrapping_add(K[t])
+                .wrapping_add(w[t][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            t2[l] = s0.wrapping_add(maj);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        h = g;
+        g = f;
+        f = e;
+        let mut e_next = [0u32; L];
+        let mut a_next = [0u32; L];
+        for l in 0..L {
+            e_next[l] = d[l].wrapping_add(t1[l]);
+            a_next[l] = t1[l].wrapping_add(t2[l]);
+        }
+        e = e_next;
+        d = c;
+        c = b;
+        b = a;
+        a = a_next;
     }
+    let sums = [a, b, c, d, e, f, g, h];
+    for (word, sum) in state.iter_mut().zip(sums.iter()) {
+        for l in 0..L {
+            word[l] = word[l].wrapping_add(sum[l]);
+        }
+    }
+}
+
+/// Hashes `L` messages (each `prefix || msgs[i]`) in lockstep. Lanes run the
+/// multi-buffer core for as many blocks as the shortest lane has, then finish
+/// ragged tails on the scalar core — for the uniform-length batches the
+/// snapshot pipeline produces, everything stays in the wide path.
+fn sha256_group<const L: usize>(prefix: &[u8], msgs: &[&[u8]; L]) -> [Digest; L] {
+    let mut nblocks = [0usize; L];
+    for l in 0..L {
+        nblocks[l] = padded_blocks(prefix.len() + msgs[l].len());
+    }
+    let min_blocks = *nblocks.iter().min().expect("L > 0");
+    let mut state = [[0u32; L]; 8];
+    for (i, word) in state.iter_mut().enumerate() {
+        *word = [H0[i]; L];
+    }
+    let mut blocks = [[0u8; 64]; L];
+    for blk in 0..min_blocks {
+        for l in 0..L {
+            blocks[l] = padded_block(prefix, msgs[l], blk, nblocks[l]);
+        }
+        compress_lanes(&mut state, &blocks);
+    }
+    core::array::from_fn(|l| {
+        let mut st: [u32; 8] = core::array::from_fn(|i| state[i][l]);
+        for blk in min_blocks..nblocks[l] {
+            let b = padded_block(prefix, msgs[l], blk, nblocks[l]);
+            compress_block(&mut st, &b);
+        }
+        digest_from_state(&st)
+    })
+}
+
+/// Hashes many independent messages with the multi-buffer core.
+///
+/// Bit-identical to `inputs.iter().map(|m| sha256(m))` — pinned by
+/// `tests/crypto_differential.rs` — but compresses 8 (then 4) messages per
+/// pass through a shared message schedule. This is the serial building block
+/// under [`crate::parallel::sha256_batch`]; call that instead when batches
+/// are large enough to also spread across worker threads.
+pub fn sha256_multi(inputs: &[&[u8]]) -> Vec<Digest> {
+    sha256_multi_prefixed(&[], inputs)
+}
+
+/// Like [`sha256_multi`] but hashes `prefix || input` for every input without
+/// materialising the concatenations (the Merkle layer's domain-separation
+/// prefixes use this).
+pub fn sha256_multi_prefixed(prefix: &[u8], inputs: &[&[u8]]) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(inputs.len());
+    let mut rest = inputs;
+    while rest.len() >= LANES_WIDE {
+        let group: &[&[u8]; LANES_WIDE] = rest[..LANES_WIDE].try_into().expect("length checked");
+        out.extend(sha256_group::<LANES_WIDE>(prefix, group));
+        rest = &rest[LANES_WIDE..];
+    }
+    if rest.len() >= LANES_NARROW {
+        let group: &[&[u8]; LANES_NARROW] =
+            rest[..LANES_NARROW].try_into().expect("length checked");
+        out.extend(sha256_group::<LANES_NARROW>(prefix, group));
+        rest = &rest[LANES_NARROW..];
+    }
+    for msg in rest {
+        out.push(sha256_concat(&[prefix, msg]));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -300,6 +488,40 @@ mod tests {
     }
 
     #[test]
+    fn multi_matches_scalar() {
+        // Cover every lane-count path: wide (8), narrow (4), scalar remainder,
+        // and mixes; include padding-boundary lengths and ragged groups.
+        let lengths = [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 512, 513];
+        let msgs: Vec<Vec<u8>> = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|j| (i * 31 + j) as u8).collect())
+            .collect();
+        for count in 0..=msgs.len() {
+            let slices: Vec<&[u8]> = msgs[..count].iter().map(|m| m.as_slice()).collect();
+            let got = sha256_multi(&slices);
+            let want: Vec<Digest> = slices.iter().map(|m| sha256(m)).collect();
+            assert_eq!(got, want, "count {count}");
+        }
+    }
+
+    #[test]
+    fn multi_prefixed_matches_concat() {
+        let msgs: Vec<Vec<u8>> = (0..9).map(|i| vec![i as u8; i * 17]).collect();
+        let slices: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        for prefix in [
+            &b""[..],
+            &b"\x00"[..],
+            &b"\x01"[..],
+            &b"long-prefix-over-a-block-boundary-long-prefix-over-a-block-boundary"[..],
+        ] {
+            let got = sha256_multi_prefixed(prefix, &slices);
+            let want: Vec<Digest> = slices.iter().map(|m| sha256_concat(&[prefix, m])).collect();
+            assert_eq!(got, want, "prefix len {}", prefix.len());
+        }
+    }
+
+    #[test]
     fn boundary_lengths() {
         // Lengths around the block size exercise the padding logic.
         for len in [55usize, 56, 57, 63, 64, 65, 127, 128, 129] {
@@ -310,5 +532,38 @@ mod tests {
             }
             assert_eq!(h.finalize(), sha256(&data), "length {len}");
         }
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    // Not a correctness test: quick local probe for the multi-buffer speedup.
+    // Run with `cargo test --release -p avm-crypto sha256_multi_speedup -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn sha256_multi_speedup() {
+        let msgs: Vec<Vec<u8>> = (0..4096).map(|i| vec![(i % 251) as u8; 512]).collect();
+        let slices: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let t0 = std::time::Instant::now();
+        let mut scalar = Vec::new();
+        for _ in 0..8 {
+            scalar = slices.iter().map(|m| sha256(m)).collect::<Vec<_>>();
+        }
+        let scalar_t = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let mut multi = Vec::new();
+        for _ in 0..8 {
+            multi = sha256_multi(&slices);
+        }
+        let multi_t = t1.elapsed();
+        assert_eq!(scalar, multi);
+        println!(
+            "scalar {:?}  multi {:?}  speedup {:.2}x",
+            scalar_t,
+            multi_t,
+            scalar_t.as_secs_f64() / multi_t.as_secs_f64()
+        );
     }
 }

@@ -45,8 +45,8 @@
 //! seals an already-encoded message body, so a provider can serve one
 //! cached response encoding to many sessions without re-encoding it.
 
-use crate::blob::{BlobRequest, BlobResponse};
-use crate::frame::{read_frame, write_frame};
+use crate::blob::{BlobRequest, BlobResponse, BlobResponseRef};
+use crate::frame::{read_frame, write_frame_parts};
 use crate::{Decode, Encode, Reader, WireError, WireResult, Writer};
 
 /// How a log-segment fetch addresses the entries it wants.
@@ -268,6 +268,168 @@ impl Decode for AuditResponse {
     }
 }
 
+impl AuditResponse {
+    /// The variant's name, for protocol-violation diagnostics.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            AuditResponse::Manifest { .. } => "Manifest",
+            AuditResponse::Blobs(_) => "Blobs",
+            AuditResponse::LogSegment { .. } => "LogSegment",
+            AuditResponse::Sections { .. } => "Sections",
+            AuditResponse::Error { .. } => "Error",
+        }
+    }
+}
+
+/// Borrowed view of an [`AuditResponse`]: every bulk payload — the manifest
+/// bytes, each blob, each encoded log entry, the sections stream — aliases
+/// the packet buffer it was decoded from.
+///
+/// This is what lets a receiver parse a response straight out of the framed
+/// packet, verify or measure it, and copy only what it decides to keep,
+/// instead of materializing an owned [`AuditResponse`] first.  Encoding a
+/// `AuditResponseRef` is byte-identical to encoding the owned response it
+/// borrows from or converts into ([`AuditResponseRef::to_owned`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditResponseRef<'a> {
+    /// The encoded `ChainManifest`, borrowed from the packet.
+    Manifest {
+        /// Encoded manifest bytes.
+        manifest: &'a [u8],
+    },
+    /// The payloads for a blob request, each borrowed from the packet.
+    Blobs(BlobResponseRef<'a>),
+    /// A log segment with its chain anchor; entries borrow from the packet.
+    LogSegment {
+        /// Hash of the entry preceding the segment.
+        prev_hash: [u8; 32],
+        /// The entries, each an encoded `LogEntry` slice.
+        entries: Vec<&'a [u8]>,
+    },
+    /// The whole-section transfer stream, borrowed from the packet.
+    Sections {
+        /// The stream bytes.
+        stream: &'a [u8],
+    },
+    /// The provider cannot serve the request.
+    Error {
+        /// Human-readable reason.
+        message: &'a str,
+    },
+}
+
+impl<'a> AuditResponseRef<'a> {
+    /// Decodes a borrowed response from `r`; the payload slices live as long
+    /// as the reader's input.  (An inherent method, not [`Decode`]: the trait
+    /// erases the input lifetime, which a borrowing decode must keep.)
+    pub fn decode(r: &mut Reader<'a>) -> WireResult<AuditResponseRef<'a>> {
+        match r.get_u8()? {
+            1 => Ok(AuditResponseRef::Manifest {
+                manifest: r.get_bytes()?,
+            }),
+            2 => Ok(AuditResponseRef::Blobs(BlobResponseRef::decode(r)?)),
+            3 => {
+                let mut prev_hash = [0u8; 32];
+                prev_hash.copy_from_slice(r.get_raw(32)?);
+                let n = r.get_varint()?;
+                // Every entry costs at least its one-byte length prefix.
+                let max = r.remaining() as u64;
+                if n > max {
+                    return Err(WireError::LengthOverflow { declared: n, max });
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push(r.get_bytes()?);
+                }
+                Ok(AuditResponseRef::LogSegment { prev_hash, entries })
+            }
+            4 => Ok(AuditResponseRef::Sections {
+                stream: r.get_bytes()?,
+            }),
+            5 => Ok(AuditResponseRef::Error {
+                message: r.get_str()?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                what: "AuditResponse",
+                tag: tag as u64,
+            }),
+        }
+    }
+
+    /// Decodes a borrowed response from `bytes`, requiring that the whole
+    /// input is consumed.
+    pub fn decode_exact(bytes: &'a [u8]) -> WireResult<AuditResponseRef<'a>> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+
+    /// Copies the borrowed payloads into an owned [`AuditResponse`].
+    pub fn to_owned(&self) -> AuditResponse {
+        match self {
+            AuditResponseRef::Manifest { manifest } => AuditResponse::Manifest {
+                manifest: manifest.to_vec(),
+            },
+            AuditResponseRef::Blobs(resp) => AuditResponse::Blobs(resp.to_owned()),
+            AuditResponseRef::LogSegment { prev_hash, entries } => AuditResponse::LogSegment {
+                prev_hash: *prev_hash,
+                entries: entries.iter().map(|e| e.to_vec()).collect(),
+            },
+            AuditResponseRef::Sections { stream } => AuditResponse::Sections {
+                stream: stream.to_vec(),
+            },
+            AuditResponseRef::Error { message } => AuditResponse::Error {
+                message: (*message).to_string(),
+            },
+        }
+    }
+
+    /// The variant's name, for protocol-violation diagnostics.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            AuditResponseRef::Manifest { .. } => "Manifest",
+            AuditResponseRef::Blobs(_) => "Blobs",
+            AuditResponseRef::LogSegment { .. } => "LogSegment",
+            AuditResponseRef::Sections { .. } => "Sections",
+            AuditResponseRef::Error { .. } => "Error",
+        }
+    }
+}
+
+impl Encode for AuditResponseRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AuditResponseRef::Manifest { manifest } => {
+                w.put_u8(1);
+                w.put_bytes(manifest);
+            }
+            AuditResponseRef::Blobs(resp) => {
+                w.put_u8(2);
+                resp.encode(w);
+            }
+            AuditResponseRef::LogSegment { prev_hash, entries } => {
+                w.put_u8(3);
+                w.put_raw(prev_hash);
+                w.put_varint(entries.len() as u64);
+                for entry in entries {
+                    w.put_bytes(entry);
+                }
+            }
+            AuditResponseRef::Sections { stream } => {
+                w.put_u8(4);
+                w.put_bytes(stream);
+            }
+            AuditResponseRef::Error { message } => {
+                w.put_u8(5);
+                w.put_str(message);
+            }
+        }
+    }
+}
+
 /// The session id used by single-session transports (the [`seal_message`] /
 /// [`open_message`] compatibility wrappers).  Fleet sessions count up from
 /// this value, so auditor #0 of a fleet is wire-identical to a lone client.
@@ -278,35 +440,36 @@ pub const CLIENT_SESSION: u64 = 1;
 /// sealing is used in both directions; a response carries the session and
 /// request ids of the request it answers.
 pub fn seal_session_message<M: Encode>(session_id: u64, request_id: u64, message: &M) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_varint(session_id);
-    w.put_varint(request_id);
-    message.encode(&mut w);
-    let payload = w.into_bytes();
-    let mut packet = Vec::with_capacity(payload.len() + 8);
-    write_frame(&mut packet, &payload);
-    packet
+    seal_encoded_message(session_id, request_id, &message.encode_to_vec())
 }
 
 /// Seals an *already-encoded* message body under a session envelope —
 /// byte-identical to [`seal_session_message`] over the message that produced
 /// `encoded`.  This is what lets a provider cache one response encoding and
 /// serve it to many sessions without re-encoding (or re-hashing) it.
+///
+/// The body is copied **once**, straight from `encoded` into the packet
+/// ([`write_frame_parts`] accumulates the checksum incrementally), so a
+/// cached multi-megabyte sections stream costs one copy per send rather than
+/// an envelope copy plus a framing copy.
 pub fn seal_encoded_message(session_id: u64, request_id: u64, encoded: &[u8]) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_varint(session_id);
-    w.put_varint(request_id);
-    w.put_raw(encoded);
-    let payload = w.into_bytes();
-    let mut packet = Vec::with_capacity(payload.len() + 8);
-    write_frame(&mut packet, &payload);
+    let mut envelope = Writer::with_capacity(20);
+    envelope.put_varint(session_id);
+    envelope.put_varint(request_id);
+    let mut packet = Vec::new();
+    write_frame_parts(&mut packet, &[envelope.as_slice(), encoded]);
     packet
 }
 
-/// Opens a packet produced by [`seal_session_message`], returning the
-/// session id, request id, and decoded message.  Fails on framing
-/// corruption, truncation, trailing bytes, or an undecodable message.
-pub fn open_session_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, u64, M)> {
+/// Opens the framed session envelope *without decoding the message*:
+/// returns the session id, request id, and the borrowed encoded message
+/// body (aliasing `packet`).
+///
+/// This is the cheap first step of every receive path: a receiver can match
+/// (session, request) against the exchange it is waiting on — and drop a
+/// stale retransmission duplicate — before paying to decode (or copy) a
+/// potentially large message body.
+pub fn open_session_frame(packet: &[u8]) -> WireResult<(u64, u64, &[u8])> {
     let (payload, consumed) = read_frame(packet).map_err(|_| WireError::Corrupt("audit frame"))?;
     if consumed != packet.len() {
         return Err(WireError::TrailingBytes(packet.len() - consumed));
@@ -314,10 +477,15 @@ pub fn open_session_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, u64, M
     let mut r = Reader::new(payload);
     let session_id = r.get_varint()?;
     let request_id = r.get_varint()?;
-    let message = M::decode(&mut r)?;
-    if r.remaining() != 0 {
-        return Err(WireError::TrailingBytes(r.remaining()));
-    }
+    Ok((session_id, request_id, &payload[r.position()..]))
+}
+
+/// Opens a packet produced by [`seal_session_message`], returning the
+/// session id, request id, and decoded message.  Fails on framing
+/// corruption, truncation, trailing bytes, or an undecodable message.
+pub fn open_session_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, u64, M)> {
+    let (session_id, request_id, body) = open_session_frame(packet)?;
+    let message = M::decode_exact(body)?;
     Ok((session_id, request_id, message))
 }
 
@@ -342,6 +510,7 @@ pub fn open_message<M: Decode>(packet: &[u8]) -> WireResult<(u64, M)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::write_frame;
 
     fn roundtrip_request(req: AuditRequest) {
         let bytes = req.encode_to_vec();
@@ -488,5 +657,77 @@ mod tests {
             seal_encoded_message(3, 11, &encoded),
             seal_session_message(3, 11, &resp)
         );
+    }
+
+    fn sample_responses() -> Vec<AuditResponse> {
+        vec![
+            AuditResponse::Manifest {
+                manifest: vec![1, 2, 3],
+            },
+            AuditResponse::Blobs(BlobResponse {
+                blobs: vec![Some(vec![9u8; 40]), None, Some(vec![])],
+            }),
+            AuditResponse::LogSegment {
+                prev_hash: [0xab; 32],
+                entries: vec![vec![1, 2], vec![], vec![3]],
+            },
+            AuditResponse::Sections {
+                stream: vec![0u8; 100],
+            },
+            AuditResponse::Error {
+                message: "snapshot 9 not found".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn borrowed_response_decode_matches_owned_and_reencodes_identically() {
+        for resp in sample_responses() {
+            let bytes = resp.encode_to_vec();
+            let borrowed = AuditResponseRef::decode_exact(&bytes).unwrap();
+            assert_eq!(borrowed.to_owned(), resp);
+            assert_eq!(borrowed.variant_name(), resp.variant_name());
+            assert_eq!(borrowed.encode_to_vec(), bytes);
+        }
+    }
+
+    #[test]
+    fn session_frame_peeks_ids_and_borrows_the_body() {
+        let resp = AuditResponse::Sections {
+            stream: vec![7u8; 513],
+        };
+        let packet = seal_session_message(42, 9, &resp);
+        let (session, id, body) = open_session_frame(&packet).unwrap();
+        assert_eq!((session, id), (42, 9));
+        // The body aliases the packet buffer and decodes to the message.
+        let ptr = body.as_ptr() as usize;
+        let base = packet.as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + packet.len());
+        assert_eq!(AuditResponse::decode_exact(body).unwrap(), resp);
+        // The borrowed decode sees the same message without copying it.
+        let borrowed = AuditResponseRef::decode_exact(body).unwrap();
+        match borrowed {
+            AuditResponseRef::Sections { stream } => assert_eq!(stream, &[7u8; 513][..]),
+            other => panic!("unexpected variant {}", other.variant_name()),
+        }
+    }
+
+    #[test]
+    fn truncated_borrowed_response_rejected() {
+        for resp in sample_responses() {
+            let bytes = resp.encode_to_vec();
+            assert!(AuditResponseRef::decode_exact(&bytes[..bytes.len() - 1]).is_err());
+        }
+        // A corrupt entry count larger than the remaining input is rejected
+        // before any allocation.
+        let mut corrupt = vec![3u8];
+        corrupt.extend_from_slice(&[0u8; 32]);
+        corrupt.push(0xff);
+        corrupt.push(0xff);
+        corrupt.push(0x7f);
+        assert!(matches!(
+            AuditResponseRef::decode_exact(&corrupt).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
     }
 }

@@ -166,6 +166,73 @@ impl Decode for BlobResponse {
     }
 }
 
+/// Borrowed view of a [`BlobResponse`]: every payload aliases the packet
+/// buffer it was decoded from, so a receiver can verify digests (and decide
+/// what to keep) without first copying each blob into its own `Vec`.
+///
+/// Encoding a `BlobResponseRef` is byte-identical to encoding the
+/// [`BlobResponse`] it borrows from or converts into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlobResponseRef<'a> {
+    /// One entry per requested digest, borrowing from the decode input.
+    pub blobs: Vec<Option<&'a [u8]>>,
+}
+
+impl<'a> BlobResponseRef<'a> {
+    /// Decodes a borrowed response from `r`; the payload slices live as long
+    /// as the reader's input.  (An inherent method, not [`Decode`]: the trait
+    /// erases the input lifetime, which a borrowing decode must keep.)
+    pub fn decode(r: &mut Reader<'a>) -> WireResult<BlobResponseRef<'a>> {
+        let n = r.get_varint()?;
+        // Every entry costs at least one tag byte.
+        let max = r.remaining() as u64;
+        if n > max {
+            return Err(WireError::LengthOverflow { declared: n, max });
+        }
+        let mut blobs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            blobs.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_bytes()?),
+                tag => {
+                    return Err(WireError::InvalidTag {
+                        what: "Option",
+                        tag: tag as u64,
+                    })
+                }
+            });
+        }
+        Ok(BlobResponseRef { blobs })
+    }
+
+    /// Total payload bytes carried (excluding framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.blobs.iter().flatten().map(|b| b.len() as u64).sum()
+    }
+
+    /// Copies the borrowed payloads into an owned [`BlobResponse`].
+    pub fn to_owned(&self) -> BlobResponse {
+        BlobResponse {
+            blobs: self.blobs.iter().map(|b| b.map(<[u8]>::to_vec)).collect(),
+        }
+    }
+}
+
+impl Encode for BlobResponseRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.blobs.len() as u64);
+        for blob in &self.blobs {
+            match blob {
+                None => w.put_u8(0),
+                Some(payload) => {
+                    w.put_u8(1);
+                    w.put_bytes(payload);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +305,26 @@ mod tests {
             BlobRequest::decode_exact(&corrupt).unwrap_err(),
             WireError::LengthOverflow { .. }
         ));
+    }
+
+    #[test]
+    fn borrowed_response_matches_owned_decode() {
+        let resp = BlobResponse {
+            blobs: vec![Some(vec![9u8; 100]), None, Some(vec![])],
+        };
+        let bytes = resp.encode_to_vec();
+        let mut r = Reader::new(&bytes);
+        let borrowed = BlobResponseRef::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(borrowed.payload_bytes(), resp.payload_bytes());
+        assert_eq!(borrowed.to_owned(), resp);
+        // Re-encoding the borrowed view reproduces the original bytes.
+        assert_eq!(borrowed.encode_to_vec(), bytes);
+        // The payloads alias the input buffer, not fresh allocations.
+        let payload = borrowed.blobs[0].unwrap();
+        let ptr = payload.as_ptr() as usize;
+        let base = bytes.as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + bytes.len());
     }
 
     #[test]

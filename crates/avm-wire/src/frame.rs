@@ -6,7 +6,7 @@
 //! detect truncation when scanning a byte stream of concatenated records,
 //! e.g. a persisted execution log.
 
-use crate::checksum::crc32;
+use crate::checksum::{crc32, Crc32};
 use crate::varint::{read_varint, varint_len, write_varint};
 use crate::WireError;
 
@@ -58,6 +58,49 @@ pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) -> usize {
     out.extend_from_slice(payload);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     1 + varint_len(payload.len() as u64) + payload.len() + 4
+}
+
+/// Appends one frame whose payload is the concatenation of `parts`.
+///
+/// Byte-identical to [`write_frame`] over the concatenated parts, but the
+/// payload bytes are copied **once** — straight from each part into `out` —
+/// with the checksum accumulated incrementally ([`Crc32`]) instead of over a
+/// materialized concatenation.  This is what lets message sealing write an
+/// envelope prefix and a caller-owned body into the packet without an
+/// intermediate payload buffer.
+pub fn write_frame_parts(out: &mut Vec<u8>, parts: &[&[u8]]) -> usize {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    out.reserve(1 + varint_len(len as u64) + len + 4);
+    out.push(FRAME_MAGIC);
+    write_varint(out, len as u64);
+    let mut crc = Crc32::new();
+    for part in parts {
+        out.extend_from_slice(part);
+        crc.update(part);
+    }
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    1 + varint_len(len as u64) + len + 4
+}
+
+/// One parsed frame, borrowing its payload from the input stream.
+///
+/// The borrowed form of [`read_frame`]'s tuple: `payload` aliases the input
+/// buffer (no copy), and `consumed` says where the next frame starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The checksum-verified payload, borrowed from the input.
+    pub payload: &'a [u8],
+    /// Total bytes the frame occupied, header and checksum included.
+    pub consumed: usize,
+}
+
+impl<'a> Frame<'a> {
+    /// Parses one frame from the front of `input` without copying the
+    /// payload.
+    pub fn parse(input: &'a [u8]) -> Result<Frame<'a>, FrameError> {
+        let (payload, consumed) = read_frame(input)?;
+        Ok(Frame { payload, consumed })
+    }
 }
 
 /// Reads one frame from the front of `input`.
@@ -184,6 +227,37 @@ mod tests {
         write_frame(&mut out, b"truncate me please");
         let cut = &out[..out.len() - 3];
         assert_eq!(read_frame(cut).unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn frame_parts_match_concatenated_payload() {
+        for parts in [
+            vec![b"ab".as_slice(), b"".as_slice(), b"cdef".as_slice()],
+            vec![b"".as_slice()],
+            vec![],
+            vec![&[0xA7u8; 300] as &[u8], b"tail".as_slice()],
+        ] {
+            let concatenated: Vec<u8> = parts.concat();
+            let mut whole = Vec::new();
+            let n_whole = write_frame(&mut whole, &concatenated);
+            let mut split = Vec::new();
+            let n_split = write_frame_parts(&mut split, &parts);
+            assert_eq!(whole, split);
+            assert_eq!(n_whole, n_split);
+        }
+    }
+
+    #[test]
+    fn parsed_frame_borrows_the_input() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"borrowed bytes");
+        let frame = Frame::parse(&out).unwrap();
+        assert_eq!(frame.payload, b"borrowed bytes");
+        assert_eq!(frame.consumed, out.len());
+        // The payload aliases the packet buffer: same address range.
+        let payload_ptr = frame.payload.as_ptr() as usize;
+        let packet_ptr = out.as_ptr() as usize;
+        assert!(payload_ptr >= packet_ptr && payload_ptr < packet_ptr + out.len());
     }
 
     #[test]

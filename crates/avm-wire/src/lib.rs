@@ -34,10 +34,15 @@ pub mod rtt;
 pub mod varint;
 pub mod writer;
 
-pub use audit::{open_message, seal_message, AuditRequest, AuditResponse, SegmentAddress};
-pub use blob::{BlobDigest, BlobRequest, BlobResponse, BLOB_DIGEST_LEN, DEFAULT_BLOB_BATCH};
+pub use audit::{
+    open_message, open_session_frame, seal_message, AuditRequest, AuditResponse, AuditResponseRef,
+    SegmentAddress,
+};
+pub use blob::{
+    BlobDigest, BlobRequest, BlobResponse, BlobResponseRef, BLOB_DIGEST_LEN, DEFAULT_BLOB_BATCH,
+};
 pub use checksum::crc32;
-pub use frame::{read_frame, write_frame, FrameError, FRAME_MAGIC};
+pub use frame::{read_frame, write_frame, write_frame_parts, Frame, FrameError, FRAME_MAGIC};
 pub use reader::Reader;
 pub use rtt::RttModel;
 pub use writer::Writer;

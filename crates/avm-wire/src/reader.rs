@@ -103,8 +103,15 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_string(&mut self) -> WireResult<String> {
+        Ok(self.get_str()?.to_string())
+    }
+
+    /// Reads a length-prefixed UTF-8 string without copying it: the returned
+    /// slice borrows the input (the zero-copy counterpart of
+    /// [`Reader::get_string`]).
+    pub fn get_str(&mut self) -> WireResult<&'a str> {
         let bytes = self.get_bytes()?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
+        core::str::from_utf8(bytes).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
     }
 
     /// Reads a boolean byte, rejecting values other than 0 and 1.

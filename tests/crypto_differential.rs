@@ -1,0 +1,182 @@
+//! Differential battery pinning the raw-speed crypto floor to its references.
+//!
+//! Each optimised core introduced by the crypto-floor work has a slower,
+//! independently-written counterpart that stays in the tree precisely so these
+//! tests can compare them on arbitrary inputs:
+//!
+//! * multi-buffer SHA-256 (`sha256_multi`) vs. the scalar one-message path,
+//! * the 64-bit-limb Montgomery context (`MontgomeryCtx64`) vs. the retained
+//!   32-bit `MontgomeryCtx` and the plain div-rem `modpow_slow`,
+//! * constant-time fixed-window table selection (`ct_select64`) vs. naive
+//!   indexing,
+//! * the RSA-CRT fast path vs. its 32-bit reference signer.
+//!
+//! A mismatch on any lane, limb width, or window index is a soundness bug in
+//! the accountability chain — hashes and signatures are what auditors check —
+//! so these run on every `cargo test`, plus in release mode in CI where the
+//! vectorised code paths actually engage.
+
+use avm_crypto::rsa::RsaKeyPair;
+use avm_crypto::sha256::{sha256, sha256_multi, sha256_multi_prefixed};
+use avm_crypto::{ct_select64, BigUint, MontgomeryCtx, MontgomeryCtx64};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The SHA-256 padding boundaries: an empty message, 55 bytes (last block
+/// with room for the length), 56 bytes (length spills into an extra block),
+/// one full block, and one byte past it.
+const SHA_BOUNDARY_LENS: [usize; 7] = [0, 1, 55, 56, 63, 64, 65];
+
+#[test]
+fn multi_buffer_sha256_matches_scalar_at_padding_boundaries() {
+    // Every combination of boundary lengths across 1..=9 lanes, so each
+    // group width (8-wide, 4-wide, scalar remainder) sees ragged tails.
+    for lanes in 1..=9usize {
+        let messages: Vec<Vec<u8>> = (0..lanes)
+            .map(|i| {
+                let len = SHA_BOUNDARY_LENS[i % SHA_BOUNDARY_LENS.len()];
+                (0..len)
+                    .map(|b| (b as u8).wrapping_mul(31).wrapping_add(i as u8))
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+        let multi = sha256_multi(&views);
+        for (message, digest) in messages.iter().zip(&multi) {
+            assert_eq!(
+                *digest,
+                sha256(message),
+                "lane disagreed with scalar SHA-256"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_lane_list_is_empty() {
+    assert!(sha256_multi(&[]).is_empty());
+}
+
+/// Builds an odd modulus of at least two bytes from arbitrary input bytes.
+fn odd_modulus(bytes: &[u8]) -> BigUint {
+    let mut raw = bytes.to_vec();
+    if raw.len() < 2 {
+        raw.resize(2, 0x5a);
+    }
+    raw[0] |= 0x80; // keep the declared width
+    let last = raw.len() - 1;
+    raw[last] |= 0x01; // Montgomery requires an odd modulus
+    BigUint::from_be_bytes(&raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multi-buffer SHA-256 equals the scalar path for arbitrary lane counts
+    /// and arbitrary (independently sized) message bodies.
+    #[test]
+    fn sha256_multi_matches_scalar(
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200),
+            0..12,
+        )
+    ) {
+        let views: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+        let multi = sha256_multi(&views);
+        prop_assert_eq!(multi.len(), messages.len());
+        for (message, digest) in messages.iter().zip(&multi) {
+            prop_assert_eq!(*digest, sha256(message));
+        }
+    }
+
+    /// The shared-prefix variant equals hashing prefix ‖ body per lane.
+    #[test]
+    fn sha256_multi_prefixed_matches_concatenation(
+        prefix in proptest::collection::vec(any::<u8>(), 0..100),
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..150),
+            1..6,
+        )
+    ) {
+        let views: Vec<&[u8]> = bodies.iter().map(Vec::as_slice).collect();
+        let multi = sha256_multi_prefixed(&prefix, &views);
+        for (body, digest) in bodies.iter().zip(&multi) {
+            let mut whole = prefix.clone();
+            whole.extend_from_slice(body);
+            prop_assert_eq!(*digest, sha256(&whole));
+        }
+    }
+
+    /// 64-bit Montgomery multiplication and squaring agree with the 32-bit
+    /// context and with schoolbook mul + div-rem, over random odd moduli of
+    /// odd and even limb counts (the 64-bit context packs 32-bit limb pairs,
+    /// so odd counts exercise the half-filled top limb).
+    #[test]
+    fn montgomery64_mulmod_matches_reference(
+        modulus_bytes in proptest::collection::vec(any::<u8>(), 2..48),
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let n = odd_modulus(&modulus_bytes);
+        let ctx32 = MontgomeryCtx::new(&n).expect("odd modulus");
+        let ctx64 = MontgomeryCtx64::new(&n).expect("odd modulus");
+        let a = BigUint::from_be_bytes(&a_bytes).rem(&n);
+        let b = BigUint::from_be_bytes(&b_bytes).rem(&n);
+        prop_assert_eq!(ctx64.mulmod(&a, &b), ctx32.mulmod(&a, &b));
+        prop_assert_eq!(ctx64.mulmod(&a, &b), a.mulmod(&b, &n));
+        prop_assert_eq!(ctx64.sqrmod(&a), ctx32.sqrmod(&a));
+        prop_assert_eq!(ctx64.sqrmod(&a), a.mulmod(&a, &n));
+    }
+
+    /// Windowed 64-bit modpow agrees with the 32-bit reference dispatch and
+    /// the binary square-and-multiply fallback.
+    #[test]
+    fn montgomery64_modpow_matches_reference(
+        modulus_bytes in proptest::collection::vec(any::<u8>(), 2..32),
+        base_bytes in proptest::collection::vec(any::<u8>(), 0..32),
+        exp_bytes in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let n = odd_modulus(&modulus_bytes);
+        let base = BigUint::from_be_bytes(&base_bytes).rem(&n);
+        let exp = BigUint::from_be_bytes(&exp_bytes);
+        let fast = base.modpow(&exp, &n);
+        prop_assert_eq!(&fast, &base.modpow_ref32(&exp, &n));
+        prop_assert_eq!(&fast, &base.modpow_slow(&exp, &n));
+    }
+
+    /// Constant-time window selection returns exactly the naively indexed
+    /// table entry for every in-range index.
+    #[test]
+    fn ct_select64_matches_naive_indexing(
+        entries in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..8),
+            1..33,
+        ),
+        index in any::<usize>(),
+    ) {
+        // All rows of a window table share one width; pad to the widest.
+        let width = entries.iter().map(Vec::len).max().unwrap();
+        let table: Vec<Vec<u64>> = entries
+            .into_iter()
+            .map(|mut row| { row.resize(width, 0); row })
+            .collect();
+        let index = index % table.len();
+        prop_assert_eq!(ct_select64(&table, index), table[index].clone());
+    }
+}
+
+/// End-to-end pin: the RSA-CRT signer riding 64-bit Montgomery produces the
+/// same signatures as the retained 32-bit reference signer, bit for bit.
+#[test]
+fn rsa_sign_fast_path_matches_ref32() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_c0de);
+    let keys = RsaKeyPair::generate(&mut rng, 512);
+    for round in 0u8..4 {
+        let digest = sha256(&[round; 17]);
+        assert_eq!(
+            keys.sign_digest(&digest),
+            keys.private.sign_digest_ref32(&digest)
+        );
+    }
+}

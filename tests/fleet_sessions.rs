@@ -8,13 +8,16 @@
 use avm_core::config::AvmmOptions;
 use avm_core::endpoint::{AuditClient, AuditServer, SimNetTransport};
 use avm_core::envelope::{Envelope, EnvelopeKind};
-use avm_core::fleet::{run_fleet, FleetConfig};
+use avm_core::fleet::{
+    run_fleet, AuditTask, FleetAuditor, FleetConfig, ProviderConfig, ProviderNode,
+};
 use avm_core::recorder::{Avmm, HostClock};
 use avm_crypto::keys::{SignatureScheme, SigningKey};
-use avm_net::LinkConfig;
+use avm_net::{run_event_loop, Endpoint, LinkConfig, NodeId, SimNet};
 use avm_vm::bytecode::assemble;
 use avm_vm::packet::encode_guest_packet;
 use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::audit::CLIENT_SESSION;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -200,5 +203,98 @@ proptest! {
             2 * (auditors as u64 - active),
             hits
         );
+    }
+}
+
+/// Heterogeneous tasks on one provider: auditors checking *different* chunk
+/// ranges force cache misses — one per distinct cacheable encoding (a
+/// `LogChunk{start,k}` per distinct task, a `Manifest(start)` per distinct
+/// start) — while auditors sharing a range still hit.  Every session must
+/// also match its own serial baseline, so the mixed hit/miss traffic is
+/// provably not leaking one task's bytes into another's audit.
+#[test]
+fn heterogeneous_chunk_ranges_miss_per_distinct_key() {
+    let image = worker_image();
+    let registry = GuestRegistry::new();
+    let workload = [(0u8, true), (1, true), (2, true), (3, false)];
+    let (avmm, snapshots_taken) = record_workload(&image, &registry, &workload);
+    assert_eq!(snapshots_taken, 3);
+
+    // Five sessions over four distinct (start, k) tasks and three distinct
+    // starts; the last task repeats the first so at least one pair shares
+    // *both* cacheable keys.
+    let tasks: [(u64, u64); 5] = [(0, 1), (1, 1), (0, 2), (2, 1), (0, 1)];
+    let distinct_chunks = 4u64; // |{(start, k)}|
+    let distinct_manifests = 3u64; // |{start}|
+
+    // Serial baselines, one blocking client per task.
+    let baselines: Vec<_> = tasks
+        .iter()
+        .map(|&(start, k)| {
+            let mut client = AuditClient::new(SimNetTransport::new(
+                AuditServer::new(avmm.log(), avmm.snapshots()),
+                LinkConfig::default(),
+            ));
+            client
+                .spot_check_on_demand(start, k, &image, &registry)
+                .unwrap()
+        })
+        .collect();
+
+    let link = LinkConfig::default();
+    let timeout_us = 8 * link.latency_us + link.serialise_micros(1 << 20);
+    let mut net = SimNet::new(link);
+    let mut provider = ProviderNode::new(
+        NodeId(1),
+        AuditServer::new(avmm.log(), avmm.snapshots()),
+        ProviderConfig::default(),
+    );
+    let mut auditors: Vec<FleetAuditor> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, k))| {
+            FleetAuditor::new(
+                NodeId(2 + i as u32),
+                NodeId(1),
+                CLIENT_SESSION + i as u64,
+                avmm.snapshots(),
+                &image,
+                &registry,
+                AuditTask {
+                    start_snapshot: start,
+                    chunk: k,
+                    on_demand: true,
+                    start_at_us: i as u64 * 150,
+                },
+                timeout_us,
+            )
+        })
+        .collect();
+    let mut endpoints: Vec<&mut dyn Endpoint> = vec![&mut provider];
+    for auditor in auditors.iter_mut() {
+        endpoints.push(auditor);
+    }
+    let report = run_event_loop(&mut net, &mut endpoints, 10_000_000);
+    assert!(report.quiescent);
+    drop(endpoints);
+
+    // Hit/miss accounting: on a lossless link each session serves exactly
+    // one chunk and one manifest request, so the cacheable traffic is
+    // 2 × sessions, of which only the distinct encodings miss.
+    let stats = provider.stats();
+    assert_eq!(stats.sessions_created, tasks.len() as u64);
+    assert_eq!(stats.cache.misses, distinct_chunks + distinct_manifests);
+    assert_eq!(stats.cache.entries, distinct_chunks + distinct_manifests);
+    assert_eq!(
+        stats.cache.hits,
+        2 * tasks.len() as u64 - (distinct_chunks + distinct_manifests)
+    );
+
+    for (auditor, baseline) in auditors.into_iter().zip(&baselines) {
+        assert!(auditor.finished());
+        let (outcome, _cache) = auditor.into_parts();
+        let fleet_report = outcome.unwrap();
+        assert_eq!(fleet_report.semantic(), baseline.semantic());
+        assert_eq!(fleet_report.transport.retransmissions, 0);
     }
 }
