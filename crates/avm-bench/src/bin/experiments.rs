@@ -129,9 +129,17 @@ fn main() {
                     &experiments::fleet_metrics(&r, quick),
                 );
             }
+            "paraudit" | "parallel" | "pipeline" => {
+                let r = experiments::exp_paraudit(quick);
+                write_bench(
+                    "paraudit",
+                    "BENCH_paraudit.json",
+                    &experiments::paraudit_metrics(&r, quick),
+                );
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fleet fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fleet paraudit fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

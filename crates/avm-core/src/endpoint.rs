@@ -88,6 +88,7 @@ use crate::error::{CoreError, FaultReason};
 use crate::ondemand::{
     dedup_transfer_from_manifest, AuditorBlobCache, BlobProvider, ChainManifest, DedupTransfer,
 };
+use crate::paraudit::{replay_chunk_parallel, ParallelReplayStats};
 use crate::replay::{ReplayOutcome, Replayer};
 use crate::snapshot::SnapshotStore;
 use crate::spotcheck::{
@@ -789,6 +790,102 @@ impl<T: AuditTransport> AuditClient<T> {
         registry: &GuestRegistry,
     ) -> Result<SpotCheckReport, CoreError> {
         self.spot_check_impl(start_snapshot, k, image, registry, false)
+    }
+
+    /// [`AuditClient::spot_check`] with the chunk's segments replayed in
+    /// parallel on up to `workers` lanes (§6: segments between snapshots
+    /// replay independently on multiple cores) — field-for-field identical
+    /// to the serial report by construction (see [`crate::paraudit`] for
+    /// the identity argument): the same two exchanges cross the wire in the
+    /// same order, so verdict, fault attribution, byte and round-trip
+    /// accounting all match.
+    pub fn spot_check_parallel(
+        &mut self,
+        start_snapshot: u64,
+        k: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+        workers: usize,
+    ) -> Result<SpotCheckReport, CoreError> {
+        self.spot_check_parallel_detail(start_snapshot, k, image, registry, workers)
+            .map(|(report, _)| report)
+    }
+
+    /// [`AuditClient::spot_check_parallel`] plus the engine's execution
+    /// telemetry (unit count, lanes, per-unit CPU) — the benchmark seam.
+    pub fn spot_check_parallel_detail(
+        &mut self,
+        start_snapshot: u64,
+        k: u64,
+        image: &VmImage,
+        registry: &GuestRegistry,
+        workers: usize,
+    ) -> Result<(SpotCheckReport, ParallelReplayStats), CoreError> {
+        let stats_before = self.transport.stats();
+        // Identical exchange sequence to the serial full-download path:
+        // chunk, then sections.  Only the replay step differs.
+        let entries = self.fetch_log_chunk(start_snapshot, k)?;
+        let log_cost = CompressionStats::measure_stream(
+            entries.iter().map(|e| e.encode_to_vec()),
+            TRANSFER_COMPRESSION,
+        );
+        if let Err(fault) = snapshot_positions_in(&entries) {
+            return Ok((
+                SpotCheckReport {
+                    start_snapshot,
+                    chunk_size: k,
+                    consistent: false,
+                    fault: Some(fault),
+                    entries_replayed: 0,
+                    steps_replayed: 0,
+                    snapshot_transfer_bytes: 0,
+                    log_transfer_bytes: log_cost.raw_bytes,
+                    snapshot_transfer_compressed_bytes: 0,
+                    log_transfer_compressed_bytes: log_cost.compressed_bytes,
+                    snapshot_transfer_dedup_bytes: 0,
+                    snapshot_transfer_dedup_compressed_bytes: 0,
+                    on_demand: None,
+                    transport: self.transport.stats().since(&stats_before),
+                },
+                ParallelReplayStats::default(),
+            ));
+        }
+        let stream = self.fetch_sections(start_snapshot)?;
+        debug_assert_eq!(
+            stream.len() as u64,
+            self.transport
+                .provider_store()
+                .transfer_bytes_upto(start_snapshot),
+            "section stream and full-dump accounting diverged"
+        );
+        let snapshot_cost = CompressionStats::measure(&stream, TRANSFER_COMPRESSION);
+        let outcome = replay_chunk_parallel(
+            &entries,
+            image,
+            registry,
+            self.transport.provider_store(),
+            start_snapshot,
+            workers,
+        )?;
+        Ok((
+            SpotCheckReport {
+                start_snapshot,
+                chunk_size: k,
+                consistent: outcome.consistent,
+                fault: outcome.fault,
+                entries_replayed: outcome.progress.entries_replayed,
+                steps_replayed: outcome.progress.steps_executed,
+                snapshot_transfer_bytes: snapshot_cost.raw_bytes,
+                log_transfer_bytes: log_cost.raw_bytes,
+                snapshot_transfer_compressed_bytes: snapshot_cost.compressed_bytes,
+                log_transfer_compressed_bytes: log_cost.compressed_bytes,
+                snapshot_transfer_dedup_bytes: 0,
+                snapshot_transfer_dedup_compressed_bytes: 0,
+                on_demand: None,
+                transport: self.transport.stats().since(&stats_before),
+            },
+            outcome.stats,
+        ))
     }
 
     /// Spot check in on-demand mode (§3.5 incremental state requests),

@@ -23,6 +23,12 @@
 //!   retransmission policy of [`crate::endpoint::AuditClient`] over a
 //!   [`crate::endpoint::SimNetTransport`]; a single-session fleet run is
 //!   field-identical to that path (pinned by unit and property tests).
+//!   With a [`ReplayCpuModel`] configured, replay CPU charges to the
+//!   simulated clock; in **pipelined** mode the auditor replays the chunk
+//!   segment-wise and puts each segment's blob batches on the wire the
+//!   moment that segment's CPU finishes — fetch for segment i+1 overlaps
+//!   replay of segment i instead of stalling behind the whole replay
+//!   (verdicts and transfer columns never move, only completion latency).
 //! * [`run_fleet`] — builds M providers and N auditors over one link
 //!   config, drives them with [`avm_net::run_event_loop`], and returns
 //!   every report plus per-session completion latencies, provider cache
@@ -51,11 +57,12 @@ use avm_wire::{BlobRequest, Decode, Encode, DEFAULT_BLOB_BATCH};
 use crate::endpoint::{
     decode_entries, protocol_violation, AuditServer, TransportStats, DEFAULT_MAX_ATTEMPTS,
 };
-use crate::error::CoreError;
+use crate::error::{CoreError, FaultReason};
 use crate::ondemand::{
     operator_missing, verify_blob_batch, AuditorBlobCache, BlobFetch, ChainManifest, DedupTransfer,
     FaultClassification, OnDemandSession,
 };
+use crate::paraudit::{partition_chunk, ReplayCpuModel};
 use crate::replay::{ReplayOutcome, ReplaySummary, Replayer};
 use crate::snapshot::{SnapshotStore, TransferCost};
 use crate::spotcheck::{snapshot_positions_in, SpotCheckReport, TRANSFER_COMPRESSION};
@@ -386,12 +393,17 @@ struct BlobExchange {
     log_cost: TransferCost,
     snapshot_cost: TransferCost,
     consistent: bool,
-    fault: Option<crate::error::FaultReason>,
+    fault: Option<FaultReason>,
     progress: ReplaySummary,
     dedup: DedupTransfer,
     session: OnDemandSession,
     classification: FaultClassification,
     batches: Vec<BlobRequest>,
+    /// Modelled instant each batch's request becomes sendable (0 = at
+    /// once).  The classic path leaves every entry at 0; the pipelined
+    /// path stamps each batch with the simulated time the replay CPU for
+    /// its segment finishes.
+    ready_at: Vec<u64>,
     next_batch: usize,
     fetch: BlobFetch,
     encoded: Vec<u8>,
@@ -403,10 +415,13 @@ enum Phase {
     Idle,
     /// Log chunk requested.
     Chunk,
-    /// Full-download mode: sections requested.
+    /// Full-download mode: sections requested.  In pipelined mode the
+    /// replay already ran while the sections stream is on the wire, and its
+    /// verdict rides here.
     Sections {
         entries: Vec<LogEntry>,
         log_cost: TransferCost,
+        prereplayed: Option<(bool, Option<FaultReason>, ReplaySummary)>,
     },
     /// On-demand mode: manifest requested.
     Manifest {
@@ -416,6 +431,9 @@ enum Phase {
     },
     /// On-demand mode: settle-time blob batches in flight.
     Blobs(Box<BlobExchange>),
+    /// Wire work done; modelled replay CPU still charging.  Complete at
+    /// `at` with the finished report.
+    Draining { at: u64, report: SpotCheckReport },
     /// Finished (report or error recorded).
     Done,
 }
@@ -441,6 +459,18 @@ pub struct FleetAuditor<'a> {
     phase: Phase,
     outcome: Option<Result<SpotCheckReport, CoreError>>,
     finished_at_us: Option<u64>,
+    /// When set, replay CPU is charged to the simulated clock at this rate
+    /// (default: replay is a zero-time event, the pinned classic timing).
+    replay_cpu: Option<ReplayCpuModel>,
+    /// Overlap wire wait with modelled replay CPU (segment-wise replay,
+    /// per-segment fetches) instead of stalling fetches behind the full
+    /// replay.  Only meaningful with `replay_cpu` set.
+    pipelined: bool,
+    /// Modelled instant this auditor's replay CPU goes idle; settlement
+    /// never precedes it.
+    cpu_busy_until: u64,
+    /// A request staged until its segment's replay CPU finishes.
+    deferred: Option<(u64, AuditRequest)>,
 }
 
 impl<'a> FleetAuditor<'a> {
@@ -479,12 +509,28 @@ impl<'a> FleetAuditor<'a> {
             phase: Phase::Idle,
             outcome: None,
             finished_at_us: None,
+            replay_cpu: None,
+            pipelined: false,
+            cpu_busy_until: 0,
+            deferred: None,
         }
     }
 
     /// Resumes with a persistent blob cache from earlier audits.
     pub fn with_cache(mut self, cache: AuditorBlobCache) -> FleetAuditor<'a> {
         self.cache = cache;
+        self
+    }
+
+    /// Charges replay CPU to the simulated clock under `model`, optionally
+    /// `pipelined`: replay runs segment-wise and each segment's blob
+    /// batches go on the wire the moment that segment's CPU is done, so
+    /// wire wait and replay CPU overlap instead of strictly alternating
+    /// (stalled).  The verdict and every transfer column are unaffected —
+    /// only the session's completion latency moves.
+    pub fn with_replay_cpu(mut self, model: ReplayCpuModel, pipelined: bool) -> FleetAuditor<'a> {
+        self.replay_cpu = Some(model);
+        self.pipelined = pipelined;
         self
     }
 
@@ -540,6 +586,7 @@ impl<'a> FleetAuditor<'a> {
     fn complete(&mut self, now: u64, outcome: Result<SpotCheckReport, CoreError>) {
         self.phase = Phase::Done;
         self.pending = None;
+        self.deferred = None;
         self.outcome = Some(outcome);
         self.finished_at_us = Some(now);
     }
@@ -558,15 +605,23 @@ impl<'a> FleetAuditor<'a> {
         }
         match std::mem::replace(&mut self.phase, Phase::Done) {
             Phase::Chunk => self.on_chunk(net, response),
-            Phase::Sections { entries, log_cost } => {
-                self.on_sections(net, response, entries, log_cost)
-            }
+            Phase::Sections {
+                entries,
+                log_cost,
+                prereplayed,
+            } => self.on_sections(net, response, entries, log_cost, prereplayed),
             Phase::Manifest {
                 entries,
                 log_cost,
                 snapshot_cost,
             } => self.on_manifest(net, response, entries, log_cost, snapshot_cost),
             Phase::Blobs(exchange) => self.on_blobs(net, response, exchange),
+            // No exchange is pending while CPU drains, so no response can
+            // arrive here; restore the phase for form's sake.
+            Phase::Draining { at, report } => {
+                self.phase = Phase::Draining { at, report };
+                Ok(())
+            }
             Phase::Idle | Phase::Done => Ok(()),
         }
     }
@@ -626,7 +681,36 @@ impl<'a> FleetAuditor<'a> {
             let request = AuditRequest::Sections {
                 upto_id: self.task.start_snapshot,
             };
-            self.phase = Phase::Sections { entries, log_cost };
+            // Pipelined full-download mode: the verdict never depends on
+            // the sections stream (the machine materializes from the
+            // accounting plane, which holds the same authenticated bytes),
+            // so replay runs *while* the stream is on the wire and the
+            // session completes at max(stream arrival, CPU done) instead
+            // of their sum.
+            let prereplayed = match (self.pipelined, self.replay_cpu) {
+                (true, Some(model)) => {
+                    let mut replayer = Replayer::from_snapshot(
+                        self.image,
+                        self.registry,
+                        self.provider_store,
+                        self.task.start_snapshot,
+                    )?;
+                    let (consistent, fault) = match replayer.replay(&entries) {
+                        ReplayOutcome::Consistent(_) => (true, None),
+                        ReplayOutcome::Fault(f) => (false, Some(f)),
+                    };
+                    let progress = replayer.summary();
+                    self.cpu_busy_until = net.now()
+                        + model.cost_micros(progress.steps_executed, progress.entries_replayed);
+                    Some((consistent, fault, progress))
+                }
+                _ => None,
+            };
+            self.phase = Phase::Sections {
+                entries,
+                log_cost,
+                prereplayed,
+            };
             self.send_request(net, &request);
         }
         Ok(())
@@ -638,6 +722,7 @@ impl<'a> FleetAuditor<'a> {
         response: AuditResponseRef<'_>,
         entries: Vec<LogEntry>,
         log_cost: TransferCost,
+        prereplayed: Option<(bool, Option<FaultReason>, ReplaySummary)>,
     ) -> Result<(), CoreError> {
         // The stream is measured straight from the packet buffer — the
         // full-dump column never materializes an owned copy of it.
@@ -652,17 +737,29 @@ impl<'a> FleetAuditor<'a> {
             "section stream and full-dump accounting diverged"
         );
         let snapshot_cost = CompressionStats::measure(stream, TRANSFER_COMPRESSION);
-        let mut replayer = Replayer::from_snapshot(
-            self.image,
-            self.registry,
-            self.provider_store,
-            self.task.start_snapshot,
-        )?;
-        let (consistent, fault) = match replayer.replay(&entries) {
-            ReplayOutcome::Consistent(_) => (true, None),
-            ReplayOutcome::Fault(f) => (false, Some(f)),
+        let (consistent, fault, progress) = match prereplayed {
+            Some(verdict) => verdict,
+            None => {
+                let mut replayer = Replayer::from_snapshot(
+                    self.image,
+                    self.registry,
+                    self.provider_store,
+                    self.task.start_snapshot,
+                )?;
+                let (consistent, fault) = match replayer.replay(&entries) {
+                    ReplayOutcome::Consistent(_) => (true, None),
+                    ReplayOutcome::Fault(f) => (false, Some(f)),
+                };
+                let progress = replayer.summary();
+                if let Some(model) = self.replay_cpu {
+                    // Stalled mode: the whole replay charges after the
+                    // stream arrives.
+                    self.cpu_busy_until = net.now()
+                        + model.cost_micros(progress.steps_executed, progress.entries_replayed);
+                }
+                (consistent, fault, progress)
+            }
         };
-        let progress = replayer.summary();
         let report = SpotCheckReport {
             start_snapshot: self.task.start_snapshot,
             chunk_size: self.task.chunk,
@@ -679,8 +776,24 @@ impl<'a> FleetAuditor<'a> {
             on_demand: None,
             transport: self.stats,
         };
-        self.complete(net.now(), Ok(report));
+        self.finish_report(net, report);
         Ok(())
+    }
+
+    /// Records `report`, waiting out any modelled replay CPU still charging
+    /// (with no model configured this completes immediately — the pinned
+    /// classic timing).
+    fn finish_report(&mut self, net: &SimNet, report: SpotCheckReport) {
+        let now = net.now();
+        if self.cpu_busy_until > now {
+            self.phase = Phase::Draining {
+                at: self.cpu_busy_until,
+                report,
+            };
+            self.pending = None;
+        } else {
+            self.complete(now, Ok(report));
+        }
     }
 
     fn on_manifest(
@@ -707,24 +820,103 @@ impl<'a> FleetAuditor<'a> {
             &self.cache,
         )?;
         let dedup = session.price_full_download(self.provider_store, TRANSFER_COMPRESSION)?;
-        let (consistent, fault) = match replayer.replay(&entries) {
-            ReplayOutcome::Consistent(_) => (true, None),
-            ReplayOutcome::Fault(f) => (false, Some(f)),
-        };
-        let progress = replayer.summary();
-        let classification = session.classify_faults(replayer.machine())?;
-        // The front half of the blob exchange: consult the cache, batch the
-        // rest.  (`needed` is already duplicate-free.)
-        let mut fetch = BlobFetch::default();
-        let mut missing: Vec<avm_wire::BlobDigest> = Vec::new();
-        for digest in &classification.needed {
-            if self.cache.contains(digest) {
-                fetch.cache_hits += 1;
-            } else {
-                missing.push(digest.0);
-            }
-        }
-        let batches = BlobRequest::batches(&missing, DEFAULT_BLOB_BATCH);
+        let (consistent, fault, progress, classification, batches, ready_at, fetch) =
+            match (self.pipelined, self.replay_cpu) {
+                (true, Some(model)) => {
+                    // Pipelined mode: replay segment-wise, classify the
+                    // faults each segment appended, and stamp that
+                    // segment's batches with the instant its replay CPU
+                    // finishes — so batch i rides the wire while segment
+                    // i+1 replays.  Replay itself never waits for the
+                    // wire (divergent state is staged from the accounting
+                    // plane; the blob exchange prices what faulted), which
+                    // is exactly what makes the overlap sound.
+                    let positions = snapshot_positions_in(&entries).unwrap_or_default();
+                    let units = partition_chunk(&entries, &positions);
+                    let mut classifier = session.incremental_classifier();
+                    let mut cpu_done = net.now();
+                    let mut consistent = true;
+                    let mut fault = None;
+                    let mut batches: Vec<BlobRequest> = Vec::new();
+                    let mut ready_at: Vec<u64> = Vec::new();
+                    let mut fetch = BlobFetch::default();
+                    let mut steps_before = 0u64;
+                    for unit in &units {
+                        let segment = &entries[unit.range.clone()];
+                        let outcome = replayer.replay(segment);
+                        let steps_now = replayer.summary().steps_executed;
+                        cpu_done +=
+                            model.cost_micros(steps_now - steps_before, segment.len() as u64);
+                        steps_before = steps_now;
+                        let fresh = classifier.classify_new(&session, replayer.machine())?;
+                        let mut missing: Vec<avm_wire::BlobDigest> = Vec::new();
+                        for digest in &fresh {
+                            if self.cache.contains(digest) {
+                                fetch.cache_hits += 1;
+                            } else {
+                                missing.push(digest.0);
+                            }
+                        }
+                        for batch in BlobRequest::batches(&missing, DEFAULT_BLOB_BATCH) {
+                            batches.push(batch);
+                            ready_at.push(cpu_done);
+                        }
+                        if let ReplayOutcome::Fault(f) = outcome {
+                            consistent = false;
+                            fault = Some(f);
+                            break; // serial replay stops at the fault too
+                        }
+                    }
+                    self.cpu_busy_until = cpu_done;
+                    let classification = classifier.into_classification(replayer.machine());
+                    let progress = replayer.summary();
+                    (
+                        consistent,
+                        fault,
+                        progress,
+                        classification,
+                        batches,
+                        ready_at,
+                        fetch,
+                    )
+                }
+                _ => {
+                    let (consistent, fault) = match replayer.replay(&entries) {
+                        ReplayOutcome::Consistent(_) => (true, None),
+                        ReplayOutcome::Fault(f) => (false, Some(f)),
+                    };
+                    let progress = replayer.summary();
+                    let classification = session.classify_faults(replayer.machine())?;
+                    if let Some(model) = self.replay_cpu {
+                        // Stalled mode: the full replay charges before the
+                        // first blob batch can go out.
+                        self.cpu_busy_until = net.now()
+                            + model.cost_micros(progress.steps_executed, progress.entries_replayed);
+                    }
+                    // The front half of the blob exchange: consult the
+                    // cache, batch the rest.  (`needed` is duplicate-free.)
+                    let mut fetch = BlobFetch::default();
+                    let mut missing: Vec<avm_wire::BlobDigest> = Vec::new();
+                    for digest in &classification.needed {
+                        if self.cache.contains(digest) {
+                            fetch.cache_hits += 1;
+                        } else {
+                            missing.push(digest.0);
+                        }
+                    }
+                    let batches = BlobRequest::batches(&missing, DEFAULT_BLOB_BATCH);
+                    let ready_at = vec![self.cpu_busy_until; batches.len()];
+                    (
+                        consistent,
+                        fault,
+                        progress,
+                        classification,
+                        batches,
+                        ready_at,
+                        fetch,
+                    )
+                }
+            };
         let exchange = Box::new(BlobExchange {
             log_cost,
             snapshot_cost,
@@ -735,6 +927,7 @@ impl<'a> FleetAuditor<'a> {
             session,
             classification,
             batches,
+            ready_at,
             next_batch: 0,
             fetch,
             encoded: Vec::new(),
@@ -745,9 +938,21 @@ impl<'a> FleetAuditor<'a> {
             return Ok(());
         }
         let request = AuditRequest::Blobs(exchange.batches[0].clone());
+        let ready = exchange.ready_at[0];
         self.phase = Phase::Blobs(exchange);
-        self.send_request(net, &request);
+        self.dispatch_batch(net, request, ready);
         Ok(())
+    }
+
+    /// Sends a blob batch now, or stages it until its segment's replay CPU
+    /// is done (`ready` in the past — the classic path's 0 always is —
+    /// sends immediately).
+    fn dispatch_batch(&mut self, net: &mut SimNet, request: AuditRequest, ready: u64) {
+        if net.now() >= ready {
+            self.send_request(net, &request);
+        } else {
+            self.deferred = Some((ready, request));
+        }
     }
 
     fn on_blobs(
@@ -791,8 +996,9 @@ impl<'a> FleetAuditor<'a> {
         exchange.next_batch += 1;
         if exchange.next_batch < exchange.batches.len() {
             let request = AuditRequest::Blobs(exchange.batches[exchange.next_batch].clone());
+            let ready = exchange.ready_at[exchange.next_batch];
             self.phase = Phase::Blobs(exchange);
-            self.send_request(net, &request);
+            self.dispatch_batch(net, request, ready);
         } else {
             self.settle(net, *exchange);
         }
@@ -832,7 +1038,7 @@ impl<'a> FleetAuditor<'a> {
             on_demand: Some(cost),
             transport: self.stats,
         };
-        self.complete(net.now(), Ok(report));
+        self.finish_report(net, report);
     }
 }
 
@@ -885,6 +1091,29 @@ impl Endpoint for FleetAuditor<'_> {
             self.send_request(net, &request);
         }
         let now = net.now();
+        // Modelled replay CPU still charging: complete the moment it is
+        // done (the wire work already finished).
+        if matches!(self.phase, Phase::Draining { .. }) {
+            let Phase::Draining { at, report } = std::mem::replace(&mut self.phase, Phase::Done)
+            else {
+                unreachable!("matched Draining above");
+            };
+            if now < at {
+                self.phase = Phase::Draining { at, report };
+                return Some(at);
+            }
+            self.complete(now, Ok(report));
+            return None;
+        }
+        // A blob batch staged behind its segment's replay CPU: send it the
+        // moment the CPU frees up.
+        if let Some((at, _)) = &self.deferred {
+            if now < *at {
+                return Some(*at);
+            }
+            let (_, request) = self.deferred.take().expect("deferred checked");
+            self.send_request(net, &request);
+        }
         let (deadline, attempts, started_at, packet_len) = {
             let pending = self.pending.as_ref()?;
             (
@@ -955,6 +1184,14 @@ pub struct FleetConfig {
     pub chunk: u64,
     /// §3.5 on-demand mode (vs full state download).
     pub on_demand: bool,
+    /// Charge replay CPU to the simulated clock under this model.  `None`
+    /// (default): replay is a zero-time event — the pinned classic timing.
+    pub replay_cpu: Option<ReplayCpuModel>,
+    /// With `replay_cpu` set: overlap wire wait with replay CPU (fetch for
+    /// segment i+1 while segment i replays) instead of stalling fetches
+    /// behind the full replay.  Verdicts and transfer columns never move;
+    /// only completion latency does.
+    pub pipelined: bool,
     /// Provider scheduling and session-lifetime knobs.
     pub provider: ProviderConfig,
     /// Event-loop safety bound.
@@ -971,6 +1208,8 @@ impl Default for FleetConfig {
             start_snapshot: 0,
             chunk: 1,
             on_demand: true,
+            replay_cpu: None,
+            pipelined: false,
             provider: ProviderConfig::default(),
             max_steps: 10_000_000,
         }
@@ -1019,7 +1258,7 @@ pub fn run_fleet(
         .collect();
     let mut auditors: Vec<FleetAuditor> = (0..config.auditors)
         .map(|i| {
-            FleetAuditor::new(
+            let auditor = FleetAuditor::new(
                 NodeId((provider_count + 1 + i) as u32),
                 NodeId((i % provider_count) as u32 + 1),
                 CLIENT_SESSION + i as u64,
@@ -1033,7 +1272,11 @@ pub fn run_fleet(
                     start_at_us: i as u64 * config.inter_arrival_us,
                 },
                 timeout_us,
-            )
+            );
+            match config.replay_cpu {
+                Some(model) => auditor.with_replay_cpu(model, config.pipelined),
+                None => auditor,
+            }
         })
         .collect();
     let mut endpoints: Vec<&mut dyn Endpoint> = Vec::with_capacity(provider_count + auditors.len());
@@ -1156,6 +1399,111 @@ mod tests {
         assert_eq!(provider.cache.entries, 2);
         assert_eq!(provider.cache.misses, 2);
         assert_eq!(provider.cache.hits, 2 * (n as u64 - 1));
+    }
+
+    /// With replay CPU charged to the simulated clock, the pipelined mode
+    /// (fetch segment i+1's blobs while segment i replays) strictly beats
+    /// the stalled mode (all replay, then all fetches) on a lossy link —
+    /// while the verdict, the fetched blob set and every fault counter stay
+    /// identical.  The classic zero-CPU report also agrees with the stalled
+    /// one on everything but timing (`semantic()` equality).
+    #[test]
+    fn pipelined_fetch_beats_stalled_fetch_on_a_lossy_link() {
+        let (bob, image) = record_with_snapshots(4);
+        let registry = GuestRegistry::new();
+        let link = LinkConfig {
+            drop_every: 3,
+            ..LinkConfig::default()
+        };
+        let run = |replay_cpu: Option<ReplayCpuModel>, pipelined: bool| {
+            let config = FleetConfig {
+                link,
+                on_demand: true,
+                start_snapshot: 0,
+                chunk: 4,
+                replay_cpu,
+                pipelined,
+                ..FleetConfig::default()
+            };
+            let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+            assert!(outcome.event_loop.quiescent);
+            let report = outcome.reports[0].as_ref().unwrap().clone();
+            (report, outcome.latencies_us[0])
+        };
+        let model = ReplayCpuModel::DEFAULT;
+        let (classic, classic_latency) = run(None, false);
+        let (stalled, stalled_latency) = run(Some(model), false);
+        let (pipelined, pipelined_latency) = run(Some(model), true);
+
+        // Charging CPU moves *when*, never *what*: the stalled report equals
+        // the classic one outside the transport timing column.
+        assert_eq!(classic.semantic(), stalled.semantic());
+        assert!(stalled_latency > classic_latency);
+
+        // Pipelining recovers part of the CPU charge by overlapping it with
+        // the wire — strictly between the other two.
+        assert!(
+            pipelined_latency < stalled_latency,
+            "pipelined {pipelined_latency} !< stalled {stalled_latency}"
+        );
+        assert!(pipelined_latency >= classic_latency);
+
+        // Same verdict, same faults, same blobs over the wire; only batch
+        // boundaries (and so round-trip framing) may differ.
+        assert_eq!(pipelined.consistent, stalled.consistent);
+        assert_eq!(pipelined.fault, stalled.fault);
+        assert_eq!(pipelined.entries_replayed, stalled.entries_replayed);
+        assert_eq!(pipelined.steps_replayed, stalled.steps_replayed);
+        let stalled_cost = stalled.on_demand.as_ref().unwrap();
+        let pipelined_cost = pipelined.on_demand.as_ref().unwrap();
+        let sorted = |cost: &crate::ondemand::OnDemandCost| {
+            let mut fetched: Vec<[u8; 32]> = cost.fetched.iter().map(|d| d.0).collect();
+            fetched.sort_unstable();
+            fetched
+        };
+        assert!(!stalled_cost.fetched.is_empty(), "workload fetched nothing");
+        assert_eq!(sorted(stalled_cost), sorted(pipelined_cost));
+        assert_eq!(pipelined_cost.cache_hits, stalled_cost.cache_hits);
+        assert_eq!(pipelined_cost.chunks_faulted, stalled_cost.chunks_faulted);
+        assert_eq!(pipelined_cost.blocks_faulted, stalled_cost.blocks_faulted);
+        assert_eq!(
+            pipelined_cost.untouched_staged,
+            stalled_cost.untouched_staged
+        );
+        assert_eq!(pipelined_cost.manifest_bytes, stalled_cost.manifest_bytes);
+    }
+
+    /// Full-download mode with replay CPU charged: the pipelined auditor
+    /// replays while the sections stream is on the wire, completing at
+    /// max(stream, CPU) instead of their sum — same report either way.
+    #[test]
+    fn pipelined_full_download_overlaps_replay_with_the_stream() {
+        let (bob, image) = record_with_snapshots(4);
+        let registry = GuestRegistry::new();
+        let run = |replay_cpu: Option<ReplayCpuModel>, pipelined: bool| {
+            let config = FleetConfig {
+                on_demand: false,
+                start_snapshot: 0,
+                chunk: 4,
+                replay_cpu,
+                pipelined,
+                ..FleetConfig::default()
+            };
+            let outcome = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+            assert!(outcome.event_loop.quiescent);
+            let report = outcome.reports[0].as_ref().unwrap().clone();
+            (report, outcome.latencies_us[0])
+        };
+        let model = ReplayCpuModel::DEFAULT;
+        let (classic, _) = run(None, false);
+        let (stalled, stalled_latency) = run(Some(model), false);
+        let (pipelined, pipelined_latency) = run(Some(model), true);
+        assert_eq!(classic, stalled); // full mode: only completion time moves
+        assert_eq!(classic, pipelined);
+        assert!(
+            pipelined_latency < stalled_latency,
+            "pipelined {pipelined_latency} !< stalled {stalled_latency}"
+        );
     }
 
     /// Idle expiry reclaims finished sessions (and only finished ones), and

@@ -43,6 +43,9 @@
 //!   serving N concurrent [`fleet::FleetAuditor`] sessions over one shared
 //!   simulated network, with round-robin scheduling, a shared response cache
 //!   and idle-session expiry.
+//! * [`paraudit`] — segment-parallel audit replay (§6): partition a chunk
+//!   at its snapshot boundaries, replay the units concurrently on the
+//!   [`avm_crypto::parallel`] pool, merge to the serial verdict.
 //! * [`online`] — online (concurrent-with-execution) auditing (§6.11).
 //! * [`multiparty`] — authenticator collection, the challenge protocol and
 //!   evidence distribution for multi-party scenarios (§4.6).
@@ -129,6 +132,7 @@ pub mod fleet;
 pub mod multiparty;
 pub mod ondemand;
 pub mod online;
+pub mod paraudit;
 pub mod persist;
 pub mod recorder;
 pub mod replay;

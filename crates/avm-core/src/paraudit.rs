@@ -1,0 +1,610 @@
+//! Segment-parallel audit replay — the paper's multicore claim (§6).
+//!
+//! "Since the log segments between snapshots can be replayed independently,
+//! the auditor can replay different segments in parallel on multiple cores."
+//! A §3.5 chunk downloaded for a spot check already carries its own
+//! partition: every SNAPSHOT entry inside the chunk is a point whose state
+//! the auditor can reconstruct and whose recorded root the previous segment
+//! verifies.  This module cuts the chunk at those boundaries into
+//! independent `(start snapshot, segment)` **replay units**, executes them
+//! concurrently on the generalized [`avm_crypto::parallel`] worker pool,
+//! and merges the per-unit outcomes into exactly the verdict, fault and
+//! progress counters a serial replay of the whole chunk produces.
+//!
+//! Field-identity with the serial path is not best-effort — it is the
+//! contract (pinned by unit and property tests):
+//!
+//! * **Units start root-pinned.**  An interior unit's machine materializes
+//!   from the accounting plane (the same [`SnapshotStore`] the serial check
+//!   materializes its *start* snapshot from) and its state root is compared
+//!   against the root the log records at that boundary *before* any unit
+//!   runs.  A mismatch — a store whose snapshot diverges from what the log
+//!   claims — falls back to full serial replay, so the adversarial case
+//!   where serial replay would have passed (or faulted elsewhere) cannot
+//!   produce a divergent parallel verdict.
+//! * **Cross-segment context is preserved.**  Each unit pre-seeds its RECV
+//!   cross-reference table from the chunk entries before its range
+//!   ([`Replayer::preload_recvs`]), so an injection referencing a RECV from
+//!   an earlier segment resolves exactly as it does serially.
+//! * **Fault attribution is deterministic.**  The lowest-index faulting
+//!   unit wins; counters merge as the sum of every earlier unit's full
+//!   progress plus the faulting unit's truthful partial progress — the
+//!   same totals the serial replayer reports, because units chain
+//!   end-step to start-step at verified snapshot boundaries.
+//!
+//! [`ReplayCpuModel`] prices replay CPU in simulated microseconds the same
+//! way [`avm_wire::RttModel`] prices round trips: deterministic modelled
+//! time, calibrated from measurement by the benchmarks, so pipelined-fetch
+//! experiments ([`crate::fleet`]) can overlap wire wait with replay work on
+//! a simulated clock.
+
+use std::time::Instant;
+
+use avm_crypto::parallel::global_pool;
+use avm_crypto::sha256::Digest;
+use avm_log::LogEntry;
+use avm_vm::{GuestRegistry, VmImage};
+
+use crate::error::{CoreError, FaultReason};
+use crate::replay::{ReplayOutcome, ReplaySummary, Replayer};
+use crate::snapshot::SnapshotStore;
+use crate::spotcheck::snapshot_positions_in;
+
+/// One independent replay unit of a partitioned chunk: a contiguous entry
+/// range and the snapshot it starts from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayUnit {
+    /// Entry range within the chunk (`range.end` exclusive).
+    pub range: core::ops::Range<usize>,
+    /// `None`: the unit starts from the chunk's start snapshot (unit 0).
+    /// `Some((id, root))`: the unit starts from an interior snapshot whose
+    /// SNAPSHOT entry (the last entry of the previous unit) records `root`.
+    pub boundary: Option<(u64, Digest)>,
+}
+
+/// Cuts a downloaded chunk at its interior snapshot boundaries.
+///
+/// `positions` must be [`snapshot_positions_in`] of `entries`.  A SNAPSHOT
+/// entry ends the unit containing it (the unit replays and verifies it);
+/// the next unit starts from that snapshot.  A SNAPSHOT entry that is the
+/// chunk's last entry closes the chunk and opens nothing.  A chunk with no
+/// interior snapshots (k=1, or a trailing open chunk) is one unit — the
+/// serial case.
+pub fn partition_chunk(
+    entries: &[LogEntry],
+    positions: &[(usize, u64, Digest)],
+) -> Vec<ReplayUnit> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut units = Vec::new();
+    let mut start = 0usize;
+    let mut boundary = None;
+    for &(pos, id, root) in positions {
+        if pos + 1 >= entries.len() {
+            break; // closes the chunk; nothing follows
+        }
+        units.push(ReplayUnit {
+            range: start..pos + 1,
+            boundary,
+        });
+        start = pos + 1;
+        boundary = Some((id, root));
+    }
+    units.push(ReplayUnit {
+        range: start..entries.len(),
+        boundary,
+    });
+    units
+}
+
+/// How a parallel chunk replay executed — telemetry beside the merged
+/// verdict (never part of the field-identity contract).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParallelReplayStats {
+    /// Replay units the chunk partitioned into (1 = serial case).
+    pub units: usize,
+    /// Concurrent lanes the units were distributed over (≤ requested
+    /// workers; the calling thread drives lane 0).
+    pub lanes: usize,
+    /// True when a boundary precondition failed (an interior snapshot that
+    /// does not materialize, or materializes to a root other than the log
+    /// records) and the whole chunk was replayed serially instead.
+    pub fell_back_serial: bool,
+    /// Measured replay CPU per unit, in µs, unit order — the makespan
+    /// inputs for modelling wall time at other worker counts.
+    pub unit_cpu_micros: Vec<u64>,
+}
+
+/// Merged outcome of a (possibly parallel) chunk replay: exactly the
+/// verdict/fault/progress triple the serial replayer yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkReplayOutcome {
+    /// True when every unit replayed consistently.
+    pub consistent: bool,
+    /// The lowest-index fault, if any.
+    pub fault: Option<FaultReason>,
+    /// Merged progress counters (truthful partial progress on a fault).
+    pub progress: ReplaySummary,
+    /// Execution telemetry.
+    pub stats: ParallelReplayStats,
+}
+
+/// Outcome of one replay unit, in unit order.
+struct UnitResult {
+    fault: Option<FaultReason>,
+    summary: ReplaySummary,
+    cpu_micros: u64,
+}
+
+/// One lane's boxed work: replays its contiguous run of units and returns
+/// `(unit index, result)` pairs.
+type LaneTask = Box<dyn FnOnce() -> Vec<(usize, UnitResult)> + Send>;
+
+fn run_unit(mut replayer: Replayer, entries: Vec<LogEntry>) -> UnitResult {
+    let started = Instant::now();
+    let fault = match replayer.replay(&entries) {
+        ReplayOutcome::Consistent(_) => None,
+        ReplayOutcome::Fault(f) => Some(f),
+    };
+    UnitResult {
+        fault,
+        summary: replayer.summary(),
+        cpu_micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+fn serial_outcome(
+    image: &VmImage,
+    registry: &GuestRegistry,
+    snapshots: &SnapshotStore,
+    start_snapshot: u64,
+    entries: &[LogEntry],
+    fell_back: bool,
+) -> Result<ChunkReplayOutcome, CoreError> {
+    let replayer = Replayer::from_snapshot(image, registry, snapshots, start_snapshot)?;
+    let result = run_unit(replayer, entries.to_vec());
+    Ok(ChunkReplayOutcome {
+        consistent: result.fault.is_none(),
+        fault: result.fault,
+        progress: result.summary,
+        stats: ParallelReplayStats {
+            units: 1,
+            lanes: 1,
+            fell_back_serial: fell_back,
+            unit_cpu_micros: vec![result.cpu_micros],
+        },
+    })
+}
+
+/// Replays a downloaded §3.5 chunk with its segments distributed over up to
+/// `workers` concurrent lanes (including the calling thread), merging the
+/// per-unit outcomes into the serial verdict (see the module docs for the
+/// identity argument).
+///
+/// `snapshots` is the accounting plane the serial check materializes its
+/// start snapshot from; interior units materialize from the same store at
+/// zero wire cost — the §3.5 byte and round-trip accounting is untouched.
+/// Lanes run on the process-wide [`avm_crypto::parallel`] pool; actual
+/// concurrency is additionally bounded by its worker count.
+pub fn replay_chunk_parallel(
+    entries: &[LogEntry],
+    image: &VmImage,
+    registry: &GuestRegistry,
+    snapshots: &SnapshotStore,
+    start_snapshot: u64,
+    workers: usize,
+) -> Result<ChunkReplayOutcome, CoreError> {
+    let positions = match snapshot_positions_in(entries) {
+        Ok(positions) => positions,
+        Err(fault) => {
+            // The serial spot check returns this verdict before replaying
+            // anything; mirror it for callers that skip the pre-scan.
+            return Ok(ChunkReplayOutcome {
+                consistent: false,
+                fault: Some(fault),
+                progress: ReplaySummary::default(),
+                stats: ParallelReplayStats {
+                    units: 0,
+                    lanes: 0,
+                    fell_back_serial: false,
+                    unit_cpu_micros: Vec::new(),
+                },
+            });
+        }
+    };
+    let units = partition_chunk(entries, &positions);
+    if units.len() <= 1 {
+        return serial_outcome(image, registry, snapshots, start_snapshot, entries, false);
+    }
+
+    // Prepare every unit on the calling thread: materialize its machine,
+    // pin interior boundaries to the log-recorded root, seed cross-segment
+    // RECV context, and take an owned copy of its entry range (parked pool
+    // workers cannot borrow the caller's slices — the workspace forbids
+    // `unsafe`).
+    let mut prepared: Vec<(Replayer, Vec<LogEntry>)> = Vec::with_capacity(units.len());
+    for unit in &units {
+        let mut replayer = match unit.boundary {
+            None => Replayer::from_snapshot(image, registry, snapshots, start_snapshot)?,
+            Some((id, recorded_root)) => {
+                let Ok(mut replayer) = Replayer::from_snapshot(image, registry, snapshots, id)
+                else {
+                    // Serial replay never materializes interior snapshots;
+                    // a store that cannot serve one must not surface here.
+                    return serial_outcome(
+                        image,
+                        registry,
+                        snapshots,
+                        start_snapshot,
+                        entries,
+                        true,
+                    );
+                };
+                if replayer.current_state_root() != recorded_root {
+                    // The store's snapshot diverges from what the signed log
+                    // records at this boundary: starting a unit from it
+                    // could diverge from the serial traversal.
+                    return serial_outcome(
+                        image,
+                        registry,
+                        snapshots,
+                        start_snapshot,
+                        entries,
+                        true,
+                    );
+                }
+                replayer
+            }
+        };
+        replayer.preload_recvs(&entries[..unit.range.start]);
+        prepared.push((replayer, entries[unit.range.clone()].to_vec()));
+    }
+
+    // Distribute units over lanes in contiguous runs (unit order within a
+    // lane is preserved; results are re-indexed, so distribution affects
+    // wall time only, never the merge).
+    let lanes = workers.max(1).min(prepared.len());
+    let per = prepared.len() / lanes;
+    let rem = prepared.len() % lanes;
+    let mut tasks: Vec<LaneTask> = Vec::with_capacity(lanes);
+    let mut next_index = 0usize;
+    let mut iter = prepared.into_iter();
+    for lane in 0..lanes {
+        let take = per + usize::from(lane < rem);
+        let lane_units: Vec<(usize, Replayer, Vec<LogEntry>)> = (0..take)
+            .map(|offset| {
+                let (replayer, entries) = iter.next().expect("lane distribution exact");
+                (next_index + offset, replayer, entries)
+            })
+            .collect();
+        next_index += take;
+        tasks.push(Box::new(move || {
+            lane_units
+                .into_iter()
+                .map(|(index, replayer, entries)| (index, run_unit(replayer, entries)))
+                .collect()
+        }));
+    }
+    let mut results: Vec<Option<UnitResult>> = (0..units.len()).map(|_| None).collect();
+    for (index, result) in global_pool().run_tasks(tasks).into_iter().flatten() {
+        results[index] = Some(result);
+    }
+
+    // Merge in unit order: lowest-index fault wins, counters sum across
+    // every unit up to and including the faulting one.
+    let mut progress = ReplaySummary::default();
+    let mut fault = None;
+    let mut unit_cpu_micros = Vec::with_capacity(units.len());
+    for result in results.iter_mut() {
+        let result = result.take().expect("every unit ran");
+        unit_cpu_micros.push(result.cpu_micros);
+        if fault.is_none() {
+            progress.entries_replayed += result.summary.entries_replayed;
+            progress.steps_executed += result.summary.steps_executed;
+            progress.outputs_matched += result.summary.outputs_matched;
+            progress.inputs_reinjected += result.summary.inputs_reinjected;
+            progress.snapshots_verified += result.summary.snapshots_verified;
+            progress.final_state = result.summary.final_state;
+            fault = result.fault;
+        }
+    }
+    if fault.is_some() {
+        progress.final_state = None;
+    }
+    Ok(ChunkReplayOutcome {
+        consistent: fault.is_none(),
+        fault,
+        progress,
+        stats: ParallelReplayStats {
+            units: units.len(),
+            lanes,
+            fell_back_serial: false,
+            unit_cpu_micros,
+        },
+    })
+}
+
+/// Deterministic makespan of scheduling `unit_cpu_micros` over `workers`
+/// lanes with longest-processing-time-first greedy assignment — the wall
+/// time a `workers`-core auditor needs for the same units.  The modelled
+/// companion to the measured single-core numbers, like
+/// [`avm_wire::RttModel`] for round trips.
+pub fn schedule_makespan_micros(unit_cpu_micros: &[u64], workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let mut order: Vec<u64> = unit_cpu_micros.to_vec();
+    order.sort_unstable_by(|a, b| b.cmp(a));
+    let mut lanes = vec![0u64; workers];
+    for cost in order {
+        let lane = lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| **load)
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        lanes[lane] += cost;
+    }
+    lanes.into_iter().max().unwrap_or(0)
+}
+
+/// Prices replay CPU in simulated microseconds — the deterministic model
+/// the fleet's pipelined-fetch mode charges to the event-loop clock, so
+/// "replay segment i while the batch for segment i-1 is on the wire"
+/// becomes a measurable overlap instead of a zero-time artefact.
+///
+/// Calibrate from a measured serial replay with
+/// [`ReplayCpuModel::calibrated`], or use [`ReplayCpuModel::DEFAULT`] for
+/// pinned-trajectory determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayCpuModel {
+    /// Modelled cost per machine step, in nanoseconds.
+    pub ns_per_step: u64,
+    /// Modelled fixed cost per log entry (decode + cross-reference), in
+    /// nanoseconds.
+    pub ns_per_entry: u64,
+}
+
+impl ReplayCpuModel {
+    /// A deterministic default in the measured ballpark of the bytecode
+    /// interpreter with incremental root verification.
+    pub const DEFAULT: ReplayCpuModel = ReplayCpuModel {
+        ns_per_step: 200,
+        ns_per_entry: 2_000,
+    };
+
+    /// A model matching a measured replay: `cpu_micros` of CPU over
+    /// `steps` machine steps (per-entry cost folded into the per-step
+    /// rate).
+    pub fn calibrated(cpu_micros: u64, steps: u64) -> ReplayCpuModel {
+        ReplayCpuModel {
+            ns_per_step: (cpu_micros * 1_000) / steps.max(1),
+            ns_per_entry: 0,
+        }
+    }
+
+    /// Modelled CPU cost of replaying `entries` log entries over `steps`
+    /// machine steps, in microseconds.
+    pub fn cost_micros(&self, steps: u64, entries: u64) -> u64 {
+        (steps * self.ns_per_step + entries * self.ns_per_entry) / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spotcheck::snapshot_positions;
+    use crate::testutil::record_with_snapshots;
+    use avm_log::EntryKind;
+    use avm_vm::GuestRegistry;
+    use avm_wire::{Decode, Encode};
+
+    /// The chunk an auditor downloads for `(start, k)`: entries strictly
+    /// after the start SNAPSHOT entry, through the SNAPSHOT entry `k`
+    /// snapshots later (or end of log).
+    fn chunk_entries(log: &avm_log::TamperEvidentLog, start: u64, k: u64) -> Vec<LogEntry> {
+        let positions = snapshot_positions(log).unwrap();
+        let start_pos = positions.iter().find(|(_, id, _)| *id == start).unwrap().0;
+        let end_pos = positions
+            .iter()
+            .find(|(_, id, _)| *id == start + k)
+            .map(|(i, _, _)| *i);
+        match end_pos {
+            Some(end) => log.entries()[start_pos + 1..=end].to_vec(),
+            None => log.entries()[start_pos + 1..].to_vec(),
+        }
+    }
+
+    #[test]
+    fn partition_degenerate_chunks() {
+        let (bob, _image) = record_with_snapshots(4);
+
+        // k=1: exactly one unit covering the whole chunk — the closing
+        // SNAPSHOT entry opens nothing.
+        let one = chunk_entries(bob.log(), 1, 1);
+        let positions = snapshot_positions_in(&one).unwrap();
+        assert_eq!(positions.len(), 1);
+        let units = partition_chunk(&one, &positions);
+        assert_eq!(
+            units,
+            vec![ReplayUnit {
+                range: 0..one.len(),
+                boundary: None
+            }]
+        );
+
+        // An open chunk with zero interior snapshots (a trailing chunk cut
+        // before the provider's next snapshot): still one unit, covering
+        // everything.
+        let mut tail = chunk_entries(bob.log(), 2, 1);
+        assert_eq!(tail.pop().unwrap().kind, EntryKind::Snapshot);
+        assert!(!tail.is_empty());
+        let positions = snapshot_positions_in(&tail).unwrap();
+        assert!(positions.is_empty());
+        let units = partition_chunk(&tail, &positions);
+        assert_eq!(
+            units,
+            vec![ReplayUnit {
+                range: 0..tail.len(),
+                boundary: None
+            }]
+        );
+
+        // Empty chunk: no units at all.
+        assert!(partition_chunk(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn partition_cuts_at_every_interior_snapshot() {
+        let (bob, _image) = record_with_snapshots(4);
+        let chunk = chunk_entries(bob.log(), 0, 3);
+        let positions = snapshot_positions_in(&chunk).unwrap();
+        assert_eq!(positions.len(), 3);
+        let units = partition_chunk(&chunk, &positions);
+        assert_eq!(units.len(), 3);
+        // Contiguous, gapless cover of the chunk.
+        assert_eq!(units[0].range.start, 0);
+        assert_eq!(units.last().unwrap().range.end, chunk.len());
+        for pair in units.windows(2) {
+            assert_eq!(pair[0].range.end, pair[1].range.start);
+        }
+        // Every unit but the first starts at the snapshot its predecessor's
+        // closing SNAPSHOT entry records.
+        assert_eq!(units[0].boundary, None);
+        for (unit, &(pos, id, root)) in units[1..].iter().zip(&positions) {
+            assert_eq!(unit.range.start, pos + 1);
+            assert_eq!(unit.boundary, Some((id, root)));
+            assert_eq!(chunk[pos].kind, EntryKind::Snapshot);
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_for_every_worker_count() {
+        let (bob, image) = record_with_snapshots(5);
+        let registry = GuestRegistry::new();
+        let chunk = chunk_entries(bob.log(), 0, 4);
+        let serial = serial_outcome(&image, &registry, bob.snapshots(), 0, &chunk, false).unwrap();
+        assert!(serial.consistent);
+        for workers in 1..=8 {
+            let parallel =
+                replay_chunk_parallel(&chunk, &image, &registry, bob.snapshots(), 0, workers)
+                    .unwrap();
+            assert_eq!(parallel.consistent, serial.consistent, "workers={workers}");
+            assert_eq!(parallel.fault, serial.fault);
+            assert_eq!(parallel.progress, serial.progress, "workers={workers}");
+            assert_eq!(parallel.stats.units, 4);
+            assert_eq!(parallel.stats.lanes, workers.min(4));
+            assert!(!parallel.stats.fell_back_serial);
+        }
+    }
+
+    #[test]
+    fn fault_in_segment_zero_attributes_identically() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        // Tamper with the FIRST send after snapshot 0 — the fault lands in
+        // unit 0, and later units' (consistent) replays must be discarded.
+        let positions = snapshot_positions(bob.log()).unwrap();
+        let start_pos = positions.iter().find(|(_, id, _)| *id == 0).unwrap().0;
+        let first_send_seq = bob.log().entries()[start_pos + 1..]
+            .iter()
+            .find(|e| e.kind == EntryKind::Send)
+            .unwrap()
+            .seq;
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        for e in bob.log().entries() {
+            let content = if e.seq == first_send_seq {
+                let mut rec = crate::events::SendRecord::decode_exact(&e.content).unwrap();
+                rec.payload = avm_vm::packet::encode_guest_packet("alice", b"cheated");
+                rec.encode_to_vec()
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let chunk = chunk_entries(&rebuilt, 0, 3);
+        let serial = serial_outcome(&image, &registry, bob.snapshots(), 0, &chunk, false).unwrap();
+        assert!(!serial.consistent);
+        for workers in [1usize, 2, 4, 8] {
+            let parallel =
+                replay_chunk_parallel(&chunk, &image, &registry, bob.snapshots(), 0, workers)
+                    .unwrap();
+            assert_eq!(parallel.consistent, serial.consistent);
+            assert_eq!(parallel.fault, serial.fault, "workers={workers}");
+            assert_eq!(parallel.progress, serial.progress, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn boundary_root_mismatch_falls_back_to_serial() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        // Rewrite an interior SNAPSHOT entry's recorded id to one whose
+        // store snapshot holds a different root: serial replay faults at
+        // that entry (root check), and the parallel path must not let a
+        // unit start from the divergent store state.  Rebuilding the log
+        // keeps the chain syntactically intact.
+        let mut rebuilt = avm_log::TamperEvidentLog::new();
+        let mut snapshot_entries_seen = 0;
+        for e in bob.log().entries() {
+            let content = if e.kind == EntryKind::Snapshot {
+                snapshot_entries_seen += 1;
+                if snapshot_entries_seen == 2 {
+                    let mut rec = crate::events::SnapshotRecord::decode_exact(&e.content).unwrap();
+                    rec.snapshot_id = 0; // store snapshot 0's root differs
+                    rec.encode_to_vec()
+                } else {
+                    e.content.clone()
+                }
+            } else {
+                e.content.clone()
+            };
+            rebuilt.append(e.kind, content);
+        }
+        let chunk = chunk_entries(&rebuilt, 0, 3);
+        let serial = serial_outcome(&image, &registry, bob.snapshots(), 0, &chunk, false).unwrap();
+        let parallel =
+            replay_chunk_parallel(&chunk, &image, &registry, bob.snapshots(), 0, 4).unwrap();
+        assert_eq!(parallel.consistent, serial.consistent);
+        assert_eq!(parallel.fault, serial.fault);
+        assert_eq!(parallel.progress, serial.progress);
+        assert!(parallel.stats.fell_back_serial);
+    }
+
+    #[test]
+    fn malformed_snapshot_record_short_circuits() {
+        let outcome = replay_chunk_parallel(
+            &[],
+            &record_with_snapshots(1).1,
+            &GuestRegistry::new(),
+            &SnapshotStore::new(),
+            0,
+            4,
+        );
+        // An empty chunk has no snapshot to start from — the serial path
+        // errors identically, so either way is acceptable as long as it is
+        // an error, not a bogus verdict.
+        assert!(outcome.is_err() || outcome.unwrap().stats.units <= 1);
+    }
+
+    #[test]
+    fn makespan_schedules_longest_first() {
+        assert_eq!(schedule_makespan_micros(&[], 4), 0);
+        assert_eq!(schedule_makespan_micros(&[10, 20, 30], 1), 60);
+        // LPT on {30,20,10} over 2 lanes: {30} vs {20,10}.
+        assert_eq!(schedule_makespan_micros(&[10, 20, 30], 2), 30);
+        // More lanes than units: bounded by the largest unit.
+        assert_eq!(schedule_makespan_micros(&[10, 20, 30], 8), 30);
+    }
+
+    #[test]
+    fn cpu_model_prices_steps_and_entries() {
+        let model = ReplayCpuModel {
+            ns_per_step: 100,
+            ns_per_entry: 1_000,
+        };
+        assert_eq!(model.cost_micros(10_000, 5), 1_005);
+        let calibrated = ReplayCpuModel::calibrated(2_000, 10_000);
+        assert_eq!(calibrated.ns_per_step, 200);
+        assert_eq!(calibrated.cost_micros(10_000, 999), 2_000);
+    }
+}

@@ -172,6 +172,28 @@ impl Replayer {
         &self.machine
     }
 
+    /// Seeds the RECV cross-reference table from entries that precede the
+    /// segment this replayer will replay, without replaying them.
+    ///
+    /// A serial replayer that processed `entries` before the segment holds
+    /// every decodable RECV record in its table; a parallel replay unit that
+    /// starts mid-chunk must hold the same table, or an injection whose RECV
+    /// landed before the unit's starting snapshot would misreport a
+    /// [`FaultReason::CrossReferenceFailure`] the serial replay does not.
+    /// Undecodable RECV entries are skipped — the serial replay faults *at*
+    /// such an entry, which lives in an earlier unit, so the merged verdict
+    /// never reaches this one.
+    pub fn preload_recvs(&mut self, entries: &[LogEntry]) {
+        for entry in entries {
+            if entry.kind != EntryKind::Recv {
+                continue;
+            }
+            if let Ok(rec) = RecvRecord::decode_exact(&entry.content) {
+                self.pending_recvs.insert(entry.seq, rec);
+            }
+        }
+    }
+
     /// Consumes the replayer, handing its machine and warmed state tree to
     /// a caller that keeps executing from the replayed point (crash
     /// recovery resumes the live AVMM this way).

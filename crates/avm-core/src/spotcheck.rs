@@ -251,6 +251,27 @@ pub fn spot_check(
     client.spot_check(start_snapshot, k, image, registry)
 }
 
+/// [`spot_check`] with the chunk's segments replayed in parallel on up to
+/// `workers` lanes (§6) — field-identical to the serial report (see
+/// [`crate::paraudit`]).
+///
+/// Thin wrapper over
+/// [`crate::endpoint::AuditClient::spot_check_parallel`] on an in-process
+/// [`DirectTransport`].
+pub fn spot_check_parallel(
+    log: &TamperEvidentLog,
+    snapshots: &SnapshotStore,
+    start_snapshot: u64,
+    k: u64,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    workers: usize,
+) -> Result<SpotCheckReport, CoreError> {
+    let server = AuditServer::new(log, snapshots);
+    let mut client = AuditClient::new(DirectTransport::new(server));
+    client.spot_check_parallel(start_snapshot, k, image, registry, workers)
+}
+
 /// Spot-checks the `k`-chunk starting at snapshot `start_snapshot` in
 /// on-demand mode (§3.5's "incrementally request the parts of the state
 /// that are accessed during replay").

@@ -13,8 +13,10 @@
 //! * [`hmac`] — HMAC-SHA-256, the cheap end of the authentication trade-off
 //!   discussed in §6.8.
 //! * [`merkle`] — Merkle hash trees for authenticated snapshots.
-//! * [`parallel`] — a hand-rolled scoped-thread worker pool for batch leaf
-//!   hashing (the snapshot pipeline's parallel chunk-hash stage).
+//! * [`parallel`] — a hand-rolled, long-lived worker pool whose jobs are
+//!   either batched leaf hashing (the snapshot pipeline's parallel
+//!   chunk-hash stage) or generic closures (the segment-parallel audit
+//!   replay engine's replay units).
 //! * [`keys`] — named identities, signature-scheme selection (including the
 //!   `nosig` measurement configuration) and simple certificates.
 //!

@@ -1,4 +1,4 @@
-//! A small hand-rolled worker pool for batch hashing.
+//! A small hand-rolled worker pool for batch hashing and generic tasks.
 //!
 //! Refreshing a Merkle state tree hashes every dirty leaf — embarrassingly
 //! parallel work that the workspace's no-external-deps constraint keeps us
@@ -6,6 +6,14 @@
 //! snapshot pipeline needs: hash a batch of byte slices, preserving input
 //! order, fanning the work across worker threads when the batch is large
 //! enough to amortise the coordination cost.
+//!
+//! The same parked threads also run **generic closures**
+//! ([`WorkerPool::run_tasks`]): the parallel audit replay engine ships one
+//! independent `(start snapshot, log segment)` replay unit per task and
+//! collects the outcomes in input order.  Hash jobs and task jobs share one
+//! queue, so a pool saturated with replay units still drains dirty-leaf
+//! batches between them; the flattened-part hash path is untouched and
+//! remains the fast path.
 //!
 //! Large batches are served by a **long-lived** [`WorkerPool`]: a fixed set
 //! of parked threads fed through a mutex-protected queue, created once per
@@ -128,10 +136,27 @@ struct BatchProgress {
     remaining: usize,
 }
 
-struct Job {
-    part: FlatPart,
-    batch: Arc<BatchState>,
-    slot: usize,
+/// Completion latch for one in-flight [`WorkerPool::run_tasks`] call: each
+/// finished task decrements `remaining` and the last one wakes the caller.
+/// (Results travel inside the task closures themselves, which write into a
+/// shared slot vector — the latch only counts.)
+struct TaskLatch {
+    remaining: Mutex<usize>,
+    finished: Condvar,
+}
+
+/// One unit of queued work: a flattened hash part (the original fast path)
+/// or a generic closure.
+enum Job {
+    Hash {
+        part: FlatPart,
+        batch: Arc<BatchState>,
+        slot: usize,
+    },
+    Task {
+        run: Box<dyn FnOnce() + Send + 'static>,
+        latch: Arc<TaskLatch>,
+    },
 }
 
 struct PoolQueue {
@@ -146,6 +171,7 @@ struct PoolInner {
     peak_busy: AtomicUsize,
     jobs_dispatched: AtomicU64,
     batches_dispatched: AtomicU64,
+    tasks_dispatched: AtomicU64,
 }
 
 /// Occupancy counters for a [`WorkerPool`], for capacity reports: how many
@@ -160,8 +186,27 @@ pub struct PoolStats {
     pub jobs: u64,
     /// Batches that fanned out through the pool.
     pub batches: u64,
-    /// Most workers observed hashing at the same instant.
+    /// Generic closure tasks dispatched to pool workers ([`WorkerPool::
+    /// run_tasks`]; the calling thread's own task is not counted — it never
+    /// queues).
+    pub tasks: u64,
+    /// Most workers observed busy (hashing or running a task) at the same
+    /// instant.
     pub peak_busy: usize,
+}
+
+impl PoolStats {
+    /// Counters accumulated since `earlier` (workers is a size, not a
+    /// counter, and carries over) — for per-run telemetry deltas.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            jobs: self.jobs - earlier.jobs,
+            batches: self.batches - earlier.batches,
+            tasks: self.tasks - earlier.tasks,
+            peak_busy: self.peak_busy,
+        }
+    }
 }
 
 /// A fixed set of long-lived parked threads hashing flattened batch parts
@@ -188,6 +233,7 @@ impl WorkerPool {
             peak_busy: AtomicUsize::new(0),
             jobs_dispatched: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
+            tasks_dispatched: AtomicU64::new(0),
         });
         let threads = (0..workers)
             .map(|_| {
@@ -209,6 +255,7 @@ impl WorkerPool {
             workers: self.threads.len(),
             jobs: self.inner.jobs_dispatched.load(Ordering::Relaxed),
             batches: self.inner.batches_dispatched.load(Ordering::Relaxed),
+            tasks: self.inner.tasks_dispatched.load(Ordering::Relaxed),
             peak_busy: self.inner.peak_busy.load(Ordering::Relaxed),
         }
     }
@@ -242,7 +289,7 @@ impl WorkerPool {
             let mut offset = first;
             for w in 1..parts {
                 let take = per + usize::from(w < rem);
-                queue.jobs.push_back(Job {
+                queue.jobs.push_back(Job::Hash {
                     part: FlatPart::copy_from(&inputs[offset..offset + take]),
                     batch: Arc::clone(&batch),
                     slot: w - 1,
@@ -268,6 +315,68 @@ impl WorkerPool {
             out.extend(slot.take().expect("finished batch part missing"));
         }
         out
+    }
+
+    /// Runs every closure, returning the results in input order.
+    ///
+    /// Mirrors [`WorkerPool::hash_batch`]'s structure: the calling thread
+    /// runs the *first* task itself while the remaining tasks are queued for
+    /// pool workers, so a `run_tasks` call always makes progress even on a
+    /// saturated (or single-worker) pool.  Tasks must own their inputs
+    /// (`'static`): the workspace forbids `unsafe`, so a parked worker
+    /// cannot borrow the caller's stack the way a scoped thread could.
+    ///
+    /// A panicking task poisons its result mutex and propagates the panic to
+    /// the caller — it is not swallowed.
+    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let mut iter = tasks.into_iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        if n == 1 {
+            return vec![first()];
+        }
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let latch = Arc::new(TaskLatch {
+            remaining: Mutex::new(n - 1),
+            finished: Condvar::new(),
+        });
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            for (offset, task) in iter.enumerate() {
+                let slot = offset + 1;
+                let results = Arc::clone(&results);
+                queue.jobs.push_back(Job::Task {
+                    run: Box::new(move || {
+                        let value = task();
+                        results.lock().unwrap()[slot] = Some(value);
+                    }),
+                    latch: Arc::clone(&latch),
+                });
+            }
+            self.inner
+                .tasks_dispatched
+                .fetch_add(n as u64 - 1, Ordering::Relaxed);
+            self.inner.work_ready.notify_all();
+        }
+        let first_value = first();
+        results.lock().unwrap()[0] = Some(first_value);
+        let mut remaining = latch.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = latch.finished.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        let mut slots = results.lock().unwrap();
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("finished task result missing"))
+            .collect()
     }
 }
 
@@ -297,14 +406,26 @@ fn worker_loop(inner: &PoolInner) {
         };
         let busy = inner.busy.fetch_add(1, Ordering::Relaxed) + 1;
         inner.peak_busy.fetch_max(busy, Ordering::Relaxed);
-        let digests = job.part.hash_all();
-        let mut progress = job.batch.progress.lock().unwrap();
-        progress.parts[job.slot] = Some(digests);
-        progress.remaining -= 1;
-        if progress.remaining == 0 {
-            job.batch.finished.notify_all();
+        match job {
+            Job::Hash { part, batch, slot } => {
+                let digests = part.hash_all();
+                let mut progress = batch.progress.lock().unwrap();
+                progress.parts[slot] = Some(digests);
+                progress.remaining -= 1;
+                if progress.remaining == 0 {
+                    batch.finished.notify_all();
+                }
+            }
+            Job::Task { run, latch } => {
+                // The closure stores its own result; the latch only counts.
+                run();
+                let mut remaining = latch.remaining.lock().unwrap();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    latch.finished.notify_all();
+                }
+            }
         }
-        drop(progress);
         inner.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -439,6 +560,65 @@ mod tests {
         // Serial fast path never touches the queue.
         pool.hash_batch(&slices[..1], 1);
         assert_eq!(pool.stats().batches, 5);
+    }
+
+    #[test]
+    fn run_tasks_preserves_input_order_and_counts_tasks() {
+        let pool = WorkerPool::new(3);
+        // Empty and singleton calls never touch the queue.
+        let none: Vec<fn() -> u64> = Vec::new();
+        assert!(pool.run_tasks(none).is_empty());
+        assert_eq!(pool.run_tasks(vec![|| 7u64]), vec![7]);
+        assert_eq!(pool.stats().tasks, 0);
+        // Results come back in input order regardless of which thread ran
+        // each task or how long it took.
+        let tasks: Vec<_> = (0..25u64)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50 * (25 - i)));
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let out = pool.run_tasks(tasks);
+        assert_eq!(out, (0..25u64).map(|i| i * i).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.tasks, 24); // the caller ran task 0 inline
+        assert_eq!(stats.jobs, 0); // no hash parts were dispatched
+    }
+
+    #[test]
+    fn tasks_and_hash_batches_share_the_pool() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<Vec<u8>> = (0..256).map(|i| vec![i as u8; 512]).collect();
+        let slices: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial: Vec<Digest> = slices.iter().map(|s| sha256(s)).collect();
+        assert_eq!(pool.hash_batch(&slices, 3), serial);
+        let sums = pool.run_tasks(
+            (0..4u64)
+                .map(|i| move || (0..=i).sum::<u64>())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(sums, vec![0, 1, 3, 6]);
+        assert_eq!(pool.hash_batch(&slices, 3), serial);
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.tasks, 3);
+    }
+
+    #[test]
+    fn pool_stats_since_reports_the_delta() {
+        let pool = WorkerPool::new(2);
+        let before = pool.stats();
+        pool.run_tasks((0..3u64).map(|i| move || i).collect::<Vec<_>>());
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.workers, 2);
+        assert_eq!(delta.tasks, 2);
+        assert_eq!(delta.jobs, 0);
+        assert_eq!(delta.batches, 0);
     }
 
     #[test]

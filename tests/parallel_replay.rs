@@ -1,0 +1,189 @@
+//! Segment-parallel audit replay equivalence properties: for any recorded
+//! workload, chunk choice, worker count and tamper pattern, the parallel
+//! spot check must produce a report *field-identical* to the serial one —
+//! same verdict, same `FaultReason` attributed to the same entry, same
+//! replay progress counters, and same byte/round-trip accounting.  The
+//! partition/merge machinery must be observationally invisible.
+
+use avm_core::config::AvmmOptions;
+use avm_core::envelope::{Envelope, EnvelopeKind};
+use avm_core::events::SendRecord;
+use avm_core::recorder::{Avmm, HostClock};
+use avm_core::spotcheck::{snapshot_positions, spot_check, spot_check_parallel};
+use avm_crypto::keys::{SignatureScheme, SigningKey};
+use avm_log::{EntryKind, TamperEvidentLog};
+use avm_vm::bytecode::assemble;
+use avm_vm::packet::encode_guest_packet;
+use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::{Decode, Encode};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Records a worker AVMM whose state diverges with every packet, taking
+/// snapshots where the workload says so (at least one so there is a chunk
+/// to check).  Returns the recorder and the number of snapshots taken.
+fn record_workload(
+    image: &VmImage,
+    registry: &GuestRegistry,
+    workload: &[(u8, bool)],
+) -> (Avmm, u64) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let operator_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+    let alice_key = SigningKey::generate(&mut rng, SignatureScheme::Rsa(512));
+    let mut avmm = Avmm::new(
+        "bob",
+        image,
+        registry,
+        operator_key,
+        AvmmOptions::default().with_scheme(SignatureScheme::Rsa(512)),
+    )
+    .unwrap();
+    avmm.add_peer("alice", alice_key.verifying_key());
+    let mut clock = HostClock::at(5);
+    avmm.run_slice(&clock, 10_000).unwrap();
+    let mut snapshots_taken = 0u64;
+    for (i, (sel, snap)) in workload.iter().enumerate() {
+        clock.advance_to(clock.now() + 500);
+        let payload = encode_guest_packet("alice", &[b'w', *sel, i as u8]);
+        let env = Envelope::create(
+            EnvelopeKind::Data,
+            "alice",
+            "bob",
+            i as u64 + 1,
+            payload,
+            &alice_key,
+            None,
+        );
+        avmm.deliver(&env).unwrap();
+        avmm.run_slice(&clock, 100_000).unwrap();
+        if *snap {
+            avmm.take_snapshot();
+            snapshots_taken += 1;
+        }
+    }
+    if snapshots_taken == 0 {
+        avmm.take_snapshot();
+        snapshots_taken = 1;
+    }
+    (avmm, snapshots_taken)
+}
+
+fn worker_image() -> VmImage {
+    let src = r"
+            movi r1, 0x8000
+            movi r2, 512
+            movi r5, 0x9000
+        loop:
+            clock r4
+            recv r0, r1, r2
+            cmp r0, r6
+            jne got
+            idle
+            jmp loop
+        got:
+            load r3, r5
+            add r3, r0
+            store r3, r5
+            movi r7, 0
+            movi r8, 8
+            diskwr r7, r5, r8
+            send r1, r0
+            jmp loop
+        ";
+    VmImage::bytecode("par-prop", 128 * 1024, assemble(src, 0).unwrap(), 0, 0)
+        .with_disk(vec![0u8; 8192])
+}
+
+/// Rebuilds the log with the SEND record at `seq` rewritten to a forged
+/// payload — the §2.2 cheat a spot check exists to catch.  Rebuilding keeps
+/// the hash chain syntactically intact, so the fault surfaces as a replay
+/// divergence, not a broken chain.
+fn tamper_send(log: &TamperEvidentLog, seq: u64) -> TamperEvidentLog {
+    let mut rebuilt = TamperEvidentLog::new();
+    for e in log.entries() {
+        let content = if e.seq == seq {
+            let mut rec = SendRecord::decode_exact(&e.content).unwrap();
+            rec.payload = encode_guest_packet("alice", b"cheated");
+            rec.encode_to_vec()
+        } else {
+            e.content.clone()
+        };
+        rebuilt.append(e.kind, content);
+    }
+    rebuilt
+}
+
+proptest! {
+    // Every case records a full AVMM session (RSA keygen + signing) and
+    // replays the checked chunk nine times (serial + eight worker counts),
+    // so the case count is kept small; the workload/chunk/tamper
+    // interleavings inside each case are what the property quantifies over.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For every worker count 1..=8 the parallel spot check's report — the
+    /// full struct: verdict, `FaultReason`, `entries_replayed` /
+    /// `steps_replayed` progress, transfer and transport columns — equals
+    /// the serial one, on honest logs and on logs with a forged SEND in the
+    /// first or in a later replay segment (lowest-index fault must win
+    /// regardless of which unit finishes first).
+    #[test]
+    fn parallel_spot_check_is_field_identical_to_serial(
+        workload in proptest::collection::vec((0u8..6, any::<bool>()), 2..7),
+        start_pick in any::<u8>(),
+        k in 1u64..4,
+        tamper in 0usize..3,
+    ) {
+        let image = worker_image();
+        let registry = GuestRegistry::new();
+        let (avmm, snapshots_taken) = record_workload(&image, &registry, &workload);
+        let start = start_pick as u64 % snapshots_taken;
+
+        // tamper = 0: honest log.  1: forge the first SEND after the start
+        // snapshot (fault in unit 0).  2: forge the last SEND (fault in the
+        // last unit that replays it, if any).
+        let positions = snapshot_positions(avmm.log()).unwrap();
+        let start_pos = positions.iter().find(|(_, id, _)| *id == start).unwrap().0;
+        let send_seqs: Vec<u64> = avmm.log().entries()[start_pos + 1..]
+            .iter()
+            .filter(|e| e.kind == EntryKind::Send)
+            .map(|e| e.seq)
+            .collect();
+        let tampered;
+        let log = match (tamper, send_seqs.as_slice()) {
+            (1, [first, ..]) => {
+                tampered = true;
+                tamper_send(avmm.log(), *first)
+            }
+            (2, [.., last]) => {
+                tampered = true;
+                tamper_send(avmm.log(), *last)
+            }
+            _ => {
+                tampered = false;
+                avmm.log().clone()
+            }
+        };
+
+        let serial = spot_check(&log, avmm.snapshots(), start, k, &image, &registry).unwrap();
+        if !tampered {
+            prop_assert!(serial.consistent, "honest chunk must pass");
+            prop_assert!(serial.fault.is_none());
+        }
+
+        for workers in 1..=8usize {
+            let parallel = spot_check_parallel(
+                &log,
+                avmm.snapshots(),
+                start,
+                k,
+                &image,
+                &registry,
+                workers,
+            )
+            .unwrap();
+            prop_assert_eq!(&parallel, &serial, "workers={}", workers);
+            prop_assert_eq!(parallel.semantic(), serial.semantic());
+        }
+    }
+}
