@@ -1,0 +1,776 @@
+//! Attestation envelopes: launch measurement bound to the accountability
+//! chain.
+//!
+//! The AVM paper makes *post-launch* conduct verifiable: a tamper-evident
+//! log plus spot-check replay detects any behavioural deviation of a
+//! machine a third party does not control.  The confidential-VM line of
+//! work asks the complementary question about *launch* integrity: did the
+//! machine boot the image everyone agreed on?  This crate marries the two
+//! by making launch measurement and lifetime execution one verifiable
+//! artifact:
+//!
+//! * [`ImageMeasurement`] — a chunk-granular Merkle measurement of the
+//!   initial VM image (one leaf per 512-byte chunk of its canonical
+//!   serialization), so two parties agree on the *exact* launch bytes.
+//! * [`BootEventLog`] — a measured-boot event log in the
+//!   measure → extend → seal style: each boot event extends a running
+//!   measurement register (`reg' = H(tag ‖ reg ‖ event)`), and sealing
+//!   signs the final register, after which the log cannot be grown or
+//!   forked without breaking the seal.
+//! * [`AttestationEnvelope`] — the transferable artifact: the image
+//!   measurement, the sealed boot log, the provider log's META record
+//!   content, and the **genesis authenticator** — the signed commitment to
+//!   log entry 1.  Because the authenticator commits to the META record
+//!   (which names the image digest), the provider's accountability chain is
+//!   anchored in its launch measurement: the same key that will sign every
+//!   later authenticator has signed what was booted.
+//! * [`verify_quote`] — the verifier side of the nonce'd
+//!   challenge/response of [`avm_wire::attest`], classifying failures into
+//!   the distinct verdicts of [`AttestVerdict`]: a tampered image, a
+//!   forked/extended-after-seal boot log, a replayed (stale-nonce) quote
+//!   and an expired quote are all told apart.
+//!
+//! Post-launch execution tampering is deliberately *not* an attestation
+//! verdict: a verified envelope only certifies the launch state, and the
+//! auditor continues into ordinary spot-check replay over the same session
+//! to check conduct (the premise this crate shares with the paper).
+//!
+//! # Example: measure, seal, bind, verify
+//!
+//! ```
+//! use avm_attest::{
+//!     make_quote, verify_quote, AttestVerdict, AttestationEnvelope, BootEventLog,
+//!     ExpectedLaunch, ImageMeasurement, EVENT_GENESIS, EVENT_IMAGE,
+//! };
+//! use avm_crypto::keys::{SignatureScheme, SigningKey};
+//! use avm_crypto::sha256::Digest;
+//! use avm_log::{Authenticator, EntryKind, TamperEvidentLog};
+//! use avm_wire::attest::AttestChallenge;
+//! use avm_wire::Encode;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // The provider boots an agreed-upon image and measures it chunk by chunk.
+//! let image_bytes = b"canonical image serialization".to_vec();
+//! let measurement = ImageMeasurement::measure(&image_bytes);
+//!
+//! // Measured boot: each step extends the register, then the log is sealed.
+//! let key = SigningKey::generate(&mut StdRng::seed_from_u64(7), SignatureScheme::Rsa(512));
+//! let meta_content = b"meta-record".to_vec();
+//! let mut boot = BootEventLog::new();
+//! boot.measure(EVENT_IMAGE, measurement.root.as_bytes()).unwrap();
+//! boot.measure(EVENT_GENESIS, &meta_content).unwrap();
+//! boot.seal(&key);
+//!
+//! // The genesis authenticator commits the launch claim into the log chain.
+//! let mut log = TamperEvidentLog::new();
+//! let entry = log.append(EntryKind::Meta, meta_content.clone()).clone();
+//! let genesis = Authenticator::create(&key, &entry, Digest::ZERO);
+//! let envelope = AttestationEnvelope { image: measurement.clone(), boot, meta_content: meta_content.clone(), genesis };
+//!
+//! // Challenge/response: the verifier's nonce binds the quote to this exchange.
+//! let challenge = AttestChallenge { nonce: [9u8; 32], issued_at_us: 1_000 };
+//! let quote = make_quote(&envelope.encode_to_vec(), &challenge, &key);
+//! let expected = ExpectedLaunch { measurement, meta_content };
+//! let (verdict, _) = verify_quote(&quote, &challenge, challenge.issued_at_us,
+//!                                 5_000_000, &expected, &key.verifying_key());
+//! assert_eq!(verdict, AttestVerdict::Verified);
+//!
+//! // A replayed quote echoes a stale nonce and is caught distinctly.
+//! let fresh = AttestChallenge { nonce: [1u8; 32], issued_at_us: 2_000 };
+//! let (verdict, _) = verify_quote(&quote, &fresh, fresh.issued_at_us,
+//!                                 5_000_000, &expected, &key.verifying_key());
+//! assert_eq!(verdict, AttestVerdict::StaleNonce);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use avm_crypto::keys::{SigningKey, VerifyingKey};
+use avm_crypto::merkle::MerkleTree;
+use avm_crypto::sha256::{sha256, Digest, Sha256};
+use avm_log::{Authenticator, EntryKind};
+use avm_wire::attest::{AttestChallenge, AttestQuote};
+use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
+
+/// Chunk size of the image measurement: one Merkle leaf per this many bytes
+/// of the image's canonical serialization (matches the state tree's 512-byte
+/// chunk granularity).
+pub const MEASURE_CHUNK_SIZE: usize = 512;
+
+/// Standard boot-event label: the image measurement root was loaded.
+pub const EVENT_IMAGE: &str = "avm.image";
+/// Standard boot-event label: the log's META record (the launch claim) was
+/// written.
+pub const EVENT_GENESIS: &str = "avm.genesis";
+
+const EVENT_TAG: &[u8] = b"avm-attest-event";
+const EXTEND_TAG: &[u8] = b"avm-attest-extend";
+const SEAL_TAG: &[u8] = b"avm-attest-seal";
+const ENVELOPE_TAG: &[u8] = b"avm-attest-envelope";
+const QUOTE_TAG: &[u8] = b"avm-attest-quote";
+
+/// Errors raised while *building* attestation state (verification failures
+/// are [`AttestVerdict`]s, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// A boot event was measured into an already-sealed log.
+    Sealed,
+}
+
+impl core::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AttestError::Sealed => write!(f, "boot event log is sealed"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// Chunk-granular Merkle measurement of a VM image's canonical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageMeasurement {
+    /// Bytes per Merkle leaf.
+    pub chunk_size: u64,
+    /// Number of leaves (the last may be short).
+    pub chunk_count: u64,
+    /// Merkle root over the chunks.
+    pub root: Digest,
+}
+
+impl ImageMeasurement {
+    /// Measures `bytes` at [`MEASURE_CHUNK_SIZE`] granularity.
+    pub fn measure(bytes: &[u8]) -> ImageMeasurement {
+        let chunks: Vec<&[u8]> = if bytes.is_empty() {
+            vec![&[][..]]
+        } else {
+            bytes.chunks(MEASURE_CHUNK_SIZE).collect()
+        };
+        let tree = MerkleTree::from_leaves(&chunks);
+        ImageMeasurement {
+            chunk_size: MEASURE_CHUNK_SIZE as u64,
+            chunk_count: chunks.len() as u64,
+            root: tree.root(),
+        }
+    }
+}
+
+impl Encode for ImageMeasurement {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.chunk_size);
+        w.put_varint(self.chunk_count);
+        w.put_raw(self.root.as_bytes());
+    }
+}
+
+impl Decode for ImageMeasurement {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(ImageMeasurement {
+            chunk_size: r.get_varint()?,
+            chunk_count: r.get_varint()?,
+            root: Digest::from_slice(r.get_raw(32)?).ok_or(WireError::Corrupt("digest"))?,
+        })
+    }
+}
+
+/// One measured boot event: a label and the digest of the measured payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootEvent {
+    /// What was measured (e.g. [`EVENT_IMAGE`]).
+    pub label: String,
+    /// SHA-256 of the measured payload.
+    pub payload_digest: Digest,
+}
+
+impl BootEvent {
+    /// The digest this event contributes to the measurement register.
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(EVENT_TAG);
+        h.update(&(self.label.len() as u64).to_le_bytes());
+        h.update(self.label.as_bytes());
+        h.update(self.payload_digest.as_bytes());
+        h.finalize()
+    }
+}
+
+impl Encode for BootEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.label);
+        w.put_raw(self.payload_digest.as_bytes());
+    }
+}
+
+impl Decode for BootEvent {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(BootEvent {
+            label: r.get_string()?,
+            payload_digest: Digest::from_slice(r.get_raw(32)?)
+                .ok_or(WireError::Corrupt("digest"))?,
+        })
+    }
+}
+
+/// A measured-boot event log: measure → extend → seal.
+///
+/// Each [`BootEventLog::measure`] appends an event and (conceptually)
+/// extends the running register; [`BootEventLog::seal`] signs the final
+/// register value.  The register is always *recomputed from the events* by
+/// verifiers, so appending, removing or reordering events after sealing
+/// breaks the seal signature — there is no way to extend or fork a sealed
+/// log without the signing key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootEventLog {
+    events: Vec<BootEvent>,
+    seal: Option<Vec<u8>>,
+}
+
+impl BootEventLog {
+    /// An empty, unsealed log.
+    pub fn new() -> BootEventLog {
+        BootEventLog {
+            events: Vec::new(),
+            seal: None,
+        }
+    }
+
+    /// Reassembles a log from raw parts (decode path and tamper harnesses).
+    pub fn from_parts(events: Vec<BootEvent>, seal: Option<Vec<u8>>) -> BootEventLog {
+        BootEventLog { events, seal }
+    }
+
+    /// The measured events, in boot order.
+    pub fn events(&self) -> &[BootEvent] {
+        &self.events
+    }
+
+    /// True once sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.seal.is_some()
+    }
+
+    /// Measures `payload` under `label`, extending the register.  Fails on a
+    /// sealed log — sealing is the point of no return.
+    pub fn measure(&mut self, label: &str, payload: &[u8]) -> Result<Digest, AttestError> {
+        if self.is_sealed() {
+            return Err(AttestError::Sealed);
+        }
+        self.events.push(BootEvent {
+            label: label.to_string(),
+            payload_digest: sha256(payload),
+        });
+        Ok(self.register())
+    }
+
+    /// The current measurement register, recomputed from the events:
+    /// `reg_0 = 0`, `reg_i = H(tag ‖ reg_{i-1} ‖ event_i)`.
+    pub fn register(&self) -> Digest {
+        self.events.iter().fold(Digest::ZERO, |reg, event| {
+            let mut h = Sha256::new();
+            h.update(EXTEND_TAG);
+            h.update(reg.as_bytes());
+            h.update(event.digest().as_bytes());
+            h.finalize()
+        })
+    }
+
+    /// Bytes the seal signature covers for register value `register`.
+    pub fn seal_payload(register: &Digest) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(SEAL_TAG.len() + 32);
+        payload.extend_from_slice(SEAL_TAG);
+        payload.extend_from_slice(register.as_bytes());
+        payload
+    }
+
+    /// Seals the log: signs the current register.  Further measures fail.
+    pub fn seal(&mut self, key: &SigningKey) {
+        let register = self.register();
+        self.seal = Some(key.sign(&Self::seal_payload(&register)));
+    }
+
+    /// Verifies the seal over the register recomputed from the events.
+    /// `false` for an unsealed log, a forged seal, or any post-seal change
+    /// to the event list (extension, truncation, reorder, edit).
+    pub fn verify_seal(&self, key: &VerifyingKey) -> bool {
+        match &self.seal {
+            None => false,
+            Some(sig) => key
+                .verify(&Self::seal_payload(&self.register()), sig)
+                .is_ok(),
+        }
+    }
+}
+
+impl Default for BootEventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encode for BootEventLog {
+    fn encode(&self, w: &mut Writer) {
+        self.events.encode(w);
+        self.seal.encode(w);
+    }
+}
+
+impl Decode for BootEventLog {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(BootEventLog {
+            events: Vec::<BootEvent>::decode(r)?,
+            seal: Option::<Vec<u8>>::decode(r)?,
+        })
+    }
+}
+
+/// The transferable launch artifact: what a provider serves in answer to an
+/// attestation challenge.
+///
+/// The binding is three-way: the *boot log* measures the image root and the
+/// META content (so the sealed register commits to both), the *META
+/// content* names the image digest (the launch claim recorded in log entry
+/// 1), and the *genesis authenticator* signs the chain hash of that very
+/// entry — the same signature chain every later audit verifies.  Launch
+/// measurement and lifetime accountability share one root of trust.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationEnvelope {
+    /// Chunk-granular measurement of the booted image.
+    pub image: ImageMeasurement,
+    /// The sealed measured-boot event log.
+    pub boot: BootEventLog,
+    /// Content bytes of the provider log's META record (log entry 1).
+    pub meta_content: Vec<u8>,
+    /// The provider's authenticator for log entry 1 — the signed commitment
+    /// anchoring the accountability chain in this launch.
+    pub genesis: Authenticator,
+}
+
+impl AttestationEnvelope {
+    /// Digest of the encoded envelope (what a quote signature covers).
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(ENVELOPE_TAG);
+        h.update(&self.encode_to_vec());
+        h.finalize()
+    }
+}
+
+impl Encode for AttestationEnvelope {
+    fn encode(&self, w: &mut Writer) {
+        self.image.encode(w);
+        self.boot.encode(w);
+        w.put_bytes(&self.meta_content);
+        self.genesis.encode(w);
+    }
+}
+
+impl Decode for AttestationEnvelope {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(AttestationEnvelope {
+            image: ImageMeasurement::decode(r)?,
+            boot: BootEventLog::decode(r)?,
+            meta_content: r.get_bytes()?.to_vec(),
+            genesis: Authenticator::decode(r)?,
+        })
+    }
+}
+
+/// What the verifier knows out-of-band: the reference launch state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedLaunch {
+    /// The reference image's measurement.
+    pub measurement: ImageMeasurement,
+    /// The META record content an honest launch of that image records.
+    pub meta_content: Vec<u8>,
+}
+
+/// Outcome of verifying an attestation quote.  Each tamper class maps to
+/// its own verdict, so evidence states *what* went wrong, not just that
+/// something did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttestVerdict {
+    /// Launch measurement verified; continue into spot-check auditing.
+    Verified,
+    /// The measured image (or its claimed META record) is not the reference
+    /// image — a tampered initial image.
+    ImageMismatch,
+    /// The boot event log fails its seal, or its events do not match the
+    /// envelope's own claims — forked, extended after seal, or resealed by
+    /// another key.
+    BootLogForged,
+    /// The genesis authenticator does not commit to the META record under
+    /// the provider's key — the accountability chain is not anchored in
+    /// this launch.
+    ChainMismatch,
+    /// The quote echoes a nonce other than the challenge's — a replayed
+    /// attestation.
+    StaleNonce,
+    /// The challenge fell outside the freshness window before the quote was
+    /// verified.
+    Expired,
+    /// The quote signature is invalid or the envelope is undecodable.
+    BadQuote,
+}
+
+impl AttestVerdict {
+    /// True only for [`AttestVerdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, AttestVerdict::Verified)
+    }
+}
+
+impl core::fmt::Display for AttestVerdict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            AttestVerdict::Verified => "verified",
+            AttestVerdict::ImageMismatch => "image mismatch",
+            AttestVerdict::BootLogForged => "boot event log forged",
+            AttestVerdict::ChainMismatch => "authenticator chain mismatch",
+            AttestVerdict::StaleNonce => "stale nonce (replayed attestation)",
+            AttestVerdict::Expired => "challenge expired",
+            AttestVerdict::BadQuote => "bad quote",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bytes a quote signature covers: the challenge nonce, the signing time
+/// and the envelope digest.
+pub fn quote_payload(nonce: &[u8; 32], signed_at_us: u64, envelope_digest: &Digest) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(QUOTE_TAG.len() + 32 + 8 + 32);
+    payload.extend_from_slice(QUOTE_TAG);
+    payload.extend_from_slice(nonce);
+    payload.extend_from_slice(&signed_at_us.to_le_bytes());
+    payload.extend_from_slice(envelope_digest.as_bytes());
+    payload
+}
+
+/// Produces the attester's quote for `challenge` over an already-encoded
+/// envelope: echoes the nonce and signs `(nonce, time, envelope digest)`.
+pub fn make_quote(
+    envelope_bytes: &[u8],
+    challenge: &AttestChallenge,
+    key: &SigningKey,
+) -> AttestQuote {
+    let mut h = Sha256::new();
+    h.update(ENVELOPE_TAG);
+    h.update(envelope_bytes);
+    let digest = h.finalize();
+    let signed_at_us = challenge.issued_at_us;
+    let signature = key.sign(&quote_payload(&challenge.nonce, signed_at_us, &digest));
+    AttestQuote {
+        envelope: envelope_bytes.to_vec(),
+        nonce: challenge.nonce,
+        signed_at_us,
+        signature,
+    }
+}
+
+/// Verifies the envelope alone (no challenge binding): launch measurement,
+/// boot log seal, and genesis anchoring against the reference launch.
+pub fn verify_envelope(
+    envelope: &AttestationEnvelope,
+    expected: &ExpectedLaunch,
+    provider_key: &VerifyingKey,
+) -> AttestVerdict {
+    // 1. The measured image must be the reference image, chunk for chunk.
+    if envelope.image != expected.measurement {
+        return AttestVerdict::ImageMismatch;
+    }
+
+    // 2. The boot log must be sealed under the provider's key and its
+    //    events must measure exactly this envelope's image root and META
+    //    content — a log from some other boot (forked) or one grown after
+    //    sealing fails here.
+    if !envelope.boot.verify_seal(provider_key) {
+        return AttestVerdict::BootLogForged;
+    }
+    let image_event = sha256(envelope.image.root.as_bytes());
+    let genesis_event = sha256(&envelope.meta_content);
+    let claims = |label: &str, digest: Digest| {
+        envelope
+            .boot
+            .events()
+            .iter()
+            .any(|e| e.label == label && e.payload_digest == digest)
+    };
+    if !claims(EVENT_IMAGE, image_event) || !claims(EVENT_GENESIS, genesis_event) {
+        return AttestVerdict::BootLogForged;
+    }
+
+    // 3. The launch claim itself must match the reference: an envelope
+    //    whose META record names a different image digest (or node) is a
+    //    measured-but-wrong launch.
+    if envelope.meta_content != expected.meta_content {
+        return AttestVerdict::ImageMismatch;
+    }
+
+    // 4. The genesis authenticator must anchor the accountability chain in
+    //    this launch: entry 1, chain starting at zero, committing to the
+    //    META content, signed by the provider.
+    let genesis = &envelope.genesis;
+    if genesis.seq != 1
+        || genesis.prev_hash != Digest::ZERO
+        || !genesis.commits_to(EntryKind::Meta, &envelope.meta_content)
+        || genesis.verify_signature(provider_key).is_err()
+    {
+        return AttestVerdict::ChainMismatch;
+    }
+
+    AttestVerdict::Verified
+}
+
+/// Verifies a quote against the challenge that solicited it: freshness,
+/// nonce binding, quote signature, then [`verify_envelope`].  Returns the
+/// verdict and, when the envelope at least decoded, the envelope itself
+/// (evidence for any verdict).
+pub fn verify_quote(
+    quote: &AttestQuote,
+    challenge: &AttestChallenge,
+    now_us: u64,
+    freshness_us: u64,
+    expected: &ExpectedLaunch,
+    provider_key: &VerifyingKey,
+) -> (AttestVerdict, Option<AttestationEnvelope>) {
+    let envelope = AttestationEnvelope::decode_exact(&quote.envelope).ok();
+
+    // Replay before freshness: a stale nonce is the sharper diagnosis even
+    // when the replayed quote is also old.
+    if quote.nonce != challenge.nonce {
+        return (AttestVerdict::StaleNonce, envelope);
+    }
+    if now_us.saturating_sub(challenge.issued_at_us) > freshness_us
+        || quote.signed_at_us < challenge.issued_at_us
+    {
+        return (AttestVerdict::Expired, envelope);
+    }
+
+    let Some(envelope) = envelope else {
+        return (AttestVerdict::BadQuote, None);
+    };
+    let payload = quote_payload(&quote.nonce, quote.signed_at_us, &envelope.digest());
+    if provider_key.verify(&payload, &quote.signature).is_err() {
+        return (AttestVerdict::BadQuote, Some(envelope));
+    }
+
+    let verdict = verify_envelope(&envelope, expected, provider_key);
+    (verdict, Some(envelope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avm_crypto::keys::SignatureScheme;
+    use avm_log::TamperEvidentLog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> SigningKey {
+        SigningKey::generate(&mut StdRng::seed_from_u64(seed), SignatureScheme::Rsa(512))
+    }
+
+    fn honest_parts() -> (AttestationEnvelope, ExpectedLaunch, SigningKey) {
+        let k = key(1);
+        let image_bytes = vec![0xabu8; 3 * MEASURE_CHUNK_SIZE + 100];
+        let measurement = ImageMeasurement::measure(&image_bytes);
+        let meta_content = b"meta: image=abc node=bob scheme=rsa512".to_vec();
+        let mut boot = BootEventLog::new();
+        boot.measure(EVENT_IMAGE, measurement.root.as_bytes())
+            .unwrap();
+        boot.measure(EVENT_GENESIS, &meta_content).unwrap();
+        boot.seal(&k);
+        let mut log = TamperEvidentLog::new();
+        let entry = log.append(EntryKind::Meta, meta_content.clone()).clone();
+        let genesis = Authenticator::create(&k, &entry, Digest::ZERO);
+        let envelope = AttestationEnvelope {
+            image: measurement.clone(),
+            boot,
+            meta_content: meta_content.clone(),
+            genesis,
+        };
+        let expected = ExpectedLaunch {
+            measurement,
+            meta_content,
+        };
+        (envelope, expected, k)
+    }
+
+    #[test]
+    fn image_measurement_is_chunk_granular() {
+        let a = ImageMeasurement::measure(&vec![1u8; 2 * MEASURE_CHUNK_SIZE]);
+        assert_eq!(a.chunk_count, 2);
+        // Flipping one byte in one chunk changes the root.
+        let mut bytes = vec![1u8; 2 * MEASURE_CHUNK_SIZE];
+        bytes[MEASURE_CHUNK_SIZE + 3] ^= 0xff;
+        assert_ne!(ImageMeasurement::measure(&bytes).root, a.root);
+        // Chunk boundaries matter: same bytes, empty input has its own root.
+        assert_eq!(ImageMeasurement::measure(&[]).chunk_count, 1);
+    }
+
+    #[test]
+    fn sealed_boot_log_rejects_growth_and_detects_tamper() {
+        let k = key(2);
+        let mut boot = BootEventLog::new();
+        boot.measure("stage0", b"firmware").unwrap();
+        boot.measure("stage1", b"kernel").unwrap();
+        boot.seal(&k);
+        assert!(boot.is_sealed());
+        assert!(boot.verify_seal(&k.verifying_key()));
+        assert_eq!(boot.measure("late", b"rootkit"), Err(AttestError::Sealed));
+
+        // Extending after seal (via raw parts) breaks the seal.
+        let mut events = boot.events().to_vec();
+        events.push(BootEvent {
+            label: "late".into(),
+            payload_digest: sha256(b"rootkit"),
+        });
+        let forged = BootEventLog::from_parts(events, Some(boot_seal(&boot)));
+        assert!(!forged.verify_seal(&k.verifying_key()));
+
+        // Reordering breaks it too.
+        let mut events = boot.events().to_vec();
+        events.swap(0, 1);
+        let forked = BootEventLog::from_parts(events, Some(boot_seal(&boot)));
+        assert!(!forked.verify_seal(&k.verifying_key()));
+
+        // A different signer cannot reseal as the provider.
+        let mut resealed = BootEventLog::from_parts(boot.events().to_vec(), None);
+        resealed.seal(&key(3));
+        assert!(!resealed.verify_seal(&k.verifying_key()));
+    }
+
+    fn boot_seal(log: &BootEventLog) -> Vec<u8> {
+        // Round-trip through the wire format to extract the seal bytes.
+        let bytes = log.encode_to_vec();
+        let decoded = BootEventLog::decode_exact(&bytes).unwrap();
+        match decoded {
+            BootEventLog { seal: Some(s), .. } => s,
+            _ => panic!("log not sealed"),
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_digest_is_stable() {
+        let (envelope, _, _) = honest_parts();
+        let bytes = envelope.encode_to_vec();
+        let decoded = AttestationEnvelope::decode_exact(&bytes).unwrap();
+        assert_eq!(decoded, envelope);
+        assert_eq!(decoded.digest(), envelope.digest());
+        assert!(AttestationEnvelope::decode_exact(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn honest_quote_verifies() {
+        let (envelope, expected, k) = honest_parts();
+        let challenge = AttestChallenge {
+            nonce: [3u8; 32],
+            issued_at_us: 500,
+        };
+        let quote = make_quote(&envelope.encode_to_vec(), &challenge, &k);
+        let (verdict, got) = verify_quote(
+            &quote,
+            &challenge,
+            600,
+            1_000,
+            &expected,
+            &k.verifying_key(),
+        );
+        assert_eq!(verdict, AttestVerdict::Verified);
+        assert_eq!(got.unwrap(), envelope);
+    }
+
+    #[test]
+    fn each_tamper_class_gets_its_own_verdict() {
+        let (envelope, expected, k) = honest_parts();
+        let vk = k.verifying_key();
+        let challenge = AttestChallenge {
+            nonce: [3u8; 32],
+            issued_at_us: 500,
+        };
+        let verify = |env: &AttestationEnvelope| {
+            let quote = make_quote(&env.encode_to_vec(), &challenge, &k);
+            verify_quote(&quote, &challenge, 600, 1_000, &expected, &vk).0
+        };
+
+        // Tampered image: the provider measured different launch bytes.
+        let mut tampered = envelope.clone();
+        tampered.image = ImageMeasurement::measure(b"evil image");
+        // Its boot log honestly measures the evil root — still caught.
+        let mut boot = BootEventLog::new();
+        boot.measure(EVENT_IMAGE, tampered.image.root.as_bytes())
+            .unwrap();
+        boot.measure(EVENT_GENESIS, &tampered.meta_content).unwrap();
+        boot.seal(&k);
+        tampered.boot = boot;
+        assert_eq!(verify(&tampered), AttestVerdict::ImageMismatch);
+
+        // Forked boot log: events extended after seal.
+        let mut forked = envelope.clone();
+        let mut events = forked.boot.events().to_vec();
+        events.push(BootEvent {
+            label: "late".into(),
+            payload_digest: sha256(b"x"),
+        });
+        forked.boot = BootEventLog::from_parts(events, Some(boot_seal(&envelope.boot)));
+        assert_eq!(verify(&forked), AttestVerdict::BootLogForged);
+
+        // Chain mismatch: genesis signed by some other key.
+        let mut unanchored = envelope.clone();
+        unanchored.genesis.signature = key(9).sign(&Authenticator::signed_payload(
+            unanchored.genesis.seq,
+            &unanchored.genesis.hash,
+        ));
+        assert_eq!(verify(&unanchored), AttestVerdict::ChainMismatch);
+
+        // Stale nonce: replay of a quote for an older challenge.
+        let old = AttestChallenge {
+            nonce: [8u8; 32],
+            issued_at_us: 100,
+        };
+        let replayed = make_quote(&envelope.encode_to_vec(), &old, &k);
+        let (verdict, _) = verify_quote(&replayed, &challenge, 600, 1_000, &expected, &vk);
+        assert_eq!(verdict, AttestVerdict::StaleNonce);
+
+        // Expired: the window closed before verification.
+        let quote = make_quote(&envelope.encode_to_vec(), &challenge, &k);
+        let (verdict, _) = verify_quote(&quote, &challenge, 5_000, 1_000, &expected, &vk);
+        assert_eq!(verdict, AttestVerdict::Expired);
+
+        // Bad quote: signature over a different envelope digest.
+        let mut wrong_sig = make_quote(&envelope.encode_to_vec(), &challenge, &k);
+        wrong_sig.signature = quote.signature.clone();
+        wrong_sig.envelope.push(0);
+        let (verdict, _) = verify_quote(&wrong_sig, &challenge, 600, 1_000, &expected, &vk);
+        assert_eq!(verdict, AttestVerdict::BadQuote);
+    }
+
+    #[test]
+    fn meta_substitution_is_an_image_mismatch() {
+        // A provider that booted the right bytes but *claims* another image
+        // in its META record (so later audits replay the wrong reference)
+        // is caught as an image mismatch.
+        let (envelope, expected, k) = honest_parts();
+        let mut lying = envelope.clone();
+        lying.meta_content = b"meta: image=OTHER node=bob scheme=rsa512".to_vec();
+        let mut boot = BootEventLog::new();
+        boot.measure(EVENT_IMAGE, lying.image.root.as_bytes())
+            .unwrap();
+        boot.measure(EVENT_GENESIS, &lying.meta_content).unwrap();
+        boot.seal(&k);
+        lying.boot = boot;
+        let challenge = AttestChallenge {
+            nonce: [3u8; 32],
+            issued_at_us: 500,
+        };
+        let quote = make_quote(&lying.encode_to_vec(), &challenge, &k);
+        let (verdict, _) = verify_quote(
+            &quote,
+            &challenge,
+            600,
+            1_000,
+            &expected,
+            &k.verifying_key(),
+        );
+        assert_eq!(verdict, AttestVerdict::ImageMismatch);
+    }
+}

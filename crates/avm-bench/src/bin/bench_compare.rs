@@ -14,7 +14,9 @@
 //! `ok_*` mismatches and missing keys are correctness regressions and
 //! always fail the run.  Cost overshoots fail too by default;
 //! `--warn-costs` downgrades *only those* to warnings, for environments
-//! whose cost profile legitimately drifts while semantics must not.
+//! whose cost profile legitimately drifts while semantics must not.  A key
+//! with an explicit `tolerance_<key>` pin has graduated past the blanket
+//! threshold: breaching its own gate stays fatal even under `--warn-costs`.
 
 use std::path::Path;
 use std::process::exit;
@@ -82,11 +84,15 @@ fn main() {
         return;
     }
     // `ok_*` mismatches and disappeared keys are correctness failures; a
-    // value overshoot on any other key is a cost regression.
+    // value overshoot on any other key is a cost regression — unless the
+    // key carries its own `tolerance_<key>` pin, in which case breaching
+    // that gate is as hard a failure as a flipped flag.
     let mut fatal = 0;
     for regression in &regressions {
-        let correctness = regression.key.starts_with("ok_") || regression.fresh.is_none();
-        if correctness || !warn_costs {
+        let hard = regression.key.starts_with("ok_")
+            || regression.fresh.is_none()
+            || regression.toleranced;
+        if hard || !warn_costs {
             eprintln!("REGRESSION {regression}");
             fatal += 1;
         } else {

@@ -137,9 +137,17 @@ fn main() {
                     &experiments::paraudit_metrics(&r, quick),
                 );
             }
+            "attest" | "attestation" | "launch" => {
+                let r = experiments::exp_attest(quick);
+                write_bench(
+                    "attest",
+                    "BENCH_attest.json",
+                    &experiments::attest_metrics(&r, quick),
+                );
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fleet paraudit fig7 fig8 fig9");
+                eprintln!("known: all table1 functionality fig3 fig4 sec6.5 sec6.6 sec6.7 fig5 fig6 fig6inc dedup ondemand chunked netaudit persist fleet paraudit attest fig7 fig8 fig9");
                 std::process::exit(2);
             }
         }

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use avm_attest::AttestVerdict;
 use avm_compress::{compress, decompress, CompressionLevel};
 use avm_core::audit::audit_log;
 use avm_core::config::{AvmmOptions, ExecConfig};
@@ -2557,6 +2558,11 @@ pub struct ParauditRow {
     /// Host wall time of the parallel spot check, in µs (noisy; emitted as
     /// a comparator-skipped `wall_` key).
     pub wall_us: u64,
+    /// Best-of-R *measured* host wall time at this lane count, µs — the
+    /// multi-core wall time actually observed on this host, as opposed to
+    /// the modelled `makespan_us` (noisy; emitted as a comparator-skipped
+    /// `wall_parallel_` key).
+    pub wall_best_us: u64,
 }
 
 /// Result of [`exp_paraudit`].
@@ -2589,6 +2595,12 @@ pub struct ParauditResult {
     pub pool_tasks: u64,
     /// Pool worker threads.
     pub pool_workers: u64,
+    /// Hardware threads the host reports
+    /// (`std::thread::available_parallelism`) — context for the measured
+    /// walls: lane counts past this cannot speed up real execution.
+    pub host_parallelism: u64,
+    /// Samples behind each best-of measured wall.
+    pub wall_reps: u64,
 }
 
 /// Segment-parallel audit replay (§6): partitions one recorded chunk at its
@@ -2745,11 +2757,40 @@ pub fn exp_paraudit(quick: bool) -> ParauditResult {
             makespan_us,
             speedup_x100: serial_cpu_us * 100 / makespan_us,
             wall_us,
+            wall_best_us: wall_us,
         });
     }
     let pool = avm_crypto::parallel::global_pool_stats().since(&pool_before);
     let speedup4_x100 = rows[3].speedup_x100;
     assert!(all_identical, "every parallel report must equal serial");
+
+    // Measured (not modelled) multi-core wall time: repeat each lane count
+    // and keep the best sample — a single wall sample is mostly scheduler
+    // noise; the best of R approaches the true execution floor.  This runs
+    // *after* the pool-stats delta above so the pinned replay-task count
+    // stays the deterministic single-sweep value.
+    let wall_reps: u64 = if quick { 3 } else { 5 };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    for row in rows.iter_mut() {
+        for _ in 1..wall_reps {
+            let wall = Instant::now();
+            let report = spot_check_parallel(
+                avmm.log(),
+                avmm.snapshots(),
+                start,
+                k,
+                &image,
+                &registry,
+                row.workers as usize,
+            )
+            .unwrap();
+            let us = wall.elapsed().as_micros() as u64;
+            assert_eq!(report, serial, "repeat runs must stay identical");
+            row.wall_best_us = row.wall_best_us.min(us);
+        }
+    }
     if !quick {
         assert!(
             speedup4_x100 >= 200,
@@ -2805,19 +2846,23 @@ pub fn exp_paraudit(quick: bool) -> ParauditResult {
     println!(
         "serial replay CPU (modelled): {serial_cpu_us} µs; measured per-unit µs: {measured_unit_us:?}"
     );
-    println!("| workers | makespan µs (model) | speedup | identical | wall µs |");
-    println!("|---|---|---|---|---|");
+    println!(
+        "| workers | makespan µs (model) | speedup | identical | wall µs | best-of-{wall_reps} wall µs |"
+    );
+    println!("|---|---|---|---|---|---|");
     for row in &rows {
         println!(
-            "| {} | {} | {}.{:02}x | {} | {} |",
+            "| {} | {} | {}.{:02}x | {} | {} | {} |",
             row.workers,
             row.makespan_us,
             row.speedup_x100 / 100,
             row.speedup_x100 % 100,
             row.identical,
             row.wall_us,
+            row.wall_best_us,
         );
     }
+    println!("(host reports {host_parallelism} hardware threads)");
     println!(
         "\npipeline on lossy link (drop_every=3): stalled {stalled_latency_us} µs → pipelined \
          {pipelined_latency_us} µs (overlap: {pipeline_overlap}); pool ran {} replay tasks on \
@@ -2838,6 +2883,8 @@ pub fn exp_paraudit(quick: bool) -> ParauditResult {
         pipeline_overlap,
         pool_tasks: pool.tasks,
         pool_workers: pool.workers as u64,
+        host_parallelism,
+        wall_reps,
     }
 }
 
@@ -2876,6 +2923,602 @@ pub fn paraudit_metrics(r: &ParauditResult, quick: bool) -> Vec<(String, u64)> {
         m.push((format!("w{}_makespan_us", row.workers), row.makespan_us));
         m.push((format!("w{}_speedup_x100", row.workers), row.speedup_x100));
         m.push((format!("wall_w{}_us", row.workers), row.wall_us));
+        // Measured multi-core wall (best of R samples): host-dependent by
+        // construction, so it rides under the comparator-skipped `wall_`
+        // prefix — telemetry, never a gate.
+        m.push((
+            format!("wall_parallel_w{}_us", row.workers),
+            row.wall_best_us,
+        ));
+    }
+    m.push(("wall_parallel_reps".to_string(), r.wall_reps));
+    m.push(("wall_host_parallelism".to_string(), r.host_parallelism));
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Accountable attestation: attest-then-audit at fleet scale (avm-attest)
+// ---------------------------------------------------------------------------
+
+/// One fleet-size row of the `attest` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct AttestRow {
+    /// Concurrent attest-then-audit auditors (N).
+    pub auditors: u64,
+    /// Sessions whose launch verdict came back `Verified`.
+    pub attested_ok: u64,
+    /// Sessions that went on to a consistent spot-check verdict.
+    pub audits_ok: u64,
+    /// Simulated time from first session start to quiescence, µs.
+    pub sim_elapsed_us: u64,
+    /// Median session completion latency (challenge → audit verdict), µs.
+    pub p50_us: u64,
+    /// 99th-percentile session completion latency, µs.
+    pub p99_us: u64,
+    /// Framed bytes across every link, both directions.
+    pub wire_bytes: u64,
+    /// Requests the provider scheduler served (one attest challenge plus
+    /// the audit traffic, per session).
+    pub requests_served: u64,
+    /// Shared-cache hits (quotes are nonce-bound and bypass the cache, so
+    /// these all come from the audit traffic).
+    pub cache_hits: u64,
+    /// Host wall-clock time this row took to simulate, µs.
+    pub wall_run_us: u64,
+}
+
+/// Result of the `attest` experiment.
+#[derive(Debug, Clone)]
+pub struct AttestResult {
+    /// Honest attested-fleet sweep.
+    pub rows: Vec<AttestRow>,
+    /// Encoded attestation envelope size, bytes.
+    pub envelope_bytes: u64,
+    /// Encoded quote size for one challenge, bytes.
+    pub quote_bytes: u64,
+    /// One SimNet session: attest verified, then the on-demand spot check
+    /// continued over the same session and passed.
+    pub honest_session: bool,
+    /// Every session in every sweep row: launch `Verified` and audit
+    /// consistent.
+    pub honest_fleet: bool,
+    /// Launch verdict for the provider that booted a tampered image.
+    pub image_tamper: AttestVerdict,
+    /// Launch verdict for the boot event log extended after sealing.
+    pub log_fork: AttestVerdict,
+    /// Launch verdict for the replayed (stale-nonce) quote.
+    pub stale_nonce: AttestVerdict,
+    /// Honest + three tamper verdicts were pairwise distinct.
+    pub verdicts_distinct: bool,
+    /// Post-launch execution tamper: the launch attestation still verifies
+    /// (the envelope only covers the launch)...
+    pub post_launch_attest_verified: bool,
+    /// ...but the spot check over the tampered chunk catches it.
+    pub post_launch_audit_caught: bool,
+    /// A fleet pointed at the tampered-image provider: every session was
+    /// rejected at the attest step with `ImageMismatch`...
+    pub reject_fleet_all_mismatch: bool,
+    /// ...after exactly one served request per session — rejected sessions
+    /// produce no audit traffic.
+    pub reject_fleet_one_request_each: bool,
+    /// The crash-recovered provider re-served envelope bytes identical to
+    /// its unkilled twin's.
+    pub recovered_envelope_identical: bool,
+    /// ...and identical to the live (non-durable) recorder's — the envelope
+    /// is deterministic across provider instances.
+    pub recovered_matches_live: bool,
+    /// A fresh attested fleet against the recovered provider produced the
+    /// same verdicts and reports as against the unkilled twin.
+    pub recovered_fleet_matches: bool,
+    /// Host wall-clock µs of the crash recovery.
+    pub wall_recover_us: u64,
+}
+
+/// Accountable attestation at fleet scale: the avm-db server runs as an
+/// attested workload under client churn; a fleet of N auditors each opens a
+/// session, challenges the provider's launch (nonce'd
+/// [`AttestChallenge`](avm_wire::attest::AttestChallenge) → signed quote →
+/// [`LaunchPolicy`](avm_core::attest::LaunchPolicy) verdict) and only then
+/// continues into spot-check auditing over the same session.
+///
+/// Alongside the honest sweep, each tamper class gets its distinct verdict:
+/// a tampered initial image (`ImageMismatch`, including a rejected fleet
+/// that generates no audit traffic), a boot event log extended after
+/// sealing (`BootLogForged`), a replayed stale-nonce quote (`StaleNonce`),
+/// and post-launch execution tampering — which attestation *cannot* see
+/// (the envelope covers only the launch) and the spot check catches.  A
+/// crash/recovery pass pins that a durable provider re-serves byte-identical
+/// envelope bytes and passes the same fleet as its unkilled twin.
+pub fn exp_attest(quick: bool) -> AttestResult {
+    use avm_attest::{AttestationEnvelope, BootEvent, BootEventLog};
+    use avm_core::attest::{challenge_nonce, Attestor, LaunchPolicy};
+    use avm_core::endpoint::{AuditClient, AuditServer, SimNetTransport};
+    use avm_core::fleet::{run_attested_fleet, FleetConfig, FleetOutcome};
+    use avm_crypto::sha256::sha256;
+    use avm_net::LinkConfig;
+    use avm_wire::attest::AttestChallenge;
+    use avm_wire::{Decode, Reader};
+    use std::collections::HashSet;
+
+    let registry = db_registry();
+    let scheme = SignatureScheme::Rsa(512);
+    let mut rng = StdRng::seed_from_u64(31);
+    let operator = Identity::generate(&mut rng, "db-host", scheme);
+    let client_id = Identity::generate(&mut rng, "client", scheme);
+    let cfg = DbConfig::new("client");
+    let image = db_image(&cfg);
+    let options = || AvmmOptions::default().with_scheme(scheme);
+    let rows_n: u64 = if quick { 8 } else { 24 };
+    let snapshot_every: u64 = if quick { 8 } else { 16 };
+
+    // Churn driver: the sql-bench-style request stream delivered as signed
+    // envelopes, snapshotting every `snapshot_every` requests.  When
+    // `tamper_before` names a snapshot, guest memory is overwritten right
+    // before that snapshot is captured — execution tampering the launch
+    // attestation cannot see.
+    let drive = |avmm: &mut Avmm, tamper_before: Option<u64>| {
+        let mut workload = WorkloadGen::new(rows_n);
+        let mut clock = HostClock::at(1_000);
+        let mut msg_id = 0u64;
+        let mut since = 0u64;
+        let mut snaps = 0u64;
+        avmm.run_slice(&clock, 50_000).unwrap();
+        while let Some(payload) = workload.next_packet("db-host") {
+            msg_id += 1;
+            clock.advance_to(clock.now() + 5_000);
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "client",
+                "db-host",
+                msg_id,
+                payload,
+                &client_id.signing_key,
+                None,
+            );
+            avmm.deliver(&env).unwrap();
+            avmm.run_slice(&clock, 100_000).unwrap();
+            since += 1;
+            if since >= snapshot_every {
+                if tamper_before == Some(snaps) {
+                    let addr = avmm.machine_mut().memory().size() - 64;
+                    avmm.machine_mut()
+                        .memory_mut()
+                        .write_u8(addr, 0xAA)
+                        .unwrap();
+                }
+                avmm.take_snapshot();
+                snaps += 1;
+                since = 0;
+            }
+        }
+        avmm.take_snapshot();
+    };
+
+    let mut avmm = Avmm::new(
+        "db-host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+    )
+    .unwrap();
+    avmm.add_peer("client", client_id.verifying_key());
+    drive(&mut avmm, None);
+    let n_snapshots = avmm.snapshots().len() as u64;
+    let start = n_snapshots - 2;
+    let k = 1u64;
+    let link = LinkConfig::default();
+
+    let attestor = Attestor::for_avmm(&avmm, &image).unwrap();
+    let policy = LaunchPolicy::new(&image, "db-host", scheme, operator.verifying_key());
+    let envelope_bytes = attestor.envelope_bytes().len() as u64;
+
+    // 1. One honest session over SimNetTransport: challenge → verify →
+    //    continue into the on-demand spot check on the same session.
+    let server = AuditServer::new(avmm.log(), avmm.snapshots()).with_attestor(&attestor);
+    let mut session = AuditClient::new(SimNetTransport::new(server, link));
+    let challenge = AttestChallenge {
+        nonce: challenge_nonce(900, 10_000),
+        issued_at_us: 10_000,
+    };
+    let quote_bytes = attestor.quote(&challenge).encode_to_vec().len() as u64;
+    let (session_verdict, session_envelope) = session.attest(&challenge, &policy, 10_500).unwrap();
+    let audit_after = session
+        .spot_check_on_demand(start, k, &image, &registry)
+        .unwrap();
+    let honest_session = session_verdict == AttestVerdict::Verified
+        && session_envelope.is_some()
+        && audit_after.consistent;
+
+    // 2. The honest attested-fleet sweep.
+    let sweep: &[usize] = if quick { &[1, 10, 50] } else { &[1, 10, 100] };
+    let mut fleet_rows = Vec::with_capacity(sweep.len());
+    let mut honest_fleet = true;
+    for &n in sweep {
+        let config = FleetConfig {
+            link,
+            auditors: n,
+            start_snapshot: start,
+            chunk: k,
+            inter_arrival_us: 200,
+            ..FleetConfig::default()
+        };
+        let wall = Instant::now();
+        let outcome = run_attested_fleet(
+            avmm.log(),
+            avmm.snapshots(),
+            &image,
+            &registry,
+            &config,
+            &attestor,
+            &policy,
+        );
+        let wall_run_us = wall.elapsed().as_micros() as u64;
+        assert!(
+            outcome.event_loop.quiescent,
+            "attested fleet of {n} must quiesce"
+        );
+        let attested_ok = outcome
+            .attest_verdicts
+            .iter()
+            .filter(|v| **v == Some(AttestVerdict::Verified))
+            .count() as u64;
+        let audits_ok = outcome
+            .reports
+            .iter()
+            .filter(|r| r.as_ref().is_ok_and(|rep| rep.consistent))
+            .count() as u64;
+        honest_fleet &= attested_ok == n as u64 && audits_ok == n as u64;
+        let mut latencies = outcome.latencies_us.clone();
+        latencies.sort_unstable();
+        let sim_elapsed_us = outcome.event_loop.now_us.max(1);
+        let provider = outcome.providers[0];
+        fleet_rows.push(AttestRow {
+            auditors: n as u64,
+            attested_ok,
+            audits_ok,
+            sim_elapsed_us,
+            p50_us: percentile_us(&latencies, 50, 100),
+            p99_us: percentile_us(&latencies, 99, 100),
+            wire_bytes: outcome.node_stats.iter().map(|(_, s)| s.tx_bytes).sum(),
+            requests_served: provider.requests_served,
+            cache_hits: provider.cache.hits,
+            wall_run_us,
+        });
+    }
+
+    // 3. Tampered initial image: a provider that booted something else.
+    //    Verified directly, then as a fleet — rejected sessions must end at
+    //    the challenge, generating no audit traffic.
+    let tampered_image = image.clone().with_disk(vec![0xEEu8; 512]);
+    let tampered_avmm = Avmm::new(
+        "db-host",
+        &tampered_image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+    )
+    .unwrap();
+    let tampered_attestor = Attestor::for_avmm(&tampered_avmm, &tampered_image).unwrap();
+    let ch = AttestChallenge {
+        nonce: challenge_nonce(901, 20_000),
+        issued_at_us: 20_000,
+    };
+    let (image_tamper, _) = policy.verify(&tampered_attestor.quote(&ch), &ch, 20_500);
+    let reject_n = 4usize;
+    let reject_cfg = FleetConfig {
+        link,
+        auditors: reject_n,
+        start_snapshot: 0,
+        chunk: k,
+        inter_arrival_us: 200,
+        ..FleetConfig::default()
+    };
+    let rejected = run_attested_fleet(
+        tampered_avmm.log(),
+        tampered_avmm.snapshots(),
+        &image,
+        &registry,
+        &reject_cfg,
+        &tampered_attestor,
+        &policy,
+    );
+    let reject_fleet_all_mismatch = rejected
+        .attest_verdicts
+        .iter()
+        .all(|v| *v == Some(AttestVerdict::ImageMismatch))
+        && rejected.reports.iter().all(|r| r.is_err());
+    let reject_fleet_one_request_each = rejected.providers[0].requests_served == reject_n as u64;
+
+    // 4. Boot event log extended after sealing: keep the original seal,
+    //    append one event — the recomputed register breaks the seal.
+    let envelope = AttestationEnvelope::decode_exact(attestor.envelope_bytes()).unwrap();
+    let boot_bytes = envelope.boot.encode_to_vec();
+    let mut reader = Reader::new(&boot_bytes);
+    let mut events = Vec::<BootEvent>::decode(&mut reader).unwrap();
+    let seal = Option::<Vec<u8>>::decode(&mut reader).unwrap();
+    events.push(BootEvent {
+        label: "avm.extra".to_string(),
+        payload_digest: sha256(b"measured after the seal"),
+    });
+    let forged = AttestationEnvelope {
+        boot: BootEventLog::from_parts(events, seal),
+        ..envelope
+    };
+    let forger = Attestor::new(&forged, operator.signing_key.clone());
+    let ch = AttestChallenge {
+        nonce: challenge_nonce(902, 30_000),
+        issued_at_us: 30_000,
+    };
+    let (log_fork, _) = policy.verify(&forger.quote(&ch), &ch, 30_500);
+
+    // 5. Replayed (stale-nonce) attestation: a canned quote for an old
+    //    challenge answered to a fresh one.
+    let old = AttestChallenge {
+        nonce: challenge_nonce(77, 1_000),
+        issued_at_us: 1_000,
+    };
+    let replayer = attestor.clone().with_replayed_quote(attestor.quote(&old));
+    let fresh = AttestChallenge {
+        nonce: challenge_nonce(903, 50_000),
+        issued_at_us: 50_000,
+    };
+    let (stale_nonce, _) = policy.verify(&replayer.quote(&fresh), &fresh, 50_500);
+
+    let verdicts: HashSet<AttestVerdict> =
+        [AttestVerdict::Verified, image_tamper, log_fork, stale_nonce]
+            .into_iter()
+            .collect();
+    let verdicts_distinct = verdicts.len() == 4;
+
+    // 6. Post-launch execution tampering: same honest launch, guest memory
+    //    overwritten mid-run.  The launch attestation stays green — and the
+    //    spot check over the tampered chunk goes red.  Launch measurement
+    //    alone is not accountability; the audit continues where the
+    //    envelope's coverage ends.
+    let mut tampered_exec = Avmm::new(
+        "db-host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+    )
+    .unwrap();
+    tampered_exec.add_peer("client", client_id.verifying_key());
+    let tamper_snapshot = n_snapshots - 2;
+    drive(&mut tampered_exec, Some(tamper_snapshot));
+    let exec_attestor = Attestor::for_avmm(&tampered_exec, &image).unwrap();
+    let ch = AttestChallenge {
+        nonce: challenge_nonce(904, 60_000),
+        issued_at_us: 60_000,
+    };
+    let (post_verdict, _) = policy.verify(&exec_attestor.quote(&ch), &ch, 60_500);
+    let post_launch_attest_verified = post_verdict == AttestVerdict::Verified;
+    let post_report = spot_check(
+        tampered_exec.log(),
+        tampered_exec.snapshots(),
+        tamper_snapshot - 1,
+        k,
+        &image,
+        &registry,
+    )
+    .unwrap();
+    let post_launch_audit_caught = !post_report.consistent;
+
+    // 7. Crash/recovery: a durable twin pair over avm-store.  The recovered
+    //    provider must re-serve *the* envelope (byte-identical) and pass
+    //    the same fleet attest-then-audit as the unkilled twin.
+    let pcfg = persist_cfg(SyncPolicy::PerBatch, FsyncModel::DISK_2010);
+    let provider_rounds: u64 = 12;
+    let make_provider = |storage: SimStorage| {
+        let mut p = Provider::create(
+            storage,
+            "db-host",
+            &image,
+            &registry,
+            operator.signing_key.clone(),
+            options(),
+            pcfg,
+        )
+        .unwrap();
+        p.add_peer("client", client_id.verifying_key());
+        let mut workload = WorkloadGen::new(provider_rounds / 4);
+        let mut clock = HostClock::at(1_000);
+        let mut msg_id = 0u64;
+        p.run_slice(&clock, 50_000).unwrap();
+        while let Some(payload) = workload.next_packet("db-host") {
+            msg_id += 1;
+            clock.advance_to(clock.now() + 5_000);
+            let env = Envelope::create(
+                EnvelopeKind::Data,
+                "client",
+                "db-host",
+                msg_id,
+                payload,
+                &client_id.signing_key,
+                None,
+            );
+            p.deliver(&env).unwrap();
+            p.run_slice(&clock, 100_000).unwrap();
+            p.take_snapshot().unwrap();
+        }
+        p
+    };
+    let twin = make_provider(SimStorage::new());
+    let storage = SimStorage::new();
+    let victim = make_provider(storage.clone());
+    drop(victim); // the process dies; only the bytes in `storage` survive
+    let t = Instant::now();
+    let (recovered, _) = Provider::recover(
+        storage.reboot(),
+        "db-host",
+        &image,
+        &registry,
+        operator.signing_key.clone(),
+        options(),
+        pcfg,
+    )
+    .unwrap();
+    let wall_recover_us = t.elapsed().as_micros() as u64;
+    let recovered_envelope_identical =
+        recovered.attestation_envelope_bytes() == twin.attestation_envelope_bytes();
+    let recovered_matches_live =
+        recovered.attestation_envelope_bytes() == attestor.envelope_bytes();
+    let p_start = twin.avmm().snapshots().len() as u64 - 2;
+    let fleet_cfg = FleetConfig {
+        link,
+        auditors: 4,
+        start_snapshot: p_start,
+        chunk: k,
+        inter_arrival_us: 200,
+        ..FleetConfig::default()
+    };
+    let run_provider_fleet = |p: &Provider<SimStorage>, att: &Attestor| {
+        run_attested_fleet(
+            p.avmm().log(),
+            p.avmm().snapshots(),
+            &image,
+            &registry,
+            &fleet_cfg,
+            att,
+            &policy,
+        )
+    };
+    let twin_out = run_provider_fleet(&twin, twin.attestor());
+    let rec_out = run_provider_fleet(&recovered, recovered.attestor());
+    let semantic = |o: &FleetOutcome| {
+        o.reports
+            .iter()
+            .map(|r| r.as_ref().ok().cloned())
+            .collect::<Vec<_>>()
+    };
+    let recovered_fleet_matches = rec_out.attest_verdicts == twin_out.attest_verdicts
+        && rec_out
+            .attest_verdicts
+            .iter()
+            .all(|v| *v == Some(AttestVerdict::Verified))
+        && semantic(&rec_out) == semantic(&twin_out)
+        && semantic(&rec_out)
+            .iter()
+            .all(|r| r.as_ref().is_some_and(|rep| rep.consistent));
+
+    println!("# Accountable attestation: attest-then-audit fleet (start={start}, k={k})");
+    println!("envelope: {envelope_bytes} B, quote: {quote_bytes} B");
+    println!("| N | attested | audits ok | p50 µs | p99 µs | wire MB | served | cache hits |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for row in &fleet_rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} | {} | {} |",
+            row.auditors,
+            row.attested_ok,
+            row.audits_ok,
+            row.p50_us,
+            row.p99_us,
+            row.wire_bytes as f64 / 1e6,
+            row.requests_served,
+            row.cache_hits,
+        );
+    }
+    println!(
+        "\ntamper verdicts: image={image_tamper}, boot-log fork={log_fork}, replay={stale_nonce} \
+         (distinct: {verdicts_distinct}); post-launch tamper: attest says {post_verdict}, \
+         audit caught: {post_launch_audit_caught}"
+    );
+    println!(
+        "rejected fleet: all ImageMismatch={reject_fleet_all_mismatch}, one request per \
+         session={reject_fleet_one_request_each}"
+    );
+    println!(
+        "crash recovery: envelope identical={recovered_envelope_identical} (matches live \
+         recorder: {recovered_matches_live}), recovered fleet matches twin: \
+         {recovered_fleet_matches} ({wall_recover_us} µs to recover)"
+    );
+
+    AttestResult {
+        rows: fleet_rows,
+        envelope_bytes,
+        quote_bytes,
+        honest_session,
+        honest_fleet,
+        image_tamper,
+        log_fork,
+        stale_nonce,
+        verdicts_distinct,
+        post_launch_attest_verified,
+        post_launch_audit_caught,
+        reject_fleet_all_mismatch,
+        reject_fleet_one_request_each,
+        recovered_envelope_identical,
+        recovered_matches_live,
+        recovered_fleet_matches,
+        wall_recover_us,
+    }
+}
+
+/// Flattens an [`AttestResult`] into the `BENCH_attest.json` trajectory
+/// metrics.  All the `ok_` flags are hard gates; sizes, latencies and wire
+/// bytes are simulated and deterministic; `wall_` keys carry host noise and
+/// are skipped by the comparator.
+pub fn attest_metrics(r: &AttestResult, quick: bool) -> Vec<(String, u64)> {
+    let mut m = vec![
+        ("ok_quick".to_string(), quick as u64),
+        ("ok_honest_session".to_string(), r.honest_session as u64),
+        ("ok_honest_fleet".to_string(), r.honest_fleet as u64),
+        (
+            "ok_image_tamper_distinct".to_string(),
+            (r.image_tamper == AttestVerdict::ImageMismatch) as u64,
+        ),
+        (
+            "ok_log_fork_distinct".to_string(),
+            (r.log_fork == AttestVerdict::BootLogForged) as u64,
+        ),
+        (
+            "ok_stale_nonce_distinct".to_string(),
+            (r.stale_nonce == AttestVerdict::StaleNonce) as u64,
+        ),
+        (
+            "ok_verdicts_distinct".to_string(),
+            r.verdicts_distinct as u64,
+        ),
+        (
+            "ok_post_launch_detected".to_string(),
+            (r.post_launch_attest_verified && r.post_launch_audit_caught) as u64,
+        ),
+        (
+            "ok_reject_no_audit_traffic".to_string(),
+            (r.reject_fleet_all_mismatch && r.reject_fleet_one_request_each) as u64,
+        ),
+        (
+            "ok_recovered_envelope_identical".to_string(),
+            r.recovered_envelope_identical as u64,
+        ),
+        (
+            "ok_recovered_matches_live".to_string(),
+            r.recovered_matches_live as u64,
+        ),
+        (
+            "ok_recovered_fleet_matches".to_string(),
+            r.recovered_fleet_matches as u64,
+        ),
+        ("envelope_bytes".to_string(), r.envelope_bytes),
+        // Envelope and quote sizes are exactly deterministic (fixed image,
+        // fixed keys, deterministic signing): graduate them from the
+        // blanket threshold to zero-tolerance hard gates.
+        ("tolerance_envelope_bytes".to_string(), 0),
+        ("quote_bytes".to_string(), r.quote_bytes),
+        ("tolerance_quote_bytes".to_string(), 0),
+        ("wall_recover_us".to_string(), r.wall_recover_us),
+    ];
+    for row in &r.rows {
+        let n = row.auditors;
+        m.push((format!("n{n}_p50_us"), row.p50_us));
+        m.push((format!("n{n}_wire_bytes"), row.wire_bytes));
+        m.push((format!("n{n}_requests_served"), row.requests_served));
+        // Requests served is schedule-deterministic (one challenge plus a
+        // fixed audit exchange per session): another zero-tolerance gate.
+        m.push((format!("tolerance_n{n}_requests_served"), 0));
+        m.push((format!("n{n}_cache_hits"), row.cache_hits));
+        m.push((format!("wall_n{n}_run_us"), row.wall_run_us));
     }
     m
 }
@@ -2902,6 +3545,7 @@ pub fn run_all(quick: bool) {
     exp_persist(quick);
     exp_fleet(quick);
     exp_paraudit(quick);
+    exp_attest(quick);
 }
 
 #[cfg(test)]

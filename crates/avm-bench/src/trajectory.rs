@@ -11,6 +11,13 @@
 //!   0/1; any difference from the pinned value is a regression.
 //! * `wall_*` — real wall-clock times.  Informational only: they vary with
 //!   the host, so the comparator skips them.
+//! * `tolerance_<key>` — per-key threshold config, not a metric: the pinned
+//!   value replaces the blanket `threshold_percent` for `<key>`, and the
+//!   overshoot it gates is a *hard* failure (`bench_compare` refuses to
+//!   downgrade it under `--warn-costs`).  This is how a cost key whose
+//!   value has proven stable graduates from the blanket warning threshold
+//!   to a pinned gate.  Tolerance entries are config, so one missing from a
+//!   fresh run is never itself a regression.
 //! * everything else — deterministic simulated costs (modelled microseconds,
 //!   bytes, counts) where *bigger is worse*; a fresh value more than
 //!   `threshold_percent` above the pinned one is a regression.
@@ -94,6 +101,10 @@ pub struct Regression {
     pub pinned: u64,
     /// The freshly measured value, or `None` if the fresh run lacks the key.
     pub fresh: Option<u64>,
+    /// The key had an explicit `tolerance_<key>` pin, so this overshoot
+    /// breached a per-key gate the trajectory graduated to — fatal even
+    /// where blanket cost overshoots are downgraded to warnings.
+    pub toleranced: bool,
 }
 
 impl core::fmt::Display for Regression {
@@ -113,30 +124,42 @@ impl core::fmt::Display for Regression {
 /// regression under the key conventions in the module docs.  Keys that only
 /// exist in the fresh run are fine (new metrics land before they are
 /// pinned); keys that disappeared, `ok_*` mismatches, and costs more than
-/// `threshold_percent` above the pin are not.
+/// their threshold above the pin are not.  A `tolerance_<key>` pin
+/// overrides `threshold_percent` for `<key>` alone and marks the resulting
+/// regression as gate-breaching ([`Regression::toleranced`]).
 pub fn compare(
     pinned: &[(String, u64)],
     fresh: &[(String, u64)],
     threshold_percent: u64,
 ) -> Vec<Regression> {
     let lookup = |key: &str| fresh.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let tolerance = |key: &str| {
+        let config_key = format!("tolerance_{key}");
+        pinned
+            .iter()
+            .find(|(k, _)| *k == config_key)
+            .map(|&(_, v)| v)
+    };
     let mut regressions = Vec::new();
     for (key, pinned_value) in pinned {
-        if key.starts_with("wall_") {
+        if key.starts_with("wall_") || key.starts_with("tolerance_") {
             continue;
         }
+        let per_key = tolerance(key);
+        let threshold = per_key.unwrap_or(threshold_percent);
         let fresh_value = lookup(key);
         let regressed = match fresh_value {
             None => true,
             Some(fresh_value) if key.starts_with("ok_") => fresh_value != *pinned_value,
             // Integer-exact form of `fresh > pinned * (1 + threshold/100)`.
-            Some(fresh_value) => fresh_value * 100 > pinned_value * (100 + threshold_percent),
+            Some(fresh_value) => fresh_value * 100 > pinned_value * (100 + threshold),
         };
         if regressed {
             regressions.push(Regression {
                 key: key.clone(),
                 pinned: *pinned_value,
                 fresh: fresh_value,
+                toleranced: per_key.is_some(),
             });
         }
     }
@@ -190,5 +213,50 @@ mod tests {
         let pinned = m(&[("torn_bytes", 0)]);
         assert!(compare(&pinned, &m(&[("torn_bytes", 0)]), 15).is_empty());
         assert_eq!(compare(&pinned, &m(&[("torn_bytes", 1)]), 15).len(), 1);
+    }
+
+    #[test]
+    fn per_key_tolerance_overrides_the_blanket_threshold() {
+        let pinned = m(&[
+            ("stable_cost", 100),
+            ("tolerance_stable_cost", 2),
+            ("loose_cost", 100),
+        ]);
+        // 3% over: within the blanket 15% but past the 2% per-key gate.
+        let fresh = m(&[("stable_cost", 103), ("loose_cost", 103)]);
+        let regressions = compare(&pinned, &fresh, 15);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "stable_cost");
+        assert!(regressions[0].toleranced);
+
+        // Inside the per-key gate: clean.
+        let fresh = m(&[("stable_cost", 102), ("loose_cost", 115)]);
+        assert!(compare(&pinned, &fresh, 15).is_empty());
+
+        // A tolerance wider than the blanket also applies: 40% over is fine
+        // under tolerance 50, while the same overshoot on a blanket key is
+        // flagged (and not marked toleranced).
+        let pinned = m(&[
+            ("noisy_cost", 100),
+            ("tolerance_noisy_cost", 50),
+            ("c", 100),
+        ]);
+        let fresh = m(&[("noisy_cost", 140), ("c", 140)]);
+        let regressions = compare(&pinned, &fresh, 15);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "c");
+        assert!(!regressions[0].toleranced);
+    }
+
+    #[test]
+    fn tolerance_entries_are_config_not_metrics() {
+        // The fresh run never emits tolerance keys; their absence must not
+        // be a regression, and they must not be compared as values.
+        let pinned = m(&[("cost", 100), ("tolerance_cost", 5)]);
+        let fresh = m(&[("cost", 100)]);
+        assert!(compare(&pinned, &fresh, 15).is_empty());
+        // A tolerance for a key that is not pinned is inert.
+        let pinned = m(&[("tolerance_ghost", 5)]);
+        assert!(compare(&pinned, &m(&[]), 15).is_empty());
     }
 }

@@ -77,12 +77,14 @@ use avm_crypto::sha256::Digest;
 use avm_log::{LogEntry, LogSource, TamperEvidentLog};
 use avm_net::{LinkConfig, NodeId, SimNet};
 use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::attest::AttestChallenge;
 use avm_wire::audit::{
     open_message, open_session_frame, seal_message, AuditRequest, AuditResponse, SegmentAddress,
     CLIENT_SESSION,
 };
 use avm_wire::{BlobRequest, BlobResponse, Decode, Encode, RttModel};
 
+use crate::attest::{Attestor, LaunchPolicy};
 use crate::audit::{audit_log, AuditReport};
 use crate::error::{CoreError, FaultReason};
 use crate::ondemand::{
@@ -137,6 +139,7 @@ use crate::spotcheck::{
 pub struct AuditServer<'a> {
     log: Option<&'a dyn LogSource>,
     store: &'a SnapshotStore,
+    attestor: Option<&'a Attestor>,
 }
 
 impl<'a> AuditServer<'a> {
@@ -153,13 +156,26 @@ impl<'a> AuditServer<'a> {
         AuditServer {
             log: Some(log),
             store,
+            attestor: None,
         }
     }
 
     /// A provider endpoint serving only snapshot state (manifest, blob and
     /// section fetches); log-segment requests are answered with an error.
     pub fn for_store(store: &'a SnapshotStore) -> AuditServer<'a> {
-        AuditServer { log: None, store }
+        AuditServer {
+            log: None,
+            store,
+            attestor: None,
+        }
+    }
+
+    /// Attaches an attestation responder: [`AuditRequest::Attest`]
+    /// challenges are answered with signed quotes over its envelope.
+    /// Without one, attestation challenges get an error response.
+    pub fn with_attestor(mut self, attestor: &'a Attestor) -> AuditServer<'a> {
+        self.attestor = Some(attestor);
+        self
     }
 
     /// The snapshot store this endpoint serves from.
@@ -192,6 +208,12 @@ impl<'a> AuditServer<'a> {
                     stream: self.store.transfer_stream_upto(*upto_id),
                 }
             }
+            AuditRequest::Attest(challenge) => match self.attestor {
+                Some(attestor) => AuditResponse::Attestation(attestor.quote(challenge)),
+                None => AuditResponse::Error {
+                    message: "provider serves no attestation".to_string(),
+                },
+            },
         }
     }
 
@@ -683,6 +705,32 @@ impl<T: AuditTransport> AuditClient<T> {
             AuditResponse::Manifest { manifest } => ChainManifest::decode_exact(&manifest)
                 .map_err(|e| CoreError::Snapshot(format!("manifest does not decode: {e}"))),
             other => Err(protocol_violation("Manifest", other.variant_name())),
+        }
+    }
+
+    /// The attestation handshake: sends `challenge`, receives the
+    /// provider's quote, and classifies it under `policy` at verifier time
+    /// `now_us` — run *before* spot checks so the same session covers
+    /// launch and lifetime.
+    ///
+    /// Returns the verdict plus the decoded envelope when the quote was
+    /// well-formed enough to decode (even on mismatch verdicts, so callers
+    /// can inspect what the provider claimed).
+    pub fn attest(
+        &mut self,
+        challenge: &AttestChallenge,
+        policy: &LaunchPolicy,
+        now_us: u64,
+    ) -> Result<
+        (
+            avm_attest::AttestVerdict,
+            Option<avm_attest::AttestationEnvelope>,
+        ),
+        CoreError,
+    > {
+        match self.request(&AuditRequest::Attest(*challenge))? {
+            AuditResponse::Attestation(quote) => Ok(policy.verify(&quote, challenge, now_us)),
+            other => Err(protocol_violation("Attestation", other.variant_name())),
         }
     }
 
@@ -1410,5 +1458,55 @@ mod tests {
             .unwrap();
         assert!(second.on_demand.as_ref().unwrap().fetched.is_empty());
         assert!(second.transport.response_bytes < first.transport.response_bytes);
+    }
+
+    /// Attest-then-audit over one simulated-network session: the launch
+    /// measurement verifies first, then an ordinary spot check continues
+    /// over the same client, and the attestation exchange pays wire bytes
+    /// like everything else.  A provider without an attestor answers with a
+    /// clean error.
+    #[test]
+    fn attest_then_audit_over_one_simnet_session() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let attestor = Attestor::for_avmm(&bob, &image).unwrap();
+        let policy = LaunchPolicy::new(
+            &image,
+            "bob",
+            avm_crypto::keys::SignatureScheme::Rsa(512),
+            key(1).verifying_key(),
+        );
+        let mut client = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()).with_attestor(&attestor),
+            LinkConfig::default(),
+        ));
+
+        let challenge = AttestChallenge {
+            nonce: crate::attest::challenge_nonce(1, 1_000),
+            issued_at_us: 1_000,
+        };
+        let (verdict, envelope) = client.attest(&challenge, &policy, 2_000).unwrap();
+        assert!(verdict.is_verified(), "verdict {verdict}");
+        assert!(envelope.is_some());
+        let attest_trips = client.transport_stats().round_trips;
+        assert_eq!(attest_trips, 1);
+
+        // Launch verified — the same session continues into spot checks.
+        let report = client
+            .spot_check_on_demand(1, 1, &image, &registry)
+            .unwrap();
+        assert!(report.consistent);
+        assert!(client.transport_stats().round_trips > attest_trips);
+
+        // No attestor attached → a clean provider-side error.
+        let mut bare = AuditClient::new(SimNetTransport::new(
+            AuditServer::new(bob.log(), bob.snapshots()),
+            LinkConfig::default(),
+        ));
+        let err = bare.attest(&challenge, &policy, 2_000).unwrap_err();
+        assert!(
+            err.to_string().contains("provider serves no attestation"),
+            "{err}"
+        );
     }
 }

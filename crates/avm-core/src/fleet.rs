@@ -41,6 +41,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use avm_attest::AttestVerdict;
 use avm_compress::CompressionStats;
 use avm_crypto::sha256::Digest;
 use avm_log::{LogEntry, LogSource};
@@ -48,12 +49,14 @@ use avm_net::{
     run_event_loop, Delivery, Endpoint, EventLoopReport, LinkConfig, NodeId, NodeStats, SimNet,
 };
 use avm_vm::{GuestRegistry, VmImage};
+use avm_wire::attest::AttestChallenge;
 use avm_wire::audit::{
     open_session_frame, open_session_message, seal_encoded_message, seal_session_message,
     AuditRequest, AuditResponseRef, SegmentAddress, CLIENT_SESSION,
 };
 use avm_wire::{BlobRequest, Decode, Encode, DEFAULT_BLOB_BATCH};
 
+use crate::attest::{challenge_nonce, Attestor, LaunchPolicy};
 use crate::endpoint::{
     decode_entries, protocol_violation, AuditServer, TransportStats, DEFAULT_MAX_ATTEMPTS,
 };
@@ -413,6 +416,9 @@ struct BlobExchange {
 enum Phase {
     /// Waiting for `start_at_us`.
     Idle,
+    /// Attestation challenge sent; the session proceeds to the log chunk
+    /// only once the launch measurement verifies.
+    Attest { challenge: AttestChallenge },
     /// Log chunk requested.
     Chunk,
     /// Full-download mode: sections requested.  In pipelined mode the
@@ -471,6 +477,11 @@ pub struct FleetAuditor<'a> {
     cpu_busy_until: u64,
     /// A request staged until its segment's replay CPU finishes.
     deferred: Option<(u64, AuditRequest)>,
+    /// When set, the session opens with an attestation challenge under this
+    /// policy and only proceeds to spot checks on a verified launch.
+    attest_policy: Option<&'a LaunchPolicy>,
+    /// The launch verdict, once the attestation exchange settled.
+    attest_verdict: Option<AttestVerdict>,
 }
 
 impl<'a> FleetAuditor<'a> {
@@ -513,6 +524,8 @@ impl<'a> FleetAuditor<'a> {
             pipelined: false,
             cpu_busy_until: 0,
             deferred: None,
+            attest_policy: None,
+            attest_verdict: None,
         }
     }
 
@@ -532,6 +545,25 @@ impl<'a> FleetAuditor<'a> {
         self.replay_cpu = Some(model);
         self.pipelined = pipelined;
         self
+    }
+
+    /// Opens the session with an attestation challenge under `policy`
+    /// before any spot-check exchange: the chunk request goes out only
+    /// after the provider's launch measurement verifies; any other verdict
+    /// ends the session with that verdict on record.  The challenge nonce
+    /// is derived from the session id and issue time
+    /// ([`crate::attest::challenge_nonce`]), so every session challenges
+    /// with a distinct nonce and runs stay reproducible.
+    pub fn with_attestation(mut self, policy: &'a LaunchPolicy) -> FleetAuditor<'a> {
+        self.attest_policy = Some(policy);
+        self
+    }
+
+    /// The launch verdict of this session's attestation exchange (`None`
+    /// until it settles, and always `None` without
+    /// [`FleetAuditor::with_attestation`]).
+    pub fn attest_verdict(&self) -> Option<AttestVerdict> {
+        self.attest_verdict
     }
 
     /// True once the session has a verdict (or failed).
@@ -604,6 +636,7 @@ impl<'a> FleetAuditor<'a> {
             return Err(CoreError::Snapshot(message.to_string()));
         }
         match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Attest { challenge } => self.on_attest(net, response, challenge),
             Phase::Chunk => self.on_chunk(net, response),
             Phase::Sections {
                 entries,
@@ -624,6 +657,41 @@ impl<'a> FleetAuditor<'a> {
             }
             Phase::Idle | Phase::Done => Ok(()),
         }
+    }
+
+    /// Sends the opening log-chunk request of the spot check.
+    fn start_chunk(&mut self, net: &mut SimNet) {
+        self.phase = Phase::Chunk;
+        let request = AuditRequest::LogSegment(SegmentAddress::Chunk {
+            start_snapshot: self.task.start_snapshot,
+            chunk: self.task.chunk,
+        });
+        self.send_request(net, &request);
+    }
+
+    fn on_attest(
+        &mut self,
+        net: &mut SimNet,
+        response: AuditResponseRef<'_>,
+        challenge: AttestChallenge,
+    ) -> Result<(), CoreError> {
+        let quote = match response {
+            AuditResponseRef::Attestation(quote) => quote.to_owned(),
+            other => return Err(protocol_violation("Attestation", other.variant_name())),
+        };
+        let policy = self
+            .attest_policy
+            .expect("Attest phase only entered with a policy");
+        let (verdict, _envelope) = policy.verify(&quote, &challenge, net.now());
+        self.attest_verdict = Some(verdict);
+        if !verdict.is_verified() {
+            return Err(CoreError::Snapshot(format!(
+                "attestation rejected: {verdict}"
+            )));
+        }
+        // Launch verified — the same session continues into the spot check.
+        self.start_chunk(net);
+        Ok(())
     }
 
     fn on_chunk(
@@ -1083,12 +1151,21 @@ impl Endpoint for FleetAuditor<'_> {
             if net.now() < self.task.start_at_us {
                 return Some(self.task.start_at_us);
             }
-            self.phase = Phase::Chunk;
-            let request = AuditRequest::LogSegment(SegmentAddress::Chunk {
-                start_snapshot: self.task.start_snapshot,
-                chunk: self.task.chunk,
-            });
-            self.send_request(net, &request);
+            match self.attest_policy {
+                // Attest-then-audit: the session's first exchange proves
+                // the launch; the chunk request follows on a verified
+                // verdict ([`FleetAuditor::on_attest`]).
+                Some(_) => {
+                    let now = net.now();
+                    let challenge = AttestChallenge {
+                        nonce: challenge_nonce(self.session_id, now),
+                        issued_at_us: now,
+                    };
+                    self.phase = Phase::Attest { challenge };
+                    self.send_request(net, &AuditRequest::Attest(challenge));
+                }
+                None => self.start_chunk(net),
+            }
         }
         let now = net.now();
         // Modelled replay CPU still charging: complete the moment it is
@@ -1220,6 +1297,10 @@ impl Default for FleetConfig {
 pub struct FleetOutcome {
     /// One report (or terminal error) per auditor, in auditor order.
     pub reports: Vec<Result<SpotCheckReport, CoreError>>,
+    /// Per-auditor launch verdicts, in auditor order — `None` everywhere on
+    /// a plain [`run_fleet`]; populated by [`run_attested_fleet`] (still
+    /// `None` for a session that never received a quote).
+    pub attest_verdicts: Vec<Option<AttestVerdict>>,
     /// Session completion latency (scheduled start → verdict) per
     /// *successful* session, in auditor order.
     pub latencies_us: Vec<u64>,
@@ -1244,21 +1325,57 @@ pub fn run_fleet(
     registry: &GuestRegistry,
     config: &FleetConfig,
 ) -> FleetOutcome {
+    run_fleet_inner(log, store, image, registry, config, None)
+}
+
+/// [`run_fleet`] with attest-then-audit sessions: every provider node
+/// answers challenges from `attestor`, and every auditor opens its session
+/// with an attestation challenge under `policy`, proceeding into its spot
+/// check only on a verified launch.  Per-session verdicts land in
+/// [`FleetOutcome::attest_verdicts`]; a rejected launch ends that session
+/// with an error report and no audit traffic beyond the challenge.
+pub fn run_attested_fleet(
+    log: &dyn LogSource,
+    store: &SnapshotStore,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    config: &FleetConfig,
+    attestor: &Attestor,
+    policy: &LaunchPolicy,
+) -> FleetOutcome {
+    run_fleet_inner(
+        log,
+        store,
+        image,
+        registry,
+        config,
+        Some((attestor, policy)),
+    )
+}
+
+fn run_fleet_inner(
+    log: &dyn LogSource,
+    store: &SnapshotStore,
+    image: &VmImage,
+    registry: &GuestRegistry,
+    config: &FleetConfig,
+    attest: Option<(&Attestor, &LaunchPolicy)>,
+) -> FleetOutcome {
     let timeout_us = 8 * config.link.latency_us + config.link.serialise_micros(1 << 20);
     let mut net = SimNet::new(config.link);
     let provider_count = config.providers.max(1);
     let mut providers: Vec<ProviderNode> = (0..provider_count)
         .map(|p| {
-            ProviderNode::new(
-                NodeId(p as u32 + 1),
-                AuditServer::with_log_source(log, store),
-                config.provider,
-            )
+            let mut server = AuditServer::with_log_source(log, store);
+            if let Some((attestor, _)) = attest {
+                server = server.with_attestor(attestor);
+            }
+            ProviderNode::new(NodeId(p as u32 + 1), server, config.provider)
         })
         .collect();
     let mut auditors: Vec<FleetAuditor> = (0..config.auditors)
         .map(|i| {
-            let auditor = FleetAuditor::new(
+            let mut auditor = FleetAuditor::new(
                 NodeId((provider_count + 1 + i) as u32),
                 NodeId((i % provider_count) as u32 + 1),
                 CLIENT_SESSION + i as u64,
@@ -1273,10 +1390,13 @@ pub fn run_fleet(
                 },
                 timeout_us,
             );
-            match config.replay_cpu {
-                Some(model) => auditor.with_replay_cpu(model, config.pipelined),
-                None => auditor,
+            if let Some(model) = config.replay_cpu {
+                auditor = auditor.with_replay_cpu(model, config.pipelined);
             }
+            if let Some((_, policy)) = attest {
+                auditor = auditor.with_attestation(policy);
+            }
+            auditor
         })
         .collect();
     let mut endpoints: Vec<&mut dyn Endpoint> = Vec::with_capacity(provider_count + auditors.len());
@@ -1291,16 +1411,19 @@ pub fn run_fleet(
     let provider_stats = providers.iter().map(|p| p.stats()).collect();
     let node_stats = net.all_stats();
     let mut reports = Vec::with_capacity(auditors.len());
+    let mut attest_verdicts = Vec::with_capacity(auditors.len());
     let mut latencies_us = Vec::new();
     for auditor in auditors {
         if let Some(latency) = auditor.latency_us() {
             latencies_us.push(latency);
         }
+        attest_verdicts.push(auditor.attest_verdict());
         let (outcome, _cache) = auditor.into_parts();
         reports.push(outcome);
     }
     FleetOutcome {
         reports,
+        attest_verdicts,
         latencies_us,
         providers: provider_stats,
         node_stats,
@@ -1582,6 +1705,89 @@ mod tests {
         // each session is served, never *what* it costs.
         assert_eq!(provider.stats().cache.misses, 1);
         assert_eq!(provider.stats().cache.hits, 2);
+    }
+
+    /// Attest-then-audit sessions: every auditor's launch verdict is
+    /// Verified, the spot-check verdicts equal the unattested fleet's, and
+    /// the attestation exchange bypasses the shared response cache (each
+    /// quote answers a distinct nonce).  Against a provider claiming a
+    /// different image, every session stops at a distinct ImageMismatch
+    /// verdict with an error report and no audit traffic beyond the
+    /// challenge.
+    #[test]
+    fn attested_fleet_verifies_launch_then_audits() {
+        let (bob, image) = record_with_snapshots(3);
+        let registry = GuestRegistry::new();
+        let attestor = crate::attest::Attestor::for_avmm(&bob, &image).unwrap();
+        let policy = LaunchPolicy::new(
+            &image,
+            "bob",
+            avm_crypto::keys::SignatureScheme::Rsa(512),
+            crate::testutil::key(1).verifying_key(),
+        );
+        let n = 4;
+        let config = FleetConfig {
+            auditors: n,
+            start_snapshot: 1,
+            chunk: 1,
+            inter_arrival_us: 500,
+            ..FleetConfig::default()
+        };
+
+        let plain = run_fleet(bob.log(), bob.snapshots(), &image, &registry, &config);
+        assert!(plain.attest_verdicts.iter().all(Option::is_none));
+
+        let attested = run_attested_fleet(
+            bob.log(),
+            bob.snapshots(),
+            &image,
+            &registry,
+            &config,
+            &attestor,
+            &policy,
+        );
+        assert!(attested.event_loop.quiescent);
+        assert_eq!(attested.reports.len(), n);
+        for (i, report) in attested.reports.iter().enumerate() {
+            assert_eq!(attested.attest_verdicts[i], Some(AttestVerdict::Verified));
+            assert_eq!(
+                report.as_ref().unwrap().semantic(),
+                plain.reports[i].as_ref().unwrap().semantic()
+            );
+        }
+        // Quotes are nonce-specific, so they never populate the shared
+        // cache: same entries/misses as the unattested run.
+        assert_eq!(attested.providers[0].cache, plain.providers[0].cache);
+
+        // A provider attesting a different image: every session records the
+        // ImageMismatch verdict and ends in an error before any audit.
+        let wrong = crate::testutil::worker_image().with_disk(vec![1u8; 8192]);
+        let wrong_policy = LaunchPolicy::new(
+            &wrong,
+            "bob",
+            avm_crypto::keys::SignatureScheme::Rsa(512),
+            crate::testutil::key(1).verifying_key(),
+        );
+        let rejected = run_attested_fleet(
+            bob.log(),
+            bob.snapshots(),
+            &image,
+            &registry,
+            &config,
+            &attestor,
+            &wrong_policy,
+        );
+        assert!(rejected.event_loop.quiescent);
+        for (i, report) in rejected.reports.iter().enumerate() {
+            assert_eq!(
+                rejected.attest_verdicts[i],
+                Some(AttestVerdict::ImageMismatch)
+            );
+            let err = report.as_ref().unwrap_err().to_string();
+            assert!(err.contains("image mismatch"), "{err}");
+        }
+        // One challenge per session, nothing more.
+        assert_eq!(rejected.providers[0].requests_served, n as u64);
     }
 
     /// Multiple provider nodes: auditors spread across them and each

@@ -17,6 +17,9 @@
 //!
 //! Module map:
 //!
+//! * [`attest`] — accountable attestation: building/serving the launch
+//!   envelopes of `avm-attest` for a recording AVMM, and the auditor's
+//!   [`attest::LaunchPolicy`] verifying them before spot checks begin.
 //! * [`config`] — the five measurement configurations of the paper's
 //!   evaluation (bare-hw … avmm-rsa768) and the AVMM options.
 //! * [`events`] — the content formats of log entries (clock reads, packet
@@ -122,6 +125,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod audit;
 pub mod config;
 pub mod endpoint;
@@ -142,6 +146,7 @@ pub mod spotcheck;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use attest::{build_envelope, challenge_nonce, expected_launch, Attestor, LaunchPolicy};
 pub use audit::{audit_log, AuditOutcome, AuditReport, Evidence};
 pub use config::{AvmmOptions, ExecConfig};
 pub use endpoint::{

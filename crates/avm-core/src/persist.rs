@@ -39,6 +39,7 @@ use avm_vm::devices::InputEvent;
 use avm_vm::{GuestRegistry, VmImage};
 use avm_wire::{Decode, Encode, Reader, WireError, WireResult, Writer};
 
+use crate::attest::{build_envelope_from_parts, Attestor};
 use crate::config::AvmmOptions;
 use crate::endpoint::AuditServer;
 use crate::envelope::Envelope;
@@ -241,6 +242,11 @@ pub struct Provider<S: Storage + Clone> {
     manifest_digests: BTreeMap<u64, Digest>,
     /// Entries of `avmm.log()` already written to the segment files.
     persisted_entries: u64,
+    /// The launch attestation responder.  Its envelope bytes are persisted
+    /// to the arenas at create time, and recovery re-derives the identical
+    /// bytes from the durable META entry — so a recovered provider
+    /// re-serves *the* envelope, byte for byte.
+    attestor: Attestor,
 }
 
 impl<S: Storage + Clone> core::fmt::Debug for Provider<S> {
@@ -268,8 +274,10 @@ impl<S: Storage + Clone> Provider<S> {
         cfg: PersistConfig,
     ) -> Result<Provider<S>, PersistError> {
         let avmm = Avmm::new(name, image, registry, signing_key, options)?;
+        let attestor = Attestor::for_avmm(&avmm, image)?;
         let segments = SegmentStore::create(storage.clone(), cfg.segments)?;
-        let arenas = ArenaStore::create(storage, cfg.arenas)?;
+        let mut arenas = ArenaStore::create(storage, cfg.arenas)?;
+        persist_envelope(&mut arenas, &attestor)?;
         let mut provider = Provider {
             avmm,
             segments,
@@ -277,6 +285,7 @@ impl<S: Storage + Clone> Provider<S> {
             segment_log: SegmentLog::new(),
             manifest_digests: BTreeMap::new(),
             persisted_entries: 0,
+            attestor,
         };
         provider.flush()?;
         Ok(provider)
@@ -344,13 +353,15 @@ impl<S: Storage + Clone> Provider<S> {
         // malformed — so recovery re-runs the create path instead: a fresh
         // recorder whose initial META entry is persisted before this returns.
         if scan.entries.is_empty() {
+            let avmm = Avmm::new(name, image, registry, signing_key, options)?;
+            let attestor = Attestor::for_avmm(&avmm, image)?;
+            persist_envelope(&mut arenas, &attestor)?;
             let report = RecoveryReport {
                 torn_bytes_truncated: scan.torn_bytes + arena_scan.torn_bytes,
                 arena_blobs: arenas.blob_count(),
                 arena_bytes: arenas.stored_bytes(),
                 ..RecoveryReport::default()
             };
-            let avmm = Avmm::new(name, image, registry, signing_key, options)?;
             let mut provider = Provider {
                 avmm,
                 segments,
@@ -358,6 +369,7 @@ impl<S: Storage + Clone> Provider<S> {
                 segment_log: SegmentLog::new(),
                 manifest_digests: BTreeMap::new(),
                 persisted_entries: 0,
+                attestor,
             };
             provider.flush()?;
             return Ok((provider, report));
@@ -388,6 +400,26 @@ impl<S: Storage + Clone> Provider<S> {
         }
 
         let blobs: HashMap<Digest, Vec<u8>> = arena_scan.blobs.into_iter().collect();
+
+        // Re-derive the attestation envelope from the durable META entry.
+        // Every input is deterministic, so these are byte-for-byte the
+        // bytes `create` served and persisted: a recovered provider
+        // re-serves *the* envelope.  A persisted copy that disagrees is
+        // tampering (content addressing makes that unreachable unless the
+        // storage layer lies); a missing copy is a torn write at create
+        // time and is simply re-persisted.
+        let meta_entry = log.entries().first().expect("non-empty log scanned");
+        let envelope = build_envelope_from_parts(image, meta_entry, &signing_key)?;
+        let attestor = Attestor::new(&envelope, signing_key.clone());
+        if let Some(persisted) = blobs.get(&attestor.envelope_digest()) {
+            if persisted != attestor.envelope_bytes() {
+                return Err(PersistError::Tampered(FaultReason::SyntacticFailure(
+                    "persisted attestation envelope does not match the recorded launch".into(),
+                )));
+            }
+        } else {
+            persist_envelope(&mut arenas, &attestor)?;
+        }
 
         // Last manifest per id wins: a crash can leave an orphaned manifest
         // record for a snapshot whose log entry never became durable, and a
@@ -458,6 +490,7 @@ impl<S: Storage + Clone> Provider<S> {
         // orphans and skips the rewrite.
         let mut live: HashSet<Digest> = store.pooled_digests().into_iter().collect();
         live.extend(manifest_digests.values().copied());
+        live.insert(attestor.envelope_digest());
         if arenas.orphan_count(&live) > 0 {
             arenas.compact(&live)?;
         }
@@ -494,6 +527,7 @@ impl<S: Storage + Clone> Provider<S> {
                 segment_log,
                 manifest_digests,
                 persisted_entries,
+                attestor,
             },
             report,
         ))
@@ -573,15 +607,29 @@ impl<S: Storage + Clone> Provider<S> {
         let mut live: HashSet<Digest> =
             self.avmm.snapshots().pooled_digests().into_iter().collect();
         live.extend(self.manifest_digests.values().copied());
+        live.insert(self.attestor.envelope_digest());
         self.arenas.compact(&live)?;
         Ok(freed)
     }
 
     /// An audit endpoint serving the *disk image* of the log (with the
     /// in-memory snapshot store), so what auditors download is exactly what
-    /// survives a crash.
+    /// survives a crash — with the provider's attestation responder
+    /// attached, so sessions can attest-then-audit.
     pub fn audit_server(&self) -> AuditServer<'_> {
         AuditServer::with_log_source(&self.segment_log, self.avmm.snapshots())
+            .with_attestor(&self.attestor)
+    }
+
+    /// The provider's attestation responder.
+    pub fn attestor(&self) -> &Attestor {
+        &self.attestor
+    }
+
+    /// The encoded attestation envelope this provider serves — stable,
+    /// byte for byte, across crash and recovery.
+    pub fn attestation_envelope_bytes(&self) -> &[u8] {
+        self.attestor.envelope_bytes()
     }
 
     /// The persisted mirror of the log, in sequence order.
@@ -694,6 +742,20 @@ impl<S: Storage + Clone> Provider<S> {
         manifest_digests.insert(id, digest);
         Ok(())
     }
+}
+
+/// Makes `attestor`'s envelope bytes durable in the arenas (content
+/// addressed under their digest, like every other blob).
+fn persist_envelope<S: Storage + Clone>(
+    arenas: &mut ArenaStore<S>,
+    attestor: &Attestor,
+) -> Result<(), PersistError> {
+    let digest = attestor.envelope_digest();
+    if !arenas.contains(&digest) {
+        arenas.put(digest, attestor.envelope_bytes())?;
+        arenas.flush()?;
+    }
+    Ok(())
 }
 
 /// The durable manifest of a stored snapshot.
@@ -1063,6 +1125,49 @@ mod tests {
         assert_eq!(report.entries_recovered, live_log.len() as u64);
         assert_eq!(twice.avmm().log().entries(), &live_log[..]);
         assert_eq!(spot_check_via(&twice, &image, 1, 1), live_report);
+    }
+
+    /// The attestation envelope survives crash/recovery byte for byte: the
+    /// recovered provider re-serves *the* envelope (same bytes, durable in
+    /// the arenas), its audit endpoint answers challenges, and pruning's
+    /// arena compaction never drops it.
+    #[test]
+    fn recovered_provider_serves_the_identical_envelope() {
+        let storage = SimStorage::new();
+        let (mut bob, image) = provider_with_snapshots(storage.clone(), 4, small_cfg());
+        let live_envelope = bob.attestation_envelope_bytes().to_vec();
+        let digest = bob.attestor().envelope_digest();
+        assert!(bob.blob_persisted(&digest), "envelope is durable at create");
+        bob.prune_snapshots_upto(2).unwrap();
+        assert!(
+            bob.blob_persisted(&digest),
+            "compaction keeps the envelope live"
+        );
+        drop(bob);
+
+        let (recovered, _) = recover_bob(storage.reboot(), &image, small_cfg());
+        assert_eq!(recovered.attestation_envelope_bytes(), &live_envelope[..]);
+        assert!(recovered.blob_persisted(&digest));
+
+        // The recovered audit endpoint attests: challenge → verified quote.
+        let policy = crate::attest::LaunchPolicy::new(
+            &image,
+            "bob",
+            SignatureScheme::Rsa(512),
+            key(1).verifying_key(),
+        );
+        let transport = crate::endpoint::DirectTransport::new(recovered.audit_server());
+        let mut client = crate::endpoint::AuditClient::new(transport);
+        let challenge = avm_wire::attest::AttestChallenge {
+            nonce: crate::attest::challenge_nonce(1, 5_000),
+            issued_at_us: 5_000,
+        };
+        let (verdict, envelope) = client.attest(&challenge, &policy, 6_000).unwrap();
+        assert!(verdict.is_verified(), "verdict {verdict}");
+        assert_eq!(
+            avm_wire::Encode::encode_to_vec(&envelope.unwrap()),
+            live_envelope
+        );
     }
 
     #[test]

@@ -87,6 +87,15 @@ impl WorkloadGen {
             },
         })
     }
+
+    /// The next request already framed as a guest packet addressed to the
+    /// server node `node` — the payload a churn driver wraps in a signed
+    /// envelope and delivers to the recording AVMM.
+    pub fn next_packet(&mut self, node: &str) -> Option<Vec<u8>> {
+        use avm_wire::Encode;
+        self.next_request()
+            .map(|req| avm_vm::packet::encode_guest_packet(node, &req.encode_to_vec()))
+    }
 }
 
 impl Iterator for WorkloadGen {

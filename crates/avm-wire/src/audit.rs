@@ -7,15 +7,17 @@
 //! exchange so the same protocol can be carried by different transports (an
 //! in-process call, or the simulated network in `avm-net`):
 //!
-//! * [`AuditRequest`] — auditor → provider.  Four kinds, covering every
-//!   download a spot check or full audit performs:
+//! * [`AuditRequest`] — auditor → provider.  Five kinds, covering every
+//!   exchange a spot check, full audit or attested audit performs:
 //!   1. **manifest fetch** — the chain-manifest metadata that starts an
 //!      on-demand or dedup reconstruction,
 //!   2. **batched blob fetch** — a [`BlobRequest`] of content digests,
 //!   3. **log-segment fetch** — log entries addressed either by sequence
 //!      range (full audits) or by snapshot chunk (spot checks, §3.5),
 //!   4. **snapshot-section fetch** — the whole-section transfer stream of
-//!      the full-download model.
+//!      the full-download model,
+//!   5. **attestation challenge** — the nonce'd launch-measurement
+//!      challenge of [`crate::attest`], sent before the audit proper.
 //! * [`AuditResponse`] — provider → auditor: the matching payloads, or an
 //!   [`AuditResponse::Error`] when the provider cannot serve the request.
 //!
@@ -45,6 +47,7 @@
 //! seals an already-encoded message body, so a provider can serve one
 //! cached response encoding to many sessions without re-encoding it.
 
+use crate::attest::{AttestChallenge, AttestQuote, AttestQuoteRef};
 use crate::blob::{BlobRequest, BlobResponse, BlobResponseRef};
 use crate::frame::{read_frame, write_frame_parts};
 use crate::{Decode, Encode, Reader, WireError, WireResult, Writer};
@@ -130,6 +133,10 @@ pub enum AuditRequest {
         /// Snapshot the download reconstructs.
         upto_id: u64,
     },
+    /// "Prove your launch state, bound to this nonce" — the attestation
+    /// challenge ([`crate::attest`]).  Auditors send it first and continue
+    /// into ordinary spot-check requests over the same session.
+    Attest(AttestChallenge),
 }
 
 impl Encode for AuditRequest {
@@ -151,6 +158,10 @@ impl Encode for AuditRequest {
                 w.put_u8(4);
                 w.put_varint(*upto_id);
             }
+            AuditRequest::Attest(challenge) => {
+                w.put_u8(5);
+                challenge.encode(w);
+            }
         }
     }
 }
@@ -166,6 +177,7 @@ impl Decode for AuditRequest {
             4 => Ok(AuditRequest::Sections {
                 upto_id: r.get_varint()?,
             }),
+            5 => Ok(AuditRequest::Attest(AttestChallenge::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 what: "AuditRequest",
                 tag: tag as u64,
@@ -209,6 +221,9 @@ pub enum AuditResponse {
         /// Human-readable reason, mapped back to an error by the client.
         message: String,
     },
+    /// The attestation quote answering an [`AuditRequest::Attest`]
+    /// challenge.  Nonce-dependent, so never served from a response cache.
+    Attestation(AttestQuote),
 }
 
 impl Encode for AuditResponse {
@@ -235,6 +250,10 @@ impl Encode for AuditResponse {
                 w.put_u8(5);
                 w.put_str(message);
             }
+            AuditResponse::Attestation(quote) => {
+                w.put_u8(6);
+                quote.encode(w);
+            }
         }
     }
 }
@@ -260,6 +279,7 @@ impl Decode for AuditResponse {
             5 => Ok(AuditResponse::Error {
                 message: r.get_string()?,
             }),
+            6 => Ok(AuditResponse::Attestation(AttestQuote::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 what: "AuditResponse",
                 tag: tag as u64,
@@ -277,6 +297,7 @@ impl AuditResponse {
             AuditResponse::LogSegment { .. } => "LogSegment",
             AuditResponse::Sections { .. } => "Sections",
             AuditResponse::Error { .. } => "Error",
+            AuditResponse::Attestation(_) => "Attestation",
         }
     }
 }
@@ -316,6 +337,8 @@ pub enum AuditResponseRef<'a> {
         /// Human-readable reason.
         message: &'a str,
     },
+    /// The attestation quote; envelope and signature borrow from the packet.
+    Attestation(AttestQuoteRef<'a>),
 }
 
 impl<'a> AuditResponseRef<'a> {
@@ -349,6 +372,7 @@ impl<'a> AuditResponseRef<'a> {
             5 => Ok(AuditResponseRef::Error {
                 message: r.get_str()?,
             }),
+            6 => Ok(AuditResponseRef::Attestation(AttestQuoteRef::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 what: "AuditResponse",
                 tag: tag as u64,
@@ -384,6 +408,7 @@ impl<'a> AuditResponseRef<'a> {
             AuditResponseRef::Error { message } => AuditResponse::Error {
                 message: (*message).to_string(),
             },
+            AuditResponseRef::Attestation(quote) => AuditResponse::Attestation(quote.to_owned()),
         }
     }
 
@@ -395,6 +420,7 @@ impl<'a> AuditResponseRef<'a> {
             AuditResponseRef::LogSegment { .. } => "LogSegment",
             AuditResponseRef::Sections { .. } => "Sections",
             AuditResponseRef::Error { .. } => "Error",
+            AuditResponseRef::Attestation(_) => "Attestation",
         }
     }
 }
@@ -425,6 +451,10 @@ impl Encode for AuditResponseRef<'_> {
             AuditResponseRef::Error { message } => {
                 w.put_u8(5);
                 w.put_str(message);
+            }
+            AuditResponseRef::Attestation(quote) => {
+                w.put_u8(6);
+                quote.encode(w);
             }
         }
     }
@@ -537,6 +567,10 @@ mod tests {
             chunk: 3,
         }));
         roundtrip_request(AuditRequest::Sections { upto_id: 12 });
+        roundtrip_request(AuditRequest::Attest(AttestChallenge {
+            nonce: [0x5c; 32],
+            issued_at_us: 77,
+        }));
     }
 
     #[test]
@@ -557,6 +591,12 @@ mod tests {
         roundtrip_response(AuditResponse::Error {
             message: "snapshot 9 not found".into(),
         });
+        roundtrip_response(AuditResponse::Attestation(AttestQuote {
+            envelope: vec![1u8; 77],
+            nonce: [0x5c; 32],
+            signed_at_us: 78,
+            signature: vec![9u8; 64],
+        }));
     }
 
     #[test]
@@ -677,6 +717,12 @@ mod tests {
             AuditResponse::Error {
                 message: "snapshot 9 not found".into(),
             },
+            AuditResponse::Attestation(AttestQuote {
+                envelope: vec![3u8; 50],
+                nonce: [0x11; 32],
+                signed_at_us: 9,
+                signature: vec![8u8; 32],
+            }),
         ]
     }
 

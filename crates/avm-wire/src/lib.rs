@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod audit;
 pub mod blob;
 pub mod checksum;
@@ -34,6 +35,9 @@ pub mod rtt;
 pub mod varint;
 pub mod writer;
 
+pub use attest::{
+    AttestChallenge, AttestQuote, AttestQuoteRef, ATTEST_NONCE_LEN, DEFAULT_FRESHNESS_US,
+};
 pub use audit::{
     open_message, open_session_frame, seal_message, AuditRequest, AuditResponse, AuditResponseRef,
     SegmentAddress,
